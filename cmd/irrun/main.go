@@ -1,0 +1,60 @@
+// Command irrun parses a textual IR file at a given version and executes
+// its main function under the reference interpreter.
+//
+//	irrun -v 12.0 -in prog.ll [-input 0a1b2c]
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/interp"
+	"repro/internal/irtext"
+	"repro/internal/version"
+)
+
+func main() {
+	verFlag := flag.String("v", "", "IR version of the input file")
+	in := flag.String("in", "", "input IR file")
+	inputHex := flag.String("input", "", "hex-encoded input bytes for siro.input")
+	flag.Parse()
+	if *verFlag == "" || *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	v, err := version.Parse(*verFlag)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := irtext.Parse(string(data), v)
+	if err != nil {
+		fatal(err)
+	}
+	var input []byte
+	if *inputHex != "" {
+		input, err = hex.DecodeString(*inputHex)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	res, err := interp.Run(m, interp.Options{Input: input})
+	if err != nil {
+		fatal(err)
+	}
+	if res.Crashed() {
+		fmt.Printf("crash: %s (%s) after %d steps\n", res.Crash, res.Msg, res.Steps)
+		os.Exit(1)
+	}
+	fmt.Printf("main returned %d (%d steps)\n", res.Ret, res.Steps)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "irrun:", err)
+	os.Exit(1)
+}

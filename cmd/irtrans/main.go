@@ -1,0 +1,105 @@
+// Command irtrans translates a textual IR file between versions — the
+// Fig. 2(c) pipeline: read with the source-version reader, translate
+// in memory, write with the target-version writer.
+//
+//	irtrans -src 12.0 -tgt 3.6 -in prog.ll [-out low.ll]
+//	irtrans -src auto -tgt 3.6 -in prog.ll      # detect the source version
+//	irtrans -load siro-12.0-3.6.json -in prog.ll  # use a saved artifact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/corpus"
+	"repro/internal/irtext"
+	"repro/internal/portable"
+	"repro/internal/synth"
+	"repro/internal/translator"
+	"repro/internal/version"
+)
+
+func main() {
+	srcFlag := flag.String("src", "", "source IR version, or \"auto\" to detect")
+	tgtFlag := flag.String("tgt", "", "target IR version")
+	in := flag.String("in", "", "input IR file")
+	out := flag.String("out", "", "output IR file (default stdout)")
+	load := flag.String("load", "", "load a saved translator artifact instead of synthesizing")
+	flag.Parse()
+	if *in == "" || (*load == "" && (*srcFlag == "" || *tgtFlag == "")) {
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *load != "" {
+		blob, err := os.ReadFile(*load)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := synth.Import(blob, synth.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		emit(out, translateWith(translator.FromResult(res), string(data)))
+		return
+	}
+
+	tgt, err := version.Parse(*tgtFlag)
+	if err != nil {
+		fatal(err)
+	}
+	var src version.V
+	if *srcFlag == "auto" {
+		hub := portable.NewHub(tgt)
+		_, detected, err := hub.DetectVersion(string(data))
+		if err != nil {
+			fatal(err)
+		}
+		src = detected
+		fmt.Fprintln(os.Stderr, "irtrans: detected source version", src)
+	} else if src, err = version.Parse(*srcFlag); err != nil {
+		fatal(err)
+	}
+	s := synth.New(src, tgt, synth.Options{})
+	res, err := s.Run(corpus.Tests(src))
+	if err != nil {
+		fatal(fmt.Errorf("synthesizing translator: %w", err))
+	}
+	emit(out, translateWith(translator.FromResult(res), string(data)))
+}
+
+func translateWith(tr *translator.Translator, src string) string {
+	m, err := irtext.Parse(src, tr.Pair.Source)
+	if err != nil {
+		fatal(fmt.Errorf("reading source IR: %w", err))
+	}
+	outMod, err := tr.Translate(m)
+	if err != nil {
+		fatal(err)
+	}
+	text, err := irtext.NewWriter(tr.Pair.Target).WriteModule(outMod)
+	if err != nil {
+		fatal(err)
+	}
+	return text
+}
+
+func emit(out *string, text string) {
+	if *out == "" {
+		fmt.Print(text)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "irtrans:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Command kerneldet runs the §6.3 kernel deployment: the driver corpus is
+// compiled with a modern compiler (old compilers reject asm goto),
+// translated down to 3.6, serialized and re-read at 3.6, and searched by
+// the similarity-based bug detector mined from security patches.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cc"
+	"repro/internal/corpus"
+	"repro/internal/ir"
+	"repro/internal/irtext"
+	"repro/internal/kernel"
+	"repro/internal/synth"
+	"repro/internal/translator"
+	"repro/internal/version"
+)
+
+func main() {
+	verbose := flag.Bool("verbose", false, "print every finding")
+	flag.Parse()
+
+	// Demonstrate the compiling approach failing first, as in §2.2.
+	first := kernel.GenerateDrivers()[0]
+	if _, err := cc.NewCompiler(version.V3_6).Compile(first.Name, first.Source); err != nil {
+		fmt.Println("compiling approach: FAILED as expected —", err)
+	}
+
+	s := synth.New(version.V14_0, version.V3_6, synth.Options{})
+	res, err := s.Run(corpus.Tests(version.V14_0))
+	if err != nil {
+		fatal(err)
+	}
+	tr := translator.FromResult(res)
+
+	drivers := kernel.GenerateDrivers()
+	mods := map[string]*ir.Module{}
+	for _, d := range drivers {
+		m, err := cc.NewCompiler(version.V14_0).Compile(d.Name, d.Source)
+		if err != nil {
+			fatal(err)
+		}
+		low, err := tr.Translate(m)
+		if err != nil {
+			fatal(err)
+		}
+		text, err := irtext.NewWriter(version.V3_6).WriteModule(low)
+		if err != nil {
+			fatal(err)
+		}
+		reloaded, err := irtext.Parse(text, version.V3_6)
+		if err != nil {
+			fatal(err)
+		}
+		reloaded.Name = d.Name
+		mods[d.Name] = reloaded
+	}
+	findings := kernel.Detect(mods, kernel.PatchDatabase())
+	if *verbose {
+		for _, f := range findings {
+			fmt.Println(" ", f)
+		}
+	}
+	fmt.Print(kernel.Summarize(len(drivers), findings).FormatSummary())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kerneldet:", err)
+	os.Exit(1)
+}

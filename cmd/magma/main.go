@@ -1,0 +1,59 @@
+// Command magma runs the Table 5 fuzzing-reproduction benchmark: compile
+// each project with the modern compiler, translate 12.0→3.6 with a
+// synthesized translator, and replay every PoC against the translated
+// build.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/corpus"
+	"repro/internal/fuzzbench"
+	"repro/internal/synth"
+	"repro/internal/translator"
+	"repro/internal/version"
+)
+
+func main() {
+	only := flag.String("project", "", "restrict to one project")
+	flag.Parse()
+
+	s := synth.New(version.V12_0, version.V3_6, synth.Options{})
+	res, err := s.Run(corpus.Tests(version.V12_0))
+	if err != nil {
+		fatal(err)
+	}
+	tr := translator.FromResult(res)
+
+	fmt.Println("Project  #T   #Insts #CVE  #PoC  #R-CVE #R-PoC  CVE-Ratio PoC-Ratio")
+	var cves, pocs, rcves, rpocs int
+	for _, p := range fuzzbench.Projects() {
+		if *only != "" && p.Name != *only {
+			continue
+		}
+		out, err := fuzzbench.RunProject(p, tr, version.V12_0, version.V3_6)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out.FormatRow())
+		if out.BackendError != "" {
+			fmt.Println("    backend failure:", out.BackendError)
+		}
+		cves += out.CVEs
+		pocs += out.PoCs
+		rcves += out.RCVEs
+		rpocs += out.RPoCs
+	}
+	if cves > 0 {
+		fmt.Printf("Total: %d/%d CVEs (%.2f%%), %d/%d PoCs (%.2f%%)\n",
+			rcves, cves, 100*float64(rcves)/float64(cves),
+			rpocs, pocs, 100*float64(rpocs)/float64(pocs))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "magma:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// Command pinpoint runs the Table 4 static-bug-detection comparison: the
+// value-flow analyzer (pinned at IR 3.6) applied to the eight benchmark
+// projects under the compiling setting (old compiler) and the translating
+// setting (modern compiler + synthesized 12.0→3.6 translator).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/cc"
+	"repro/internal/corpus"
+	"repro/internal/projects"
+	"repro/internal/synth"
+	"repro/internal/translator"
+	"repro/internal/version"
+)
+
+func main() {
+	only := flag.String("project", "", "restrict to one project")
+	verbose := flag.Bool("verbose", false, "print every differing report")
+	flag.Parse()
+
+	s := synth.New(version.V12_0, version.V3_6, synth.Options{})
+	res, err := s.Run(corpus.Tests(version.V12_0))
+	if err != nil {
+		fatal(err)
+	}
+	tr := translator.FromResult(res)
+
+	fmt.Println("Project       NPD(n/m/s)   UAF(n/m/s)   FDL(n/m/s)   ML(n/m/s)")
+	var total analysis.Cell
+	for _, p := range projects.Table4Projects() {
+		if *only != "" && p.Name != *only {
+			continue
+		}
+		oldMod, err := cc.NewCompiler(version.V3_6).Compile(p.Name, p.Source)
+		if err != nil {
+			fatal(err)
+		}
+		newMod, err := cc.NewCompiler(version.V12_0).Compile(p.Name, p.Source)
+		if err != nil {
+			fatal(err)
+		}
+		translated, err := tr.Translate(newMod)
+		if err != nil {
+			fatal(err)
+		}
+		cmp := analysis.Compare(analysis.Analyze(translated, p.Name), analysis.Analyze(oldMod, p.Name))
+		fmt.Println(analysis.FormatTable4Row(p.Name, cmp.ByType()))
+		if *verbose {
+			for _, r := range cmp.New {
+				fmt.Println("  new:", r)
+			}
+			for _, r := range cmp.Miss {
+				fmt.Println("  miss:", r)
+			}
+		}
+		total.New += len(cmp.New)
+		total.Miss += len(cmp.Miss)
+		total.Shared += len(cmp.Shared)
+	}
+	sum := total.New + total.Miss + total.Shared
+	if sum > 0 {
+		fmt.Printf("Total: new %d, miss %d, shared %d — overlap %.0f%%\n",
+			total.New, total.Miss, total.Shared, 100*float64(total.Shared)/float64(sum))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pinpoint:", err)
+	os.Exit(1)
+}

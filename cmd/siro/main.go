@@ -1,0 +1,84 @@
+// Command siro synthesizes IR translators for version pairs, the
+// Table 3 workflow of the paper.
+//
+//	siro -src 12.0 -tgt 3.6        synthesize one pair and print stats
+//	siro -all                      synthesize all ten Table 3 pairs
+//	siro -src 12.0 -tgt 3.6 -emit  also print the generated translator code
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/ir"
+	"repro/internal/synth"
+	"repro/internal/version"
+)
+
+func main() {
+	srcFlag := flag.String("src", "", "source IR version (e.g. 12.0)")
+	tgtFlag := flag.String("tgt", "", "target IR version (e.g. 3.6)")
+	all := flag.Bool("all", false, "synthesize all ten Table 3 pairs")
+	emit := flag.Bool("emit", false, "print the synthesized translator code")
+	save := flag.String("save", "", "write the synthesized translator artifact (JSON) to this file")
+	flag.Parse()
+
+	var pairs []version.Pair
+	switch {
+	case *all:
+		pairs = version.Table3Pairs
+	case *srcFlag != "" && *tgtFlag != "":
+		src, err := version.Parse(*srcFlag)
+		if err != nil {
+			fatal(err)
+		}
+		tgt, err := version.Parse(*tgtFlag)
+		if err != nil {
+			fatal(err)
+		}
+		pairs = []version.Pair{{Source: src, Target: tgt}}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fmt.Println("No.  Pair          #Common  #New  #AtomicTrans(LOC)  #InstTrans(LOC)  Time")
+	for i, p := range pairs {
+		start := time.Now()
+		s := synth.New(p.Source, p.Target, synth.Options{})
+		res, err := s.Run(corpus.Tests(p.Source))
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", p, err))
+		}
+		common := len(ir.CommonOpcodes(p.Source, p.Target))
+		newOps := len(ir.NewOpcodes(p.Source, p.Target))
+		atomicLOC := synth.CountLOC(res.RenderCandidates())
+		instLOC := synth.CountLOC(res.RenderAll())
+		fmt.Printf("%-4d %-13s %7d %5d %18d %16d  %v\n",
+			i+1, p, common, newOps, atomicLOC, instLOC, time.Since(start).Round(time.Millisecond))
+		for _, w := range res.Warnings {
+			fmt.Println("  warning:", w)
+		}
+		if *emit {
+			fmt.Println(res.RenderAll())
+		}
+		if *save != "" {
+			blob, err := res.Export()
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*save, blob, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Println("artifact written to", *save)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "siro:", err)
+	os.Exit(1)
+}

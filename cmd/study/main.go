@@ -1,0 +1,31 @@
+// Command study emits the §6.1 upgrade-study artifacts: the Table 1
+// software statistics and the Fig. 8 cumulative trend series.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/study"
+)
+
+func main() {
+	fig8 := flag.Bool("fig8", false, "print the Fig. 8 trend series")
+	table1 := flag.Bool("table1", false, "print Table 1")
+	flag.Parse()
+	if !*fig8 && !*table1 {
+		*fig8, *table1 = true, true
+	}
+	if *table1 {
+		fmt.Println("Table 1: statistics of LLVM IR-based software")
+		fmt.Print(study.FormatTable1())
+		fmt.Println()
+	}
+	if *fig8 {
+		text, api, insts := study.Totals()
+		fmt.Printf("Fig. 8: upgrading trend (totals: text %d LoC, API %d LoC, %d new instructions)\n",
+			text, api, insts)
+		fmt.Print(study.FormatTrend())
+		fmt.Println("growth periods:", study.GrowthPeriods())
+	}
+}

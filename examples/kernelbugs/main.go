@@ -1,0 +1,82 @@
+// Kernel example — the §6.3 deployment in miniature: kernel-style driver
+// code only compiles with a modern compiler (asm goto), gets translated
+// down to the analyzer's 3.6 world, and a patch-mined similarity search
+// finds the unpatched sibling of a fixed bug.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	siro "repro"
+	"repro/internal/analysis"
+	"repro/internal/ir"
+	"repro/internal/kernel"
+)
+
+const driverSource = `
+char* usb_alloc_urb(long n);
+void usb_free_urb(char* p);
+int io_check(int port);
+
+int drv_init() {
+  asm_goto("1: nop; .pushsection __jump_table");
+  return 0;
+}
+
+// patched in commit abc123: release on the error path
+int drv_probe_fixed(int port) {
+  char* urb = usb_alloc_urb(16);
+  if (io_check(port) > 0) {
+    usb_free_urb(urb);
+    return -1;
+  }
+  usb_free_urb(urb);
+  return 0;
+}
+
+// the unpatched sibling nobody noticed
+int drv_probe_sibling(int port) {
+  char* urb = usb_alloc_urb(16);
+  if (io_check(port) > 0) {
+    return -1;
+  }
+  usb_free_urb(urb);
+  return 0;
+}
+`
+
+func main() {
+	// The compiling approach is impossible: old compilers reject the
+	// kernel's asm goto.
+	if _, err := siro.CompileC("drv", driverSource, siro.V3_6); err != nil {
+		fmt.Println("compiling with 3.6:", err)
+	}
+
+	modern, err := siro.CompileC("drv", driverSource, siro.V14_0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, _, err := siro.Synthesize(siro.V14_0, siro.V3_6, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	low, err := tr.Translate(modern)
+	if err != nil {
+		log.Fatal(err)
+	}
+	low.Name = "drv"
+
+	patches := []kernel.Patch{{
+		ID: "commit-abc123", Driver: "drv", Func: "drv_probe_fixed",
+		Family: kernel.APIFamily{Acquire: "usb_alloc_urb", Release: "usb_free_urb", Type: analysis.ML},
+		Desc:   "usb: free urb on probe error path",
+	}}
+	findings := kernel.Detect(map[string]*ir.Module{"drv": low}, patches)
+	for _, f := range findings {
+		fmt.Println("finding:", f)
+	}
+	if len(findings) == 1 && findings[0].Func == "drv_probe_sibling" {
+		fmt.Println("the unpatched sibling was found through the translated IR")
+	}
+}

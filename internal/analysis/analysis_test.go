@@ -1,0 +1,346 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/ir"
+	"repro/internal/version"
+)
+
+// analyzeC compiles mini-C at the given version and analyzes it.
+func analyzeC(t *testing.T, src string, v version.V) []Report {
+	t.Helper()
+	m, err := cc.NewCompiler(v).Compile("proj", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return Analyze(m, "proj")
+}
+
+func hasBug(rs []Report, t BugType) bool {
+	for _, r := range rs {
+		if r.Type == t {
+			return true
+		}
+	}
+	return false
+}
+
+func countBugs(rs []Report, t BugType) int {
+	n := 0
+	for _, r := range rs {
+		if r.Type == t {
+			n++
+		}
+	}
+	return n
+}
+
+func TestNPDDetected(t *testing.T) {
+	rs := analyzeC(t, `
+int main() {
+  int* p = 0;
+  *p = 1;
+  return 0;
+}
+`, version.V3_6)
+	if !hasBug(rs, NPD) {
+		t.Fatalf("NPD not detected: %v", rs)
+	}
+}
+
+func TestNPDGuardSuppressed(t *testing.T) {
+	rs := analyzeC(t, `
+int main() {
+  int* p = 0;
+  if (p != 0) {
+    *p = 1;
+  }
+  return 0;
+}
+`, version.V3_6)
+	if hasBug(rs, NPD) {
+		t.Fatalf("guarded deref reported: %v", rs)
+	}
+}
+
+func TestNPDGuardEqForm(t *testing.T) {
+	rs := analyzeC(t, `
+int main() {
+  int* p = 0;
+  if (p == 0) {
+    return 1;
+  }
+  *p = 2;
+  return 0;
+}
+`, version.V3_6)
+	if hasBug(rs, NPD) {
+		t.Fatalf("eq-guarded deref reported: %v", rs)
+	}
+}
+
+func TestNPDThroughPhi(t *testing.T) {
+	rs := analyzeC(t, `
+int pick(int c) {
+  int* p = 0;
+  int x = 5;
+  if (c > 0) {
+    p = &x;
+  }
+  return *p;
+}
+
+int main() { return pick(1); }
+`, version.V3_6)
+	if !hasBug(rs, NPD) {
+		t.Fatalf("phi-carried null not detected: %v", rs)
+	}
+}
+
+func TestUAFDetected(t *testing.T) {
+	rs := analyzeC(t, `
+int main() {
+  char* p = malloc(4);
+  free(p);
+  *p = 1;
+  return 0;
+}
+`, version.V3_6)
+	if !hasBug(rs, UAF) {
+		t.Fatalf("UAF not detected: %v", rs)
+	}
+}
+
+func TestUAFKilledByReassignment(t *testing.T) {
+	rs := analyzeC(t, `
+int main() {
+  char* p = malloc(4);
+  free(p);
+  p = malloc(4);
+  *p = 1;
+  free(p);
+  return 0;
+}
+`, version.V3_6)
+	if hasBug(rs, UAF) {
+		t.Fatalf("reassigned pointer reported as UAF: %v", rs)
+	}
+}
+
+func TestDoubleFreeIsUAF(t *testing.T) {
+	rs := analyzeC(t, `
+int main() {
+  char* p = malloc(4);
+  free(p);
+  free(p);
+  return 0;
+}
+`, version.V3_6)
+	if !hasBug(rs, UAF) {
+		t.Fatalf("double free not detected: %v", rs)
+	}
+}
+
+func TestFDLDetected(t *testing.T) {
+	rs := analyzeC(t, `
+int main(int c) {
+  int fd = open();
+  if (c > 0) {
+    return 1;
+  }
+  close(fd);
+  return 0;
+}
+
+`, version.V3_6)
+	if !hasBug(rs, FDL) {
+		t.Fatalf("FDL not detected: %v", rs)
+	}
+}
+
+func TestFDLAllPathsClosed(t *testing.T) {
+	rs := analyzeC(t, `
+int main(int c) {
+  int fd = open();
+  if (c > 0) {
+    close(fd);
+    return 1;
+  }
+  close(fd);
+  return 0;
+}
+`, version.V3_6)
+	if hasBug(rs, FDL) {
+		t.Fatalf("closed fd reported leaked: %v", rs)
+	}
+}
+
+func TestMLDetected(t *testing.T) {
+	rs := analyzeC(t, `
+int main(int c) {
+  char* p = malloc(16);
+  if (c > 0) {
+    return 1;
+  }
+  free(p);
+  return 0;
+}
+`, version.V3_6)
+	if !hasBug(rs, ML) {
+		t.Fatalf("ML not detected: %v", rs)
+	}
+}
+
+func TestMLReturnEscapes(t *testing.T) {
+	rs := analyzeC(t, `
+char* make() {
+  char* p = malloc(16);
+  return p;
+}
+
+int main() {
+  char* q = make();
+  free(q);
+  return 0;
+}
+`, version.V3_6)
+	if hasBug(rs, ML) {
+		t.Fatalf("ownership-transferring return reported: %v", rs)
+	}
+}
+
+func TestMLCallEscapes(t *testing.T) {
+	rs := analyzeC(t, `
+int main() {
+  char* p = malloc(16);
+  consume(p);
+  return 0;
+}
+`, version.V3_6)
+	if hasBug(rs, ML) {
+		t.Fatalf("escaped-to-callee pointer reported: %v", rs)
+	}
+}
+
+// The two version-difference levers of Table 4:
+
+func TestDeadCodeBugOnlyInOldIR(t *testing.T) {
+	src := `
+int main() {
+  if (0) {
+    int* p = 0;
+    *p = 1;
+  }
+  return 0;
+}
+`
+	oldReports := analyzeC(t, src, version.V3_6)
+	newReports := analyzeC(t, src, version.V12_0)
+	if !hasBug(oldReports, NPD) {
+		t.Error("old IR should retain the dead-code NPD")
+	}
+	if hasBug(newReports, NPD) {
+		t.Error("new IR should have pruned the dead-code NPD")
+	}
+	cmp := Compare(newReports, oldReports)
+	if len(cmp.Miss) != 1 || len(cmp.New) != 0 {
+		t.Errorf("compare = new %d miss %d shared %d", len(cmp.New), len(cmp.Miss), len(cmp.Shared))
+	}
+}
+
+func TestWrapperBugOnlyInNewIR(t *testing.T) {
+	src := `
+int* get_null() { return 0; }
+
+int main() {
+  int* p = get_null();
+  *p = 1;
+  return 0;
+}
+`
+	oldReports := analyzeC(t, src, version.V3_6)
+	newReports := analyzeC(t, src, version.V12_0)
+	if hasBug(oldReports, NPD) {
+		t.Error("intraprocedural analyzer should miss the wrapper NPD in old IR")
+	}
+	if !hasBug(newReports, NPD) {
+		t.Error("inlined new IR should expose the wrapper NPD")
+	}
+	cmp := Compare(newReports, oldReports)
+	if len(cmp.New) != 1 || len(cmp.Miss) != 0 {
+		t.Errorf("compare = new %d miss %d shared %d", len(cmp.New), len(cmp.Miss), len(cmp.Shared))
+	}
+}
+
+func TestSharedBugAcrossVersions(t *testing.T) {
+	src := `
+int main() {
+  int* p = 0;
+  *p = 7;
+  return 0;
+}
+`
+	oldReports := analyzeC(t, src, version.V3_6)
+	newReports := analyzeC(t, src, version.V12_0)
+	cmp := Compare(newReports, oldReports)
+	if len(cmp.Shared) != 1 || len(cmp.New) != 0 || len(cmp.Miss) != 0 {
+		t.Errorf("compare = new %d miss %d shared %d", len(cmp.New), len(cmp.Miss), len(cmp.Shared))
+	}
+	if cmp.Accuracy() != 1 {
+		t.Errorf("accuracy = %f", cmp.Accuracy())
+	}
+}
+
+func TestByTypeAndFormatting(t *testing.T) {
+	cmp := CompareResult{
+		New:    []Report{{Type: NPD}},
+		Miss:   []Report{{Type: UAF}, {Type: UAF}},
+		Shared: []Report{{Type: ML}, {Type: ML}, {Type: ML}},
+	}
+	byT := cmp.ByType()
+	if byT[NPD].New != 1 || byT[UAF].Miss != 2 || byT[ML].Shared != 3 {
+		t.Fatalf("ByType = %v", byT)
+	}
+	row := FormatTable4Row("proj", byT)
+	if len(row) == 0 {
+		t.Fatal("empty row")
+	}
+}
+
+func TestDominators(t *testing.T) {
+	m, err := cc.NewCompiler(version.V3_6).Compile("t", `
+int main(int c) {
+  int x = 0;
+  if (c > 0) {
+    x = 1;
+  } else {
+    x = 2;
+  }
+  return x;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Func("main")
+	cfg := NewCFG(f)
+	entry := f.Blocks[0]
+	for _, b := range f.Blocks {
+		if !cfg.Dominates(entry, b) {
+			t.Errorf("entry does not dominate %s", b.Name)
+		}
+	}
+	// then-block must not dominate the join block.
+	var then, join *ir.Block
+	for _, b := range f.Blocks {
+		if len(cfg.Preds[b]) == 2 {
+			join = b
+		}
+	}
+	then = entry.Succs()[0]
+	if join == nil || cfg.Dominates(then, join) {
+		t.Errorf("then %v dominates join %v", then, join)
+	}
+}

@@ -1,0 +1,461 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// BugType is one of the four classes evaluated in Table 4.
+type BugType string
+
+// The bug classes.
+const (
+	NPD BugType = "NPD" // null pointer dereference
+	UAF BugType = "UAF" // use after free
+	FDL BugType = "FDL" // file descriptor leak
+	ML  BugType = "ML"  // memory leak
+)
+
+// AllBugTypes lists the four classes in Table 4 column order.
+var AllBugTypes = []BugType{NPD, UAF, FDL, ML}
+
+// Report is one bug report. Identity for the two-setting comparison is
+// (Project, Func, Type, Line), matching the paper's trace comparison by
+// file name, line number, and description.
+type Report struct {
+	Type    BugType
+	Project string
+	Func    string
+	Line    int
+	Var     string
+	Trace   []string
+}
+
+// Key is the comparison identity of the report.
+func (r Report) Key() string {
+	return fmt.Sprintf("%s|%s|%s|%d", r.Project, r.Func, r.Type, r.Line)
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("[%s] %s @%s line %d (%s)", r.Type, r.Project, r.Func, r.Line, r.Var)
+}
+
+// root identifies the origin of a pointer-ish value: either an SSA value
+// or a memory slot (alloca/global) it is loaded from.
+type root struct {
+	mem ir.Value // alloca instruction or global; nil for SSA roots
+	ssa ir.Value
+}
+
+func (r root) key() ir.Value {
+	if r.mem != nil {
+		return r.mem
+	}
+	return r.ssa
+}
+
+// rootOf walks casts, freezes, and GEPs back to the defining origin.
+func rootOf(v ir.Value) root {
+	for {
+		inst, ok := v.(*ir.Instruction)
+		if !ok {
+			return root{ssa: v}
+		}
+		switch {
+		case inst.Op == ir.BitCast || inst.Op == ir.Freeze || inst.Op == ir.AddrSpaceCast ||
+			inst.Op == ir.PtrToInt || inst.Op == ir.IntToPtr ||
+			inst.Op == ir.Trunc || inst.Op == ir.ZExt || inst.Op == ir.SExt:
+			v = inst.Operands[0]
+		case inst.Op == ir.GetElementPtr:
+			v = inst.Operands[0]
+		case inst.Op == ir.Load:
+			base := inst.Operands[0]
+			// Unwrap casts on the address too.
+			for {
+				bi, ok := base.(*ir.Instruction)
+				if ok && (bi.Op == ir.BitCast || bi.Op == ir.AddrSpaceCast) {
+					base = bi.Operands[0]
+					continue
+				}
+				break
+			}
+			switch b := base.(type) {
+			case *ir.Instruction:
+				if b.Op == ir.Alloca {
+					return root{mem: b}
+				}
+				return root{ssa: inst}
+			case *ir.Global:
+				return root{mem: b}
+			default:
+				return root{ssa: inst}
+			}
+		default:
+			return root{ssa: inst}
+		}
+	}
+}
+
+// analyzer carries per-function analysis state.
+type analyzer struct {
+	project  string
+	f        *ir.Function
+	cfg      *CFG
+	reports  *[]Report
+	nullMemo map[ir.Value]bool
+}
+
+// Analyze runs all four detectors over every function of m.
+func Analyze(m *ir.Module, project string) []Report {
+	var out []Report
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		a := &analyzer{project: project, f: f, cfg: NewCFG(f), reports: &out,
+			nullMemo: map[ir.Value]bool{}}
+		a.detectNPD()
+		a.detectUAF()
+		a.detectLeaks("open", "close", FDL)
+		a.detectLeaks("malloc", "free", ML)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+func (a *analyzer) report(t BugType, line int, varName string, trace ...string) {
+	*a.reports = append(*a.reports, Report{
+		Type: t, Project: a.project, Func: a.f.Name, Line: line, Var: varName, Trace: trace,
+	})
+}
+
+// --- NPD ---
+
+// mayNull computes whether a value can evaluate to null, chasing SSA
+// def-use edges and stores through stack slots.
+func (a *analyzer) mayNull(v ir.Value) bool {
+	if done, ok := a.nullMemo[v]; ok {
+		return done
+	}
+	a.nullMemo[v] = false // cycle guard: assume non-null while computing
+	res := a.mayNullUncached(v)
+	a.nullMemo[v] = res
+	return res
+}
+
+func (a *analyzer) mayNullUncached(v ir.Value) bool {
+	switch x := v.(type) {
+	case *ir.ConstNull:
+		return true
+	case *ir.Instruction:
+		switch x.Op {
+		case ir.BitCast, ir.Freeze, ir.AddrSpaceCast:
+			return a.mayNull(x.Operands[0])
+		case ir.Phi:
+			for n := 0; n < x.NumIncoming(); n++ {
+				iv, _ := x.PhiIncoming(n)
+				if a.mayNull(iv) {
+					return true
+				}
+			}
+			return false
+		case ir.Select:
+			return a.mayNull(x.Operands[1]) || a.mayNull(x.Operands[2])
+		case ir.Load:
+			r := rootOf(x)
+			if r.mem == nil {
+				return false
+			}
+			// Any store of a may-null value into the slot taints loads.
+			for _, b := range a.f.Blocks {
+				for _, i := range b.Insts {
+					if i.Op == ir.Store {
+						sr := rootOf(i.Operands[1])
+						if sr.key() == r.mem && a.mayNull(i.Operands[0]) {
+							return true
+						}
+					}
+				}
+			}
+			return false
+		}
+	}
+	return false
+}
+
+// guarded reports whether the dereference block is protected by a
+// dominating null check on the same value-flow alias class.
+func (a *analyzer) guarded(addr ir.Value, at *ir.Block) bool {
+	aliases := a.aliasSet(addr)
+	for _, b := range a.f.Blocks {
+		term := b.Terminator()
+		if term == nil || !term.IsCondBr() {
+			continue
+		}
+		cmp, ok := term.Operands[0].(*ir.Instruction)
+		if !ok || cmp.Op != ir.ICmp {
+			continue
+		}
+		if cmp.Attrs.IPred != ir.IntEQ && cmp.Attrs.IPred != ir.IntNE {
+			continue
+		}
+		var checked ir.Value
+		switch {
+		case isNullConst(cmp.Operands[1]):
+			checked = cmp.Operands[0]
+		case isNullConst(cmp.Operands[0]):
+			checked = cmp.Operands[1]
+		default:
+			continue
+		}
+		ck := rootOf(checked).key()
+		if !aliases[ck] && !a.aliasSet(checked)[rootOf(addr).key()] {
+			continue
+		}
+		nonNullSucc := term.Operands[1].(*ir.Block) // taken when cond true
+		if cmp.Attrs.IPred == ir.IntEQ {
+			nonNullSucc = term.Operands[2].(*ir.Block) // p == null false edge
+		}
+		if a.cfg.Dominates(nonNullSucc, at) {
+			return true
+		}
+	}
+	return false
+}
+
+func isNullConst(v ir.Value) bool {
+	_, ok := v.(*ir.ConstNull)
+	return ok
+}
+
+func (a *analyzer) detectNPD() {
+	seen := map[string]bool{}
+	for _, b := range a.f.Blocks {
+		for _, inst := range b.Insts {
+			var addr ir.Value
+			switch inst.Op {
+			case ir.Load:
+				addr = inst.Operands[0]
+			case ir.Store:
+				addr = inst.Operands[1]
+			default:
+				continue
+			}
+			if !a.mayNull(addr) {
+				continue
+			}
+			r := rootOf(addr)
+			if a.guarded(addr, b) {
+				continue
+			}
+			key := fmt.Sprintf("%d", inst.Attrs.Line)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			a.report(NPD, inst.Attrs.Line, nameOf(r),
+				fmt.Sprintf("null value flows into dereference at line %d", inst.Attrs.Line))
+		}
+	}
+}
+
+func nameOf(r root) string {
+	switch v := r.key().(type) {
+	case *ir.Instruction:
+		if v.Name != "" {
+			return v.Name
+		}
+	case *ir.Global:
+		return v.Name
+	case *ir.Param:
+		return v.Name
+	case *ir.ConstNull:
+		return "null"
+	}
+	return "ptr"
+}
+
+// aliasSet computes the value-flow alias class of v: its root plus the
+// stack slots it is stored into plus the values stored into those slots.
+// This bridges the representation gap between unoptimized IR (everything
+// through memory) and forwarding IR (direct SSA uses).
+func (a *analyzer) aliasSet(v ir.Value) map[ir.Value]bool {
+	out := map[ir.Value]bool{rootOf(v).key(): true}
+	// Forward closure only: the tracked value flows into slots, and loads
+	// from those slots root back to the slot key. The closure is
+	// deliberately not backward — a later reassignment of the slot must
+	// NOT alias the tracked value, so that kill detection stays sound.
+	for round := 0; round < 2; round++ {
+		for _, b := range a.f.Blocks {
+			for _, i := range b.Insts {
+				if i.Op != ir.Store {
+					continue
+				}
+				src := rootOf(i.Operands[0]).key()
+				dst := rootOf(i.Operands[1]).key()
+				if out[src] && isAllocaVal(dst) {
+					out[dst] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func isAllocaVal(v ir.Value) bool {
+	i, ok := v.(*ir.Instruction)
+	return ok && i.Op == ir.Alloca
+}
+
+// --- UAF ---
+
+// stripCasts peels pure cast instructions without following loads.
+func stripCasts(v ir.Value) ir.Value {
+	for {
+		i, ok := v.(*ir.Instruction)
+		if !ok {
+			return v
+		}
+		switch i.Op {
+		case ir.BitCast, ir.AddrSpaceCast, ir.Freeze, ir.PtrToInt, ir.IntToPtr:
+			v = i.Operands[0]
+		default:
+			return v
+		}
+	}
+}
+
+func (a *analyzer) detectUAF() {
+	for _, b := range a.f.Blocks {
+		for _, inst := range b.Insts {
+			if !isCallTo(inst, "free") {
+				continue
+			}
+			freed := rootOf(inst.Operands[1])
+			aliases := a.aliasSet(inst.Operands[1])
+			free := inst
+			reported := map[int]bool{}
+			a.cfg.WalkAfter(free, func(use *ir.Instruction) bool {
+				switch use.Op {
+				case ir.Store:
+					dst := use.Operands[1]
+					if isAllocaVal(stripCasts(dst)) {
+						// Writing the slot itself: a reassignment kills
+						// tracking when the new value is not an alias.
+						if aliases[rootOf(dst).key()] &&
+							!aliases[rootOf(use.Operands[0]).key()] {
+							return false
+						}
+						return true
+					}
+					if aliases[rootOf(dst).key()] {
+						a.reportUAFOnce(reported, use, freed) // write through dangling ptr
+					}
+				case ir.Load:
+					if isAllocaVal(stripCasts(use.Operands[0])) {
+						return true // re-reading the slot is not a use
+					}
+					if aliases[rootOf(use.Operands[0]).key()] {
+						a.reportUAFOnce(reported, use, freed)
+					}
+				case ir.Call:
+					if isCallTo(use, "free") && aliases[rootOf(use.Operands[1]).key()] {
+						a.reportUAFOnce(reported, use, freed) // double free
+						return false
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func (a *analyzer) reportUAFOnce(seen map[int]bool, use *ir.Instruction, freed root) {
+	if seen[use.Attrs.Line] {
+		return
+	}
+	seen[use.Attrs.Line] = true
+	a.report(UAF, use.Attrs.Line, nameOf(freed),
+		fmt.Sprintf("use at line %d after free", use.Attrs.Line))
+}
+
+func isCallTo(inst *ir.Instruction, name string) bool {
+	if inst.Op != ir.Call || len(inst.Operands) < 1 {
+		return false
+	}
+	f := inst.CalledFunction()
+	return f != nil && f.Name == name && len(inst.CallArgs()) >= minArgs(name)
+}
+
+func minArgs(name string) int {
+	switch name {
+	case "open":
+		return 0
+	default:
+		return 1
+	}
+}
+
+// --- resource leaks (FDL via open/close, ML via malloc/free) ---
+
+func (a *analyzer) detectLeaks(acquire, release string, t BugType) {
+	for _, b := range a.f.Blocks {
+		for _, inst := range b.Insts {
+			if !isCallTo(inst, acquire) {
+				continue
+			}
+			res := a.resourceRoot(inst)
+			aliases := a.aliasSet(inst)
+			aliases[res.key()] = true
+			isKill := func(i *ir.Instruction) bool {
+				switch i.Op {
+				case ir.Call:
+					if isCallTo(i, release) && aliases[rootOf(i.Operands[1]).key()] {
+						return true
+					}
+					// Passing the resource to any other function is an
+					// escape: ownership may transfer.
+					if !isCallTo(i, release) {
+						for _, arg := range i.CallArgs() {
+							if aliases[rootOf(arg).key()] {
+								return true
+							}
+						}
+					}
+				case ir.Ret:
+					// Returning the resource transfers ownership.
+					if len(i.Operands) == 1 && aliases[rootOf(i.Operands[0]).key()] {
+						return true
+					}
+				case ir.Store:
+					// Storing to anything but a local slot escapes.
+					if aliases[rootOf(i.Operands[0]).key()] &&
+						!isAllocaVal(stripCasts(i.Operands[1])) {
+						return true
+					}
+				}
+				return false
+			}
+			if a.cfg.PathAvoiding(inst, isKill) {
+				a.report(t, inst.Attrs.Line, nameOf(res),
+					fmt.Sprintf("%s at line %d not released on some path", acquire, inst.Attrs.Line))
+			}
+		}
+	}
+}
+
+// resourceRoot picks the tracking root for an acquire call: the slot it
+// is stored into when the frontend spills it, otherwise the SSA result.
+func (a *analyzer) resourceRoot(acq *ir.Instruction) root {
+	idx := instIndex(acq)
+	for _, later := range acq.Parent.Insts[idx+1:] {
+		if later.Op == ir.Store && later.Operands[0] == acq {
+			if al, ok := later.Operands[1].(*ir.Instruction); ok && al.Op == ir.Alloca {
+				return root{mem: al}
+			}
+		}
+	}
+	return root{ssa: acq}
+}

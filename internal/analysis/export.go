@@ -1,0 +1,28 @@
+package analysis
+
+import "repro/internal/ir"
+
+// RootValue exposes the value-flow root of v for client analyses (the
+// kernel similarity detector builds on it).
+func RootValue(v ir.Value) ir.Value { return rootOf(v).key() }
+
+// AliasSetOf exposes the forward alias closure of v within f.
+func AliasSetOf(f *ir.Function, v ir.Value) map[ir.Value]bool {
+	a := &analyzer{f: f, nullMemo: map[ir.Value]bool{}}
+	return a.aliasSet(v)
+}
+
+// NullGuarded reports whether block `at` in f is protected by a
+// dominating null check on v's root.
+func NullGuarded(cfg *CFG, f *ir.Function, v ir.Value, at *ir.Block) bool {
+	a := &analyzer{f: f, cfg: cfg, nullMemo: map[ir.Value]bool{}}
+	return a.guarded(v, at)
+}
+
+// IsCallTo exposes the named-call matcher.
+func IsCallTo(inst *ir.Instruction, name string) bool { return isCallTo(inst, name) }
+
+// IsSlotAccess reports whether addr names a stack slot directly (a spill
+// or reload of the slot), as opposed to dereferencing a pointer value
+// held in it.
+func IsSlotAccess(addr ir.Value) bool { return isAllocaVal(stripCasts(addr)) }

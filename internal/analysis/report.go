@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CompareResult is the per-setting report comparison of Table 4: New are
+// reports found only by the translating setting, Miss only by the
+// compiling setting, Shared by both.
+type CompareResult struct {
+	New    []Report
+	Miss   []Report
+	Shared []Report
+}
+
+// Compare matches report sets from the translating and compiling
+// settings by the paper's trace identity.
+func Compare(translating, compiling []Report) CompareResult {
+	tKeys := map[string]Report{}
+	for _, r := range translating {
+		tKeys[r.Key()] = r
+	}
+	cKeys := map[string]Report{}
+	for _, r := range compiling {
+		cKeys[r.Key()] = r
+	}
+	var out CompareResult
+	for k, r := range tKeys {
+		if _, ok := cKeys[k]; ok {
+			out.Shared = append(out.Shared, r)
+		} else {
+			out.New = append(out.New, r)
+		}
+	}
+	for k, r := range cKeys {
+		if _, ok := tKeys[k]; !ok {
+			out.Miss = append(out.Miss, r)
+		}
+	}
+	sortReports(out.New)
+	sortReports(out.Miss)
+	sortReports(out.Shared)
+	return out
+}
+
+func sortReports(rs []Report) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Key() < rs[j].Key() })
+}
+
+// Cell is one (new, miss, shared) triple of Table 4.
+type Cell struct {
+	New, Miss, Shared int
+}
+
+// ByType buckets a comparison per bug type, producing one Table 4 row.
+func (c CompareResult) ByType() map[BugType]Cell {
+	out := map[BugType]Cell{}
+	count := func(rs []Report, f func(*Cell)) {
+		for _, r := range rs {
+			cell := out[r.Type]
+			f(&cell)
+			out[r.Type] = cell
+		}
+	}
+	count(c.New, func(cl *Cell) { cl.New++ })
+	count(c.Miss, func(cl *Cell) { cl.Miss++ })
+	count(c.Shared, func(cl *Cell) { cl.Shared++ })
+	return out
+}
+
+// Accuracy returns the paper's overlap metric: shared / (shared + new + miss).
+func (c CompareResult) Accuracy() float64 {
+	total := len(c.Shared) + len(c.New) + len(c.Miss)
+	if total == 0 {
+		return 1
+	}
+	return float64(len(c.Shared)) / float64(total)
+}
+
+// FormatTable4Row renders one project row in the layout of Table 4.
+func FormatTable4Row(project string, byType map[BugType]Cell) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", project)
+	for _, t := range AllBugTypes {
+		cell := byType[t]
+		fmt.Fprintf(&b, "  %2d %2d %3d", cell.New, cell.Miss, cell.Shared)
+	}
+	return b.String()
+}

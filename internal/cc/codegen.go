@@ -1,0 +1,462 @@
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/version"
+)
+
+// genFeatures are the version-dependent code-generation behaviours.
+type genFeatures struct {
+	// DeadBranchElim prunes if(0)/if(1) branches (≥9.0).
+	DeadBranchElim bool
+	// InlineTrivial inlines calls to single-return-expression functions
+	// (≥9.0).
+	InlineTrivial bool
+	// BlockForward forwards stored values to later loads within a basic
+	// block for non-address-taken scalars (≥8.0).
+	BlockForward bool
+	// FreezeUninit materializes reads of provably uninitialized locals as
+	// freeze(undef) instead of a stack load (≥10.0).
+	FreezeUninit bool
+	// AsmGoto accepts the asm_goto statement, lowered to callbr (≥9.0).
+	AsmGoto bool
+}
+
+func featuresFor(v version.V) genFeatures {
+	return genFeatures{
+		DeadBranchElim: v.AtLeast(version.V9_0),
+		InlineTrivial:  v.AtLeast(version.V9_0),
+		BlockForward:   v.AtLeast(version.V8_0),
+		FreezeUninit:   v.AtLeast(version.V10_0),
+		AsmGoto:        v.AtLeast(version.V9_0),
+	}
+}
+
+// Compiler compiles mini-C to IR at a fixed version.
+type Compiler struct {
+	Ver  version.V
+	feat genFeatures
+}
+
+// NewCompiler returns a compiler emitting IR of version v.
+func NewCompiler(v version.V) *Compiler {
+	return &Compiler{Ver: v, feat: featuresFor(v)}
+}
+
+// Compile parses and compiles a source string into a verified module.
+func (c *Compiler) Compile(name, src string) (*ir.Module, error) {
+	file, err := ParseFile(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return c.CompileFile(file)
+}
+
+// CompileFile compiles a parsed file.
+func (c *Compiler) CompileFile(file *File) (*ir.Module, error) {
+	m := ir.NewModule(file.Name, c.Ver)
+	for _, g := range file.Globals {
+		t := c.irType(g.Ty)
+		content := t
+		if g.ArrLen > 0 {
+			content = ir.Arr(g.ArrLen, t)
+		}
+		ng := &ir.Global{Name: g.Name, Content: content}
+		if g.HasIni {
+			ng.Init = ir.NewConstInt(t, g.Init)
+		} else {
+			ng.Init = ir.ZeroOf(content)
+		}
+		m.AddGlobal(ng)
+	}
+	// Declare every function first so call order does not matter.
+	byName := map[string]*Func{}
+	for _, fn := range file.Funcs {
+		byName[fn.Name] = fn
+		var ptys []*ir.Type
+		var pnames []string
+		for _, p := range fn.Params {
+			ptys = append(ptys, c.irType(p.Ty))
+			pnames = append(pnames, p.Name)
+		}
+		m.AddFunc(ir.NewFunction(fn.Name, ir.Func(c.irType(fn.Ret), ptys, false), pnames))
+	}
+	for _, fn := range file.Funcs {
+		if fn.Body == nil {
+			continue
+		}
+		g := &fnGen{c: c, m: m, file: byName, fn: fn, f: m.Func(fn.Name)}
+		if err := g.run(); err != nil {
+			return nil, fmt.Errorf("cc: @%s: %w", fn.Name, err)
+		}
+	}
+	if err := ir.Verify(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (c *Compiler) irType(t CType) *ir.Type {
+	if t.Stars > 0 {
+		return ir.Ptr(c.irType(t.Deref()))
+	}
+	switch t.Base {
+	case "int":
+		return ir.I32
+	case "char":
+		return ir.I8
+	case "long":
+		return ir.I64
+	case "double":
+		return ir.F64
+	case "void":
+		return ir.Void
+	}
+	return ir.I32
+}
+
+// varInfo tracks one local variable.
+type varInfo struct {
+	slot      *ir.Instruction // alloca
+	ty        CType
+	arrElem   CType
+	isArr     bool
+	addrTaken bool
+	stored    bool
+}
+
+// fnGen compiles one function body.
+type fnGen struct {
+	c       *Compiler
+	m       *ir.Module
+	file    map[string]*Func
+	fn      *Func
+	f       *ir.Function
+	b       *ir.Builder
+	vars    map[string]*varInfo
+	fwd     map[string]ir.Value // per-block store-to-load forwarding
+	inlined map[string]typed    // active trivial-inline parameter bindings
+	inEntry bool
+	blockN  int
+}
+
+// typed pairs a value with its mini-C type.
+type typed struct {
+	v ir.Value
+	t CType
+}
+
+func (g *fnGen) run() error {
+	g.b = ir.NewBuilder(g.f)
+	g.b.NewBlock("entry")
+	g.vars = map[string]*varInfo{}
+	g.fwd = map[string]ir.Value{}
+	g.inEntry = true
+	// Spill parameters to stack slots, as unoptimized frontends do.
+	for i, p := range g.fn.Params {
+		slot := g.alloca(g.c.irType(p.Ty), p.Name+".addr", p.Line())
+		g.store(g.f.Params[i], slot, 0)
+		g.vars[p.Name] = &varInfo{slot: slot, ty: p.Ty, stored: true}
+		g.fwd[p.Name] = g.f.Params[i]
+	}
+	if err := g.stmt(g.fn.Body); err != nil {
+		return err
+	}
+	// Implicit return for falling off the end.
+	if g.b.Cur != nil && g.b.Cur.Terminator() == nil {
+		if g.fn.Ret.Base == "void" && g.fn.Ret.Stars == 0 {
+			g.b.RetVoid()
+		} else {
+			g.b.Ret(ir.ZeroOf(g.c.irType(g.fn.Ret)))
+		}
+	}
+	return nil
+}
+
+// Line returns the declaration line of a parameter (approximated by the
+// function's line).
+func (p Param) Line() int { return 0 }
+
+func (g *fnGen) alloca(t *ir.Type, name string, line int) *ir.Instruction {
+	a := g.b.Alloca(t)
+	a.Name = name
+	a.Attrs.Line = line
+	return a
+}
+
+func (g *fnGen) store(v, p ir.Value, line int) {
+	st := g.b.Store(v, p)
+	st.Attrs.Line = line
+}
+
+// newBlock starts a new basic block and invalidates the forwarding cache.
+func (g *fnGen) newBlock(hint string) *ir.Block {
+	g.blockN++
+	b := g.f.AddBlock(fmt.Sprintf("%s%d", hint, g.blockN))
+	g.fwd = map[string]ir.Value{}
+	g.inEntry = false
+	return b
+}
+
+func (g *fnGen) at(b *ir.Block) {
+	g.b.At(b)
+	g.fwd = map[string]ir.Value{}
+	g.inEntry = false
+}
+
+func (g *fnGen) stmt(s *Stmt) error {
+	switch s.Kind {
+	case "block":
+		for _, sub := range s.Body {
+			if g.b.Cur.Terminator() != nil {
+				return nil // unreachable trailing code is dropped
+			}
+			if err := g.stmt(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case "decl":
+		elem := g.c.irType(s.VarTy)
+		vi := &varInfo{ty: s.VarTy}
+		if s.ArrLen > 0 {
+			vi.isArr = true
+			vi.arrElem = s.VarTy
+			vi.slot = g.alloca(ir.Arr(s.ArrLen, elem), s.VarNm, s.Line)
+		} else {
+			vi.slot = g.alloca(elem, s.VarNm, s.Line)
+		}
+		g.vars[s.VarNm] = vi
+		if s.E != nil {
+			val, err := g.rvalueAs(s.E, s.VarTy)
+			if err != nil {
+				return err
+			}
+			g.store(val, vi.slot, s.Line)
+			vi.stored = true
+			if g.c.feat.BlockForward && !vi.addrTaken && !vi.isArr {
+				g.fwd[s.VarNm] = val
+			}
+		}
+		return nil
+
+	case "expr":
+		_, _, err := g.rvalue(s.E)
+		return err
+
+	case "return":
+		if s.E == nil {
+			g.b.RetVoid().Attrs.Line = s.Line
+			return nil
+		}
+		v, err := g.rvalueAs(s.E, g.fn.Ret)
+		if err != nil {
+			return err
+		}
+		g.b.Ret(v).Attrs.Line = s.Line
+		return nil
+
+	case "if":
+		// Dead-branch elimination: newer compilers fold constant
+		// conditions and emit only the live arm.
+		if g.c.feat.DeadBranchElim {
+			if cv, ok := foldConst(s.Cond); ok {
+				if cv != 0 {
+					return g.stmt(s.Then)
+				}
+				if s.Else != nil {
+					return g.stmt(s.Else)
+				}
+				return nil
+			}
+		}
+		cond, err := g.condValue(s.Cond)
+		if err != nil {
+			return err
+		}
+		thenB := g.newBlock("if.then")
+		var elseB *ir.Block
+		if s.Else != nil {
+			elseB = g.newBlock("if.else")
+		}
+		endB := g.newBlock("if.end")
+		if elseB == nil {
+			elseB = endB
+		}
+		g.b.CondBr(cond, thenB, elseB).Attrs.Line = s.Line
+		g.at(thenB)
+		if err := g.stmt(s.Then); err != nil {
+			return err
+		}
+		if g.b.Cur.Terminator() == nil {
+			g.b.Br(endB)
+		}
+		if s.Else != nil {
+			g.at(elseB)
+			if err := g.stmt(s.Else); err != nil {
+				return err
+			}
+			if g.b.Cur.Terminator() == nil {
+				g.b.Br(endB)
+			}
+		}
+		g.at(endB)
+		return nil
+
+	case "while":
+		condB := g.newBlock("while.cond")
+		bodyB := g.newBlock("while.body")
+		endB := g.newBlock("while.end")
+		g.b.Br(condB)
+		g.at(condB)
+		cond, err := g.condValue(s.Cond)
+		if err != nil {
+			return err
+		}
+		g.b.CondBr(cond, bodyB, endB).Attrs.Line = s.Line
+		g.at(bodyB)
+		if err := g.stmt(s.Then); err != nil {
+			return err
+		}
+		if g.b.Cur.Terminator() == nil {
+			g.b.Br(condB)
+		}
+		g.at(endB)
+		return nil
+
+	case "for":
+		if s.Init != nil {
+			if err := g.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		condB := g.newBlock("for.cond")
+		bodyB := g.newBlock("for.body")
+		endB := g.newBlock("for.end")
+		g.b.Br(condB)
+		g.at(condB)
+		if s.Cond != nil {
+			cond, err := g.condValue(s.Cond)
+			if err != nil {
+				return err
+			}
+			g.b.CondBr(cond, bodyB, endB).Attrs.Line = s.Line
+		} else {
+			g.b.Br(bodyB)
+		}
+		g.at(bodyB)
+		if err := g.stmt(s.Then); err != nil {
+			return err
+		}
+		if g.b.Cur.Terminator() == nil {
+			if s.Post != nil {
+				if _, _, err := g.rvalue(s.Post); err != nil {
+					return err
+				}
+			}
+			g.b.Br(condB)
+		}
+		g.at(endB)
+		return nil
+
+	case "asm":
+		asm := &ir.InlineAsm{Typ: ir.Func(ir.Void, nil, false), Asm: s.Asm, Constraints: ""}
+		if isModernAsm(s.Asm) {
+			asm.BackendMin = version.V9_0.String()
+		}
+		g.b.Call(asm).Attrs.Line = s.Line
+		return nil
+
+	case "asmgoto":
+		if !g.c.feat.AsmGoto {
+			return fmt.Errorf("line %d: asm goto requires compiler >= 9.0 (this compiler is %s)", s.Line, g.c.Ver)
+		}
+		asm := &ir.InlineAsm{Typ: ir.Func(ir.Void, nil, false), Asm: s.Asm, Constraints: "X"}
+		next := g.newBlock("asmgoto.cont")
+		cb := &ir.Instruction{Op: ir.CallBr, Typ: ir.Void,
+			Operands: []ir.Value{asm, next},
+			Attrs:    ir.Attrs{CallTy: asm.Typ, NumIndire: 0, Line: s.Line}}
+		g.b.Emit(cb)
+		g.at(next)
+		return nil
+	}
+	return fmt.Errorf("line %d: unknown statement %q", s.Line, s.Kind)
+}
+
+// isModernAsm reports whether an inline-asm blob hard-codes hardware
+// instructions only modern backends can lower — the php failure mode of
+// Table 5.
+func isModernAsm(s string) bool {
+	return len(s) > 0 && s[0] == '!'
+}
+
+// foldConst evaluates integer-constant expressions at the AST level.
+func foldConst(e *Expr) (int64, bool) {
+	switch e.Kind {
+	case "num":
+		return e.Num, true
+	case "un":
+		v, ok := foldConst(e.L)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case "-":
+			return -v, true
+		case "!":
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+	case "bin":
+		l, ok1 := foldConst(e.L)
+		r, ok2 := foldConst(e.R)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch e.Op {
+		case "+":
+			return l + r, true
+		case "-":
+			return l - r, true
+		case "*":
+			return l * r, true
+		case "/":
+			if r != 0 {
+				return l / r, true
+			}
+		case "%":
+			if r != 0 {
+				return l % r, true
+			}
+		case "==":
+			return b2i(l == r), true
+		case "!=":
+			return b2i(l != r), true
+		case "<":
+			return b2i(l < r), true
+		case ">":
+			return b2i(l > r), true
+		case "<=":
+			return b2i(l <= r), true
+		case ">=":
+			return b2i(l >= r), true
+		case "&&":
+			return b2i(l != 0 && r != 0), true
+		case "||":
+			return b2i(l != 0 || r != 0), true
+		}
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,648 @@
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// builtin external function signatures, modelled on the interpreter's
+// intrinsics.
+var builtins = map[string]struct {
+	ret    CType
+	params []CType
+}{
+	"malloc": {CType{"char", 1}, []CType{{"long", 0}}},
+	"free":   {CType{"void", 0}, []CType{{"char", 1}}},
+	"open":   {CType{"int", 0}, nil},
+	"close":  {CType{"int", 0}, []CType{{"int", 0}}},
+	"input":  {CType{"char", 0}, []CType{{"int", 0}}},
+	"abort":  {CType{"void", 0}, nil},
+	"printf": {CType{"int", 0}, []CType{{"char", 1}}},
+	"memset": {CType{"char", 1}, []CType{{"char", 1}, {"int", 0}, {"long", 0}}},
+}
+
+// externName maps mini-C builtins onto interpreter intrinsics.
+func externName(name string) string {
+	if name == "input" {
+		return "siro.input"
+	}
+	return name
+}
+
+// rvalue generates an expression and returns the value with its type.
+func (g *fnGen) rvalue(e *Expr) (ir.Value, CType, error) {
+	switch e.Kind {
+	case "num":
+		return ir.ConstI32(e.Num), CType{"int", 0}, nil
+
+	case "fnum":
+		return &ir.ConstFloat{Typ: ir.F64, V: e.FNum}, CType{"double", 0}, nil
+
+	case "var":
+		if tv, ok := g.inlined[e.Name]; ok {
+			return tv.v, tv.t, nil
+		}
+		if vi, ok := g.vars[e.Name]; ok {
+			if vi.isArr {
+				// Array decays to a pointer to its first element.
+				p := g.b.GEP(vi.slot.Attrs.ElemTy, vi.slot, ir.ConstI32(0), ir.ConstI32(0))
+				p.Attrs.Line = e.Line
+				return p, CType{vi.ty.Base, vi.ty.Stars + 1}, nil
+			}
+			return g.readScalar(vi, e)
+		}
+		if glob := g.m.GlobalByName(e.Name); glob != nil {
+			if glob.Content.Kind == ir.ArrayKind {
+				p := g.b.GEP(glob.Content, glob, ir.ConstI32(0), ir.ConstI32(0))
+				p.Attrs.Line = e.Line
+				return p, g.globalCType(e.Name, true), nil
+			}
+			ld := g.b.Load(glob.Content, glob)
+			ld.Attrs.Line = e.Line
+			return ld, g.globalCType(e.Name, false), nil
+		}
+		return nil, CType{}, fmt.Errorf("line %d: undefined variable %q", e.Line, e.Name)
+
+	case "un":
+		v, t, err := g.rvalue(e.L)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		switch e.Op {
+		case "-":
+			if t.Base == "double" && t.Stars == 0 {
+				r := g.b.FNeg(v)
+				r.Attrs.Line = e.Line
+				return r, t, nil
+			}
+			r := g.b.Sub(ir.NewConstInt(v.Type(), 0), v)
+			r.Attrs.Line = e.Line
+			return r, t, nil
+		case "!":
+			cmp := g.isZero(v, t, e.Line)
+			z := g.b.Conv(ir.ZExt, cmp, ir.I32)
+			z.Attrs.Line = e.Line
+			return z, CType{"int", 0}, nil
+		}
+		return nil, CType{}, fmt.Errorf("line %d: unknown unary %q", e.Line, e.Op)
+
+	case "bin":
+		return g.binExpr(e)
+
+	case "assign":
+		addr, elemT, err := g.lvalue(e.L)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		val, err := g.rvalueAs(e.R, elemT)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		g.store(val, addr, e.Line)
+		if e.L.Kind == "var" {
+			if vi, ok := g.vars[e.L.Name]; ok {
+				vi.stored = true
+				if g.c.feat.BlockForward && !vi.addrTaken && !vi.isArr {
+					g.fwd[e.L.Name] = val
+				} else {
+					delete(g.fwd, e.L.Name)
+				}
+			}
+		}
+		return val, elemT, nil
+
+	case "call":
+		return g.callExpr(e)
+
+	case "index":
+		addr, elemT, err := g.lvalue(e)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		ld := g.b.Load(g.c.irType(elemT), addr)
+		ld.Attrs.Line = e.Line
+		return ld, elemT, nil
+
+	case "deref":
+		addr, elemT, err := g.lvalue(e)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		ld := g.b.Load(g.c.irType(elemT), addr)
+		ld.Attrs.Line = e.Line
+		return ld, elemT, nil
+
+	case "addr":
+		addr, elemT, err := g.lvalue(e.L)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		if e.L.Kind == "var" {
+			if vi, ok := g.vars[e.L.Name]; ok {
+				vi.addrTaken = true // escapes: forwarding no longer sound
+				delete(g.fwd, e.L.Name)
+			}
+		}
+		return addr, CType{elemT.Base, elemT.Stars + 1}, nil
+	}
+	return nil, CType{}, fmt.Errorf("line %d: unknown expression %q", e.Line, e.Kind)
+}
+
+// readScalar reads a scalar local, applying forwarding and
+// uninitialized-read materialization per the compiler version.
+func (g *fnGen) readScalar(vi *varInfo, e *Expr) (ir.Value, CType, error) {
+	if g.c.feat.BlockForward && !vi.addrTaken {
+		if v, ok := g.fwd[e.Name]; ok {
+			return v, vi.ty, nil
+		}
+	}
+	if g.c.feat.FreezeUninit && g.inEntry && !vi.stored && !vi.addrTaken {
+		// Provably uninitialized read in the entry block: newer
+		// compilers fold the load away and freeze the undef value.
+		fz := g.b.Freeze(&ir.ConstUndef{Typ: g.c.irType(vi.ty)})
+		fz.Attrs.Line = e.Line
+		return fz, vi.ty, nil
+	}
+	ld := g.b.Load(g.c.irType(vi.ty), vi.slot)
+	ld.Attrs.Line = e.Line
+	return ld, vi.ty, nil
+}
+
+// globalCType reconstructs the mini-C type of a global.
+func (g *fnGen) globalCType(name string, decayed bool) CType {
+	glob := g.m.GlobalByName(name)
+	base, stars := fromIR(glob.Content)
+	if glob.Content.Kind == ir.ArrayKind {
+		base, stars = fromIR(glob.Content.Elem)
+		if decayed {
+			stars++
+		}
+	}
+	return CType{base, stars}
+}
+
+func fromIR(t *ir.Type) (string, int) {
+	stars := 0
+	for t.Kind == ir.PointerKind {
+		stars++
+		t = t.Elem
+	}
+	switch {
+	case t.Equal(ir.I8):
+		return "char", stars
+	case t.Equal(ir.I64):
+		return "long", stars
+	case t.Equal(ir.F64):
+		return "double", stars
+	default:
+		return "int", stars
+	}
+}
+
+// isZero builds an i1 that is true when v is zero/null.
+func (g *fnGen) isZero(v ir.Value, t CType, line int) *ir.Instruction {
+	var cmp *ir.Instruction
+	switch {
+	case t.IsPtr():
+		cmp = g.b.ICmp(ir.IntEQ, v, &ir.ConstNull{Typ: v.Type()})
+	case t.Base == "double":
+		cmp = g.b.FCmp(ir.FloatOEQ, v, &ir.ConstFloat{Typ: ir.F64, V: 0})
+	default:
+		cmp = g.b.ICmp(ir.IntEQ, v, ir.NewConstInt(v.Type(), 0))
+	}
+	cmp.Attrs.Line = line
+	return cmp
+}
+
+// isNonZero builds an i1 that is true when v is non-zero.
+func (g *fnGen) isNonZero(v ir.Value, t CType, line int) *ir.Instruction {
+	var cmp *ir.Instruction
+	switch {
+	case t.IsPtr():
+		cmp = g.b.ICmp(ir.IntNE, v, &ir.ConstNull{Typ: v.Type()})
+	case t.Base == "double":
+		cmp = g.b.FCmp(ir.FloatONE, v, &ir.ConstFloat{Typ: ir.F64, V: 0})
+	default:
+		cmp = g.b.ICmp(ir.IntNE, v, ir.NewConstInt(v.Type(), 0))
+	}
+	cmp.Attrs.Line = line
+	return cmp
+}
+
+// condValue evaluates an expression as a branch condition (i1). A zext
+// of an i1 comparison is peeled back to the comparison itself, the
+// standard clang-style branch-on-compare pattern.
+func (g *fnGen) condValue(e *Expr) (ir.Value, error) {
+	v, t, err := g.rvalue(e)
+	if err != nil {
+		return nil, err
+	}
+	if v.Type().IsBool() {
+		return v, nil
+	}
+	if inst, ok := v.(*ir.Instruction); ok && inst.Op == ir.ZExt &&
+		inst.Operands[0].Type().IsBool() {
+		return inst.Operands[0], nil
+	}
+	return g.isNonZero(v, t, e.Line), nil
+}
+
+// binExpr handles binary operators, including lazy && and ||.
+func (g *fnGen) binExpr(e *Expr) (ir.Value, CType, error) {
+	if e.Op == "&&" || e.Op == "||" {
+		return g.logical(e)
+	}
+	lv, lt, err := g.rvalue(e.L)
+	if err != nil {
+		return nil, CType{}, err
+	}
+	rv, rt, err := g.rvalue(e.R)
+	if err != nil {
+		return nil, CType{}, err
+	}
+	// Pointer comparisons against 0.
+	if lt.IsPtr() || rt.IsPtr() {
+		switch e.Op {
+		case "==", "!=":
+			if !rt.IsPtr() {
+				rv = &ir.ConstNull{Typ: lv.Type()}
+			}
+			if !lt.IsPtr() {
+				lv = &ir.ConstNull{Typ: rv.Type()}
+			}
+			pred := ir.IntEQ
+			if e.Op == "!=" {
+				pred = ir.IntNE
+			}
+			cmp := g.b.ICmp(pred, lv, rv)
+			cmp.Attrs.Line = e.Line
+			z := g.b.Conv(ir.ZExt, cmp, ir.I32)
+			z.Attrs.Line = e.Line
+			return z, CType{"int", 0}, nil
+		case "+", "-":
+			// Pointer arithmetic: p + i over the element type.
+			ptrV, ptrT, idxV := lv, lt, rv
+			if rt.IsPtr() {
+				ptrV, ptrT, idxV = rv, rt, lv
+			}
+			if e.Op == "-" {
+				idxV = g.b.Sub(ir.NewConstInt(idxV.Type(), 0), idxV)
+			}
+			idx32 := g.toInt(idxV, ir.I32, e.Line)
+			p := g.b.GEP(g.c.irType(ptrT.Deref()), ptrV, idx32)
+			p.Attrs.Line = e.Line
+			return p, ptrT, nil
+		}
+		return nil, CType{}, fmt.Errorf("line %d: unsupported pointer operation %q", e.Line, e.Op)
+	}
+	// Floating arithmetic when either side is double.
+	if lt.Base == "double" || rt.Base == "double" {
+		lf := g.toDouble(lv, lt, e.Line)
+		rf := g.toDouble(rv, rt, e.Line)
+		var out *ir.Instruction
+		switch e.Op {
+		case "+":
+			out = g.b.Binary(ir.FAdd, lf, rf)
+		case "-":
+			out = g.b.Binary(ir.FSub, lf, rf)
+		case "*":
+			out = g.b.Binary(ir.FMul, lf, rf)
+		case "/":
+			out = g.b.Binary(ir.FDiv, lf, rf)
+		case "<", ">", "<=", ">=", "==", "!=":
+			pred := map[string]ir.FPred{"<": ir.FloatOLT, ">": ir.FloatOGT,
+				"<=": ir.FloatOLE, ">=": ir.FloatOGE, "==": ir.FloatOEQ, "!=": ir.FloatONE}[e.Op]
+			cmp := g.b.FCmp(pred, lf, rf)
+			cmp.Attrs.Line = e.Line
+			z := g.b.Conv(ir.ZExt, cmp, ir.I32)
+			z.Attrs.Line = e.Line
+			return z, CType{"int", 0}, nil
+		default:
+			return nil, CType{}, fmt.Errorf("line %d: unsupported double op %q", e.Line, e.Op)
+		}
+		out.Attrs.Line = e.Line
+		return out, CType{"double", 0}, nil
+	}
+	// Integer arithmetic: promote to the wider of the two (int minimum).
+	w := ir.I32
+	if lt.Base == "long" || rt.Base == "long" {
+		w = ir.I64
+	}
+	li := g.toInt(lv, w, e.Line)
+	ri := g.toInt(rv, w, e.Line)
+	resT := CType{"int", 0}
+	if w == ir.I64 {
+		resT = CType{"long", 0}
+	}
+	switch e.Op {
+	case "+", "-", "*", "/", "%":
+		op := map[string]ir.Opcode{"+": ir.Add, "-": ir.Sub, "*": ir.Mul, "/": ir.SDiv, "%": ir.SRem}[e.Op]
+		out := g.b.Binary(op, li, ri)
+		out.Attrs.Line = e.Line
+		return out, resT, nil
+	case "==", "!=", "<", ">", "<=", ">=":
+		pred := map[string]ir.IPred{"==": ir.IntEQ, "!=": ir.IntNE, "<": ir.IntSLT,
+			">": ir.IntSGT, "<=": ir.IntSLE, ">=": ir.IntSGE}[e.Op]
+		cmp := g.b.ICmp(pred, li, ri)
+		cmp.Attrs.Line = e.Line
+		z := g.b.Conv(ir.ZExt, cmp, ir.I32)
+		z.Attrs.Line = e.Line
+		return z, CType{"int", 0}, nil
+	}
+	return nil, CType{}, fmt.Errorf("line %d: unknown operator %q", e.Line, e.Op)
+}
+
+// logical builds short-circuit && / || with control flow and a phi.
+func (g *fnGen) logical(e *Expr) (ir.Value, CType, error) {
+	lv, err := g.condValue(e.L)
+	if err != nil {
+		return nil, CType{}, err
+	}
+	firstB := g.b.Cur
+	rhsB := g.newBlock("land.rhs")
+	endB := g.newBlock("land.end")
+	if e.Op == "&&" {
+		g.b.CondBr(lv, rhsB, endB).Attrs.Line = e.Line
+	} else {
+		g.b.CondBr(lv, endB, rhsB).Attrs.Line = e.Line
+	}
+	g.at(rhsB)
+	rv, err := g.condValue(e.R)
+	if err != nil {
+		return nil, CType{}, err
+	}
+	rhsEnd := g.b.Cur
+	g.b.Br(endB)
+	g.at(endB)
+	short := ir.ConstBool(e.Op == "||")
+	phi := g.b.Phi(ir.I1, short, firstB, rv, rhsEnd)
+	phi.Attrs.Line = e.Line
+	z := g.b.Conv(ir.ZExt, phi, ir.I32)
+	z.Attrs.Line = e.Line
+	return z, CType{"int", 0}, nil
+}
+
+// callExpr generates a function call, applying trivial inlining on newer
+// compiler versions.
+func (g *fnGen) callExpr(e *Expr) (ir.Value, CType, error) {
+	if e.L.Kind != "var" {
+		return nil, CType{}, fmt.Errorf("line %d: indirect calls unsupported in mini-C", e.Line)
+	}
+	name := e.L.Name
+	// Trivial inlining: callee is defined as `T f(...) { return expr; }`.
+	if g.c.feat.InlineTrivial {
+		if callee, ok := g.file[name]; ok && isTrivial(callee) {
+			return g.inlineCall(callee, e)
+		}
+	}
+	var retT CType
+	var paramTs []CType
+	fnVal := g.m.Func(name)
+	if callee, ok := g.file[name]; ok {
+		retT = callee.Ret
+		for _, p := range callee.Params {
+			paramTs = append(paramTs, p.Ty)
+		}
+	} else if bi, ok := builtins[name]; ok {
+		retT = bi.ret
+		paramTs = bi.params
+		fnVal = g.declareBuiltin(name)
+	} else {
+		// Implicit extern: int name(args...) with the observed arity.
+		retT = CType{"int", 0}
+		for range e.Args {
+			paramTs = append(paramTs, CType{"int", 0})
+		}
+		fnVal = g.declareImplicit(name, len(e.Args))
+	}
+	var args []ir.Value
+	for i, a := range e.Args {
+		want := CType{"int", 0}
+		if i < len(paramTs) {
+			want = paramTs[i]
+		}
+		av, err := g.rvalueAs(a, want)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		args = append(args, av)
+	}
+	call := g.b.Call(fnVal, args...)
+	call.Attrs.Line = e.Line
+	// Calls may observe memory; conservatively drop forwarding for
+	// address-taken variables (non-address-taken locals are unaffected).
+	return call, retT, nil
+}
+
+// isTrivial reports whether a function is a single-return-expression
+// wrapper eligible for inlining.
+func isTrivial(f *Func) bool {
+	if f.Body == nil || len(f.Body.Body) != 1 {
+		return false
+	}
+	ret := f.Body.Body[0]
+	return ret.Kind == "return" && ret.E != nil && exprSimple(ret.E)
+}
+
+// exprSimple limits inlinable expressions to parameter/constant
+// arithmetic (no calls, assignments, or memory operations).
+func exprSimple(e *Expr) bool {
+	switch e.Kind {
+	case "num", "fnum", "var":
+		return true
+	case "un":
+		return exprSimple(e.L)
+	case "bin":
+		return e.Op != "&&" && e.Op != "||" && exprSimple(e.L) && exprSimple(e.R)
+	}
+	return false
+}
+
+// inlineCall substitutes a trivial callee body at the call site.
+func (g *fnGen) inlineCall(callee *Func, e *Expr) (ir.Value, CType, error) {
+	saved := g.inlined
+	env := map[string]typed{}
+	for i, p := range callee.Params {
+		if i >= len(e.Args) {
+			return nil, CType{}, fmt.Errorf("line %d: call to %s with too few arguments", e.Line, callee.Name)
+		}
+		av, err := g.rvalueAs(e.Args[i], p.Ty)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		env[p.Name] = typed{av, p.Ty}
+	}
+	g.inlined = env
+	defer func() { g.inlined = saved }()
+	retStmt := callee.Body.Body[0]
+	v, err := g.rvalueAs(retStmt.E, callee.Ret)
+	if err != nil {
+		return nil, CType{}, err
+	}
+	return v, callee.Ret, nil
+}
+
+func (g *fnGen) declareBuiltin(name string) *ir.Function {
+	iname := externName(name)
+	if f := g.m.Func(iname); f != nil {
+		return f
+	}
+	bi := builtins[name]
+	var ptys []*ir.Type
+	for _, p := range bi.params {
+		ptys = append(ptys, g.c.irType(p))
+	}
+	return g.m.AddFunc(ir.NewFunction(iname, ir.Func(g.c.irType(bi.ret), ptys, false), nil))
+}
+
+func (g *fnGen) declareImplicit(name string, arity int) *ir.Function {
+	if f := g.m.Func(name); f != nil {
+		return f
+	}
+	ptys := make([]*ir.Type, arity)
+	for i := range ptys {
+		ptys[i] = ir.I32
+	}
+	return g.m.AddFunc(ir.NewFunction(name, ir.Func(ir.I32, ptys, false), nil))
+}
+
+// lvalue generates the address of an assignable expression; the returned
+// type is the pointee type.
+func (g *fnGen) lvalue(e *Expr) (ir.Value, CType, error) {
+	switch e.Kind {
+	case "var":
+		if vi, ok := g.vars[e.Name]; ok {
+			if vi.isArr {
+				return nil, CType{}, fmt.Errorf("line %d: array %q is not assignable", e.Line, e.Name)
+			}
+			return vi.slot, vi.ty, nil
+		}
+		if glob := g.m.GlobalByName(e.Name); glob != nil {
+			base, stars := fromIR(glob.Content)
+			return glob, CType{base, stars}, nil
+		}
+		return nil, CType{}, fmt.Errorf("line %d: undefined variable %q", e.Line, e.Name)
+
+	case "deref":
+		v, t, err := g.rvalue(e.L)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		if !t.IsPtr() {
+			return nil, CType{}, fmt.Errorf("line %d: dereference of non-pointer", e.Line)
+		}
+		return v, t.Deref(), nil
+
+	case "index":
+		base, t, err := g.rvalue(e.L)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		if !t.IsPtr() {
+			return nil, CType{}, fmt.Errorf("line %d: indexing a non-pointer", e.Line)
+		}
+		idx, _, err := g.rvalue(e.R)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		p := g.b.GEP(g.c.irType(t.Deref()), base, g.toInt(idx, ir.I32, e.Line))
+		p.Attrs.Line = e.Line
+		return p, t.Deref(), nil
+	}
+	return nil, CType{}, fmt.Errorf("line %d: expression is not assignable", e.Line)
+}
+
+// rvalueAs evaluates e and converts it to type want.
+func (g *fnGen) rvalueAs(e *Expr, want CType) (ir.Value, error) {
+	v, t, err := g.rvalue(e)
+	if err != nil {
+		return nil, err
+	}
+	return g.convertTo(v, t, want, e.Line), nil
+}
+
+// convertTo applies mini-C implicit conversions.
+func (g *fnGen) convertTo(v ir.Value, from, to CType, line int) ir.Value {
+	if from == to {
+		return v
+	}
+	wantT := g.c.irType(to)
+	if to.IsPtr() {
+		if ci, ok := v.(*ir.ConstInt); ok && ci.V == 0 {
+			return &ir.ConstNull{Typ: wantT}
+		}
+		if from.IsPtr() {
+			if v.Type().Equal(wantT) {
+				return v
+			}
+			bc := g.b.Conv(ir.BitCast, v, wantT)
+			bc.Attrs.Line = line
+			return bc
+		}
+		ip := g.b.Conv(ir.IntToPtr, g.toInt(v, ir.I64, line), wantT)
+		ip.Attrs.Line = line
+		return ip
+	}
+	if from.IsPtr() {
+		pi := g.b.Conv(ir.PtrToInt, v, ir.I64)
+		pi.Attrs.Line = line
+		return g.toInt(pi, wantT, line)
+	}
+	if to.Base == "double" {
+		return g.toDouble(v, from, line)
+	}
+	if from.Base == "double" {
+		fi := g.b.Conv(ir.FPToSI, v, wantT)
+		fi.Attrs.Line = line
+		return fi
+	}
+	return g.toInt(v, wantT, line)
+}
+
+// wrapWidth reinterprets v as a signed integer of the given bit width.
+func wrapWidth(v int64, bits int) int64 {
+	if bits <= 0 || bits >= 64 {
+		return v
+	}
+	shift := uint(64 - bits)
+	return v << shift >> shift
+}
+
+// toInt widens or narrows an integer value to the given width.
+func (g *fnGen) toInt(v ir.Value, w *ir.Type, line int) ir.Value {
+	t := v.Type()
+	if t.Equal(w) {
+		return v
+	}
+	if t.IsBool() {
+		z := g.b.Conv(ir.ZExt, v, w)
+		z.Attrs.Line = line
+		return z
+	}
+	if ci, ok := v.(*ir.ConstInt); ok {
+		// Fold with value semantics: first interpret the constant at its
+		// own width (signed), then wrap to the destination width. This
+		// keeps the fold consistent with the load/sext instruction
+		// sequence it replaces.
+		val := wrapWidth(ci.V, ci.Typ.Bits)
+		return ir.NewConstInt(w, wrapWidth(val, w.Bits))
+	}
+	var out *ir.Instruction
+	if t.Bits > w.Bits {
+		out = g.b.Conv(ir.Trunc, v, w)
+	} else {
+		out = g.b.Conv(ir.SExt, v, w)
+	}
+	out.Attrs.Line = line
+	return out
+}
+
+func (g *fnGen) toDouble(v ir.Value, t CType, line int) ir.Value {
+	if t.Base == "double" && !t.IsPtr() {
+		return v
+	}
+	out := g.b.Conv(ir.SIToFP, v, ir.F64)
+	out.Attrs.Line = line
+	return out
+}

@@ -1,0 +1,151 @@
+// Package cc is a miniature C frontend with a version-parameterised code
+// generator. It stands in for the Clang versions of the paper's
+// evaluation: the same source compiled by different "compiler versions"
+// produces structurally different IR (dead-branch elimination, trivial
+// inlining, store-to-load forwarding, and freeze insertion appear only in
+// newer versions), which is what makes the two settings of Table 4 report
+// overlapping-but-distinct bug sets. Old versions also reject modern
+// constructs (asm goto), reproducing the weak-compilation failures of
+// §2.2 that make the compiling strategy impractical for the Linux kernel.
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tkind uint8
+
+const (
+	tEOF tkind = iota
+	tIdent
+	tNum
+	tFloat
+	tStr
+	tPunct
+	tKeyword
+)
+
+type tok struct {
+	kind tkind
+	text string
+	line int
+}
+
+var keywords = map[string]bool{
+	"int": true, "char": true, "long": true, "double": true, "void": true,
+	"if": true, "else": true, "while": true, "for": true, "return": true,
+	"asm": true, "asm_goto": true, "goto": false,
+}
+
+func lexC(src string) ([]tok, error) {
+	var out []tok
+	line := 1
+	i, n := 0, len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			i += 2
+		case c == '"':
+			j := i + 1
+			var b strings.Builder
+			for j < n && src[j] != '"' {
+				if src[j] == '\\' && j+1 < n {
+					b.WriteByte(unescapeC(src[j+1]))
+					j += 2
+					continue
+				}
+				b.WriteByte(src[j])
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("cc: line %d: unterminated string", line)
+			}
+			out = append(out, tok{tStr, b.String(), line})
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			isFloat := false
+			for j < n && ((src[j] >= '0' && src[j] <= '9') || src[j] == '.' || src[j] == 'x' ||
+				(src[j] >= 'a' && src[j] <= 'f') || (src[j] >= 'A' && src[j] <= 'F')) {
+				if src[j] == '.' {
+					isFloat = true
+				}
+				j++
+			}
+			k := tNum
+			if isFloat {
+				k = tFloat
+			}
+			out = append(out, tok{k, src[i:j], line})
+			i = j
+		case isAlpha(c):
+			j := i
+			for j < n && (isAlpha(src[j]) || (src[j] >= '0' && src[j] <= '9')) {
+				j++
+			}
+			word := src[i:j]
+			k := tIdent
+			if keywords[word] {
+				k = tKeyword
+			}
+			out = append(out, tok{k, word, line})
+			i = j
+		default:
+			// Multi-character operators first.
+			for _, op := range []string{"==", "!=", "<=", ">=", "&&", "||"} {
+				if strings.HasPrefix(src[i:], op) {
+					out = append(out, tok{tPunct, op, line})
+					i += 2
+					goto next
+				}
+			}
+			if strings.ContainsRune("+-*/%<>=!&|(){}[];,", rune(c)) {
+				out = append(out, tok{tPunct, string(c), line})
+				i++
+				goto next
+			}
+			return nil, fmt.Errorf("cc: line %d: unexpected character %q", line, string(c))
+		next:
+		}
+	}
+	out = append(out, tok{tEOF, "", line})
+	return out, nil
+}
+
+// unescapeC decodes the common single-character escapes.
+func unescapeC(c byte) byte {
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	default:
+		return c
+	}
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}

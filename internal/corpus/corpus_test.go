@@ -1,0 +1,101 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/irtext"
+	"repro/internal/version"
+)
+
+func TestCorpusSize(t *testing.T) {
+	if Len() != 68 {
+		t.Fatalf("corpus has %d specs, paper uses 68", Len())
+	}
+}
+
+func TestEveryCaseMeetsItsOracle(t *testing.T) {
+	for _, v := range []version.V{version.V3_0, version.V3_6, version.V12_0, version.V17_0} {
+		for _, tc := range Tests(v) {
+			if err := ir.Verify(tc.Module); err != nil {
+				t.Errorf("%s@%s: verify: %v", tc.Name, v, err)
+				continue
+			}
+			res, err := interp.Run(tc.Module, interp.Options{})
+			if err != nil {
+				t.Errorf("%s@%s: %v", tc.Name, v, err)
+				continue
+			}
+			if res.Crashed() || res.Ret != tc.Oracle {
+				t.Errorf("%s@%s: ret=%d crash=%q, oracle %d", tc.Name, v, res.Ret, res.Crash, tc.Oracle)
+			}
+		}
+	}
+}
+
+func TestVersionGatingOfSpecs(t *testing.T) {
+	// freeze/callbr/EH tests only instantiate where the opcodes exist.
+	counts := map[version.V]int{}
+	for _, v := range []version.V{version.V3_0, version.V3_6, version.V5_0, version.V12_0, version.V17_0} {
+		counts[v] = len(Tests(v))
+	}
+	if counts[version.V17_0] != 68 {
+		t.Errorf("17.0 corpus = %d, want all 68", counts[version.V17_0])
+	}
+	if counts[version.V3_0] >= counts[version.V3_6] {
+		t.Errorf("3.0 corpus (%d) should be smaller than 3.6 (%d): addrspacecast gating",
+			counts[version.V3_0], counts[version.V3_6])
+	}
+	if counts[version.V5_0] >= counts[version.V12_0] {
+		t.Errorf("5.0 corpus (%d) should be smaller than 12.0 (%d): callbr/freeze gating",
+			counts[version.V5_0], counts[version.V12_0])
+	}
+}
+
+func TestCorpusCoversAllCommonKinds(t *testing.T) {
+	// Every opcode available at 17.0 must be exercised by some test at
+	// 17.0, otherwise a Table 3 pair would come out uncovered.
+	seen := map[ir.Opcode]bool{}
+	for _, tc := range Tests(version.V17_0) {
+		for _, f := range tc.Module.Funcs {
+			for _, b := range f.Blocks {
+				for _, i := range b.Insts {
+					seen[i.Op] = true
+				}
+			}
+		}
+	}
+	for _, op := range ir.OpcodesIn(version.V17_0) {
+		if !seen[op] {
+			t.Errorf("no corpus coverage for %s", op)
+		}
+	}
+}
+
+func TestCasesSerializeAtTheirVersion(t *testing.T) {
+	// Each test must be expressible in its source version's own text
+	// format — the form users would actually provide them in.
+	for _, v := range []version.V{version.V3_6, version.V12_0, version.V15_0} {
+		for _, tc := range Tests(v) {
+			text, err := irtext.NewWriter(v).WriteModule(tc.Module)
+			if err != nil {
+				t.Errorf("%s@%s: write: %v", tc.Name, v, err)
+				continue
+			}
+			if _, err := irtext.Parse(text, v); err != nil {
+				t.Errorf("%s@%s: reparse: %v\n%s", tc.Name, v, err, text)
+			}
+		}
+	}
+}
+
+func TestCaseNamesUnique(t *testing.T) {
+	names := map[string]bool{}
+	for _, tc := range Tests(version.V17_0) {
+		if names[tc.Name] {
+			t.Errorf("duplicate test name %q", tc.Name)
+		}
+		names[tc.Name] = true
+	}
+}

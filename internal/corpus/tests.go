@@ -1,0 +1,527 @@
+// Package corpus provides the synthesis test-case library — the 68 test
+// cases §6.2 of the Siro paper reports (60 initial cases reused across
+// version pairs plus 8 added to cover the instructions that become
+// common in close-version pairs).
+//
+// Each test is a small IR program whose main function returns a constant
+// with no inputs; the constant is the differential-testing oracle
+// (Fig. 6). Tests are built programmatically so the same corpus
+// instantiates at any source version (the "minor textual modifications"
+// of the paper become a no-op), and tests using instructions absent at a
+// source version are skipped automatically.
+package corpus
+
+import (
+	"repro/internal/ir"
+	"repro/internal/synth"
+	"repro/internal/version"
+)
+
+// spec is one corpus entry.
+type spec struct {
+	name   string
+	needs  []ir.Opcode // opcodes that must exist at the source version
+	oracle int64
+	build  func(c *caseBuilder)
+}
+
+// caseBuilder wraps module construction for one test.
+type caseBuilder struct {
+	m *ir.Module
+	f *ir.Function
+	b *ir.Builder
+}
+
+// newCase creates a module with a main() i32 function and a builder at
+// its entry block.
+func newCase(name string, v version.V) *caseBuilder {
+	m := ir.NewModule(name, v)
+	f := m.AddFunc(ir.NewFunction("main", ir.Func(ir.I32, nil, false), nil))
+	b := ir.NewBuilder(f)
+	b.NewBlock("entry")
+	return &caseBuilder{m: m, f: f, b: b}
+}
+
+// declare adds an external declaration.
+func (c *caseBuilder) declare(name string, sig *ir.Type) *ir.Function {
+	return c.m.AddFunc(ir.NewFunction(name, sig, nil))
+}
+
+// fn adds a defined helper function and returns a builder over it.
+func (c *caseBuilder) fn(name string, sig *ir.Type, paramNames ...string) (*ir.Function, *ir.Builder) {
+	f := c.m.AddFunc(ir.NewFunction(name, sig, paramNames))
+	b := ir.NewBuilder(f)
+	b.NewBlock("entry")
+	return f, b
+}
+
+func i32(v int64) *ir.ConstInt  { return ir.ConstI32(v) }
+func f64c(v float64) ir.Value   { return &ir.ConstFloat{Typ: ir.F64, V: v} }
+func f32c(v float64) ir.Value   { return &ir.ConstFloat{Typ: ir.F32, V: v} }
+func i8c(v int64) *ir.ConstInt  { return ir.NewConstInt(ir.I8, v) }
+func i64c(v int64) *ir.ConstInt { return ir.ConstI64(v) }
+
+// binTest builds a one-instruction binary-op test. Asymmetric operand
+// values make swapped-operand candidates fail for non-commutative ops —
+// exactly the Fig. 7 discipline.
+func binTest(name string, op ir.Opcode, a, b ir.Value, toI32 func(*ir.Builder, ir.Value) ir.Value, oracle int64) spec {
+	return spec{name: name, needs: []ir.Opcode{op}, oracle: oracle, build: func(c *caseBuilder) {
+		r := c.b.Binary(op, a, b)
+		var out ir.Value = r
+		if toI32 != nil {
+			out = toI32(c.b, r)
+		}
+		c.b.Ret(out)
+	}}
+}
+
+func fpToI32(b *ir.Builder, v ir.Value) ir.Value { return b.Conv(ir.FPToSI, v, ir.I32) }
+
+// convTest builds a single-conversion test.
+func convTest(name string, oracle int64, build func(c *caseBuilder)) spec {
+	return spec{name: name, oracle: oracle, build: build}
+}
+
+// Tests instantiates every applicable corpus case at source version v.
+func Tests(v version.V) []*synth.TestCase {
+	var out []*synth.TestCase
+	for _, s := range specs {
+		ok := true
+		for _, op := range s.needs {
+			if !ir.AvailableIn(op, v) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		c := newCase(s.name, v)
+		s.build(c)
+		out = append(out, &synth.TestCase{Name: s.name, Module: c.m, Oracle: s.oracle})
+	}
+	return out
+}
+
+// Len reports the full corpus size (68, matching §6.2 of the paper).
+func Len() int { return len(specs) }
+
+var specs = buildSpecs()
+
+func buildSpecs() []spec {
+	var ss []spec
+	add := func(s spec) { ss = append(ss, s) }
+
+	// --- returns and calls (4) ---
+	add(spec{name: "ret_const", oracle: 42, build: func(c *caseBuilder) {
+		c.b.Ret(i32(42))
+	}})
+	add(spec{name: "ret_void_call", oracle: 7, build: func(c *caseBuilder) {
+		_, hb := c.fn("noop", ir.Func(ir.Void, nil, false))
+		hb.RetVoid()
+		c.b.Call(c.m.Func("noop"))
+		c.b.Ret(i32(7))
+	}})
+	add(spec{name: "call_args", oracle: 30, build: func(c *caseBuilder) {
+		// sub inside the callee makes argument-order mistakes observable.
+		_, hb := c.fn("diff", ir.Func(ir.I32, []*ir.Type{ir.I32, ir.I32}, false), "a", "b")
+		f := c.m.Func("diff")
+		hb.Ret(hb.Sub(f.Params[0], f.Params[1]))
+		c.b.Ret(c.b.Call(f, i32(50), i32(20)))
+	}})
+	add(spec{name: "call_variadic", oracle: 42, build: func(c *caseBuilder) {
+		ext := c.declare("ext_sum", ir.Func(ir.I32, []*ir.Type{ir.I32}, true))
+		r := c.b.Call(ext, i32(1), i32(2)) // externals return 0 deterministically
+		c.b.Ret(c.b.Add(r, i32(42)))
+	}})
+
+	// --- integer binary ops, asymmetric operands (15) ---
+	add(binTest("add", ir.Add, i32(30), i32(12), nil, 42))
+	add(binTest("sub", ir.Sub, i32(50), i32(8), nil, 42))
+	add(spec{name: "sub_asym", oracle: 10, build: func(c *caseBuilder) {
+		// The right-hand Fig. 7 case: %c=20, %d=10 so that swapping or
+		// duplicating operands is observable.
+		p := c.b.Alloca(ir.I32)
+		c.b.Store(i32(20), p)
+		cv := c.b.Load(ir.I32, p)
+		dv := c.b.SDiv(cv, i32(2))
+		c.b.Ret(c.b.Sub(cv, dv))
+	}})
+	add(binTest("mul", ir.Mul, i32(6), i32(7), nil, 42))
+	add(binTest("sdiv", ir.SDiv, i32(85), i32(2), nil, 42))
+	add(binTest("udiv", ir.UDiv, i32(126), i32(3), nil, 42))
+	add(binTest("srem", ir.SRem, i32(142), i32(50), nil, 42))
+	add(binTest("urem", ir.URem, i32(242), i32(100), nil, 42))
+	add(binTest("shl", ir.Shl, i32(21), i32(1), nil, 42))
+	add(binTest("lshr", ir.LShr, i32(168), i32(2), nil, 42))
+	add(binTest("ashr", ir.AShr, i32(-168), i32(2), nil, -42))
+	add(binTest("and", ir.And, i32(0x6e), i32(0x5f), nil, 0x4e))
+	add(binTest("or", ir.Or, i32(0x28), i32(0x02), nil, 42))
+	add(binTest("xor", ir.Xor, i32(0x7f), i32(0x55), nil, 42))
+
+	// --- float binary ops (6) ---
+	add(binTest("fadd", ir.FAdd, f64c(40.5), f64c(1.75), fpToI32, 42))
+	add(binTest("fsub", ir.FSub, f64c(50.5), f64c(8.25), fpToI32, 42))
+	add(binTest("fmul", ir.FMul, f64c(10.5), f64c(4.0), fpToI32, 42))
+	add(binTest("fdiv", ir.FDiv, f64c(84.0), f64c(2.0), fpToI32, 42))
+	add(binTest("frem", ir.FRem, f64c(142.0), f64c(50.0), fpToI32, 42))
+	add(spec{name: "fneg", oracle: -42, build: func(c *caseBuilder) {
+		c.b.Ret(c.b.Conv(ir.FPToSI, c.b.FNeg(f64c(42.0)), ir.I32))
+	}})
+
+	// --- comparisons, select, branches (7) ---
+	add(spec{name: "icmp_slt", oracle: 1, build: func(c *caseBuilder) {
+		cmp := c.b.ICmp(ir.IntSLT, i32(3), i32(5))
+		c.b.Ret(c.b.Conv(ir.ZExt, cmp, ir.I32))
+	}})
+	add(spec{name: "fcmp_olt", oracle: 1, build: func(c *caseBuilder) {
+		cmp := c.b.FCmp(ir.FloatOLT, f64c(1.25), f64c(2.5))
+		c.b.Ret(c.b.Conv(ir.ZExt, cmp, ir.I32))
+	}})
+	add(spec{name: "select", oracle: 41, build: func(c *caseBuilder) {
+		cond := c.b.ICmp(ir.IntEQ, i32(10), i32(20))
+		c.b.Ret(c.b.Select(cond, i32(42), i32(41)))
+	}})
+	add(spec{name: "br_cond_taken", oracle: 42, build: func(c *caseBuilder) {
+		// Fig. 10 initial case: condition true, exercises only one edge.
+		then := c.f.AddBlock("then")
+		els := c.f.AddBlock("els")
+		cond := c.b.ICmp(ir.IntEQ, i32(10), i32(10))
+		c.b.CondBr(cond, then, els)
+		c.b.At(then).Ret(i32(42))
+		c.b.At(els).Ret(i32(41))
+	}})
+	add(spec{name: "br_cond_nottaken", oracle: 41, build: func(c *caseBuilder) {
+		// Fig. 10 enhanced case: the false edge kills AtomicBranch1/2.
+		then := c.f.AddBlock("then")
+		els := c.f.AddBlock("els")
+		cond := c.b.ICmp(ir.IntEQ, i32(10), i32(20))
+		c.b.CondBr(cond, then, els)
+		c.b.At(then).Ret(i32(42))
+		c.b.At(els).Ret(i32(41))
+	}})
+	add(spec{name: "br_uncond", oracle: 9, build: func(c *caseBuilder) {
+		next := c.f.AddBlock("next")
+		c.b.Br(next)
+		c.b.At(next).Ret(i32(9))
+	}})
+
+	// --- control flow: phi, switch, indirectbr, unreachable (4) ---
+	add(spec{name: "switch3", oracle: 20, build: func(c *caseBuilder) {
+		def := c.f.AddBlock("def")
+		c1 := c.f.AddBlock("c1")
+		c2 := c.f.AddBlock("c2")
+		c.b.Switch(i32(2), def, i32(1), c1, i32(2), c2)
+		c.b.At(def).Ret(i32(30))
+		c.b.At(c1).Ret(i32(10))
+		c.b.At(c2).Ret(i32(20))
+	}})
+	add(spec{name: "indirectbr", oracle: 11, build: func(c *caseBuilder) {
+		a := c.f.AddBlock("a")
+		bb := c.f.AddBlock("b")
+		c.b.Emit(&ir.Instruction{Op: ir.IndirectBr, Typ: ir.Void,
+			Operands: []ir.Value{&ir.ConstNull{Typ: ir.Ptr(ir.I8)}, a, bb}})
+		c.b.At(a).Ret(i32(11))
+		c.b.At(bb).Ret(i32(22))
+	}})
+	add(spec{name: "unreachable_dead", oracle: 42, build: func(c *caseBuilder) {
+		ok := c.f.AddBlock("ok")
+		dead := c.f.AddBlock("dead")
+		cond := c.b.ICmp(ir.IntEQ, i32(1), i32(1))
+		c.b.CondBr(cond, ok, dead)
+		c.b.At(ok).Ret(i32(42))
+		c.b.At(dead).Unreachable()
+	}})
+
+	// --- memory (7) ---
+	add(spec{name: "alloca_scalar", oracle: 42, build: func(c *caseBuilder) {
+		p := c.b.Alloca(ir.I32)
+		c.b.Store(i32(42), p)
+		c.b.Ret(c.b.Load(ir.I32, p))
+	}})
+	add(spec{name: "alloca_array_count", oracle: 5, build: func(c *caseBuilder) {
+		p := c.b.Emit(&ir.Instruction{Op: ir.Alloca, Typ: ir.Ptr(ir.I32),
+			Operands: []ir.Value{i32(4)}, Attrs: ir.Attrs{ElemTy: ir.I32}})
+		c.b.Store(i32(5), p)
+		c.b.Ret(c.b.Load(ir.I32, p))
+	}})
+	add(spec{name: "gep_array", oracle: 42, build: func(c *caseBuilder) {
+		arr := c.b.Alloca(ir.Arr(4, ir.I32))
+		p1 := c.b.GEP(ir.Arr(4, ir.I32), arr, i32(0), i32(1))
+		p3 := c.b.GEP(ir.Arr(4, ir.I32), arr, i32(0), i32(3))
+		c.b.Store(i32(11), p1)
+		c.b.Store(i32(31), p3)
+		c.b.Ret(c.b.Add(c.b.Load(ir.I32, p1), c.b.Load(ir.I32, p3)))
+	}})
+	add(spec{name: "gep_struct_inbounds", oracle: 40, build: func(c *caseBuilder) {
+		st := ir.Struct(ir.I32, ir.I64, ir.I8)
+		p := c.b.Alloca(st)
+		f0 := c.b.GEP(st, p, i32(0), i32(0))
+		f0.Attrs.Inbounds = true
+		f2 := c.b.GEP(st, p, i32(0), i32(2))
+		f2.Attrs.Inbounds = true
+		c.b.Store(i32(38), f0)
+		c.b.Store(i8c(2), f2)
+		v0 := c.b.Load(ir.I32, f0)
+		v2 := c.b.Conv(ir.ZExt, c.b.Load(ir.I8, f2), ir.I32)
+		c.b.Ret(c.b.Add(v0, v2))
+	}})
+	add(spec{name: "global_rw", oracle: 25, build: func(c *caseBuilder) {
+		g := c.m.AddGlobal(&ir.Global{Name: "g", Content: ir.I32, Init: i32(17)})
+		v := c.b.Load(ir.I32, g)
+		c.b.Store(c.b.Add(v, i32(8)), g)
+		c.b.Ret(c.b.Load(ir.I32, g))
+	}})
+	add(spec{name: "volatile_load", oracle: 13, build: func(c *caseBuilder) {
+		p := c.b.Alloca(ir.I32)
+		c.b.Store(i32(13), p)
+		ld := c.b.Load(ir.I32, p)
+		ld.Attrs.Volatile = true
+		c.b.Ret(ld)
+	}})
+
+	// --- atomics and fences (4) ---
+	add(spec{name: "atomicrmw_add", oracle: 25, build: func(c *caseBuilder) {
+		p := c.b.Alloca(ir.I32)
+		c.b.Store(i32(10), p)
+		old := c.b.Emit(&ir.Instruction{Op: ir.AtomicRMW, Typ: ir.I32,
+			Operands: []ir.Value{p, i32(5)},
+			Attrs:    ir.Attrs{RMW: ir.RMWAdd, Ordering: "seq_cst"}})
+		c.b.Ret(c.b.Add(old, c.b.Load(ir.I32, p)))
+	}})
+	add(spec{name: "cmpxchg_hit", oracle: 99, build: func(c *caseBuilder) {
+		p := c.b.Alloca(ir.I32)
+		c.b.Store(i32(15), p)
+		c.b.Emit(&ir.Instruction{Op: ir.CmpXchg, Typ: ir.Struct(ir.I32, ir.I1),
+			Operands: []ir.Value{p, i32(15), i32(99)},
+			Attrs:    ir.Attrs{Ordering: "seq_cst"}})
+		c.b.Ret(c.b.Load(ir.I32, p))
+	}})
+	add(spec{name: "fence", oracle: 3, build: func(c *caseBuilder) {
+		c.b.Emit(&ir.Instruction{Op: ir.Fence, Typ: ir.Void, Attrs: ir.Attrs{Ordering: "seq_cst"}})
+		c.b.Ret(i32(3))
+	}})
+
+	// --- conversions, one test each (13) ---
+	add(convTest("trunc", 42, func(c *caseBuilder) {
+		c.b.Ret(c.b.Conv(ir.ZExt, c.b.Conv(ir.Trunc, i32(298), ir.I8), ir.I32)) // 298 mod 256
+	}))
+	add(convTest("zext", 200, func(c *caseBuilder) {
+		c.b.Ret(c.b.Conv(ir.ZExt, i8c(-56), ir.I32)) // 0xC8
+	}))
+	add(convTest("sext", -56, func(c *caseBuilder) {
+		c.b.Ret(c.b.Conv(ir.SExt, i8c(-56), ir.I32))
+	}))
+	add(convTest("fptrunc", 2, func(c *caseBuilder) {
+		v := c.b.Conv(ir.FPTrunc, f64c(2.5), ir.F32)
+		c.b.Ret(c.b.Conv(ir.FPToSI, v, ir.I32))
+	}))
+	add(convTest("fpext", 3, func(c *caseBuilder) {
+		v := c.b.Conv(ir.FPExt, f32c(3.25), ir.F64)
+		c.b.Ret(c.b.Conv(ir.FPToSI, v, ir.I32))
+	}))
+	add(convTest("fptoui", 200, func(c *caseBuilder) {
+		c.b.Ret(c.b.Conv(ir.FPToUI, f64c(200.75), ir.I32))
+	}))
+	add(convTest("fptosi", -7, func(c *caseBuilder) {
+		c.b.Ret(c.b.Conv(ir.FPToSI, f64c(-7.5), ir.I32))
+	}))
+	add(convTest("uitofp", 255, func(c *caseBuilder) {
+		v := c.b.Conv(ir.UIToFP, i8c(-1), ir.F64)
+		c.b.Ret(c.b.Conv(ir.FPToSI, v, ir.I32))
+	}))
+	add(convTest("sitofp", -9, func(c *caseBuilder) {
+		v := c.b.Conv(ir.SIToFP, i32(-9), ir.F64)
+		c.b.Ret(c.b.Conv(ir.FPToSI, v, ir.I32))
+	}))
+	add(convTest("ptrtoint", 1, func(c *caseBuilder) {
+		p := c.b.Alloca(ir.I32)
+		iv := c.b.Conv(ir.PtrToInt, p, ir.I64)
+		cmp := c.b.ICmp(ir.IntNE, iv, i64c(0))
+		c.b.Ret(c.b.Conv(ir.ZExt, cmp, ir.I32))
+	}))
+	add(convTest("inttoptr_roundtrip", 55, func(c *caseBuilder) {
+		p := c.b.Alloca(ir.I32)
+		c.b.Store(i32(55), p)
+		iv := c.b.Conv(ir.PtrToInt, p, ir.I64)
+		q := c.b.Conv(ir.IntToPtr, iv, ir.Ptr(ir.I32))
+		c.b.Ret(c.b.Load(ir.I32, q))
+	}))
+	add(convTest("bitcast", 77, func(c *caseBuilder) {
+		p := c.b.Alloca(ir.I32)
+		c.b.Store(i32(77), p)
+		q := c.b.Conv(ir.BitCast, p, ir.Ptr(ir.I32))
+		c.b.Ret(c.b.Load(ir.I32, q))
+	}))
+	add(spec{name: "addrspacecast", needs: []ir.Opcode{ir.AddrSpaceCast}, oracle: 1, build: func(c *caseBuilder) {
+		p := c.b.Alloca(ir.I32)
+		q := c.b.Conv(ir.AddrSpaceCast, p, ir.PtrAS(ir.I32, 1))
+		iv := c.b.Conv(ir.PtrToInt, q, ir.I64)
+		cmp := c.b.ICmp(ir.IntNE, iv, i64c(0))
+		c.b.Ret(c.b.Conv(ir.ZExt, cmp, ir.I32))
+	}})
+
+	// --- vectors and aggregates (4) ---
+	add(spec{name: "vector_insert_extract", oracle: 18, build: func(c *caseBuilder) {
+		undef := &ir.ConstUndef{Typ: ir.Vec(2, ir.I32)}
+		v0 := c.b.Emit(&ir.Instruction{Op: ir.InsertElement, Typ: ir.Vec(2, ir.I32),
+			Operands: []ir.Value{undef, i32(30), i32(0)}})
+		v1 := c.b.Emit(&ir.Instruction{Op: ir.InsertElement, Typ: ir.Vec(2, ir.I32),
+			Operands: []ir.Value{v0, i32(12), i32(1)}})
+		a := c.b.Emit(&ir.Instruction{Op: ir.ExtractElement, Typ: ir.I32,
+			Operands: []ir.Value{v1, i32(0)}})
+		bv := c.b.Emit(&ir.Instruction{Op: ir.ExtractElement, Typ: ir.I32,
+			Operands: []ir.Value{v1, i32(1)}})
+		// Asymmetric combine kills swapped-lane candidates.
+		c.b.Ret(c.b.Sub(a, bv))
+	}})
+	add(spec{name: "shufflevector", oracle: 2, build: func(c *caseBuilder) {
+		undef := &ir.ConstUndef{Typ: ir.Vec(2, ir.I32)}
+		v0 := c.b.Emit(&ir.Instruction{Op: ir.InsertElement, Typ: ir.Vec(2, ir.I32),
+			Operands: []ir.Value{undef, i32(1), i32(0)}})
+		v1 := c.b.Emit(&ir.Instruction{Op: ir.InsertElement, Typ: ir.Vec(2, ir.I32),
+			Operands: []ir.Value{v0, i32(5), i32(1)}})
+		sh := c.b.Emit(&ir.Instruction{Op: ir.ShuffleVector, Typ: ir.Vec(2, ir.I32),
+			Operands: []ir.Value{v1, v1, &ir.ConstZero{Typ: ir.Vec(2, ir.I32)}}})
+		a := c.b.Emit(&ir.Instruction{Op: ir.ExtractElement, Typ: ir.I32,
+			Operands: []ir.Value{sh, i32(0)}})
+		bv := c.b.Emit(&ir.Instruction{Op: ir.ExtractElement, Typ: ir.I32,
+			Operands: []ir.Value{sh, i32(1)}})
+		c.b.Ret(c.b.Add(a, bv))
+	}})
+	add(spec{name: "insert_extract_value", oracle: 38, build: func(c *caseBuilder) {
+		st := ir.Struct(ir.I32, ir.I32)
+		undef := &ir.ConstUndef{Typ: st}
+		a0 := c.b.InsertValue(undef, i32(40))
+		a0.Attrs.Indices = []int{0}
+		a1 := c.b.InsertValue(a0, i32(2))
+		a1.Attrs.Indices = []int{1}
+		x := c.b.ExtractValue(a1, 0)
+		y := c.b.ExtractValue(a1, 1)
+		c.b.Ret(c.b.Sub(x, y))
+	}})
+
+	// --- exceptions and misc (6) ---
+	add(spec{name: "invoke_landingpad", oracle: 5, build: func(c *caseBuilder) {
+		cb, hb := c.fn("cb", ir.Func(ir.I32, nil, false))
+		hb.Ret(i32(5))
+		ok := c.f.AddBlock("ok")
+		bad := c.f.AddBlock("bad")
+		r := c.b.Invoke(cb, ok, bad)
+		c.b.At(ok).Ret(r)
+		c.b.At(bad)
+		lpTy := ir.Struct(ir.Ptr(ir.I8), ir.I32)
+		lp := c.b.Emit(&ir.Instruction{Op: ir.LandingPad, Typ: lpTy, Attrs: ir.Attrs{Cleanup: true}})
+		c.b.Emit(&ir.Instruction{Op: ir.Resume, Typ: ir.Void, Operands: []ir.Value{lp}})
+	}})
+	add(spec{name: "invoke_landingpad_nocleanup", oracle: 6, build: func(c *caseBuilder) {
+		cb, hb := c.fn("cb2", ir.Func(ir.I32, nil, false))
+		hb.Ret(i32(6))
+		ok := c.f.AddBlock("ok")
+		bad := c.f.AddBlock("bad")
+		r := c.b.Invoke(cb, ok, bad)
+		c.b.At(ok).Ret(r)
+		c.b.At(bad)
+		lpTy := ir.Struct(ir.Ptr(ir.I8), ir.I32)
+		c.b.Emit(&ir.Instruction{Op: ir.LandingPad, Typ: lpTy})
+		c.b.Ret(i32(-1))
+	}})
+	add(spec{name: "call_indirect", oracle: 42, build: func(c *caseBuilder) {
+		inc, hb := c.fn("inc", ir.Func(ir.I32, []*ir.Type{ir.I32}, false), "x")
+		hb.Ret(hb.Add(inc.Params[0], i32(1)))
+		fpTy := ir.Ptr(inc.Sig)
+		slot := c.b.Alloca(fpTy)
+		c.b.Store(inc, slot)
+		fp := c.b.Load(fpTy, slot)
+		c.b.Ret(c.b.Call(fp, i32(41)))
+	}})
+	add(spec{name: "va_arg_zero", oracle: 42, build: func(c *caseBuilder) {
+		ap := c.b.Alloca(ir.Ptr(ir.I8))
+		va := c.b.Emit(&ir.Instruction{Op: ir.VAArg, Typ: ir.I32, Operands: []ir.Value{ap}})
+		c.b.Ret(c.b.Add(va, i32(42))) // va_arg models as 0
+	}})
+	add(spec{name: "freeze", needs: []ir.Opcode{ir.Freeze}, oracle: 13, build: func(c *caseBuilder) {
+		c.b.Ret(c.b.Freeze(i32(13)))
+	}})
+	add(spec{name: "callbr_asm", needs: []ir.Opcode{ir.CallBr}, oracle: 8, build: func(c *caseBuilder) {
+		direct := c.f.AddBlock("direct")
+		other := c.f.AddBlock("other")
+		asm := &ir.InlineAsm{Typ: ir.Func(ir.Void, nil, false), Asm: "jmp ${0:l}", Constraints: "X"}
+		c.b.Emit(&ir.Instruction{Op: ir.CallBr, Typ: ir.Void,
+			Operands: []ir.Value{asm, direct, other},
+			Attrs:    ir.Attrs{CallTy: asm.Typ, NumIndire: 1}})
+		c.b.At(direct).Ret(i32(8))
+		c.b.At(other).Ret(i32(9))
+	}})
+
+	// --- Windows EH family, dead code (2) ---
+	add(spec{name: "eh_catch_family", needs: []ir.Opcode{ir.CatchSwitch}, oracle: 42, build: func(c *caseBuilder) {
+		exit := c.f.AddBlock("exit")
+		cs := c.f.AddBlock("cs")
+		handler := c.f.AddBlock("handler")
+		c.b.Br(exit)
+		c.b.At(exit).Ret(i32(42))
+		c.b.At(cs)
+		csw := c.b.Emit(&ir.Instruction{Op: ir.CatchSwitch, Typ: ir.Token,
+			Operands: []ir.Value{handler}})
+		c.b.At(handler)
+		cp := c.b.Emit(&ir.Instruction{Op: ir.CatchPad, Typ: ir.Token,
+			Operands: []ir.Value{csw, i32(1)}})
+		c.b.Emit(&ir.Instruction{Op: ir.CatchRet, Typ: ir.Void,
+			Operands: []ir.Value{cp, exit}})
+	}})
+	add(spec{name: "eh_cleanup_family", needs: []ir.Opcode{ir.CleanupPad}, oracle: 42, build: func(c *caseBuilder) {
+		exit := c.f.AddBlock("exit")
+		clean := c.f.AddBlock("clean")
+		clean2 := c.f.AddBlock("clean2")
+		c.b.Br(exit)
+		c.b.At(exit).Ret(i32(42))
+		c.b.At(clean)
+		cl := c.b.Emit(&ir.Instruction{Op: ir.CleanupPad, Typ: ir.Token})
+		c.b.Emit(&ir.Instruction{Op: ir.CleanupRet, Typ: ir.Void, Operands: []ir.Value{cl}})
+		c.b.At(clean2)
+		cl2 := c.b.Emit(&ir.Instruction{Op: ir.CleanupPad, Typ: ir.Token})
+		c.b.Emit(&ir.Instruction{Op: ir.CleanupRet, Typ: ir.Void, Operands: []ir.Value{cl2, exit}})
+	}})
+
+	// --- larger mixed programs (4) ---
+	add(spec{name: "factorial_recursive", oracle: 120, build: func(c *caseBuilder) {
+		fact, fb := c.fn("fact", ir.Func(ir.I32, []*ir.Type{ir.I32}, false), "n")
+		base := fact.AddBlock("base")
+		rec := fact.AddBlock("rec")
+		cond := fb.ICmp(ir.IntSLE, fact.Params[0], i32(1))
+		fb.CondBr(cond, base, rec)
+		fb.At(base).Ret(i32(1))
+		fb.At(rec)
+		n1 := fb.Sub(fact.Params[0], i32(1))
+		sub := fb.Call(fact, n1)
+		fb.Ret(fb.Mul(fact.Params[0], sub))
+		c.b.Ret(c.b.Call(fact, i32(5)))
+	}})
+	add(spec{name: "array_sum_loop", oracle: 60, build: func(c *caseBuilder) {
+		arrTy := ir.Arr(4, ir.I32)
+		arr := c.b.Alloca(arrTy)
+		for k := 0; k < 4; k++ {
+			p := c.b.GEP(arrTy, arr, i32(0), i32(int64(k)))
+			c.b.Store(i32(int64(10*k)), p)
+		}
+		entry := c.b.Cur
+		loop := c.f.AddBlock("loop")
+		exit := c.f.AddBlock("exit")
+		c.b.Br(loop)
+		c.b.At(loop)
+		iPhi := c.b.Phi(ir.I32, i32(0), entry)
+		sPhi := c.b.Phi(ir.I32, i32(0), entry)
+		p := c.b.GEP(arrTy, arr, i32(0), iPhi)
+		v := c.b.Load(ir.I32, p)
+		sNext := c.b.Add(sPhi, v)
+		iNext := c.b.Add(iPhi, i32(1))
+		iPhi.Operands = append(iPhi.Operands, iNext, loop)
+		sPhi.Operands = append(sPhi.Operands, sNext, loop)
+		done := c.b.ICmp(ir.IntSGE, iNext, i32(4))
+		c.b.CondBr(done, exit, loop)
+		c.b.At(exit).Ret(sNext)
+	}})
+
+	return ss
+}

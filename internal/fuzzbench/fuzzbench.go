@@ -1,0 +1,329 @@
+// Package fuzzbench is the Magma-style fuzzing benchmark of Table 5:
+// seven projects with seeded CVEs and proof-of-crash inputs (PoCs). The
+// harness compiles each target with the modern compiler, translates the
+// IR down with a synthesized translator, "compiles" it with the
+// low-version backend, and replays every PoC, counting reproduced CVEs
+// and PoCs.
+//
+// Two deviations from 100% reproduction are mechanical, not seeded:
+//
+//   - php hard-codes hardware instructions in inline assembly that the
+//     low-version backend cannot lower, so its targets fail at backend
+//     code generation (0 reproduced), exactly as in the paper;
+//   - a handful of libtiff PoCs crash through a freeze-guarded
+//     uninitialized read; the freeze→operand translation preserves
+//     analysis results but not undefined-behaviour shielding, so those
+//     PoCs trap with the wrong crash kind after translation.
+package fuzzbench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cc"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/version"
+)
+
+// CVE is one seeded vulnerability with its PoC inputs.
+type CVE struct {
+	ID   string
+	Kind interp.CrashKind
+	PoCs [][]byte
+}
+
+// Target is one fuzzing binary of a project.
+type Target struct {
+	Name   string
+	Source string
+	CVEs   []CVE
+}
+
+// Project is one benchmark project.
+type Project struct {
+	Name    string
+	Targets []Target
+}
+
+// spec describes a project row of Table 5.
+type projSpec struct {
+	name      string
+	targets   int
+	cves      int
+	pocs      int
+	modernAsm bool // php: inline asm the old backend cannot lower
+	frozenPoC int  // libtiff: PoCs routed through the freeze-guarded path
+}
+
+var specs = []projSpec{
+	{name: "libpng", targets: 1, cves: 7, pocs: 634},
+	{name: "libtiff", targets: 2, cves: 14, pocs: 3716, frozenPoC: 7},
+	{name: "libxml", targets: 2, cves: 15, pocs: 19731},
+	{name: "poppler", targets: 3, cves: 19, pocs: 7343},
+	{name: "openssl", targets: 4, cves: 20, pocs: 655},
+	{name: "sqlite", targets: 1, cves: 20, pocs: 1777},
+	{name: "php", targets: 1, cves: 16, pocs: 1443, modernAsm: true},
+}
+
+var crashKinds = []interp.CrashKind{
+	interp.CrashOOB, interp.CrashNullDeref, interp.CrashUAF,
+	interp.CrashBadFree, interp.CrashDivZero,
+}
+
+// Projects generates the full Table 5 benchmark.
+func Projects() []Project {
+	var out []Project
+	for _, s := range specs {
+		out = append(out, buildProject(s))
+	}
+	return out
+}
+
+func buildProject(s projSpec) Project {
+	p := Project{Name: s.name}
+	// Distribute CVEs across targets round-robin, PoCs across CVEs.
+	perTargetCVEs := make([][]int, s.targets)
+	for c := 0; c < s.cves; c++ {
+		t := c % s.targets
+		perTargetCVEs[t] = append(perTargetCVEs[t], c)
+	}
+	pocBase := s.pocs / s.cves
+	extra := s.pocs % s.cves
+	frozenLeft := s.frozenPoC
+	for t := 0; t < s.targets; t++ {
+		target := Target{Name: fmt.Sprintf("%s_fuzz_%d", s.name, t)}
+		var src strings.Builder
+		fmt.Fprintf(&src, "// fuzz target %s\n", target.Name)
+		if s.frozenPoC > 0 && t == 0 {
+			src.WriteString(uninitFlagHelper)
+		}
+		for local, c := range perTargetCVEs[t] {
+			kind := crashKinds[c%len(crashKinds)]
+			nPoCs := pocBase
+			if c < extra {
+				nPoCs++
+			}
+			cve := CVE{ID: fmt.Sprintf("CVE-%s-%04d", s.name, c), Kind: kind}
+			frozen := 0
+			if frozenLeft > 0 && t == 0 && local == 0 {
+				// Route a handful of this CVE's PoCs through the
+				// freeze-guarded uninitialized read.
+				frozen = frozenLeft
+				frozenLeft = 0
+			}
+			src.WriteString(triggerSource(local, kind, frozen > 0))
+			for k := 0; k < nPoCs; k++ {
+				mode := byte(1)
+				if k < frozen {
+					mode = 2
+				}
+				cve.PoCs = append(cve.PoCs, []byte{byte(local), mode, byte(k), byte(k >> 8)})
+			}
+			target.CVEs = append(target.CVEs, cve)
+		}
+		// Dispatcher main.
+		src.WriteString("\nint main() {\n  int sel = input(0);\n  int mode = input(1);\n")
+		if s.modernAsm {
+			src.WriteString("  asm(\"!crc32 hardware fast path\");\n")
+		}
+		for local := range perTargetCVEs[t] {
+			fmt.Fprintf(&src, "  if (sel == %d) { cve_%d(mode); }\n", local, local)
+		}
+		src.WriteString("  return 0;\n}\n")
+		target.Source = src.String()
+		p.Targets = append(p.Targets, target)
+	}
+	return p
+}
+
+// uninitFlagHelper reads an uninitialized local: new compilers emit
+// freeze(undef) for it, which the downgrade translation lowers to a bare
+// undef — defined before translation, UB after.
+const uninitFlagHelper = `
+int uninit_flag() {
+  int flag;
+  if (flag == 0) { return 1; }
+  return 0;
+}
+`
+
+// triggerSource emits the cve_<n> handler plus its bug trigger.
+func triggerSource(n int, kind interp.CrashKind, hasFrozenPath bool) string {
+	var trig string
+	switch kind {
+	case interp.CrashOOB:
+		trig = fmt.Sprintf(`
+int trig_%d() {
+  int buf[4];
+  int i = 100;
+  buf[i] = 1;
+  return 0;
+}
+`, n)
+	case interp.CrashNullDeref:
+		trig = fmt.Sprintf(`
+int trig_%d() {
+  int* p = 0;
+  *p = 1;
+  return 0;
+}
+`, n)
+	case interp.CrashUAF:
+		trig = fmt.Sprintf(`
+int trig_%d() {
+  char* p = malloc(4);
+  free(p);
+  *p = 1;
+  return 0;
+}
+`, n)
+	case interp.CrashBadFree:
+		trig = fmt.Sprintf(`
+int trig_%d() {
+  char* p = malloc(4);
+  free(p);
+  free(p);
+  return 0;
+}
+`, n)
+	default: // division by zero
+		trig = fmt.Sprintf(`
+int trig_%d() {
+  int z = 0;
+  return 10 / z;
+}
+`, n)
+	}
+	frozenArm := ""
+	if hasFrozenPath {
+		frozenArm = fmt.Sprintf("  if (mode == 2) {\n    if (uninit_flag()) { trig_%d(); }\n    return 0;\n  }\n", n)
+	}
+	handler := fmt.Sprintf(`
+int cve_%d(int mode) {
+%s  if (mode == 1) { trig_%d(); }
+  return 0;
+}
+`, n, frozenArm, n)
+	return trig + handler
+}
+
+// Translator abstracts the IR translator used by the harness (satisfied
+// by *translator.Translator).
+type Translator interface {
+	Translate(m *ir.Module) (*ir.Module, error)
+}
+
+// Outcome is one Table 5 row.
+type Outcome struct {
+	Project string
+	Targets int
+	Insts   int
+	CVEs    int
+	PoCs    int
+	RCVEs   int
+	RPoCs   int
+	// BackendError records a target that failed backend code generation
+	// (the php row).
+	BackendError string
+}
+
+// CVERatio and PoCRatio are the percentage columns.
+func (o Outcome) CVERatio() float64 { return pct(o.RCVEs, o.CVEs) }
+func (o Outcome) PoCRatio() float64 { return pct(o.RPoCs, o.PoCs) }
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+// BackendCompatible checks that every inline-assembly blob in the module
+// can be lowered by the given backend version — the backend code
+// generation step of the pipeline.
+func BackendCompatible(m *ir.Module, backend version.V) error {
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, inst := range b.Insts {
+				for _, op := range inst.Operands {
+					ia, ok := op.(*ir.InlineAsm)
+					if !ok || ia.BackendMin == "" {
+						continue
+					}
+					min, err := version.Parse(ia.BackendMin)
+					if err != nil {
+						continue
+					}
+					if backend.Before(min) {
+						return fmt.Errorf("backend %s cannot lower inline asm %q (requires >= %s)",
+							backend, ia.Asm, min)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// RunProject executes the full reproduction pipeline for one project:
+// compile at srcVer, sanity-check every PoC against the source build,
+// translate, backend-check, and replay every PoC on the translated
+// module.
+func RunProject(p Project, tr Translator, srcVer, backend version.V) (Outcome, error) {
+	out := Outcome{Project: p.Name, Targets: len(p.Targets)}
+	for _, target := range p.Targets {
+		srcMod, err := cc.NewCompiler(srcVer).Compile(target.Name, target.Source)
+		if err != nil {
+			return out, fmt.Errorf("%s: compile: %w", target.Name, err)
+		}
+		out.Insts += srcMod.NumInsts()
+
+		// Sanity: every PoC must reproduce on the source build; that is
+		// what makes it a PoC.
+		for _, cve := range target.CVEs {
+			for _, poc := range cve.PoCs {
+				r, err := interp.Run(srcMod, interp.Options{Input: poc})
+				if err != nil {
+					return out, fmt.Errorf("%s %s: source run: %w", target.Name, cve.ID, err)
+				}
+				if r.Crash != cve.Kind {
+					return out, fmt.Errorf("%s %s: source PoC crash = %q, want %q",
+						target.Name, cve.ID, r.Crash, cve.Kind)
+				}
+			}
+			out.CVEs++
+			out.PoCs += len(cve.PoCs)
+		}
+
+		tgtMod, err := tr.Translate(srcMod)
+		if err != nil {
+			return out, fmt.Errorf("%s: translate: %w", target.Name, err)
+		}
+		if err := BackendCompatible(tgtMod, backend); err != nil {
+			out.BackendError = err.Error()
+			continue // target unusable: none of its CVEs reproduce
+		}
+		for _, cve := range target.CVEs {
+			reproduced := 0
+			for _, poc := range cve.PoCs {
+				r, err := interp.Run(tgtMod, interp.Options{Input: poc})
+				if err == nil && r.Crash == cve.Kind {
+					reproduced++
+				}
+			}
+			out.RPoCs += reproduced
+			if reproduced > 0 {
+				out.RCVEs++
+			}
+		}
+	}
+	return out, nil
+}
+
+// FormatRow renders one Table 5 row.
+func (o Outcome) FormatRow() string {
+	return fmt.Sprintf("%-8s %2d %8d %3d %6d %3d %6d  %6.2f%% %6.2f%%",
+		o.Project, o.Targets, o.Insts, o.CVEs, o.PoCs, o.RCVEs, o.RPoCs,
+		o.CVERatio(), o.PoCRatio())
+}

@@ -1,0 +1,138 @@
+package fuzzbench
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/corpus"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/synth"
+	"repro/internal/translator"
+	"repro/internal/version"
+)
+
+func TestBenchmarkShape(t *testing.T) {
+	ps := Projects()
+	if len(ps) != 7 {
+		t.Fatalf("projects = %d, want 7", len(ps))
+	}
+	totalCVE, totalPoC := 0, 0
+	for _, p := range ps {
+		for _, tg := range p.Targets {
+			for _, c := range tg.CVEs {
+				totalCVE++
+				totalPoC += len(c.PoCs)
+			}
+		}
+	}
+	if totalCVE != 111 {
+		t.Errorf("CVEs = %d, want 111", totalCVE)
+	}
+	if totalPoC != 35299 {
+		t.Errorf("PoCs = %d, want 35299", totalPoC)
+	}
+}
+
+func buildTranslator(t *testing.T) *translator.Translator {
+	t.Helper()
+	s := synth.New(version.V12_0, version.V3_6, synth.Options{})
+	res, err := s.Run(corpus.Tests(version.V12_0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return translator.FromResult(res)
+}
+
+// TestTable5EndToEnd runs the full reproduction pipeline and checks the
+// per-project reproduction counts of Table 5.
+func TestTable5EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full PoC replay in -short mode")
+	}
+	tr := buildTranslator(t)
+	want := map[string]struct{ rcve, rpoc int }{
+		"libpng":  {7, 634},
+		"libtiff": {14, 3709}, // 7 PoCs lost to the freeze/undef divergence
+		"libxml":  {15, 19731},
+		"poppler": {19, 7343},
+		"openssl": {20, 655},
+		"sqlite":  {20, 1777},
+		"php":     {0, 0}, // backend cannot lower the hard-coded asm
+	}
+	totalCVE, totalPoC, totalRCVE, totalRPoC := 0, 0, 0, 0
+	for _, p := range Projects() {
+		out, err := RunProject(p, tr, version.V12_0, version.V3_6)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		w := want[p.Name]
+		if out.RCVEs != w.rcve || out.RPoCs != w.rpoc {
+			t.Errorf("%s: R-CVE/R-PoC = %d/%d, want %d/%d",
+				p.Name, out.RCVEs, out.RPoCs, w.rcve, w.rpoc)
+		}
+		if p.Name == "php" && out.BackendError == "" {
+			t.Error("php should fail backend code generation")
+		}
+		totalCVE += out.CVEs
+		totalPoC += out.PoCs
+		totalRCVE += out.RCVEs
+		totalRPoC += out.RPoCs
+	}
+	if totalRCVE != 95 || totalRPoC != 33849 {
+		t.Errorf("totals R-CVE/R-PoC = %d/%d, want 95/33849", totalRCVE, totalRPoC)
+	}
+	ratio := 100 * float64(totalRPoC) / float64(totalPoC)
+	if ratio < 95.5 || ratio > 96.3 {
+		t.Errorf("PoC ratio = %.2f%%, want ≈95.89%%", ratio)
+	}
+}
+
+// TestFrozenPoCsDivergeByMechanism verifies the libtiff loss is caused by
+// the documented freeze→undef semantics, not by seeding.
+func TestFrozenPoCsDivergeByMechanism(t *testing.T) {
+	tr := buildTranslator(t)
+	var libtiff Project
+	for _, p := range Projects() {
+		if p.Name == "libtiff" {
+			libtiff = p
+		}
+	}
+	target := libtiff.Targets[0]
+	cve := target.CVEs[0]
+	var frozen []byte
+	for _, poc := range cve.PoCs {
+		if poc[1] == 2 {
+			frozen = poc
+			break
+		}
+	}
+	if frozen == nil {
+		t.Fatal("no frozen PoC found")
+	}
+	srcMod := mustCompile(t, target)
+	r, err := interp.Run(srcMod, interp.Options{Input: frozen})
+	if err != nil || r.Crash != cve.Kind {
+		t.Fatalf("source: crash = %q (%v), want %q", r.Crash, err, cve.Kind)
+	}
+	tgtMod, err := tr.Translate(srcMod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := interp.Run(tgtMod, interp.Options{Input: frozen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Crash != interp.CrashUB {
+		t.Fatalf("translated: crash = %q, want undefined-behavior", r2.Crash)
+	}
+}
+
+func mustCompile(t *testing.T, target Target) *ir.Module {
+	t.Helper()
+	m, err := cc.NewCompiler(version.V12_0).Compile(target.Name, target.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

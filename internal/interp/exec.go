@@ -1,0 +1,825 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+)
+
+// Undef is the runtime marker for scalar undef values. Consuming it in a
+// computation or branch is undefined behaviour and traps (CrashUB);
+// freeze resolves it to zero. This models the LLVM semantics that make
+// the freeze→operand translation analysis-preserving but not
+// UB-preserving (§3.3.2 of the paper) — the source of the handful of
+// PoCs that stop reproducing after translation in Table 5.
+type Undef struct{}
+
+// isUndef reports whether v is the scalar undef marker.
+func isUndef(v Value) bool {
+	_, ok := v.(Undef)
+	return ok
+}
+
+// eval resolves an operand to its runtime value.
+func (fr *frame) eval(v ir.Value) (Value, *trap) {
+	switch c := v.(type) {
+	case *ir.ConstInt:
+		return truncInt(c.V, c.Typ), nil
+	case *ir.ConstFloat:
+		return c.V, nil
+	case *ir.ConstNull:
+		return Pointer{}, nil
+	case *ir.ConstUndef:
+		return fr.s.constValue(c), nil
+	case *ir.ConstZero:
+		return fr.s.constValue(c), nil
+	case *ir.ConstArray, *ir.ConstStruct:
+		return fr.s.constValue(c.(ir.Constant)), nil
+	case *ir.Global:
+		return fr.s.globals[c], nil
+	case *ir.Function:
+		return c, nil
+	case *ir.Block:
+		// Block addresses are modelled as the block itself (indirectbr).
+		return c, nil
+	case *ir.InlineAsm:
+		return c, nil
+	case *ir.Param, *ir.Instruction:
+		val, ok := fr.vals[v]
+		if !ok {
+			return nil, fr.s.trapf(CrashUnhandled, "use of undefined value %s", v.Ident())
+		}
+		return val, nil
+	}
+	return nil, fr.s.trapf(CrashUnhandled, "unsupported operand %T", v)
+}
+
+// constValue materializes a constant as a runtime value.
+func (s *State) constValue(c ir.Constant) Value {
+	switch k := c.(type) {
+	case *ir.ConstInt:
+		return truncInt(k.V, k.Typ)
+	case *ir.ConstFloat:
+		return k.V
+	case *ir.ConstNull:
+		return Pointer{}
+	case *ir.ConstUndef:
+		switch k.Typ.Kind {
+		case ir.IntKind, ir.FloatKind, ir.PointerKind:
+			return Undef{}
+		}
+		return zeroValue(k.Typ)
+	case *ir.ConstZero:
+		return zeroValue(k.Typ)
+	case *ir.ConstArray:
+		out := make([]Value, len(k.Elems))
+		for i, e := range k.Elems {
+			out[i] = s.constValue(e)
+		}
+		return out
+	case *ir.ConstStruct:
+		out := make([]Value, len(k.Elems))
+		for i, e := range k.Elems {
+			out[i] = s.constValue(e)
+		}
+		return out
+	}
+	return int64(0)
+}
+
+// zeroValue returns the deterministic zero of a type (undef freezes to it).
+func zeroValue(t *ir.Type) Value {
+	switch t.Kind {
+	case ir.IntKind:
+		return int64(0)
+	case ir.FloatKind:
+		return float64(0)
+	case ir.PointerKind:
+		return Pointer{}
+	case ir.ArrayKind, ir.VectorKind:
+		out := make([]Value, t.Len)
+		for i := range out {
+			out[i] = zeroValue(t.Elem)
+		}
+		return out
+	case ir.StructKind:
+		out := make([]Value, len(t.Fields))
+		for i, f := range t.Fields {
+			out[i] = zeroValue(f)
+		}
+		return out
+	}
+	return int64(0)
+}
+
+// truncInt wraps v to the bit width of t, keeping the sign-extended Go
+// representation used throughout the interpreter.
+func truncInt(v int64, t *ir.Type) int64 {
+	if !t.IsInt() || t.Bits >= 64 {
+		return v
+	}
+	shift := uint(64 - t.Bits)
+	return v << shift >> shift
+}
+
+func zextInt(v int64, bits int) int64 {
+	if bits >= 64 {
+		return v
+	}
+	mask := int64(1)<<uint(bits) - 1
+	return v & mask
+}
+
+// execInst executes one non-phi instruction. Exactly one of (next, done)
+// is meaningful for terminators.
+func (fr *frame) execInst(inst *ir.Instruction, depth int) (next *ir.Block, ret Value, done bool, tr *trap, err error) {
+	s := fr.s
+	ev := func(n int) (Value, *trap) { return fr.eval(inst.Operands[n]) }
+	set := func(v Value) { fr.vals[inst] = v }
+
+	switch {
+	case inst.Op == ir.Ret:
+		if len(inst.Operands) == 0 {
+			return nil, nil, true, nil, nil
+		}
+		v, tr := ev(0)
+		return nil, v, true, tr, nil
+
+	case inst.Op == ir.Br:
+		if !inst.IsCondBr() {
+			return inst.Operands[0].(*ir.Block), nil, false, nil, nil
+		}
+		c, tr := ev(0)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		if isUndef(c) {
+			return nil, nil, false, s.trapf(CrashUB, "branch on undef"), nil
+		}
+		if c.(int64)&1 != 0 {
+			return inst.Operands[1].(*ir.Block), nil, false, nil, nil
+		}
+		return inst.Operands[2].(*ir.Block), nil, false, nil, nil
+
+	case inst.Op == ir.Switch:
+		c, tr := ev(0)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		if isUndef(c) {
+			return nil, nil, false, s.trapf(CrashUB, "switch on undef"), nil
+		}
+		cv := c.(int64)
+		for k := 0; k < inst.NumCases(); k++ {
+			cc, cb := inst.SwitchCase(k)
+			if ci, ok := cc.(*ir.ConstInt); ok && truncInt(ci.V, ci.Typ) == cv {
+				return cb, nil, false, nil, nil
+			}
+		}
+		return inst.Operands[1].(*ir.Block), nil, false, nil, nil
+
+	case inst.Op == ir.IndirectBr:
+		a, tr := ev(0)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		if blk, ok := a.(*ir.Block); ok {
+			return blk, nil, false, nil, nil
+		}
+		// Block addresses are modelled as the block itself; anything else
+		// falls to the first destination deterministically.
+		return inst.Operands[1].(*ir.Block), nil, false, nil, nil
+
+	case inst.Op == ir.Unreachable:
+		return nil, nil, false, s.trapf(CrashUnhandled, "executed unreachable"), nil
+
+	case inst.Op == ir.Resume:
+		return nil, nil, false, s.trapf(CrashUnhandled, "resumed exception"), nil
+
+	case inst.Op == ir.Call, inst.Op == ir.Invoke, inst.Op == ir.CallBr:
+		v, tr2, err2 := fr.doCall(inst, depth)
+		if err2 != nil || tr2 != nil {
+			return nil, nil, false, tr2, err2
+		}
+		if inst.HasResult() {
+			set(v)
+		}
+		switch inst.Op {
+		case ir.Invoke:
+			return inst.Operands[1].(*ir.Block), nil, false, nil, nil
+		case ir.CallBr:
+			return inst.Operands[1].(*ir.Block), nil, false, nil, nil
+		}
+		return nil, nil, false, nil, nil
+
+	case inst.Op == ir.FNeg:
+		v, tr := ev(0)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		if isUndef(v) {
+			return nil, nil, false, s.trapf(CrashUB, "fneg of undef"), nil
+		}
+		set(-v.(float64))
+		return nil, nil, false, nil, nil
+
+	case inst.Op.IsBinary():
+		l, tr := ev(0)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		r, tr := ev(1)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		v, tr := binop(s, inst.Op, l, r, inst.Typ)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		set(v)
+		return nil, nil, false, nil, nil
+
+	case inst.Op == ir.Alloca:
+		n := 1
+		if len(inst.Operands) == 1 {
+			cv, tr := ev(0)
+			if tr != nil {
+				return nil, nil, false, tr, nil
+			}
+			n = int(cv.(int64))
+			if n < 0 {
+				n = 0
+			}
+		}
+		obj := s.alloc(n*inst.Attrs.ElemTy.Size(), false, "alloca")
+		set(Pointer{Obj: obj})
+		return nil, nil, false, nil, nil
+
+	case inst.Op == ir.Load:
+		p, tr := ev(0)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		if isUndef(p) {
+			return nil, nil, false, s.trapf(CrashUB, "load through undef pointer"), nil
+		}
+		v, tr := s.loadValue(p.(Pointer), inst.Attrs.ElemTy)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		set(v)
+		return nil, nil, false, nil, nil
+
+	case inst.Op == ir.Store:
+		v, tr := ev(0)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		p, tr := ev(1)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		if isUndef(p) {
+			return nil, nil, false, s.trapf(CrashUB, "store through undef pointer"), nil
+		}
+		tr = s.storeValue(p.(Pointer), inst.Operands[0].Type(), v)
+		return nil, nil, false, tr, nil
+
+	case inst.Op == ir.GetElementPtr:
+		v, tr := fr.gep(inst)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		set(v)
+		return nil, nil, false, nil, nil
+
+	case inst.Op == ir.Fence:
+		return nil, nil, false, nil, nil
+
+	case inst.Op == ir.CmpXchg:
+		p, tr := ev(0)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		cmp, tr := ev(1)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		nw, tr := ev(2)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		elemTy := inst.Operands[1].Type()
+		old, tr := s.loadValue(p.(Pointer), elemTy)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		okFlag := int64(0)
+		if old == cmp {
+			okFlag = 1
+			if tr := s.storeValue(p.(Pointer), elemTy, nw); tr != nil {
+				return nil, nil, false, tr, nil
+			}
+		}
+		set([]Value{old, okFlag})
+		return nil, nil, false, nil, nil
+
+	case inst.Op == ir.AtomicRMW:
+		p, tr := ev(0)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		v, tr := ev(1)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		elemTy := inst.Operands[1].Type()
+		old, tr := s.loadValue(p.(Pointer), elemTy)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		nw := rmw(inst.Attrs.RMW, old.(int64), v.(int64), elemTy)
+		if tr := s.storeValue(p.(Pointer), elemTy, nw); tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		set(old)
+		return nil, nil, false, nil, nil
+
+	case inst.Op.IsConversion():
+		v, tr := ev(0)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		cv, tr := fr.convert(inst, v)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		set(cv)
+		return nil, nil, false, nil, nil
+
+	case inst.Op == ir.ICmp:
+		l, tr := ev(0)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		r, tr := ev(1)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		if isUndef(l) || isUndef(r) {
+			return nil, nil, false, s.trapf(CrashUB, "icmp with undef operand"), nil
+		}
+		set(icmp(inst.Attrs.IPred, l, r, inst.Operands[0].Type()))
+		return nil, nil, false, nil, nil
+
+	case inst.Op == ir.FCmp:
+		l, tr := ev(0)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		r, tr := ev(1)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		if isUndef(l) || isUndef(r) {
+			return nil, nil, false, s.trapf(CrashUB, "fcmp with undef operand"), nil
+		}
+		set(fcmp(inst.Attrs.FPred, l.(float64), r.(float64)))
+		return nil, nil, false, nil, nil
+
+	case inst.Op == ir.Select:
+		c, tr := ev(0)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		if isUndef(c) {
+			return nil, nil, false, s.trapf(CrashUB, "select on undef"), nil
+		}
+		idx := 2
+		if c.(int64)&1 != 0 {
+			idx = 1
+		}
+		v, tr := ev(idx)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		set(v)
+		return nil, nil, false, nil, nil
+
+	case inst.Op == ir.ExtractElement:
+		vec, tr := ev(0)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		ix, tr := ev(1)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		elems := vec.([]Value)
+		i := int(ix.(int64))
+		if i < 0 || i >= len(elems) {
+			return nil, nil, false, s.trapf(CrashOOB, "extractelement index %d of %d", i, len(elems)), nil
+		}
+		set(elems[i])
+		return nil, nil, false, nil, nil
+
+	case inst.Op == ir.InsertElement:
+		vec, tr := ev(0)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		el, tr := ev(1)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		ix, tr := ev(2)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		src := vec.([]Value)
+		out := make([]Value, len(src))
+		copy(out, src)
+		i := int(ix.(int64))
+		if i < 0 || i >= len(out) {
+			return nil, nil, false, s.trapf(CrashOOB, "insertelement index %d of %d", i, len(out)), nil
+		}
+		out[i] = el
+		set(out)
+		return nil, nil, false, nil, nil
+
+	case inst.Op == ir.ShuffleVector:
+		v1, tr := ev(0)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		v2, tr := ev(1)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		mask, tr := ev(2)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		a, b2, mk := v1.([]Value), v2.([]Value), mask.([]Value)
+		out := make([]Value, len(mk))
+		for i, mi := range mk {
+			m := int(mi.(int64))
+			if m < len(a) {
+				out[i] = a[m]
+			} else if m-len(a) < len(b2) {
+				out[i] = b2[m-len(a)]
+			} else {
+				out[i] = int64(0)
+			}
+		}
+		set(out)
+		return nil, nil, false, nil, nil
+
+	case inst.Op == ir.ExtractValue:
+		agg, tr := ev(0)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		cur := agg
+		for _, ix := range inst.Attrs.Indices {
+			elems, ok := cur.([]Value)
+			if !ok || ix < 0 || ix >= len(elems) {
+				return nil, nil, false, s.trapf(CrashOOB, "extractvalue index %d", ix), nil
+			}
+			cur = elems[ix]
+		}
+		set(cur)
+		return nil, nil, false, nil, nil
+
+	case inst.Op == ir.InsertValue:
+		agg, tr := ev(0)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		el, tr := ev(1)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		out, tr := insertAt(s, agg, el, inst.Attrs.Indices)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		set(out)
+		return nil, nil, false, nil, nil
+
+	case inst.Op == ir.Phi:
+		return nil, nil, false, nil, fmt.Errorf("interp: phi reached execInst")
+
+	case inst.Op == ir.VAArg:
+		set(zeroValue(inst.Typ))
+		return nil, nil, false, nil, nil
+
+	case inst.Op == ir.LandingPad:
+		set(zeroValue(inst.Typ))
+		return nil, nil, false, nil, nil
+
+	case inst.Op == ir.Freeze:
+		v, tr := ev(0)
+		if tr != nil {
+			return nil, nil, false, tr, nil
+		}
+		if isUndef(v) {
+			v = zeroValue(inst.Typ) // freeze picks a fixed value
+		}
+		set(v)
+		return nil, nil, false, nil, nil
+
+	case inst.Op == ir.CatchSwitch, inst.Op == ir.CatchPad, inst.Op == ir.CleanupPad,
+		inst.Op == ir.CatchRet, inst.Op == ir.CleanupRet:
+		// Windows EH never executes on this target (§6.2 of the paper:
+		// such instructions are dropped as unreachable).
+		return nil, nil, false, s.trapf(CrashUnhandled, "executed Windows EH instruction %s", inst.Op), nil
+	}
+	return nil, nil, false, nil, fmt.Errorf("interp: unhandled opcode %s", inst.Op)
+}
+
+// insertAt rebuilds an aggregate with elements at indices replaced.
+func insertAt(s *State, agg, el Value, indices []int) (Value, *trap) {
+	if len(indices) == 0 {
+		return el, nil
+	}
+	elems, ok := agg.([]Value)
+	ix := indices[0]
+	if !ok || ix < 0 || ix >= len(elems) {
+		return nil, s.trapf(CrashOOB, "insertvalue index %d", ix)
+	}
+	out := make([]Value, len(elems))
+	copy(out, elems)
+	inner, tr := insertAt(s, out[ix], el, indices[1:])
+	if tr != nil {
+		return nil, tr
+	}
+	out[ix] = inner
+	return out, nil
+}
+
+// gep computes a pointer offset.
+func (fr *frame) gep(inst *ir.Instruction) (Value, *trap) {
+	s := fr.s
+	base, tr := fr.eval(inst.Operands[0])
+	if tr != nil {
+		return nil, tr
+	}
+	if isUndef(base) {
+		return nil, s.trapf(CrashUB, "gep on undef pointer")
+	}
+	p, ok := base.(Pointer)
+	if !ok {
+		return nil, s.trapf(CrashUnhandled, "gep base is not a pointer")
+	}
+	elem := inst.Attrs.ElemTy
+	off := p.Off
+	for k, ixOp := range inst.Operands[1:] {
+		iv, tr := fr.eval(ixOp)
+		if tr != nil {
+			return nil, tr
+		}
+		ix := int(iv.(int64))
+		if k == 0 {
+			off += ix * elem.Size()
+			continue
+		}
+		switch elem.Kind {
+		case ir.ArrayKind, ir.VectorKind:
+			off += ix * elem.Elem.Size()
+			elem = elem.Elem
+		case ir.StructKind:
+			if ix < 0 || ix >= len(elem.Fields) {
+				return nil, s.trapf(CrashOOB, "gep struct index %d", ix)
+			}
+			off += elem.FieldOffset(ix)
+			elem = elem.Fields[ix]
+		default:
+			off += ix * elem.Size()
+		}
+	}
+	return Pointer{Obj: p.Obj, Off: off}, nil
+}
+
+// convert implements the cast opcodes.
+func (fr *frame) convert(inst *ir.Instruction, v Value) (Value, *trap) {
+	if isUndef(v) {
+		return Undef{}, nil // undef propagates through casts
+	}
+	to := inst.Typ
+	switch inst.Op {
+	case ir.Trunc:
+		return truncInt(v.(int64), to), nil
+	case ir.ZExt:
+		return zextInt(v.(int64), inst.Operands[0].Type().Bits), nil
+	case ir.SExt:
+		return v.(int64), nil // already sign-extended in Go representation
+	case ir.FPTrunc:
+		return float64(float32(v.(float64))), nil
+	case ir.FPExt:
+		return v.(float64), nil
+	case ir.FPToSI, ir.FPToUI:
+		return truncInt(int64(v.(float64)), to), nil
+	case ir.SIToFP:
+		return float64(v.(int64)), nil
+	case ir.UIToFP:
+		return float64(uint64(zextInt(v.(int64), inst.Operands[0].Type().Bits))), nil
+	case ir.PtrToInt:
+		p := v.(Pointer)
+		if p.IsNull() {
+			return int64(0), nil
+		}
+		iv := int64(p.Obj.ID)<<32 | int64(p.Off)
+		fr.s.ptrIDs[iv] = p
+		return iv, nil
+	case ir.IntToPtr:
+		// Pointers previously converted with ptrtoint round-trip exactly;
+		// any other integer yields a wild pointer that traps on access.
+		iv := v.(int64)
+		if iv == 0 {
+			return Pointer{}, nil
+		}
+		if p, ok := fr.s.ptrIDs[iv]; ok {
+			return p, nil
+		}
+		return Pointer{Obj: &Object{ID: int(iv >> 32)}, Off: int(iv & 0xffffffff)}, nil
+	case ir.BitCast, ir.AddrSpaceCast:
+		return v, nil
+	}
+	return nil, fr.s.trapf(CrashUnhandled, "unknown conversion %s", inst.Op)
+}
+
+func binop(s *State, op ir.Opcode, l, r Value, t *ir.Type) (Value, *trap) {
+	if isUndef(l) || isUndef(r) {
+		return nil, s.trapf(CrashUB, "%s with undef operand", op)
+	}
+	if t.IsFloat() {
+		a, b := l.(float64), r.(float64)
+		switch op {
+		case ir.FAdd:
+			return a + b, nil
+		case ir.FSub:
+			return a - b, nil
+		case ir.FMul:
+			return a * b, nil
+		case ir.FDiv:
+			return a / b, nil
+		case ir.FRem:
+			return math.Mod(a, b), nil
+		}
+		return nil, s.trapf(CrashUnhandled, "float binop %s", op)
+	}
+	a, b := l.(int64), r.(int64)
+	bits := t.Bits
+	switch op {
+	case ir.Add:
+		return truncInt(a+b, t), nil
+	case ir.Sub:
+		return truncInt(a-b, t), nil
+	case ir.Mul:
+		return truncInt(a*b, t), nil
+	case ir.SDiv:
+		if b == 0 {
+			return nil, s.trapf(CrashDivZero, "sdiv by zero")
+		}
+		return truncInt(a/b, t), nil
+	case ir.UDiv:
+		if b == 0 {
+			return nil, s.trapf(CrashDivZero, "udiv by zero")
+		}
+		return truncInt(int64(uint64(zextInt(a, bits))/uint64(zextInt(b, bits))), t), nil
+	case ir.SRem:
+		if b == 0 {
+			return nil, s.trapf(CrashDivZero, "srem by zero")
+		}
+		return truncInt(a%b, t), nil
+	case ir.URem:
+		if b == 0 {
+			return nil, s.trapf(CrashDivZero, "urem by zero")
+		}
+		return truncInt(int64(uint64(zextInt(a, bits))%uint64(zextInt(b, bits))), t), nil
+	case ir.Shl:
+		return truncInt(a<<uint(b&63), t), nil
+	case ir.LShr:
+		return truncInt(int64(uint64(zextInt(a, bits))>>uint(b&63)), t), nil
+	case ir.AShr:
+		return truncInt(a>>uint(b&63), t), nil
+	case ir.And:
+		return truncInt(a&b, t), nil
+	case ir.Or:
+		return truncInt(a|b, t), nil
+	case ir.Xor:
+		return truncInt(a^b, t), nil
+	}
+	return nil, s.trapf(CrashUnhandled, "int binop %s", op)
+}
+
+func rmw(op ir.RMWOp, old, v int64, t *ir.Type) int64 {
+	switch op {
+	case ir.RMWXchg:
+		return truncInt(v, t)
+	case ir.RMWAdd:
+		return truncInt(old+v, t)
+	case ir.RMWSub:
+		return truncInt(old-v, t)
+	case ir.RMWAnd:
+		return old & v
+	case ir.RMWOr:
+		return old | v
+	case ir.RMWXor:
+		return old ^ v
+	case ir.RMWMax:
+		if v > old {
+			return v
+		}
+		return old
+	case ir.RMWMin:
+		if v < old {
+			return v
+		}
+		return old
+	}
+	return old
+}
+
+func icmp(p ir.IPred, l, r Value, t *ir.Type) int64 {
+	if t.IsPointer() {
+		lp, _ := l.(Pointer)
+		rp, _ := r.(Pointer)
+		eq := lp.Obj == rp.Obj && lp.Off == rp.Off
+		switch p {
+		case ir.IntEQ:
+			return b2i(eq)
+		case ir.IntNE:
+			return b2i(!eq)
+		default:
+			lid, rid := ptrOrd(lp), ptrOrd(rp)
+			return intPred(p, lid, rid, 64)
+		}
+	}
+	return intPred(p, l.(int64), r.(int64), t.Bits)
+}
+
+func ptrOrd(p Pointer) int64 {
+	if p.Obj == nil {
+		return int64(p.Off)
+	}
+	return int64(p.Obj.ID)<<32 + int64(p.Off)
+}
+
+func intPred(p ir.IPred, a, b int64, bits int) int64 {
+	ua, ub := uint64(zextInt(a, bits)), uint64(zextInt(b, bits))
+	switch p {
+	case ir.IntEQ:
+		return b2i(a == b)
+	case ir.IntNE:
+		return b2i(a != b)
+	case ir.IntSGT:
+		return b2i(a > b)
+	case ir.IntSGE:
+		return b2i(a >= b)
+	case ir.IntSLT:
+		return b2i(a < b)
+	case ir.IntSLE:
+		return b2i(a <= b)
+	case ir.IntUGT:
+		return b2i(ua > ub)
+	case ir.IntUGE:
+		return b2i(ua >= ub)
+	case ir.IntULT:
+		return b2i(ua < ub)
+	case ir.IntULE:
+		return b2i(ua <= ub)
+	}
+	return 0
+}
+
+func fcmp(p ir.FPred, a, b float64) int64 {
+	switch p {
+	case ir.FloatOEQ:
+		return b2i(a == b)
+	case ir.FloatONE:
+		return b2i(a != b && !math.IsNaN(a) && !math.IsNaN(b))
+	case ir.FloatOGT:
+		return b2i(a > b)
+	case ir.FloatOGE:
+		return b2i(a >= b)
+	case ir.FloatOLT:
+		return b2i(a < b)
+	case ir.FloatOLE:
+		return b2i(a <= b)
+	case ir.FloatUNO:
+		return b2i(math.IsNaN(a) || math.IsNaN(b))
+	case ir.FloatUNE:
+		return b2i(a != b || math.IsNaN(a) || math.IsNaN(b))
+	}
+	return 0
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,175 @@
+package interp
+
+import (
+	"repro/internal/ir"
+)
+
+// doCall evaluates the callee and arguments of a call-like instruction
+// and dispatches to a defined function, an external intrinsic, or inline
+// assembly.
+func (fr *frame) doCall(inst *ir.Instruction, depth int) (Value, *trap, error) {
+	s := fr.s
+	calleeV, tr := fr.eval(inst.Operands[0])
+	if tr != nil {
+		return nil, tr, nil
+	}
+	var args []Value
+	for _, a := range inst.CallArgs() {
+		v, tr := fr.eval(a)
+		if tr != nil {
+			return nil, tr, nil
+		}
+		args = append(args, v)
+	}
+	switch c := calleeV.(type) {
+	case *ir.Function:
+		return s.call(c, args, depth+1)
+	case *ir.InlineAsm:
+		// Inline assembly is a deterministic no-op producing zero; the
+		// backend-version gate is enforced by the compile step of the
+		// harness, not at runtime.
+		if inst.HasResult() {
+			return zeroValue(inst.Typ), nil, nil
+		}
+		return nil, nil, nil
+	case Pointer:
+		return nil, s.trapf(CrashUnhandled, "indirect call through non-function pointer"), nil
+	}
+	return nil, s.trapf(CrashUnhandled, "call through %T", calleeV), nil
+}
+
+// extern dispatches a call to a declared (body-less) function. User
+// overrides in Options.Extern take precedence over the built-ins.
+func (s *State) extern(f *ir.Function, args []Value) (Value, *trap) {
+	if fn, ok := s.opts.Extern[f.Name]; ok {
+		return fn(s, args)
+	}
+	switch f.Name {
+	case "malloc", "kmalloc":
+		n := argInt(args, 0)
+		if n < 0 {
+			n = 0
+		}
+		obj := s.alloc(int(n), true, "malloc")
+		return Pointer{Obj: obj}, nil
+
+	case "calloc":
+		n := argInt(args, 0) * argInt(args, 1)
+		obj := s.alloc(int(n), true, "calloc")
+		return Pointer{Obj: obj}, nil
+
+	case "free", "kfree":
+		p, ok := argPtr(args, 0)
+		if !ok || p.IsNull() {
+			return nil, nil // free(NULL) is a no-op
+		}
+		if !p.Obj.Heap {
+			return nil, s.trapf(CrashBadFree, "free of non-heap object %s", p.Obj.Name)
+		}
+		if p.Obj.Freed {
+			return nil, s.trapf(CrashBadFree, "double free of %s", p.Obj.Name)
+		}
+		p.Obj.Freed = true
+		return nil, nil
+
+	case "open", "fd_open":
+		fd := s.nextFD
+		s.nextFD++
+		s.fds[fd] = true
+		return fd, nil
+
+	case "close", "fd_close":
+		fd := argInt(args, 0)
+		if !s.fds[fd] {
+			return int64(-1), nil
+		}
+		delete(s.fds, fd)
+		return int64(0), nil
+
+	case "abort", "panic", "siro.abort":
+		return nil, s.trapf(CrashAbort, "abort called")
+
+	case "exit":
+		// Modelled as returning from main would; surfaced as abort with
+		// the exit code in the message for harness visibility.
+		return nil, s.trapf(CrashAbort, "exit called")
+
+	case "siro.input", "read_input":
+		idx := int(argInt(args, 0))
+		if idx < 0 || idx >= len(s.opts.Input) {
+			return int64(0), nil
+		}
+		return int64(s.opts.Input[idx]), nil
+
+	case "siro.input_len":
+		return int64(len(s.opts.Input)), nil
+
+	case "printf", "puts", "fprintf", "printk":
+		return int64(0), nil
+
+	case "memset":
+		p, ok := argPtr(args, 0)
+		n := int(argInt(args, 2))
+		if !ok {
+			return Pointer{}, nil
+		}
+		if tr := s.checkAccess(p, n, "memset"); tr != nil {
+			return nil, tr
+		}
+		b := byte(argInt(args, 1))
+		for i := 0; i < n; i++ {
+			p.Obj.Data[p.Off+i] = b
+		}
+		return p, nil
+
+	case "memcpy":
+		dst, okD := argPtr(args, 0)
+		src, okS := argPtr(args, 1)
+		n := int(argInt(args, 2))
+		if !okD || !okS {
+			return Pointer{}, nil
+		}
+		if tr := s.checkAccess(dst, n, "memcpy dst"); tr != nil {
+			return nil, tr
+		}
+		if tr := s.checkAccess(src, n, "memcpy src"); tr != nil {
+			return nil, tr
+		}
+		copy(dst.Obj.Data[dst.Off:dst.Off+n], src.Obj.Data[src.Off:src.Off+n])
+		return dst, nil
+	}
+	// Unknown externals return a deterministic zero of their return type
+	// so that test-case oracles remain stable.
+	return zeroValue(f.Sig.Ret), nil
+}
+
+// OpenFDs returns the set of still-open file descriptors; the fuzz and
+// analysis harnesses use it to observe descriptor leaks at exit.
+func (s *State) OpenFDs() int { return len(s.fds) }
+
+// Alloc exposes allocation to ExternFunc implementations.
+func (s *State) Alloc(n int, name string) Pointer {
+	return Pointer{Obj: s.alloc(n, true, name)}
+}
+
+// Trap lets ExternFunc implementations raise a crash.
+func (s *State) Trap(kind CrashKind, msg string) *trap { return &trap{kind: kind, msg: msg} }
+
+// InputBytes exposes the PoC input to ExternFunc implementations.
+func (s *State) InputBytes() []byte { return s.opts.Input }
+
+func argInt(args []Value, n int) int64 {
+	if n >= len(args) {
+		return 0
+	}
+	v, _ := args[n].(int64)
+	return v
+}
+
+func argPtr(args []Value, n int) (Pointer, bool) {
+	if n >= len(args) {
+		return Pointer{}, false
+	}
+	p, ok := args[n].(Pointer)
+	return p, ok
+}

@@ -1,0 +1,270 @@
+// Package interp executes in-memory IR modules. It is the execution
+// oracle of Siro's differential validation (Fig. 6 of the paper): a test
+// case is an IR program whose main function returns a constant, and a
+// per-test translator is accepted only if the translated program still
+// compiles, verifies, and returns the same constant.
+//
+// The interpreter also powers the fuzzing-reproduction harness: it
+// models a byte-addressable heap with allocation liveness, so seeded
+// memory-safety CVEs (null dereference, use-after-free, out-of-bounds)
+// crash exactly as an instrumented native build would.
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// CrashKind classifies a runtime trap.
+type CrashKind string
+
+// The crash kinds the interpreter can report.
+const (
+	CrashNone      CrashKind = ""
+	CrashNullDeref CrashKind = "null-dereference"
+	CrashUAF       CrashKind = "use-after-free"
+	CrashOOB       CrashKind = "out-of-bounds"
+	CrashDivZero   CrashKind = "division-by-zero"
+	CrashAbort     CrashKind = "abort"
+	CrashUnhandled CrashKind = "unhandled-exception"
+	CrashBadFree   CrashKind = "invalid-free"
+	CrashUB        CrashKind = "undefined-behavior"
+)
+
+// Result is the outcome of executing a module's main function.
+type Result struct {
+	Ret   int64 // main's return value, when it returned normally
+	Crash CrashKind
+	Msg   string
+	Steps int
+}
+
+// Crashed reports whether execution trapped.
+func (r Result) Crashed() bool { return r.Crash != CrashNone }
+
+// Options configures an execution.
+type Options struct {
+	// MaxSteps bounds the number of executed instructions; 0 means the
+	// default of 1,000,000.
+	MaxSteps int
+	// Input provides the byte stream read by the siro.input intrinsic
+	// (the PoC bytes in the fuzzing harness).
+	Input []byte
+	// Extern supplies extra external-function implementations keyed by
+	// name, consulted before the built-in intrinsics.
+	Extern map[string]ExternFunc
+}
+
+// ExternFunc implements a declared function.
+type ExternFunc func(s *State, args []Value) (Value, *trap)
+
+// Value is a runtime value: int64, float64, Pointer, *ir.Function,
+// []Value (aggregate/vector), or nil (void).
+type Value any
+
+// Pointer is a runtime pointer into an object.
+type Pointer struct {
+	Obj *Object
+	Off int
+}
+
+// IsNull reports whether p is the null pointer.
+func (p Pointer) IsNull() bool { return p.Obj == nil }
+
+// Object is an allocation.
+type Object struct {
+	ID    int
+	Data  []byte
+	Freed bool
+	Heap  bool
+	Name  string // global name or allocation site, for diagnostics
+}
+
+// trap carries a crash out of the evaluation recursion.
+type trap struct {
+	kind CrashKind
+	msg  string
+}
+
+// State is the machine state threaded through execution.
+type State struct {
+	m       *ir.Module
+	opts    Options
+	steps   int
+	maxSt   int
+	nextID  int
+	inputAt int
+	globals map[*ir.Global]Pointer
+	handles map[int64]Value // boxed non-numeric values stored to memory
+	ptrIDs  map[int64]Pointer
+	nextH   int64
+	fds     map[int64]bool // open file descriptors (FDL modelling)
+	nextFD  int64
+}
+
+// ErrNoMain is returned when the module lacks a defined main function.
+var ErrNoMain = errors.New("interp: module has no defined @main")
+
+// ErrBudget is returned when execution exceeds the step budget.
+var ErrBudget = errors.New("interp: step budget exhausted")
+
+// Run executes m's main function. Runtime type confusion (possible when
+// executing candidate translations that verified structurally but mix up
+// value categories) is converted into an error rather than a panic, so
+// the synthesis validation loop can reject such candidates cheaply.
+func Run(m *ir.Module, opts Options) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{}
+			err = fmt.Errorf("interp: runtime type confusion: %v", r)
+		}
+	}()
+	return run(m, opts)
+}
+
+func run(m *ir.Module, opts Options) (Result, error) {
+	main := m.Func("main")
+	if main == nil || main.IsDecl() {
+		return Result{}, ErrNoMain
+	}
+	s := &State{
+		m:       m,
+		opts:    opts,
+		maxSt:   opts.MaxSteps,
+		globals: map[*ir.Global]Pointer{},
+		handles: map[int64]Value{},
+		ptrIDs:  map[int64]Pointer{},
+		nextH:   1,
+		fds:     map[int64]bool{},
+		nextFD:  3,
+	}
+	if s.maxSt == 0 {
+		s.maxSt = 1_000_000
+	}
+	for _, g := range m.Globals {
+		obj := s.alloc(g.Content.Size(), false, "@"+g.Name)
+		p := Pointer{Obj: obj}
+		s.globals[g] = p
+		if g.Init != nil {
+			if tr := s.storeValue(p, g.Content, s.constValue(g.Init)); tr != nil {
+				return Result{Crash: tr.kind, Msg: tr.msg, Steps: s.steps}, nil
+			}
+		}
+	}
+	v, tr, err := s.call(main, nil, 0)
+	if err != nil {
+		return Result{Steps: s.steps}, err
+	}
+	if tr != nil {
+		return Result{Crash: tr.kind, Msg: tr.msg, Steps: s.steps}, nil
+	}
+	ret, _ := v.(int64)
+	return Result{Ret: ret, Steps: s.steps}, nil
+}
+
+func (s *State) alloc(size int, heap bool, name string) *Object {
+	s.nextID++
+	return &Object{ID: s.nextID, Data: make([]byte, size), Heap: heap, Name: name}
+}
+
+func (s *State) trapf(kind CrashKind, format string, args ...any) *trap {
+	return &trap{kind: kind, msg: fmt.Sprintf(format, args...)}
+}
+
+const maxDepth = 256
+
+// frame is one function activation.
+type frame struct {
+	s    *State
+	f    *ir.Function
+	vals map[ir.Value]Value
+}
+
+func (s *State) call(f *ir.Function, args []Value, depth int) (Value, *trap, error) {
+	if depth > maxDepth {
+		return nil, nil, fmt.Errorf("interp: call depth exceeded in @%s", f.Name)
+	}
+	if f.IsDecl() {
+		v, tr := s.extern(f, args)
+		return v, tr, nil
+	}
+	fr := &frame{s: s, f: f, vals: map[ir.Value]Value{}}
+	for i, p := range f.Params {
+		if i < len(args) {
+			fr.vals[p] = args[i]
+		}
+	}
+	blk := f.Entry()
+	var prev *ir.Block
+	for {
+		next, ret, tr, err := fr.execBlock(blk, prev, depth)
+		if err != nil || tr != nil {
+			return nil, tr, err
+		}
+		if next == nil {
+			return ret, nil, nil
+		}
+		prev, blk = blk, next
+	}
+}
+
+// execBlock runs one block; it returns the successor (nil on return),
+// the return value, a trap, or an error.
+func (fr *frame) execBlock(b, prev *ir.Block, depth int) (*ir.Block, Value, *trap, error) {
+	s := fr.s
+	// Phase 1: evaluate all phis against the incoming edge first so that
+	// mutually referencing phis read pre-transfer values.
+	var phiVals []Value
+	nPhi := 0
+	for _, inst := range b.Insts {
+		if inst.Op != ir.Phi {
+			break
+		}
+		nPhi++
+		found := false
+		for k := 0; k < inst.NumIncoming(); k++ {
+			v, blk := inst.PhiIncoming(k)
+			if blk == prev {
+				pv, tr := fr.eval(v)
+				if tr != nil {
+					return nil, nil, tr, nil
+				}
+				phiVals = append(phiVals, pv)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, nil, nil, fmt.Errorf("interp: phi in %%%s has no edge from %%%s", b.Name, blockNameOf(prev))
+		}
+	}
+	for k := 0; k < nPhi; k++ {
+		fr.vals[b.Insts[k]] = phiVals[k]
+	}
+	for _, inst := range b.Insts[nPhi:] {
+		s.steps++
+		if s.steps > s.maxSt {
+			return nil, nil, nil, ErrBudget
+		}
+		next, ret, done, tr, err := fr.execInst(inst, depth)
+		if err != nil || tr != nil {
+			return nil, nil, tr, err
+		}
+		if done {
+			return nil, ret, nil, nil
+		}
+		if next != nil {
+			return next, nil, nil, nil
+		}
+	}
+	return nil, nil, nil, fmt.Errorf("interp: block %%%s fell through", b.Name)
+}
+
+func blockNameOf(b *ir.Block) string {
+	if b == nil {
+		return "<entry>"
+	}
+	return b.Name
+}

@@ -1,0 +1,327 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/irtext"
+	"repro/internal/version"
+)
+
+func TestNoMain(t *testing.T) {
+	m := ir.NewModule("t", version.V12_0)
+	if _, err := Run(m, Options{}); err != ErrNoMain {
+		t.Fatalf("err = %v, want ErrNoMain", err)
+	}
+	// A declared-only main is also not runnable.
+	m.AddFunc(ir.NewFunction("main", ir.Func(ir.I32, nil, false), nil))
+	if _, err := Run(m, Options{}); err != ErrNoMain {
+		t.Fatalf("err = %v, want ErrNoMain", err)
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	src := `
+define i32 @loop(i32 %n) {
+entry:
+  %r = call i32 @loop(i32 %n)
+  ret i32 %r
+}
+
+define i32 @main() {
+entry:
+  %r = call i32 @loop(i32 1)
+  ret i32 %r
+}
+`
+	m, err := irtext.Parse(src, version.V12_0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(m, Options{}); err == nil ||
+		!strings.Contains(err.Error(), "depth") {
+		t.Fatalf("err = %v, want depth error", err)
+	}
+}
+
+func TestUnreachableTrap(t *testing.T) {
+	expectCrash(t, `
+define i32 @main() {
+entry:
+  unreachable
+}
+`, CrashUnhandled)
+}
+
+func TestResumeTrap(t *testing.T) {
+	expectCrash(t, `
+define i32 @main() {
+entry:
+  resume i32 1
+}
+`, CrashUnhandled)
+}
+
+func TestWindowsEHTrap(t *testing.T) {
+	expectCrash(t, `
+define i32 @main() {
+entry:
+  %cl = cleanuppad within none []
+  cleanupret from %cl unwind to caller
+}
+`, CrashUnhandled)
+}
+
+func TestUndefSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want CrashKind
+	}{
+		{"branch", "%c = icmp eq i32 undef, 0\n  br i1 %c, label %a, label %a\na:\n  ret i32 0", CrashUB},
+		{"binop", "%x = add i32 undef, 1\n  ret i32 %x", CrashUB},
+		{"select", "%x = select i1 undef, i32 1, i32 2\n  ret i32 %x", CrashUB},
+		{"load", "%v = load i32, i32* undef\n  ret i32 %v", CrashUB},
+		{"store", "store i32 1, i32* undef\n  ret i32 0", CrashUB},
+		{"freeze-shields", "%f = freeze i32 undef\n  ret i32 %f", CrashNone},
+		{"cast-propagates", "%w = zext i32 undef to i64\n  %t = trunc i64 %w to i32\n  %r = add i32 %t, 1\n  ret i32 %r", CrashUB},
+	}
+	for _, c := range cases {
+		src := "define i32 @main() {\nentry:\n  " + c.body + "\n}\n"
+		r := runSrc(t, src, Options{})
+		if r.Crash != c.want {
+			t.Errorf("%s: crash = %q, want %q", c.name, r.Crash, c.want)
+		}
+	}
+}
+
+func TestSwitchDefaultOnUndefTraps(t *testing.T) {
+	expectCrash(t, `
+define i32 @main() {
+entry:
+  switch i32 undef, label %d [ i32 1, label %a ]
+a:
+  ret i32 1
+d:
+  ret i32 0
+}
+`, CrashUB)
+}
+
+func TestIndirectCallThroughDataPointerTraps(t *testing.T) {
+	expectCrash(t, `
+define i32 @main() {
+entry:
+  %p = alloca i32
+  %fp = bitcast i32* %p to i32 ()*
+  %r = call i32 %fp()
+  ret i32 %r
+}
+`, CrashUnhandled)
+}
+
+func TestExternVariants(t *testing.T) {
+	expectRet(t, `
+declare i8* @calloc(i64, i64)
+declare i64 @siro.input_len()
+declare i32 @printf(i8*, ...)
+
+define i32 @main() {
+entry:
+  %p = call i8* @calloc(i64 2, i64 4)
+  %v = load i8, i8* %p
+  %n = call i64 @siro.input_len()
+  %nw = trunc i64 %n to i32
+  %vw = zext i8 %v to i32
+  %r = add i32 %vw, %nw
+  ret i32 %r
+}
+`, 0)
+}
+
+func TestExitIsAbortLike(t *testing.T) {
+	expectCrash(t, `
+declare void @exit(i32)
+
+define i32 @main() {
+entry:
+  call void @exit(i32 3)
+  ret i32 0
+}
+`, CrashAbort)
+}
+
+func TestFreeNullIsNoop(t *testing.T) {
+	expectRet(t, `
+declare void @free(i8*)
+
+define i32 @main() {
+entry:
+  call void @free(i8* null)
+  ret i32 6
+}
+`, 6)
+}
+
+func TestFreeStackObjectTraps(t *testing.T) {
+	expectCrash(t, `
+declare void @free(i8*)
+
+define i32 @main() {
+entry:
+  %p = alloca i8
+  call void @free(i8* %p)
+  ret i32 0
+}
+`, CrashBadFree)
+}
+
+func TestMemcpyOOBTraps(t *testing.T) {
+	expectCrash(t, `
+declare i8* @malloc(i64)
+declare i8* @memcpy(i8*, i8*, i64)
+
+define i32 @main() {
+entry:
+  %a = call i8* @malloc(i64 4)
+  %b = call i8* @malloc(i64 2)
+  %r = call i8* @memcpy(i8* %b, i8* %a, i64 4)
+  ret i32 0
+}
+`, CrashOOB)
+}
+
+func TestCloseUnknownFD(t *testing.T) {
+	expectRet(t, `
+declare i32 @close(i32)
+
+define i32 @main() {
+entry:
+  %r = call i32 @close(i32 77)
+  ret i32 %r
+}
+`, -1)
+}
+
+func TestUnknownExternReturnsZero(t *testing.T) {
+	expectRet(t, `
+declare i32 @mystery_syscall(i32)
+
+define i32 @main() {
+entry:
+  %r = call i32 @mystery_syscall(i32 9)
+  %s = add i32 %r, 5
+  ret i32 %s
+}
+`, 5)
+}
+
+func TestIndirectBrWithBlockValue(t *testing.T) {
+	// Our model allows the address operand to be a literal block; the
+	// interpreter then jumps to it.
+	m := ir.NewModule("t", version.V12_0)
+	f := m.AddFunc(ir.NewFunction("main", ir.Func(ir.I32, nil, false), nil))
+	b := ir.NewBuilder(f)
+	entry := b.NewBlock("entry")
+	a := f.AddBlock("a")
+	c := f.AddBlock("c")
+	b.At(entry).Emit(&ir.Instruction{Op: ir.IndirectBr, Typ: ir.Void,
+		Operands: []ir.Value{c, a, c}})
+	b.At(a).Ret(ir.ConstI32(1))
+	b.At(c).Ret(ir.ConstI32(2))
+	r, err := Run(m, Options{})
+	if err != nil || r.Ret != 2 {
+		t.Fatalf("ret = %d (%v), want 2", r.Ret, err)
+	}
+}
+
+func TestAggregateConstants(t *testing.T) {
+	expectRet(t, `
+@pair = global { i32, i64 } { i32 7, i64 9 }
+
+define i32 @main() {
+entry:
+  %p0 = getelementptr { i32, i64 }, { i32, i64 }* @pair, i32 0, i32 0
+  %p1 = getelementptr { i32, i64 }, { i32, i64 }* @pair, i32 0, i32 1
+  %a = load i32, i32* %p0
+  %b = load i64, i64* %p1
+  %bw = trunc i64 %b to i32
+  %r = add i32 %a, %bw
+  ret i32 %r
+}
+`, 16)
+}
+
+func TestRMWVariants(t *testing.T) {
+	src := `
+define i32 @main() {
+entry:
+  %p = alloca i32
+  store i32 12, i32* %p
+  %a = atomicrmw xchg i32* %p, i32 5 seq_cst
+  %b = atomicrmw sub i32* %p, i32 1 seq_cst
+  %c = atomicrmw and i32* %p, i32 6 seq_cst
+  %d = atomicrmw or i32* %p, i32 8 seq_cst
+  %e = atomicrmw xor i32* %p, i32 3 seq_cst
+  %f = atomicrmw max i32* %p, i32 100 seq_cst
+  %g = atomicrmw min i32* %p, i32 -5 seq_cst
+  %v = load i32, i32* %p
+  ret i32 %v
+}
+`
+	r := runSrc(t, src, Options{})
+	if r.Crashed() || r.Ret != -5 {
+		t.Fatalf("ret = %d crash=%q", r.Ret, r.Crash)
+	}
+}
+
+func TestNegativeAllocaCountClamped(t *testing.T) {
+	expectCrash(t, `
+define i32 @main() {
+entry:
+  %n = sub i32 0, 4
+  %p = alloca i32, i32 %n
+  %v = load i32, i32* %p
+  ret i32 %v
+}
+`, CrashOOB)
+}
+
+func TestFloatComparisonsAndFRem(t *testing.T) {
+	expectRet(t, `
+define i32 @main() {
+entry:
+  %a = fcmp oge double 2.5, 2.5
+  %b = fcmp ole double 1.0, 2.0
+  %c = fcmp one double 1.0, 1.0
+  %d = fcmp une double 1.0, 2.0
+  %aw = zext i1 %a to i32
+  %bw = zext i1 %b to i32
+  %cw = zext i1 %c to i32
+  %dw = zext i1 %d to i32
+  %s1 = add i32 %aw, %bw
+  %s2 = add i32 %s1, %cw
+  %s3 = add i32 %s2, %dw
+  ret i32 %s3
+}
+`, 3)
+}
+
+func TestUnsignedPredicates(t *testing.T) {
+	expectRet(t, `
+define i32 @main() {
+entry:
+  %big = sub i32 0, 1
+  %a = icmp ugt i32 %big, 100
+  %b = icmp uge i32 %big, %big
+  %c = icmp ule i32 5, %big
+  %aw = zext i1 %a to i32
+  %bw = zext i1 %b to i32
+  %cw = zext i1 %c to i32
+  %s1 = add i32 %aw, %bw
+  %s2 = add i32 %s1, %cw
+  ret i32 %s2
+}
+`, 3)
+}

@@ -1,0 +1,596 @@
+package interp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+	"repro/internal/irtext"
+	"repro/internal/version"
+)
+
+// run parses src at 12.0 and executes main.
+func runSrc(t *testing.T, src string, opts Options) Result {
+	t.Helper()
+	m, err := irtext.Parse(src, version.V12_0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	r, err := Run(m, opts)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return r
+}
+
+func expectRet(t *testing.T, src string, want int64) {
+	t.Helper()
+	r := runSrc(t, src, Options{})
+	if r.Crashed() {
+		t.Fatalf("crashed: %s (%s)", r.Crash, r.Msg)
+	}
+	if r.Ret != want {
+		t.Fatalf("ret = %d, want %d", r.Ret, want)
+	}
+}
+
+func expectCrash(t *testing.T, src string, want CrashKind) {
+	t.Helper()
+	r := runSrc(t, src, Options{})
+	if r.Crash != want {
+		t.Fatalf("crash = %q (%s), want %q; ret=%d", r.Crash, r.Msg, want, r.Ret)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	expectRet(t, `
+define i32 @main() {
+entry:
+  %a = add i32 6, 7
+  %b = mul i32 %a, 3
+  %c = sub i32 %b, 4
+  %d = sdiv i32 %c, 5
+  ret i32 %d
+}
+`, 7)
+}
+
+func TestUnsignedOps(t *testing.T) {
+	expectRet(t, `
+define i32 @main() {
+entry:
+  %a = sub i8 0, 1
+  %b = udiv i8 %a, 16
+  %c = zext i8 %b to i32
+  ret i32 %c
+}
+`, 15) // 255/16
+}
+
+func TestWrapAround(t *testing.T) {
+	expectRet(t, `
+define i32 @main() {
+entry:
+  %a = add i8 120, 120
+  %b = sext i8 %a to i32
+  ret i32 %b
+}
+`, -16)
+}
+
+func TestControlFlowLoop(t *testing.T) {
+	expectRet(t, `
+define i32 @main() {
+entry:
+  br label %loop
+loop:
+  %i = phi i32 [ 0, %entry ], [ %inext, %loop ]
+  %acc = phi i32 [ 0, %entry ], [ %anext, %loop ]
+  %anext = add i32 %acc, %i
+  %inext = add i32 %i, 1
+  %c = icmp slt i32 %inext, 10
+  br i1 %c, label %loop, label %exit
+exit:
+  ret i32 %anext
+}
+`, 45)
+}
+
+func TestSwitchDispatch(t *testing.T) {
+	expectRet(t, `
+define i32 @main() {
+entry:
+  switch i32 2, label %def [ i32 1, label %a i32 2, label %b ]
+a:
+  ret i32 10
+b:
+  ret i32 20
+def:
+  ret i32 30
+}
+`, 20)
+}
+
+func TestMemoryAndGEP(t *testing.T) {
+	expectRet(t, `
+define i32 @main() {
+entry:
+  %arr = alloca [4 x i32]
+  %p0 = getelementptr [4 x i32], [4 x i32]* %arr, i32 0, i32 0
+  %p3 = getelementptr [4 x i32], [4 x i32]* %arr, i32 0, i32 3
+  store i32 11, i32* %p0
+  store i32 31, i32* %p3
+  %a = load i32, i32* %p0
+  %b = load i32, i32* %p3
+  %s = add i32 %a, %b
+  ret i32 %s
+}
+`, 42)
+}
+
+func TestStructFields(t *testing.T) {
+	expectRet(t, `
+define i32 @main() {
+entry:
+  %s = alloca { i32, i64, i8 }
+  %f0 = getelementptr { i32, i64, i8 }, { i32, i64, i8 }* %s, i32 0, i32 0
+  %f2 = getelementptr { i32, i64, i8 }, { i32, i64, i8 }* %s, i32 0, i32 2
+  store i32 40, i32* %f0
+  store i8 2, i8* %f2
+  %a = load i32, i32* %f0
+  %b = load i8, i8* %f2
+  %bw = zext i8 %b to i32
+  %r = add i32 %a, %bw
+  ret i32 %r
+}
+`, 42)
+}
+
+func TestGlobals(t *testing.T) {
+	expectRet(t, `
+@g = global i32 17
+@tab = constant [3 x i32] [i32 5, i32 6, i32 7]
+
+define i32 @main() {
+entry:
+  %v = load i32, i32* @g
+  %p = getelementptr [3 x i32], [3 x i32]* @tab, i32 0, i32 2
+  %w = load i32, i32* %p
+  %r = add i32 %v, %w
+  ret i32 %r
+}
+`, 24)
+}
+
+func TestCalls(t *testing.T) {
+	expectRet(t, `
+define i32 @square(i32 %x) {
+entry:
+  %r = mul i32 %x, %x
+  ret i32 %r
+}
+
+define i32 @main() {
+entry:
+  %a = call i32 @square(i32 5)
+  %b = call i32 @square(i32 3)
+  %s = add i32 %a, %b
+  ret i32 %s
+}
+`, 34)
+}
+
+func TestRecursion(t *testing.T) {
+	expectRet(t, `
+define i32 @fib(i32 %n) {
+entry:
+  %c = icmp slt i32 %n, 2
+  br i1 %c, label %base, label %rec
+base:
+  ret i32 %n
+rec:
+  %n1 = sub i32 %n, 1
+  %n2 = sub i32 %n, 2
+  %a = call i32 @fib(i32 %n1)
+  %b = call i32 @fib(i32 %n2)
+  %r = add i32 %a, %b
+  ret i32 %r
+}
+
+define i32 @main() {
+entry:
+  %r = call i32 @fib(i32 10)
+  ret i32 %r
+}
+`, 55)
+}
+
+func TestIndirectCall(t *testing.T) {
+	expectRet(t, `
+define i32 @inc(i32 %x) {
+entry:
+  %r = add i32 %x, 1
+  ret i32 %r
+}
+
+define i32 @main() {
+entry:
+  %fp = alloca i32 (i32)*
+  store i32 (i32)* @inc, i32 (i32)** %fp
+  %f = load i32 (i32)*, i32 (i32)** %fp
+  %r = call i32 %f(i32 41)
+  ret i32 %r
+}
+`, 42)
+}
+
+func TestFloats(t *testing.T) {
+	expectRet(t, `
+define i32 @main() {
+entry:
+  %a = fadd double 1.5, 2.25
+  %b = fmul double %a, 4.0
+  %c = fptosi double %b to i32
+  ret i32 %c
+}
+`, 15)
+}
+
+func TestVectorOps(t *testing.T) {
+	expectRet(t, `
+define i32 @main() {
+entry:
+  %v0 = insertelement <2 x i32> undef, i32 30, i32 0
+  %v1 = insertelement <2 x i32> %v0, i32 12, i32 1
+  %a = extractelement <2 x i32> %v1, i32 0
+  %b = extractelement <2 x i32> %v1, i32 1
+  %r = add i32 %a, %b
+  ret i32 %r
+}
+`, 42)
+}
+
+func TestAggregateOps(t *testing.T) {
+	expectRet(t, `
+define i32 @main() {
+entry:
+  %a0 = insertvalue { i32, i32 } undef, i32 40, 0
+  %a1 = insertvalue { i32, i32 } %a0, i32 2, 1
+  %x = extractvalue { i32, i32 } %a1, 0
+  %y = extractvalue { i32, i32 } %a1, 1
+  %r = add i32 %x, %y
+  ret i32 %r
+}
+`, 42)
+}
+
+func TestAtomics(t *testing.T) {
+	expectRet(t, `
+define i32 @main() {
+entry:
+  %p = alloca i32
+  store i32 10, i32* %p
+  %old = atomicrmw add i32* %p, i32 5 seq_cst
+  %now = load i32, i32* %p
+  %pair = cmpxchg i32* %p, i32 15, i32 99 seq_cst
+  %newv = load i32, i32* %p
+  %s1 = add i32 %old, %now
+  %s2 = add i32 %s1, %newv
+  ret i32 %s2
+}
+`, 124) // 10 + 15 + 99
+}
+
+func TestSelectAndCmp(t *testing.T) {
+	expectRet(t, `
+define i32 @main() {
+entry:
+  %c = icmp ugt i32 200, 100
+  %r = select i1 %c, i32 1, i32 2
+  ret i32 %r
+}
+`, 1)
+}
+
+func TestNullDeref(t *testing.T) {
+	expectCrash(t, `
+define i32 @main() {
+entry:
+  %v = load i32, i32* null
+  ret i32 %v
+}
+`, CrashNullDeref)
+}
+
+func TestUseAfterFree(t *testing.T) {
+	expectCrash(t, `
+declare i8* @malloc(i64)
+declare void @free(i8*)
+
+define i32 @main() {
+entry:
+  %p = call i8* @malloc(i64 4)
+  %ip = bitcast i8* %p to i32*
+  store i32 1, i32* %ip
+  call void @free(i8* %p)
+  %v = load i32, i32* %ip
+  ret i32 %v
+}
+`, CrashUAF)
+}
+
+func TestDoubleFree(t *testing.T) {
+	expectCrash(t, `
+declare i8* @malloc(i64)
+declare void @free(i8*)
+
+define i32 @main() {
+entry:
+  %p = call i8* @malloc(i64 4)
+  call void @free(i8* %p)
+  call void @free(i8* %p)
+  ret i32 0
+}
+`, CrashBadFree)
+}
+
+func TestOutOfBounds(t *testing.T) {
+	expectCrash(t, `
+define i32 @main() {
+entry:
+  %arr = alloca [2 x i32]
+  %p = getelementptr [2 x i32], [2 x i32]* %arr, i32 0, i32 9
+  %v = load i32, i32* %p
+  ret i32 %v
+}
+`, CrashOOB)
+}
+
+func TestDivZero(t *testing.T) {
+	expectCrash(t, `
+define i32 @main() {
+entry:
+  %z = sub i32 1, 1
+  %v = sdiv i32 10, %z
+  ret i32 %v
+}
+`, CrashDivZero)
+}
+
+func TestAbortIntrinsic(t *testing.T) {
+	expectCrash(t, `
+declare void @abort()
+
+define i32 @main() {
+entry:
+  call void @abort()
+  ret i32 0
+}
+`, CrashAbort)
+}
+
+func TestInputIntrinsic(t *testing.T) {
+	src := `
+declare i8 @siro.input(i32)
+
+define i32 @main() {
+entry:
+  %b0 = call i8 @siro.input(i32 0)
+  %b1 = call i8 @siro.input(i32 1)
+  %w0 = zext i8 %b0 to i32
+  %w1 = zext i8 %b1 to i32
+  %r = add i32 %w0, %w1
+  ret i32 %r
+}
+`
+	r := runSrc(t, src, Options{Input: []byte{40, 2}})
+	if r.Ret != 42 {
+		t.Fatalf("ret = %d, want 42", r.Ret)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	src := `
+define i32 @main() {
+entry:
+  br label %loop
+loop:
+  br label %loop
+}
+`
+	m, err := irtext.Parse(src, version.V12_0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(m, Options{MaxSteps: 1000}); err != ErrBudget {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestInvokeTakesNormalPath(t *testing.T) {
+	expectRet(t, `
+define i32 @cb() {
+entry:
+  ret i32 5
+}
+
+define i32 @main() {
+entry:
+  %r = invoke i32 @cb() to label %ok unwind label %bad
+ok:
+  ret i32 %r
+bad:
+  %lp = landingpad { i8*, i32 } cleanup
+  ret i32 -1
+}
+`, 5)
+}
+
+func TestCallBrFallthrough(t *testing.T) {
+	expectRet(t, `
+define i32 @main() {
+entry:
+  callbr void asm "nop", ""() to label %direct [label %other]
+direct:
+  ret i32 8
+other:
+  ret i32 9
+}
+`, 8)
+}
+
+func TestFreezeIdentity(t *testing.T) {
+	expectRet(t, `
+define i32 @main() {
+entry:
+  %f = freeze i32 13
+  ret i32 %f
+}
+`, 13)
+}
+
+func TestExternOverride(t *testing.T) {
+	src := `
+declare i32 @mystery()
+
+define i32 @main() {
+entry:
+  %r = call i32 @mystery()
+  ret i32 %r
+}
+`
+	m, err := irtext.Parse(src, version.V12_0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(m, Options{Extern: map[string]ExternFunc{
+		"mystery": func(s *State, args []Value) (Value, *trap) { return int64(77), nil },
+	}})
+	if err != nil || r.Ret != 77 {
+		t.Fatalf("r = %+v, err = %v", r, err)
+	}
+}
+
+func TestFDTracking(t *testing.T) {
+	expectRet(t, `
+declare i32 @open()
+declare i32 @close(i32)
+
+define i32 @main() {
+entry:
+  %fd = call i32 @open()
+  %r = call i32 @close(i32 %fd)
+  ret i32 %fd
+}
+`, 3)
+}
+
+func TestMemIntrinsics(t *testing.T) {
+	expectRet(t, `
+declare i8* @malloc(i64)
+declare i8* @memset(i8*, i32, i64)
+declare i8* @memcpy(i8*, i8*, i64)
+
+define i32 @main() {
+entry:
+  %a = call i8* @malloc(i64 8)
+  %b = call i8* @malloc(i64 8)
+  %x = call i8* @memset(i8* %a, i32 7, i64 8)
+  %y = call i8* @memcpy(i8* %b, i8* %a, i64 8)
+  %v = load i8, i8* %b
+  %r = zext i8 %v to i32
+  ret i32 %r
+}
+`, 7)
+}
+
+// Property: add/mul are commutative under interpretation for arbitrary
+// i32 constants — the semantic fact the synthesizer rediscovers.
+func TestCommutativityProperty(t *testing.T) {
+	exec := func(op string, a, b int32) int64 {
+		m := ir.NewModule("p", version.V12_0)
+		f := m.AddFunc(ir.NewFunction("main", ir.Func(ir.I32, nil, false), nil))
+		bd := ir.NewBuilder(f)
+		bd.NewBlock("entry")
+		opc, _ := ir.OpcodeByName(op)
+		r := bd.Binary(opc, ir.ConstI32(int64(a)), ir.ConstI32(int64(b)))
+		bd.Ret(r)
+		res, err := Run(m, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Ret
+	}
+	f := func(a, b int32) bool {
+		return exec("add", a, b) == exec("add", b, a) &&
+			exec("mul", a, b) == exec("mul", b, a) &&
+			exec("xor", a, b) == exec("xor", b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sub is anti-commutative except when operands coincide — this
+// is exactly why Fig. 7's second test case is needed.
+func TestSubNotCommutativeProperty(t *testing.T) {
+	m := ir.NewModule("p", version.V12_0)
+	f := ir.NewFunction("main", ir.Func(ir.I32, nil, false), nil)
+	m.AddFunc(f)
+	bd := ir.NewBuilder(f)
+	bd.NewBlock("entry")
+	r := bd.Sub(ir.ConstI32(20), ir.ConstI32(10))
+	bd.Ret(r)
+	res, err := Run(m, Options{})
+	if err != nil || res.Ret != 10 {
+		t.Fatalf("20-10 = %d (%v)", res.Ret, err)
+	}
+}
+
+func TestPtrToIntRoundTrip(t *testing.T) {
+	expectRet(t, `
+define i32 @main() {
+entry:
+  %p = alloca i32
+  store i32 55, i32* %p
+  %i = ptrtoint i32* %p to i64
+  %c = icmp ne i64 %i, 0
+  %r = select i1 %c, i32 1, i32 0
+  ret i32 %r
+}
+`, 1)
+}
+
+func TestPointerEquality(t *testing.T) {
+	expectRet(t, `
+define i32 @main() {
+entry:
+  %p = alloca i32
+  %q = alloca i32
+  %e1 = icmp eq i32* %p, %p
+  %e2 = icmp eq i32* %p, %q
+  %n = icmp ne i32* %p, null
+  %a = zext i1 %e1 to i32
+  %b = zext i1 %e2 to i32
+  %c = zext i1 %n to i32
+  %s1 = add i32 %a, %b
+  %s2 = add i32 %s1, %c
+  ret i32 %s2
+}
+`, 2)
+}
+
+func TestShuffleVector(t *testing.T) {
+	expectRet(t, `
+define i32 @main() {
+entry:
+  %v0 = insertelement <2 x i32> undef, i32 1, i32 0
+  %v1 = insertelement <2 x i32> %v0, i32 2, i32 1
+  %sh = shufflevector <2 x i32> %v1, <2 x i32> %v1, <2 x i32> zeroinitializer
+  %a = extractelement <2 x i32> %sh, i32 0
+  %b = extractelement <2 x i32> %sh, i32 1
+  %r = add i32 %a, %b
+  ret i32 %r
+}
+`, 2)
+}

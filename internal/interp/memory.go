@@ -1,0 +1,136 @@
+package interp
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/ir"
+)
+
+// checkAccess validates a pointer dereference of size bytes.
+func (s *State) checkAccess(p Pointer, size int, what string) *trap {
+	if p.IsNull() {
+		return s.trapf(CrashNullDeref, "%s through null pointer", what)
+	}
+	if p.Obj.Freed {
+		return s.trapf(CrashUAF, "%s of freed object %s", what, p.Obj.Name)
+	}
+	if p.Obj.Data == nil {
+		return s.trapf(CrashOOB, "%s through wild pointer", what)
+	}
+	if p.Off < 0 || p.Off+size > len(p.Obj.Data) {
+		return s.trapf(CrashOOB, "%s at offset %d, object %s has %d bytes",
+			what, p.Off, p.Obj.Name, len(p.Obj.Data))
+	}
+	return nil
+}
+
+// loadValue reads a typed value from memory.
+func (s *State) loadValue(p Pointer, t *ir.Type) (Value, *trap) {
+	if tr := s.checkAccess(p, t.Size(), "load"); tr != nil {
+		return nil, tr
+	}
+	return s.loadRaw(p, t), nil
+}
+
+func (s *State) loadRaw(p Pointer, t *ir.Type) Value {
+	data := p.Obj.Data[p.Off:]
+	switch t.Kind {
+	case ir.IntKind:
+		var raw int64
+		switch t.Size() {
+		case 1:
+			raw = int64(data[0])
+		case 2:
+			raw = int64(binary.LittleEndian.Uint16(data))
+		case 4:
+			raw = int64(binary.LittleEndian.Uint32(data))
+		default:
+			raw = int64(binary.LittleEndian.Uint64(data))
+		}
+		return truncInt(raw, t)
+	case ir.FloatKind:
+		if t.Bits == 32 {
+			return float64(math.Float32frombits(binary.LittleEndian.Uint32(data)))
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(data))
+	case ir.PointerKind, ir.FuncKind:
+		h := int64(binary.LittleEndian.Uint64(data))
+		if h == 0 {
+			return Pointer{}
+		}
+		if v, ok := s.handles[h]; ok {
+			return v
+		}
+		return Pointer{}
+	case ir.ArrayKind, ir.VectorKind:
+		out := make([]Value, t.Len)
+		for i := 0; i < t.Len; i++ {
+			out[i] = s.loadRaw(Pointer{Obj: p.Obj, Off: p.Off + i*t.Elem.Size()}, t.Elem)
+		}
+		return out
+	case ir.StructKind:
+		out := make([]Value, len(t.Fields))
+		for i, f := range t.Fields {
+			out[i] = s.loadRaw(Pointer{Obj: p.Obj, Off: p.Off + t.FieldOffset(i)}, f)
+		}
+		return out
+	}
+	return int64(0)
+}
+
+// storeValue writes a typed value to memory. Pointers and functions are
+// boxed through the handle table so they survive byte storage.
+func (s *State) storeValue(p Pointer, t *ir.Type, v Value) *trap {
+	if tr := s.checkAccess(p, t.Size(), "store"); tr != nil {
+		return tr
+	}
+	s.storeRaw(p, t, v)
+	return nil
+}
+
+func (s *State) storeRaw(p Pointer, t *ir.Type, v Value) {
+	data := p.Obj.Data[p.Off:]
+	switch t.Kind {
+	case ir.IntKind:
+		iv, _ := v.(int64)
+		switch t.Size() {
+		case 1:
+			data[0] = byte(iv)
+		case 2:
+			binary.LittleEndian.PutUint16(data, uint16(iv))
+		case 4:
+			binary.LittleEndian.PutUint32(data, uint32(iv))
+		default:
+			binary.LittleEndian.PutUint64(data, uint64(iv))
+		}
+	case ir.FloatKind:
+		fv, _ := v.(float64)
+		if t.Bits == 32 {
+			binary.LittleEndian.PutUint32(data, math.Float32bits(float32(fv)))
+		} else {
+			binary.LittleEndian.PutUint64(data, math.Float64bits(fv))
+		}
+	case ir.PointerKind, ir.FuncKind:
+		if pv, ok := v.(Pointer); ok && pv.IsNull() {
+			binary.LittleEndian.PutUint64(data, 0)
+			return
+		}
+		h := s.nextH
+		s.nextH++
+		s.handles[h] = v
+		binary.LittleEndian.PutUint64(data, uint64(h))
+	case ir.ArrayKind, ir.VectorKind:
+		elems, _ := v.([]Value)
+		for i := 0; i < t.Len && i < len(elems); i++ {
+			s.storeRaw(Pointer{Obj: p.Obj, Off: p.Off + i*t.Elem.Size()}, t.Elem, elems[i])
+		}
+	case ir.StructKind:
+		elems, _ := v.([]Value)
+		for i, f := range t.Fields {
+			if i < len(elems) {
+				s.storeRaw(Pointer{Obj: p.Obj, Off: p.Off + t.FieldOffset(i)}, f, elems[i])
+			}
+		}
+	}
+}

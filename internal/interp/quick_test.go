@@ -1,0 +1,109 @@
+package interp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+)
+
+// Property: truncInt is idempotent and sign-extends correctly; zextInt
+// masks to the width; the two agree through a round trip.
+func TestWidthHelpersProperty(t *testing.T) {
+	f := func(v int64, rawBits uint8) bool {
+		bits := int(rawBits%63) + 1
+		ty := ir.Int(bits)
+		tv := truncInt(v, ty)
+		if truncInt(tv, ty) != tv {
+			return false // idempotence
+		}
+		mask := int64(1)<<uint(bits) - 1
+		if zextInt(v, bits) != v&mask {
+			return false
+		}
+		// Sign-extended and zero-extended views agree on the low bits.
+		return zextInt(tv, bits) == v&mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: integer binops wrap consistently with Go's arithmetic at
+// 32-bit width for add/sub/mul.
+func TestBinopWrapProperty(t *testing.T) {
+	s := &State{}
+	f := func(a, b int32) bool {
+		add, _ := binop(s, ir.Add, int64(a), int64(b), ir.I32)
+		sub, _ := binop(s, ir.Sub, int64(a), int64(b), ir.I32)
+		mul, _ := binop(s, ir.Mul, int64(a), int64(b), ir.I32)
+		return add.(int64) == int64(a+b) && sub.(int64) == int64(a-b) && mul.(int64) == int64(a*b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: icmp predicates are internally consistent: eq/ne partition,
+// slt/sge partition, ult/uge partition.
+func TestICmpPartitionProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		eq := intPred(ir.IntEQ, int64(a), int64(b), 32)
+		ne := intPred(ir.IntNE, int64(a), int64(b), 32)
+		slt := intPred(ir.IntSLT, int64(a), int64(b), 32)
+		sge := intPred(ir.IntSGE, int64(a), int64(b), 32)
+		ult := intPred(ir.IntULT, int64(a), int64(b), 32)
+		uge := intPred(ir.IntUGE, int64(a), int64(b), 32)
+		return eq+ne == 1 && slt+sge == 1 && ult+uge == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: memory round-trips typed values exactly for scalars.
+func TestMemoryRoundTripProperty(t *testing.T) {
+	f := func(v int64, w uint8) bool {
+		s := &State{handles: map[int64]Value{}, nextH: 1}
+		bits := []int{8, 16, 32, 64}[int(w)%4]
+		ty := ir.Int(bits)
+		obj := &Object{ID: 1, Data: make([]byte, 8)}
+		p := Pointer{Obj: obj}
+		want := truncInt(v, ty)
+		if tr := s.storeValue(p, ty, want); tr != nil {
+			return false
+		}
+		got, tr := s.loadValue(p, ty)
+		return tr == nil && got.(int64) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pointers stored through the handle table are recovered
+// identically, and null stays null.
+func TestPointerBoxingProperty(t *testing.T) {
+	f := func(off uint16, null bool) bool {
+		s := &State{handles: map[int64]Value{}, nextH: 1}
+		obj := &Object{ID: 2, Data: make([]byte, 64)}
+		slot := &Object{ID: 3, Data: make([]byte, 8)}
+		sp := Pointer{Obj: slot}
+		var val Pointer
+		if !null {
+			val = Pointer{Obj: obj, Off: int(off % 64)}
+		}
+		if tr := s.storeValue(sp, ir.Ptr(ir.I8), val); tr != nil {
+			return false
+		}
+		got, tr := s.loadValue(sp, ir.Ptr(ir.I8))
+		if tr != nil {
+			return false
+		}
+		gp := got.(Pointer)
+		return gp == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

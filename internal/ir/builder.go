@@ -1,0 +1,239 @@
+package ir
+
+import "fmt"
+
+// Builder constructs instructions into a current insertion block. It is
+// the version-neutral core that the per-version "IR Builder" APIs of
+// package irlib wrap; the mini-C frontend and the test corpus use it
+// directly.
+type Builder struct {
+	F   *Function
+	Cur *Block
+	n   int // fresh-name counter
+}
+
+// NewBuilder returns a builder positioned at no block.
+func NewBuilder(f *Function) *Builder { return &Builder{F: f} }
+
+// At moves the insertion point to b and returns the builder.
+func (bd *Builder) At(b *Block) *Builder {
+	bd.Cur = b
+	return bd
+}
+
+// NewBlock appends a fresh block to the function and moves the insertion
+// point there.
+func (bd *Builder) NewBlock(name string) *Block {
+	b := bd.F.AddBlock(name)
+	bd.Cur = b
+	return b
+}
+
+// fresh returns a unique local value name.
+func (bd *Builder) fresh() string {
+	bd.n++
+	return fmt.Sprintf("t%d", bd.n)
+}
+
+// emit appends inst to the current block, naming its result if needed.
+func (bd *Builder) emit(inst *Instruction) *Instruction {
+	if inst.HasResult() && inst.Name == "" {
+		inst.Name = bd.fresh()
+	}
+	if bd.Cur == nil {
+		panic("ir.Builder: no insertion block")
+	}
+	return bd.Cur.Append(inst)
+}
+
+// Named sets the result name of the most recently created instruction.
+func Named(inst *Instruction, name string) *Instruction {
+	inst.Name = name
+	return inst
+}
+
+// Binary emits a two-operand arithmetic/bitwise instruction.
+func (bd *Builder) Binary(op Opcode, l, r Value) *Instruction {
+	return bd.emit(&Instruction{Op: op, Typ: l.Type(), Operands: []Value{l, r}})
+}
+
+// Add, Sub, Mul, SDiv, SRem, And, Or, Xor, Shl are common shorthands.
+func (bd *Builder) Add(l, r Value) *Instruction  { return bd.Binary(Add, l, r) }
+func (bd *Builder) Sub(l, r Value) *Instruction  { return bd.Binary(Sub, l, r) }
+func (bd *Builder) Mul(l, r Value) *Instruction  { return bd.Binary(Mul, l, r) }
+func (bd *Builder) SDiv(l, r Value) *Instruction { return bd.Binary(SDiv, l, r) }
+func (bd *Builder) SRem(l, r Value) *Instruction { return bd.Binary(SRem, l, r) }
+func (bd *Builder) And(l, r Value) *Instruction  { return bd.Binary(And, l, r) }
+func (bd *Builder) Or(l, r Value) *Instruction   { return bd.Binary(Or, l, r) }
+func (bd *Builder) Xor(l, r Value) *Instruction  { return bd.Binary(Xor, l, r) }
+func (bd *Builder) Shl(l, r Value) *Instruction  { return bd.Binary(Shl, l, r) }
+
+// FNeg emits a floating negation.
+func (bd *Builder) FNeg(v Value) *Instruction {
+	return bd.emit(&Instruction{Op: FNeg, Typ: v.Type(), Operands: []Value{v}})
+}
+
+// ICmp emits an integer comparison producing i1.
+func (bd *Builder) ICmp(p IPred, l, r Value) *Instruction {
+	return bd.emit(&Instruction{Op: ICmp, Typ: I1, Operands: []Value{l, r}, Attrs: Attrs{IPred: p}})
+}
+
+// FCmp emits a float comparison producing i1.
+func (bd *Builder) FCmp(p FPred, l, r Value) *Instruction {
+	return bd.emit(&Instruction{Op: FCmp, Typ: I1, Operands: []Value{l, r}, Attrs: Attrs{FPred: p}})
+}
+
+// Alloca emits a stack allocation of t, returning a pointer.
+func (bd *Builder) Alloca(t *Type) *Instruction {
+	return bd.emit(&Instruction{Op: Alloca, Typ: Ptr(t), Attrs: Attrs{ElemTy: t}})
+}
+
+// Load emits a typed load from ptr.
+func (bd *Builder) Load(t *Type, ptr Value) *Instruction {
+	return bd.emit(&Instruction{Op: Load, Typ: t, Operands: []Value{ptr}, Attrs: Attrs{ElemTy: t}})
+}
+
+// Store emits a store of val to ptr.
+func (bd *Builder) Store(val, ptr Value) *Instruction {
+	return bd.emit(&Instruction{Op: Store, Typ: Void, Operands: []Value{val, ptr}})
+}
+
+// GEP emits a getelementptr over elem type t.
+func (bd *Builder) GEP(t *Type, ptr Value, idx ...Value) *Instruction {
+	resTy := GEPResultType(t, idx)
+	ops := append([]Value{ptr}, idx...)
+	return bd.emit(&Instruction{Op: GetElementPtr, Typ: resTy, Operands: ops, Attrs: Attrs{ElemTy: t}})
+}
+
+// GEPResultType computes the pointer type produced by indexing elem type
+// t with the given indices (first index strides over t itself).
+func GEPResultType(t *Type, idx []Value) *Type {
+	cur := t
+	for _, ix := range idx[1:] {
+		switch cur.Kind {
+		case ArrayKind, VectorKind:
+			cur = cur.Elem
+		case StructKind:
+			ci, ok := ix.(*ConstInt)
+			if !ok {
+				return Ptr(I8)
+			}
+			cur = cur.Fields[ci.V]
+		default:
+			return Ptr(cur)
+		}
+	}
+	return Ptr(cur)
+}
+
+// Conv emits a conversion instruction to type to.
+func (bd *Builder) Conv(op Opcode, v Value, to *Type) *Instruction {
+	return bd.emit(&Instruction{Op: op, Typ: to, Operands: []Value{v}})
+}
+
+// Select emits a select between t and f under cond.
+func (bd *Builder) Select(cond, t, f Value) *Instruction {
+	return bd.emit(&Instruction{Op: Select, Typ: t.Type(), Operands: []Value{cond, t, f}})
+}
+
+// Phi emits a phi of type t with the given (value, block) pairs.
+func (bd *Builder) Phi(t *Type, pairs ...Value) *Instruction {
+	return bd.emit(&Instruction{Op: Phi, Typ: t, Operands: pairs})
+}
+
+// Call emits a call. The result type derives from the callee signature.
+func (bd *Builder) Call(callee Value, args ...Value) *Instruction {
+	sig := calleeSig(callee)
+	ret := Void
+	if sig != nil {
+		ret = sig.Ret
+	}
+	ops := append([]Value{callee}, args...)
+	return bd.emit(&Instruction{Op: Call, Typ: ret, Operands: ops, Attrs: Attrs{CallTy: sig}})
+}
+
+// calleeSig extracts the function type of a callable value.
+func calleeSig(callee Value) *Type {
+	switch c := callee.(type) {
+	case *Function:
+		return c.Sig
+	case *InlineAsm:
+		return c.Typ
+	default:
+		if t := callee.Type(); t.IsPointer() && t.Elem != nil && t.Elem.Kind == FuncKind {
+			return t.Elem
+		}
+	}
+	return nil
+}
+
+// Invoke emits an invoke with normal/unwind destinations.
+func (bd *Builder) Invoke(callee Value, normal, unwind *Block, args ...Value) *Instruction {
+	sig := calleeSig(callee)
+	ret := Void
+	if sig != nil {
+		ret = sig.Ret
+	}
+	ops := append([]Value{callee, normal, unwind}, args...)
+	return bd.emit(&Instruction{Op: Invoke, Typ: ret, Operands: ops, Attrs: Attrs{CallTy: sig}})
+}
+
+// Br emits an unconditional branch.
+func (bd *Builder) Br(dest *Block) *Instruction {
+	return bd.emit(&Instruction{Op: Br, Typ: Void, Operands: []Value{dest}})
+}
+
+// CondBr emits a conditional branch.
+func (bd *Builder) CondBr(cond Value, then, els *Block) *Instruction {
+	return bd.emit(&Instruction{Op: Br, Typ: Void, Operands: []Value{cond, then, els}})
+}
+
+// Switch emits a switch with the given default and (const, block) cases.
+func (bd *Builder) Switch(cond Value, def *Block, cases ...Value) *Instruction {
+	ops := append([]Value{cond, def}, cases...)
+	return bd.emit(&Instruction{Op: Switch, Typ: Void, Operands: ops})
+}
+
+// Ret emits a value return.
+func (bd *Builder) Ret(v Value) *Instruction {
+	return bd.emit(&Instruction{Op: Ret, Typ: Void, Operands: []Value{v}})
+}
+
+// RetVoid emits a void return.
+func (bd *Builder) RetVoid() *Instruction {
+	return bd.emit(&Instruction{Op: Ret, Typ: Void})
+}
+
+// Unreachable emits an unreachable terminator.
+func (bd *Builder) Unreachable() *Instruction {
+	return bd.emit(&Instruction{Op: Unreachable, Typ: Void})
+}
+
+// Freeze emits a freeze of v (only valid at versions ≥ 10.0).
+func (bd *Builder) Freeze(v Value) *Instruction {
+	return bd.emit(&Instruction{Op: Freeze, Typ: v.Type(), Operands: []Value{v}})
+}
+
+// ExtractValue emits an aggregate extract.
+func (bd *Builder) ExtractValue(agg Value, indices ...int) *Instruction {
+	t := agg.Type()
+	for _, ix := range indices {
+		switch t.Kind {
+		case StructKind:
+			t = t.Fields[ix]
+		case ArrayKind:
+			t = t.Elem
+		}
+	}
+	return bd.emit(&Instruction{Op: ExtractValue, Typ: t, Operands: []Value{agg},
+		Attrs: Attrs{Indices: indices}})
+}
+
+// InsertValue emits an aggregate insert.
+func (bd *Builder) InsertValue(agg, elt Value, indices ...int) *Instruction {
+	return bd.emit(&Instruction{Op: InsertValue, Typ: agg.Type(), Operands: []Value{agg, elt},
+		Attrs: Attrs{Indices: indices}})
+}
+
+// Emit appends an arbitrary pre-built instruction.
+func (bd *Builder) Emit(inst *Instruction) *Instruction { return bd.emit(inst) }

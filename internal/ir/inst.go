@@ -1,0 +1,298 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// IPred is an integer comparison predicate for icmp.
+type IPred uint8
+
+// Integer predicates.
+const (
+	IntEQ IPred = iota + 1
+	IntNE
+	IntUGT
+	IntUGE
+	IntULT
+	IntULE
+	IntSGT
+	IntSGE
+	IntSLT
+	IntSLE
+)
+
+var ipredNames = map[IPred]string{
+	IntEQ: "eq", IntNE: "ne", IntUGT: "ugt", IntUGE: "uge", IntULT: "ult",
+	IntULE: "ule", IntSGT: "sgt", IntSGE: "sge", IntSLT: "slt", IntSLE: "sle",
+}
+
+func (p IPred) String() string { return ipredNames[p] }
+
+// IPredByName resolves the textual spelling of an integer predicate.
+func IPredByName(s string) (IPred, bool) {
+	for p, n := range ipredNames {
+		if n == s {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// FPred is a floating-point comparison predicate for fcmp.
+type FPred uint8
+
+// Floating-point predicates (ordered subset plus uno/une as used by the
+// frontends in this repository).
+const (
+	FloatOEQ FPred = iota + 1
+	FloatONE
+	FloatOGT
+	FloatOGE
+	FloatOLT
+	FloatOLE
+	FloatUNO
+	FloatUNE
+)
+
+var fpredNames = map[FPred]string{
+	FloatOEQ: "oeq", FloatONE: "one", FloatOGT: "ogt", FloatOGE: "oge",
+	FloatOLT: "olt", FloatOLE: "ole", FloatUNO: "uno", FloatUNE: "une",
+}
+
+func (p FPred) String() string { return fpredNames[p] }
+
+// FPredByName resolves the textual spelling of a float predicate.
+func FPredByName(s string) (FPred, bool) {
+	for p, n := range fpredNames {
+		if n == s {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// RMWOp is the operation of an atomicrmw instruction.
+type RMWOp string
+
+// The atomicrmw operations supported by the interpreter.
+const (
+	RMWXchg RMWOp = "xchg"
+	RMWAdd  RMWOp = "add"
+	RMWSub  RMWOp = "sub"
+	RMWAnd  RMWOp = "and"
+	RMWOr   RMWOp = "or"
+	RMWXor  RMWOp = "xor"
+	RMWMax  RMWOp = "max"
+	RMWMin  RMWOp = "min"
+)
+
+// Attrs carries the per-opcode auxiliary payload that does not fit the
+// uniform operand list of Fig. 3. Only the fields relevant to an opcode
+// are populated; see the operand-layout table in the Instruction doc.
+type Attrs struct {
+	IPred     IPred  // icmp
+	FPred     FPred  // fcmp
+	CallTy    *Type  // call/invoke/callbr: function type of the callee
+	Indices   []int  // extractvalue/insertvalue
+	ElemTy    *Type  // load/gep/alloca: loaded / indexed / allocated type
+	Inbounds  bool   // gep
+	Volatile  bool   // load/store
+	Align     int    // load/store/alloca
+	Ordering  string // fence/cmpxchg/atomicrmw: memory ordering
+	RMW       RMWOp  // atomicrmw operation
+	NumIndire int    // callbr: number of indirect destination blocks
+	Cleanup   bool   // landingpad: has cleanup clause
+	Tail      bool   // call: tail-call marker
+	Line      int    // source line (debug info); 0 when unknown
+}
+
+// Instruction is the uniform instruction node: v0 ← op(v1, …, vn).
+//
+// Operand layout by opcode:
+//
+//	ret                []  |  [v]
+//	br                 [dest]  |  [cond, then, else]
+//	switch             [cond, default, c1, b1, c2, b2, ...]
+//	indirectbr         [addr, b1, ..., bn]
+//	invoke             [callee, normal, unwind, args...]
+//	callbr             [callee, fallthrough, ind1..indN, args...]   (N = Attrs.NumIndire)
+//	resume             [v]
+//	unreachable        []
+//	fneg               [v]
+//	binary ops         [lhs, rhs]
+//	extractelement     [vec, idx]
+//	insertelement      [vec, elt, idx]
+//	shufflevector      [v1, v2, mask]
+//	extractvalue       [agg]                (indices in Attrs)
+//	insertvalue        [agg, elt]           (indices in Attrs)
+//	alloca             []  |  [count]       (ElemTy = allocated type)
+//	load               [ptr]                (ElemTy = loaded type)
+//	store              [val, ptr]
+//	fence              []
+//	cmpxchg            [ptr, cmp, new]
+//	atomicrmw          [ptr, val]
+//	getelementptr      [ptr, idx...]        (ElemTy = source element type)
+//	conversions        [v]
+//	icmp/fcmp          [lhs, rhs]           (predicate in Attrs)
+//	phi                [v1, b1, v2, b2, ...]
+//	select             [cond, tval, fval]
+//	call               [callee, args...]
+//	va_arg             [valist]
+//	landingpad         []
+//	freeze             [v]
+//	addrspacecast      [v]
+//	catchswitch        [parent?, handlers..., unwind?]   (simplified)
+//	catchpad           [within, args...]
+//	cleanuppad         [within, args...]
+//	catchret           [from, to]
+//	cleanupret         [from]  |  [from, unwind]
+type Instruction struct {
+	Op       Opcode
+	Name     string // SSA result name without the "%" sigil; "" for void results
+	Typ      *Type  // result type; Void for instructions with no result
+	Operands []Value
+	Attrs    Attrs
+	Parent   *Block
+}
+
+func (i *Instruction) Type() *Type {
+	if i.Typ == nil {
+		return Void
+	}
+	return i.Typ
+}
+
+func (i *Instruction) Ident() string { return "%" + i.Name }
+func (i *Instruction) isValue()      {}
+
+// HasResult reports whether the instruction produces an SSA value.
+func (i *Instruction) HasResult() bool { return !i.Type().IsVoid() }
+
+// Operand returns the n'th operand; it panics if out of range, matching
+// the behaviour of the versioned GetOperand getter which reports an error
+// instead (the synthesis layer relies on that error path).
+func (i *Instruction) Operand(n int) Value { return i.Operands[n] }
+
+// NumOperands returns the operand count.
+func (i *Instruction) NumOperands() int { return len(i.Operands) }
+
+// --- opcode-specific accessors used by the analysis and interpreter
+// layers (the versioned getter APIs in irlib wrap these) ---
+
+// IsCondBr reports whether a br instruction is conditional.
+func (i *Instruction) IsCondBr() bool { return i.Op == Br && len(i.Operands) == 3 }
+
+// CallArgs returns the argument operands of a call/invoke/callbr.
+func (i *Instruction) CallArgs() []Value {
+	switch i.Op {
+	case Call:
+		return i.Operands[1:]
+	case Invoke:
+		return i.Operands[3:]
+	case CallBr:
+		return i.Operands[2+i.Attrs.NumIndire:]
+	}
+	return nil
+}
+
+// Callee returns the callee operand of a call-like instruction.
+func (i *Instruction) Callee() Value {
+	switch i.Op {
+	case Call, Invoke, CallBr:
+		return i.Operands[0]
+	}
+	return nil
+}
+
+// CalledFunction returns the statically known callee, or nil for
+// indirect calls.
+func (i *Instruction) CalledFunction() *Function {
+	f, _ := i.Callee().(*Function)
+	return f
+}
+
+// PhiIncoming returns the (value, block) pair at index n of a phi.
+func (i *Instruction) PhiIncoming(n int) (Value, *Block) {
+	return i.Operands[2*n], i.Operands[2*n+1].(*Block)
+}
+
+// NumIncoming returns the number of phi incoming edges.
+func (i *Instruction) NumIncoming() int { return len(i.Operands) / 2 }
+
+// SwitchCase returns the (constant, destination) pair at index n.
+func (i *Instruction) SwitchCase(n int) (Constant, *Block) {
+	return i.Operands[2+2*n].(Constant), i.Operands[3+2*n].(*Block)
+}
+
+// NumCases returns the number of non-default switch cases.
+func (i *Instruction) NumCases() int { return (len(i.Operands) - 2) / 2 }
+
+// Successors returns the successor blocks of a terminator, in operand
+// order, or nil for non-terminators.
+func (i *Instruction) Successors() []*Block {
+	var out []*Block
+	add := func(v Value) {
+		if b, ok := v.(*Block); ok {
+			out = append(out, b)
+		}
+	}
+	switch i.Op {
+	case Br:
+		if i.IsCondBr() {
+			add(i.Operands[1])
+			add(i.Operands[2])
+		} else {
+			add(i.Operands[0])
+		}
+	case Switch:
+		add(i.Operands[1])
+		for n := 0; n < i.NumCases(); n++ {
+			add(i.Operands[3+2*n])
+		}
+	case IndirectBr:
+		for _, v := range i.Operands[1:] {
+			add(v)
+		}
+	case Invoke:
+		add(i.Operands[1])
+		add(i.Operands[2])
+	case CallBr:
+		for _, v := range i.Operands[1 : 2+i.Attrs.NumIndire] {
+			add(v)
+		}
+	case CatchRet:
+		add(i.Operands[1])
+	case CleanupRet:
+		if len(i.Operands) == 2 {
+			add(i.Operands[1])
+		}
+	case CatchSwitch:
+		for _, v := range i.Operands {
+			add(v)
+		}
+	}
+	return out
+}
+
+// String renders a debug form of the instruction (version-agnostic; the
+// versioned writer lives in irtext).
+func (i *Instruction) String() string {
+	var b strings.Builder
+	if i.HasResult() {
+		fmt.Fprintf(&b, "%%%s = ", i.Name)
+	}
+	b.WriteString(i.Op.String())
+	for n, op := range i.Operands {
+		if n > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(" ")
+		if op == nil {
+			b.WriteString("<nil>")
+			continue
+		}
+		b.WriteString(op.Ident())
+	}
+	return b.String()
+}

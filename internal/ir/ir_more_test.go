@@ -1,0 +1,314 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/version"
+)
+
+func TestTypeKindString(t *testing.T) {
+	kinds := map[TypeKind]string{
+		VoidKind: "void", IntKind: "int", FloatKind: "float", PointerKind: "pointer",
+		ArrayKind: "array", VectorKind: "vector", StructKind: "struct",
+		FuncKind: "func", LabelKind: "label", TokenKind: "token",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", uint8(k), got, want)
+		}
+	}
+	if !strings.Contains(TypeKind(99).String(), "99") {
+		t.Error("unknown kind string")
+	}
+}
+
+func TestTypePredicates(t *testing.T) {
+	if !Void.IsVoid() || I32.IsVoid() {
+		t.Error("IsVoid broken")
+	}
+	var nilTy *Type
+	if !nilTy.IsVoid() {
+		t.Error("nil type should be void")
+	}
+	if !I1.IsBool() || I8.IsBool() {
+		t.Error("IsBool broken")
+	}
+	if !F64.IsFloat() || I32.IsFloat() {
+		t.Error("IsFloat broken")
+	}
+	if !Arr(2, I32).IsAggregate() || !Struct(I32).IsAggregate() || I32.IsAggregate() {
+		t.Error("IsAggregate broken")
+	}
+	if Void.IsFirstClass() || Func(Void, nil, false).IsFirstClass() || !I32.IsFirstClass() {
+		t.Error("IsFirstClass broken")
+	}
+}
+
+func TestConstantIdents(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{ConstI32(5), "5"},
+		{ConstI64(-3), "-3"},
+		{ConstBool(true), "1"},
+		{ConstBool(false), "0"},
+		{&ConstNull{Typ: Ptr(I8)}, "null"},
+		{&ConstUndef{Typ: I32}, "undef"},
+		{&ConstZero{Typ: Arr(2, I32)}, "zeroinitializer"},
+		{&ConstFloat{Typ: F64, V: 1.5}, "1.5e+00"},
+		{&ConstArray{Typ: Arr(2, I32), Elems: []Constant{ConstI32(1), ConstI32(2)}}, "[i32 1, i32 2]"},
+		{&ConstStruct{Typ: Struct(I32), Elems: []Constant{ConstI32(9)}}, "{ i32 9 }"},
+	}
+	for _, c := range cases {
+		if got := c.v.Ident(); got != c.want {
+			t.Errorf("Ident = %q, want %q", got, c.want)
+		}
+	}
+	ia := &InlineAsm{Typ: Func(Void, nil, false), Asm: "nop", Constraints: ""}
+	if !strings.Contains(ia.Ident(), "asm") {
+		t.Error("InlineAsm ident")
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	i := &Instruction{Op: Add, Name: "x", Typ: I32,
+		Operands: []Value{ConstI32(1), ConstI32(2)}}
+	if got := i.String(); got != "%x = add 1, 2" {
+		t.Errorf("String = %q", got)
+	}
+	v := &Instruction{Op: Ret, Typ: Void, Operands: []Value{nil}}
+	if !strings.Contains(v.String(), "<nil>") {
+		t.Error("nil operand rendering")
+	}
+}
+
+func TestSuccessorsOfEveryTerminator(t *testing.T) {
+	blkA := &Block{Name: "a"}
+	blkB := &Block{Name: "b"}
+	pad := &Instruction{Op: CleanupPad, Typ: Token}
+	cases := []struct {
+		inst *Instruction
+		n    int
+	}{
+		{&Instruction{Op: Switch, Operands: []Value{ConstI32(1), blkA, ConstI32(2), blkB}}, 2},
+		{&Instruction{Op: IndirectBr, Operands: []Value{&ConstNull{Typ: Ptr(I8)}, blkA, blkB}}, 2},
+		{&Instruction{Op: CatchRet, Operands: []Value{pad, blkA}}, 1},
+		{&Instruction{Op: CleanupRet, Operands: []Value{pad, blkB}}, 1},
+		{&Instruction{Op: CleanupRet, Operands: []Value{pad}}, 0},
+		{&Instruction{Op: CatchSwitch, Operands: []Value{blkA, blkB}}, 2},
+		{&Instruction{Op: CallBr, Attrs: Attrs{NumIndire: 1},
+			Operands: []Value{&InlineAsm{Typ: Func(Void, nil, false)}, blkA, blkB}}, 2},
+		{&Instruction{Op: Add, Operands: []Value{ConstI32(1), ConstI32(1)}}, 0},
+	}
+	for _, c := range cases {
+		if got := len(c.inst.Successors()); got != c.n {
+			t.Errorf("%s: successors = %d, want %d", c.inst.Op, got, c.n)
+		}
+	}
+}
+
+func TestPredNameLookups(t *testing.T) {
+	for p, name := range map[IPred]string{IntEQ: "eq", IntSLE: "sle", IntUGT: "ugt"} {
+		got, ok := IPredByName(name)
+		if !ok || got != p {
+			t.Errorf("IPredByName(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := IPredByName("zz"); ok {
+		t.Error("bogus ipred accepted")
+	}
+	for p, name := range map[FPred]string{FloatOEQ: "oeq", FloatUNO: "uno"} {
+		got, ok := FPredByName(name)
+		if !ok || got != p {
+			t.Errorf("FPredByName(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := FPredByName("zz"); ok {
+		t.Error("bogus fpred accepted")
+	}
+}
+
+func TestOpcodesInWindow(t *testing.T) {
+	if got := len(OpcodesIn(version.V3_0)); got != 57 {
+		t.Errorf("3.0 opcodes = %d, want 57", got)
+	}
+	if got := len(OpcodesIn(version.V17_0)); got != 65 {
+		t.Errorf("17.0 opcodes = %d, want 65", got)
+	}
+	if AvailableIn(BadOp, version.V17_0) || AvailableIn(numOpcodes, version.V17_0) {
+		t.Error("out-of-range opcode reported available")
+	}
+}
+
+func TestPlaceholderResolution(t *testing.T) {
+	f := NewFunction("f", Func(I32, nil, false), nil)
+	b := f.AddBlock("entry")
+	ph := &Placeholder{Typ: I32, Key: ConstI32(0)}
+	add := &Instruction{Op: Add, Name: "x", Typ: I32, Operands: []Value{ph, ConstI32(1)}}
+	b.Append(add)
+	b.Append(&Instruction{Op: Ret, Typ: Void, Operands: []Value{add}})
+	if un := ResolvePlaceholders(f); len(un) != 1 {
+		t.Fatalf("unresolved = %d, want 1", len(un))
+	}
+	ph.Resolved = ConstI32(41)
+	if un := ResolvePlaceholders(f); len(un) != 0 {
+		t.Fatalf("unresolved after resolve = %d", len(un))
+	}
+	if add.Operands[0].(*ConstInt).V != 41 {
+		t.Fatal("placeholder not substituted")
+	}
+	if ph.Ident() == "" || ph.Type() != I32 {
+		t.Error("placeholder accessors")
+	}
+	var nilPh Placeholder
+	if !nilPh.Type().IsVoid() {
+		t.Error("zero placeholder type should be void")
+	}
+}
+
+func TestVerifyGlobalsAndDuplicates(t *testing.T) {
+	m := NewModule("t", version.V12_0)
+	m.AddGlobal(&Global{Name: "g", Content: I32})
+	m.AddGlobal(&Global{Name: "g", Content: I32})
+	if err := Verify(m); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate global accepted: %v", err)
+	}
+	m2 := NewModule("t", version.V12_0)
+	m2.AddGlobal(&Global{Name: ""})
+	if err := Verify(m2); err == nil {
+		t.Fatal("unnamed global accepted")
+	}
+	m3 := NewModule("t", version.V12_0)
+	m3.AddFunc(NewFunction("f", Func(I32, nil, false), nil))
+	m3.AddFunc(NewFunction("f", Func(I32, nil, false), nil))
+	if err := Verify(m3); err == nil {
+		t.Fatal("duplicate function accepted")
+	}
+}
+
+func TestVerifyInvalidVersion(t *testing.T) {
+	m := &Module{Name: "t"}
+	if err := Verify(m); err == nil {
+		t.Fatal("versionless module accepted")
+	}
+}
+
+func TestVerifyEmptyBlock(t *testing.T) {
+	m := NewModule("t", version.V12_0)
+	f := m.AddFunc(NewFunction("main", Func(I32, nil, false), nil))
+	f.AddBlock("entry")
+	if err := Verify(m); err == nil {
+		t.Fatal("empty block accepted")
+	}
+}
+
+func TestVerifyRetTypeMismatch(t *testing.T) {
+	m := NewModule("t", version.V12_0)
+	f := m.AddFunc(NewFunction("main", Func(I32, nil, false), nil))
+	b := f.AddBlock("entry")
+	b.Append(&Instruction{Op: Ret, Typ: Void, Operands: []Value{ConstI64(1)}})
+	if err := Verify(m); err == nil {
+		t.Fatal("i64 return from i32 function accepted")
+	}
+	m2 := NewModule("t", version.V12_0)
+	f2 := m2.AddFunc(NewFunction("main", Func(I32, nil, false), nil))
+	b2 := f2.AddBlock("entry")
+	b2.Append(&Instruction{Op: Ret, Typ: Void}) // void ret from i32 fn
+	if err := Verify(m2); err == nil {
+		t.Fatal("void return from i32 function accepted")
+	}
+}
+
+func TestVerifyCrossFunctionBlockRef(t *testing.T) {
+	m := NewModule("t", version.V12_0)
+	other := m.AddFunc(NewFunction("other", Func(Void, nil, false), nil))
+	foreign := other.AddBlock("entry")
+	foreign.Append(&Instruction{Op: Ret, Typ: Void})
+	f := m.AddFunc(NewFunction("main", Func(I32, nil, false), nil))
+	b := f.AddBlock("entry")
+	b.Append(&Instruction{Op: Br, Typ: Void, Operands: []Value{foreign}})
+	if err := Verify(m); err == nil || !strings.Contains(err.Error(), "another function") {
+		t.Fatalf("cross-function branch accepted: %v", err)
+	}
+}
+
+func TestVerifyMidBlockTerminator(t *testing.T) {
+	m := NewModule("t", version.V12_0)
+	f := m.AddFunc(NewFunction("main", Func(I32, nil, false), nil))
+	b := f.AddBlock("entry")
+	b.Append(&Instruction{Op: Ret, Typ: Void, Operands: []Value{ConstI32(1)}})
+	b.Append(&Instruction{Op: Ret, Typ: Void, Operands: []Value{ConstI32(2)}})
+	if err := Verify(m); err == nil {
+		t.Fatal("mid-block terminator accepted")
+	}
+}
+
+func TestVerifyPhiOddOperands(t *testing.T) {
+	m := NewModule("t", version.V12_0)
+	f := m.AddFunc(NewFunction("main", Func(I32, nil, false), nil))
+	b := f.AddBlock("entry")
+	phi := &Instruction{Op: Phi, Name: "p", Typ: I32,
+		Operands: []Value{ConstI32(1), b, ConstI32(2)}}
+	b.Append(phi)
+	b.Append(&Instruction{Op: Ret, Typ: Void, Operands: []Value{phi}})
+	if err := Verify(m); err == nil {
+		t.Fatal("odd phi accepted")
+	}
+}
+
+func TestVerifyVariadicCallArity(t *testing.T) {
+	m := NewModule("t", version.V12_0)
+	va := m.AddFunc(NewFunction("va", Func(I32, []*Type{I32}, true), nil))
+	f := m.AddFunc(NewFunction("main", Func(I32, nil, false), nil))
+	b := NewBuilder(f)
+	b.NewBlock("entry")
+	c := b.Call(va) // zero args, needs at least one
+	b.Ret(c)
+	if err := Verify(m); err == nil {
+		t.Fatal("variadic call below minimum arity accepted")
+	}
+}
+
+func TestVerifyStoreToNonPointer(t *testing.T) {
+	m := NewModule("t", version.V12_0)
+	f := m.AddFunc(NewFunction("main", Func(I32, nil, false), nil))
+	b := f.AddBlock("entry")
+	b.Append(&Instruction{Op: Store, Typ: Void, Operands: []Value{ConstI32(1), ConstI32(2)}})
+	b.Append(&Instruction{Op: Ret, Typ: Void, Operands: []Value{ConstI32(0)}})
+	if err := Verify(m); err == nil {
+		t.Fatal("store to non-pointer accepted")
+	}
+}
+
+func TestBuilderMisuse(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("emit without block did not panic")
+		}
+	}()
+	f := NewFunction("f", Func(I32, nil, false), nil)
+	NewBuilder(f).Add(ConstI32(1), ConstI32(2))
+}
+
+func TestNamedHelper(t *testing.T) {
+	i := &Instruction{Op: Add, Typ: I32, Operands: []Value{ConstI32(1), ConstI32(1)}}
+	if Named(i, "fancy").Name != "fancy" {
+		t.Fatal("Named broken")
+	}
+}
+
+func TestEntryAndBlockLookup(t *testing.T) {
+	f := NewFunction("f", Func(Void, nil, false), nil)
+	if f.Entry() != nil {
+		t.Error("decl has entry")
+	}
+	b := f.AddBlock("x")
+	if f.Entry() != b || f.Block("x") != b || f.Block("nope") != nil {
+		t.Error("block lookup broken")
+	}
+	if b.Type() != Label || b.Ident() != "%x" {
+		t.Error("block value accessors")
+	}
+}

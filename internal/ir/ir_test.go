@@ -1,0 +1,398 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/version"
+)
+
+func TestTypeString(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		want string
+	}{
+		{I32, "i32"},
+		{I1, "i1"},
+		{F64, "double"},
+		{F32, "float"},
+		{Ptr(I8), "i8*"},
+		{Arr(4, I32), "[4 x i32]"},
+		{Vec(2, F32), "<2 x float>"},
+		{Struct(I32, Ptr(I8)), "{ i32, i8* }"},
+		{Func(I32, []*Type{I32, I32}, false), "i32 (i32, i32)"},
+		{Func(Void, nil, true), "void (...)"},
+		{PtrAS(I8, 3), "i8 addrspace(3)*"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTypeEqual(t *testing.T) {
+	if !Ptr(I32).Equal(Ptr(I32)) {
+		t.Error("structurally equal pointer types reported unequal")
+	}
+	if Ptr(I32).Equal(Ptr(I64)) {
+		t.Error("i32* should differ from i64*")
+	}
+	if Struct(I32, I64).Equal(Struct(I32)) {
+		t.Error("structs with different field counts reported equal")
+	}
+	if Func(I32, []*Type{I32}, false).Equal(Func(I32, []*Type{I32}, true)) {
+		t.Error("variadic flag ignored in equality")
+	}
+	if PtrAS(I8, 1).Equal(Ptr(I8)) {
+		t.Error("address space ignored in equality")
+	}
+}
+
+func TestTypeSize(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		want int
+	}{
+		{I1, 1}, {I8, 1}, {I16, 2}, {I32, 4}, {I64, 8},
+		{F32, 4}, {F64, 8},
+		{Ptr(I32), 8},
+		{Arr(3, I32), 12},
+		{Struct(I32, I64, I8), 13},
+	}
+	for _, c := range cases {
+		if got := c.t.Size(); got != c.want {
+			t.Errorf("Size(%s) = %d, want %d", c.t, got, c.want)
+		}
+	}
+	st := Struct(I32, I64, I8)
+	if off := st.FieldOffset(2); off != 12 {
+		t.Errorf("FieldOffset(2) = %d, want 12", off)
+	}
+}
+
+func TestOpcodeCounts(t *testing.T) {
+	// The paper's Table 3 instruction-count arithmetic must hold exactly.
+	cases := []struct {
+		src, tgt    version.V
+		common, new int
+	}{
+		{version.V12_0, version.V3_6, 58, 7},
+		{version.V13_0, version.V3_6, 58, 7},
+		{version.V14_0, version.V3_6, 58, 7},
+		{version.V15_0, version.V3_6, 58, 7},
+		{version.V17_0, version.V3_6, 58, 7},
+		{version.V17_0, version.V3_0, 57, 8},
+		{version.V3_6, version.V3_0, 57, 1},
+		{version.V5_0, version.V4_0, 63, 0},
+		{version.V17_0, version.V12_0, 65, 0},
+		{version.V3_6, version.V12_0, 58, 0},
+	}
+	for _, c := range cases {
+		if got := len(CommonOpcodes(c.src, c.tgt)); got != c.common {
+			t.Errorf("common(%s,%s) = %d, want %d", c.src, c.tgt, got, c.common)
+		}
+		if got := len(NewOpcodes(c.src, c.tgt)); got != c.new {
+			t.Errorf("new(%s,%s) = %d, want %d", c.src, c.tgt, got, c.new)
+		}
+	}
+}
+
+func TestOpcodeNamesRoundTrip(t *testing.T) {
+	for op := Opcode(1); op < numOpcodes; op++ {
+		got, ok := OpcodeByName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpcodeByName(%q) = %v, %v", op.String(), got, ok)
+		}
+	}
+	if _, ok := OpcodeByName("nosuch"); ok {
+		t.Error("OpcodeByName accepted garbage")
+	}
+}
+
+func TestAvailableIn(t *testing.T) {
+	if AvailableIn(Freeze, version.V3_6) {
+		t.Error("freeze should not exist at 3.6")
+	}
+	if !AvailableIn(Freeze, version.V10_0) {
+		t.Error("freeze should exist at 10.0")
+	}
+	if !AvailableIn(AddrSpaceCast, version.V3_6) {
+		t.Error("addrspacecast should exist at 3.6 (introduced 3.4)")
+	}
+	if AvailableIn(AddrSpaceCast, version.V3_0) {
+		t.Error("addrspacecast should not exist at 3.0")
+	}
+	if !AvailableIn(Add, version.V3_0) {
+		t.Error("baseline add must exist everywhere")
+	}
+}
+
+func buildRetConst(v int64) *Module {
+	m := NewModule("t", version.V12_0)
+	f := m.AddFunc(NewFunction("main", Func(I32, nil, false), nil))
+	b := NewBuilder(f)
+	b.NewBlock("entry")
+	b.Ret(ConstI32(v))
+	return m
+}
+
+func TestVerifyOK(t *testing.T) {
+	if err := Verify(buildRetConst(42)); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	m := NewModule("t", version.V12_0)
+	f := m.AddFunc(NewFunction("main", Func(I32, nil, false), nil))
+	b := NewBuilder(f)
+	b.NewBlock("entry")
+	b.Add(ConstI32(1), ConstI32(2))
+	if err := Verify(m); err == nil {
+		t.Fatal("Verify accepted block without terminator")
+	}
+}
+
+func TestVerifyCatchesVersionIllegalOpcode(t *testing.T) {
+	m := NewModule("t", version.V3_6)
+	f := m.AddFunc(NewFunction("main", Func(I32, nil, false), nil))
+	b := NewBuilder(f)
+	b.NewBlock("entry")
+	fr := b.Freeze(ConstI32(1))
+	b.Ret(fr)
+	err := Verify(m)
+	if err == nil {
+		t.Fatal("Verify accepted freeze in a 3.6 module")
+	}
+}
+
+func TestVerifyCatchesBadCondType(t *testing.T) {
+	m := NewModule("t", version.V12_0)
+	f := m.AddFunc(NewFunction("main", Func(I32, nil, false), nil))
+	b := NewBuilder(f)
+	entry := b.NewBlock("entry")
+	then := f.AddBlock("then")
+	els := f.AddBlock("els")
+	b.At(entry).CondBr(ConstI32(7), then, els) // i32 cond: invalid
+	b.At(then).Ret(ConstI32(1))
+	b.At(els).Ret(ConstI32(0))
+	if err := Verify(m); err == nil {
+		t.Fatal("Verify accepted non-i1 branch condition")
+	}
+}
+
+func TestVerifyCatchesDuplicateSSAName(t *testing.T) {
+	m := NewModule("t", version.V12_0)
+	f := m.AddFunc(NewFunction("main", Func(I32, nil, false), nil))
+	b := NewBuilder(f)
+	b.NewBlock("entry")
+	a1 := b.Add(ConstI32(1), ConstI32(2))
+	a1.Name = "x"
+	a2 := b.Add(ConstI32(3), ConstI32(4))
+	a2.Name = "x"
+	b.Ret(a2)
+	if err := Verify(m); err == nil {
+		t.Fatal("Verify accepted duplicate SSA names")
+	}
+}
+
+func TestVerifyCatchesArgMismatch(t *testing.T) {
+	m := NewModule("t", version.V12_0)
+	callee := m.AddFunc(NewFunction("f", Func(I32, []*Type{I32, I32}, false), nil))
+	f := m.AddFunc(NewFunction("main", Func(I32, nil, false), nil))
+	b := NewBuilder(f)
+	b.NewBlock("entry")
+	c := b.Call(callee, ConstI32(1)) // one arg, needs two
+	b.Ret(c)
+	if err := Verify(m); err == nil {
+		t.Fatal("Verify accepted call with wrong arity")
+	}
+}
+
+func TestSuccessors(t *testing.T) {
+	m := NewModule("t", version.V12_0)
+	f := m.AddFunc(NewFunction("main", Func(I32, nil, false), nil))
+	b := NewBuilder(f)
+	entry := b.NewBlock("entry")
+	then := f.AddBlock("then")
+	els := f.AddBlock("els")
+	cond := b.At(entry).ICmp(IntEQ, ConstI32(1), ConstI32(1))
+	b.CondBr(cond, then, els)
+	b.At(then).Ret(ConstI32(1))
+	b.At(els).Ret(ConstI32(0))
+
+	succs := entry.Succs()
+	if len(succs) != 2 || succs[0] != then || succs[1] != els {
+		t.Fatalf("Succs = %v", succs)
+	}
+	if got := then.Succs(); len(got) != 0 {
+		t.Fatalf("ret block has successors: %v", got)
+	}
+}
+
+func TestSwitchAccessors(t *testing.T) {
+	m := NewModule("t", version.V12_0)
+	f := m.AddFunc(NewFunction("main", Func(I32, nil, false), nil))
+	b := NewBuilder(f)
+	entry := b.NewBlock("entry")
+	d := f.AddBlock("default")
+	c1 := f.AddBlock("case1")
+	sw := b.At(entry).Switch(ConstI32(5), d, ConstI32(1), c1)
+	b.At(d).Ret(ConstI32(0))
+	b.At(c1).Ret(ConstI32(1))
+	if sw.NumCases() != 1 {
+		t.Fatalf("NumCases = %d", sw.NumCases())
+	}
+	cv, cb := sw.SwitchCase(0)
+	if cv.(*ConstInt).V != 1 || cb != c1 {
+		t.Fatalf("SwitchCase(0) = %v, %v", cv, cb)
+	}
+	if got := entry.Succs(); len(got) != 2 {
+		t.Fatalf("switch successors = %v", got)
+	}
+}
+
+func TestPhiAccessors(t *testing.T) {
+	m := NewModule("t", version.V12_0)
+	f := m.AddFunc(NewFunction("main", Func(I32, nil, false), nil))
+	b := NewBuilder(f)
+	entry := b.NewBlock("entry")
+	join := f.AddBlock("join")
+	b.At(entry).Br(join)
+	phi := b.At(join).Phi(I32, ConstI32(7), entry)
+	b.Ret(phi)
+	if phi.NumIncoming() != 1 {
+		t.Fatalf("NumIncoming = %d", phi.NumIncoming())
+	}
+	v, blk := phi.PhiIncoming(0)
+	if v.(*ConstInt).V != 7 || blk != entry {
+		t.Fatalf("PhiIncoming = %v, %v", v, blk)
+	}
+}
+
+func TestCallAccessors(t *testing.T) {
+	m := NewModule("t", version.V12_0)
+	callee := m.AddFunc(NewFunction("g", Func(I32, []*Type{I32}, false), nil))
+	f := m.AddFunc(NewFunction("main", Func(I32, nil, false), nil))
+	b := NewBuilder(f)
+	b.NewBlock("entry")
+	c := b.Call(callee, ConstI32(9))
+	b.Ret(c)
+	if c.CalledFunction() != callee {
+		t.Fatal("CalledFunction mismatch")
+	}
+	args := c.CallArgs()
+	if len(args) != 1 || args[0].(*ConstInt).V != 9 {
+		t.Fatalf("CallArgs = %v", args)
+	}
+	if !c.Type().Equal(I32) {
+		t.Fatalf("call result type = %s", c.Type())
+	}
+}
+
+func TestGEPResultType(t *testing.T) {
+	m := NewModule("t", version.V12_0)
+	f := m.AddFunc(NewFunction("main", Func(I32, nil, false), nil))
+	b := NewBuilder(f)
+	b.NewBlock("entry")
+	st := Struct(I32, Arr(4, I64))
+	p := b.Alloca(st)
+	g := b.GEP(st, p, ConstI32(0), ConstI32(1), ConstI32(2))
+	b.Ret(ConstI32(0))
+	if want := Ptr(I64); !g.Type().Equal(want) {
+		t.Fatalf("gep type = %s, want %s", g.Type(), want)
+	}
+}
+
+func TestZeroOf(t *testing.T) {
+	if z := ZeroOf(I32).(*ConstInt); z.V != 0 {
+		t.Error("ZeroOf(i32) not 0")
+	}
+	if _, ok := ZeroOf(Ptr(I8)).(*ConstNull); !ok {
+		t.Error("ZeroOf(ptr) not null")
+	}
+	if _, ok := ZeroOf(Struct(I32)).(*ConstZero); !ok {
+		t.Error("ZeroOf(struct) not zeroinitializer")
+	}
+}
+
+// Property: Int(bits) always round-trips the bit width and Size is
+// monotone in width.
+func TestIntWidthProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		bits := int(raw%64) + 1
+		ty := Int(bits)
+		return ty.Bits == bits && ty.IsInt() && ty.Size() >= 1 && ty.Size() <= 8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: structural equality is reflexive and symmetric over randomly
+// generated scalar/pointer/array compositions.
+func TestTypeEqualProperty(t *testing.T) {
+	gen := func(seed uint32) *Type {
+		base := []*Type{I1, I8, I32, I64, F32, F64}[seed%6]
+		switch (seed / 6) % 3 {
+		case 0:
+			return base
+		case 1:
+			return Ptr(base)
+		default:
+			return Arr(int(seed%5)+1, base)
+		}
+	}
+	f := func(a, b uint32) bool {
+		ta, tb := gen(a), gen(b)
+		if !ta.Equal(ta) || !tb.Equal(tb) {
+			return false
+		}
+		return ta.Equal(tb) == tb.Equal(ta)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: commutative opcodes are a subset of binary opcodes.
+func TestCommutativeSubsetProperty(t *testing.T) {
+	for op := Opcode(1); op < numOpcodes; op++ {
+		if op.IsCommutative() && !op.IsBinary() {
+			t.Errorf("%s commutative but not binary", op)
+		}
+	}
+}
+
+func TestVerifyCatchesNilOperand(t *testing.T) {
+	m := NewModule("t", version.V12_0)
+	f := m.AddFunc(NewFunction("main", Func(I32, nil, false), nil))
+	blk := f.AddBlock("entry")
+	blk.Append(&Instruction{Op: Ret, Typ: Void, Operands: []Value{nil}})
+	if err := Verify(m); err == nil {
+		t.Fatal("Verify accepted nil operand")
+	}
+}
+
+func TestModuleLookups(t *testing.T) {
+	m := NewModule("t", version.V12_0)
+	g := m.AddGlobal(&Global{Name: "gv", Content: I32, Init: ConstI32(3)})
+	f := m.AddFunc(NewFunction("main", Func(I32, nil, false), nil))
+	if m.Func("main") != f || m.Func("nope") != nil {
+		t.Error("Func lookup broken")
+	}
+	if m.GlobalByName("gv") != g || m.GlobalByName("nope") != nil {
+		t.Error("Global lookup broken")
+	}
+	if !g.Type().Equal(Ptr(I32)) {
+		t.Errorf("global type = %s", g.Type())
+	}
+}
+
+func TestNumInsts(t *testing.T) {
+	m := buildRetConst(1)
+	if n := m.NumInsts(); n != 1 {
+		t.Fatalf("NumInsts = %d, want 1", n)
+	}
+}

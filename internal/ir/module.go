@@ -1,0 +1,170 @@
+// Package ir defines the in-memory intermediate representation shared by
+// all versions of the simulated compiler ecosystem.
+//
+// The representation follows the hierarchical formulation of Fig. 3 of
+// the Siro paper: a Module holds Globals and Functions, a Function holds
+// Blocks, and a Block holds Instructions whose operands reference any IR
+// element. Version differences live elsewhere: the instruction set window
+// in opcode.go, the textual formats in package irtext, and the API
+// surfaces in package irlib.
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/version"
+)
+
+// Module is a top-level IR program P = (G, F).
+type Module struct {
+	Ver     version.V
+	Name    string
+	Globals []*Global
+	Funcs   []*Function
+}
+
+// NewModule returns an empty module pinned to the given IR version.
+func NewModule(name string, v version.V) *Module {
+	return &Module{Ver: v, Name: name}
+}
+
+// Func returns the function with the given name, or nil.
+func (m *Module) Func(name string) *Function {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Global returns the global with the given name, or nil.
+func (m *Module) GlobalByName(name string) *Global {
+	for _, g := range m.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// AddFunc appends f to the module and returns it.
+func (m *Module) AddFunc(f *Function) *Function {
+	m.Funcs = append(m.Funcs, f)
+	return f
+}
+
+// AddGlobal appends g to the module and returns it.
+func (m *Module) AddGlobal(g *Global) *Global {
+	m.Globals = append(m.Globals, g)
+	return g
+}
+
+// NumInsts counts all instructions in the module (reported as #Insts in
+// Table 5).
+func (m *Module) NumInsts() int {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			n += len(b.Insts)
+		}
+	}
+	return n
+}
+
+// Function is a named function F = f(arg1..argn){B+}. A function with no
+// blocks is a declaration.
+type Function struct {
+	Name   string
+	Sig    *Type // FuncKind
+	Params []*Param
+	Blocks []*Block
+	Parent *Module
+}
+
+// NewFunction creates a function with fresh Params derived from sig.
+func NewFunction(name string, sig *Type, paramNames []string) *Function {
+	f := &Function{Name: name, Sig: sig}
+	for i, pt := range sig.Params {
+		pn := fmt.Sprintf("arg%d", i)
+		if i < len(paramNames) && paramNames[i] != "" {
+			pn = paramNames[i]
+		}
+		f.Params = append(f.Params, &Param{Name: pn, Typ: pt, Parent: f, Index: i})
+	}
+	return f
+}
+
+// Type of a function value is a pointer to its signature, as in LLVM.
+func (f *Function) Type() *Type   { return Ptr(f.Sig) }
+func (f *Function) Ident() string { return "@" + f.Name }
+func (f *Function) isValue()      {}
+
+// IsDecl reports whether f has no body.
+func (f *Function) IsDecl() bool { return len(f.Blocks) == 0 }
+
+// Entry returns the entry block, or nil for declarations.
+func (f *Function) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// Block returns the block with the given name, or nil.
+func (f *Function) Block(name string) *Block {
+	for _, b := range f.Blocks {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// AddBlock appends a new empty block with the given name.
+func (f *Function) AddBlock(name string) *Block {
+	b := &Block{Name: name, Parent: f}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Block is a basic block B = (I)+.
+type Block struct {
+	Name   string
+	Insts  []*Instruction
+	Parent *Function
+}
+
+// Type of a block value is label.
+func (b *Block) Type() *Type   { return Label }
+func (b *Block) Ident() string { return "%" + b.Name }
+func (b *Block) isValue()      {}
+
+// Append adds inst at the end of the block and returns it.
+func (b *Block) Append(inst *Instruction) *Instruction {
+	inst.Parent = b
+	b.Insts = append(b.Insts, inst)
+	return inst
+}
+
+// Terminator returns the block's final instruction if it is a terminator,
+// else nil.
+func (b *Block) Terminator() *Instruction {
+	if len(b.Insts) == 0 {
+		return nil
+	}
+	t := b.Insts[len(b.Insts)-1]
+	if !t.Op.IsTerminator() {
+		return nil
+	}
+	return t
+}
+
+// Succs returns the successor blocks.
+func (b *Block) Succs() []*Block {
+	t := b.Terminator()
+	if t == nil {
+		return nil
+	}
+	return t.Successors()
+}

@@ -1,0 +1,234 @@
+package ir
+
+import "repro/internal/version"
+
+// Opcode identifies the operation of an Instruction.
+type Opcode uint8
+
+// The full opcode set across all simulated IR versions. The baseline set
+// (57 opcodes) exists since version 3.0; the remaining eight appear at the
+// versions recorded in IntroducedIn, reproducing the instruction history
+// studied in §6.1/Table 3 of the paper.
+const (
+	BadOp Opcode = iota
+
+	// Terminators.
+	Ret
+	Br
+	Switch
+	IndirectBr
+	Invoke
+	Resume
+	Unreachable
+
+	// Unary and binary arithmetic.
+	FNeg
+	Add
+	FAdd
+	Sub
+	FSub
+	Mul
+	FMul
+	UDiv
+	SDiv
+	FDiv
+	URem
+	SRem
+	FRem
+
+	// Bitwise.
+	Shl
+	LShr
+	AShr
+	And
+	Or
+	Xor
+
+	// Vector.
+	ExtractElement
+	InsertElement
+	ShuffleVector
+
+	// Aggregate.
+	ExtractValue
+	InsertValue
+
+	// Memory.
+	Alloca
+	Load
+	Store
+	Fence
+	CmpXchg
+	AtomicRMW
+	GetElementPtr
+
+	// Conversions.
+	Trunc
+	ZExt
+	SExt
+	FPTrunc
+	FPExt
+	FPToUI
+	FPToSI
+	UIToFP
+	SIToFP
+	PtrToInt
+	IntToPtr
+	BitCast
+
+	// Other.
+	ICmp
+	FCmp
+	Phi
+	Select
+	Call
+	VAArg
+	LandingPad
+
+	// Version-introduced instructions (the "new" instructions of §3.3.2).
+	AddrSpaceCast // 3.4
+	CatchPad      // 3.8
+	CleanupPad    // 3.8
+	CatchSwitch   // 3.8
+	CatchRet      // 3.8
+	CleanupRet    // 3.8
+	CallBr        // 9.0
+	Freeze        // 10.0
+
+	numOpcodes
+)
+
+// NumOpcodes is the count of valid opcodes (excluding BadOp).
+const NumOpcodes = int(numOpcodes) - 1
+
+var opcodeNames = [...]string{
+	BadOp: "badop", Ret: "ret", Br: "br", Switch: "switch", IndirectBr: "indirectbr",
+	Invoke: "invoke", Resume: "resume", Unreachable: "unreachable",
+	FNeg: "fneg", Add: "add", FAdd: "fadd", Sub: "sub", FSub: "fsub", Mul: "mul",
+	FMul: "fmul", UDiv: "udiv", SDiv: "sdiv", FDiv: "fdiv", URem: "urem",
+	SRem: "srem", FRem: "frem",
+	Shl: "shl", LShr: "lshr", AShr: "ashr", And: "and", Or: "or", Xor: "xor",
+	ExtractElement: "extractelement", InsertElement: "insertelement", ShuffleVector: "shufflevector",
+	ExtractValue: "extractvalue", InsertValue: "insertvalue",
+	Alloca: "alloca", Load: "load", Store: "store", Fence: "fence",
+	CmpXchg: "cmpxchg", AtomicRMW: "atomicrmw", GetElementPtr: "getelementptr",
+	Trunc: "trunc", ZExt: "zext", SExt: "sext", FPTrunc: "fptrunc", FPExt: "fpext",
+	FPToUI: "fptoui", FPToSI: "fptosi", UIToFP: "uitofp", SIToFP: "sitofp",
+	PtrToInt: "ptrtoint", IntToPtr: "inttoptr", BitCast: "bitcast",
+	ICmp: "icmp", FCmp: "fcmp", Phi: "phi", Select: "select", Call: "call",
+	VAArg: "va_arg", LandingPad: "landingpad",
+	AddrSpaceCast: "addrspacecast", CatchPad: "catchpad", CleanupPad: "cleanuppad",
+	CatchSwitch: "catchswitch", CatchRet: "catchret", CleanupRet: "cleanupret",
+	CallBr: "callbr", Freeze: "freeze",
+}
+
+func (op Opcode) String() string {
+	if int(op) < len(opcodeNames) && opcodeNames[op] != "" {
+		return opcodeNames[op]
+	}
+	return "badop"
+}
+
+// opcodeByName maps textual mnemonics back to opcodes, used by the parser.
+var opcodeByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, NumOpcodes)
+	for op := Opcode(1); op < numOpcodes; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+// OpcodeByName returns the opcode with the given textual mnemonic.
+func OpcodeByName(name string) (Opcode, bool) {
+	op, ok := opcodeByName[name]
+	return op, ok
+}
+
+// IntroducedIn records the version at which the non-baseline opcodes
+// appeared. Opcodes absent from this map exist since version 3.0.
+var IntroducedIn = map[Opcode]version.V{
+	AddrSpaceCast: version.V3_4,
+	CatchPad:      version.V3_8,
+	CleanupPad:    version.V3_8,
+	CatchSwitch:   version.V3_8,
+	CatchRet:      version.V3_8,
+	CleanupRet:    version.V3_8,
+	CallBr:        version.V9_0,
+	Freeze:        version.V10_0,
+}
+
+// AvailableIn reports whether op exists in IR version v.
+func AvailableIn(op Opcode, v version.V) bool {
+	if op == BadOp || op >= numOpcodes {
+		return false
+	}
+	intro, ok := IntroducedIn[op]
+	if !ok {
+		return true
+	}
+	return v.AtLeast(intro)
+}
+
+// OpcodesIn returns all opcodes available in version v, in opcode order.
+func OpcodesIn(v version.V) []Opcode {
+	var out []Opcode
+	for op := Opcode(1); op < numOpcodes; op++ {
+		if AvailableIn(op, v) {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// CommonOpcodes returns the opcodes shared by two versions — the "common
+// instructions" of Definition 3.1.
+func CommonOpcodes(a, b version.V) []Opcode {
+	var out []Opcode
+	for op := Opcode(1); op < numOpcodes; op++ {
+		if AvailableIn(op, a) && AvailableIn(op, b) {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// NewOpcodes returns the opcodes present in src but absent from tgt — the
+// "new instructions" a src→tgt translator must special-case (§3.3.2).
+func NewOpcodes(src, tgt version.V) []Opcode {
+	var out []Opcode
+	for op := Opcode(1); op < numOpcodes; op++ {
+		if AvailableIn(op, src) && !AvailableIn(op, tgt) {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// IsTerminator reports whether op terminates a basic block.
+func (op Opcode) IsTerminator() bool {
+	switch op {
+	case Ret, Br, Switch, IndirectBr, Invoke, Resume, Unreachable,
+		CatchSwitch, CatchRet, CleanupRet, CallBr:
+		return true
+	}
+	return false
+}
+
+// IsBinary reports whether op is a two-operand arithmetic/bitwise op.
+func (op Opcode) IsBinary() bool { return op >= Add && op <= Xor }
+
+// IsCommutative reports whether swapping the two operands of op preserves
+// semantics. The synthesis system "discovers" this property empirically;
+// this predicate exists for tests that check the discovery (§6.2).
+func (op Opcode) IsCommutative() bool {
+	switch op {
+	case Add, FAdd, Mul, FMul, And, Or, Xor:
+		return true
+	}
+	return false
+}
+
+// IsConversion reports whether op is a single-operand cast.
+func (op Opcode) IsConversion() bool {
+	return (op >= Trunc && op <= BitCast) || op == AddrSpaceCast
+}

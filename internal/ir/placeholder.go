@@ -1,0 +1,49 @@
+package ir
+
+// Placeholder is a temporary stand-in value used by one-pass translation
+// (§5 of the Siro paper, "Handling IR Value Dependence"): when an operand
+// refers to an instruction that has not been translated yet, the
+// translator hands out a Placeholder and later replaces every use with
+// the real translated value.
+type Placeholder struct {
+	Typ *Type
+	// Key identifies the source value awaiting translation.
+	Key Value
+	// Resolved is filled in once the source value has been translated.
+	Resolved Value
+}
+
+func (p *Placeholder) Type() *Type {
+	if p.Typ == nil {
+		return Void
+	}
+	return p.Typ
+}
+
+func (p *Placeholder) Ident() string { return "%<placeholder>" }
+func (p *Placeholder) isValue()      {}
+
+// ResolvePlaceholders walks every operand of every instruction in f and
+// substitutes resolved placeholders. It reports any placeholder that was
+// never resolved.
+func ResolvePlaceholders(f *Function) []*Placeholder {
+	var unresolved []*Placeholder
+	seen := map[*Placeholder]bool{}
+	for _, b := range f.Blocks {
+		for _, inst := range b.Insts {
+			for k, op := range inst.Operands {
+				ph, ok := op.(*Placeholder)
+				if !ok {
+					continue
+				}
+				if ph.Resolved != nil {
+					inst.Operands[k] = ph.Resolved
+				} else if !seen[ph] {
+					seen[ph] = true
+					unresolved = append(unresolved, ph)
+				}
+			}
+		}
+	}
+	return unresolved
+}

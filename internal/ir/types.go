@@ -1,0 +1,285 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeKind discriminates the structural kind of a Type.
+type TypeKind uint8
+
+// The type kinds supported by the IR. They mirror the LLVM type system at
+// the granularity the translation and analysis layers need.
+const (
+	VoidKind TypeKind = iota
+	IntKind
+	FloatKind
+	PointerKind
+	ArrayKind
+	VectorKind
+	StructKind
+	FuncKind
+	LabelKind
+	TokenKind // used by the EH pad instructions (catchpad etc.)
+)
+
+func (k TypeKind) String() string {
+	switch k {
+	case VoidKind:
+		return "void"
+	case IntKind:
+		return "int"
+	case FloatKind:
+		return "float"
+	case PointerKind:
+		return "pointer"
+	case ArrayKind:
+		return "array"
+	case VectorKind:
+		return "vector"
+	case StructKind:
+		return "struct"
+	case FuncKind:
+		return "func"
+	case LabelKind:
+		return "label"
+	case TokenKind:
+		return "token"
+	}
+	return fmt.Sprintf("TypeKind(%d)", uint8(k))
+}
+
+// Type is an immutable structural IR type. Construct types with the
+// package-level constructors (I32, Ptr, Arr, ...); never mutate a Type
+// after it escapes.
+type Type struct {
+	Kind TypeKind
+
+	Bits int // IntKind: bit width. FloatKind: 32 or 64.
+
+	Elem *Type // Pointer/Array/Vector element type.
+	Len  int   // Array/Vector length.
+
+	Fields []*Type // Struct field types.
+
+	Params   []*Type // Func parameter types.
+	Ret      *Type   // Func return type.
+	Variadic bool    // Func accepts trailing varargs.
+
+	AddrSpace int // Pointer address space.
+}
+
+// Shared singletons for the ubiquitous scalar types.
+var (
+	Void  = &Type{Kind: VoidKind}
+	I1    = &Type{Kind: IntKind, Bits: 1}
+	I8    = &Type{Kind: IntKind, Bits: 8}
+	I16   = &Type{Kind: IntKind, Bits: 16}
+	I32   = &Type{Kind: IntKind, Bits: 32}
+	I64   = &Type{Kind: IntKind, Bits: 64}
+	F32   = &Type{Kind: FloatKind, Bits: 32}
+	F64   = &Type{Kind: FloatKind, Bits: 64}
+	Label = &Type{Kind: LabelKind}
+	Token = &Type{Kind: TokenKind}
+)
+
+// Int returns the integer type of the given bit width, reusing the common
+// singletons where possible.
+func Int(bits int) *Type {
+	switch bits {
+	case 1:
+		return I1
+	case 8:
+		return I8
+	case 16:
+		return I16
+	case 32:
+		return I32
+	case 64:
+		return I64
+	}
+	return &Type{Kind: IntKind, Bits: bits}
+}
+
+// Ptr returns a pointer type to elem in address space 0.
+func Ptr(elem *Type) *Type { return &Type{Kind: PointerKind, Elem: elem} }
+
+// PtrAS returns a pointer type to elem in the given address space.
+func PtrAS(elem *Type, as int) *Type {
+	return &Type{Kind: PointerKind, Elem: elem, AddrSpace: as}
+}
+
+// Arr returns the array type [n x elem].
+func Arr(n int, elem *Type) *Type { return &Type{Kind: ArrayKind, Elem: elem, Len: n} }
+
+// Vec returns the vector type <n x elem>.
+func Vec(n int, elem *Type) *Type { return &Type{Kind: VectorKind, Elem: elem, Len: n} }
+
+// Struct returns an anonymous struct type over the given field types.
+func Struct(fields ...*Type) *Type { return &Type{Kind: StructKind, Fields: fields} }
+
+// Func returns a function type. params is not copied.
+func Func(ret *Type, params []*Type, variadic bool) *Type {
+	return &Type{Kind: FuncKind, Ret: ret, Params: params, Variadic: variadic}
+}
+
+// IsVoid reports whether t is the void type.
+func (t *Type) IsVoid() bool { return t == nil || t.Kind == VoidKind }
+
+// IsInt reports whether t is an integer type.
+func (t *Type) IsInt() bool { return t != nil && t.Kind == IntKind }
+
+// IsBool reports whether t is i1.
+func (t *Type) IsBool() bool { return t.IsInt() && t.Bits == 1 }
+
+// IsFloat reports whether t is a floating-point type.
+func (t *Type) IsFloat() bool { return t != nil && t.Kind == FloatKind }
+
+// IsPointer reports whether t is a pointer type.
+func (t *Type) IsPointer() bool { return t != nil && t.Kind == PointerKind }
+
+// IsAggregate reports whether t is an array or struct type.
+func (t *Type) IsAggregate() bool {
+	return t != nil && (t.Kind == ArrayKind || t.Kind == StructKind)
+}
+
+// IsFirstClass reports whether values of t may be produced by
+// instructions (everything except void and function types).
+func (t *Type) IsFirstClass() bool {
+	return t != nil && t.Kind != VoidKind && t.Kind != FuncKind
+}
+
+// Equal reports structural type equality. Pointer equality over the
+// element type is deliberately not required.
+func (t *Type) Equal(o *Type) bool {
+	if t == o {
+		return true
+	}
+	if t == nil || o == nil || t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case VoidKind, LabelKind, TokenKind:
+		return true
+	case IntKind, FloatKind:
+		return t.Bits == o.Bits
+	case PointerKind:
+		return t.AddrSpace == o.AddrSpace && t.Elem.Equal(o.Elem)
+	case ArrayKind, VectorKind:
+		return t.Len == o.Len && t.Elem.Equal(o.Elem)
+	case StructKind:
+		if len(t.Fields) != len(o.Fields) {
+			return false
+		}
+		for i := range t.Fields {
+			if !t.Fields[i].Equal(o.Fields[i]) {
+				return false
+			}
+		}
+		return true
+	case FuncKind:
+		if !t.Ret.Equal(o.Ret) || t.Variadic != o.Variadic || len(t.Params) != len(o.Params) {
+			return false
+		}
+		for i := range t.Params {
+			if !t.Params[i].Equal(o.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// String renders t in the canonical typed-pointer syntax. Version-aware
+// rendering (opaque pointers, legacy load syntax) lives in irtext.
+func (t *Type) String() string {
+	if t == nil {
+		return "void"
+	}
+	switch t.Kind {
+	case VoidKind:
+		return "void"
+	case IntKind:
+		return fmt.Sprintf("i%d", t.Bits)
+	case FloatKind:
+		if t.Bits == 32 {
+			return "float"
+		}
+		return "double"
+	case PointerKind:
+		if t.AddrSpace != 0 {
+			return fmt.Sprintf("%s addrspace(%d)*", t.Elem.String(), t.AddrSpace)
+		}
+		return t.Elem.String() + "*"
+	case ArrayKind:
+		return fmt.Sprintf("[%d x %s]", t.Len, t.Elem.String())
+	case VectorKind:
+		return fmt.Sprintf("<%d x %s>", t.Len, t.Elem.String())
+	case StructKind:
+		parts := make([]string, len(t.Fields))
+		for i, f := range t.Fields {
+			parts[i] = f.String()
+		}
+		return "{ " + strings.Join(parts, ", ") + " }"
+	case FuncKind:
+		parts := make([]string, len(t.Params))
+		for i, p := range t.Params {
+			parts[i] = p.String()
+		}
+		if t.Variadic {
+			parts = append(parts, "...")
+		}
+		return fmt.Sprintf("%s (%s)", t.Ret.String(), strings.Join(parts, ", "))
+	case LabelKind:
+		return "label"
+	case TokenKind:
+		return "token"
+	}
+	return "?"
+}
+
+// Size returns the abstract byte size of t as used by the interpreter's
+// memory model. Pointers and i64 occupy 8 bytes; sizes compose
+// structurally with no padding.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case IntKind:
+		if t.Bits <= 8 {
+			return 1
+		}
+		if t.Bits <= 16 {
+			return 2
+		}
+		if t.Bits <= 32 {
+			return 4
+		}
+		return 8
+	case FloatKind:
+		if t.Bits == 32 {
+			return 4
+		}
+		return 8
+	case PointerKind, LabelKind, FuncKind, TokenKind:
+		return 8
+	case ArrayKind, VectorKind:
+		return t.Len * t.Elem.Size()
+	case StructKind:
+		n := 0
+		for _, f := range t.Fields {
+			n += f.Size()
+		}
+		return n
+	}
+	return 0
+}
+
+// FieldOffset returns the byte offset of struct field i under the
+// padding-free layout used by Size.
+func (t *Type) FieldOffset(i int) int {
+	n := 0
+	for j := 0; j < i; j++ {
+		n += t.Fields[j].Size()
+	}
+	return n
+}

@@ -1,0 +1,178 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Value is anything an instruction operand may reference: constants,
+// globals, functions, arguments, basic blocks, and other instructions.
+// This is the value grammar of Fig. 3 in the paper.
+type Value interface {
+	// Type returns the value's IR type.
+	Type() *Type
+	// Ident returns the value's reference spelling: "%x" for locals,
+	// "@g" for globals, or a literal for constants.
+	Ident() string
+	isValue()
+}
+
+// Constant is a Value known at compile time.
+type Constant interface {
+	Value
+	isConstant()
+}
+
+// ConstInt is an integer constant of a specific width.
+type ConstInt struct {
+	Typ *Type
+	V   int64
+}
+
+// NewConstInt returns an integer constant of the given type.
+func NewConstInt(t *Type, v int64) *ConstInt { return &ConstInt{Typ: t, V: v} }
+
+// ConstI32 returns an i32 constant, the workhorse of test cases.
+func ConstI32(v int64) *ConstInt { return &ConstInt{Typ: I32, V: v} }
+
+// ConstI64 returns an i64 constant.
+func ConstI64(v int64) *ConstInt { return &ConstInt{Typ: I64, V: v} }
+
+// ConstBool returns an i1 constant.
+func ConstBool(b bool) *ConstInt {
+	if b {
+		return &ConstInt{Typ: I1, V: 1}
+	}
+	return &ConstInt{Typ: I1, V: 0}
+}
+
+func (c *ConstInt) Type() *Type   { return c.Typ }
+func (c *ConstInt) Ident() string { return strconv.FormatInt(c.V, 10) }
+func (c *ConstInt) isValue()      {}
+func (c *ConstInt) isConstant()   {}
+
+// ConstFloat is a floating-point constant.
+type ConstFloat struct {
+	Typ *Type
+	V   float64
+}
+
+func (c *ConstFloat) Type() *Type   { return c.Typ }
+func (c *ConstFloat) Ident() string { return strconv.FormatFloat(c.V, 'e', -1, 64) }
+func (c *ConstFloat) isValue()      {}
+func (c *ConstFloat) isConstant()   {}
+
+// ConstNull is the null pointer constant of a pointer type.
+type ConstNull struct{ Typ *Type }
+
+func (c *ConstNull) Type() *Type   { return c.Typ }
+func (c *ConstNull) Ident() string { return "null" }
+func (c *ConstNull) isValue()      {}
+func (c *ConstNull) isConstant()   {}
+
+// ConstUndef is the undef constant of any first-class type.
+type ConstUndef struct{ Typ *Type }
+
+func (c *ConstUndef) Type() *Type   { return c.Typ }
+func (c *ConstUndef) Ident() string { return "undef" }
+func (c *ConstUndef) isValue()      {}
+func (c *ConstUndef) isConstant()   {}
+
+// ConstZero is the zeroinitializer constant of an aggregate or vector type.
+type ConstZero struct{ Typ *Type }
+
+func (c *ConstZero) Type() *Type   { return c.Typ }
+func (c *ConstZero) Ident() string { return "zeroinitializer" }
+func (c *ConstZero) isValue()      {}
+func (c *ConstZero) isConstant()   {}
+
+// ConstArray is a constant array aggregate, including string data.
+type ConstArray struct {
+	Typ   *Type
+	Elems []Constant
+}
+
+func (c *ConstArray) Type() *Type { return c.Typ }
+func (c *ConstArray) Ident() string {
+	parts := make([]string, len(c.Elems))
+	for i, e := range c.Elems {
+		parts[i] = c.Typ.Elem.String() + " " + e.Ident()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+func (c *ConstArray) isValue()    {}
+func (c *ConstArray) isConstant() {}
+
+// ConstStruct is a constant struct aggregate.
+type ConstStruct struct {
+	Typ   *Type
+	Elems []Constant
+}
+
+func (c *ConstStruct) Type() *Type { return c.Typ }
+func (c *ConstStruct) Ident() string {
+	parts := make([]string, len(c.Elems))
+	for i, e := range c.Elems {
+		parts[i] = c.Typ.Fields[i].String() + " " + e.Ident()
+	}
+	return "{ " + strings.Join(parts, ", ") + " }"
+}
+func (c *ConstStruct) isValue()    {}
+func (c *ConstStruct) isConstant() {}
+
+// InlineAsm is an inline assembly callee payload. The mini-C frontend of
+// some projects emits it (php in Table 5 hard-codes hardware instructions
+// this way), and callbr uses it as its callee.
+type InlineAsm struct {
+	Typ         *Type // function type of the asm blob
+	Asm         string
+	Constraints string
+	// BackendMin is the minimum backend version able to lower the blob.
+	// The fuzzbench harness uses it to reproduce the php row of Table 5.
+	BackendMin string
+}
+
+func (a *InlineAsm) Type() *Type   { return a.Typ }
+func (a *InlineAsm) Ident() string { return fmt.Sprintf("asm %q, %q", a.Asm, a.Constraints) }
+func (a *InlineAsm) isValue()      {}
+
+// Global is a module-level global variable. Its Value type is a pointer
+// to the content type, as in LLVM.
+type Global struct {
+	Name    string
+	Content *Type // pointee type
+	Init    Constant
+	Const   bool
+}
+
+func (g *Global) Type() *Type   { return Ptr(g.Content) }
+func (g *Global) Ident() string { return "@" + g.Name }
+func (g *Global) isValue()      {}
+
+// Param is a formal function argument.
+type Param struct {
+	Name   string
+	Typ    *Type
+	Parent *Function
+	Index  int
+}
+
+func (p *Param) Type() *Type   { return p.Typ }
+func (p *Param) Ident() string { return "%" + p.Name }
+func (p *Param) isValue()      {}
+
+// ZeroOf returns the zero constant of a first-class type, used by
+// analysis-preserving translations and the interpreter.
+func ZeroOf(t *Type) Constant {
+	switch t.Kind {
+	case IntKind:
+		return &ConstInt{Typ: t, V: 0}
+	case FloatKind:
+		return &ConstFloat{Typ: t, V: 0}
+	case PointerKind:
+		return &ConstNull{Typ: t}
+	default:
+		return &ConstZero{Typ: t}
+	}
+}

@@ -1,0 +1,303 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VerifyError aggregates all integrity violations found in a module.
+type VerifyError struct {
+	Module string
+	Issues []string
+}
+
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("ir: module %q failed verification:\n  %s",
+		e.Module, strings.Join(e.Issues, "\n  "))
+}
+
+// Verify checks the integrity and version-legality of a module — the "IR
+// Verifier" library of Table 2. It returns nil if the module is well
+// formed, or a *VerifyError listing every violation.
+func Verify(m *Module) error {
+	v := &verifier{m: m}
+	v.module()
+	if len(v.issues) == 0 {
+		return nil
+	}
+	return &VerifyError{Module: m.Name, Issues: v.issues}
+}
+
+type verifier struct {
+	m      *Module
+	f      *Function
+	issues []string
+}
+
+func (v *verifier) errf(format string, args ...any) {
+	where := ""
+	if v.f != nil {
+		where = "@" + v.f.Name + ": "
+	}
+	v.issues = append(v.issues, where+fmt.Sprintf(format, args...))
+}
+
+func (v *verifier) module() {
+	if !v.m.Ver.IsValid() {
+		v.errf("module has no IR version")
+		return
+	}
+	seen := map[string]bool{}
+	for _, g := range v.m.Globals {
+		if g.Name == "" {
+			v.errf("unnamed global")
+		}
+		if seen["@"+g.Name] {
+			v.errf("duplicate global @%s", g.Name)
+		}
+		seen["@"+g.Name] = true
+		if g.Content == nil {
+			v.errf("global @%s has no content type", g.Name)
+		}
+	}
+	for _, f := range v.m.Funcs {
+		if seen["@"+f.Name] {
+			v.errf("duplicate function @%s", f.Name)
+		}
+		seen["@"+f.Name] = true
+		v.function(f)
+	}
+}
+
+func (v *verifier) function(f *Function) {
+	v.f = f
+	defer func() { v.f = nil }()
+	if f.Sig == nil || f.Sig.Kind != FuncKind {
+		v.errf("function signature is not a function type")
+		return
+	}
+	if len(f.Params) != len(f.Sig.Params) {
+		v.errf("param count %d does not match signature %s", len(f.Params), f.Sig)
+	}
+	if f.IsDecl() {
+		return
+	}
+	names := map[string]bool{}
+	for _, p := range f.Params {
+		names["%"+p.Name] = true
+	}
+	blocks := map[*Block]bool{}
+	for _, b := range f.Blocks {
+		blocks[b] = true
+	}
+	for _, b := range f.Blocks {
+		if len(b.Insts) == 0 {
+			v.errf("block %%%s is empty", b.Name)
+			continue
+		}
+		for n, inst := range b.Insts {
+			last := n == len(b.Insts)-1
+			if inst.Op.IsTerminator() != last && inst.Op.IsTerminator() {
+				v.errf("block %%%s: terminator %s not at end", b.Name, inst.Op)
+			}
+			if last && !inst.Op.IsTerminator() {
+				v.errf("block %%%s: missing terminator (ends with %s)", b.Name, inst.Op)
+			}
+			v.inst(b, inst, blocks)
+			if inst.HasResult() {
+				if inst.Name == "" {
+					v.errf("block %%%s: %s result is unnamed", b.Name, inst.Op)
+				} else if names["%"+inst.Name] {
+					v.errf("block %%%s: SSA name %%%s redefined", b.Name, inst.Name)
+				}
+				names["%"+inst.Name] = true
+			}
+		}
+	}
+}
+
+// operandArity returns the legal operand-count range for op; max<0 means
+// unbounded. Parity constraints (phi, switch) are checked separately.
+func operandArity(op Opcode) (min, max int) {
+	switch op {
+	case Ret:
+		return 0, 1
+	case Br:
+		return 1, 3
+	case Switch:
+		return 2, -1
+	case IndirectBr:
+		return 1, -1
+	case Invoke:
+		return 3, -1
+	case Resume, FNeg, Freeze, VAArg, ExtractValue:
+		return 1, 1
+	case Unreachable, Fence, LandingPad:
+		return 0, 0
+	case Alloca:
+		return 0, 1
+	case Load:
+		return 1, 1
+	case Store, AtomicRMW, ExtractElement, InsertValue:
+		return 2, 2
+	case CmpXchg, Select, InsertElement, ShuffleVector:
+		return 3, 3
+	case GetElementPtr:
+		return 1, -1
+	case ICmp, FCmp:
+		return 2, 2
+	case Phi:
+		return 2, -1
+	case Call:
+		return 1, -1
+	case CallBr:
+		return 2, -1
+	case CatchPad:
+		return 1, -1
+	case CleanupPad:
+		return 0, -1
+	case CatchSwitch:
+		return 1, -1
+	case CatchRet:
+		return 2, 2
+	case CleanupRet:
+		return 1, 2
+	}
+	if op.IsBinary() || op.IsConversion() {
+		if op.IsBinary() {
+			return 2, 2
+		}
+		return 1, 1
+	}
+	return 0, -1
+}
+
+func (v *verifier) inst(b *Block, inst *Instruction, blocks map[*Block]bool) {
+	if !AvailableIn(inst.Op, v.m.Ver) {
+		v.errf("block %%%s: instruction %s does not exist in IR version %s",
+			b.Name, inst.Op, v.m.Ver)
+	}
+	min, max := operandArity(inst.Op)
+	n := len(inst.Operands)
+	if n < min || (max >= 0 && n > max) {
+		v.errf("block %%%s: %s has %d operands, want [%d,%d]", b.Name, inst.Op, n, min, max)
+		return
+	}
+	for k, opnd := range inst.Operands {
+		if opnd == nil {
+			v.errf("block %%%s: %s operand %d is nil", b.Name, inst.Op, k)
+			return
+		}
+		if blk, ok := opnd.(*Block); ok && !blocks[blk] {
+			v.errf("block %%%s: %s references block %%%s of another function",
+				b.Name, inst.Op, blk.Name)
+		}
+	}
+	switch inst.Op {
+	case Ret:
+		sigRet := v.f.Sig.Ret
+		if sigRet.IsVoid() != (n == 0) {
+			v.errf("block %%%s: ret arity does not match return type %s", b.Name, sigRet)
+		}
+		if n == 1 && !inst.Operands[0].Type().Equal(sigRet) {
+			v.errf("block %%%s: ret value is %s, function returns %s",
+				b.Name, inst.Operands[0].Type(), sigRet)
+		}
+	case Br:
+		if n == 2 {
+			v.errf("block %%%s: br needs 1 or 3 operands, has 2", b.Name)
+		}
+		if n == 3 && !inst.Operands[0].Type().IsBool() {
+			v.errf("block %%%s: br condition is %s, want i1", b.Name, inst.Operands[0].Type())
+		}
+	case Phi:
+		if n%2 != 0 {
+			v.errf("block %%%s: phi has odd operand count %d", b.Name, n)
+		}
+	case Switch:
+		if (n-2)%2 != 0 {
+			v.errf("block %%%s: switch has malformed case list", b.Name)
+		}
+	case ICmp:
+		if inst.Attrs.IPred == 0 {
+			v.errf("block %%%s: icmp missing predicate", b.Name)
+		}
+		if !inst.Type().IsBool() {
+			v.errf("block %%%s: icmp result is %s, want i1", b.Name, inst.Type())
+		}
+		if !inst.Operands[0].Type().Equal(inst.Operands[1].Type()) {
+			v.errf("block %%%s: icmp operand types differ", b.Name)
+		}
+	case FCmp:
+		if inst.Attrs.FPred == 0 {
+			v.errf("block %%%s: fcmp missing predicate", b.Name)
+		}
+		if !inst.Operands[0].Type().Equal(inst.Operands[1].Type()) {
+			v.errf("block %%%s: fcmp operand types differ", b.Name)
+		}
+	case Load:
+		if inst.Attrs.ElemTy == nil {
+			v.errf("block %%%s: load missing element type", b.Name)
+		}
+	case Alloca, GetElementPtr:
+		if inst.Attrs.ElemTy == nil {
+			v.errf("block %%%s: %s missing element type", b.Name, inst.Op)
+		}
+	case Call, Invoke, CallBr:
+		v.call(b, inst)
+	case ExtractValue, InsertValue:
+		if len(inst.Attrs.Indices) == 0 {
+			v.errf("block %%%s: %s missing indices", b.Name, inst.Op)
+		}
+	case Select:
+		if !inst.Operands[0].Type().IsBool() {
+			v.errf("block %%%s: select condition is %s, want i1", b.Name, inst.Operands[0].Type())
+		}
+	case Store:
+		if !inst.Operands[1].Type().IsPointer() {
+			v.errf("block %%%s: store address is %s, want pointer", b.Name, inst.Operands[1].Type())
+		}
+	}
+	if inst.Op.IsBinary() {
+		lt, rt := inst.Operands[0].Type(), inst.Operands[1].Type()
+		if !lt.Equal(rt) {
+			v.errf("block %%%s: %s operand types differ: %s vs %s", b.Name, inst.Op, lt, rt)
+		}
+	}
+}
+
+func (v *verifier) call(b *Block, inst *Instruction) {
+	callee := inst.Callee()
+	var sig *Type
+	switch c := callee.(type) {
+	case *Function:
+		sig = c.Sig
+	case *InlineAsm:
+		sig = c.Typ
+	default:
+		if t := callee.Type(); t.IsPointer() && t.Elem != nil && t.Elem.Kind == FuncKind {
+			sig = t.Elem
+		} else if inst.Attrs.CallTy != nil {
+			sig = inst.Attrs.CallTy
+		}
+	}
+	if sig == nil {
+		v.errf("block %%%s: %s callee %s is not callable", b.Name, inst.Op, callee.Ident())
+		return
+	}
+	args := inst.CallArgs()
+	if sig.Variadic {
+		if len(args) < len(sig.Params) {
+			v.errf("block %%%s: %s has %d args, variadic callee needs at least %d",
+				b.Name, inst.Op, len(args), len(sig.Params))
+		}
+	} else if len(args) != len(sig.Params) {
+		v.errf("block %%%s: %s has %d args, callee wants %d", b.Name, inst.Op, len(args), len(sig.Params))
+	}
+	for k := 0; k < len(args) && k < len(sig.Params); k++ {
+		if !args[k].Type().Equal(sig.Params[k]) {
+			v.errf("block %%%s: %s arg %d is %s, callee wants %s",
+				b.Name, inst.Op, k, args[k].Type(), sig.Params[k])
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package irgen generates random, valid, deterministic, terminating IR
+// programs. The paper's future-work discussion (§7) points at test
+// program generation for synthesis; this generator provides that
+// capability for property-based testing: every generated module
+// verifies, round-trips through its version's text format, executes
+// without trapping, and must behave identically after translation.
+//
+// Termination and crash-freedom are guaranteed by construction:
+// control flow is generated structurally (sequences, if/else diamonds,
+// counted loops), divisors are forced non-zero, and memory accesses stay
+// in bounds of their allocations.
+package irgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ir"
+	"repro/internal/version"
+)
+
+// Config tunes generation.
+type Config struct {
+	Seed   int64
+	Ver    version.V
+	Funcs  int // helper functions besides main (default 2)
+	Blocks int // structured fragments per function (default 4)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Funcs == 0 {
+		c.Funcs = 2
+	}
+	if c.Blocks == 0 {
+		c.Blocks = 4
+	}
+	if !c.Ver.IsValid() {
+		c.Ver = version.V12_0
+	}
+	return c
+}
+
+// Generate produces a random module with a main function returning i32.
+func Generate(cfg Config) *ir.Module {
+	cfg = cfg.withDefaults()
+	g := &gen{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	g.m = ir.NewModule(fmt.Sprintf("gen%d", cfg.Seed), cfg.Ver)
+	// A global the programs can read and write.
+	g.global = g.m.AddGlobal(&ir.Global{Name: "state", Content: ir.I32,
+		Init: ir.ConstI32(int64(g.rng.Intn(100)))})
+	// Helper functions first; calls only go to earlier helpers, so the
+	// call graph is acyclic and execution terminates.
+	for i := 0; i < cfg.Funcs; i++ {
+		g.genFunction(fmt.Sprintf("helper%d", i), 1+g.rng.Intn(2))
+	}
+	g.genFunction("main", 0)
+	return g.m
+}
+
+type gen struct {
+	cfg    Config
+	rng    *rand.Rand
+	m      *ir.Module
+	global *ir.Global
+
+	f     *ir.Function
+	b     *ir.Builder
+	vals  []ir.Value // available i32 values
+	slots []*ir.Instruction
+	arr   *ir.Instruction
+	depth int
+}
+
+func (g *gen) genFunction(name string, params int) {
+	ptys := make([]*ir.Type, params)
+	for i := range ptys {
+		ptys[i] = ir.I32
+	}
+	f := g.m.AddFunc(ir.NewFunction(name, ir.Func(ir.I32, ptys, false), nil))
+	g.f = f
+	g.b = ir.NewBuilder(f)
+	g.b.NewBlock("entry")
+	g.vals = nil
+	g.slots = nil
+	g.depth = 0
+	for _, p := range f.Params {
+		g.vals = append(g.vals, p)
+	}
+	g.vals = append(g.vals, ir.ConstI32(int64(g.rng.Intn(50)+1)), ir.ConstI32(int64(g.rng.Intn(9)-4)))
+	// A scratch slot and a small array for memory traffic.
+	slot := g.b.Alloca(ir.I32)
+	g.b.Store(ir.ConstI32(int64(g.rng.Intn(20))), slot)
+	g.slots = append(g.slots, slot)
+	g.arr = g.b.Alloca(ir.Arr(4, ir.I32))
+	for k := 0; k < 4; k++ {
+		p := g.b.GEP(ir.Arr(4, ir.I32), g.arr, ir.ConstI32(0), ir.ConstI32(int64(k)))
+		g.b.Store(ir.ConstI32(int64(g.rng.Intn(30))), p)
+	}
+	for i := 0; i < g.cfg.Blocks; i++ {
+		g.fragment()
+	}
+	g.b.Ret(g.pick())
+}
+
+// fragment emits one structured unit: straight-line ops, an if/else
+// diamond, or a counted loop.
+func (g *gen) fragment() {
+	switch n := g.rng.Intn(10); {
+	case n < 5 || g.depth >= 2:
+		for i := 0; i < 2+g.rng.Intn(3); i++ {
+			g.op()
+		}
+	case n < 8:
+		g.diamond()
+	default:
+		g.loop()
+	}
+}
+
+// pick returns a random available i32 value.
+func (g *gen) pick() ir.Value { return g.vals[g.rng.Intn(len(g.vals))] }
+
+func (g *gen) push(v ir.Value) {
+	g.vals = append(g.vals, v)
+	if len(g.vals) > 24 {
+		g.vals = g.vals[len(g.vals)-24:]
+	}
+}
+
+// op emits one straight-line instruction.
+func (g *gen) op() {
+	switch g.rng.Intn(12) {
+	case 0, 1, 2:
+		ops := []ir.Opcode{ir.Add, ir.Sub, ir.Mul, ir.And, ir.Or, ir.Xor, ir.Shl}
+		g.push(g.b.Binary(ops[g.rng.Intn(len(ops))], g.pick(), g.pick()))
+	case 3:
+		// Division with a non-zero divisor: d = (x | 1).
+		d := g.b.Or(g.pick(), ir.ConstI32(1))
+		op := ir.SDiv
+		if g.rng.Intn(2) == 0 {
+			op = ir.SRem
+		}
+		g.push(g.b.Binary(op, g.pick(), d))
+	case 4:
+		preds := []ir.IPred{ir.IntEQ, ir.IntNE, ir.IntSLT, ir.IntSGT, ir.IntULE}
+		cmp := g.b.ICmp(preds[g.rng.Intn(len(preds))], g.pick(), g.pick())
+		g.push(g.b.Conv(ir.ZExt, cmp, ir.I32))
+	case 5:
+		cond := g.b.ICmp(ir.IntSLT, g.pick(), g.pick())
+		g.push(g.b.Select(cond, g.pick(), g.pick()))
+	case 6:
+		// Truncation chain keeps widths honest.
+		t8 := g.b.Conv(ir.Trunc, g.pick(), ir.I8)
+		g.push(g.b.Conv(ir.SExt, t8, ir.I32))
+	case 7:
+		// Float detour.
+		fp := g.b.Conv(ir.SIToFP, g.pick(), ir.F64)
+		fp2 := g.b.Binary(ir.FAdd, fp, &ir.ConstFloat{Typ: ir.F64, V: float64(g.rng.Intn(5)) + 0.5})
+		g.push(g.b.Conv(ir.FPToSI, fp2, ir.I32))
+	case 8:
+		slot := g.slots[g.rng.Intn(len(g.slots))]
+		g.b.Store(g.pick(), slot)
+		g.push(g.b.Load(ir.I32, slot))
+	case 9:
+		idx := ir.ConstI32(int64(g.rng.Intn(4)))
+		p := g.b.GEP(ir.Arr(4, ir.I32), g.arr, ir.ConstI32(0), idx)
+		if g.rng.Intn(2) == 0 {
+			g.b.Store(g.pick(), p)
+		}
+		g.push(g.b.Load(ir.I32, p))
+	case 10:
+		g.b.Store(g.pick(), g.global)
+		g.push(g.b.Load(ir.I32, g.global))
+	case 11:
+		g.callOrFreeze()
+	}
+}
+
+// callOrFreeze emits a helper call when one exists, a freeze when the
+// version has it, or falls back to arithmetic.
+func (g *gen) callOrFreeze() {
+	var callees []*ir.Function
+	for _, f := range g.m.Funcs {
+		if f != g.f && !f.IsDecl() {
+			callees = append(callees, f)
+		}
+	}
+	switch {
+	case len(callees) > 0 && g.f.Name == "main" || len(callees) > 0 && g.rng.Intn(2) == 0:
+		callee := callees[g.rng.Intn(len(callees))]
+		args := make([]ir.Value, len(callee.Params))
+		for i := range args {
+			args[i] = g.pick()
+		}
+		g.push(g.b.Call(callee, args...))
+	case ir.AvailableIn(ir.Freeze, g.m.Ver) && g.rng.Intn(2) == 0:
+		g.push(g.b.Freeze(g.pick()))
+	default:
+		g.push(g.b.Add(g.pick(), g.pick()))
+	}
+}
+
+// diamond emits if/else with a phi join. The value pool is snapshotted
+// around each arm so that arm-local values never escape into code they
+// do not dominate; only the join phi survives.
+func (g *gen) diamond() {
+	g.depth++
+	defer func() { g.depth-- }()
+	cond := g.b.ICmp(ir.IntSLT, g.pick(), g.pick())
+	then := g.f.AddBlock(g.fresh("then"))
+	els := g.f.AddBlock(g.fresh("else"))
+	join := g.f.AddBlock(g.fresh("join"))
+	g.b.CondBr(cond, then, els)
+
+	saved := append([]ir.Value(nil), g.vals...)
+
+	g.b.At(then)
+	g.op()
+	tv := g.pick()
+	tEnd := g.b.Cur
+	g.b.Br(join)
+
+	g.vals = append([]ir.Value(nil), saved...)
+	g.b.At(els)
+	g.op()
+	ev := g.pick()
+	eEnd := g.b.Cur
+	g.b.Br(join)
+
+	g.vals = saved
+	g.b.At(join)
+	g.push(g.b.Phi(ir.I32, tv, tEnd, ev, eEnd))
+}
+
+// loop emits a counted loop accumulating into a phi.
+func (g *gen) loop() {
+	g.depth++
+	defer func() { g.depth-- }()
+	n := int64(2 + g.rng.Intn(6))
+	pre := g.b.Cur
+	body := g.f.AddBlock(g.fresh("loop"))
+	exit := g.f.AddBlock(g.fresh("exit"))
+	seed := g.pick()
+	g.b.Br(body)
+	g.b.At(body)
+	iPhi := g.b.Phi(ir.I32, ir.ConstI32(0), pre)
+	aPhi := g.b.Phi(ir.I32, seed, pre)
+	aNext := g.b.Add(aPhi, iPhi)
+	iNext := g.b.Add(iPhi, ir.ConstI32(1))
+	iPhi.Operands = append(iPhi.Operands, iNext, body)
+	aPhi.Operands = append(aPhi.Operands, aNext, body)
+	done := g.b.ICmp(ir.IntSGE, iNext, ir.ConstI32(n))
+	g.b.CondBr(done, exit, body)
+	g.b.At(exit)
+	g.push(aNext)
+}
+
+func (g *gen) fresh(hint string) string {
+	return fmt.Sprintf("%s.%d", hint, g.rng.Intn(1<<30))
+}

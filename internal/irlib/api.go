@@ -1,0 +1,204 @@
+// Package irlib exposes the versioned IR-library API surfaces — the
+// getters, builders, and operand-translator interfaces of Table 2 that
+// Siro composes into instruction translators.
+//
+// Every API carries a typed signature over abstract type tokens (Def. 4.1
+// of the paper). The synthesizer never inspects an Impl: it reasons about
+// signatures only, generates well-typed candidate compositions, and lets
+// test-case validation decide semantics. API names and signatures vary by
+// version exactly where LLVM's did (GetCalledValue→GetCalledOperand at
+// 8.0, explicitly-typed CreateCall/CreateInvoke at 9.0, typed
+// CreateLoad/CreateGEP at 8.0), reproducing the paper's API
+// incompatibility.
+package irlib
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/version"
+)
+
+// Side distinguishes source-version, target-version, and version-neutral
+// type tokens.
+type Side uint8
+
+// The token sides.
+const (
+	SideNeutral Side = iota
+	SideSrc
+	SideTgt
+)
+
+func (s Side) String() string {
+	switch s {
+	case SideSrc:
+		return "s"
+	case SideTgt:
+		return "t"
+	}
+	return ""
+}
+
+// Tok is an abstract type token — a node of the IR type graph.
+type Tok struct {
+	Side Side
+	Name string
+}
+
+func (t Tok) String() string {
+	if t.Side == SideNeutral {
+		return t.Name
+	}
+	return t.Name + "_" + t.Side.String()
+}
+
+// Token name constants. "Inst:<opcode>" names per-kind instruction tokens.
+const (
+	TokValue     = "Value"
+	TokBlock     = "Block"
+	TokType      = "Type"
+	TokValueList = "ValueList"
+	TokPhiList   = "PhiList"
+	TokCaseList  = "CaseList"
+	TokBlockList = "BlockList"
+	TokIPred     = "IPred"
+	TokFPred     = "FPred"
+	TokInt       = "Int"
+	TokIndices   = "Indices"
+	TokOrdering  = "Ordering"
+	TokRMWOp     = "RMWOp"
+)
+
+// InstTok returns the token naming instructions of kind op on a side.
+func InstTok(side Side, op ir.Opcode) Tok { return Tok{side, "Inst:" + op.String()} }
+
+// Src and Tgt are shorthand token constructors.
+func Src(name string) Tok     { return Tok{SideSrc, name} }
+func Tgt(name string) Tok     { return Tok{SideTgt, name} }
+func Neutral(name string) Tok { return Tok{SideNeutral, name} }
+
+// Class categorizes an API.
+type Class uint8
+
+// The API classes of §3.3.1: IR getters read source objects, IR builders
+// construct target objects, operand translators bridge the sides, and
+// constants seed neutral tokens.
+const (
+	ClassGetter Class = iota + 1
+	ClassBuilder
+	ClassXlate
+	ClassConst
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassGetter:
+		return "getter"
+	case ClassBuilder:
+		return "builder"
+	case ClassXlate:
+		return "xlate"
+	case ClassConst:
+		return "const"
+	}
+	return "?"
+}
+
+// PhiPair is one phi incoming edge.
+type PhiPair struct {
+	V ir.Value
+	B *ir.Block
+}
+
+// CasePair is one switch case.
+type CasePair struct {
+	C ir.Constant
+	B *ir.Block
+}
+
+// Ctx is the evaluation context threaded through API implementations. It
+// carries the skeleton's operand-translator callbacks and the emission
+// point in the target function under construction.
+type Ctx struct {
+	// Emit appends a freshly built instruction to the current target
+	// block and returns it.
+	Emit func(*ir.Instruction) *ir.Instruction
+	// XValue, XBlock, XType, XFunc are the operand-translator interfaces
+	// exposed by the translation skeleton (Alg. 1).
+	XValue func(ir.Value) (ir.Value, error)
+	XBlock func(*ir.Block) (*ir.Block, error)
+	XType  func(*ir.Type) (*ir.Type, error)
+	XFunc  func(*ir.Function) (*ir.Function, error)
+}
+
+// API is one component: a typed, named operation of an IR library.
+type API struct {
+	Name   string
+	Class  Class
+	Kind   ir.Opcode // owning instruction kind; 0 for kind-generic APIs
+	Params []Tok
+	Ret    Tok
+	// Impl executes the API. Implementations return an error for
+	// out-of-domain inputs (e.g. GetCond on an unconditional branch);
+	// such errors abort the enclosing per-test translation, which is how
+	// validation rejects ill-fitting candidates early (§6.4).
+	Impl func(c *Ctx, args []any) (any, error)
+}
+
+func (a *API) String() string {
+	s := a.Name + "("
+	for i, p := range a.Params {
+		if i > 0 {
+			s += ", "
+		}
+		s += p.String()
+	}
+	return s + ") -> " + a.Ret.String()
+}
+
+// errf builds an API-domain error.
+func errf(format string, args ...any) error {
+	return fmt.Errorf("irlib: %s", fmt.Sprintf(format, args...))
+}
+
+// Predicate is a bool/enum getter forming the sub-kind alphabet Σ of
+// Definition 3.1. Predicates never appear inside atomic-translator
+// bodies; the sub-kind profiler evaluates them per instruction.
+type Predicate struct {
+	Name string
+	Kind ir.Opcode
+	// Eval returns the predicate's value rendered as a short string
+	// ("true"/"false" for bools, the enum spelling otherwise).
+	Eval func(*ir.Instruction) string
+}
+
+// Library is the API surface of one IR version on one side of a
+// translation.
+type Library struct {
+	Ver  version.V
+	Side Side
+	APIs []*API
+}
+
+// Find returns the API with the given name, or nil.
+func (l *Library) Find(name string) *API {
+	for _, a := range l.APIs {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// ByKind returns the APIs owned by an instruction kind plus the
+// kind-generic ones applicable to it.
+func (l *Library) ByKind(op ir.Opcode) []*API {
+	var out []*API
+	for _, a := range l.APIs {
+		if a.Kind == op || a.Kind == ir.BadOp {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,721 @@
+package irlib
+
+import (
+	"repro/internal/ir"
+	"repro/internal/version"
+)
+
+// Builders constructs the target-side builder library of IR version v —
+// the "IR Builder" row of Table 2. Builder signatures change with the
+// version: from 8.0 CreateLoad/CreateGEP take an explicit element type;
+// from 9.0 CreateCall/CreateInvoke take an explicit function type
+// (Fig. 13 of the paper). Builders assert their argument invariants the
+// way LLVM's do, so an ill-fitting candidate fails at translation time —
+// the cheap early-rejection path the paper's time breakdown highlights.
+func Builders(v version.V) *Library {
+	lib := &Library{Ver: v, Side: SideTgt}
+	feat := version.FeaturesOf(v)
+	add := func(a *API) { lib.APIs = append(lib.APIs, a) }
+
+	for _, op := range ir.OpcodesIn(v) {
+		op := op
+		self := InstTok(SideTgt, op)
+		V := Tgt(TokValue)
+		B := Tgt(TokBlock)
+		T := Tgt(TokType)
+
+		emit := func(c *Ctx, inst *ir.Instruction) (any, error) {
+			return c.Emit(inst), nil
+		}
+
+		switch {
+		case op.IsBinary():
+			name := "Create" + camel(op)
+			add(&API{
+				Name: name, Class: ClassBuilder, Kind: op,
+				Params: []Tok{V, V}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					l, r := args[0].(ir.Value), args[1].(ir.Value)
+					if !l.Type().Equal(r.Type()) {
+						return nil, errf("%s: operand types differ (%s vs %s)", name, l.Type(), r.Type())
+					}
+					return emit(c, &ir.Instruction{Op: op, Typ: l.Type(), Operands: []ir.Value{l, r}})
+				},
+			})
+
+		case op == ir.FNeg:
+			add(&API{
+				Name: "CreateFNeg", Class: ClassBuilder, Kind: op,
+				Params: []Tok{V}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					x := args[0].(ir.Value)
+					if !x.Type().IsFloat() {
+						return nil, errf("CreateFNeg: operand is %s", x.Type())
+					}
+					return emit(c, &ir.Instruction{Op: op, Typ: x.Type(), Operands: []ir.Value{x}})
+				},
+			})
+
+		case op == ir.ICmp:
+			add(&API{
+				Name: "CreateICmp", Class: ClassBuilder, Kind: op,
+				Params: []Tok{Tgt(TokIPred), V, V}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					l, r := args[1].(ir.Value), args[2].(ir.Value)
+					if !l.Type().Equal(r.Type()) {
+						return nil, errf("CreateICmp: operand types differ")
+					}
+					return emit(c, &ir.Instruction{Op: op, Typ: ir.I1,
+						Operands: []ir.Value{l, r}, Attrs: ir.Attrs{IPred: args[0].(ir.IPred)}})
+				},
+			})
+
+		case op == ir.FCmp:
+			add(&API{
+				Name: "CreateFCmp", Class: ClassBuilder, Kind: op,
+				Params: []Tok{Tgt(TokFPred), V, V}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					l, r := args[1].(ir.Value), args[2].(ir.Value)
+					if !l.Type().Equal(r.Type()) {
+						return nil, errf("CreateFCmp: operand types differ")
+					}
+					return emit(c, &ir.Instruction{Op: op, Typ: ir.I1,
+						Operands: []ir.Value{l, r}, Attrs: ir.Attrs{FPred: args[0].(ir.FPred)}})
+				},
+			})
+
+		case op == ir.Ret:
+			add(&API{
+				Name: "CreateRetVoid", Class: ClassBuilder, Kind: op,
+				Params: nil, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					return emit(c, &ir.Instruction{Op: op, Typ: ir.Void})
+				},
+			})
+			add(&API{
+				Name: "CreateRet", Class: ClassBuilder, Kind: op,
+				Params: []Tok{V}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					return emit(c, &ir.Instruction{Op: op, Typ: ir.Void,
+						Operands: []ir.Value{args[0].(ir.Value)}})
+				},
+			})
+
+		case op == ir.Br:
+			add(&API{
+				Name: "CreateBr", Class: ClassBuilder, Kind: op,
+				Params: []Tok{B}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					return emit(c, &ir.Instruction{Op: op, Typ: ir.Void,
+						Operands: []ir.Value{args[0].(*ir.Block)}})
+				},
+			})
+			add(&API{
+				Name: "CreateCondBr", Class: ClassBuilder, Kind: op,
+				Params: []Tok{V, B, B}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					cond := args[0].(ir.Value)
+					if !cond.Type().IsBool() {
+						return nil, errf("CreateCondBr: condition is %s, want i1", cond.Type())
+					}
+					return emit(c, &ir.Instruction{Op: op, Typ: ir.Void,
+						Operands: []ir.Value{cond, args[1].(*ir.Block), args[2].(*ir.Block)}})
+				},
+			})
+
+		case op == ir.Switch:
+			add(&API{
+				Name: "CreateSwitch", Class: ClassBuilder, Kind: op,
+				Params: []Tok{V, B, Tgt(TokCaseList)}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					ops := []ir.Value{args[0].(ir.Value), args[1].(*ir.Block)}
+					for _, cp := range args[2].([]CasePair) {
+						ops = append(ops, cp.C, cp.B)
+					}
+					return emit(c, &ir.Instruction{Op: op, Typ: ir.Void, Operands: ops})
+				},
+			})
+
+		case op == ir.IndirectBr:
+			add(&API{
+				Name: "CreateIndirectBr", Class: ClassBuilder, Kind: op,
+				Params: []Tok{V, Tgt(TokBlockList)}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					ops := []ir.Value{args[0].(ir.Value)}
+					for _, b := range args[1].([]*ir.Block) {
+						ops = append(ops, b)
+					}
+					return emit(c, &ir.Instruction{Op: op, Typ: ir.Void, Operands: ops})
+				},
+			})
+
+		case op == ir.Call:
+			if feat.TypedCallBuilder {
+				add(&API{
+					Name: "CreateCall", Class: ClassBuilder, Kind: op,
+					Params: []Tok{T, V, Tgt(TokValueList)}, Ret: self,
+					Impl: func(c *Ctx, args []any) (any, error) {
+						sig := args[0].(*ir.Type)
+						if sig.Kind != ir.FuncKind {
+							return nil, errf("CreateCall: explicit type is %s, want function type", sig)
+						}
+						ops := append([]ir.Value{args[1].(ir.Value)}, args[2].([]ir.Value)...)
+						return emit(c, &ir.Instruction{Op: op, Typ: sig.Ret,
+							Operands: ops, Attrs: ir.Attrs{CallTy: sig}})
+					},
+				})
+			} else {
+				add(&API{
+					Name: "CreateCall", Class: ClassBuilder, Kind: op,
+					Params: []Tok{V, Tgt(TokValueList)}, Ret: self,
+					Impl: func(c *Ctx, args []any) (any, error) {
+						callee := args[0].(ir.Value)
+						sig := sigOf(callee)
+						if sig == nil {
+							return nil, errf("CreateCall: callee is not callable")
+						}
+						ops := append([]ir.Value{callee}, args[1].([]ir.Value)...)
+						return emit(c, &ir.Instruction{Op: op, Typ: sig.Ret,
+							Operands: ops, Attrs: ir.Attrs{CallTy: sig}})
+					},
+				})
+			}
+
+		case op == ir.Invoke:
+			if feat.TypedCallBuilder {
+				add(&API{
+					Name: "CreateInvoke", Class: ClassBuilder, Kind: op,
+					Params: []Tok{T, V, B, B, Tgt(TokValueList)}, Ret: self,
+					Impl: func(c *Ctx, args []any) (any, error) {
+						sig := args[0].(*ir.Type)
+						if sig.Kind != ir.FuncKind {
+							return nil, errf("CreateInvoke: explicit type is %s, want function type", sig)
+						}
+						ops := []ir.Value{args[1].(ir.Value), args[2].(*ir.Block), args[3].(*ir.Block)}
+						ops = append(ops, args[4].([]ir.Value)...)
+						return emit(c, &ir.Instruction{Op: op, Typ: sig.Ret,
+							Operands: ops, Attrs: ir.Attrs{CallTy: sig}})
+					},
+				})
+			} else {
+				add(&API{
+					Name: "CreateInvoke", Class: ClassBuilder, Kind: op,
+					Params: []Tok{V, B, B, Tgt(TokValueList)}, Ret: self,
+					Impl: func(c *Ctx, args []any) (any, error) {
+						callee := args[0].(ir.Value)
+						sig := sigOf(callee)
+						if sig == nil {
+							return nil, errf("CreateInvoke: callee is not callable")
+						}
+						ops := []ir.Value{callee, args[1].(*ir.Block), args[2].(*ir.Block)}
+						ops = append(ops, args[3].([]ir.Value)...)
+						return emit(c, &ir.Instruction{Op: op, Typ: sig.Ret,
+							Operands: ops, Attrs: ir.Attrs{CallTy: sig}})
+					},
+				})
+			}
+
+		case op == ir.CallBr:
+			add(&API{
+				Name: "CreateCallBr", Class: ClassBuilder, Kind: op,
+				Params: []Tok{V, B, Tgt(TokBlockList), Tgt(TokValueList)}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					callee := args[0].(ir.Value)
+					sig := sigOf(callee)
+					if sig == nil {
+						return nil, errf("CreateCallBr: callee is not callable")
+					}
+					ind := args[2].([]*ir.Block)
+					ops := []ir.Value{callee, args[1].(*ir.Block)}
+					for _, b := range ind {
+						ops = append(ops, b)
+					}
+					ops = append(ops, args[3].([]ir.Value)...)
+					return emit(c, &ir.Instruction{Op: op, Typ: sig.Ret, Operands: ops,
+						Attrs: ir.Attrs{CallTy: sig, NumIndire: len(ind)}})
+				},
+			})
+
+		case op == ir.Resume:
+			add(&API{
+				Name: "CreateResume", Class: ClassBuilder, Kind: op,
+				Params: []Tok{V}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					return emit(c, &ir.Instruction{Op: op, Typ: ir.Void,
+						Operands: []ir.Value{args[0].(ir.Value)}})
+				},
+			})
+
+		case op == ir.Unreachable:
+			add(&API{
+				Name: "CreateUnreachable", Class: ClassBuilder, Kind: op,
+				Params: nil, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					return emit(c, &ir.Instruction{Op: op, Typ: ir.Void})
+				},
+			})
+
+		case op == ir.Phi:
+			add(&API{
+				Name: "CreatePhi", Class: ClassBuilder, Kind: op,
+				Params: []Tok{T, Tgt(TokPhiList)}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					var ops []ir.Value
+					for _, pp := range args[1].([]PhiPair) {
+						ops = append(ops, pp.V, pp.B)
+					}
+					return emit(c, &ir.Instruction{Op: op, Typ: args[0].(*ir.Type), Operands: ops})
+				},
+			})
+
+		case op == ir.Select:
+			add(&API{
+				Name: "CreateSelect", Class: ClassBuilder, Kind: op,
+				Params: []Tok{V, V, V}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					cond := args[0].(ir.Value)
+					tv, fv := args[1].(ir.Value), args[2].(ir.Value)
+					if !cond.Type().IsBool() {
+						return nil, errf("CreateSelect: condition is %s", cond.Type())
+					}
+					if !tv.Type().Equal(fv.Type()) {
+						return nil, errf("CreateSelect: arm types differ")
+					}
+					return emit(c, &ir.Instruction{Op: op, Typ: tv.Type(),
+						Operands: []ir.Value{cond, tv, fv}})
+				},
+			})
+
+		case op == ir.Alloca:
+			add(&API{
+				Name: "CreateAlloca", Class: ClassBuilder, Kind: op,
+				Params: []Tok{T}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					t := args[0].(*ir.Type)
+					return emit(c, &ir.Instruction{Op: op, Typ: ir.Ptr(t), Attrs: ir.Attrs{ElemTy: t}})
+				},
+			})
+			add(&API{
+				Name: "CreateArrayAlloca", Class: ClassBuilder, Kind: op,
+				Params: []Tok{T, V}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					t := args[0].(*ir.Type)
+					return emit(c, &ir.Instruction{Op: op, Typ: ir.Ptr(t),
+						Operands: []ir.Value{args[1].(ir.Value)}, Attrs: ir.Attrs{ElemTy: t}})
+				},
+			})
+
+		case op == ir.Load:
+			if feat.TypedLoadBuilder {
+				add(&API{
+					Name: "CreateLoad", Class: ClassBuilder, Kind: op,
+					Params: []Tok{T, V}, Ret: self,
+					Impl: func(c *Ctx, args []any) (any, error) {
+						t := args[0].(*ir.Type)
+						p := args[1].(ir.Value)
+						if !p.Type().IsPointer() {
+							return nil, errf("CreateLoad: address is %s", p.Type())
+						}
+						return emit(c, &ir.Instruction{Op: op, Typ: t,
+							Operands: []ir.Value{p}, Attrs: ir.Attrs{ElemTy: t}})
+					},
+				})
+			} else {
+				add(&API{
+					Name: "CreateLoad", Class: ClassBuilder, Kind: op,
+					Params: []Tok{V}, Ret: self,
+					Impl: func(c *Ctx, args []any) (any, error) {
+						p := args[0].(ir.Value)
+						if !p.Type().IsPointer() || p.Type().Elem == nil {
+							return nil, errf("CreateLoad: address is %s", p.Type())
+						}
+						t := p.Type().Elem
+						return emit(c, &ir.Instruction{Op: op, Typ: t,
+							Operands: []ir.Value{p}, Attrs: ir.Attrs{ElemTy: t}})
+					},
+				})
+			}
+
+		case op == ir.Store:
+			add(&API{
+				Name: "CreateStore", Class: ClassBuilder, Kind: op,
+				Params: []Tok{V, V}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					v, p := args[0].(ir.Value), args[1].(ir.Value)
+					if !p.Type().IsPointer() {
+						return nil, errf("CreateStore: address is %s", p.Type())
+					}
+					return emit(c, &ir.Instruction{Op: op, Typ: ir.Void, Operands: []ir.Value{v, p}})
+				},
+			})
+
+		case op == ir.GetElementPtr:
+			gep := func(name string, inbounds bool) {
+				if feat.TypedLoadBuilder {
+					add(&API{
+						Name: name, Class: ClassBuilder, Kind: op,
+						Params: []Tok{T, V, Tgt(TokValueList)}, Ret: self,
+						Impl: func(c *Ctx, args []any) (any, error) {
+							return buildGEP(c, op, args[0].(*ir.Type), args[1].(ir.Value),
+								args[2].([]ir.Value), inbounds)
+						},
+					})
+				} else {
+					add(&API{
+						Name: name, Class: ClassBuilder, Kind: op,
+						Params: []Tok{V, Tgt(TokValueList)}, Ret: self,
+						Impl: func(c *Ctx, args []any) (any, error) {
+							p := args[0].(ir.Value)
+							if !p.Type().IsPointer() || p.Type().Elem == nil {
+								return nil, errf("%s: base is %s", name, p.Type())
+							}
+							return buildGEP(c, op, p.Type().Elem, p, args[1].([]ir.Value), inbounds)
+						},
+					})
+				}
+			}
+			gep("CreateGEP", false)
+			gep("CreateInBoundsGEP", true)
+
+		case op == ir.Fence:
+			add(&API{
+				Name: "CreateFence", Class: ClassBuilder, Kind: op,
+				Params: []Tok{Neutral(TokOrdering)}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					return emit(c, &ir.Instruction{Op: op, Typ: ir.Void,
+						Attrs: ir.Attrs{Ordering: args[0].(string)}})
+				},
+			})
+
+		case op == ir.CmpXchg:
+			add(&API{
+				Name: "CreateCmpXchg", Class: ClassBuilder, Kind: op,
+				Params: []Tok{V, V, V, Neutral(TokOrdering)}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					p := args[0].(ir.Value)
+					cmp, nw := args[1].(ir.Value), args[2].(ir.Value)
+					if !p.Type().IsPointer() {
+						return nil, errf("CreateCmpXchg: address is %s", p.Type())
+					}
+					if !cmp.Type().Equal(nw.Type()) {
+						return nil, errf("CreateCmpXchg: value types differ")
+					}
+					return emit(c, &ir.Instruction{Op: op, Typ: ir.Struct(cmp.Type(), ir.I1),
+						Operands: []ir.Value{p, cmp, nw},
+						Attrs:    ir.Attrs{Ordering: args[3].(string)}})
+				},
+			})
+
+		case op == ir.AtomicRMW:
+			add(&API{
+				Name: "CreateAtomicRMW", Class: ClassBuilder, Kind: op,
+				Params: []Tok{Neutral(TokRMWOp), V, V, Neutral(TokOrdering)}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					p, v := args[1].(ir.Value), args[2].(ir.Value)
+					if !p.Type().IsPointer() {
+						return nil, errf("CreateAtomicRMW: address is %s", p.Type())
+					}
+					return emit(c, &ir.Instruction{Op: op, Typ: v.Type(),
+						Operands: []ir.Value{p, v},
+						Attrs:    ir.Attrs{RMW: args[0].(ir.RMWOp), Ordering: args[3].(string)}})
+				},
+			})
+
+		case op.IsConversion():
+			name := "Create" + camel(op)
+			add(&API{
+				Name: name, Class: ClassBuilder, Kind: op,
+				Params: []Tok{V, T}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					return emit(c, &ir.Instruction{Op: op, Typ: args[1].(*ir.Type),
+						Operands: []ir.Value{args[0].(ir.Value)}})
+				},
+			})
+
+		case op == ir.ExtractElement:
+			add(&API{
+				Name: "CreateExtractElement", Class: ClassBuilder, Kind: op,
+				Params: []Tok{V, V}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					vec := args[0].(ir.Value)
+					if vec.Type().Kind != ir.VectorKind {
+						return nil, errf("CreateExtractElement: operand is %s", vec.Type())
+					}
+					return emit(c, &ir.Instruction{Op: op, Typ: vec.Type().Elem,
+						Operands: []ir.Value{vec, args[1].(ir.Value)}})
+				},
+			})
+
+		case op == ir.InsertElement:
+			add(&API{
+				Name: "CreateInsertElement", Class: ClassBuilder, Kind: op,
+				Params: []Tok{V, V, V}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					vec := args[0].(ir.Value)
+					if vec.Type().Kind != ir.VectorKind {
+						return nil, errf("CreateInsertElement: operand is %s", vec.Type())
+					}
+					el := args[1].(ir.Value)
+					if !el.Type().Equal(vec.Type().Elem) {
+						return nil, errf("CreateInsertElement: element is %s, vector wants %s",
+							el.Type(), vec.Type().Elem)
+					}
+					ix := args[2].(ir.Value)
+					if !ix.Type().IsInt() {
+						return nil, errf("CreateInsertElement: index is %s", ix.Type())
+					}
+					return emit(c, &ir.Instruction{Op: op, Typ: vec.Type(),
+						Operands: []ir.Value{vec, el, ix}})
+				},
+			})
+
+		case op == ir.ShuffleVector:
+			add(&API{
+				Name: "CreateShuffleVector", Class: ClassBuilder, Kind: op,
+				Params: []Tok{V, V, V}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					a, b2, m := args[0].(ir.Value), args[1].(ir.Value), args[2].(ir.Value)
+					if a.Type().Kind != ir.VectorKind || m.Type().Kind != ir.VectorKind {
+						return nil, errf("CreateShuffleVector: non-vector operand")
+					}
+					return emit(c, &ir.Instruction{Op: op,
+						Typ:      ir.Vec(m.Type().Len, a.Type().Elem),
+						Operands: []ir.Value{a, b2, m}})
+				},
+			})
+
+		case op == ir.ExtractValue:
+			add(&API{
+				Name: "CreateExtractValue", Class: ClassBuilder, Kind: op,
+				Params: []Tok{V, Neutral(TokIndices)}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					agg := args[0].(ir.Value)
+					idx := args[1].([]int)
+					t, err := walkAgg(agg.Type(), idx)
+					if err != nil {
+						return nil, err
+					}
+					return emit(c, &ir.Instruction{Op: op, Typ: t,
+						Operands: []ir.Value{agg}, Attrs: ir.Attrs{Indices: idx}})
+				},
+			})
+
+		case op == ir.InsertValue:
+			add(&API{
+				Name: "CreateInsertValue", Class: ClassBuilder, Kind: op,
+				Params: []Tok{V, V, Neutral(TokIndices)}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					agg := args[0].(ir.Value)
+					idx := args[2].([]int)
+					if _, err := walkAgg(agg.Type(), idx); err != nil {
+						return nil, err
+					}
+					return emit(c, &ir.Instruction{Op: op, Typ: agg.Type(),
+						Operands: []ir.Value{agg, args[1].(ir.Value)},
+						Attrs:    ir.Attrs{Indices: idx}})
+				},
+			})
+
+		case op == ir.VAArg:
+			add(&API{
+				Name: "CreateVAArg", Class: ClassBuilder, Kind: op,
+				Params: []Tok{V, T}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					return emit(c, &ir.Instruction{Op: op, Typ: args[1].(*ir.Type),
+						Operands: []ir.Value{args[0].(ir.Value)}})
+				},
+			})
+
+		case op == ir.LandingPad:
+			lp := func(name string, cleanup bool) {
+				add(&API{
+					Name: name, Class: ClassBuilder, Kind: op,
+					Params: []Tok{T}, Ret: self,
+					Impl: func(c *Ctx, args []any) (any, error) {
+						return emit(c, &ir.Instruction{Op: op, Typ: args[0].(*ir.Type),
+							Attrs: ir.Attrs{Cleanup: cleanup}})
+					},
+				})
+			}
+			lp("CreateLandingPad", false)
+			lp("CreateCleanupLandingPad", true)
+
+		case op == ir.Freeze:
+			add(&API{
+				Name: "CreateFreeze", Class: ClassBuilder, Kind: op,
+				Params: []Tok{V}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					x := args[0].(ir.Value)
+					return emit(c, &ir.Instruction{Op: op, Typ: x.Type(), Operands: []ir.Value{x}})
+				},
+			})
+
+		case op == ir.CatchSwitch:
+			add(&API{
+				Name: "CreateCatchSwitch", Class: ClassBuilder, Kind: op,
+				Params: []Tok{Tgt(TokBlockList)}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					var ops []ir.Value
+					for _, b := range args[0].([]*ir.Block) {
+						ops = append(ops, b)
+					}
+					return emit(c, &ir.Instruction{Op: op, Typ: ir.Token, Operands: ops})
+				},
+			})
+
+		case op == ir.CatchPad:
+			add(&API{
+				Name: "CreateCatchPad", Class: ClassBuilder, Kind: op,
+				Params: []Tok{V, Tgt(TokValueList)}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					ops := append([]ir.Value{args[0].(ir.Value)}, args[1].([]ir.Value)...)
+					return emit(c, &ir.Instruction{Op: op, Typ: ir.Token, Operands: ops})
+				},
+			})
+
+		case op == ir.CleanupPad:
+			add(&API{
+				Name: "CreateCleanupPad", Class: ClassBuilder, Kind: op,
+				Params: []Tok{Tgt(TokValueList)}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					return emit(c, &ir.Instruction{Op: op, Typ: ir.Token,
+						Operands: args[0].([]ir.Value)})
+				},
+			})
+
+		case op == ir.CatchRet:
+			add(&API{
+				Name: "CreateCatchRet", Class: ClassBuilder, Kind: op,
+				Params: []Tok{V, B}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					return emit(c, &ir.Instruction{Op: op, Typ: ir.Void,
+						Operands: []ir.Value{args[0].(ir.Value), args[1].(*ir.Block)}})
+				},
+			})
+
+		case op == ir.CleanupRet:
+			add(&API{
+				Name: "CreateCleanupRet", Class: ClassBuilder, Kind: op,
+				Params: []Tok{V}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					return emit(c, &ir.Instruction{Op: op, Typ: ir.Void,
+						Operands: []ir.Value{args[0].(ir.Value)}})
+				},
+			})
+			add(&API{
+				Name: "CreateCleanupRetUnwind", Class: ClassBuilder, Kind: op,
+				Params: []Tok{V, B}, Ret: self,
+				Impl: func(c *Ctx, args []any) (any, error) {
+					return emit(c, &ir.Instruction{Op: op, Typ: ir.Void,
+						Operands: []ir.Value{args[0].(ir.Value), args[1].(*ir.Block)}})
+				},
+			})
+		}
+	}
+	return lib
+}
+
+// buildGEP validates and emits a getelementptr.
+func buildGEP(c *Ctx, op ir.Opcode, elem *ir.Type, base ir.Value, idx []ir.Value, inbounds bool) (any, error) {
+	if !base.Type().IsPointer() {
+		return nil, errf("CreateGEP: base is %s", base.Type())
+	}
+	if len(idx) == 0 {
+		return nil, errf("CreateGEP: no indices")
+	}
+	ops := append([]ir.Value{base}, idx...)
+	return c.Emit(&ir.Instruction{Op: op, Typ: ir.GEPResultType(elem, idx),
+		Operands: ops, Attrs: ir.Attrs{ElemTy: elem, Inbounds: inbounds}}), nil
+}
+
+// walkAgg resolves an aggregate element type by index path.
+func walkAgg(t *ir.Type, indices []int) (*ir.Type, error) {
+	cur := t
+	for _, ix := range indices {
+		switch cur.Kind {
+		case ir.StructKind:
+			if ix < 0 || ix >= len(cur.Fields) {
+				return nil, errf("aggregate index %d out of range for %s", ix, cur)
+			}
+			cur = cur.Fields[ix]
+		case ir.ArrayKind:
+			if ix < 0 || ix >= cur.Len {
+				return nil, errf("aggregate index %d out of range for %s", ix, cur)
+			}
+			cur = cur.Elem
+		default:
+			return nil, errf("aggregate index into %s", cur)
+		}
+	}
+	return cur, nil
+}
+
+// sigOf extracts a callable value's function type.
+func sigOf(callee ir.Value) *ir.Type {
+	switch c := callee.(type) {
+	case *ir.Function:
+		return c.Sig
+	case *ir.InlineAsm:
+		return c.Typ
+	default:
+		if t := callee.Type(); t.IsPointer() && t.Elem != nil && t.Elem.Kind == ir.FuncKind {
+			return t.Elem
+		}
+	}
+	return nil
+}
+
+// camel renders an opcode as the CamelCase fragment of its builder name.
+func camel(op ir.Opcode) string {
+	switch op {
+	case ir.FAdd:
+		return "FAdd"
+	case ir.FSub:
+		return "FSub"
+	case ir.FMul:
+		return "FMul"
+	case ir.FDiv:
+		return "FDiv"
+	case ir.FRem:
+		return "FRem"
+	case ir.UDiv:
+		return "UDiv"
+	case ir.SDiv:
+		return "SDiv"
+	case ir.URem:
+		return "URem"
+	case ir.SRem:
+		return "SRem"
+	case ir.LShr:
+		return "LShr"
+	case ir.AShr:
+		return "AShr"
+	case ir.ZExt:
+		return "ZExt"
+	case ir.SExt:
+		return "SExt"
+	case ir.FPTrunc:
+		return "FPTrunc"
+	case ir.FPExt:
+		return "FPExt"
+	case ir.FPToUI:
+		return "FPToUI"
+	case ir.FPToSI:
+		return "FPToSI"
+	case ir.UIToFP:
+		return "UIToFP"
+	case ir.SIToFP:
+		return "SIToFP"
+	case ir.PtrToInt:
+		return "PtrToInt"
+	case ir.IntToPtr:
+		return "IntToPtr"
+	case ir.BitCast:
+		return "BitCast"
+	case ir.AddrSpaceCast:
+		return "AddrSpaceCast"
+	default:
+		name := op.String()
+		return string(name[0]-'a'+'A') + name[1:]
+	}
+}

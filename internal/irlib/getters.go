@@ -1,0 +1,473 @@
+package irlib
+
+import (
+	"repro/internal/ir"
+	"repro/internal/version"
+)
+
+// Getters builds the source-side getter library of IR version v — the "IR
+// Getter" row of Table 2. Getter availability and naming track the
+// version: the callee accessor is GetCalledValue before 8.0 and
+// GetCalledOperand from 8.0 (a real LLVM rename the synthesizer must
+// absorb).
+func Getters(v version.V) *Library {
+	lib := &Library{Ver: v, Side: SideSrc}
+	feat := version.FeaturesOf(v)
+	add := func(a *API) { lib.APIs = append(lib.APIs, a) }
+
+	// Version-neutral integer constants seed Int-typed parameters
+	// (operand and successor indices).
+	for n := 0; n <= 2; n++ {
+		n := n
+		add(&API{
+			Name: "Int" + itoa(n), Class: ClassConst, Ret: Neutral(TokInt),
+			Impl: func(c *Ctx, args []any) (any, error) { return n, nil },
+		})
+	}
+
+	// AsBlock is the kind-generic checked downcast (cast<BasicBlock>),
+	// the piece that makes the Fig. 11 GetOperand-based branch
+	// translator expressible.
+	add(&API{
+		Name: "AsBlock", Class: ClassGetter,
+		Params: []Tok{Src(TokValue)}, Ret: Src(TokBlock),
+		Impl: func(c *Ctx, args []any) (any, error) {
+			if b, ok := args[0].(ir.Value).(*ir.Block); ok {
+				return b, nil
+			}
+			return nil, errf("AsBlock: value is not a basic block")
+		},
+	})
+
+	calleeGetter := "GetCalledValue"
+	if feat.CalledOperandGetter {
+		calleeGetter = "GetCalledOperand"
+	}
+
+	for _, op := range ir.OpcodesIn(v) {
+		op := op
+		self := InstTok(SideSrc, op)
+		// val defines a named Value getter reading a fixed operand slot.
+		val := func(name string, slot int) {
+			add(&API{
+				Name: name, Class: ClassGetter, Kind: op,
+				Params: []Tok{self}, Ret: Src(TokValue),
+				Impl: func(c *Ctx, args []any) (any, error) {
+					i := args[0].(*ir.Instruction)
+					if slot >= len(i.Operands) {
+						return nil, errf("%s: %s has %d operands", name, op, len(i.Operands))
+					}
+					return i.Operands[slot], nil
+				},
+			})
+		}
+		// getOperand exposes the raw indexed accessor for this kind.
+		getOperand := func() {
+			add(&API{
+				Name: "GetOperand", Class: ClassGetter, Kind: op,
+				Params: []Tok{self, Neutral(TokInt)}, Ret: Src(TokValue),
+				Impl: func(c *Ctx, args []any) (any, error) {
+					i := args[0].(*ir.Instruction)
+					n := args[1].(int)
+					if n < 0 || n >= len(i.Operands) {
+						return nil, errf("GetOperand: index %d out of range for %s", n, op)
+					}
+					return i.Operands[n], nil
+				},
+			})
+		}
+		// typeGetter exposes a Type-producing accessor.
+		typeGetter := func(name string, get func(*ir.Instruction) (*ir.Type, error)) {
+			add(&API{
+				Name: name, Class: ClassGetter, Kind: op,
+				Params: []Tok{self}, Ret: Src(TokType),
+				Impl: func(c *Ctx, args []any) (any, error) {
+					return get(args[0].(*ir.Instruction))
+				},
+			})
+		}
+
+		switch {
+		case op.IsBinary():
+			val("GetLHS", 0)
+			val("GetRHS", 1)
+
+		case op == ir.FNeg || op == ir.Freeze || op == ir.Resume:
+			val("GetValue", 0)
+
+		case op == ir.ICmp:
+			add(&API{
+				Name: "GetPredicate", Class: ClassGetter, Kind: op,
+				Params: []Tok{self}, Ret: Src(TokIPred),
+				Impl: func(c *Ctx, args []any) (any, error) {
+					return args[0].(*ir.Instruction).Attrs.IPred, nil
+				},
+			})
+			val("GetLHS", 0)
+			val("GetRHS", 1)
+			getOperand()
+
+		case op == ir.FCmp:
+			add(&API{
+				Name: "GetPredicate", Class: ClassGetter, Kind: op,
+				Params: []Tok{self}, Ret: Src(TokFPred),
+				Impl: func(c *Ctx, args []any) (any, error) {
+					return args[0].(*ir.Instruction).Attrs.FPred, nil
+				},
+			})
+			val("GetLHS", 0)
+			val("GetRHS", 1)
+			getOperand()
+
+		case op == ir.Ret:
+			add(&API{
+				Name: "GetReturnValue", Class: ClassGetter, Kind: op,
+				Params: []Tok{self}, Ret: Src(TokValue),
+				Impl: func(c *Ctx, args []any) (any, error) {
+					i := args[0].(*ir.Instruction)
+					if len(i.Operands) == 0 {
+						return nil, errf("GetReturnValue: void return")
+					}
+					return i.Operands[0], nil
+				},
+			})
+			getOperand()
+
+		case op == ir.Br:
+			add(&API{
+				Name: "GetCond", Class: ClassGetter, Kind: op,
+				Params: []Tok{self}, Ret: Src(TokValue),
+				Impl: func(c *Ctx, args []any) (any, error) {
+					i := args[0].(*ir.Instruction)
+					if !i.IsCondBr() {
+						return nil, errf("GetCond: unconditional branch")
+					}
+					return i.Operands[0], nil
+				},
+			})
+			succ := func(name string) {
+				add(&API{
+					Name: name, Class: ClassGetter, Kind: op,
+					Params: []Tok{self, Neutral(TokInt)}, Ret: Src(TokBlock),
+					Impl: func(c *Ctx, args []any) (any, error) {
+						succs := args[0].(*ir.Instruction).Successors()
+						n := args[1].(int)
+						if n < 0 || n >= len(succs) {
+							return nil, errf("%s: successor %d out of range", name, n)
+						}
+						return succs[n], nil
+					},
+				})
+			}
+			succ("GetBlock")
+			succ("GetSuccessor") // alias, merged by Optimization I
+			getOperand()
+
+		case op == ir.Switch:
+			val("GetCond", 0)
+			add(&API{
+				Name: "GetDefaultDest", Class: ClassGetter, Kind: op,
+				Params: []Tok{self}, Ret: Src(TokBlock),
+				Impl: func(c *Ctx, args []any) (any, error) {
+					return args[0].(*ir.Instruction).Operands[1].(*ir.Block), nil
+				},
+			})
+			add(&API{
+				Name: "GetCases", Class: ClassGetter, Kind: op,
+				Params: []Tok{self}, Ret: Src(TokCaseList),
+				Impl: func(c *Ctx, args []any) (any, error) {
+					i := args[0].(*ir.Instruction)
+					out := make([]CasePair, i.NumCases())
+					for k := range out {
+						cv, cb := i.SwitchCase(k)
+						out[k] = CasePair{C: cv, B: cb}
+					}
+					return out, nil
+				},
+			})
+
+		case op == ir.IndirectBr:
+			val("GetAddress", 0)
+			add(&API{
+				Name: "GetDests", Class: ClassGetter, Kind: op,
+				Params: []Tok{self}, Ret: Src(TokBlockList),
+				Impl: func(c *Ctx, args []any) (any, error) {
+					i := args[0].(*ir.Instruction)
+					out := make([]*ir.Block, 0, len(i.Operands)-1)
+					for _, d := range i.Operands[1:] {
+						out = append(out, d.(*ir.Block))
+					}
+					return out, nil
+				},
+			})
+
+		case op == ir.Call, op == ir.Invoke, op == ir.CallBr:
+			add(&API{
+				Name: calleeGetter, Class: ClassGetter, Kind: op,
+				Params: []Tok{self}, Ret: Src(TokValue),
+				Impl: func(c *Ctx, args []any) (any, error) {
+					return args[0].(*ir.Instruction).Callee(), nil
+				},
+			})
+			add(&API{
+				Name: "GetCalledFunction", Class: ClassGetter, Kind: op,
+				Params: []Tok{self}, Ret: Src(TokValue),
+				Impl: func(c *Ctx, args []any) (any, error) {
+					f := args[0].(*ir.Instruction).CalledFunction()
+					if f == nil {
+						return nil, errf("GetCalledFunction: indirect call")
+					}
+					return f, nil
+				},
+			})
+			add(&API{
+				Name: "GetArgs", Class: ClassGetter, Kind: op,
+				Params: []Tok{self}, Ret: Src(TokValueList),
+				Impl: func(c *Ctx, args []any) (any, error) {
+					return args[0].(*ir.Instruction).CallArgs(), nil
+				},
+			})
+			typeGetter("GetFunctionType", func(i *ir.Instruction) (*ir.Type, error) {
+				if i.Attrs.CallTy == nil {
+					return nil, errf("GetFunctionType: unknown callee type")
+				}
+				return i.Attrs.CallTy, nil
+			})
+			if op == ir.Invoke {
+				block := func(name string, slot int) {
+					add(&API{
+						Name: name, Class: ClassGetter, Kind: op,
+						Params: []Tok{self}, Ret: Src(TokBlock),
+						Impl: func(c *Ctx, args []any) (any, error) {
+							return args[0].(*ir.Instruction).Operands[slot].(*ir.Block), nil
+						},
+					})
+				}
+				block("GetNormalDest", 1)
+				block("GetUnwindDest", 2)
+			}
+			if op == ir.CallBr {
+				add(&API{
+					Name: "GetFallthroughDest", Class: ClassGetter, Kind: op,
+					Params: []Tok{self}, Ret: Src(TokBlock),
+					Impl: func(c *Ctx, args []any) (any, error) {
+						return args[0].(*ir.Instruction).Operands[1].(*ir.Block), nil
+					},
+				})
+				add(&API{
+					Name: "GetIndirectDests", Class: ClassGetter, Kind: op,
+					Params: []Tok{self}, Ret: Src(TokBlockList),
+					Impl: func(c *Ctx, args []any) (any, error) {
+						i := args[0].(*ir.Instruction)
+						out := make([]*ir.Block, 0, i.Attrs.NumIndire)
+						for _, d := range i.Operands[2 : 2+i.Attrs.NumIndire] {
+							out = append(out, d.(*ir.Block))
+						}
+						return out, nil
+					},
+				})
+			}
+
+		case op == ir.Phi:
+			add(&API{
+				Name: "GetIncomings", Class: ClassGetter, Kind: op,
+				Params: []Tok{self}, Ret: Src(TokPhiList),
+				Impl: func(c *Ctx, args []any) (any, error) {
+					i := args[0].(*ir.Instruction)
+					out := make([]PhiPair, i.NumIncoming())
+					for k := range out {
+						v, b := i.PhiIncoming(k)
+						out[k] = PhiPair{V: v, B: b}
+					}
+					return out, nil
+				},
+			})
+			typeGetter("GetType", func(i *ir.Instruction) (*ir.Type, error) { return i.Type(), nil })
+
+		case op == ir.Select:
+			val("GetCond", 0)
+			val("GetTrueValue", 1)
+			val("GetFalseValue", 2)
+
+		case op == ir.Alloca:
+			typeGetter("GetAllocatedType", func(i *ir.Instruction) (*ir.Type, error) {
+				return i.Attrs.ElemTy, nil
+			})
+			add(&API{
+				Name: "GetArraySize", Class: ClassGetter, Kind: op,
+				Params: []Tok{self}, Ret: Src(TokValue),
+				Impl: func(c *Ctx, args []any) (any, error) {
+					i := args[0].(*ir.Instruction)
+					if len(i.Operands) == 0 {
+						return nil, errf("GetArraySize: scalar alloca")
+					}
+					return i.Operands[0], nil
+				},
+			})
+
+		case op == ir.Load:
+			val("GetPointerOperand", 0)
+			typeGetter("GetType", func(i *ir.Instruction) (*ir.Type, error) { return i.Type(), nil })
+
+		case op == ir.Store:
+			val("GetValueOperand", 0)
+			val("GetPointerOperand", 1)
+			getOperand()
+
+		case op == ir.GetElementPtr:
+			val("GetPointerOperand", 0)
+			typeGetter("GetSourceElementType", func(i *ir.Instruction) (*ir.Type, error) {
+				return i.Attrs.ElemTy, nil
+			})
+			add(&API{
+				Name: "GetIndices", Class: ClassGetter, Kind: op,
+				Params: []Tok{self}, Ret: Src(TokValueList),
+				Impl: func(c *Ctx, args []any) (any, error) {
+					return args[0].(*ir.Instruction).Operands[1:], nil
+				},
+			})
+
+		case op == ir.Fence:
+			add(orderingGetter(op, self))
+
+		case op == ir.CmpXchg:
+			val("GetPointerOperand", 0)
+			val("GetCompareOperand", 1)
+			val("GetNewValOperand", 2)
+			add(orderingGetter(op, self))
+
+		case op == ir.AtomicRMW:
+			add(&API{
+				Name: "GetOperation", Class: ClassGetter, Kind: op,
+				Params: []Tok{self}, Ret: Neutral(TokRMWOp),
+				Impl: func(c *Ctx, args []any) (any, error) {
+					return args[0].(*ir.Instruction).Attrs.RMW, nil
+				},
+			})
+			val("GetPointerOperand", 0)
+			val("GetValOperand", 1)
+			add(orderingGetter(op, self))
+
+		case op.IsConversion():
+			val("GetSrcValue", 0)
+			typeGetter("GetDestType", func(i *ir.Instruction) (*ir.Type, error) { return i.Type(), nil })
+			typeGetter("GetType", func(i *ir.Instruction) (*ir.Type, error) { return i.Type(), nil })
+			getOperand()
+
+		case op == ir.ExtractElement:
+			val("GetVectorOperand", 0)
+			val("GetIndexOperand", 1)
+
+		case op == ir.InsertElement:
+			val("GetVectorOperand", 0)
+			val("GetInsertedValue", 1)
+			val("GetIndexOperand", 2)
+			getOperand()
+
+		case op == ir.ShuffleVector:
+			val("GetFirstVector", 0)
+			val("GetSecondVector", 1)
+			val("GetMask", 2)
+
+		case op == ir.ExtractValue:
+			val("GetAggregateOperand", 0)
+			add(indicesGetter(op, self))
+
+		case op == ir.InsertValue:
+			val("GetAggregateOperand", 0)
+			val("GetInsertedValueOperand", 1)
+			add(indicesGetter(op, self))
+
+		case op == ir.VAArg:
+			val("GetPointerOperand", 0)
+			typeGetter("GetType", func(i *ir.Instruction) (*ir.Type, error) { return i.Type(), nil })
+
+		case op == ir.LandingPad:
+			typeGetter("GetType", func(i *ir.Instruction) (*ir.Type, error) { return i.Type(), nil })
+
+		case op == ir.CatchSwitch:
+			add(&API{
+				Name: "GetHandlers", Class: ClassGetter, Kind: op,
+				Params: []Tok{self}, Ret: Src(TokBlockList),
+				Impl: func(c *Ctx, args []any) (any, error) {
+					i := args[0].(*ir.Instruction)
+					out := make([]*ir.Block, 0, len(i.Operands))
+					for _, h := range i.Operands {
+						out = append(out, h.(*ir.Block))
+					}
+					return out, nil
+				},
+			})
+
+		case op == ir.CatchPad:
+			val("GetParentPad", 0)
+			add(&API{
+				Name: "GetArgs", Class: ClassGetter, Kind: op,
+				Params: []Tok{self}, Ret: Src(TokValueList),
+				Impl: func(c *Ctx, args []any) (any, error) {
+					return args[0].(*ir.Instruction).Operands[1:], nil
+				},
+			})
+
+		case op == ir.CleanupPad:
+			add(&API{
+				Name: "GetArgs", Class: ClassGetter, Kind: op,
+				Params: []Tok{self}, Ret: Src(TokValueList),
+				Impl: func(c *Ctx, args []any) (any, error) {
+					i := args[0].(*ir.Instruction)
+					if len(i.Operands) == 0 {
+						return []ir.Value{}, nil
+					}
+					return i.Operands[1:], nil
+				},
+			})
+
+		case op == ir.CatchRet:
+			val("GetCatchPad", 0)
+			add(&API{
+				Name: "GetDest", Class: ClassGetter, Kind: op,
+				Params: []Tok{self}, Ret: Src(TokBlock),
+				Impl: func(c *Ctx, args []any) (any, error) {
+					return args[0].(*ir.Instruction).Operands[1].(*ir.Block), nil
+				},
+			})
+
+		case op == ir.CleanupRet:
+			val("GetCleanupPad", 0)
+			add(&API{
+				Name: "GetUnwindDest", Class: ClassGetter, Kind: op,
+				Params: []Tok{self}, Ret: Src(TokBlock),
+				Impl: func(c *Ctx, args []any) (any, error) {
+					i := args[0].(*ir.Instruction)
+					if len(i.Operands) < 2 {
+						return nil, errf("GetUnwindDest: unwinds to caller")
+					}
+					return i.Operands[1].(*ir.Block), nil
+				},
+			})
+		}
+	}
+	return lib
+}
+
+func orderingGetter(op ir.Opcode, self Tok) *API {
+	return &API{
+		Name: "GetOrdering", Class: ClassGetter, Kind: op,
+		Params: []Tok{self}, Ret: Neutral(TokOrdering),
+		Impl: func(c *Ctx, args []any) (any, error) {
+			return args[0].(*ir.Instruction).Attrs.Ordering, nil
+		},
+	}
+}
+
+func indicesGetter(op ir.Opcode, self Tok) *API {
+	return &API{
+		Name: "GetIndices", Class: ClassGetter, Kind: op,
+		Params: []Tok{self}, Ret: Neutral(TokIndices),
+		Impl: func(c *Ctx, args []any) (any, error) {
+			return args[0].(*ir.Instruction).Attrs.Indices, nil
+		},
+	}
+}
+
+func itoa(n int) string { return string(rune('0' + n)) }

@@ -1,0 +1,258 @@
+package irlib
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/version"
+)
+
+// sampleModule builds one function containing an instance of the common
+// structured instructions for getter exercising.
+func sampleSwitch(t *testing.T) *ir.Instruction {
+	t.Helper()
+	f := ir.NewFunction("f", ir.Func(ir.I32, nil, false), nil)
+	b := ir.NewBuilder(f)
+	entry := b.NewBlock("entry")
+	d := f.AddBlock("d")
+	c1 := f.AddBlock("c1")
+	sw := b.At(entry).Switch(ir.ConstI32(3), d, ir.ConstI32(1), c1)
+	b.At(d).Ret(ir.ConstI32(0))
+	b.At(c1).Ret(ir.ConstI32(1))
+	return sw
+}
+
+func TestStructuredGetters(t *testing.T) {
+	g := Getters(version.V17_0)
+	sw := sampleSwitch(t)
+
+	cases, err := findKind(g, "GetCases", ir.Switch).Impl(nil, []any{sw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := cases.([]CasePair)
+	if len(cl) != 1 || cl[0].C.(*ir.ConstInt).V != 1 {
+		t.Fatalf("GetCases = %v", cl)
+	}
+	dd, err := findKind(g, "GetDefaultDest", ir.Switch).Impl(nil, []any{sw})
+	if err != nil || dd.(*ir.Block).Name != "d" {
+		t.Fatalf("GetDefaultDest = %v, %v", dd, err)
+	}
+
+	// Phi getters.
+	f := sw.Parent.Parent
+	join := f.AddBlock("join")
+	phi := &ir.Instruction{Op: ir.Phi, Name: "p", Typ: ir.I32,
+		Operands: []ir.Value{ir.ConstI32(4), sw.Parent}}
+	join.Append(phi)
+	inc, err := findKind(g, "GetIncomings", ir.Phi).Impl(nil, []any{phi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := inc.([]PhiPair)
+	if len(pl) != 1 || pl[0].V.(*ir.ConstInt).V != 4 {
+		t.Fatalf("GetIncomings = %v", pl)
+	}
+	ty, err := findKind(g, "GetType", ir.Phi).Impl(nil, []any{phi})
+	if err != nil || !ty.(*ir.Type).Equal(ir.I32) {
+		t.Fatalf("GetType = %v, %v", ty, err)
+	}
+}
+
+func TestCallFamilyGetters(t *testing.T) {
+	g := Getters(version.V17_0)
+	m := ir.NewModule("t", version.V17_0)
+	callee := m.AddFunc(ir.NewFunction("h", ir.Func(ir.I32, []*ir.Type{ir.I32}, false), nil))
+	f := m.AddFunc(ir.NewFunction("main", ir.Func(ir.I32, nil, false), nil))
+	b := ir.NewBuilder(f)
+	entry := b.NewBlock("entry")
+	ok := f.AddBlock("ok")
+	bad := f.AddBlock("bad")
+	inv := b.At(entry).Invoke(callee, ok, bad, ir.ConstI32(7))
+
+	if v, err := findKind(g, "GetNormalDest", ir.Invoke).Impl(nil, []any{inv}); err != nil || v.(*ir.Block) != ok {
+		t.Fatalf("GetNormalDest = %v, %v", v, err)
+	}
+	if v, err := findKind(g, "GetUnwindDest", ir.Invoke).Impl(nil, []any{inv}); err != nil || v.(*ir.Block) != bad {
+		t.Fatalf("GetUnwindDest = %v, %v", v, err)
+	}
+	args, err := findKind(g, "GetArgs", ir.Invoke).Impl(nil, []any{inv})
+	if err != nil || len(args.([]ir.Value)) != 1 {
+		t.Fatalf("GetArgs = %v, %v", args, err)
+	}
+	fnty, err := findKind(g, "GetFunctionType", ir.Invoke).Impl(nil, []any{inv})
+	if err != nil || fnty.(*ir.Type).Kind != ir.FuncKind {
+		t.Fatalf("GetFunctionType = %v, %v", fnty, err)
+	}
+
+	// callbr getters.
+	ft := f.AddBlock("ft")
+	ind := f.AddBlock("ind")
+	asm := &ir.InlineAsm{Typ: ir.Func(ir.Void, nil, false), Asm: "x", Constraints: "X"}
+	cb := &ir.Instruction{Op: ir.CallBr, Typ: ir.Void,
+		Operands: []ir.Value{asm, ft, ind},
+		Attrs:    ir.Attrs{CallTy: asm.Typ, NumIndire: 1}}
+	if v, err := findKind(g, "GetFallthroughDest", ir.CallBr).Impl(nil, []any{cb}); err != nil || v.(*ir.Block) != ft {
+		t.Fatalf("GetFallthroughDest = %v, %v", v, err)
+	}
+	dests, err := findKind(g, "GetIndirectDests", ir.CallBr).Impl(nil, []any{cb})
+	if err != nil || len(dests.([]*ir.Block)) != 1 {
+		t.Fatalf("GetIndirectDests = %v, %v", dests, err)
+	}
+}
+
+func TestEHGetters(t *testing.T) {
+	g := Getters(version.V17_0)
+	f := ir.NewFunction("eh", ir.Func(ir.Void, nil, false), nil)
+	handler := f.AddBlock("handler")
+	exit := f.AddBlock("exit")
+	cs := &ir.Instruction{Op: ir.CatchSwitch, Typ: ir.Token, Operands: []ir.Value{handler}}
+	cp := &ir.Instruction{Op: ir.CatchPad, Typ: ir.Token, Operands: []ir.Value{cs, ir.ConstI32(1)}}
+	cr := &ir.Instruction{Op: ir.CatchRet, Typ: ir.Void, Operands: []ir.Value{cp, exit}}
+	cl := &ir.Instruction{Op: ir.CleanupPad, Typ: ir.Token}
+	clr := &ir.Instruction{Op: ir.CleanupRet, Typ: ir.Void, Operands: []ir.Value{cl}}
+
+	if v, err := findKind(g, "GetHandlers", ir.CatchSwitch).Impl(nil, []any{cs}); err != nil ||
+		len(v.([]*ir.Block)) != 1 {
+		t.Fatalf("GetHandlers = %v, %v", v, err)
+	}
+	if v, err := findKind(g, "GetParentPad", ir.CatchPad).Impl(nil, []any{cp}); err != nil || v != ir.Value(cs) {
+		t.Fatalf("GetParentPad = %v, %v", v, err)
+	}
+	if v, err := findKind(g, "GetArgs", ir.CatchPad).Impl(nil, []any{cp}); err != nil ||
+		len(v.([]ir.Value)) != 1 {
+		t.Fatalf("catchpad GetArgs = %v, %v", v, err)
+	}
+	if v, err := findKind(g, "GetArgs", ir.CleanupPad).Impl(nil, []any{cl}); err != nil ||
+		len(v.([]ir.Value)) != 0 {
+		t.Fatalf("cleanuppad GetArgs = %v, %v", v, err)
+	}
+	if v, err := findKind(g, "GetDest", ir.CatchRet).Impl(nil, []any{cr}); err != nil || v.(*ir.Block) != exit {
+		t.Fatalf("GetDest = %v, %v", v, err)
+	}
+	if _, err := findKind(g, "GetUnwindDest", ir.CleanupRet).Impl(nil, []any{clr}); err == nil {
+		t.Fatal("GetUnwindDest on unwind-to-caller should error")
+	}
+}
+
+func TestMemoryFamilyGetters(t *testing.T) {
+	g := Getters(version.V17_0)
+	f := ir.NewFunction("m", ir.Func(ir.I32, nil, false), nil)
+	b := ir.NewBuilder(f)
+	b.NewBlock("entry")
+	p := b.Alloca(ir.I32)
+	arrAlloca := &ir.Instruction{Op: ir.Alloca, Typ: ir.Ptr(ir.I32),
+		Operands: []ir.Value{ir.ConstI32(4)}, Attrs: ir.Attrs{ElemTy: ir.I32}}
+	b.Emit(arrAlloca)
+	gep := b.GEP(ir.Arr(4, ir.I32), p, ir.ConstI32(0), ir.ConstI32(1))
+	rmw := &ir.Instruction{Op: ir.AtomicRMW, Typ: ir.I32,
+		Operands: []ir.Value{p, ir.ConstI32(2)},
+		Attrs:    ir.Attrs{RMW: ir.RMWAdd, Ordering: "seq_cst"}}
+	b.Emit(rmw)
+
+	if _, err := findKind(g, "GetArraySize", ir.Alloca).Impl(nil, []any{p}); err == nil {
+		t.Fatal("GetArraySize on scalar alloca should error")
+	}
+	if v, err := findKind(g, "GetArraySize", ir.Alloca).Impl(nil, []any{arrAlloca}); err != nil ||
+		v.(ir.Value).(*ir.ConstInt).V != 4 {
+		t.Fatalf("GetArraySize = %v, %v", v, err)
+	}
+	if v, err := findKind(g, "GetAllocatedType", ir.Alloca).Impl(nil, []any{p}); err != nil ||
+		!v.(*ir.Type).Equal(ir.I32) {
+		t.Fatalf("GetAllocatedType = %v, %v", v, err)
+	}
+	idx, err := findKind(g, "GetIndices", ir.GetElementPtr).Impl(nil, []any{gep})
+	if err != nil || len(idx.([]ir.Value)) != 2 {
+		t.Fatalf("gep GetIndices = %v, %v", idx, err)
+	}
+	if v, err := findKind(g, "GetOperation", ir.AtomicRMW).Impl(nil, []any{rmw}); err != nil ||
+		v.(ir.RMWOp) != ir.RMWAdd {
+		t.Fatalf("GetOperation = %v, %v", v, err)
+	}
+	if v, err := findKind(g, "GetOrdering", ir.AtomicRMW).Impl(nil, []any{rmw}); err != nil ||
+		v.(string) != "seq_cst" {
+		t.Fatalf("GetOrdering = %v, %v", v, err)
+	}
+}
+
+func TestRenderDispatcherWithSubKinds(t *testing.T) {
+	// Build a two-case dispatcher manually and check its rendering.
+	g := Getters(version.V12_0)
+	b := Builders(version.V3_6)
+	retVoid := findKind(b, "CreateRetVoid", ir.Ret)
+	atomic := &Atomic{Kind: ir.Ret, Root: &Term{API: retVoid}, ID: 3}
+	code := atomic.Render("Atomic_ret_3")
+	if !strings.Contains(code, "Builder.CreateRetVoid()") {
+		t.Fatalf("render:\n%s", code)
+	}
+	// Shared-subterm rendering: one getter feeding two slots must bind a
+	// temporary once.
+	getLHS := findKind(g, "GetLHS", ir.Add)
+	xv := XlateAPIs()[0] // TranslateValue
+	shared := &Term{API: xv, Args: []*Term{{API: getLHS, Args: []*Term{InputTerm}}}}
+	add := findKind(b, "CreateAdd", ir.Add)
+	dup := &Atomic{Kind: ir.Add, Root: &Term{API: add, Args: []*Term{shared, shared}}}
+	code2 := dup.Render("DupAdd")
+	if strings.Count(code2, "TranslateValue(") != 1 {
+		t.Fatalf("shared subterm rendered twice:\n%s", code2)
+	}
+}
+
+func TestByKindIncludesGenerics(t *testing.T) {
+	g := Getters(version.V12_0)
+	apis := g.ByKind(ir.Add)
+	var hasInt0, hasAsBlock, hasGetLHS bool
+	for _, a := range apis {
+		switch a.Name {
+		case "Int0":
+			hasInt0 = true
+		case "AsBlock":
+			hasAsBlock = true
+		case "GetLHS":
+			hasGetLHS = a.Kind == ir.Add
+		}
+	}
+	if !hasInt0 || !hasAsBlock || !hasGetLHS {
+		t.Fatalf("ByKind incomplete: int0=%v asblock=%v getlhs=%v", hasInt0, hasAsBlock, hasGetLHS)
+	}
+}
+
+func TestTokAndClassStrings(t *testing.T) {
+	if got := Src(TokValue).String(); got != "Value_s" {
+		t.Errorf("Src tok = %q", got)
+	}
+	if got := Tgt(TokBlock).String(); got != "Block_t" {
+		t.Errorf("Tgt tok = %q", got)
+	}
+	if got := Neutral(TokInt).String(); got != "Int" {
+		t.Errorf("Neutral tok = %q", got)
+	}
+	for c, want := range map[Class]string{
+		ClassGetter: "getter", ClassBuilder: "builder", ClassXlate: "xlate", ClassConst: "const",
+	} {
+		if c.String() != want {
+			t.Errorf("class %v = %q", want, c.String())
+		}
+	}
+	if Class(0).String() != "?" {
+		t.Error("unknown class string")
+	}
+}
+
+func TestCleanupRetPredicateVersionGating(t *testing.T) {
+	if len(PredicatesByKind(version.V3_6)[ir.CleanupRet]) != 0 {
+		t.Error("cleanupret predicate present before 3.8")
+	}
+	preds := PredicatesByKind(version.V17_0)[ir.CleanupRet]
+	if len(preds) != 1 {
+		t.Fatalf("cleanupret predicates = %d", len(preds))
+	}
+	pad := &ir.Instruction{Op: ir.CleanupPad, Typ: ir.Token}
+	blk := &ir.Block{Name: "x"}
+	with := &ir.Instruction{Op: ir.CleanupRet, Typ: ir.Void, Operands: []ir.Value{pad, blk}}
+	without := &ir.Instruction{Op: ir.CleanupRet, Typ: ir.Void, Operands: []ir.Value{pad}}
+	if preds[0].Eval(with) != "true" || preds[0].Eval(without) != "false" {
+		t.Error("HasUnwindDest evaluation wrong")
+	}
+}

@@ -1,0 +1,244 @@
+package irlib
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/version"
+)
+
+func TestGetterLibraryShape(t *testing.T) {
+	lib := Getters(version.V12_0)
+	if lib.Side != SideSrc {
+		t.Fatal("getter library on wrong side")
+	}
+	for _, name := range []string{"GetLHS", "GetRHS", "GetCond", "GetCases", "AsBlock", "Int0"} {
+		if lib.Find(name) == nil {
+			t.Errorf("getter %s missing", name)
+		}
+	}
+}
+
+func TestCalleeGetterRename(t *testing.T) {
+	old := Getters(version.V5_0)
+	if old.Find("GetCalledValue") == nil || old.Find("GetCalledOperand") != nil {
+		t.Error("5.0 must expose GetCalledValue only")
+	}
+	modern := Getters(version.V12_0)
+	if modern.Find("GetCalledOperand") == nil || modern.Find("GetCalledValue") != nil {
+		t.Error("12.0 must expose GetCalledOperand only")
+	}
+}
+
+func TestBuilderSignatureChanges(t *testing.T) {
+	// CreateCall gains an explicit function type at 9.0 (Fig. 13).
+	old := Builders(version.V5_0).Find("CreateCall")
+	if old == nil || len(old.Params) != 2 {
+		t.Fatalf("5.0 CreateCall params = %v", old)
+	}
+	modern := Builders(version.V12_0).Find("CreateCall")
+	if modern == nil || len(modern.Params) != 3 || modern.Params[0].Name != TokType {
+		t.Fatalf("12.0 CreateCall params = %v", modern)
+	}
+	// CreateLoad gains the explicit type at 8.0.
+	if l := Builders(version.V3_6).Find("CreateLoad"); l == nil || len(l.Params) != 1 {
+		t.Fatalf("3.6 CreateLoad params = %v", l)
+	}
+	if l := Builders(version.V12_0).Find("CreateLoad"); l == nil || len(l.Params) != 2 {
+		t.Fatalf("12.0 CreateLoad params = %v", l)
+	}
+}
+
+func TestVersionGatedAPIs(t *testing.T) {
+	if Builders(version.V3_6).Find("CreateFreeze") != nil {
+		t.Error("3.6 builders expose CreateFreeze")
+	}
+	if Builders(version.V12_0).Find("CreateFreeze") == nil {
+		t.Error("12.0 builders lack CreateFreeze")
+	}
+	hasKind := func(lib *Library, op ir.Opcode) bool {
+		for _, a := range lib.APIs {
+			if a.Kind == op {
+				return true
+			}
+		}
+		return false
+	}
+	if hasKind(Getters(version.V3_0), ir.AddrSpaceCast) {
+		t.Error("3.0 getters include addrspacecast")
+	}
+	if !hasKind(Getters(version.V3_6), ir.AddrSpaceCast) {
+		t.Error("3.6 getters lack addrspacecast")
+	}
+}
+
+// makeCtx builds an evaluation context over a scratch target function
+// with identity operand translation (suitable for src==tgt tests).
+func makeCtx(t *testing.T) (*Ctx, *ir.Function) {
+	t.Helper()
+	f := ir.NewFunction("scratch", ir.Func(ir.I32, nil, false), nil)
+	blk := f.AddBlock("entry")
+	n := 0
+	return &Ctx{
+		Emit: func(i *ir.Instruction) *ir.Instruction {
+			if i.HasResult() && i.Name == "" {
+				n++
+				i.Name = "t" + string(rune('0'+n))
+			}
+			return blk.Append(i)
+		},
+		XValue: func(v ir.Value) (ir.Value, error) { return v, nil },
+		XBlock: func(b *ir.Block) (*ir.Block, error) { return b, nil },
+		XType:  func(ty *ir.Type) (*ir.Type, error) { return ty, nil },
+		XFunc:  func(fn *ir.Function) (*ir.Function, error) { return fn, nil },
+	}, f
+}
+
+func TestGetterImplBehaviour(t *testing.T) {
+	lib := Getters(version.V12_0)
+	add := &ir.Instruction{Op: ir.Add, Typ: ir.I32,
+		Operands: []ir.Value{ir.ConstI32(1), ir.ConstI32(2)}}
+	lhs, err := findKind(lib, "GetLHS", ir.Add).Impl(nil, []any{add})
+	if err != nil || lhs.(*ir.ConstInt).V != 1 {
+		t.Fatalf("GetLHS = %v, %v", lhs, err)
+	}
+	// Domain error: GetCond on an unconditional branch.
+	blk := &ir.Block{Name: "b"}
+	br := &ir.Instruction{Op: ir.Br, Typ: ir.Void, Operands: []ir.Value{blk}}
+	if _, err := findKind(lib, "GetCond", ir.Br).Impl(nil, []any{br}); err == nil {
+		t.Error("GetCond accepted unconditional branch")
+	}
+	// Out-of-range GetOperand.
+	ret := &ir.Instruction{Op: ir.Ret, Typ: ir.Void}
+	if _, err := findKind(lib, "GetOperand", ir.Ret).Impl(nil, []any{ret, 0}); err == nil {
+		t.Error("GetOperand accepted out-of-range index")
+	}
+}
+
+func findKind(lib *Library, name string, op ir.Opcode) *API {
+	for _, a := range lib.APIs {
+		if a.Name == name && a.Kind == op {
+			return a
+		}
+	}
+	return nil
+}
+
+func TestBuilderAssertions(t *testing.T) {
+	ctx, _ := makeCtx(t)
+	b12 := Builders(version.V12_0)
+	// CreateCondBr rejects a non-i1 condition, as LLVM asserts.
+	blk := &ir.Block{Name: "x"}
+	if _, err := findKind(b12, "CreateCondBr", ir.Br).Impl(ctx,
+		[]any{ir.Value(ir.ConstI32(7)), blk, blk}); err == nil {
+		t.Error("CreateCondBr accepted i32 condition")
+	}
+	// Binary builders reject mismatched operand types.
+	if _, err := findKind(b12, "CreateAdd", ir.Add).Impl(ctx,
+		[]any{ir.Value(ir.ConstI32(1)), ir.Value(ir.ConstI64(1))}); err == nil {
+		t.Error("CreateAdd accepted mixed types")
+	}
+	// CreateLoad rejects a non-pointer address.
+	if _, err := findKind(b12, "CreateLoad", ir.Load).Impl(ctx,
+		[]any{ir.I32, ir.Value(ir.ConstI32(0))}); err == nil {
+		t.Error("CreateLoad accepted non-pointer")
+	}
+}
+
+func TestTermEvalBranch(t *testing.T) {
+	// Reconstruct the Fig. 4 conditional-branch translator as a term and
+	// evaluate it.
+	g := Getters(version.V12_0)
+	b := Builders(version.V12_0)
+	x := XlateAPIs()
+	findX := func(name string) *API {
+		for _, a := range x {
+			if a.Name == name {
+				return a
+			}
+		}
+		return nil
+	}
+	then := &ir.Block{Name: "then"}
+	els := &ir.Block{Name: "els"}
+	cond := ir.ConstBool(true)
+	br := &ir.Instruction{Op: ir.Br, Typ: ir.Void, Operands: []ir.Value{cond, then, els}}
+
+	int0 := g.Find("Int0")
+	int1 := g.Find("Int1")
+	getCond := findKind(g, "GetCond", ir.Br)
+	getBlock := findKind(g, "GetBlock", ir.Br)
+	xv := findX("TranslateValue")
+	xb := findX("TranslateBlock")
+	createCondBr := findKind(b, "CreateCondBr", ir.Br)
+
+	term := &Term{API: createCondBr, Args: []*Term{
+		{API: xv, Args: []*Term{{API: getCond, Args: []*Term{InputTerm}}}},
+		{API: xb, Args: []*Term{{API: getBlock, Args: []*Term{InputTerm, {API: int0}}}}},
+		{API: xb, Args: []*Term{{API: getBlock, Args: []*Term{InputTerm, {API: int1}}}}},
+	}}
+	ctx, _ := makeCtx(t)
+	out, err := term.Eval(ctx, br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ni := out.(*ir.Instruction)
+	if ni.Op != ir.Br || len(ni.Operands) != 3 || ni.Operands[1] != then || ni.Operands[2] != els {
+		t.Fatalf("translated branch wrong: %v", ni)
+	}
+	if got := term.Size(); got != 9 {
+		t.Errorf("Size = %d, want 9", got)
+	}
+	atomic := &Atomic{Kind: ir.Br, Root: term}
+	code := atomic.Render("TranslateBranch")
+	if !strings.Contains(code, "Builder.CreateCondBr(") ||
+		!strings.Contains(code, "inst.GetCond()") {
+		t.Errorf("render missing expected calls:\n%s", code)
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	preds := PredicatesByKind(version.V12_0)
+	br := &ir.Instruction{Op: ir.Br, Typ: ir.Void, Operands: []ir.Value{&ir.Block{Name: "d"}}}
+	if got := SigmaOf(preds, br); got != "IsConditional=false" {
+		t.Errorf("sigma(uncond br) = %q", got)
+	}
+	add := &ir.Instruction{Op: ir.Add, Typ: ir.I32,
+		Operands: []ir.Value{ir.ConstI32(1), ir.ConstI32(2)}}
+	if got := SigmaOf(preds, add); got != "true" {
+		t.Errorf("sigma(add) = %q", got)
+	}
+	ret := &ir.Instruction{Op: ir.Ret, Typ: ir.Void}
+	if got := SigmaOf(preds, ret); got != "IsVoidReturn=true" {
+		t.Errorf("sigma(ret void) = %q", got)
+	}
+}
+
+func TestXlateListTranslators(t *testing.T) {
+	ctx, _ := makeCtx(t)
+	var phl *API
+	for _, a := range XlateAPIs() {
+		if a.Name == "TranslatePhiList" {
+			phl = a
+		}
+	}
+	blk := &ir.Block{Name: "b"}
+	in := []PhiPair{{V: ir.ConstI32(1), B: blk}}
+	out, err := phl.Impl(ctx, []any{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.([]PhiPair)
+	if len(got) != 1 || got[0].B != blk {
+		t.Fatalf("TranslatePhiList = %v", got)
+	}
+}
+
+func TestAPIString(t *testing.T) {
+	a := Builders(version.V12_0).Find("CreateCondBr")
+	want := "CreateCondBr(Value_t, Block_t, Block_t) -> Inst:br_t"
+	if got := a.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,84 @@
+package irlib
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/version"
+)
+
+// Predicates returns the bool/enum getter predicates of version v — the
+// sub-kind alphabet Σ of Definition 3.1. The sub-kind profiler evaluates
+// every predicate of an instruction's kind and conjoins the results into
+// the σ& key used by refinement (Def. 4.3).
+func Predicates(v version.V) []Predicate {
+	boolStr := func(b bool) string {
+		if b {
+			return "true"
+		}
+		return "false"
+	}
+	preds := []Predicate{
+		{
+			Name: "IsConditional", Kind: ir.Br,
+			Eval: func(i *ir.Instruction) string { return boolStr(i.IsCondBr()) },
+		},
+		{
+			Name: "IsVoidReturn", Kind: ir.Ret,
+			Eval: func(i *ir.Instruction) string { return boolStr(len(i.Operands) == 0) },
+		},
+		{
+			Name: "IsArrayAlloca", Kind: ir.Alloca,
+			Eval: func(i *ir.Instruction) string { return boolStr(len(i.Operands) == 1) },
+		},
+		{
+			Name: "IsInBounds", Kind: ir.GetElementPtr,
+			Eval: func(i *ir.Instruction) string { return boolStr(i.Attrs.Inbounds) },
+		},
+		{
+			Name: "IsCleanup", Kind: ir.LandingPad,
+			Eval: func(i *ir.Instruction) string { return boolStr(i.Attrs.Cleanup) },
+		},
+		{
+			Name: "IsIndirectCall", Kind: ir.Call,
+			Eval: func(i *ir.Instruction) string { return boolStr(i.CalledFunction() == nil) },
+		},
+		{
+			Name: "IsVolatile", Kind: ir.Load,
+			Eval: func(i *ir.Instruction) string { return boolStr(i.Attrs.Volatile) },
+		},
+	}
+	if ir.AvailableIn(ir.CleanupRet, v) {
+		preds = append(preds, Predicate{
+			Name: "HasUnwindDest", Kind: ir.CleanupRet,
+			Eval: func(i *ir.Instruction) string { return boolStr(len(i.Operands) == 2) },
+		})
+	}
+	return preds
+}
+
+// PredicatesByKind indexes predicates by owning instruction kind.
+func PredicatesByKind(v version.V) map[ir.Opcode][]Predicate {
+	m := map[ir.Opcode][]Predicate{}
+	for _, p := range Predicates(v) {
+		m[p.Kind] = append(m[p.Kind], p)
+	}
+	return m
+}
+
+// SigmaOf evaluates the sub-kind profiler for one instruction: the
+// canonical conjunction σ& over all predicates of the instruction's kind
+// (Def. 4.3). Kinds without predicates profile as "true".
+func SigmaOf(preds map[ir.Opcode][]Predicate, inst *ir.Instruction) string {
+	ps := preds[inst.Op]
+	if len(ps) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = p.Name + "=" + p.Eval(inst)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "&")
+}

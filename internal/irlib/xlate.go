@@ -1,0 +1,125 @@
+package irlib
+
+import (
+	"repro/internal/ir"
+)
+
+// XlateAPIs returns the operand-translator interfaces exposed by the
+// translation skeleton (Alg. 1). They are the third material of Def. 3.1
+// alongside getters and builders: every cross-side edge of the IR type
+// graph goes through one of them.
+func XlateAPIs() []*API {
+	return []*API{
+		{
+			Name: "TranslateValue", Class: ClassXlate,
+			Params: []Tok{Src(TokValue)}, Ret: Tgt(TokValue),
+			Impl: func(c *Ctx, args []any) (any, error) {
+				return c.XValue(args[0].(ir.Value))
+			},
+		},
+		{
+			Name: "TranslateBlock", Class: ClassXlate,
+			Params: []Tok{Src(TokBlock)}, Ret: Tgt(TokBlock),
+			Impl: func(c *Ctx, args []any) (any, error) {
+				return c.XBlock(args[0].(*ir.Block))
+			},
+		},
+		{
+			Name: "TranslateType", Class: ClassXlate,
+			Params: []Tok{Src(TokType)}, Ret: Tgt(TokType),
+			Impl: func(c *Ctx, args []any) (any, error) {
+				return c.XType(args[0].(*ir.Type))
+			},
+		},
+		{
+			Name: "TranslateIPred", Class: ClassXlate,
+			Params: []Tok{Src(TokIPred)}, Ret: Tgt(TokIPred),
+			Impl: func(c *Ctx, args []any) (any, error) {
+				return args[0].(ir.IPred), nil
+			},
+		},
+		{
+			Name: "TranslateFPred", Class: ClassXlate,
+			Params: []Tok{Src(TokFPred)}, Ret: Tgt(TokFPred),
+			Impl: func(c *Ctx, args []any) (any, error) {
+				return args[0].(ir.FPred), nil
+			},
+		},
+		{
+			Name: "TranslateValueList", Class: ClassXlate,
+			Params: []Tok{Src(TokValueList)}, Ret: Tgt(TokValueList),
+			Impl: func(c *Ctx, args []any) (any, error) {
+				in := args[0].([]ir.Value)
+				out := make([]ir.Value, len(in))
+				for i, v := range in {
+					tv, err := c.XValue(v)
+					if err != nil {
+						return nil, err
+					}
+					out[i] = tv
+				}
+				return out, nil
+			},
+		},
+		{
+			Name: "TranslatePhiList", Class: ClassXlate,
+			Params: []Tok{Src(TokPhiList)}, Ret: Tgt(TokPhiList),
+			Impl: func(c *Ctx, args []any) (any, error) {
+				in := args[0].([]PhiPair)
+				out := make([]PhiPair, len(in))
+				for i, pp := range in {
+					tv, err := c.XValue(pp.V)
+					if err != nil {
+						return nil, err
+					}
+					tb, err := c.XBlock(pp.B)
+					if err != nil {
+						return nil, err
+					}
+					out[i] = PhiPair{V: tv, B: tb}
+				}
+				return out, nil
+			},
+		},
+		{
+			Name: "TranslateCaseList", Class: ClassXlate,
+			Params: []Tok{Src(TokCaseList)}, Ret: Tgt(TokCaseList),
+			Impl: func(c *Ctx, args []any) (any, error) {
+				in := args[0].([]CasePair)
+				out := make([]CasePair, len(in))
+				for i, cp := range in {
+					tv, err := c.XValue(cp.C)
+					if err != nil {
+						return nil, err
+					}
+					tc, ok := tv.(ir.Constant)
+					if !ok {
+						return nil, errf("TranslateCaseList: case value is not constant")
+					}
+					tb, err := c.XBlock(cp.B)
+					if err != nil {
+						return nil, err
+					}
+					out[i] = CasePair{C: tc, B: tb}
+				}
+				return out, nil
+			},
+		},
+		{
+			Name: "TranslateBlockList", Class: ClassXlate,
+			Params: []Tok{Src(TokBlockList)}, Ret: Tgt(TokBlockList),
+			Impl: func(c *Ctx, args []any) (any, error) {
+				in := args[0].([]*ir.Block)
+				out := make([]*ir.Block, len(in))
+				for i, b := range in {
+					tb, err := c.XBlock(b)
+					if err != nil {
+						return nil, err
+					}
+					out[i] = tb
+				}
+				return out, nil
+			},
+		},
+	}
+}

@@ -1,0 +1,166 @@
+package irtext
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF      tokKind = iota
+	tokWord             // identifiers and keywords: define, i32, add, x86_fp80...
+	tokLocal            // %name
+	tokGlobal           // @name
+	tokInt              // 42, -7
+	tokFloat            // 1.5, -2.25e3
+	tokString           // "..."
+	tokPunct            // ( ) [ ] { } < > * , = : ...
+	tokLabelDef         // name:
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "<eof>"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex tokenizes src; comments (';' to end of line) are dropped.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == ';':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '%' || c == '@':
+			j := i + 1
+			for j < n && isIdentChar(src[j]) {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("line %d: dangling %q", line, string(c))
+			}
+			kind := tokLocal
+			if c == '@' {
+				kind = tokGlobal
+			}
+			toks = append(toks, token{kind, src[i+1 : j], line})
+			i = j
+		case c == '"':
+			// Find the true closing quote, skipping escaped characters,
+			// then decode with strconv.Unquote — the exact inverse of the
+			// %q encoding the writer uses (\n, \", \\, \xNN, ...).
+			j := i + 1
+			for j < n && src[j] != '"' {
+				if src[j] == '\\' && j+1 < n {
+					j += 2
+					continue
+				}
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("line %d: unterminated string", line)
+			}
+			unq, err := strconv.Unquote(src[i : j+1])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad string literal: %v", line, err)
+			}
+			toks = append(toks, token{tokString, unq, line})
+			i = j + 1
+		case c == '-' || (c >= '0' && c <= '9'):
+			j := i
+			if c == '-' {
+				j++
+			}
+			start := j
+			for j < n && (src[j] >= '0' && src[j] <= '9') {
+				j++
+			}
+			if j == start {
+				return nil, fmt.Errorf("line %d: dangling '-'", line)
+			}
+			isFloat := false
+			if j < n && src[j] == '.' {
+				isFloat = true
+				j++
+				for j < n && (src[j] >= '0' && src[j] <= '9') {
+					j++
+				}
+			}
+			if j < n && (src[j] == 'e' || src[j] == 'E') {
+				isFloat = true
+				j++
+				if j < n && (src[j] == '+' || src[j] == '-') {
+					j++
+				}
+				for j < n && (src[j] >= '0' && src[j] <= '9') {
+					j++
+				}
+			}
+			kind := tokInt
+			if isFloat {
+				kind = tokFloat
+			}
+			toks = append(toks, token{kind, src[i:j], line})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentChar(src[j]) {
+				j++
+			}
+			word := src[i:j]
+			// "name:" at line start is a basic-block label definition.
+			if j < n && src[j] == ':' {
+				toks = append(toks, token{tokLabelDef, word, line})
+				i = j + 1
+				continue
+			}
+			// "..." appears in variadic signatures.
+			toks = append(toks, token{tokWord, word, line})
+			i = j
+		case c == '.':
+			if strings.HasPrefix(src[i:], "...") {
+				toks = append(toks, token{tokPunct, "...", line})
+				i += 3
+			} else {
+				return nil, fmt.Errorf("line %d: stray '.'", line)
+			}
+		case strings.ContainsRune("()[]{}<>*,=", rune(c)):
+			toks = append(toks, token{tokPunct, string(c), line})
+			i++
+		default:
+			return nil, fmt.Errorf("line %d: unexpected character %q", line, string(c))
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || r == '.'
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c == '.' || c == '-' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}

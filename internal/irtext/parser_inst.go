@@ -1,0 +1,914 @@
+package irtext
+
+import (
+	"repro/internal/ir"
+)
+
+// addOperand parses a value of type t and appends it to inst's operands,
+// recording a fixup when the value is a forward reference.
+func (p *parser) addOperand(inst *ir.Instruction, t *ir.Type) error {
+	line := p.peek().line
+	v, pending, err := p.value(t)
+	if err != nil {
+		return err
+	}
+	inst.Operands = append(inst.Operands, v)
+	if pending != "" {
+		p.fixups = append(p.fixups, fixup{inst, len(inst.Operands) - 1, pending, line})
+	}
+	return nil
+}
+
+// typedOperand parses "TYPE VALUE" and appends the value; returns the type.
+func (p *parser) typedOperand(inst *ir.Instruction) (*ir.Type, error) {
+	t, err := p.typ()
+	if err != nil {
+		return nil, err
+	}
+	return t, p.addOperand(inst, t)
+}
+
+// labelOperand parses "label %name" and appends the block.
+func (p *parser) labelOperand(inst *ir.Instruction) error {
+	if err := p.expect("label"); err != nil {
+		return err
+	}
+	if p.peek().kind != tokLocal {
+		return p.errf("expected block name, found %s", p.peek())
+	}
+	inst.Operands = append(inst.Operands, p.block(p.next().text))
+	return nil
+}
+
+// instruction parses one instruction line.
+func (p *parser) instruction() (*ir.Instruction, error) {
+	name := ""
+	if p.peek().kind == tokLocal {
+		name = p.next().text
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+	}
+	opTok := p.next()
+	if opTok.kind != tokWord {
+		return nil, p.errf("expected instruction mnemonic, found %s", opTok)
+	}
+	op, ok := ir.OpcodeByName(opTok.text)
+	if !ok {
+		return nil, p.errf("unknown instruction %q", opTok.text)
+	}
+	inst := &ir.Instruction{Op: op, Name: name, Typ: ir.Void}
+	var err error
+	switch {
+	case op == ir.Ret:
+		err = p.ret(inst)
+	case op == ir.Br:
+		err = p.br(inst)
+	case op == ir.Switch:
+		err = p.sw(inst)
+	case op == ir.IndirectBr:
+		err = p.indirectbr(inst)
+	case op == ir.Invoke:
+		err = p.invoke(inst)
+	case op == ir.Resume || op == ir.Freeze || op == ir.FNeg:
+		var t *ir.Type
+		t, err = p.typedOperand(inst)
+		if op != ir.Resume && err == nil {
+			inst.Typ = t
+		}
+	case op == ir.Unreachable:
+	case op.IsBinary():
+		err = p.binary(inst)
+	case op == ir.ExtractElement:
+		err = p.extractElement(inst)
+	case op == ir.InsertElement:
+		err = p.simple3(inst, func(t0, _, _ *ir.Type) *ir.Type { return t0 })
+	case op == ir.ShuffleVector:
+		err = p.simple3(inst, func(t0, _, t2 *ir.Type) *ir.Type { return ir.Vec(t2.Len, t0.Elem) })
+	case op == ir.ExtractValue:
+		err = p.extractValue(inst)
+	case op == ir.InsertValue:
+		err = p.insertValue(inst)
+	case op == ir.Alloca:
+		err = p.alloca(inst)
+	case op == ir.Load:
+		err = p.load(inst)
+	case op == ir.Store:
+		err = p.store(inst)
+	case op == ir.Fence:
+		inst.Attrs.Ordering = p.next().text
+	case op == ir.CmpXchg:
+		err = p.cmpxchg(inst)
+	case op == ir.AtomicRMW:
+		err = p.atomicrmw(inst)
+	case op == ir.GetElementPtr:
+		err = p.gep(inst)
+	case op.IsConversion():
+		err = p.conversion(inst)
+	case op == ir.ICmp:
+		err = p.icmp(inst)
+	case op == ir.FCmp:
+		err = p.fcmp(inst)
+	case op == ir.Phi:
+		err = p.phi(inst)
+	case op == ir.Select:
+		err = p.simple3(inst, func(_, t1, _ *ir.Type) *ir.Type { return t1 })
+	case op == ir.Call:
+		err = p.callLike(inst)
+	case op == ir.VAArg:
+		err = p.vaarg(inst)
+	case op == ir.LandingPad:
+		err = p.landingpad(inst)
+	case op == ir.CallBr:
+		err = p.callbr(inst)
+	case op == ir.CatchSwitch:
+		err = p.catchswitch(inst)
+	case op == ir.CatchPad || op == ir.CleanupPad:
+		err = p.pad(inst)
+	case op == ir.CatchRet:
+		err = p.catchret(inst)
+	case op == ir.CleanupRet:
+		err = p.cleanupret(inst)
+	default:
+		return nil, p.errf("instruction %q not supported by this reader", opTok.text)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if name != "" && inst.Typ.IsVoid() {
+		return nil, p.errf("instruction %s produces no value but is named %%%s", inst.Op, name)
+	}
+	return inst, nil
+}
+
+func (p *parser) ret(inst *ir.Instruction) error {
+	if p.accept("void") {
+		return nil
+	}
+	_, err := p.typedOperand(inst)
+	return err
+}
+
+func (p *parser) br(inst *ir.Instruction) error {
+	if p.accept("label") {
+		if p.peek().kind != tokLocal {
+			return p.errf("expected block name")
+		}
+		inst.Operands = append(inst.Operands, p.block(p.next().text))
+		return nil
+	}
+	if err := p.expect("i1"); err != nil {
+		return err
+	}
+	if err := p.addOperand(inst, ir.I1); err != nil {
+		return err
+	}
+	if err := p.expect(","); err != nil {
+		return err
+	}
+	if err := p.labelOperand(inst); err != nil {
+		return err
+	}
+	if err := p.expect(","); err != nil {
+		return err
+	}
+	return p.labelOperand(inst)
+}
+
+func (p *parser) sw(inst *ir.Instruction) error {
+	condTy, err := p.typedOperand(inst)
+	if err != nil {
+		return err
+	}
+	if err := p.expect(","); err != nil {
+		return err
+	}
+	if err := p.labelOperand(inst); err != nil {
+		return err
+	}
+	if err := p.expect("["); err != nil {
+		return err
+	}
+	for !p.accept("]") {
+		ct, err := p.typ()
+		if err != nil {
+			return err
+		}
+		_ = condTy
+		cv, err := p.constant(ct)
+		if err != nil {
+			return err
+		}
+		inst.Operands = append(inst.Operands, cv)
+		if err := p.expect(","); err != nil {
+			return err
+		}
+		if err := p.labelOperand(inst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) indirectbr(inst *ir.Instruction) error {
+	if _, err := p.typedOperand(inst); err != nil {
+		return err
+	}
+	if err := p.expect(","); err != nil {
+		return err
+	}
+	if err := p.expect("["); err != nil {
+		return err
+	}
+	first := true
+	for !p.accept("]") {
+		if !first {
+			if err := p.expect(","); err != nil {
+				return err
+			}
+		}
+		first = false
+		if err := p.labelOperand(inst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) binary(inst *ir.Instruction) error {
+	t, err := p.typedOperand(inst)
+	if err != nil {
+		return err
+	}
+	if err := p.expect(","); err != nil {
+		return err
+	}
+	if err := p.addOperand(inst, t); err != nil {
+		return err
+	}
+	inst.Typ = t
+	return nil
+}
+
+func (p *parser) extractElement(inst *ir.Instruction) error {
+	t, err := p.typedOperand(inst)
+	if err != nil {
+		return err
+	}
+	if err := p.expect(","); err != nil {
+		return err
+	}
+	if _, err := p.typedOperand(inst); err != nil {
+		return err
+	}
+	if t.Kind != ir.VectorKind {
+		return p.errf("extractelement on non-vector %s", t)
+	}
+	inst.Typ = t.Elem
+	return nil
+}
+
+// simple3 parses "T0 v0, T1 v1, T2 v2" and derives the result type.
+func (p *parser) simple3(inst *ir.Instruction, result func(t0, t1, t2 *ir.Type) *ir.Type) error {
+	t0, err := p.typedOperand(inst)
+	if err != nil {
+		return err
+	}
+	if err := p.expect(","); err != nil {
+		return err
+	}
+	t1, err := p.typedOperand(inst)
+	if err != nil {
+		return err
+	}
+	if err := p.expect(","); err != nil {
+		return err
+	}
+	t2, err := p.typedOperand(inst)
+	if err != nil {
+		return err
+	}
+	inst.Typ = result(t0, t1, t2)
+	return nil
+}
+
+func (p *parser) extractValue(inst *ir.Instruction) error {
+	t, err := p.typedOperand(inst)
+	if err != nil {
+		return err
+	}
+	for p.accept(",") {
+		n, err := p.intLit()
+		if err != nil {
+			return err
+		}
+		inst.Attrs.Indices = append(inst.Attrs.Indices, int(n))
+	}
+	rt, err := aggIndexType(t, inst.Attrs.Indices)
+	if err != nil {
+		return p.errf("extractvalue: %v", err)
+	}
+	inst.Typ = rt
+	return nil
+}
+
+func (p *parser) insertValue(inst *ir.Instruction) error {
+	t, err := p.typedOperand(inst)
+	if err != nil {
+		return err
+	}
+	if err := p.expect(","); err != nil {
+		return err
+	}
+	if _, err := p.typedOperand(inst); err != nil {
+		return err
+	}
+	for p.accept(",") {
+		n, err := p.intLit()
+		if err != nil {
+			return err
+		}
+		inst.Attrs.Indices = append(inst.Attrs.Indices, int(n))
+	}
+	inst.Typ = t
+	return nil
+}
+
+// aggIndexType walks an aggregate type by indices.
+func aggIndexType(t *ir.Type, indices []int) (*ir.Type, error) {
+	cur := t
+	for _, ix := range indices {
+		switch cur.Kind {
+		case ir.StructKind:
+			if ix < 0 || ix >= len(cur.Fields) {
+				return nil, errIndex(ix, cur)
+			}
+			cur = cur.Fields[ix]
+		case ir.ArrayKind:
+			if ix < 0 || ix >= cur.Len {
+				return nil, errIndex(ix, cur)
+			}
+			cur = cur.Elem
+		default:
+			return nil, errIndex(ix, cur)
+		}
+	}
+	return cur, nil
+}
+
+type indexError struct {
+	ix int
+	t  *ir.Type
+}
+
+func errIndex(ix int, t *ir.Type) error { return &indexError{ix, t} }
+func (e *indexError) Error() string {
+	return "index " + itoa(e.ix) + " invalid for " + e.t.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+func (p *parser) alloca(inst *ir.Instruction) error {
+	t, err := p.typ()
+	if err != nil {
+		return err
+	}
+	inst.Attrs.ElemTy = t
+	inst.Typ = ir.Ptr(t)
+	if p.accept(",") {
+		if _, err := p.typedOperand(inst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) load(inst *ir.Instruction) error {
+	if p.accept("volatile") {
+		inst.Attrs.Volatile = true
+	}
+	t, err := p.typ()
+	if err != nil {
+		return err
+	}
+	if p.feat.ExplicitLoadType {
+		if err := p.expect(","); err != nil {
+			return err
+		}
+		pt, err := p.typ()
+		if err != nil {
+			return err
+		}
+		if err := p.addOperand(inst, pt); err != nil {
+			return err
+		}
+		inst.Attrs.ElemTy = t
+		inst.Typ = t
+		return nil
+	}
+	// Legacy grammar: the single type is the pointer type.
+	if p.peekPunct(",") {
+		return p.errf("unexpected ',' after load type: new-format IR fed to a %s reader", p.ver)
+	}
+	if t.Kind != ir.PointerKind {
+		return p.errf("legacy load needs pointer type, found %s", t)
+	}
+	if err := p.addOperand(inst, t); err != nil {
+		return err
+	}
+	inst.Attrs.ElemTy = t.Elem
+	inst.Typ = t.Elem
+	return nil
+}
+
+func (p *parser) store(inst *ir.Instruction) error {
+	if p.accept("volatile") {
+		inst.Attrs.Volatile = true
+	}
+	if _, err := p.typedOperand(inst); err != nil {
+		return err
+	}
+	if err := p.expect(","); err != nil {
+		return err
+	}
+	_, err := p.typedOperand(inst)
+	return err
+}
+
+func (p *parser) cmpxchg(inst *ir.Instruction) error {
+	if _, err := p.typedOperand(inst); err != nil {
+		return err
+	}
+	if err := p.expect(","); err != nil {
+		return err
+	}
+	t, err := p.typedOperand(inst)
+	if err != nil {
+		return err
+	}
+	if err := p.expect(","); err != nil {
+		return err
+	}
+	if _, err := p.typedOperand(inst); err != nil {
+		return err
+	}
+	inst.Attrs.Ordering = p.next().text
+	inst.Typ = ir.Struct(t, ir.I1)
+	return nil
+}
+
+func (p *parser) atomicrmw(inst *ir.Instruction) error {
+	opTok := p.next()
+	if opTok.kind != tokWord {
+		return p.errf("expected atomicrmw operation")
+	}
+	inst.Attrs.RMW = ir.RMWOp(opTok.text)
+	if _, err := p.typedOperand(inst); err != nil {
+		return err
+	}
+	if err := p.expect(","); err != nil {
+		return err
+	}
+	t, err := p.typedOperand(inst)
+	if err != nil {
+		return err
+	}
+	inst.Attrs.Ordering = p.next().text
+	inst.Typ = t
+	return nil
+}
+
+func (p *parser) gep(inst *ir.Instruction) error {
+	if p.accept("inbounds") {
+		inst.Attrs.Inbounds = true
+	}
+	t, err := p.typ()
+	if err != nil {
+		return err
+	}
+	var elem *ir.Type
+	if p.feat.ExplicitLoadType {
+		if err := p.expect(","); err != nil {
+			return err
+		}
+		pt, err := p.typ()
+		if err != nil {
+			return err
+		}
+		if err := p.addOperand(inst, pt); err != nil {
+			return err
+		}
+		elem = t
+	} else {
+		if p.peekPunct(",") && t.Kind != ir.PointerKind {
+			return p.errf("unexpected ',' after getelementptr type: new-format IR fed to a %s reader", p.ver)
+		}
+		if t.Kind != ir.PointerKind {
+			return p.errf("legacy getelementptr needs pointer type, found %s", t)
+		}
+		if err := p.addOperand(inst, t); err != nil {
+			return err
+		}
+		elem = t.Elem
+	}
+	inst.Attrs.ElemTy = elem
+	var idxTypes []ir.Value
+	for p.accept(",") {
+		if _, err := p.typedOperand(inst); err != nil {
+			return err
+		}
+		idxTypes = append(idxTypes, inst.Operands[len(inst.Operands)-1])
+	}
+	inst.Typ = gepTextResult(elem, len(inst.Operands)-1, inst)
+	return nil
+}
+
+// gepTextResult recomputes the GEP result pointer type from the element
+// type and constant indices where available.
+func gepTextResult(elem *ir.Type, nIdx int, inst *ir.Instruction) *ir.Type {
+	cur := elem
+	for k := 2; k <= nIdx; k++ {
+		switch cur.Kind {
+		case ir.ArrayKind, ir.VectorKind:
+			cur = cur.Elem
+		case ir.StructKind:
+			ci, ok := inst.Operands[k].(*ir.ConstInt)
+			if !ok || int(ci.V) >= len(cur.Fields) {
+				return ir.Ptr(ir.I8)
+			}
+			cur = cur.Fields[ci.V]
+		default:
+			return ir.Ptr(cur)
+		}
+	}
+	return ir.Ptr(cur)
+}
+
+func (p *parser) conversion(inst *ir.Instruction) error {
+	if _, err := p.typedOperand(inst); err != nil {
+		return err
+	}
+	if err := p.expect("to"); err != nil {
+		return err
+	}
+	t, err := p.typ()
+	if err != nil {
+		return err
+	}
+	inst.Typ = t
+	return nil
+}
+
+func (p *parser) icmp(inst *ir.Instruction) error {
+	predTok := p.next()
+	pred, ok := ir.IPredByName(predTok.text)
+	if !ok {
+		return p.errf("unknown icmp predicate %q", predTok.text)
+	}
+	inst.Attrs.IPred = pred
+	if err := p.binary(inst); err != nil {
+		return err
+	}
+	inst.Typ = ir.I1
+	return nil
+}
+
+func (p *parser) fcmp(inst *ir.Instruction) error {
+	predTok := p.next()
+	pred, ok := ir.FPredByName(predTok.text)
+	if !ok {
+		return p.errf("unknown fcmp predicate %q", predTok.text)
+	}
+	inst.Attrs.FPred = pred
+	if err := p.binary(inst); err != nil {
+		return err
+	}
+	inst.Typ = ir.I1
+	return nil
+}
+
+func (p *parser) phi(inst *ir.Instruction) error {
+	t, err := p.typ()
+	if err != nil {
+		return err
+	}
+	inst.Typ = t
+	first := true
+	for {
+		if !first {
+			if !p.accept(",") {
+				return nil
+			}
+		}
+		first = false
+		if err := p.expect("["); err != nil {
+			return err
+		}
+		if err := p.addOperand(inst, t); err != nil {
+			return err
+		}
+		if err := p.expect(","); err != nil {
+			return err
+		}
+		if p.peek().kind != tokLocal {
+			return p.errf("expected incoming block")
+		}
+		inst.Operands = append(inst.Operands, p.block(p.next().text))
+		if err := p.expect("]"); err != nil {
+			return err
+		}
+	}
+}
+
+// callLike parses "RETTY CALLEE(args)"; invoke and callbr splice their
+// destination blocks into the operand list afterwards.
+func (p *parser) callLike(inst *ir.Instruction) error {
+	t, err := p.typ()
+	if err != nil {
+		return err
+	}
+	var sig *ir.Type
+	ret := t
+	if t.Kind == ir.FuncKind {
+		sig = t
+		ret = t.Ret
+	}
+	// Callee.
+	var callee ir.Value
+	var pending string
+	switch {
+	case p.peek().kind == tokGlobal:
+		gname := p.next().text
+		if f := p.m.Func(gname); f != nil {
+			callee = f
+			if sig == nil {
+				sig = f.Sig
+			}
+		} else if g := p.m.GlobalByName(gname); g != nil {
+			callee = g
+		} else {
+			return p.errf("call to undefined symbol @%s", gname)
+		}
+	case p.peek().kind == tokLocal:
+		lname := p.next().text
+		if v, ok := p.locals[lname]; ok {
+			callee = v
+		} else {
+			pending = lname
+		}
+	case p.accept("asm"):
+		if p.peek().kind != tokString {
+			return p.errf("expected asm string")
+		}
+		asmStr := p.next().text
+		if err := p.expect(","); err != nil {
+			return err
+		}
+		if p.peek().kind != tokString {
+			return p.errf("expected constraint string")
+		}
+		cons := p.next().text
+		callee = &ir.InlineAsm{Asm: asmStr, Constraints: cons}
+	default:
+		return p.errf("expected callee, found %s", p.peek())
+	}
+	inst.Operands = append(inst.Operands, callee)
+	if pending != "" {
+		p.fixups = append(p.fixups, fixup{inst, 0, pending, p.peek().line})
+	}
+	// Arguments.
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	var argTypes []*ir.Type
+	for !p.accept(")") {
+		if len(argTypes) > 0 {
+			if err := p.expect(","); err != nil {
+				return err
+			}
+		}
+		at, err := p.typedOperand(inst)
+		if err != nil {
+			return err
+		}
+		argTypes = append(argTypes, at)
+	}
+	if sig == nil {
+		sig = ir.Func(ret, argTypes, false)
+	}
+	if ia, ok := callee.(*ir.InlineAsm); ok {
+		ia.Typ = sig
+	}
+	inst.Attrs.CallTy = sig
+	inst.Typ = ret
+	return nil
+}
+
+func (p *parser) invoke(inst *ir.Instruction) error {
+	if err := p.callLike(inst); err != nil {
+		return err
+	}
+	// Move blocks into positions 1 and 2: parse them now and splice.
+	if err := p.expect("to"); err != nil {
+		return err
+	}
+	var blocks ir.Instruction
+	if err := p.labelOperand(&blocks); err != nil {
+		return err
+	}
+	if err := p.expect("unwind"); err != nil {
+		return err
+	}
+	if err := p.labelOperand(&blocks); err != nil {
+		return err
+	}
+	args := inst.Operands[1:]
+	inst.Operands = append([]ir.Value{inst.Operands[0], blocks.Operands[0], blocks.Operands[1]}, args...)
+	// Shift fixup indices for args that moved by two slots.
+	for k := range p.fixups {
+		if p.fixups[k].inst == inst && p.fixups[k].idx >= 1 {
+			p.fixups[k].idx += 2
+		}
+	}
+	return nil
+}
+
+func (p *parser) callbr(inst *ir.Instruction) error {
+	if err := p.callLike(inst); err != nil {
+		return err
+	}
+	if err := p.expect("to"); err != nil {
+		return err
+	}
+	var blocks ir.Instruction
+	if err := p.labelOperand(&blocks); err != nil {
+		return err
+	}
+	if err := p.expect("["); err != nil {
+		return err
+	}
+	first := true
+	for !p.accept("]") {
+		if !first {
+			if err := p.expect(","); err != nil {
+				return err
+			}
+		}
+		first = false
+		if err := p.labelOperand(&blocks); err != nil {
+			return err
+		}
+	}
+	nInd := len(blocks.Operands) - 1
+	args := inst.Operands[1:]
+	ops := []ir.Value{inst.Operands[0]}
+	ops = append(ops, blocks.Operands...)
+	ops = append(ops, args...)
+	inst.Operands = ops
+	inst.Attrs.NumIndire = nInd
+	for k := range p.fixups {
+		if p.fixups[k].inst == inst && p.fixups[k].idx >= 1 {
+			p.fixups[k].idx += 1 + nInd
+		}
+	}
+	return nil
+}
+
+func (p *parser) vaarg(inst *ir.Instruction) error {
+	if _, err := p.typedOperand(inst); err != nil {
+		return err
+	}
+	if err := p.expect(","); err != nil {
+		return err
+	}
+	t, err := p.typ()
+	if err != nil {
+		return err
+	}
+	inst.Typ = t
+	return nil
+}
+
+func (p *parser) landingpad(inst *ir.Instruction) error {
+	t, err := p.typ()
+	if err != nil {
+		return err
+	}
+	inst.Typ = t
+	if p.accept("cleanup") {
+		inst.Attrs.Cleanup = true
+	}
+	return nil
+}
+
+func (p *parser) catchswitch(inst *ir.Instruction) error {
+	if err := p.expect("within"); err != nil {
+		return err
+	}
+	if err := p.expect("none"); err != nil {
+		return err
+	}
+	if err := p.expect("["); err != nil {
+		return err
+	}
+	first := true
+	for !p.accept("]") {
+		if !first {
+			if err := p.expect(","); err != nil {
+				return err
+			}
+		}
+		first = false
+		if err := p.labelOperand(inst); err != nil {
+			return err
+		}
+	}
+	if err := p.expect("unwind"); err != nil {
+		return err
+	}
+	if err := p.expect("to"); err != nil {
+		return err
+	}
+	if err := p.expect("caller"); err != nil {
+		return err
+	}
+	inst.Typ = ir.Token
+	return nil
+}
+
+func (p *parser) pad(inst *ir.Instruction) error {
+	if err := p.expect("within"); err != nil {
+		return err
+	}
+	if !p.accept("none") {
+		if err := p.addOperand(inst, ir.Token); err != nil {
+			return err
+		}
+	} else if inst.Op == ir.CatchPad {
+		return p.errf("catchpad requires a catchswitch parent")
+	}
+	if err := p.expect("["); err != nil {
+		return err
+	}
+	for !p.accept("]") {
+		if len(inst.Operands) > 1 {
+			if err := p.expect(","); err != nil {
+				return err
+			}
+		}
+		if _, err := p.typedOperand(inst); err != nil {
+			return err
+		}
+	}
+	inst.Typ = ir.Token
+	return nil
+}
+
+func (p *parser) catchret(inst *ir.Instruction) error {
+	if err := p.expect("from"); err != nil {
+		return err
+	}
+	if err := p.addOperand(inst, ir.Token); err != nil {
+		return err
+	}
+	if err := p.expect("to"); err != nil {
+		return err
+	}
+	return p.labelOperand(inst)
+}
+
+func (p *parser) cleanupret(inst *ir.Instruction) error {
+	if err := p.expect("from"); err != nil {
+		return err
+	}
+	if err := p.addOperand(inst, ir.Token); err != nil {
+		return err
+	}
+	if err := p.expect("unwind"); err != nil {
+		return err
+	}
+	if p.accept("to") {
+		return p.expect("caller")
+	}
+	return p.labelOperand(inst)
+}

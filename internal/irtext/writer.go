@@ -1,0 +1,420 @@
+// Package irtext implements the versioned textual serialization of IR
+// modules — the "IR Writer" and "IR Reader" libraries of Table 2 in the
+// Siro paper.
+//
+// The textual grammar changes across versions exactly where LLVM's did,
+// reproducing the paper's text incompatibility (§3.1):
+//
+//   - before 3.7 loads and GEPs omit the explicit result/element type
+//     ("load i32* %p"); from 3.7 they require it ("load i32, i32* %p");
+//   - from 15.0 pointers are opaque and print as "ptr".
+//
+// A parser pinned to one version rejects files written by another, which
+// is what strands IR-based software behind the version trap.
+package irtext
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/version"
+)
+
+// Writer serializes modules using the grammar of a specific IR version.
+type Writer struct {
+	Ver  version.V
+	feat version.Features
+}
+
+// NewWriter returns a writer for IR version v.
+func NewWriter(v version.V) *Writer {
+	return &Writer{Ver: v, feat: version.FeaturesOf(v)}
+}
+
+// WriteModule renders m in the writer's version syntax. The module's own
+// version must match the writer's: serializing an in-memory 12.0 module
+// with a 3.6 writer is exactly the job of a translator, not of the writer.
+func (w *Writer) WriteModule(m *ir.Module) (string, error) {
+	if m.Ver != w.Ver {
+		return "", fmt.Errorf("irtext: module version %s does not match writer version %s", m.Ver, w.Ver)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "; ModuleID = '%s'\n", m.Name)
+	fmt.Fprintf(&b, "; IRVersion: %s\n\n", w.Ver)
+	for _, g := range m.Globals {
+		kind := "global"
+		if g.Const {
+			kind = "constant"
+		}
+		if g.Init != nil {
+			fmt.Fprintf(&b, "@%s = %s %s %s\n", g.Name, kind, w.typ(g.Content), w.constLit(g.Init))
+		} else {
+			fmt.Fprintf(&b, "@%s = external %s %s\n", g.Name, kind, w.typ(g.Content))
+		}
+	}
+	if len(m.Globals) > 0 {
+		b.WriteString("\n")
+	}
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			fmt.Fprintf(&b, "declare %s @%s(%s)\n\n", w.typ(f.Sig.Ret), f.Name, w.paramTypes(f.Sig))
+			continue
+		}
+		fmt.Fprintf(&b, "define %s @%s(%s) {\n", w.typ(f.Sig.Ret), f.Name, w.params(f))
+		for _, blk := range f.Blocks {
+			fmt.Fprintf(&b, "%s:\n", blk.Name)
+			for _, inst := range blk.Insts {
+				b.WriteString("  ")
+				b.WriteString(w.inst(inst))
+				b.WriteString("\n")
+			}
+		}
+		b.WriteString("}\n\n")
+	}
+	return b.String(), nil
+}
+
+// typ renders a type in the writer's version syntax.
+func (w *Writer) typ(t *ir.Type) string {
+	if t == nil {
+		return "void"
+	}
+	switch t.Kind {
+	case ir.PointerKind:
+		if w.feat.OpaquePointers {
+			if t.AddrSpace != 0 {
+				return fmt.Sprintf("ptr addrspace(%d)", t.AddrSpace)
+			}
+			return "ptr"
+		}
+		if t.AddrSpace != 0 {
+			return fmt.Sprintf("%s addrspace(%d)*", w.typ(t.Elem), t.AddrSpace)
+		}
+		return w.typ(t.Elem) + "*"
+	case ir.ArrayKind:
+		return fmt.Sprintf("[%d x %s]", t.Len, w.typ(t.Elem))
+	case ir.VectorKind:
+		return fmt.Sprintf("<%d x %s>", t.Len, w.typ(t.Elem))
+	case ir.StructKind:
+		parts := make([]string, len(t.Fields))
+		for i, f := range t.Fields {
+			parts[i] = w.typ(f)
+		}
+		return "{ " + strings.Join(parts, ", ") + " }"
+	case ir.FuncKind:
+		parts := make([]string, len(t.Params))
+		for i, p := range t.Params {
+			parts[i] = w.typ(p)
+		}
+		if t.Variadic {
+			parts = append(parts, "...")
+		}
+		return fmt.Sprintf("%s (%s)", w.typ(t.Ret), strings.Join(parts, ", "))
+	default:
+		return t.String()
+	}
+}
+
+func (w *Writer) params(f *ir.Function) string {
+	parts := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		parts[i] = w.typ(p.Typ) + " %" + p.Name
+	}
+	if f.Sig.Variadic {
+		parts = append(parts, "...")
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (w *Writer) paramTypes(sig *ir.Type) string {
+	parts := make([]string, len(sig.Params))
+	for i, p := range sig.Params {
+		parts[i] = w.typ(p)
+	}
+	if sig.Variadic {
+		parts = append(parts, "...")
+	}
+	return strings.Join(parts, ", ")
+}
+
+// val renders a value reference without its type.
+func (w *Writer) val(v ir.Value) string {
+	switch c := v.(type) {
+	case *ir.ConstArray, *ir.ConstStruct:
+		return w.constLit(c.(ir.Constant))
+	case ir.Constant:
+		return c.Ident()
+	case *ir.InlineAsm:
+		return fmt.Sprintf("asm %q, %q", c.Asm, c.Constraints)
+	default:
+		return v.Ident()
+	}
+}
+
+// tval renders "type value".
+func (w *Writer) tval(v ir.Value) string { return w.typ(v.Type()) + " " + w.val(v) }
+
+// constLit renders a constant literal with version-correct nested types.
+func (w *Writer) constLit(c ir.Constant) string {
+	switch k := c.(type) {
+	case *ir.ConstArray:
+		parts := make([]string, len(k.Elems))
+		for i, e := range k.Elems {
+			parts[i] = w.typ(e.Type()) + " " + w.constLit(e)
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case *ir.ConstStruct:
+		parts := make([]string, len(k.Elems))
+		for i, e := range k.Elems {
+			parts[i] = w.typ(e.Type()) + " " + w.constLit(e)
+		}
+		return "{ " + strings.Join(parts, ", ") + " }"
+	default:
+		return c.Ident()
+	}
+}
+
+// inst renders a single instruction in the writer's version grammar.
+func (w *Writer) inst(i *ir.Instruction) string {
+	var b strings.Builder
+	if i.HasResult() {
+		fmt.Fprintf(&b, "%%%s = ", i.Name)
+	}
+	op := i.Op
+	switch {
+	case op == ir.Ret:
+		if len(i.Operands) == 0 {
+			return b.String() + "ret void"
+		}
+		return b.String() + "ret " + w.tval(i.Operands[0])
+
+	case op == ir.Br:
+		if i.IsCondBr() {
+			return b.String() + fmt.Sprintf("br i1 %s, label %%%s, label %%%s",
+				w.val(i.Operands[0]), blockName(i.Operands[1]), blockName(i.Operands[2]))
+		}
+		return b.String() + "br label %" + blockName(i.Operands[0])
+
+	case op == ir.Switch:
+		var cases []string
+		for n := 0; n < i.NumCases(); n++ {
+			cv, cb := i.SwitchCase(n)
+			cases = append(cases, fmt.Sprintf("%s, label %%%s", w.tval(cv), cb.Name))
+		}
+		return b.String() + fmt.Sprintf("switch %s, label %%%s [ %s ]",
+			w.tval(i.Operands[0]), blockName(i.Operands[1]), strings.Join(cases, " "))
+
+	case op == ir.IndirectBr:
+		var dests []string
+		for _, d := range i.Operands[1:] {
+			dests = append(dests, "label %"+blockName(d))
+		}
+		return b.String() + fmt.Sprintf("indirectbr %s, [%s]", w.tval(i.Operands[0]), strings.Join(dests, ", "))
+
+	case op == ir.Invoke:
+		return b.String() + fmt.Sprintf("invoke %s to label %%%s unwind label %%%s",
+			w.callBody(i, i.Operands[0], i.CallArgs()),
+			blockName(i.Operands[1]), blockName(i.Operands[2]))
+
+	case op == ir.Resume:
+		return b.String() + "resume " + w.tval(i.Operands[0])
+
+	case op == ir.Unreachable:
+		return b.String() + "unreachable"
+
+	case op == ir.FNeg:
+		return b.String() + "fneg " + w.tval(i.Operands[0])
+
+	case op.IsBinary():
+		return b.String() + fmt.Sprintf("%s %s %s, %s", op, w.typ(i.Operands[0].Type()),
+			w.val(i.Operands[0]), w.val(i.Operands[1]))
+
+	case op == ir.ExtractElement:
+		return b.String() + fmt.Sprintf("extractelement %s, %s", w.tval(i.Operands[0]), w.tval(i.Operands[1]))
+
+	case op == ir.InsertElement:
+		return b.String() + fmt.Sprintf("insertelement %s, %s, %s",
+			w.tval(i.Operands[0]), w.tval(i.Operands[1]), w.tval(i.Operands[2]))
+
+	case op == ir.ShuffleVector:
+		return b.String() + fmt.Sprintf("shufflevector %s, %s, %s",
+			w.tval(i.Operands[0]), w.tval(i.Operands[1]), w.tval(i.Operands[2]))
+
+	case op == ir.ExtractValue:
+		return b.String() + fmt.Sprintf("extractvalue %s%s", w.tval(i.Operands[0]), idxSuffix(i.Attrs.Indices))
+
+	case op == ir.InsertValue:
+		return b.String() + fmt.Sprintf("insertvalue %s, %s%s",
+			w.tval(i.Operands[0]), w.tval(i.Operands[1]), idxSuffix(i.Attrs.Indices))
+
+	case op == ir.Alloca:
+		s := "alloca " + w.typ(i.Attrs.ElemTy)
+		if len(i.Operands) == 1 {
+			s += ", " + w.tval(i.Operands[0])
+		}
+		return b.String() + s
+
+	case op == ir.Load:
+		vol := ""
+		if i.Attrs.Volatile {
+			vol = "volatile "
+		}
+		if w.feat.ExplicitLoadType {
+			return b.String() + fmt.Sprintf("load %s%s, %s", vol, w.typ(i.Attrs.ElemTy), w.tval(i.Operands[0]))
+		}
+		return b.String() + fmt.Sprintf("load %s%s", vol, w.tval(i.Operands[0]))
+
+	case op == ir.Store:
+		vol := ""
+		if i.Attrs.Volatile {
+			vol = "volatile "
+		}
+		return b.String() + fmt.Sprintf("store %s%s, %s", vol, w.tval(i.Operands[0]), w.tval(i.Operands[1]))
+
+	case op == ir.Fence:
+		return b.String() + "fence " + orDefault(i.Attrs.Ordering, "seq_cst")
+
+	case op == ir.CmpXchg:
+		return b.String() + fmt.Sprintf("cmpxchg %s, %s, %s %s",
+			w.tval(i.Operands[0]), w.tval(i.Operands[1]), w.tval(i.Operands[2]),
+			orDefault(i.Attrs.Ordering, "seq_cst"))
+
+	case op == ir.AtomicRMW:
+		return b.String() + fmt.Sprintf("atomicrmw %s %s, %s %s",
+			i.Attrs.RMW, w.tval(i.Operands[0]), w.tval(i.Operands[1]),
+			orDefault(i.Attrs.Ordering, "seq_cst"))
+
+	case op == ir.GetElementPtr:
+		inb := ""
+		if i.Attrs.Inbounds {
+			inb = "inbounds "
+		}
+		var idxs []string
+		for _, ix := range i.Operands[1:] {
+			idxs = append(idxs, w.tval(ix))
+		}
+		rest := ""
+		if len(idxs) > 0 {
+			rest = ", " + strings.Join(idxs, ", ")
+		}
+		if w.feat.ExplicitLoadType {
+			return b.String() + fmt.Sprintf("getelementptr %s%s, %s%s",
+				inb, w.typ(i.Attrs.ElemTy), w.tval(i.Operands[0]), rest)
+		}
+		return b.String() + fmt.Sprintf("getelementptr %s%s%s", inb, w.tval(i.Operands[0]), rest)
+
+	case op.IsConversion():
+		return b.String() + fmt.Sprintf("%s %s to %s", op, w.tval(i.Operands[0]), w.typ(i.Typ))
+
+	case op == ir.ICmp:
+		return b.String() + fmt.Sprintf("icmp %s %s %s, %s", i.Attrs.IPred,
+			w.typ(i.Operands[0].Type()), w.val(i.Operands[0]), w.val(i.Operands[1]))
+
+	case op == ir.FCmp:
+		return b.String() + fmt.Sprintf("fcmp %s %s %s, %s", i.Attrs.FPred,
+			w.typ(i.Operands[0].Type()), w.val(i.Operands[0]), w.val(i.Operands[1]))
+
+	case op == ir.Phi:
+		var inc []string
+		for n := 0; n < i.NumIncoming(); n++ {
+			v, blk := i.PhiIncoming(n)
+			inc = append(inc, fmt.Sprintf("[ %s, %%%s ]", w.val(v), blk.Name))
+		}
+		return b.String() + fmt.Sprintf("phi %s %s", w.typ(i.Typ), strings.Join(inc, ", "))
+
+	case op == ir.Select:
+		return b.String() + fmt.Sprintf("select %s, %s, %s",
+			w.tval(i.Operands[0]), w.tval(i.Operands[1]), w.tval(i.Operands[2]))
+
+	case op == ir.Call:
+		return b.String() + "call " + w.callBody(i, i.Operands[0], i.CallArgs())
+
+	case op == ir.VAArg:
+		return b.String() + fmt.Sprintf("va_arg %s, %s", w.tval(i.Operands[0]), w.typ(i.Typ))
+
+	case op == ir.LandingPad:
+		s := "landingpad " + w.typ(i.Typ)
+		if i.Attrs.Cleanup {
+			s += " cleanup"
+		}
+		return b.String() + s
+
+	case op == ir.Freeze:
+		return b.String() + "freeze " + w.tval(i.Operands[0])
+
+	case op == ir.CallBr:
+		var ind []string
+		for _, d := range i.Operands[2 : 2+i.Attrs.NumIndire] {
+			ind = append(ind, "label %"+blockName(d))
+		}
+		return b.String() + fmt.Sprintf("callbr %s to label %%%s [%s]",
+			w.callBody(i, i.Operands[0], i.CallArgs()),
+			blockName(i.Operands[1]), strings.Join(ind, ", "))
+
+	case op == ir.CatchSwitch:
+		var hs []string
+		for _, h := range i.Operands {
+			hs = append(hs, "label %"+blockName(h))
+		}
+		return b.String() + fmt.Sprintf("catchswitch within none [%s] unwind to caller", strings.Join(hs, ", "))
+
+	case op == ir.CatchPad:
+		var args []string
+		for _, a := range i.Operands[1:] {
+			args = append(args, w.tval(a))
+		}
+		return b.String() + fmt.Sprintf("catchpad within %s [%s]", w.val(i.Operands[0]), strings.Join(args, ", "))
+
+	case op == ir.CleanupPad:
+		within := "none"
+		if len(i.Operands) > 0 {
+			within = w.val(i.Operands[0])
+		}
+		return b.String() + fmt.Sprintf("cleanuppad within %s []", within)
+
+	case op == ir.CatchRet:
+		return b.String() + fmt.Sprintf("catchret from %s to label %%%s",
+			w.val(i.Operands[0]), blockName(i.Operands[1]))
+
+	case op == ir.CleanupRet:
+		if len(i.Operands) == 2 {
+			return b.String() + fmt.Sprintf("cleanupret from %s unwind label %%%s",
+				w.val(i.Operands[0]), blockName(i.Operands[1]))
+		}
+		return b.String() + fmt.Sprintf("cleanupret from %s unwind to caller", w.val(i.Operands[0]))
+	}
+	return b.String() + i.String()
+}
+
+// callBody renders "RETTY CALLEE(ARGS)" shared by call/invoke/callbr.
+// Variadic callees print the full function type, as LLVM requires.
+func (w *Writer) callBody(i *ir.Instruction, callee ir.Value, args []ir.Value) string {
+	sig := i.Attrs.CallTy
+	retStr := w.typ(i.Typ)
+	if sig != nil && sig.Variadic {
+		retStr = w.typ(sig)
+	}
+	var parts []string
+	for _, a := range args {
+		parts = append(parts, w.tval(a))
+	}
+	return fmt.Sprintf("%s %s(%s)", retStr, w.val(callee), strings.Join(parts, ", "))
+}
+
+func idxSuffix(indices []int) string {
+	var b strings.Builder
+	for _, ix := range indices {
+		fmt.Fprintf(&b, ", %d", ix)
+	}
+	return b.String()
+}
+
+func blockName(v ir.Value) string { return v.(*ir.Block).Name }
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

@@ -1,0 +1,146 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NumDrivers is the size of the synthetic driver corpus.
+const NumDrivers = 40
+
+// SeededBugs is the ground-truth count of unknown bugs in the corpus —
+// the 80 new bugs of §6.3.
+const SeededBugs = 80
+
+// Driver is one synthetic kernel driver translation unit.
+type Driver struct {
+	Name   string
+	Source string
+}
+
+// GenerateDrivers builds the default corpus of NumDrivers drivers.
+func GenerateDrivers() []Driver { return GenerateDriversN(NumDrivers) }
+
+// GenerateDriversN builds a corpus of n drivers: every driver uses asm
+// goto (so old compilers reject it, as the real kernel does), carries two
+// seeded bugs from two API families, and also contains correctly-written
+// siblings of the same patterns.
+func GenerateDriversN(count int) []Driver {
+	var out []Driver
+	for n := 0; n < count; n++ {
+		famA := Families[n%len(Families)]
+		famB := Families[(n+1)%len(Families)]
+		var b strings.Builder
+		name := fmt.Sprintf("driver%02d", n)
+		fmt.Fprintf(&b, "// synthetic kernel driver %s\n", name)
+		b.WriteString(apiDecls())
+		// Kernel-style static-branch initialization: requires asm goto.
+		fmt.Fprintf(&b, `
+int %s_init() {
+  asm_goto("1: nop; .pushsection __jump_table");
+  return 0;
+}
+`, name)
+		b.WriteString(fixedFn(name, "a_ok", famA))
+		b.WriteString(buggyFn(name, "a_bug", famA))
+		b.WriteString(fixedFn(name, "b_ok", famB))
+		b.WriteString(buggyFn(name, "b_bug", famB))
+		// Unrelated clean helper.
+		fmt.Fprintf(&b, `
+int %s_status(int code) {
+  int level = 0;
+  if (code > 10) {
+    level = 2;
+  } else {
+    level = 1;
+  }
+  return level;
+}
+`, name)
+		out = append(out, Driver{Name: name, Source: b.String()})
+	}
+	return out
+}
+
+func apiDecls() string {
+	var b strings.Builder
+	for _, f := range Families {
+		fmt.Fprintf(&b, "char* %s(long n);\n", f.Acquire)
+		fmt.Fprintf(&b, "void %s(char* p);\n", f.Release)
+	}
+	b.WriteString("int io_check(int port);\n")
+	return b.String()
+}
+
+// fixedFn emits a correct use of the API family — the shape a security
+// patch produces.
+func fixedFn(driver, suffix string, fam APIFamily) string {
+	name := fmt.Sprintf("%s_%s_%s", driver, fam.Acquire, suffix)
+	if fam.Type == "NPD" {
+		return fmt.Sprintf(`
+int %s(int port) {
+  char* buf = %s(32);
+  if (buf == 0) {
+    return -1;
+  }
+  *buf = 1;
+  %s(buf);
+  return 0;
+}
+`, name, fam.Acquire, fam.Release)
+	}
+	return fmt.Sprintf(`
+int %s(int port) {
+  char* res = %s(16);
+  if (io_check(port) > 0) {
+    %s(res);
+    return -1;
+  }
+  %s(res);
+  return 0;
+}
+`, name, fam.Acquire, fam.Release, fam.Release)
+}
+
+// buggyFn emits the unpatched sibling: same API, same shape, with the
+// root-cause flaw the patch fixed elsewhere.
+func buggyFn(driver, suffix string, fam APIFamily) string {
+	name := fmt.Sprintf("%s_%s_%s", driver, fam.Acquire, suffix)
+	if fam.Type == "NPD" {
+		return fmt.Sprintf(`
+int %s(int port) {
+  char* buf = %s(32);
+  *buf = 1;
+  %s(buf);
+  return 0;
+}
+`, name, fam.Acquire, fam.Release)
+	}
+	return fmt.Sprintf(`
+int %s(int port) {
+  char* res = %s(16);
+  if (io_check(port) > 0) {
+    return -1;
+  }
+  %s(res);
+  return 0;
+}
+`, name, fam.Acquire, fam.Release)
+}
+
+// PatchDatabase returns the security patches the detector mines: one per
+// API family, pointing at fixed functions in the corpus.
+func PatchDatabase() []Patch {
+	var out []Patch
+	for i, fam := range Families {
+		driver := fmt.Sprintf("driver%02d", i)
+		out = append(out, Patch{
+			ID:     fmt.Sprintf("patch-%s", fam.Acquire),
+			Driver: driver,
+			Func:   fmt.Sprintf("%s_%s_a_ok", driver, fam.Acquire),
+			Family: fam,
+			Desc:   fmt.Sprintf("fix %s misuse of %s", fam.Type, fam.Acquire),
+		})
+	}
+	return out
+}

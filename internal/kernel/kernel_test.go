@@ -1,0 +1,104 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/corpus"
+	"repro/internal/ir"
+	"repro/internal/irtext"
+	"repro/internal/synth"
+	"repro/internal/translator"
+	"repro/internal/version"
+)
+
+func TestOldCompilerCannotBuildKernel(t *testing.T) {
+	d := GenerateDrivers()[0]
+	_, err := cc.NewCompiler(version.V3_6).Compile(d.Name, d.Source)
+	if err == nil || !strings.Contains(err.Error(), "asm goto") {
+		t.Fatalf("old compiler accepted kernel driver: %v", err)
+	}
+	if _, err := cc.NewCompiler(version.V14_0).Compile(d.Name, d.Source); err != nil {
+		t.Fatalf("modern compiler rejected driver: %v", err)
+	}
+}
+
+// TestKernelDeploymentEndToEnd runs the full §6.3 pipeline: modern
+// compile → 14.0→3.6 translation → 3.6 text serialization → 3.6 reader →
+// similarity detection, finding exactly the 80 seeded bugs.
+func TestKernelDeploymentEndToEnd(t *testing.T) {
+	s := synth.New(version.V14_0, version.V3_6, synth.Options{})
+	res, err := s.Run(corpus.Tests(version.V14_0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := translator.FromResult(res)
+
+	drivers := GenerateDrivers()
+	mods := map[string]*ir.Module{}
+	for _, d := range drivers {
+		m, err := cc.NewCompiler(version.V14_0).Compile(d.Name, d.Source)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", d.Name, err)
+		}
+		low, err := tr.Translate(m)
+		if err != nil {
+			t.Fatalf("%s: translate: %v", d.Name, err)
+		}
+		// Round-trip through the 3.6 text format: the detector is an
+		// IR-based software pinned to the 3.6 reader.
+		text, err := irtext.NewWriter(version.V3_6).WriteModule(low)
+		if err != nil {
+			t.Fatalf("%s: write: %v", d.Name, err)
+		}
+		reloaded, err := irtext.Parse(text, version.V3_6)
+		if err != nil {
+			t.Fatalf("%s: 3.6 reader rejected translated driver: %v", d.Name, err)
+		}
+		reloaded.Name = d.Name
+		mods[d.Name] = reloaded
+	}
+
+	findings := Detect(mods, PatchDatabase())
+	if len(findings) != SeededBugs {
+		for _, f := range findings {
+			t.Log(f)
+		}
+		t.Fatalf("findings = %d, want %d", len(findings), SeededBugs)
+	}
+	// Every finding must be in a _bug function, never in fixed code.
+	for _, f := range findings {
+		if !strings.Contains(f.Func, "_bug") {
+			t.Errorf("false positive in %s:%s", f.Driver, f.Func)
+		}
+	}
+	sum := Summarize(len(drivers), findings)
+	if sum.Confirmed != 80 || sum.Fixed != 56 {
+		t.Errorf("summary = confirmed %d fixed %d, want 80/56", sum.Confirmed, sum.Fixed)
+	}
+	if !strings.Contains(sum.FormatSummary(), "80") {
+		t.Error("summary rendering broken")
+	}
+}
+
+func TestPatchedSitesExcluded(t *testing.T) {
+	// The patched function itself must never be re-reported.
+	drivers := GenerateDrivers()
+	mods := map[string]*ir.Module{}
+	for _, d := range drivers[:4] {
+		m, err := cc.NewCompiler(version.V14_0).Compile(d.Name, d.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mods[d.Name] = m
+	}
+	findings := Detect(mods, PatchDatabase())
+	for _, f := range findings {
+		for _, p := range PatchDatabase() {
+			if f.Driver == p.Driver && f.Func == p.Func {
+				t.Errorf("patched site re-reported: %s", f)
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package portable is the version-agnostic IR front door the paper's §7
+// recommends IR-based software adopt (the ppxlib/MLIR suggestion): a
+// single entry point that accepts textual IR of *any* known version,
+// detects the version by trying the versioned readers, and normalizes
+// the module to the caller's pivot version through lazily synthesized
+// translators.
+//
+// A Hub owns a cache of translators keyed by version pair; the
+// translator for a pair is synthesized from the shared corpus on first
+// use and reused afterwards, so the cost of supporting a new IR version
+// is one synthesis run rather than a tool rewrite — the paper's central
+// economic argument, packaged as an API.
+package portable
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/corpus"
+	"repro/internal/ir"
+	"repro/internal/irtext"
+	"repro/internal/synth"
+	"repro/internal/translator"
+	"repro/internal/version"
+)
+
+// Hub normalizes modules of any supported version onto a pivot version.
+type Hub struct {
+	// Pivot is the version every Open result is normalized to.
+	Pivot version.V
+	// Versions lists the source versions the hub accepts; defaults to
+	// version.All.
+	Versions []version.V
+	// SynthOptions tunes translator synthesis.
+	SynthOptions synth.Options
+
+	mu          sync.Mutex
+	translators map[version.Pair]*translator.Translator
+}
+
+// NewHub returns a hub pivoted at v.
+func NewHub(v version.V) *Hub {
+	return &Hub{Pivot: v, translators: map[version.Pair]*translator.Translator{}}
+}
+
+// DetectVersion parses text with each known reader, newest first, and
+// returns the module plus the version whose reader accepted it.
+func (h *Hub) DetectVersion(text string) (*ir.Module, version.V, error) {
+	vers := h.Versions
+	if vers == nil {
+		vers = version.All
+	}
+	ordered := append([]version.V(nil), vers...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[j].Before(ordered[i]) })
+	var firstErr error
+	for _, v := range ordered {
+		m, err := irtext.Parse(text, v)
+		if err == nil {
+			return m, v, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, version.V{}, fmt.Errorf("portable: no known reader accepts the input (newest reader said: %w)", firstErr)
+}
+
+// Translator returns (synthesizing and caching on first use) the
+// translator for the pair.
+func (h *Hub) Translator(src version.V) (*translator.Translator, error) {
+	pair := version.Pair{Source: src, Target: h.Pivot}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if tr, ok := h.translators[pair]; ok {
+		return tr, nil
+	}
+	s := synth.New(pair.Source, pair.Target, h.SynthOptions)
+	res, err := s.Run(corpus.Tests(pair.Source))
+	if err != nil {
+		return nil, fmt.Errorf("portable: synthesizing %s: %w", pair, err)
+	}
+	tr := translator.FromResult(res)
+	h.translators[pair] = tr
+	return tr, nil
+}
+
+// Open accepts textual IR of any supported version and returns the
+// module normalized to the hub's pivot version, along with the detected
+// source version.
+func (h *Hub) Open(text string) (*ir.Module, version.V, error) {
+	m, v, err := h.DetectVersion(text)
+	if err != nil {
+		return nil, version.V{}, err
+	}
+	if v == h.Pivot {
+		return m, v, nil
+	}
+	tr, err := h.Translator(v)
+	if err != nil {
+		return nil, v, err
+	}
+	out, err := tr.Translate(m)
+	if err != nil {
+		return nil, v, fmt.Errorf("portable: normalizing %s input: %w", v, err)
+	}
+	return out, v, nil
+}
+
+// CachedPairs reports which translators the hub has synthesized so far.
+func (h *Hub) CachedPairs() []version.Pair {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]version.Pair, 0, len(h.translators))
+	for p := range h.translators {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}

@@ -1,0 +1,114 @@
+package portable
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/version"
+)
+
+const legacyText = `
+define i32 @main() {
+entry:
+  %p = alloca i32
+  store i32 5, i32* %p
+  %v = load i32* %p
+  ret i32 %v
+}
+`
+
+const modernText = `
+define i32 @main() {
+entry:
+  %p = alloca i32
+  store i32 6, i32* %p
+  %v = load i32, i32* %p
+  ret i32 %v
+}
+`
+
+const opaqueText = `
+define i32 @main() {
+entry:
+  %p = alloca i32
+  store i32 7, ptr %p
+  %v = load i32, ptr %p
+  ret i32 %v
+}
+`
+
+func TestDetectVersionFamilies(t *testing.T) {
+	h := NewHub(version.V3_6)
+	cases := []struct {
+		text string
+		feat func(version.V) bool
+	}{
+		{legacyText, func(v version.V) bool { return !version.FeaturesOf(v).ExplicitLoadType }},
+		{modernText, func(v version.V) bool {
+			f := version.FeaturesOf(v)
+			return f.ExplicitLoadType && !f.OpaquePointers
+		}},
+		{opaqueText, func(v version.V) bool { return version.FeaturesOf(v).OpaquePointers }},
+	}
+	for i, c := range cases {
+		_, v, err := h.DetectVersion(c.text)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !c.feat(v) {
+			t.Errorf("case %d detected %s, outside expected grammar family", i, v)
+		}
+	}
+	if _, _, err := h.DetectVersion("this is not IR"); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestOpenNormalizesAcrossFamilies(t *testing.T) {
+	h := NewHub(version.V3_6)
+	wants := map[string]int64{legacyText: 5, modernText: 6, opaqueText: 7}
+	for text, want := range wants {
+		m, src, err := h.Open(text)
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		if m.Ver != version.V3_6 {
+			t.Fatalf("normalized to %s, want 3.6 (detected %s)", m.Ver, src)
+		}
+		res, err := interp.Run(m, interp.Options{})
+		if err != nil || res.Ret != want {
+			t.Fatalf("ret = %d (%v), want %d", res.Ret, err, want)
+		}
+	}
+	// Pivot-version input skips translation entirely.
+	if pairs := h.CachedPairs(); len(pairs) != 2 {
+		t.Fatalf("cached pairs = %v, want 2 (modern + opaque families)", pairs)
+	}
+}
+
+func TestTranslatorCacheReused(t *testing.T) {
+	h := NewHub(version.V3_6)
+	if _, _, err := h.Open(modernText); err != nil {
+		t.Fatal(err)
+	}
+	before := len(h.CachedPairs())
+	if _, _, err := h.Open(strings.Replace(modernText, "i32 6", "i32 9", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.CachedPairs()) != before {
+		t.Fatal("second open re-synthesized the translator")
+	}
+}
+
+func TestHubWithRestrictedVersionSet(t *testing.T) {
+	h := NewHub(version.V3_6)
+	h.Versions = []version.V{version.V3_6, version.V12_0}
+	_, v, err := h.DetectVersion(modernText)
+	if err != nil || v != version.V12_0 {
+		t.Fatalf("detected %s (%v), want 12.0", v, err)
+	}
+	if _, _, err := h.DetectVersion(opaqueText); err == nil {
+		t.Fatal("opaque text accepted despite restricted version set")
+	}
+}

@@ -1,0 +1,270 @@
+// Package projects generates the synthetic open-source projects of the
+// Table 4 evaluation. The paper analyzed eight real projects
+// (libcapstone, tmux, libssh, ...) under two settings; since those code
+// bases are not available here, each project is synthesized in mini-C
+// with bug patterns seeded to reproduce the paper's per-project counts:
+//
+//   - "shared" bugs are plain patterns both compiler versions expose;
+//   - "new" bugs hide behind trivial wrappers that only the newer
+//     compiler inlines (so only the translating setting sees them);
+//   - "miss" bugs sit in if(0) dead code that only the older compiler
+//     keeps (so only the compiling setting sees them).
+//
+// The comparison pipeline itself is computed, not seeded: both settings
+// compile, the translating side additionally runs the synthesized
+// translator, the analyzer runs on both, and Compare produces the
+// new/miss/shared triples of Table 4.
+package projects
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Project is one synthetic code base.
+type Project struct {
+	Name   string
+	Source string
+	// Seeded is the ground-truth per-bug-type (new, miss, shared) count,
+	// mirroring a Table 4 row.
+	Seeded map[analysis.BugType]analysis.Cell
+}
+
+// Table4Projects generates the eight projects with the paper's counts.
+func Table4Projects() []Project {
+	rows := []struct {
+		name string
+		npd  analysis.Cell
+		uaf  analysis.Cell
+		fdl  analysis.Cell
+		ml   analysis.Cell
+	}{
+		{"libcapstone", analysis.Cell{New: 1, Miss: 0, Shared: 18}, analysis.Cell{}, analysis.Cell{}, analysis.Cell{}},
+		{"tmux", analysis.Cell{New: 2, Miss: 0, Shared: 85}, analysis.Cell{New: 0, Miss: 3, Shared: 14}, analysis.Cell{}, analysis.Cell{New: 9, Miss: 5, Shared: 105}},
+		{"libssh", analysis.Cell{New: 3, Miss: 0, Shared: 21}, analysis.Cell{}, analysis.Cell{}, analysis.Cell{New: 0, Miss: 0, Shared: 4}},
+		{"libuv", analysis.Cell{}, analysis.Cell{New: 0, Miss: 0, Shared: 2}, analysis.Cell{}, analysis.Cell{}},
+		{"pbzip", analysis.Cell{}, analysis.Cell{}, analysis.Cell{}, analysis.Cell{}},
+		{"libcjson", analysis.Cell{}, analysis.Cell{}, analysis.Cell{}, analysis.Cell{}},
+		{"http-parser", analysis.Cell{}, analysis.Cell{}, analysis.Cell{}, analysis.Cell{}},
+		{"pkg-config", analysis.Cell{New: 0, Miss: 0, Shared: 3}, analysis.Cell{}, analysis.Cell{New: 0, Miss: 0, Shared: 1}, analysis.Cell{}},
+	}
+	var out []Project
+	for _, r := range rows {
+		seeded := map[analysis.BugType]analysis.Cell{
+			analysis.NPD: r.npd, analysis.UAF: r.uaf, analysis.FDL: r.fdl, analysis.ML: r.ml,
+		}
+		out = append(out, Project{
+			Name:   r.name,
+			Source: generate(r.name, seeded),
+			Seeded: seeded,
+		})
+	}
+	return out
+}
+
+// generate writes the mini-C source of one project.
+func generate(name string, seeded map[analysis.BugType]analysis.Cell) string {
+	g := &gen{}
+	g.pf("// synthetic project %s (Table 4 workload)\n", name)
+	// Realistic filler: clean helper functions exercising loops, arrays,
+	// heap, and descriptors without bugs.
+	g.filler(name)
+	npd := seeded[analysis.NPD]
+	for i := 0; i < npd.Shared; i++ {
+		g.sharedNPD(i)
+	}
+	for i := 0; i < npd.New; i++ {
+		g.newNPD(i)
+	}
+	for i := 0; i < npd.Miss; i++ {
+		g.missNPD(i)
+	}
+	uaf := seeded[analysis.UAF]
+	for i := 0; i < uaf.Shared; i++ {
+		g.sharedUAF(i)
+	}
+	for i := 0; i < uaf.Miss; i++ {
+		g.missUAF(i)
+	}
+	ml := seeded[analysis.ML]
+	for i := 0; i < ml.Shared; i++ {
+		g.sharedML(i)
+	}
+	for i := 0; i < ml.New; i++ {
+		g.newML(i)
+	}
+	for i := 0; i < ml.Miss; i++ {
+		g.missML(i)
+	}
+	fdl := seeded[analysis.FDL]
+	for i := 0; i < fdl.Shared; i++ {
+		g.sharedFDL(i)
+	}
+	return g.b.String()
+}
+
+type gen struct {
+	b strings.Builder
+}
+
+func (g *gen) pf(format string, args ...any) {
+	fmt.Fprintf(&g.b, format, args...)
+}
+
+// filler emits bug-free functions so projects are not wall-to-wall bugs.
+func (g *gen) filler(name string) {
+	g.pf(`
+int util_sum(int n) {
+  int i;
+  int acc = 0;
+  for (i = 0; i < n; i = i + 1) {
+    acc = acc + i;
+  }
+  return acc;
+}
+
+int util_buf_ok(int n) {
+  int buf[16];
+  int i;
+  for (i = 0; i < 16; i = i + 1) {
+    buf[i] = i * 2;
+  }
+  return buf[3];
+}
+
+int util_heap_ok(int n) {
+  char* p = malloc(32);
+  *p = 1;
+  free(p);
+  return 0;
+}
+
+int util_fd_ok() {
+  int fd = open();
+  close(fd);
+  return 0;
+}
+`)
+}
+
+// sharedNPD: unguarded null dereference; both compiler versions expose it.
+func (g *gen) sharedNPD(i int) {
+	g.pf(`
+int npd_shared_%d(int c) {
+  int* p = 0;
+  int x = 5;
+  if (c > 3) {
+    p = &x;
+  }
+  return *p;
+}
+`, i)
+}
+
+// newNPD: null flows through a trivial wrapper; only inlining (new
+// compiler) exposes it to the intraprocedural analyzer.
+func (g *gen) newNPD(i int) {
+	g.pf(`
+int* npd_wrap_%d() { return 0; }
+
+int npd_new_%d() {
+  int* p = npd_wrap_%d();
+  *p = 1;
+  return 0;
+}
+`, i, i, i)
+}
+
+// missNPD: the bug sits in dead code that only old compilers keep.
+func (g *gen) missNPD(i int) {
+	g.pf(`
+int npd_miss_%d() {
+  if (0) {
+    int* p = 0;
+    *p = 1;
+  }
+  return 0;
+}
+`, i)
+}
+
+func (g *gen) sharedUAF(i int) {
+	g.pf(`
+int uaf_shared_%d() {
+  char* p = malloc(8);
+  *p = 1;
+  free(p);
+  return *p;
+}
+`, i)
+}
+
+func (g *gen) missUAF(i int) {
+	g.pf(`
+int uaf_miss_%d() {
+  if (0) {
+    char* q = malloc(8);
+    free(q);
+    *q = 1;
+  }
+  return 0;
+}
+`, i)
+}
+
+func (g *gen) sharedML(i int) {
+	g.pf(`
+int ml_shared_%d(int c) {
+  char* p = malloc(24);
+  if (c > 0) {
+    return 1;
+  }
+  free(p);
+  return 0;
+}
+`, i)
+}
+
+// newML: an identity wrapper looks like an ownership-transferring escape
+// to the analyzer; only inlining removes the call and exposes the leak.
+func (g *gen) newML(i int) {
+	g.pf(`
+long ml_id_%d(long x) { return x; }
+
+int ml_new_%d(int c) {
+  char* p = malloc(16);
+  ml_id_%d(p);
+  if (c > 0) {
+    free(p);
+  }
+  return 0;
+}
+`, i, i, i)
+}
+
+func (g *gen) missML(i int) {
+	g.pf(`
+int ml_miss_%d() {
+  if (0) {
+    char* m = malloc(8);
+    *m = 1;
+  }
+  return 0;
+}
+`, i)
+}
+
+func (g *gen) sharedFDL(i int) {
+	g.pf(`
+int fdl_shared_%d(int c) {
+  int fd = open();
+  if (c > 0) {
+    return -1;
+  }
+  close(fd);
+  return 0;
+}
+`, i)
+}

@@ -1,0 +1,78 @@
+package projects
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/cc"
+	"repro/internal/corpus"
+	"repro/internal/synth"
+	"repro/internal/translator"
+	"repro/internal/version"
+)
+
+func TestProjectsCompileAtBothVersions(t *testing.T) {
+	for _, p := range Table4Projects() {
+		for _, v := range []version.V{version.V3_6, version.V12_0} {
+			if _, err := cc.NewCompiler(v).Compile(p.Name, p.Source); err != nil {
+				t.Errorf("%s@%s: %v", p.Name, v, err)
+			}
+		}
+	}
+}
+
+// TestTable4EndToEnd runs the full two-setting pipeline of Table 4 and
+// checks the computed new/miss/shared triples equal the seeded ground
+// truth for every project and bug type.
+func TestTable4EndToEnd(t *testing.T) {
+	// Build the 12.0 → 3.6 translator once.
+	s := synth.New(version.V12_0, version.V3_6, synth.Options{})
+	res, err := s.Run(corpus.Tests(version.V12_0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := translator.FromResult(res)
+
+	totals := analysis.Cell{}
+	for _, p := range Table4Projects() {
+		// Setting A (compiling): old compiler directly.
+		oldMod, err := cc.NewCompiler(version.V3_6).Compile(p.Name, p.Source)
+		if err != nil {
+			t.Fatalf("%s compile@3.6: %v", p.Name, err)
+		}
+		compiling := analysis.Analyze(oldMod, p.Name)
+
+		// Setting B (translating): new compiler + synthesized translator.
+		newMod, err := cc.NewCompiler(version.V12_0).Compile(p.Name, p.Source)
+		if err != nil {
+			t.Fatalf("%s compile@12.0: %v", p.Name, err)
+		}
+		translated, err := tr.Translate(newMod)
+		if err != nil {
+			t.Fatalf("%s translate: %v", p.Name, err)
+		}
+		translating := analysis.Analyze(translated, p.Name)
+
+		cmp := analysis.Compare(translating, compiling)
+		byType := cmp.ByType()
+		for _, bt := range analysis.AllBugTypes {
+			got := byType[bt]
+			want := p.Seeded[bt]
+			if got != want {
+				t.Errorf("%s %s: got new/miss/shared = %d/%d/%d, want %d/%d/%d",
+					p.Name, bt, got.New, got.Miss, got.Shared, want.New, want.Miss, want.Shared)
+			}
+			totals.New += got.New
+			totals.Miss += got.Miss
+			totals.Shared += got.Shared
+		}
+	}
+	// Paper totals: 15 new, 8 miss, 253 shared → 91% overlap.
+	if totals.New != 15 || totals.Miss != 8 || totals.Shared != 253 {
+		t.Errorf("totals = %+v, want {15 8 253}", totals)
+	}
+	acc := float64(totals.Shared) / float64(totals.Shared+totals.New+totals.Miss)
+	if acc < 0.90 || acc > 0.93 {
+		t.Errorf("accuracy = %.3f, want ≈0.91", acc)
+	}
+}

@@ -1,0 +1,106 @@
+package skeleton
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/irlib"
+	"repro/internal/version"
+)
+
+// NewInstHandler returns the hand-written translator for a "new"
+// instruction op that exists in the source version but not in the target
+// (§3.3.2 of the paper), or nil if op needs no special handling. The two
+// principles applied are exactly the paper's:
+//
+//  1. Check necessity: the five Windows-EH instructions never execute on
+//     this target, so their blocks collapse to unreachable.
+//  2. Analysis-preserving translation: callbr becomes a plain call plus a
+//     switch that restores its control-flow edges; freeze forwards its
+//     operand (preserving data flow); addrspacecast lowers to bitcast
+//     (its pre-3.4 spelling).
+func NewInstHandler(op ir.Opcode, tgt version.V) InstFn {
+	if ir.AvailableIn(op, tgt) {
+		return nil
+	}
+	switch op {
+	case ir.Freeze:
+		return func(c *irlib.Ctx, inst *ir.Instruction) (ir.Value, error) {
+			return c.XValue(inst.Operands[0])
+		}
+
+	case ir.AddrSpaceCast:
+		return func(c *irlib.Ctx, inst *ir.Instruction) (ir.Value, error) {
+			v, err := c.XValue(inst.Operands[0])
+			if err != nil {
+				return nil, err
+			}
+			ty, err := c.XType(inst.Typ)
+			if err != nil {
+				return nil, err
+			}
+			return c.Emit(&ir.Instruction{Op: ir.BitCast, Typ: ty, Operands: []ir.Value{v}}), nil
+		}
+
+	case ir.CallBr:
+		return func(c *irlib.Ctx, inst *ir.Instruction) (ir.Value, error) {
+			callee, err := c.XValue(inst.Operands[0])
+			if err != nil {
+				return nil, err
+			}
+			var args []ir.Value
+			for _, a := range inst.CallArgs() {
+				ta, err := c.XValue(a)
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, ta)
+			}
+			sig := inst.Attrs.CallTy
+			ret := ir.Void
+			if sig != nil {
+				ret = sig.Ret
+			}
+			call := c.Emit(&ir.Instruction{Op: ir.Call, Typ: ret,
+				Operands: append([]ir.Value{callee}, args...), Attrs: ir.Attrs{CallTy: sig}})
+			// Restore the control flow with a constant switch: default
+			// edge to the fallthrough, one case per indirect target.
+			ft, err := c.XBlock(inst.Operands[1].(*ir.Block))
+			if err != nil {
+				return nil, err
+			}
+			ops := []ir.Value{ir.ConstI32(0), ft}
+			for k, d := range inst.Operands[2 : 2+inst.Attrs.NumIndire] {
+				db, err := c.XBlock(d.(*ir.Block))
+				if err != nil {
+					return nil, err
+				}
+				ops = append(ops, ir.ConstI32(int64(k+1)), db)
+			}
+			c.Emit(&ir.Instruction{Op: ir.Switch, Typ: ir.Void, Operands: ops})
+			if inst.HasResult() {
+				return call, nil
+			}
+			return nil, nil
+		}
+
+	case ir.CatchSwitch, ir.CatchRet, ir.CleanupRet:
+		return func(c *irlib.Ctx, inst *ir.Instruction) (ir.Value, error) {
+			c.Emit(&ir.Instruction{Op: ir.Unreachable, Typ: ir.Void})
+			if inst.HasResult() {
+				return &ir.ConstUndef{Typ: ir.Token}, nil
+			}
+			return nil, nil
+		}
+
+	case ir.CatchPad, ir.CleanupPad:
+		return func(c *irlib.Ctx, inst *ir.Instruction) (ir.Value, error) {
+			// Pads produce token values consumed only by EH terminators
+			// that are themselves dropped; map to undef without emitting.
+			return &ir.ConstUndef{Typ: ir.Token}, nil
+		}
+	}
+	return func(c *irlib.Ctx, inst *ir.Instruction) (ir.Value, error) {
+		return nil, fmt.Errorf("skeleton: no handler for new instruction %s at target %s", op, tgt)
+	}
+}

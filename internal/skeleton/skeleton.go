@@ -1,0 +1,358 @@
+// Package skeleton implements the version-agnostic IR translation
+// skeleton of Alg. 1 in the Siro paper.
+//
+// The skeleton divides and conquers the IR hierarchy: it translates
+// globals, then function shells, then per function every basic block and
+// instruction in order, following the "extract and reconstruct" principle
+// throughout. The one piece it does not know how to do — translating an
+// individual instruction — is delegated to an InstFn, which is either a
+// synthesized instruction translator (package synth), a per-test
+// translator during synthesis, or a hand-written new-instruction handler
+// (package skeleton's newinst.go).
+package skeleton
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/irlib"
+	"repro/internal/version"
+)
+
+// InstFn translates one source instruction in context, returning the
+// target value the source result maps to (nil for void instructions).
+// Handlers may emit any number of target instructions through the Ctx.
+type InstFn func(c *irlib.Ctx, inst *ir.Instruction) (ir.Value, error)
+
+// T is one translation run: source module in, target module out.
+type T struct {
+	Src    *ir.Module
+	TgtVer version.V
+	// Dispatch selects the InstFn for an instruction. It receives every
+	// instruction of the source module exactly once, in program order.
+	Dispatch func(inst *ir.Instruction) (InstFn, error)
+
+	tgt     *ir.Module
+	vmap    map[ir.Value]ir.Value
+	bmap    map[*ir.Block]*ir.Block
+	phs     map[ir.Value]*ir.Placeholder
+	cur     *ir.Block
+	tmpN    int
+	curFunc *ir.Function
+}
+
+// New prepares a translation of src to target version tgtVer.
+func New(src *ir.Module, tgtVer version.V, dispatch func(*ir.Instruction) (InstFn, error)) *T {
+	return &T{
+		Src:      src,
+		TgtVer:   tgtVer,
+		Dispatch: dispatch,
+		vmap:     map[ir.Value]ir.Value{},
+		bmap:     map[*ir.Block]*ir.Block{},
+		phs:      map[ir.Value]*ir.Placeholder{},
+	}
+}
+
+// Run executes Alg. 1 and returns the translated module.
+func (t *T) Run() (*ir.Module, error) {
+	t.tgt = ir.NewModule(t.Src.Name, t.TgtVer)
+	// Globals first (line 2 of Alg. 1).
+	for _, g := range t.Src.Globals {
+		ng, err := t.translateGlobal(g)
+		if err != nil {
+			return nil, err
+		}
+		t.tgt.AddGlobal(ng)
+		t.vmap[g] = ng
+	}
+	// Function shells next, so call operands resolve without
+	// placeholders across functions.
+	for _, f := range t.Src.Funcs {
+		sig, err := t.translateType(f.Sig)
+		if err != nil {
+			return nil, err
+		}
+		names := make([]string, len(f.Params))
+		for i, p := range f.Params {
+			names[i] = p.Name
+		}
+		nf := ir.NewFunction(f.Name, sig, names)
+		t.tgt.AddFunc(nf)
+		t.vmap[f] = nf
+		for i, p := range f.Params {
+			t.vmap[p] = nf.Params[i]
+		}
+	}
+	// Bodies (TranslateFunc / TranslateBlock of Alg. 1).
+	for _, f := range t.Src.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		if err := t.translateFunc(f); err != nil {
+			return nil, fmt.Errorf("skeleton: @%s: %w", f.Name, err)
+		}
+	}
+	return t.tgt, nil
+}
+
+func (t *T) translateGlobal(g *ir.Global) (*ir.Global, error) {
+	ct, err := t.translateType(g.Content)
+	if err != nil {
+		return nil, err
+	}
+	ng := &ir.Global{Name: g.Name, Content: ct, Const: g.Const}
+	if g.Init != nil {
+		iv, err := t.translateConstant(g.Init)
+		if err != nil {
+			return nil, err
+		}
+		ng.Init = iv
+	}
+	return ng, nil
+}
+
+func (t *T) translateFunc(f *ir.Function) error {
+	nf := t.vmap[f].(*ir.Function)
+	t.curFunc = nf
+	// Pre-create all blocks so branch targets resolve immediately.
+	for _, b := range f.Blocks {
+		nb := nf.AddBlock(b.Name)
+		t.bmap[b] = nb
+		t.vmap[b] = nb
+	}
+	ctx := t.Ctx()
+	for _, b := range f.Blocks {
+		t.cur = t.bmap[b]
+		for _, inst := range b.Insts {
+			fn, err := t.Dispatch(inst)
+			if err != nil {
+				return err
+			}
+			mark := len(t.cur.Insts)
+			res, err := fn(ctx, inst)
+			if err != nil {
+				return fmt.Errorf("block %%%s: %s: %w", b.Name, inst.Op, err)
+			}
+			for _, ni := range t.cur.Insts[mark:] {
+				if ni.Attrs.Line == 0 {
+					ni.Attrs.Line = inst.Attrs.Line // preserve debug info
+				}
+			}
+			if inst.HasResult() {
+				if res == nil {
+					return fmt.Errorf("block %%%s: translator for %s produced no value", b.Name, inst.Op)
+				}
+				if ni, ok := res.(*ir.Instruction); ok {
+					ni.Name = inst.Name
+					ni.Attrs.Line = inst.Attrs.Line // preserve debug info
+				}
+				t.vmap[inst] = res
+				if ph, ok := t.phs[inst]; ok {
+					ph.Resolved = res
+				}
+			}
+		}
+	}
+	if un := ir.ResolvePlaceholders(nf); len(un) > 0 {
+		return fmt.Errorf("%d unresolved value dependences (first: %s)", len(un), un[0].Key.Ident())
+	}
+	return nil
+}
+
+// Ctx returns the irlib evaluation context bound to this run: the Emit
+// hook plus the four operand-translator interfaces of Alg. 1.
+func (t *T) Ctx() *irlib.Ctx {
+	return &irlib.Ctx{
+		Emit:   t.emit,
+		XValue: t.translateValue,
+		XBlock: t.translateBlock,
+		XType:  t.translateType,
+		XFunc:  t.translateFunction,
+	}
+}
+
+// emit appends an instruction to the current target block, assigning a
+// collision-free temporary name to unnamed results (renamed to the source
+// name by translateFunc once the handler returns).
+func (t *T) emit(inst *ir.Instruction) *ir.Instruction {
+	if inst.HasResult() && inst.Name == "" {
+		t.tmpN++
+		inst.Name = fmt.Sprintf(".t%d", t.tmpN)
+	}
+	if t.cur == nil {
+		panic("skeleton: emit outside a block")
+	}
+	return t.cur.Append(inst)
+}
+
+// translateValue is the TranslateValue operand interface (TranslateArg
+// and constant translation of Alg. 1 fold into it).
+func (t *T) translateValue(v ir.Value) (ir.Value, error) {
+	if v == nil {
+		return nil, fmt.Errorf("skeleton: nil operand")
+	}
+	if mv, ok := t.vmap[v]; ok {
+		return mv, nil
+	}
+	switch c := v.(type) {
+	case ir.Constant:
+		return t.translateConstant(c)
+	case *ir.InlineAsm:
+		ty, err := t.translateType(c.Typ)
+		if err != nil {
+			return nil, err
+		}
+		na := &ir.InlineAsm{Typ: ty, Asm: c.Asm, Constraints: c.Constraints, BackendMin: c.BackendMin}
+		t.vmap[v] = na
+		return na, nil
+	case *ir.Instruction:
+		// Forward reference: hand out a placeholder (§5, "Handling IR
+		// Value Dependence").
+		if ph, ok := t.phs[v]; ok {
+			return ph, nil
+		}
+		ty, err := t.translateType(c.Type())
+		if err != nil {
+			return nil, err
+		}
+		ph := &ir.Placeholder{Typ: ty, Key: v}
+		t.phs[v] = ph
+		return ph, nil
+	case *ir.Block:
+		return t.translateBlock(c)
+	}
+	return nil, fmt.Errorf("skeleton: cannot translate value %s (%T)", v.Ident(), v)
+}
+
+// translateBlock is the TranslateBlock operand interface.
+func (t *T) translateBlock(b *ir.Block) (*ir.Block, error) {
+	nb, ok := t.bmap[b]
+	if !ok {
+		return nil, fmt.Errorf("skeleton: block %%%s not mapped", b.Name)
+	}
+	return nb, nil
+}
+
+// translateFunction is the TranslateFunction operand interface.
+func (t *T) translateFunction(f *ir.Function) (*ir.Function, error) {
+	nf, ok := t.vmap[f]
+	if !ok {
+		return nil, fmt.Errorf("skeleton: function @%s not mapped", f.Name)
+	}
+	return nf.(*ir.Function), nil
+}
+
+// translateType is the TranslateType operand interface. The in-memory
+// type structure is version-portable in this ecosystem (version
+// differences are textual and in the APIs), so extraction equals
+// reconstruction; the traversal is kept explicit to honour the principle
+// and to validate the type is legal at the target version.
+func (t *T) translateType(ty *ir.Type) (*ir.Type, error) {
+	if ty == nil {
+		return nil, fmt.Errorf("skeleton: nil type")
+	}
+	switch ty.Kind {
+	case ir.VoidKind, ir.IntKind, ir.FloatKind, ir.LabelKind, ir.TokenKind:
+		return ty, nil
+	case ir.PointerKind:
+		e, err := t.translateType(ty.Elem)
+		if err != nil {
+			return nil, err
+		}
+		if e == ty.Elem {
+			return ty, nil
+		}
+		return ir.PtrAS(e, ty.AddrSpace), nil
+	case ir.ArrayKind, ir.VectorKind:
+		e, err := t.translateType(ty.Elem)
+		if err != nil {
+			return nil, err
+		}
+		if e == ty.Elem {
+			return ty, nil
+		}
+		out := *ty
+		out.Elem = e
+		return &out, nil
+	case ir.StructKind:
+		out := *ty
+		out.Fields = make([]*ir.Type, len(ty.Fields))
+		same := true
+		for i, f := range ty.Fields {
+			nf, err := t.translateType(f)
+			if err != nil {
+				return nil, err
+			}
+			out.Fields[i] = nf
+			same = same && nf == f
+		}
+		if same {
+			return ty, nil
+		}
+		return &out, nil
+	case ir.FuncKind:
+		return ty, nil
+	}
+	return nil, fmt.Errorf("skeleton: unknown type kind %v", ty.Kind)
+}
+
+// translateConstant rebuilds a constant in the target version.
+func (t *T) translateConstant(c ir.Constant) (ir.Constant, error) {
+	switch k := c.(type) {
+	case *ir.ConstInt:
+		ty, err := t.translateType(k.Typ)
+		if err != nil {
+			return nil, err
+		}
+		return &ir.ConstInt{Typ: ty, V: k.V}, nil
+	case *ir.ConstFloat:
+		return &ir.ConstFloat{Typ: k.Typ, V: k.V}, nil
+	case *ir.ConstNull:
+		ty, err := t.translateType(k.Typ)
+		if err != nil {
+			return nil, err
+		}
+		return &ir.ConstNull{Typ: ty}, nil
+	case *ir.ConstUndef:
+		ty, err := t.translateType(k.Typ)
+		if err != nil {
+			return nil, err
+		}
+		return &ir.ConstUndef{Typ: ty}, nil
+	case *ir.ConstZero:
+		ty, err := t.translateType(k.Typ)
+		if err != nil {
+			return nil, err
+		}
+		return &ir.ConstZero{Typ: ty}, nil
+	case *ir.ConstArray:
+		ty, err := t.translateType(k.Typ)
+		if err != nil {
+			return nil, err
+		}
+		out := &ir.ConstArray{Typ: ty, Elems: make([]ir.Constant, len(k.Elems))}
+		for i, e := range k.Elems {
+			ne, err := t.translateConstant(e)
+			if err != nil {
+				return nil, err
+			}
+			out.Elems[i] = ne
+		}
+		return out, nil
+	case *ir.ConstStruct:
+		ty, err := t.translateType(k.Typ)
+		if err != nil {
+			return nil, err
+		}
+		out := &ir.ConstStruct{Typ: ty, Elems: make([]ir.Constant, len(k.Elems))}
+		for i, e := range k.Elems {
+			ne, err := t.translateConstant(e)
+			if err != nil {
+				return nil, err
+			}
+			out.Elems[i] = ne
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("skeleton: unknown constant %T", c)
+}

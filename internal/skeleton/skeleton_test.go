@@ -1,0 +1,263 @@
+package skeleton
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/irlib"
+	"repro/internal/irtext"
+	"repro/internal/version"
+)
+
+// identityDispatch rebuilds each instruction through the Ctx with
+// translated operands — a hand-written "correct" instruction translator
+// used to exercise the skeleton in isolation from synthesis.
+func identityDispatch(tgt version.V) func(*ir.Instruction) (InstFn, error) {
+	return func(inst *ir.Instruction) (InstFn, error) {
+		if h := NewInstHandler(inst.Op, tgt); h != nil {
+			return h, nil
+		}
+		return func(c *irlib.Ctx, i *ir.Instruction) (ir.Value, error) {
+			ops := make([]ir.Value, len(i.Operands))
+			for k, op := range i.Operands {
+				var err error
+				ops[k], err = c.XValue(op)
+				if err != nil {
+					return nil, err
+				}
+			}
+			ty, err := c.XType(i.Type())
+			if err != nil {
+				return nil, err
+			}
+			attrs := i.Attrs
+			ni := c.Emit(&ir.Instruction{Op: i.Op, Typ: ty, Operands: ops, Attrs: attrs})
+			if !i.HasResult() {
+				return nil, nil
+			}
+			return ni, nil
+		}, nil
+	}
+}
+
+func translate(t *testing.T, src string, from, to version.V) *ir.Module {
+	t.Helper()
+	m, err := irtext.Parse(src, from)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	out, err := New(m, to, identityDispatch(to)).Run()
+	if err != nil {
+		t.Fatalf("skeleton: %v", err)
+	}
+	if err := ir.Verify(out); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return out
+}
+
+func TestSkeletonPreservesSemantics(t *testing.T) {
+	src := `
+@g = global i32 5
+
+define i32 @helper(i32 %x) {
+entry:
+  %r = mul i32 %x, 3
+  ret i32 %r
+}
+
+define i32 @main() {
+entry:
+  %v = load i32, i32* @g
+  %h = call i32 @helper(i32 %v)
+  %c = icmp sgt i32 %h, 10
+  br i1 %c, label %big, label %small
+big:
+  ret i32 %h
+small:
+  ret i32 0
+}
+`
+	out := translate(t, src, version.V12_0, version.V3_6)
+	if out.Ver != version.V3_6 {
+		t.Fatalf("version = %s", out.Ver)
+	}
+	res, err := interp.Run(out, interp.Options{})
+	if err != nil || res.Ret != 15 {
+		t.Fatalf("translated program ret = %d (%v), want 15", res.Ret, err)
+	}
+	// Result names must be preserved for bug-report comparison.
+	if out.Func("main").Blocks[0].Insts[0].Name != "v" {
+		t.Error("SSA names not preserved")
+	}
+}
+
+func TestForwardReferencePlaceholders(t *testing.T) {
+	src := `
+define i32 @main() {
+entry:
+  br label %loop
+loop:
+  %x = phi i32 [ 0, %entry ], [ %y, %loop ]
+  %y = add i32 %x, 1
+  %c = icmp eq i32 %y, 4
+  br i1 %c, label %exit, label %loop
+exit:
+  ret i32 %y
+}
+`
+	out := translate(t, src, version.V12_0, version.V3_6)
+	res, err := interp.Run(out, interp.Options{})
+	if err != nil || res.Ret != 4 {
+		t.Fatalf("ret = %d (%v), want 4", res.Ret, err)
+	}
+	// No placeholders may remain.
+	for _, b := range out.Func("main").Blocks {
+		for _, i := range b.Insts {
+			for _, op := range i.Operands {
+				if _, ok := op.(*ir.Placeholder); ok {
+					t.Fatalf("unresolved placeholder in %s", i)
+				}
+			}
+		}
+	}
+}
+
+func TestFreezeLowersToOperand(t *testing.T) {
+	src := `
+define i32 @main() {
+entry:
+  %f = freeze i32 13
+  %r = add i32 %f, 1
+  ret i32 %r
+}
+`
+	out := translate(t, src, version.V12_0, version.V3_6)
+	text, err := irtext.NewWriter(version.V3_6).WriteModule(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(text, "freeze") {
+		t.Fatalf("freeze survived translation:\n%s", text)
+	}
+	res, _ := interp.Run(out, interp.Options{})
+	if res.Ret != 14 {
+		t.Fatalf("ret = %d, want 14", res.Ret)
+	}
+}
+
+func TestCallBrLowersToCallPlusSwitch(t *testing.T) {
+	src := `
+define i32 @main() {
+entry:
+  callbr void asm "jmp ${0:l}", "X"() to label %direct [label %other]
+direct:
+  ret i32 8
+other:
+  ret i32 9
+}
+`
+	out := translate(t, src, version.V12_0, version.V3_6)
+	entry := out.Func("main").Blocks[0]
+	if entry.Insts[0].Op != ir.Call {
+		t.Fatalf("first inst = %s, want call", entry.Insts[0].Op)
+	}
+	term := entry.Terminator()
+	if term.Op != ir.Switch {
+		t.Fatalf("terminator = %s, want switch", term.Op)
+	}
+	// Both control-flow edges must be preserved (analysis-preserving).
+	if len(entry.Succs()) != 2 {
+		t.Fatalf("successors = %d, want 2", len(entry.Succs()))
+	}
+	res, _ := interp.Run(out, interp.Options{})
+	if res.Ret != 8 {
+		t.Fatalf("ret = %d, want 8", res.Ret)
+	}
+}
+
+func TestAddrSpaceCastLowersToBitCast(t *testing.T) {
+	src := `
+define i32 @main() {
+entry:
+  %p = alloca i32
+  %q = addrspacecast i32* %p to i32 addrspace(1)*
+  store i32 7, i32 addrspace(1)* %q
+  %v = load i32 addrspace(1)* %q
+  ret i32 %v
+}
+`
+	out := translate(t, src, version.V3_6, version.V3_0)
+	var sawBitcast bool
+	for _, i := range out.Func("main").Blocks[0].Insts {
+		if i.Op == ir.AddrSpaceCast {
+			t.Fatal("addrspacecast survived translation to 3.0")
+		}
+		if i.Op == ir.BitCast {
+			sawBitcast = true
+		}
+	}
+	if !sawBitcast {
+		t.Fatal("no bitcast replacement emitted")
+	}
+	res, _ := interp.Run(out, interp.Options{})
+	if res.Ret != 7 {
+		t.Fatalf("ret = %d, want 7", res.Ret)
+	}
+}
+
+func TestWindowsEHDropped(t *testing.T) {
+	src := `
+define i32 @main() {
+entry:
+  br label %exit
+exit:
+  ret i32 42
+cs:
+  %cs1 = catchswitch within none [label %handler] unwind to caller
+handler:
+  %cp = catchpad within %cs1 [i32 1]
+  catchret from %cp to label %exit
+clean:
+  %cl = cleanuppad within none []
+  cleanupret from %cl unwind to caller
+}
+`
+	out := translate(t, src, version.V12_0, version.V3_6)
+	text, err := irtext.NewWriter(version.V3_6).WriteModule(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"catchswitch", "catchpad", "catchret", "cleanuppad", "cleanupret"} {
+		if strings.Contains(text, bad) {
+			t.Errorf("%s survived translation:\n%s", bad, text)
+		}
+	}
+	res, _ := interp.Run(out, interp.Options{})
+	if res.Ret != 42 {
+		t.Fatalf("ret = %d, want 42", res.Ret)
+	}
+}
+
+func TestDispatchErrorPropagates(t *testing.T) {
+	m, err := irtext.Parse("define i32 @main() {\nentry:\n  ret i32 1\n}\n", version.V12_0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(m, version.V3_6, func(inst *ir.Instruction) (InstFn, error) {
+		return func(c *irlib.Ctx, i *ir.Instruction) (ir.Value, error) {
+			return nil, irTestErr
+		}, nil
+	}).Run()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+var irTestErr = errBoom{}
+
+type errBoom struct{}
+
+func (errBoom) Error() string { return "boom" }

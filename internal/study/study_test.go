@@ -1,0 +1,97 @@
+package study
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTotalsMatchPaper(t *testing.T) {
+	text, api, insts := Totals()
+	// "the text and API dimensions involved approximately 25 KLOC and
+	// 31 KLOC code changes ... the semantic dimension witnessed the birth
+	// of 8 new instructions."
+	if text < 24000 || text > 26000 {
+		t.Errorf("text total = %d, want ≈25000", text)
+	}
+	if api < 30000 || api > 32000 {
+		t.Errorf("api total = %d, want ≈31000", api)
+	}
+	if insts != 8 {
+		t.Errorf("new instructions = %d, want 8", insts)
+	}
+}
+
+func TestTrendIsCumulativeTo100(t *testing.T) {
+	tr := Trend()
+	if len(tr) != len(StudyVersions) {
+		t.Fatalf("trend has %d points", len(tr))
+	}
+	last := tr[len(tr)-1]
+	for _, v := range []float64{last.Text, last.API, last.Semantic} {
+		if v < 99.9 || v > 100.1 {
+			t.Errorf("cumulative end = %f, want 100", v)
+		}
+	}
+	// Monotone non-decreasing.
+	for i := 1; i < len(tr); i++ {
+		if tr[i].Text < tr[i-1].Text || tr[i].API < tr[i-1].API || tr[i].Semantic < tr[i-1].Semantic {
+			t.Fatalf("trend not monotone at %s", tr[i].Label)
+		}
+	}
+}
+
+func TestGrowthPeriodsMatchPaper(t *testing.T) {
+	periods := GrowthPeriods()
+	if len(periods) != 2 {
+		t.Fatalf("periods = %v, want 2", periods)
+	}
+	// Period 1: 3.6–5 window; period 2: within 6–11.
+	if !strings.HasPrefix(periods[0], "3.6") {
+		t.Errorf("period 1 = %s, want start at 3.6", periods[0])
+	}
+	if periods[0] != "3.6-5" {
+		t.Errorf("period 1 = %s, want 3.6-5", periods[0])
+	}
+	if periods[1] != "6-11" {
+		t.Errorf("period 2 = %s, want 6-11", periods[1])
+	}
+}
+
+func TestSemanticDeltasFromOpcodeTable(t *testing.T) {
+	d := SemanticDeltas()
+	byLabel := map[string]int{}
+	for i, vp := range StudyVersions {
+		byLabel[vp.Label] = d[i]
+	}
+	if byLabel["3.4"] != 1 { // addrspacecast
+		t.Errorf("3.4 delta = %d", byLabel["3.4"])
+	}
+	if byLabel["3.8"] != 5 { // the Windows EH family
+		t.Errorf("3.8 delta = %d", byLabel["3.8"])
+	}
+	if byLabel["9"] != 1 || byLabel["10"] != 1 { // callbr, freeze
+		t.Errorf("9/10 deltas = %d/%d", byLabel["9"], byLabel["10"])
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	if len(Table1) != 4 {
+		t.Fatalf("Table1 rows = %d", len(Table1))
+	}
+	if Table1[0].Name != "KLEE" || Table1[0].Maintainers != 89 {
+		t.Errorf("KLEE row = %+v", Table1[0])
+	}
+	out := FormatTable1()
+	for _, want := range []string{"KLEE", "SeaHorn", "SVF", "IKOS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatTable1 missing %s", want)
+		}
+	}
+}
+
+func TestFormatTrend(t *testing.T) {
+	out := FormatTrend()
+	if !strings.Contains(out, "3.6") || !strings.Contains(out, "17") {
+		t.Error("trend rendering missing versions")
+	}
+}

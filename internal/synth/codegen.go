@@ -1,0 +1,95 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// RenderTranslator emits a completed instruction translator M_k as
+// C++-like source in the style of Fig. 4 of the paper: a dispatcher over
+// simplified predicate guards plus the selected atomic bodies.
+func (t *InstTranslator) Render() string {
+	var b strings.Builder
+	kind := t.Kind.String()
+	fmt.Fprintf(&b, "// instruction translator for %s (%d sub-kind(s))\n", kind, len(t.Cases))
+	name := func(i int) string { return fmt.Sprintf("Atomic_%s_%d", kind, t.Cases[i].Atomic.ID) }
+	if len(t.Cases) == 1 && len(t.Cases[0].Sigma) == 0 {
+		b.WriteString(t.Cases[0].Atomic.Render("Translate_" + kind))
+		return b.String()
+	}
+	fmt.Fprintf(&b, "Inst_t Translate_%s(Inst_s inst) {\n", kind)
+	for i, c := range t.Cases {
+		guards := make([]string, 0, len(c.Sigma))
+		for _, pn := range sortedKeys(c.Sigma) {
+			guards = append(guards, fmt.Sprintf("inst.%s() == %s", pn, c.Sigma[pn]))
+		}
+		cond := strings.Join(guards, " && ")
+		if cond == "" {
+			cond = "true"
+		}
+		fmt.Fprintf(&b, "  if (%s) return %s(inst);\n", cond, name(i))
+	}
+	b.WriteString("  report_unseen_subkind(\"" + kind + "\"); // prompt the user for a new test case\n}\n")
+	for i, c := range t.Cases {
+		b.WriteString(c.Atomic.Render(name(i)))
+	}
+	return b.String()
+}
+
+// RenderAll emits every completed instruction translator of a result, in
+// opcode order. Its line count is the "#Inst Trans (LOC)" column of
+// Table 3.
+func (r *Result) RenderAll() string {
+	var ops []ir.Opcode
+	for op := range r.Translators {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	var b strings.Builder
+	fmt.Fprintf(&b, "// IR translator %s: synthesized instruction translators\n", r.Pair)
+	for _, op := range ops {
+		b.WriteString(r.Translators[op].Render())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderCandidates emits every generated candidate atomic translator. Its
+// line count is the "#Atomic Trans (LOC)" column of Table 3.
+func (r *Result) RenderCandidates() string {
+	var ops []ir.Opcode
+	for op := range r.Candidates {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	var b strings.Builder
+	for _, op := range ops {
+		for _, a := range r.Candidates[op] {
+			b.WriteString(a.Render(fmt.Sprintf("Atomic_%s_%d", op, a.ID)))
+		}
+	}
+	return b.String()
+}
+
+// CountLOC counts non-blank lines, the measure used for Table 3.
+func CountLOC(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

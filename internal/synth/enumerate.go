@@ -1,0 +1,434 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/irlib"
+	"repro/internal/irtext"
+	"repro/internal/skeleton"
+)
+
+// box is one enumeration slot of a per-test translator (Alg. 3). With
+// Optimization I, all instructions of a test sharing (kind, σ&) share a
+// box; without it, every location is its own box.
+type box struct {
+	key     string
+	kind    ir.Opcode
+	sigma   string
+	entries []*profEntry
+	// classes groups the box's candidate pool into semantic-equivalence
+	// classes on this test's instructions (Optimization I); each class
+	// is validated through its first representative.
+	classes [][]*irlib.Atomic
+}
+
+// processTest runs steps ➋➌➍ of Alg. 2 on one test case.
+func (s *Synthesizer) processTest(t *TestCase) error {
+	// Sanity: the test itself must meet its oracle at the source version.
+	res, err := interp.Run(t.Module, interp.Options{})
+	if err != nil {
+		return fmt.Errorf("source execution failed: %w", err)
+	}
+	if res.Crashed() || res.Ret != t.Oracle {
+		return fmt.Errorf("source execution returned %d (crash=%q), oracle is %d",
+			res.Ret, res.Crash, t.Oracle)
+	}
+
+	prof := s.profile(t)
+
+	// ➋ Enumeration: build boxes.
+	start := time.Now()
+	boxes, err := s.buildBoxes(prof)
+	if err != nil {
+		return err
+	}
+	total := 1
+	for _, bx := range boxes {
+		total *= len(bx.classes)
+		if total > s.Opts.MaxPerTest {
+			return fmt.Errorf("per-test translator count exceeds %d (test too complex for current M*; add simpler tests first)", s.Opts.MaxPerTest)
+		}
+	}
+	s.stats.PerTestTotal += total
+	s.stats.EnumTime += time.Since(start)
+
+	// ➌ Validation: walk the assignment odometer. Validations are
+	// independent, so they parallelize across Options.Workers exactly as
+	// §5 of the paper parallelizes them across threads.
+	start = time.Now()
+	entryBox := map[*ir.Instruction]*box{}
+	for _, bx := range boxes {
+		for _, e := range bx.entries {
+			entryBox[e.Inst] = bx
+		}
+	}
+	winnerSets := map[*box]map[int]bool{}
+	for _, bx := range boxes {
+		winnerSets[bx] = map[int]bool{}
+	}
+	byInst := map[*ir.Instruction]*profEntry{}
+	for _, e := range prof {
+		byInst[e.Inst] = e
+	}
+	validateIdx := func(idx []int) valOutcome {
+		assign := map[*box]*irlib.Atomic{}
+		for i, bx := range boxes {
+			assign[bx] = bx.classes[idx[i]][0]
+		}
+		out := s.validateAssignment(t, byInst, entryBox, assign)
+		out.idx = idx
+		return out
+	}
+	outcomes := make([]valOutcome, 0, total)
+	if workers := s.Opts.Workers; workers > 1 {
+		jobs := make(chan []int, workers)
+		results := make(chan valOutcome, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for idx := range jobs {
+					results <- validateIdx(idx)
+				}
+			}()
+		}
+		go func() {
+			forEachAssignment(boxes, func(idx []int) {
+				cp := make([]int, len(idx))
+				copy(cp, idx)
+				jobs <- cp
+			})
+			close(jobs)
+			wg.Wait()
+			close(results)
+		}()
+		for out := range results {
+			outcomes = append(outcomes, out)
+		}
+	} else {
+		forEachAssignment(boxes, func(idx []int) {
+			cp := make([]int, len(idx))
+			copy(cp, idx)
+			outcomes = append(outcomes, validateIdx(cp))
+		})
+	}
+	anyWin := false
+	for _, out := range outcomes {
+		s.stats.Validations++
+		if out.executed {
+			s.stats.ExecRuns++
+			s.stats.ExecTime += out.execTime
+		}
+		if out.ok {
+			anyWin = true
+			for i, bx := range boxes {
+				winnerSets[bx][out.idx[i]] = true
+			}
+		}
+	}
+	s.stats.ValidateTime += time.Since(start)
+	if !anyWin && len(boxes) > 0 {
+		return fmt.Errorf("no per-test translator satisfied the oracle (%d tried)", total)
+	}
+
+	// ➍ Refinement (Alg. 4): intersect winning candidates into M*.
+	start = time.Now()
+	for _, bx := range boxes {
+		var won []*irlib.Atomic
+		for ci := range bx.classes {
+			if winnerSets[bx][ci] {
+				won = append(won, bx.classes[ci]...) // credit the whole class
+			}
+		}
+		s.refine(bx.kind, bx.sigma, won)
+	}
+	s.stats.RefineTime += time.Since(start)
+	return nil
+}
+
+// buildBoxes groups profile entries into enumeration boxes and attaches
+// candidate pools, applying Optimizations I and II.
+func (s *Synthesizer) buildBoxes(prof []*profEntry) ([]*box, error) {
+	byKey := map[string]*box{}
+	var order []string
+	for _, e := range prof {
+		if e.IsNew {
+			continue
+		}
+		key := e.Kind.String() + "|" + e.Sigma
+		if s.Opts.DisableEquivalence {
+			// Without Optimization I every location is its own box.
+			key = fmt.Sprintf("loc%d|%s", e.Loc, key)
+		}
+		bx, ok := byKey[key]
+		if !ok {
+			bx = &box{key: key, kind: e.Kind, sigma: e.Sigma}
+			byKey[key] = bx
+			order = append(order, key)
+		}
+		bx.entries = append(bx.entries, e)
+	}
+	sort.Strings(order)
+	var out []*box
+	for _, key := range order {
+		bx := byKey[key]
+		pool := s.candidates[bx.kind]
+		if !s.Opts.DisableMemoization {
+			if m, ok := s.mstar[bx.kind]; ok {
+				if refined, ok := m[bx.sigma]; ok {
+					pool = refined // Optimization II
+				}
+			}
+		}
+		if len(pool) == 0 {
+			return nil, fmt.Errorf("no candidates for instruction kind %s", bx.kind)
+		}
+		bx.classes = s.classify(bx, pool)
+		out = append(out, bx)
+	}
+	return out, nil
+}
+
+// classify groups a candidate pool into semantic-equivalence classes on
+// the box's first profiled instruction (the second half of
+// Optimization I: getter aliases like GetOperand(0)/GetLHS return the
+// same object, so candidates differing only in such getters have the same
+// effect and need one validation).
+func (s *Synthesizer) classify(bx *box, pool []*irlib.Atomic) [][]*irlib.Atomic {
+	if s.Opts.DisableEquivalence || len(bx.entries) == 0 {
+		out := make([][]*irlib.Atomic, len(pool))
+		for i, a := range pool {
+			out[i] = []*irlib.Atomic{a}
+		}
+		return out
+	}
+	inst := bx.entries[0].Inst
+	reg := &objReg{ids: map[any]int{}}
+	groups := map[string][]*irlib.Atomic{}
+	var order []string
+	for _, a := range pool {
+		k := semKey(a.Root, inst, reg)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], a)
+	}
+	sort.Strings(order)
+	out := make([][]*irlib.Atomic, 0, len(order))
+	for _, k := range order {
+		out = append(out, groups[k])
+	}
+	return out
+}
+
+// objReg assigns stable ids to runtime objects for semantic keying.
+type objReg struct {
+	ids  map[any]int
+	next int
+}
+
+func (r *objReg) id(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "nil"
+	case int:
+		return fmt.Sprintf("i%d", x)
+	case string:
+		return "s" + x
+	case ir.IPred:
+		return "ip" + x.String()
+	case ir.FPred:
+		return "fp" + x.String()
+	case ir.RMWOp:
+		return "rmw" + string(x)
+	case []int:
+		parts := make([]string, len(x))
+		for i, n := range x {
+			parts[i] = fmt.Sprintf("%d", n)
+		}
+		return "ix[" + strings.Join(parts, ",") + "]"
+	case []ir.Value:
+		parts := make([]string, len(x))
+		for i, v := range x {
+			parts[i] = r.id(v)
+		}
+		return "vl[" + strings.Join(parts, ",") + "]"
+	case []*ir.Block:
+		parts := make([]string, len(x))
+		for i, b := range x {
+			parts[i] = r.id(b)
+		}
+		return "bl[" + strings.Join(parts, ",") + "]"
+	case []irlib.PhiPair:
+		parts := make([]string, len(x))
+		for i, p := range x {
+			parts[i] = r.id(p.V) + "@" + r.id(p.B)
+		}
+		return "pl[" + strings.Join(parts, ",") + "]"
+	case []irlib.CasePair:
+		parts := make([]string, len(x))
+		for i, p := range x {
+			parts[i] = r.id(p.C) + "@" + r.id(p.B)
+		}
+		return "cl[" + strings.Join(parts, ",") + "]"
+	}
+	if n, ok := r.ids[v]; ok {
+		return fmt.Sprintf("o%d", n)
+	}
+	r.next++
+	r.ids[v] = r.next
+	return fmt.Sprintf("o%d", r.next)
+}
+
+// semKey renders the effect signature of a term on a concrete
+// instruction: source-side getters and constants are evaluated to object
+// identities; cross-side and builder nodes stay structural.
+func semKey(t *irlib.Term, inst *ir.Instruction, reg *objReg) string {
+	if t.IsInput() {
+		return "inst"
+	}
+	switch t.API.Class {
+	case irlib.ClassGetter, irlib.ClassConst:
+		v, err := t.Eval(nil, inst)
+		if err != nil {
+			return "err:" + t.Key()
+		}
+		return reg.id(v)
+	default:
+		parts := make([]string, len(t.Args))
+		for i, a := range t.Args {
+			parts[i] = semKey(a, inst, reg)
+		}
+		return t.API.Name + "(" + strings.Join(parts, ",") + ")"
+	}
+}
+
+// valOutcome is one validation result.
+type valOutcome struct {
+	idx      []int
+	ok       bool
+	executed bool
+	execTime time.Duration
+}
+
+// forEachAssignment walks the odometer over the boxes' class indices.
+func forEachAssignment(boxes []*box, visit func(idx []int)) {
+	idx := make([]int, len(boxes))
+	for {
+		visit(idx)
+		p := len(boxes) - 1
+		for p >= 0 {
+			idx[p]++
+			if idx[p] < len(boxes[p].classes) {
+				break
+			}
+			idx[p] = 0
+			p--
+		}
+		if p < 0 {
+			return
+		}
+	}
+}
+
+// validateAssignment performs one differential-testing validation
+// (Fig. 6): translate the whole test with the assigned atomics, verify
+// the result, execute it, and compare against the oracle. It touches no
+// synthesizer state, so it is safe to call concurrently.
+func (s *Synthesizer) validateAssignment(t *TestCase, byInst map[*ir.Instruction]*profEntry,
+	entryBox map[*ir.Instruction]*box, assign map[*box]*irlib.Atomic) valOutcome {
+
+	dispatch := func(inst *ir.Instruction) (skeleton.InstFn, error) {
+		e, ok := byInst[inst]
+		if !ok {
+			return nil, fmt.Errorf("synth: instruction not profiled")
+		}
+		if e.IsNew {
+			return skeleton.NewInstHandler(e.Kind, s.TgtVer), nil
+		}
+		atomic := assign[entryBox[inst]]
+		return func(c *irlib.Ctx, i *ir.Instruction) (ir.Value, error) {
+			out, err := atomic.Apply(c, i)
+			if err != nil {
+				return nil, err
+			}
+			if !i.HasResult() {
+				return nil, nil
+			}
+			return out, nil
+		}, nil
+	}
+
+	tr := skeleton.New(t.Module, s.TgtVer, dispatch)
+	tgtMod, err := tr.Run()
+	if err != nil {
+		return valOutcome{} // translation failure: early rejection
+	}
+	if err := ir.Verify(tgtMod); err != nil {
+		return valOutcome{} // verification failure
+	}
+	// "Compilation": serialize with the target-version writer and reload
+	// with the target-version reader, exactly what handing the file to a
+	// target-version toolchain would do.
+	text, err := irtext.NewWriter(s.TgtVer).WriteModule(tgtMod)
+	if err != nil {
+		return valOutcome{}
+	}
+	reloaded, err := irtext.Parse(text, s.TgtVer)
+	if err != nil {
+		return valOutcome{}
+	}
+	tgtMod = reloaded
+	execStart := time.Now()
+	res, err := interp.Run(tgtMod, interp.Options{})
+	out := valOutcome{executed: true, execTime: time.Since(execStart)}
+	if err != nil || res.Crashed() {
+		return out
+	}
+	out.ok = res.Ret == t.Oracle
+	return out
+}
+
+// refine implements Alg. 4 for one (kind, σ&) cell.
+func (s *Synthesizer) refine(kind ir.Opcode, sigma string, won []*irlib.Atomic) {
+	m, ok := s.mstar[kind]
+	if !ok {
+		m = map[string][]*irlib.Atomic{}
+		s.mstar[kind] = m
+	}
+	prev, seen := m[sigma]
+	if !seen {
+		m[sigma] = dedupe(won)
+		return
+	}
+	inWon := map[*irlib.Atomic]bool{}
+	for _, a := range won {
+		inWon[a] = true
+	}
+	var inter []*irlib.Atomic
+	for _, a := range prev {
+		if inWon[a] {
+			inter = append(inter, a)
+		}
+	}
+	m[sigma] = inter
+}
+
+func dedupe(as []*irlib.Atomic) []*irlib.Atomic {
+	seen := map[*irlib.Atomic]bool{}
+	var out []*irlib.Atomic
+	for _, a := range as {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package synth
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/irlib"
+	"repro/internal/typegraph"
+	"repro/internal/version"
+)
+
+// The persisted form of a synthesis result: enough to reconstruct the
+// completed instruction translators without re-running validation. The
+// atomic-translator bodies are stored as their structural keys and
+// re-materialized against a deterministic regeneration of the candidate
+// space, so the artifact stays small and version-checked — the deployed
+// translator the paper ships after the one-off synthesis run.
+
+type persistedCase struct {
+	Sigma   map[string]string `json:"sigma,omitempty"`
+	Covered []string          `json:"covered"`
+	Atomic  string            `json:"atomic"` // structural key
+}
+
+type persistedTranslator struct {
+	Kind  string          `json:"kind"`
+	Cases []persistedCase `json:"cases"`
+}
+
+type persisted struct {
+	Source      string                `json:"source"`
+	Target      string                `json:"target"`
+	Translators []persistedTranslator `json:"translators"`
+}
+
+// Export serializes the completed instruction translators of a result.
+func (r *Result) Export() ([]byte, error) {
+	out := persisted{Source: r.Pair.Source.String(), Target: r.Pair.Target.String()}
+	for _, op := range ir.OpcodesIn(r.Pair.Source) {
+		tr, ok := r.Translators[op]
+		if !ok {
+			continue
+		}
+		pt := persistedTranslator{Kind: op.String()}
+		for _, c := range tr.Cases {
+			pt.Cases = append(pt.Cases, persistedCase{
+				Sigma: c.Sigma, Covered: c.Covered, Atomic: c.Atomic.Key(),
+			})
+		}
+		out.Translators = append(out.Translators, pt)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// Import reconstructs a Result from an exported artifact. The candidate
+// space is regenerated deterministically for the recorded version pair
+// and the stored structural keys are resolved against it; a key that no
+// longer resolves (e.g. the API surface changed) is an error, which is
+// the desired staleness check.
+func Import(data []byte, opts Options) (*Result, error) {
+	var p persisted
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("synth: import: %w", err)
+	}
+	src, err := version.Parse(p.Source)
+	if err != nil {
+		return nil, fmt.Errorf("synth: import: bad source version: %w", err)
+	}
+	tgt, err := version.Parse(p.Target)
+	if err != nil {
+		return nil, fmt.Errorf("synth: import: bad target version: %w", err)
+	}
+	getters := irlib.Getters(src)
+	builders := irlib.Builders(tgt)
+	xlate := irlib.XlateAPIs()
+
+	res := &Result{
+		Pair:        version.Pair{Source: src, Target: tgt},
+		Candidates:  map[ir.Opcode][]*irlib.Atomic{},
+		Translators: map[ir.Opcode]*InstTranslator{},
+	}
+	for _, pt := range p.Translators {
+		op, ok := ir.OpcodeByName(pt.Kind)
+		if !ok {
+			return nil, fmt.Errorf("synth: import: unknown instruction kind %q", pt.Kind)
+		}
+		g := typegraph.Build(op, getters, builders, xlate)
+		cands := g.Candidates(opts.Gen)
+		typegraph.SortAtomics(cands)
+		res.Candidates[op] = cands
+		byKey := map[string]*irlib.Atomic{}
+		for _, a := range cands {
+			byKey[a.Key()] = a
+		}
+		tr := &InstTranslator{Kind: op}
+		for _, pc := range pt.Cases {
+			a, ok := byKey[pc.Atomic]
+			if !ok {
+				return nil, fmt.Errorf("synth: import: %s: atomic %q no longer exists in the %s API surface",
+					pt.Kind, pc.Atomic, version.Pair{Source: src, Target: tgt})
+			}
+			sigma := pc.Sigma
+			if sigma == nil {
+				sigma = map[string]string{}
+			}
+			tr.Cases = append(tr.Cases, Case{Sigma: sigma, Covered: pc.Covered, Atomic: a})
+		}
+		res.Translators[op] = tr
+	}
+	return res, nil
+}

@@ -1,0 +1,98 @@
+// Package translator assembles synthesis results into complete, reusable
+// IR translators: the translation skeleton (Alg. 1) filled with the
+// synthesized instruction translators plus the hand-written handlers for
+// new instructions (§3.3.2).
+package translator
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/irlib"
+	"repro/internal/irtext"
+	"repro/internal/skeleton"
+	"repro/internal/synth"
+	"repro/internal/version"
+)
+
+// Translator converts whole modules from its source version to its
+// target version. It is safe for sequential reuse across modules.
+type Translator struct {
+	Pair  version.Pair
+	res   *synth.Result
+	preds map[ir.Opcode][]irlib.Predicate
+}
+
+// UnseenSubKindError reports an instruction whose predicate combination
+// no test case covered; the fix is to add a test case (§4.3.5).
+type UnseenSubKindError struct {
+	Kind  ir.Opcode
+	Sigma string
+}
+
+func (e *UnseenSubKindError) Error() string {
+	return fmt.Sprintf("translator: unseen sub-kind %q of %s: add a covering test case and re-synthesize",
+		e.Sigma, e.Kind)
+}
+
+// FromResult wraps a completed synthesis result.
+func FromResult(res *synth.Result) *Translator {
+	return &Translator{
+		Pair:  res.Pair,
+		res:   res,
+		preds: irlib.PredicatesByKind(res.Pair.Source),
+	}
+}
+
+// Translate converts a source-version module into the target version.
+func (t *Translator) Translate(m *ir.Module) (*ir.Module, error) {
+	if m.Ver != t.Pair.Source {
+		return nil, fmt.Errorf("translator: module is version %s, translator expects %s", m.Ver, t.Pair.Source)
+	}
+	dispatch := func(inst *ir.Instruction) (skeleton.InstFn, error) {
+		if !ir.AvailableIn(inst.Op, t.Pair.Target) {
+			return skeleton.NewInstHandler(inst.Op, t.Pair.Target), nil
+		}
+		mk, ok := t.res.Translators[inst.Op]
+		if !ok {
+			return nil, fmt.Errorf("translator: no synthesized translator for %s (uncovered kind)", inst.Op)
+		}
+		sigma := irlib.SigmaOf(t.preds, inst)
+		atomic, ok := mk.Select(sigma)
+		if !ok {
+			return nil, &UnseenSubKindError{Kind: inst.Op, Sigma: sigma}
+		}
+		return func(c *irlib.Ctx, i *ir.Instruction) (ir.Value, error) {
+			out, err := atomic.Apply(c, i)
+			if err != nil {
+				return nil, err
+			}
+			if !i.HasResult() {
+				return nil, nil
+			}
+			return out, nil
+		}, nil
+	}
+	out, err := skeleton.New(m, t.Pair.Target, dispatch).Run()
+	if err != nil {
+		return nil, err
+	}
+	if err := ir.Verify(out); err != nil {
+		return nil, fmt.Errorf("translator: output failed verification: %w", err)
+	}
+	return out, nil
+}
+
+// TranslateText reads source-version IR text, translates it, and writes
+// target-version IR text — the full Fig. 2(c) pipeline.
+func (t *Translator) TranslateText(src string) (string, error) {
+	m, err := irtext.Parse(src, t.Pair.Source)
+	if err != nil {
+		return "", fmt.Errorf("translator: reading source IR: %w", err)
+	}
+	out, err := t.Translate(m)
+	if err != nil {
+		return "", err
+	}
+	return irtext.NewWriter(t.Pair.Target).WriteModule(out)
+}

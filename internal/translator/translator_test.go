@@ -1,0 +1,323 @@
+package translator
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/interp"
+	"repro/internal/irtext"
+	"repro/internal/synth"
+	"repro/internal/version"
+)
+
+// build synthesizes a translator for the pair using the full corpus.
+func build(t *testing.T, src, tgt version.V) *Translator {
+	t.Helper()
+	s := synth.New(src, tgt, synth.Options{})
+	res, err := s.Run(corpus.Tests(src))
+	if err != nil {
+		t.Fatalf("synthesis %s->%s: %v", src, tgt, err)
+	}
+	return FromResult(res)
+}
+
+func TestTranslateTextEndToEnd(t *testing.T) {
+	tr := build(t, version.V12_0, version.V3_6)
+	src := `
+define i32 @main() {
+entry:
+  %p = alloca i32
+  store i32 40, i32* %p
+  %v = load i32, i32* %p
+  %r = add i32 %v, 2
+  ret i32 %r
+}
+`
+	out, err := tr.TranslateText(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The output must be in legacy 3.6 load syntax.
+	if !strings.Contains(out, "load i32* %p") {
+		t.Fatalf("output not in 3.6 syntax:\n%s", out)
+	}
+	// And must parse under a 3.6 reader and run to the same result.
+	m, err := irtext.Parse(out, version.V3_6)
+	if err != nil {
+		t.Fatalf("3.6 reader rejected translated text: %v", err)
+	}
+	res, err := interp.Run(m, interp.Options{})
+	if err != nil || res.Ret != 42 {
+		t.Fatalf("ret = %d (%v), want 42", res.Ret, err)
+	}
+}
+
+func TestTranslateRejectsWrongSourceVersion(t *testing.T) {
+	tr := build(t, version.V12_0, version.V3_6)
+	m, err := irtext.Parse("define i32 @main() {\nentry:\n  ret i32 1\n}\n", version.V13_0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Translate(m); err == nil {
+		t.Fatal("accepted module of wrong source version")
+	}
+}
+
+func TestUpwardTranslation(t *testing.T) {
+	// Pair 10 of Table 3: 3.6 → 12.0, low to high.
+	tr := build(t, version.V3_6, version.V12_0)
+	src := `
+define i32 @main() {
+entry:
+  %p = alloca i32
+  store i32 9, i32* %p
+  %v = load i32* %p
+  ret i32 %v
+}
+`
+	out, err := tr.TranslateText(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "load i32, i32* %p") {
+		t.Fatalf("output not upgraded to modern syntax:\n%s", out)
+	}
+}
+
+func TestTranslatorSemanticPreservationAcrossCorpus(t *testing.T) {
+	// The synthesized translator must preserve every corpus oracle —
+	// including programs it was not trained on is covered elsewhere; here
+	// we assert the training corpus round-trips exactly.
+	for _, pair := range []version.Pair{
+		{Source: version.V12_0, Target: version.V3_6},
+		{Source: version.V17_0, Target: version.V12_0},
+	} {
+		tr := build(t, pair.Source, pair.Target)
+		for _, tcase := range corpus.Tests(pair.Source) {
+			out, err := tr.Translate(tcase.Module)
+			if err != nil {
+				t.Errorf("%s %s: %v", pair, tcase.Name, err)
+				continue
+			}
+			res, err := interp.Run(out, interp.Options{})
+			if err != nil || res.Crashed() || res.Ret != tcase.Oracle {
+				t.Errorf("%s %s: ret=%d crash=%q err=%v want %d",
+					pair, tcase.Name, res.Ret, res.Crash, err, tcase.Oracle)
+			}
+		}
+	}
+}
+
+func TestGeneralizationToUnseenPrograms(t *testing.T) {
+	tr := build(t, version.V12_0, version.V3_6)
+	programs := []struct {
+		src    string
+		oracle int64
+	}{
+		{`
+define i32 @gcd(i32 %a, i32 %b) {
+entry:
+  %z = icmp eq i32 %b, 0
+  br i1 %z, label %done, label %rec
+done:
+  ret i32 %a
+rec:
+  %m = srem i32 %a, %b
+  %r = call i32 @gcd(i32 %b, i32 %m)
+  ret i32 %r
+}
+
+define i32 @main() {
+entry:
+  %r = call i32 @gcd(i32 48, i32 36)
+  ret i32 %r
+}
+`, 12},
+		{`
+define i32 @main() {
+entry:
+  %buf = alloca [8 x i32]
+  br label %fill
+fill:
+  %i = phi i32 [ 0, %entry ], [ %inext, %fill ]
+  %p = getelementptr [8 x i32], [8 x i32]* %buf, i32 0, i32 %i
+  %sq = mul i32 %i, %i
+  store i32 %sq, i32* %p
+  %inext = add i32 %i, 1
+  %more = icmp slt i32 %inext, 8
+  br i1 %more, label %fill, label %sum
+sum:
+  %j = phi i32 [ 0, %fill ], [ %jnext, %sum ]
+  %acc = phi i32 [ 0, %fill ], [ %accnext, %sum ]
+  %q = getelementptr [8 x i32], [8 x i32]* %buf, i32 0, i32 %j
+  %v = load i32, i32* %q
+  %accnext = add i32 %acc, %v
+  %jnext = add i32 %j, 1
+  %fin = icmp slt i32 %jnext, 8
+  br i1 %fin, label %sum, label %exit
+exit:
+  ret i32 %accnext
+}
+`, 140},
+		{`
+declare i8* @malloc(i64)
+declare void @free(i8*)
+
+define i32 @main() {
+entry:
+  %raw = call i8* @malloc(i64 16)
+  %p = bitcast i8* %raw to i64*
+  store i64 1234, i64* %p
+  %v = load i64, i64* %p
+  %t = trunc i64 %v to i32
+  call void @free(i8* %raw)
+  ret i32 %t
+}
+`, 1234},
+	}
+	for i, prog := range programs {
+		out, err := tr.TranslateText(prog.src)
+		if err != nil {
+			t.Errorf("program %d: %v", i, err)
+			continue
+		}
+		m, err := irtext.Parse(out, version.V3_6)
+		if err != nil {
+			t.Errorf("program %d reparse: %v", i, err)
+			continue
+		}
+		res, err := interp.Run(m, interp.Options{})
+		if err != nil || res.Ret != prog.oracle {
+			t.Errorf("program %d: ret=%d err=%v, want %d", i, res.Ret, err, prog.oracle)
+		}
+	}
+}
+
+func TestUnseenSubKindSurfaced(t *testing.T) {
+	// Synthesize with a corpus that never contains an array alloca, then
+	// translate one: the §4.3.5 warning path must fire.
+	s := synth.New(version.V12_0, version.V3_6, synth.Options{})
+	var slim []*synth.TestCase
+	for _, tcase := range corpus.Tests(version.V12_0) {
+		if tcase.Name != "alloca_array_count" {
+			slim = append(slim, tcase)
+		}
+	}
+	res, err := s.Run(slim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := FromResult(res)
+	m, err := irtext.Parse(`
+define i32 @main() {
+entry:
+  %p = alloca i32, i32 4
+  store i32 5, i32* %p
+  %v = load i32, i32* %p
+  ret i32 %v
+}
+`, version.V12_0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = tr.Translate(m)
+	if err == nil {
+		t.Fatal("unseen sub-kind not reported")
+	}
+	var unseen *UnseenSubKindError
+	if !errorsAs(err, &unseen) {
+		t.Fatalf("error is %T: %v", err, err)
+	}
+}
+
+func errorsAs(err error, target **UnseenSubKindError) bool {
+	for err != nil {
+		if e, ok := err.(*UnseenSubKindError); ok {
+			*target = e
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// TestIdentityPairCoversFullOpcodeSurface synthesizes a 17.0→17.0
+// translator: every opcode (including callbr, freeze, and the Windows EH
+// family) is common there, so one run exercises the full getter/builder
+// API surface — and the resulting translator must preserve the whole
+// corpus.
+func TestIdentityPairCoversFullOpcodeSurface(t *testing.T) {
+	s := synth.New(version.V17_0, version.V17_0, synth.Options{})
+	res, err := s.Run(corpus.Tests(version.V17_0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Translators) != 65 {
+		t.Fatalf("translators = %d, want 65", len(res.Translators))
+	}
+	if len(res.Uncovered) != 0 {
+		t.Fatalf("uncovered: %v", res.Uncovered)
+	}
+	tr := FromResult(res)
+	for _, tcase := range corpus.Tests(version.V17_0) {
+		out, err := tr.Translate(tcase.Module)
+		if err != nil {
+			t.Errorf("%s: %v", tcase.Name, err)
+			continue
+		}
+		r, err := interp.Run(out, interp.Options{})
+		if err != nil || r.Ret != tcase.Oracle {
+			// EH-family test cases execute only their live path.
+			if r.Crashed() {
+				t.Errorf("%s: crash %q", tcase.Name, r.Crash)
+			} else if r.Ret != tcase.Oracle {
+				t.Errorf("%s: ret %d want %d (%v)", tcase.Name, r.Ret, tcase.Oracle, err)
+			}
+		}
+	}
+}
+
+// TestExportImportRoundTrip persists a synthesized result and rebuilds a
+// working translator from the artifact, the deployment path that avoids
+// re-running synthesis per invocation.
+func TestExportImportRoundTrip(t *testing.T) {
+	s := synth.New(version.V12_0, version.V3_6, synth.Options{})
+	res, err := s.Run(corpus.Tests(version.V12_0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := res.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := synth.Import(blob, synth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Translators) != len(res.Translators) {
+		t.Fatalf("translators = %d, want %d", len(loaded.Translators), len(res.Translators))
+	}
+	tr := FromResult(loaded)
+	for _, tcase := range corpus.Tests(version.V12_0) {
+		out, err := tr.Translate(tcase.Module)
+		if err != nil {
+			t.Fatalf("%s: %v", tcase.Name, err)
+		}
+		r, err := interp.Run(out, interp.Options{})
+		if err != nil || r.Crashed() || r.Ret != tcase.Oracle {
+			t.Fatalf("%s: ret=%d crash=%q (%v), want %d", tcase.Name, r.Ret, r.Crash, err, tcase.Oracle)
+		}
+	}
+	// Corrupted artifacts are rejected.
+	if _, err := synth.Import([]byte("{"), synth.Options{}); err == nil {
+		t.Error("corrupt artifact accepted")
+	}
+	if _, err := synth.Import([]byte(`{"source":"12.0","target":"3.6","translators":[{"kind":"add","cases":[{"covered":["true"],"atomic":"NoSuchThing(inst)"}]}]}`), synth.Options{}); err == nil {
+		t.Error("stale atomic key accepted")
+	}
+}

@@ -1,0 +1,148 @@
+// Package tvalid is a differential translation validator. §4.3.3 of the
+// paper discusses replacing test-based validation with translation
+// validation à la Alive2 and rejects it because such validators fall
+// into the version trap themselves; this package provides the practical
+// middle ground the paper's deployment relies on: bounded differential
+// co-execution of the source and translated modules over randomized
+// inputs, plus structural interface checks.
+//
+// It is deliberately version-agnostic — it compares observable behaviour
+// through the interpreter rather than reading either module with a
+// version-pinned library, so it cannot be trapped.
+package tvalid
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// Divergence is one observed behavioural difference.
+type Divergence struct {
+	Input []byte
+	Src   interp.Result
+	Tgt   interp.Result
+}
+
+func (d Divergence) String() string {
+	return fmt.Sprintf("input %v: source ret=%d crash=%q, translated ret=%d crash=%q",
+		d.Input, d.Src.Ret, d.Src.Crash, d.Tgt.Ret, d.Tgt.Crash)
+}
+
+// Report is the outcome of a validation run.
+type Report struct {
+	Trials      int
+	Divergences []Divergence
+	Structural  []string // interface differences (missing fns, arity changes)
+}
+
+// OK reports whether no behavioural or structural difference was found.
+func (r Report) OK() bool { return len(r.Divergences) == 0 && len(r.Structural) == 0 }
+
+func (r Report) String() string {
+	if r.OK() {
+		return fmt.Sprintf("tvalid: equivalent over %d trials", r.Trials)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "tvalid: %d divergence(s), %d structural issue(s) over %d trials\n",
+		len(r.Divergences), len(r.Structural), r.Trials)
+	for _, s := range r.Structural {
+		fmt.Fprintf(&b, "  structural: %s\n", s)
+	}
+	for i, d := range r.Divergences {
+		if i == 3 {
+			fmt.Fprintf(&b, "  ... and %d more\n", len(r.Divergences)-3)
+			break
+		}
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}
+
+// Options bounds a validation run.
+type Options struct {
+	// Trials is the number of random-input co-executions (default 32).
+	Trials int
+	// Seed makes input generation reproducible.
+	Seed int64
+	// MaxInput is the maximum input length in bytes (default 8).
+	MaxInput int
+	// StrictUB also counts undefined-behaviour divergences. Off by
+	// default: the freeze→operand rule (§3.3.2) legitimately converts
+	// defined executions into UB ones, and flagging those would reject
+	// analysis-preserving translators.
+	StrictUB bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Trials == 0 {
+		o.Trials = 32
+	}
+	if o.MaxInput == 0 {
+		o.MaxInput = 8
+	}
+	return o
+}
+
+// Validate co-executes src and tgt over randomized inputs and compares
+// observable outcomes.
+func Validate(src, tgt *ir.Module, opts Options) Report {
+	opts = opts.withDefaults()
+	rep := Report{Trials: opts.Trials}
+	rep.Structural = structuralDiff(src, tgt)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for trial := 0; trial < opts.Trials; trial++ {
+		input := make([]byte, rng.Intn(opts.MaxInput+1))
+		rng.Read(input)
+		if trial == 0 {
+			input = nil // always include the empty input
+		}
+		sRes, sErr := interp.Run(src, interp.Options{Input: input})
+		tRes, tErr := interp.Run(tgt, interp.Options{Input: input})
+		if sErr != nil || tErr != nil {
+			// Execution-infrastructure failures are structural issues,
+			// not behavioural divergences.
+			if (sErr == nil) != (tErr == nil) {
+				rep.Structural = append(rep.Structural,
+					fmt.Sprintf("execution failed on one side only (src: %v, tgt: %v)", sErr, tErr))
+			}
+			continue
+		}
+		if !opts.StrictUB && tRes.Crash == interp.CrashUB && !sRes.Crashed() {
+			continue // permitted by the analysis-preserving contract
+		}
+		if sRes.Ret != tRes.Ret || sRes.Crash != tRes.Crash {
+			rep.Divergences = append(rep.Divergences, Divergence{Input: input, Src: sRes, Tgt: tRes})
+		}
+	}
+	return rep
+}
+
+// structuralDiff checks the module interfaces: every source function and
+// global must survive translation with a compatible signature.
+func structuralDiff(src, tgt *ir.Module) []string {
+	var out []string
+	for _, f := range src.Funcs {
+		nf := tgt.Func(f.Name)
+		if nf == nil {
+			out = append(out, fmt.Sprintf("function @%s missing after translation", f.Name))
+			continue
+		}
+		if len(nf.Params) != len(f.Params) {
+			out = append(out, fmt.Sprintf("function @%s arity changed: %d -> %d",
+				f.Name, len(f.Params), len(nf.Params)))
+		}
+		if f.IsDecl() != nf.IsDecl() {
+			out = append(out, fmt.Sprintf("function @%s definedness changed", f.Name))
+		}
+	}
+	for _, g := range src.Globals {
+		if tgt.GlobalByName(g.Name) == nil {
+			out = append(out, fmt.Sprintf("global @%s missing after translation", g.Name))
+		}
+	}
+	return out
+}

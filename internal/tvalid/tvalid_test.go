@@ -1,0 +1,176 @@
+package tvalid
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/interp"
+	"repro/internal/irgen"
+	"repro/internal/irtext"
+	"repro/internal/synth"
+	"repro/internal/translator"
+	"repro/internal/version"
+)
+
+func buildTranslator(t *testing.T) *translator.Translator {
+	t.Helper()
+	s := synth.New(version.V12_0, version.V3_6, synth.Options{})
+	res, err := s.Run(corpus.Tests(version.V12_0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return translator.FromResult(res)
+}
+
+func TestCorrectTranslationValidates(t *testing.T) {
+	tr := buildTranslator(t)
+	for seed := int64(0); seed < 10; seed++ {
+		m := irgen.Generate(irgen.Config{Seed: seed, Ver: version.V12_0})
+		out, err := tr.Translate(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := Validate(m, out, Options{Trials: 8, Seed: seed})
+		if !rep.OK() {
+			t.Fatalf("seed %d: %s", seed, rep)
+		}
+	}
+}
+
+func TestWrongTranslationCaught(t *testing.T) {
+	src, err := irtext.Parse(`
+define i32 @main() {
+entry:
+  %r = sub i32 50, 8
+  ret i32 %r
+}
+`, version.V12_0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hand-made "translation" with swapped sub operands — the Fig. 9
+	// class of mistake.
+	bad, err := irtext.Parse(`
+define i32 @main() {
+entry:
+  %r = sub i32 8, 50
+  ret i32 %r
+}
+`, version.V3_6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Validate(src, bad, Options{Trials: 4})
+	if rep.OK() {
+		t.Fatal("swapped-operand translation validated")
+	}
+	if len(rep.Divergences) == 0 {
+		t.Fatal("no divergence recorded")
+	}
+	if !strings.Contains(rep.String(), "divergence") {
+		t.Error("report rendering broken")
+	}
+}
+
+func TestStructuralDiffCaught(t *testing.T) {
+	src, _ := irtext.Parse(`
+define i32 @helper(i32 %x) {
+entry:
+  ret i32 %x
+}
+
+define i32 @main() {
+entry:
+  ret i32 1
+}
+`, version.V12_0)
+	tgt, _ := irtext.Parse(`
+define i32 @main() {
+entry:
+  ret i32 1
+}
+`, version.V3_6)
+	rep := Validate(src, tgt, Options{Trials: 2})
+	if len(rep.Structural) == 0 {
+		t.Fatal("missing function not reported")
+	}
+}
+
+func TestUBRelaxationMatchesFreezeContract(t *testing.T) {
+	// A source whose behaviour is defined only thanks to freeze; the
+	// translated form is UB. Default options accept it (analysis
+	// preserving), StrictUB rejects it.
+	src, err := irtext.Parse(`
+define i32 @main() {
+entry:
+  %f = freeze i32 undef
+  %c = icmp eq i32 %f, 0
+  br i1 %c, label %a, label %b
+a:
+  ret i32 1
+b:
+  ret i32 2
+}
+`, version.V12_0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := irtext.Parse(`
+define i32 @main() {
+entry:
+  %c = icmp eq i32 undef, 0
+  br i1 %c, label %a, label %b
+a:
+  ret i32 1
+b:
+  ret i32 2
+}
+`, version.V3_6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the target really traps with UB.
+	r, err := interp.Run(tgt, interp.Options{})
+	if err != nil || r.Crash != interp.CrashUB {
+		t.Fatalf("target crash = %q (%v), want UB", r.Crash, err)
+	}
+	if rep := Validate(src, tgt, Options{Trials: 2}); !rep.OK() {
+		t.Fatalf("default options rejected the freeze contract: %s", rep)
+	}
+	if rep := Validate(src, tgt, Options{Trials: 2, StrictUB: true}); rep.OK() {
+		t.Fatal("StrictUB accepted a UB-introducing translation")
+	}
+}
+
+func TestInputSensitiveDivergence(t *testing.T) {
+	src, err := irtext.Parse(`
+declare i8 @siro.input(i32)
+
+define i32 @main() {
+entry:
+  %b = call i8 @siro.input(i32 0)
+  %w = zext i8 %b to i32
+  ret i32 %w
+}
+`, version.V12_0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Translation" that drops the input dependency.
+	tgt, err := irtext.Parse(`
+declare i8 @siro.input(i32)
+
+define i32 @main() {
+entry:
+  ret i32 0
+}
+`, version.V3_6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Validate(src, tgt, Options{Trials: 32, Seed: 3})
+	if rep.OK() {
+		t.Fatal("input-dependent divergence missed")
+	}
+}

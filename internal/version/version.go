@@ -1,0 +1,160 @@
+// Package version models the release history of the simulated compiler IR.
+//
+// A Version identifies one release of the IR ecosystem. Every other layer
+// of the system — the textual format, the in-memory instruction set, and
+// the getter/builder API surface — derives its behaviour from the feature
+// flags computed here, mirroring how Siro (ASPLOS'24) treats LLVM versions
+// 3.0 through 17.0.
+package version
+
+import (
+	"fmt"
+	"sort"
+)
+
+// V is a compiler IR version. The zero value is invalid.
+type V struct {
+	Major int
+	Minor int
+}
+
+// Known release points referenced throughout the repository. They match
+// the version pairs in Table 3 of the paper plus the intermediate releases
+// at which features were introduced.
+var (
+	V3_0  = V{3, 0}
+	V3_4  = V{3, 4}
+	V3_6  = V{3, 6}
+	V3_7  = V{3, 7}
+	V3_8  = V{3, 8}
+	V4_0  = V{4, 0}
+	V5_0  = V{5, 0}
+	V8_0  = V{8, 0}
+	V9_0  = V{9, 0}
+	V10_0 = V{10, 0}
+	V12_0 = V{12, 0}
+	V13_0 = V{13, 0}
+	V14_0 = V{14, 0}
+	V15_0 = V{15, 0}
+	V17_0 = V{17, 0}
+)
+
+// All lists every version this repository can instantiate an IR library
+// for, in ascending order.
+var All = []V{V3_0, V3_4, V3_6, V3_7, V3_8, V4_0, V5_0, V8_0, V9_0, V10_0, V12_0, V13_0, V14_0, V15_0, V17_0}
+
+// Parse converts a string such as "3.6" or "12.0" into a V.
+func Parse(s string) (V, error) {
+	var v V
+	if _, err := fmt.Sscanf(s, "%d.%d", &v.Major, &v.Minor); err != nil {
+		if _, err2 := fmt.Sscanf(s, "%d", &v.Major); err2 != nil {
+			return V{}, fmt.Errorf("version: cannot parse %q: %w", s, err)
+		}
+	}
+	if v.Major <= 0 {
+		return V{}, fmt.Errorf("version: invalid major in %q", s)
+	}
+	return v, nil
+}
+
+// MustParse is Parse for compile-time-known strings; it panics on error.
+func MustParse(s string) V {
+	v, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func (v V) String() string { return fmt.Sprintf("%d.%d", v.Major, v.Minor) }
+
+// IsValid reports whether v denotes a real version.
+func (v V) IsValid() bool { return v.Major > 0 }
+
+// Cmp returns -1, 0, or +1 as v is older than, equal to, or newer than o.
+func (v V) Cmp(o V) int {
+	switch {
+	case v.Major != o.Major:
+		if v.Major < o.Major {
+			return -1
+		}
+		return 1
+	case v.Minor != o.Minor:
+		if v.Minor < o.Minor {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// Before reports whether v is strictly older than o.
+func (v V) Before(o V) bool { return v.Cmp(o) < 0 }
+
+// AtLeast reports whether v is o or newer.
+func (v V) AtLeast(o V) bool { return v.Cmp(o) >= 0 }
+
+// Features captures the version-dependent behaviours of the IR ecosystem.
+// Each field corresponds to a concrete incompatibility among the three
+// classes of §3.1 of the paper (text, API, semantic).
+type Features struct {
+	// Text incompatibility.
+
+	// ExplicitLoadType selects the modern textual load/getelementptr
+	// spelling "load T, T* %p" (≥3.7) over the legacy "load T* %p".
+	ExplicitLoadType bool
+	// OpaquePointers prints and parses pointers as "ptr" rather than
+	// "T*" (≥15.0).
+	OpaquePointers bool
+
+	// API incompatibility.
+
+	// TypedCallBuilder means CreateCall/CreateInvoke require an explicit
+	// function type argument (≥9.0; Fig. 13 in the paper).
+	TypedCallBuilder bool
+	// TypedLoadBuilder means CreateLoad/CreateGEP require an explicit
+	// result/pointee type argument (≥8.0).
+	TypedLoadBuilder bool
+	// CalledOperandGetter means the callee accessor is named
+	// GetCalledOperand; before 8.0 it was GetCalledValue.
+	CalledOperandGetter bool
+}
+
+// FeaturesOf computes the feature set of a version.
+func FeaturesOf(v V) Features {
+	return Features{
+		ExplicitLoadType:    v.AtLeast(V3_7),
+		OpaquePointers:      v.AtLeast(V15_0),
+		TypedCallBuilder:    v.AtLeast(V9_0),
+		TypedLoadBuilder:    v.AtLeast(V8_0),
+		CalledOperandGetter: v.AtLeast(V8_0),
+	}
+}
+
+// Pair names a source→target translation direction.
+type Pair struct {
+	Source V
+	Target V
+}
+
+func (p Pair) String() string { return p.Source.String() + "->" + p.Target.String() }
+
+// Table3Pairs are the ten version pairs evaluated in Table 3 of the paper,
+// in the paper's row order.
+var Table3Pairs = []Pair{
+	{V12_0, V3_6},
+	{V13_0, V3_6},
+	{V14_0, V3_6},
+	{V15_0, V3_6},
+	{V17_0, V3_6},
+	{V17_0, V3_0},
+	{V3_6, V3_0},
+	{V5_0, V4_0},
+	{V17_0, V12_0},
+	{V3_6, V12_0},
+}
+
+// Sort orders a slice of versions ascending in place.
+func Sort(vs []V) {
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Before(vs[j]) })
+}

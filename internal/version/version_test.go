@@ -1,0 +1,96 @@
+package version
+
+import "testing"
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want V
+		ok   bool
+	}{
+		{"3.6", V3_6, true},
+		{"12.0", V12_0, true},
+		{"17", V{17, 0}, true},
+		{"", V{}, false},
+		{"x.y", V{}, false},
+		{"0.1", V{}, false},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("Parse(%q) err = %v, ok want %v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCmpOrdering(t *testing.T) {
+	if !V3_6.Before(V3_7) || !V3_7.Before(V4_0) || !V9_0.Before(V12_0) {
+		t.Error("ordering broken")
+	}
+	if V12_0.Before(V12_0) {
+		t.Error("Before not strict")
+	}
+	if !V12_0.AtLeast(V12_0) || !V12_0.AtLeast(V3_6) || V3_6.AtLeast(V12_0) {
+		t.Error("AtLeast broken")
+	}
+	for i := 1; i < len(All); i++ {
+		if !All[i-1].Before(All[i]) {
+			t.Errorf("All not ascending at %d", i)
+		}
+	}
+}
+
+func TestFeatures(t *testing.T) {
+	f36 := FeaturesOf(V3_6)
+	if f36.ExplicitLoadType || f36.OpaquePointers || f36.TypedCallBuilder ||
+		f36.TypedLoadBuilder || f36.CalledOperandGetter {
+		t.Errorf("3.6 features wrong: %+v", f36)
+	}
+	f12 := FeaturesOf(V12_0)
+	if !f12.ExplicitLoadType || f12.OpaquePointers || !f12.TypedCallBuilder ||
+		!f12.TypedLoadBuilder || !f12.CalledOperandGetter {
+		t.Errorf("12.0 features wrong: %+v", f12)
+	}
+	if !FeaturesOf(V15_0).OpaquePointers {
+		t.Error("15.0 should have opaque pointers")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic on garbage")
+		}
+	}()
+	MustParse("garbage")
+}
+
+func TestTable3PairsShape(t *testing.T) {
+	if len(Table3Pairs) != 10 {
+		t.Fatalf("Table3Pairs = %d entries, want 10", len(Table3Pairs))
+	}
+	if Table3Pairs[0] != (Pair{V12_0, V3_6}) {
+		t.Errorf("pair 1 = %v", Table3Pairs[0])
+	}
+	if Table3Pairs[9] != (Pair{V3_6, V12_0}) {
+		t.Errorf("pair 10 = %v", Table3Pairs[9])
+	}
+	if got := Table3Pairs[0].String(); got != "12.0->3.6" {
+		t.Errorf("Pair.String = %q", got)
+	}
+}
+
+func TestSort(t *testing.T) {
+	vs := []V{V17_0, V3_0, V12_0, V3_6}
+	Sort(vs)
+	want := []V{V3_0, V3_6, V12_0, V17_0}
+	for i := range want {
+		if vs[i] != want[i] {
+			t.Fatalf("Sort = %v", vs)
+		}
+	}
+}

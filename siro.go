@@ -1,0 +1,153 @@
+// Package siro is the public facade of the Siro reproduction: a program
+// transformation framework that synthesizes translators between versions
+// of a compiler IR (Zhang et al., "Siro: Empowering Version Compatibility
+// in Intermediate Representations via Program Synthesis", ASPLOS 2024).
+//
+// Typical use: synthesize a translator for a version pair from the
+// built-in test-case corpus, then translate textual IR between versions:
+//
+//	tr, report, err := siro.Synthesize(siro.V12_0, siro.V3_6, nil)
+//	low, err := tr.TranslateText(highVersionIR)
+//
+// The facade re-exports the pieces a downstream user needs: the versioned
+// parser and writer, the module model, the reference interpreter, the
+// mini-C frontend used by the evaluation harnesses, and the value-flow
+// analyzer clients.
+package siro
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/cc"
+	"repro/internal/corpus"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/irtext"
+	"repro/internal/portable"
+	"repro/internal/synth"
+	"repro/internal/translator"
+	"repro/internal/tvalid"
+	"repro/internal/version"
+)
+
+// Version identifies one IR release.
+type Version = version.V
+
+// Re-exported version constants for the releases evaluated in the paper.
+var (
+	V3_0  = version.V3_0
+	V3_6  = version.V3_6
+	V4_0  = version.V4_0
+	V5_0  = version.V5_0
+	V12_0 = version.V12_0
+	V13_0 = version.V13_0
+	V14_0 = version.V14_0
+	V15_0 = version.V15_0
+	V17_0 = version.V17_0
+)
+
+// Table3Pairs are the ten version pairs of the paper's Table 3.
+var Table3Pairs = version.Table3Pairs
+
+// ParseVersion parses "12.0"-style version strings.
+func ParseVersion(s string) (Version, error) { return version.Parse(s) }
+
+// Module is an in-memory IR program.
+type Module = ir.Module
+
+// Translator converts modules between two IR versions.
+type Translator = translator.Translator
+
+// TestCase is one synthesis test case: an IR program whose main function
+// returns the oracle constant.
+type TestCase = synth.TestCase
+
+// SynthOptions tunes the synthesis loop (see the paper's §4.4
+// optimizations).
+type SynthOptions = synth.Options
+
+// SynthReport carries synthesis outcomes and statistics.
+type SynthReport = synth.Result
+
+// ExecResult is the outcome of executing a module.
+type ExecResult = interp.Result
+
+// BugReport is one static-analysis finding.
+type BugReport = analysis.Report
+
+// Synthesize builds an IR translator for the src→tgt version pair. When
+// tests is nil the built-in 68-case corpus (§6.2) is used.
+func Synthesize(src, tgt Version, tests []*TestCase) (*Translator, *SynthReport, error) {
+	if tests == nil {
+		tests = corpus.Tests(src)
+	}
+	s := synth.New(src, tgt, synth.Options{})
+	res, err := s.Run(tests)
+	if err != nil {
+		return nil, nil, err
+	}
+	return translator.FromResult(res), res, nil
+}
+
+// SynthesizeWithOptions is Synthesize with explicit loop options.
+func SynthesizeWithOptions(src, tgt Version, tests []*TestCase, opts SynthOptions) (*Translator, *SynthReport, error) {
+	if tests == nil {
+		tests = corpus.Tests(src)
+	}
+	s := synth.New(src, tgt, opts)
+	res, err := s.Run(tests)
+	if err != nil {
+		return nil, nil, err
+	}
+	return translator.FromResult(res), res, nil
+}
+
+// DefaultTests returns the built-in synthesis corpus instantiated at the
+// given source version.
+func DefaultTests(src Version) []*TestCase { return corpus.Tests(src) }
+
+// ParseIR reads textual IR with the version-v reader.
+func ParseIR(text string, v Version) (*Module, error) { return irtext.Parse(text, v) }
+
+// WriteIR serializes a module with its version's writer.
+func WriteIR(m *Module) (string, error) { return irtext.NewWriter(m.Ver).WriteModule(m) }
+
+// Execute runs a module's main function under the reference interpreter.
+func Execute(m *Module, input []byte) (ExecResult, error) {
+	return interp.Run(m, interp.Options{Input: input})
+}
+
+// CompileC compiles mini-C source with the compiler of version v.
+func CompileC(name, src string, v Version) (*Module, error) {
+	return cc.NewCompiler(v).Compile(name, src)
+}
+
+// AnalyzeModule runs the value-flow bug detectors (NPD/UAF/FDL/ML) over
+// a module.
+func AnalyzeModule(m *Module, project string) []BugReport {
+	return analysis.Analyze(m, project)
+}
+
+// CompareReports matches two report sets the way Table 4 does, returning
+// reports exclusive to each side and the shared set.
+func CompareReports(translating, compiling []BugReport) analysis.CompareResult {
+	return analysis.Compare(translating, compiling)
+}
+
+// Hub is the version-agnostic front door of §7's developer suggestions:
+// it accepts textual IR of any supported version and normalizes it to a
+// pivot version through lazily synthesized, cached translators.
+type Hub = portable.Hub
+
+// NewHub returns a hub pivoted at v.
+func NewHub(v Version) *Hub { return portable.NewHub(v) }
+
+// ValidationReport is the outcome of differential translation validation.
+type ValidationReport = tvalid.Report
+
+// ValidateTranslation co-executes a source module and its translation
+// over randomized inputs and compares observable behaviour — a bounded,
+// version-trap-proof alternative to formal translation validation
+// (§4.3.3).
+func ValidateTranslation(src, tgt *Module, trials int, seed int64) ValidationReport {
+	return tvalid.Validate(src, tgt, tvalid.Options{Trials: trials, Seed: seed})
+}
