@@ -1,0 +1,34 @@
+# Tier-1 gate for the siro reproduction. `make check` is what CI and
+# pre-commit runs: vet, build, the full test suite, and the race gate
+# over the two packages with concurrent internals (the synth worker
+# pool and the interpreter used from it).
+
+GO ?= go
+
+.PHONY: check vet build test race fuzz bench clean
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/synth ./internal/interp
+
+# Short fuzz smoke of the two fuzz targets; crashers land in
+# internal/<pkg>/testdata/fuzz and are replayed by plain `go test`.
+fuzz:
+	$(GO) test ./internal/irtext/ -fuzz FuzzParseText -fuzztime 30s
+	$(GO) test ./internal/cc/ -fuzz FuzzCC -fuzztime 30s
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+clean:
+	$(GO) clean ./...

@@ -5,6 +5,11 @@
 //	irtrans -src 12.0 -tgt 3.6 -in prog.ll [-out low.ll]
 //	irtrans -src auto -tgt 3.6 -in prog.ll      # detect the source version
 //	irtrans -load siro-12.0-3.6.json -in prog.ll  # use a saved artifact
+//	irtrans -lenient ...   # drop untranslatable constructs, report them
+//
+// Exit status encodes the failure class: 0 success, 2 usage, 3 parse
+// error, 4 synthesis failure, 5 validation failure, 6 budget exhausted,
+// 7 unsupported construct, 1 anything else.
 package main
 
 import (
@@ -13,12 +18,16 @@ import (
 	"os"
 
 	"repro/internal/corpus"
+	"repro/internal/failure"
 	"repro/internal/irtext"
 	"repro/internal/portable"
 	"repro/internal/synth"
 	"repro/internal/translator"
 	"repro/internal/version"
 )
+
+var lenient = flag.Bool("lenient", false,
+	"degrade gracefully: drop untranslatable constructs (sealing their blocks with unreachable) and report each dropped site on stderr")
 
 func main() {
 	srcFlag := flag.String("src", "", "source IR version, or \"auto\" to detect")
@@ -43,7 +52,7 @@ func main() {
 		}
 		res, err := synth.Import(blob, synth.Options{})
 		if err != nil {
-			fatal(err)
+			fatal(failure.Wrap(failure.Parse, err))
 		}
 		emit(out, translateWith(translator.FromResult(res), string(data)))
 		return
@@ -78,9 +87,20 @@ func translateWith(tr *translator.Translator, src string) string {
 	if err != nil {
 		fatal(fmt.Errorf("reading source IR: %w", err))
 	}
-	outMod, err := tr.Translate(m)
-	if err != nil {
-		fatal(err)
+	outMod := m
+	if *lenient {
+		translated, sites, err := tr.TranslatePartial(m)
+		if err != nil {
+			fatal(err)
+		}
+		for _, site := range sites {
+			fmt.Fprintln(os.Stderr, "irtrans: dropped", site.String())
+		}
+		outMod = translated
+	} else {
+		if outMod, err = tr.Translate(m); err != nil {
+			fatal(err)
+		}
 	}
 	text, err := irtext.NewWriter(tr.Pair.Target).WriteModule(outMod)
 	if err != nil {
@@ -101,5 +121,5 @@ func emit(out *string, text string) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "irtrans:", err)
-	os.Exit(1)
+	os.Exit(failure.ExitCode(err))
 }

@@ -4,6 +4,10 @@
 //	siro -src 12.0 -tgt 3.6        synthesize one pair and print stats
 //	siro -all                      synthesize all ten Table 3 pairs
 //	siro -src 12.0 -tgt 3.6 -emit  also print the generated translator code
+//
+// Exit status encodes the failure class: 0 success, 2 usage, 3 parse
+// error, 4 synthesis failure, 5 validation failure, 6 budget exhausted,
+// 7 unsupported construct, 1 anything else.
 package main
 
 import (
@@ -13,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/corpus"
+	"repro/internal/failure"
 	"repro/internal/ir"
 	"repro/internal/synth"
 	"repro/internal/version"
@@ -80,5 +85,5 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "siro:", err)
-	os.Exit(1)
+	os.Exit(failure.ExitCode(err))
 }

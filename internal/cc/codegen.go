@@ -3,6 +3,7 @@ package cc
 import (
 	"fmt"
 
+	"repro/internal/failure"
 	"repro/internal/ir"
 	"repro/internal/version"
 )
@@ -46,16 +47,28 @@ func NewCompiler(v version.V) *Compiler {
 }
 
 // Compile parses and compiles a source string into a verified module.
+// All failures — including internal codegen panics on pathological
+// input — come back Parse-classified; source text never crashes the
+// caller.
 func (c *Compiler) Compile(name, src string) (*ir.Module, error) {
 	file, err := ParseFile(name, src)
 	if err != nil {
-		return nil, err
+		return nil, failure.Wrap(failure.Parse, err)
 	}
 	return c.CompileFile(file)
 }
 
 // CompileFile compiles a parsed file.
-func (c *Compiler) CompileFile(file *File) (*ir.Module, error) {
+func (c *Compiler) CompileFile(file *File) (m *ir.Module, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m, err = nil, failure.Wrapf(failure.Parse, "cc: codegen panicked: %v", r)
+		}
+	}()
+	return c.compileFile(file)
+}
+
+func (c *Compiler) compileFile(file *File) (*ir.Module, error) {
 	m := ir.NewModule(file.Name, c.Ver)
 	for _, g := range file.Globals {
 		t := c.irType(g.Ty)
@@ -89,11 +102,11 @@ func (c *Compiler) CompileFile(file *File) (*ir.Module, error) {
 		}
 		g := &fnGen{c: c, m: m, file: byName, fn: fn, f: m.Func(fn.Name)}
 		if err := g.run(); err != nil {
-			return nil, fmt.Errorf("cc: @%s: %w", fn.Name, err)
+			return nil, failure.Wrapf(failure.Parse, "cc: @%s: %w", fn.Name, err)
 		}
 	}
 	if err := ir.Verify(m); err != nil {
-		return nil, err
+		return nil, failure.Wrap(failure.Parse, err)
 	}
 	return m, nil
 }

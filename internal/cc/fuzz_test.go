@@ -1,0 +1,47 @@
+package cc
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/interp"
+	"repro/internal/version"
+)
+
+// FuzzCC drives the mini-C frontend with arbitrary source text. The
+// contract: every input either compiles to a verified module (which the
+// interpreter must then execute without panicking under a small step
+// budget) or fails with a Parse-classified error.
+func FuzzCC(f *testing.F) {
+	seeds := []string{
+		"int main() { return 42; }",
+		"int g;\nint main() { g = 7; return g; }",
+		"int f(int a, int b) { return a * b; }\nint main() { return f(6, 7); }",
+		"int main() { int i; int s; s = 0; for (i = 0; i < 5; i = i + 1) { s = s + i; } return s; }",
+		"int main() { int a[4]; a[2] = 9; return a[2]; }",
+		"int main() { if (1) { return 3; } else { return 4; } }",
+		"int main() { int x; x = 10; while (x > 0) { x = x - 3; } return x; }",
+		"int *p;\nint main() { return *p; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := NewCompiler(version.V12_0).Compile("fuzz.c", src)
+		if err != nil {
+			if !errors.Is(err, failure.Parse) {
+				t.Fatalf("unclassified compile error: %v", err)
+			}
+			return
+		}
+		// A compiled module is verified; executing it may trap or run
+		// out of budget but must not panic or return an unclassified
+		// error.
+		if _, err := interp.Run(m, interp.Options{MaxSteps: 10_000}); err != nil {
+			if !errors.Is(err, failure.Budget) && !errors.Is(err, failure.Validation) {
+				t.Fatalf("unclassified execution error: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,259 @@
+// Package chaos is a deterministic fault-injection harness for the
+// synthesize→translate→validate pipeline. It manufactures the three
+// fault surfaces the robustness suite exercises:
+//
+//   - IR-library components that misbehave: Poison wraps selected
+//     getter/builder components of an irlib.Library so they lie (return
+//     a plausible but wrong object), trap (return an in-domain error),
+//     panic, or hang. The poisoned library is handed to the synthesizer
+//     through synth.Options.Getters/Builders; differential validation
+//     plus Alg. 4 refinement must either route around the faulty
+//     component (when an honest alias exists) or fail with a typed
+//     error — never a panic.
+//
+//   - IR text inputs that are damaged in transit: CorruptText applies a
+//     seeded, reproducible corruption (truncation, byte flips, token or
+//     line drops) so parser robustness can be swept across many seeds.
+//
+//   - Validation faults: the interpreter's step budget and trap paths
+//     are reached with ordinary modules (infinite loops, null loads);
+//     no injection hook is needed beyond the corpus, so this package
+//     only documents that surface.
+//
+// Everything is deterministic: the same fault spec and seed produce the
+// same failure, so every chaos finding is a replayable regression test.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/irlib"
+)
+
+// Mode selects how a poisoned component misbehaves.
+type Mode uint8
+
+const (
+	// Lie returns a well-typed but wrong result: another operand,
+	// another successor block, an off-by-one count. Lies are the
+	// hardest fault class — nothing crashes, only differential
+	// validation can catch them.
+	Lie Mode = iota + 1
+	// Trap returns an in-domain error from every call, as if the
+	// component considered all inputs out of range.
+	Trap
+	// Panic panics on every call, modelling a component with a broken
+	// internal invariant.
+	Panic
+	// Hang sleeps for Delay before answering honestly, modelling a
+	// component that has become pathologically slow. Use with
+	// synth.Options.TestDeadline.
+	Hang
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Lie:
+		return "lie"
+	case Trap:
+		return "trap"
+	case Panic:
+		return "panic"
+	case Hang:
+		return "hang"
+	}
+	return "?"
+}
+
+// ComponentFault selects the library components to poison and how.
+type ComponentFault struct {
+	API  string    // component name, e.g. "GetLHS" or "CreateSub"
+	Kind ir.Opcode // owning kind to restrict to; ir.BadOp poisons every kind
+	Mode Mode
+	// Delay is the Hang sleep per call; 0 means 50ms.
+	Delay time.Duration
+}
+
+func (f ComponentFault) String() string {
+	if f.Kind == ir.BadOp {
+		return fmt.Sprintf("%s[%s]", f.API, f.Mode)
+	}
+	return fmt.Sprintf("%s/%s[%s]", f.API, f.Kind, f.Mode)
+}
+
+// Poison returns a copy of lib in which every component matching f is
+// replaced by a misbehaving wrapper, plus the number of components
+// poisoned (0 means f matched nothing — almost certainly a typo in the
+// fault spec). The input library is not modified; unmatched components
+// are shared.
+func Poison(lib *irlib.Library, f ComponentFault) (*irlib.Library, int) {
+	out := &irlib.Library{Ver: lib.Ver, Side: lib.Side, APIs: make([]*irlib.API, len(lib.APIs))}
+	n := 0
+	for i, a := range lib.APIs {
+		if a.Name != f.API || (f.Kind != ir.BadOp && a.Kind != f.Kind) {
+			out.APIs[i] = a
+			continue
+		}
+		p := *a // shallow copy; only Impl changes
+		p.Impl = poisonImpl(a, f)
+		out.APIs[i] = &p
+		n++
+	}
+	return out, n
+}
+
+// poisonImpl wraps one component's implementation per the fault mode.
+func poisonImpl(a *irlib.API, f ComponentFault) func(*irlib.Ctx, []any) (any, error) {
+	honest := a.Impl
+	switch f.Mode {
+	case Trap:
+		return func(c *irlib.Ctx, args []any) (any, error) {
+			return nil, fmt.Errorf("chaos: %s traps", a.Name)
+		}
+	case Panic:
+		return func(c *irlib.Ctx, args []any) (any, error) {
+			panic(fmt.Sprintf("chaos: %s panics", a.Name))
+		}
+	case Hang:
+		delay := f.Delay
+		if delay == 0 {
+			delay = 50 * time.Millisecond
+		}
+		return func(c *irlib.Ctx, args []any) (any, error) {
+			time.Sleep(delay)
+			return honest(c, args)
+		}
+	default: // Lie
+		return func(c *irlib.Ctx, args []any) (any, error) {
+			v, err := honest(c, args)
+			if err != nil {
+				return nil, err
+			}
+			return lie(v, args), nil
+		}
+	}
+}
+
+// lie turns an honest result into a plausible wrong one. The substitute
+// is always well-typed for the result token, so nothing downstream
+// crashes — only differential validation can tell.
+func lie(honest any, args []any) any {
+	inst, _ := args[0].(*ir.Instruction)
+	switch v := honest.(type) {
+	case *ir.Block:
+		// Another successor of the same terminator, else any other
+		// block of the same function.
+		if inst != nil {
+			for _, s := range inst.Successors() {
+				if s != v {
+					return s
+				}
+			}
+		}
+		if v.Parent != nil {
+			for _, b := range v.Parent.Blocks {
+				if b != v {
+					return b
+				}
+			}
+		}
+		return v
+	case int:
+		return v + 1
+	case ir.Value:
+		// Another operand of the instruction under translation (skip
+		// label operands: swapping a value for a block is a crash, not
+		// a lie).
+		if inst != nil {
+			for _, op := range inst.Operands {
+				if op == v {
+					continue
+				}
+				if _, isBlock := op.(*ir.Block); isBlock {
+					continue
+				}
+				return op
+			}
+		}
+		return ir.NewConstInt(ir.I32, 41)
+	default:
+		return honest
+	}
+}
+
+// TextFault is a class of reproducible IR-text corruption.
+type TextFault uint8
+
+const (
+	// Truncate cuts the text at a random point — a partial write.
+	Truncate TextFault = iota + 1
+	// ByteFlip replaces a handful of bytes with random printable
+	// garbage — bit rot or a bad transfer.
+	ByteFlip
+	// TokenDrop deletes one whitespace-separated token — a corrupted
+	// serializer.
+	TokenDrop
+	// LineDrop deletes one line — a lost buffer flush.
+	LineDrop
+)
+
+func (f TextFault) String() string {
+	switch f {
+	case Truncate:
+		return "truncate"
+	case ByteFlip:
+		return "byteflip"
+	case TokenDrop:
+		return "tokendrop"
+	case LineDrop:
+		return "linedrop"
+	}
+	return "?"
+}
+
+// TextFaults lists every corruption class, for seed sweeps.
+var TextFaults = []TextFault{Truncate, ByteFlip, TokenDrop, LineDrop}
+
+// CorruptText applies fault f to src under the given seed. The result is
+// deterministic in (src, f, seed): a crash found by a sweep is replayed
+// by re-running the same triple. The corrupted text may coincidentally
+// remain valid IR — callers assert "parses or fails cleanly", not
+// "fails".
+func CorruptText(src string, f TextFault, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	switch f {
+	case Truncate:
+		if len(src) == 0 {
+			return src
+		}
+		return src[:rng.Intn(len(src))]
+	case ByteFlip:
+		b := []byte(src)
+		if len(b) == 0 {
+			return src
+		}
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			b[rng.Intn(len(b))] = byte(0x20 + rng.Intn(0x5f))
+		}
+		return string(b)
+	case TokenDrop:
+		toks := strings.Fields(src)
+		if len(toks) == 0 {
+			return src
+		}
+		i := rng.Intn(len(toks))
+		return strings.Join(append(toks[:i:i], toks[i+1:]...), " ")
+	case LineDrop:
+		lines := strings.Split(src, "\n")
+		if len(lines) == 0 {
+			return src
+		}
+		i := rng.Intn(len(lines))
+		return strings.Join(append(lines[:i:i], lines[i+1:]...), "\n")
+	}
+	return src
+}

@@ -1,0 +1,226 @@
+package chaos_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/corpus"
+	"repro/internal/failure"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/irlib"
+	"repro/internal/irtext"
+	"repro/internal/synth"
+	"repro/internal/translator"
+	"repro/internal/version"
+)
+
+var (
+	src = version.V12_0
+	tgt = version.V3_6
+)
+
+// synthesizeWith runs a full-corpus synthesis with the given poisoned
+// library overrides (nil keeps the honest default).
+func synthesizeWith(t *testing.T, opts synth.Options) (*synth.Result, error) {
+	t.Helper()
+	return synth.New(src, tgt, opts).Run(corpus.Tests(src))
+}
+
+// mustConverge asserts the synthesis succeeded despite the fault, then
+// proves the survivor is genuinely correct: the probe program (which
+// exercises the poisoned component's kind) must translate and execute
+// to its oracle.
+func mustConverge(t *testing.T, opts synth.Options, probe string, oracle int64) *synth.Result {
+	t.Helper()
+	res, err := synthesizeWith(t, opts)
+	if err != nil {
+		t.Fatalf("synthesis did not converge around the fault: %v", err)
+	}
+	out, err := translator.FromResult(res).TranslateText(probe)
+	if err != nil {
+		t.Fatalf("translating probe: %v", err)
+	}
+	m, err := irtext.Parse(out, tgt)
+	if err != nil {
+		t.Fatalf("reparsing translated probe: %v", err)
+	}
+	r, err := interp.Run(m, interp.Options{})
+	if err != nil || r.Crashed() || r.Ret != oracle {
+		t.Fatalf("probe: ret=%d crash=%q err=%v, want %d", r.Ret, r.Crash, err, oracle)
+	}
+	return res
+}
+
+// icmpProbe exercises icmp with asymmetric operands: a translator that
+// compares the wrong operands takes the wrong branch.
+const icmpProbe = `
+define i32 @main() {
+entry:
+  %c = icmp slt i32 3, 7
+  br i1 %c, label %a, label %b
+a:
+  ret i32 42
+b:
+  ret i32 7
+}
+`
+
+// brProbe exercises both conditional-branch edges.
+const brProbe = `
+define i32 @main() {
+entry:
+  %c = icmp sgt i32 2, 5
+  br i1 %c, label %a, label %b
+a:
+  ret i32 1
+b:
+  ret i32 42
+}
+`
+
+func poisonGetters(t *testing.T, f chaos.ComponentFault) *irlib.Library {
+	t.Helper()
+	lib, n := chaos.Poison(irlib.Getters(src), f)
+	if n == 0 {
+		t.Fatalf("fault %s matched no component", f)
+	}
+	return lib
+}
+
+func poisonBuilders(t *testing.T, f chaos.ComponentFault) *irlib.Library {
+	t.Helper()
+	lib, n := chaos.Poison(irlib.Builders(tgt), f)
+	if n == 0 {
+		t.Fatalf("fault %s matched no component", f)
+	}
+	return lib
+}
+
+// A lying component is the worst-case fault: every call succeeds with a
+// plausible wrong answer. Differential validation must reject the lying
+// candidates and converge on the honest GetOperand-based alternatives.
+func TestLyingICmpGetterConverges(t *testing.T) {
+	lib := poisonGetters(t, chaos.ComponentFault{API: "GetLHS", Kind: ir.ICmp, Mode: chaos.Lie})
+	mustConverge(t, synth.Options{Getters: lib}, icmpProbe, 42)
+}
+
+// A trapping component (errors on every call) must likewise be routed
+// around via the redundant alias.
+func TestTrappingICmpGetterConverges(t *testing.T) {
+	lib := poisonGetters(t, chaos.ComponentFault{API: "GetRHS", Kind: ir.ICmp, Mode: chaos.Trap})
+	mustConverge(t, synth.Options{Getters: lib}, icmpProbe, 42)
+}
+
+// A panicking component must be isolated to the candidates that call it
+// — the panic recovery stats prove the recover fired rather than the
+// candidate merely losing validation.
+func TestPanickingBrGetterIsIsolated(t *testing.T) {
+	lib := poisonGetters(t, chaos.ComponentFault{API: "GetBlock", Kind: ir.Br, Mode: chaos.Panic})
+	res := mustConverge(t, synth.Options{Getters: lib}, brProbe, 42)
+	if res.Stats.PanicsIsolated == 0 {
+		t.Fatal("no panics were isolated; the poisoned component was never exercised")
+	}
+}
+
+// When the poisoned component is the only path (CreateSub is the sole
+// builder producing a sub), synthesis cannot converge — it must fail
+// with a Synthesis-classified error, and the panic must not escape.
+func TestPoisonedSoleBuilderFailsTyped(t *testing.T) {
+	lib := poisonBuilders(t, chaos.ComponentFault{API: "CreateSub", Kind: ir.Sub, Mode: chaos.Panic})
+	_, err := synthesizeWith(t, synth.Options{Builders: lib})
+	if err == nil {
+		t.Fatal("synthesis converged with the sole sub builder poisoned")
+	}
+	if !errors.Is(err, failure.Synthesis) {
+		t.Fatalf("err = %v, want class %v", err, failure.Synthesis)
+	}
+}
+
+// A hanging component is cut off by the per-test deadline; with no
+// honest alternative the test fails Budget-classified instead of
+// stalling the whole run.
+func TestHangingSoleBuilderHitsDeadline(t *testing.T) {
+	lib := poisonBuilders(t, chaos.ComponentFault{
+		API: "CreateSub", Kind: ir.Sub, Mode: chaos.Hang, Delay: 200 * time.Millisecond,
+	})
+	_, err := synthesizeWith(t, synth.Options{
+		Builders:     lib,
+		TestDeadline: 25 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("synthesis converged with the sole sub builder hanging")
+	}
+	if !errors.Is(err, failure.Budget) {
+		t.Fatalf("err = %v, want class %v", err, failure.Budget)
+	}
+}
+
+// Corrupt IR text — truncations, byte flips, dropped tokens and lines —
+// must either still parse (corruption can be coincidentally valid) or
+// fail with a Parse-classified error. Never a panic.
+func TestCorruptTextSweep(t *testing.T) {
+	w := irtext.NewWriter(src)
+	var sources []string
+	for _, tcase := range corpus.Tests(src) {
+		text, err := w.WriteModule(tcase.Module)
+		if err != nil {
+			t.Fatalf("%s: writing: %v", tcase.Name, err)
+		}
+		sources = append(sources, text)
+	}
+	for _, fault := range chaos.TextFaults {
+		for seed := int64(1); seed <= 8; seed++ {
+			for i, text := range sources {
+				corrupt := chaos.CorruptText(text, fault, seed)
+				m, err := irtext.Parse(corrupt, src)
+				if err == nil {
+					if m == nil {
+						t.Fatalf("%s seed %d src %d: nil module with nil error", fault, seed, i)
+					}
+					continue
+				}
+				if !errors.Is(err, failure.Parse) {
+					t.Fatalf("%s seed %d src %d: unclassified parse failure: %v", fault, seed, i, err)
+				}
+			}
+		}
+	}
+}
+
+// CorruptText must be deterministic in (src, fault, seed) so sweeps are
+// replayable.
+func TestCorruptTextDeterministic(t *testing.T) {
+	const text = "define i32 @main() {\nentry:\n  ret i32 42\n}\n"
+	for _, fault := range chaos.TextFaults {
+		a := chaos.CorruptText(text, fault, 7)
+		b := chaos.CorruptText(text, fault, 7)
+		if a != b {
+			t.Fatalf("%s: corruption not deterministic", fault)
+		}
+	}
+}
+
+// Step-budget exhaustion mid-validation surfaces as the Budget class.
+func TestInterpBudgetClassified(t *testing.T) {
+	m, err := irtext.Parse(`
+define i32 @main() {
+entry:
+  br label %loop
+loop:
+  br label %loop
+}
+`, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = interp.Run(m, interp.Options{MaxSteps: 1000})
+	if err != interp.ErrBudget {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if !errors.Is(err, failure.Budget) {
+		t.Fatalf("ErrBudget not Budget-classified: %v", err)
+	}
+}

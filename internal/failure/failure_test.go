@@ -1,0 +1,69 @@
+package failure
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestWrapTagsClass(t *testing.T) {
+	base := errors.New("boom")
+	err := Wrap(Budget, base)
+	if !errors.Is(err, Budget) {
+		t.Fatal("wrapped error does not match its class")
+	}
+	if !errors.Is(err, base) {
+		t.Fatal("wrapped error lost the underlying error")
+	}
+	if ClassOf(err) != Budget {
+		t.Fatalf("ClassOf = %v, want Budget", ClassOf(err))
+	}
+}
+
+func TestWrapNil(t *testing.T) {
+	if Wrap(Parse, nil) != nil {
+		t.Fatal("Wrap(nil) must stay nil")
+	}
+	if ClassOf(nil) != nil {
+		t.Fatal("ClassOf(nil) must be nil")
+	}
+}
+
+func TestInnermostClassWins(t *testing.T) {
+	inner := Wrapf(Budget, "step budget exhausted")
+	outer := Wrap(Synthesis, fmt.Errorf("running synthesis: %w", inner))
+	if ClassOf(outer) != Budget {
+		t.Fatalf("ClassOf = %v, want the inner Budget class", ClassOf(outer))
+	}
+	if ExitCode(outer) != 6 {
+		t.Fatalf("ExitCode = %d, want 6", ExitCode(outer))
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, 0},
+		{errors.New("plain"), 1},
+		{Wrapf(Parse, "p"), 3},
+		{Wrapf(Synthesis, "s"), 4},
+		{Wrapf(Validation, "v"), 5},
+		{Wrapf(Budget, "b"), 6},
+		{Wrapf(Unsupported, "u"), 7},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func TestClassMessagePrefix(t *testing.T) {
+	err := Wrapf(Unsupported, "no handler for %s", "callbr")
+	want := "unsupported construct: no handler for callbr"
+	if err.Error() != want {
+		t.Fatalf("Error() = %q, want %q", err.Error(), want)
+	}
+}

@@ -1,0 +1,150 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/irtext"
+	"repro/internal/version"
+)
+
+// The interpreter's failure surface is part of the pipeline's trust
+// boundary: differential validation (Fig. 6) runs candidate-translated
+// modules, so any input — however damaged — must come back as a Result
+// or a typed error, never a panic. These tests pin the failure paths the
+// main suite reaches only incidentally.
+
+// Budget exhaustion must surface as ErrBudget even when the budget runs
+// out deep inside a callee rather than in @main's own loop.
+func TestBudgetExhaustedMidCall(t *testing.T) {
+	m, err := irtext.Parse(`
+define i32 @spin() {
+entry:
+  br label %loop
+loop:
+  br label %loop
+}
+
+define i32 @main() {
+entry:
+  %r = call i32 @spin()
+  ret i32 %r
+}
+`, version.V12_0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(m, Options{MaxSteps: 500}); err != ErrBudget {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+// Budget exhaustion inside unbounded recursion must also be ErrBudget
+// (not the recursion-depth error) when the step bound is hit first.
+func TestBudgetExhaustedMidRecursion(t *testing.T) {
+	m, err := irtext.Parse(`
+define i32 @down(i32 %n) {
+entry:
+  %m = sub i32 %n, 1
+  %r = call i32 @down(i32 %m)
+  ret i32 %r
+}
+
+define i32 @main() {
+entry:
+  %r = call i32 @down(i32 1000000)
+  ret i32 %r
+}
+`, version.V12_0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(m, Options{MaxSteps: 300}); err != ErrBudget {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+// The sentinels carry their failure class through errors.Is, so the
+// facade and CLIs can map them to exit codes without string matching.
+func TestSentinelClassification(t *testing.T) {
+	if !errors.Is(ErrBudget, failure.Budget) {
+		t.Error("ErrBudget is not Budget-classified")
+	}
+	if !errors.Is(ErrNoMain, failure.Validation) {
+		t.Error("ErrNoMain is not Validation-classified")
+	}
+	if got := failure.ExitCode(ErrBudget); got != 6 {
+		t.Errorf("ExitCode(ErrBudget) = %d, want 6", got)
+	}
+}
+
+// Accesses through pointers outside the memory model — forged by
+// inttoptr or leaked through ptrtoint arithmetic — trap instead of
+// reading host memory or panicking.
+func TestWildPointerAccesses(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"forged-load", `
+define i32 @main() {
+entry:
+  %p = inttoptr i64 3735928559 to i32*
+  %v = load i32, i32* %p
+  ret i32 %v
+}
+`},
+		{"forged-store", `
+define i32 @main() {
+entry:
+  %p = inttoptr i64 4096 to i32*
+  store i32 1, i32* %p
+  ret i32 0
+}
+`},
+		{"offset-escape", `
+define i32 @main() {
+entry:
+  %a = alloca i32
+  %n = ptrtoint i32* %a to i64
+  %m = add i64 %n, 1048576
+  %p = inttoptr i64 %m to i32*
+  %v = load i32, i32* %p
+  ret i32 %v
+}
+`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := runSrc(t, c.src, Options{})
+			if !r.Crashed() {
+				t.Fatalf("ret = %d with no crash; wild access must trap", r.Ret)
+			}
+		})
+	}
+}
+
+// A trap mid-call must unwind cleanly out of the whole call stack with
+// the crash recorded, not corrupt the caller's state.
+func TestTrapMidCallUnwinds(t *testing.T) {
+	expectCrash(t, `
+define i32 @inner(i32 %d) {
+entry:
+  %v = sdiv i32 10, %d
+  ret i32 %v
+}
+
+define i32 @outer() {
+entry:
+  %r = call i32 @inner(i32 0)
+  ret i32 %r
+}
+
+define i32 @main() {
+entry:
+  %r = call i32 @outer()
+  ret i32 %r
+}
+`, CrashDivZero)
+}

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/failure"
 	"repro/internal/ir"
 )
 
@@ -105,10 +106,12 @@ type State struct {
 }
 
 // ErrNoMain is returned when the module lacks a defined main function.
-var ErrNoMain = errors.New("interp: module has no defined @main")
+var ErrNoMain = failure.Wrap(failure.Validation, errors.New("interp: module has no defined @main"))
 
-// ErrBudget is returned when execution exceeds the step budget.
-var ErrBudget = errors.New("interp: step budget exhausted")
+// ErrBudget is returned when execution exceeds the step budget. It
+// carries the failure.Budget class so callers above the synthesis loop
+// can distinguish resource exhaustion from semantic failure.
+var ErrBudget = failure.Wrap(failure.Budget, errors.New("interp: step budget exhausted"))
 
 // Run executes m's main function. Runtime type confusion (possible when
 // executing candidate translations that verified structurally but mix up
@@ -118,7 +121,7 @@ func Run(m *ir.Module, opts Options) (res Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = Result{}
-			err = fmt.Errorf("interp: runtime type confusion: %v", r)
+			err = failure.Wrapf(failure.Validation, "interp: runtime type confusion: %v", r)
 		}
 	}()
 	return run(m, opts)

@@ -35,13 +35,21 @@ func (bd *Builder) fresh() string {
 	return fmt.Sprintf("t%d", bd.n)
 }
 
+// BuildError is the panic value raised by builder misuse (emitting with
+// no insertion block). The builder API is fluent and cannot return
+// errors, so boundary layers (skeleton.Run, the siro facade) recover
+// and detect this type to classify the failure instead of crashing.
+type BuildError struct{ Msg string }
+
+func (e *BuildError) Error() string { return "ir.Builder: " + e.Msg }
+
 // emit appends inst to the current block, naming its result if needed.
 func (bd *Builder) emit(inst *Instruction) *Instruction {
 	if inst.HasResult() && inst.Name == "" {
 		inst.Name = bd.fresh()
 	}
 	if bd.Cur == nil {
-		panic("ir.Builder: no insertion block")
+		panic(&BuildError{Msg: "no insertion block"})
 	}
 	return bd.Cur.Append(inst)
 }
@@ -106,8 +114,14 @@ func (bd *Builder) GEP(t *Type, ptr Value, idx ...Value) *Instruction {
 }
 
 // GEPResultType computes the pointer type produced by indexing elem type
-// t with the given indices (first index strides over t itself).
+// t with the given indices (first index strides over t itself). Out-of-
+// domain inputs — no indices, or a struct index outside the field list —
+// degrade to a byte pointer; ir.Verify rejects the malformed
+// getelementptr later instead of this helper crashing mid-build.
 func GEPResultType(t *Type, idx []Value) *Type {
+	if len(idx) == 0 {
+		return Ptr(t)
+	}
 	cur := t
 	for _, ix := range idx[1:] {
 		switch cur.Kind {
@@ -115,7 +129,7 @@ func GEPResultType(t *Type, idx []Value) *Type {
 			cur = cur.Elem
 		case StructKind:
 			ci, ok := ix.(*ConstInt)
-			if !ok {
+			if !ok || ci.V < 0 || ci.V >= int64(len(cur.Fields)) {
 				return Ptr(I8)
 			}
 			cur = cur.Fields[ci.V]
@@ -214,12 +228,16 @@ func (bd *Builder) Freeze(v Value) *Instruction {
 	return bd.emit(&Instruction{Op: Freeze, Typ: v.Type(), Operands: []Value{v}})
 }
 
-// ExtractValue emits an aggregate extract.
+// ExtractValue emits an aggregate extract. An index outside the
+// aggregate leaves the type unrefined; ir.Verify flags the instruction.
 func (bd *Builder) ExtractValue(agg Value, indices ...int) *Instruction {
 	t := agg.Type()
 	for _, ix := range indices {
 		switch t.Kind {
 		case StructKind:
+			if ix < 0 || ix >= len(t.Fields) {
+				break
+			}
 			t = t.Fields[ix]
 		case ArrayKind:
 			t = t.Elem

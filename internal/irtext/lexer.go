@@ -128,6 +128,12 @@ func lex(src string) ([]token, error) {
 			for j < n && isIdentChar(src[j]) {
 				j++
 			}
+			if j == i {
+				// A byte like 0xf3 is a letter under the Latin-1 reading
+				// rune(c) uses, yet not an ASCII identifier byte; without
+				// this guard the scan consumes nothing and loops forever.
+				return nil, fmt.Errorf("line %d: unexpected character %q", line, string(c))
+			}
 			word := src[i:j]
 			// "name:" at line start is a basic-block label definition.
 			if j < n && src[j] == ':' {

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/failure"
 	"repro/internal/ir"
 	"repro/internal/version"
 )
@@ -13,18 +14,27 @@ import (
 // "IR Reader" library of Table 2. A parser pinned at one version rejects
 // syntax belonging to another version; that rejection is the text
 // incompatibility that motivates IR translation.
-func Parse(src string, v version.V) (*ir.Module, error) {
+//
+// Every failure — lex, grammar, verification, or an internal parser
+// panic on pathological input — is classified failure.Parse; malformed
+// text never crashes the caller.
+func Parse(src string, v version.V) (m *ir.Module, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m, err = nil, failure.Wrapf(failure.Parse, "irtext: parser panicked: %v", r)
+		}
+	}()
 	toks, err := lex(src)
 	if err != nil {
-		return nil, err
+		return nil, failure.Wrap(failure.Parse, err)
 	}
 	p := &parser{toks: toks, ver: v, feat: version.FeaturesOf(v)}
-	m, err := p.module()
+	m, err = p.module()
 	if err != nil {
-		return nil, err
+		return nil, failure.Wrap(failure.Parse, err)
 	}
 	if verr := ir.Verify(m); verr != nil {
-		return nil, verr
+		return nil, failure.Wrap(failure.Parse, verr)
 	}
 	return m, nil
 }

@@ -24,6 +24,28 @@ import (
 // Handlers may emit any number of target instructions through the Ctx.
 type InstFn func(c *irlib.Ctx, inst *ir.Instruction) (ir.Value, error)
 
+// UnsupportedSite records one construct that lenient translation could
+// not carry to the target version and degraded instead of aborting the
+// module — the structured report generalizing §3.3.2's
+// drop-if-unreachable principle.
+type UnsupportedSite struct {
+	Func   string    // enclosing function; "" for module-level constructs
+	Block  string    // enclosing block; "" outside any block
+	Op     ir.Opcode // failing instruction kind; ir.BadOp for non-instruction sites
+	Reason string    // the underlying error
+}
+
+func (u UnsupportedSite) String() string {
+	where := "@" + u.Func
+	if u.Block != "" {
+		where += "/%" + u.Block
+	}
+	if u.Func == "" {
+		where = "<module>"
+	}
+	return fmt.Sprintf("%s: %s: %s", where, u.Op, u.Reason)
+}
+
 // T is one translation run: source module in, target module out.
 type T struct {
 	Src    *ir.Module
@@ -31,14 +53,24 @@ type T struct {
 	// Dispatch selects the InstFn for an instruction. It receives every
 	// instruction of the source module exactly once, in program order.
 	Dispatch func(inst *ir.Instruction) (InstFn, error)
+	// Lenient switches on graceful degradation: instead of aborting the
+	// run, an untranslatable instruction truncates its block with
+	// unreachable, an untranslatable global is dropped, and every such
+	// site is recorded in Unsupported(). Values the dropped code defined
+	// resolve to undef. The result is a partial translation that still
+	// verifies; callers inspect the report to decide whether the dropped
+	// regions matter for their workload (the §3.3.2 necessity check,
+	// generalized).
+	Lenient bool
 
-	tgt     *ir.Module
-	vmap    map[ir.Value]ir.Value
-	bmap    map[*ir.Block]*ir.Block
-	phs     map[ir.Value]*ir.Placeholder
-	cur     *ir.Block
-	tmpN    int
-	curFunc *ir.Function
+	tgt         *ir.Module
+	vmap        map[ir.Value]ir.Value
+	bmap        map[*ir.Block]*ir.Block
+	phs         map[ir.Value]*ir.Placeholder
+	cur         *ir.Block
+	tmpN        int
+	curFunc     *ir.Function
+	unsupported []UnsupportedSite
 }
 
 // New prepares a translation of src to target version tgtVer.
@@ -53,13 +85,31 @@ func New(src *ir.Module, tgtVer version.V, dispatch func(*ir.Instruction) (InstF
 	}
 }
 
-// Run executes Alg. 1 and returns the translated module.
-func (t *T) Run() (*ir.Module, error) {
+// Unsupported returns the degradation report of a lenient run: one site
+// per construct that was dropped rather than translated. Empty after a
+// fully successful run.
+func (t *T) Unsupported() []UnsupportedSite { return t.unsupported }
+
+// Run executes Alg. 1 and returns the translated module. Panics raised
+// inside instruction translators or the API components they call — a
+// misbehaving synthesized candidate, a poisoned library — are contained
+// here and surface as ordinary errors, so no caller of the skeleton can
+// be crashed by a bad component.
+func (t *T) Run() (m *ir.Module, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m, err = nil, fmt.Errorf("skeleton: translation panicked: %v", r)
+		}
+	}()
 	t.tgt = ir.NewModule(t.Src.Name, t.TgtVer)
 	// Globals first (line 2 of Alg. 1).
 	for _, g := range t.Src.Globals {
 		ng, err := t.translateGlobal(g)
 		if err != nil {
+			if t.Lenient {
+				t.report("", "", ir.BadOp, fmt.Errorf("global @%s: %w", g.Name, err))
+				continue
+			}
 			return nil, err
 		}
 		t.tgt.AddGlobal(ng)
@@ -70,6 +120,10 @@ func (t *T) Run() (*ir.Module, error) {
 	for _, f := range t.Src.Funcs {
 		sig, err := t.translateType(f.Sig)
 		if err != nil {
+			if t.Lenient {
+				t.report(f.Name, "", ir.BadOp, fmt.Errorf("signature: %w", err))
+				continue
+			}
 			return nil, err
 		}
 		names := make([]string, len(f.Params))
@@ -88,11 +142,21 @@ func (t *T) Run() (*ir.Module, error) {
 		if f.IsDecl() {
 			continue
 		}
+		if _, ok := t.vmap[f]; !ok {
+			continue // shell was dropped by a lenient failure above
+		}
 		if err := t.translateFunc(f); err != nil {
 			return nil, fmt.Errorf("skeleton: @%s: %w", f.Name, err)
 		}
 	}
 	return t.tgt, nil
+}
+
+// report records one degradation site of a lenient run.
+func (t *T) report(fn, block string, op ir.Opcode, err error) {
+	t.unsupported = append(t.unsupported, UnsupportedSite{
+		Func: fn, Block: block, Op: op, Reason: err.Error(),
+	})
 }
 
 func (t *T) translateGlobal(g *ir.Global) (*ir.Global, error) {
@@ -124,14 +188,24 @@ func (t *T) translateFunc(f *ir.Function) error {
 	for _, b := range f.Blocks {
 		t.cur = t.bmap[b]
 		for _, inst := range b.Insts {
-			fn, err := t.Dispatch(inst)
-			if err != nil {
-				return err
-			}
 			mark := len(t.cur.Insts)
-			res, err := fn(ctx, inst)
+			res, err := t.applyInst(ctx, inst)
+			if err == nil && inst.HasResult() && res == nil {
+				err = fmt.Errorf("translator for %s produced no value", inst.Op)
+			}
 			if err != nil {
-				return fmt.Errorf("block %%%s: %s: %w", b.Name, inst.Op, err)
+				if !t.Lenient {
+					return fmt.Errorf("block %%%s: %s: %w", b.Name, inst.Op, err)
+				}
+				// Graceful degradation (§3.3.2, generalized): roll back
+				// whatever the failing translator emitted, seal the block
+				// with unreachable, and record the site. Later uses of
+				// values this block would have defined resolve to undef
+				// below.
+				t.cur.Insts = t.cur.Insts[:mark]
+				t.cur.Append(&ir.Instruction{Op: ir.Unreachable, Typ: ir.Void})
+				t.report(f.Name, b.Name, inst.Op, err)
+				break
 			}
 			for _, ni := range t.cur.Insts[mark:] {
 				if ni.Attrs.Line == 0 {
@@ -139,9 +213,6 @@ func (t *T) translateFunc(f *ir.Function) error {
 				}
 			}
 			if inst.HasResult() {
-				if res == nil {
-					return fmt.Errorf("block %%%s: translator for %s produced no value", b.Name, inst.Op)
-				}
 				if ni, ok := res.(*ir.Instruction); ok {
 					ni.Name = inst.Name
 					ni.Attrs.Line = inst.Attrs.Line // preserve debug info
@@ -154,9 +225,42 @@ func (t *T) translateFunc(f *ir.Function) error {
 		}
 	}
 	if un := ir.ResolvePlaceholders(nf); len(un) > 0 {
-		return fmt.Errorf("%d unresolved value dependences (first: %s)", len(un), un[0].Key.Ident())
+		if !t.Lenient {
+			return fmt.Errorf("%d unresolved value dependences (first: %s)", len(un), un[0].Key.Ident())
+		}
+		for _, ph := range un {
+			ph.Resolved = &ir.ConstUndef{Typ: ph.Type()}
+			t.report(f.Name, "", ir.BadOp,
+				fmt.Errorf("value %s defined by dropped code resolves to undef", ph.Key.Ident()))
+		}
+		ir.ResolvePlaceholders(nf) // substitute the undefs just installed
 	}
 	return nil
+}
+
+// PanicError reports a panic contained by the per-instruction recovery.
+// Callers that care about the distinction (the synthesizer's isolation
+// stats) detect it with errors.As; everyone else sees a plain error.
+type PanicError struct{ V any }
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("translator panicked: %v", e.V)
+}
+
+// applyInst dispatches and runs the instruction translator for one
+// instruction, containing any panic the translator or its API
+// components raise so a single bad component cannot take down the run.
+func (t *T) applyInst(ctx *irlib.Ctx, inst *ir.Instruction) (res ir.Value, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &PanicError{V: r}
+		}
+	}()
+	fn, err := t.Dispatch(inst)
+	if err != nil {
+		return nil, err
+	}
+	return fn(ctx, inst)
 }
 
 // Ctx returns the irlib evaluation context bound to this run: the Emit
@@ -180,7 +284,9 @@ func (t *T) emit(inst *ir.Instruction) *ir.Instruction {
 		inst.Name = fmt.Sprintf(".t%d", t.tmpN)
 	}
 	if t.cur == nil {
-		panic("skeleton: emit outside a block")
+		// Contained by applyInst's recovery (per-instruction) or Run's
+		// outer recovery; typed so those layers can classify it.
+		panic(&ir.BuildError{Msg: "skeleton emit outside a block"})
 	}
 	return t.cur.Append(inst)
 }

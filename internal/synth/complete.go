@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/failure"
 	"repro/internal/ir"
 	"repro/internal/irlib"
 	"repro/internal/version"
@@ -61,7 +62,7 @@ func completeKind(op ir.Opcode, cells map[string][]*irlib.Atomic) (*InstTranslat
 	keys := make([]string, 0, len(cells))
 	for k := range cells {
 		if len(cells[k]) == 0 {
-			return nil, fmt.Errorf("synth: contradictory tests for %s under %q: no candidate satisfies all", op, k)
+			return nil, failure.Wrapf(failure.Synthesis, "synth: contradictory tests for %s under %q: no candidate satisfies all", op, k)
 		}
 		keys = append(keys, k)
 	}
@@ -87,7 +88,7 @@ func completeKind(op ir.Opcode, cells map[string][]*irlib.Atomic) (*InstTranslat
 	for len(remaining) > 0 {
 		best, bestCov := pickBest(cells, remaining)
 		if best == nil {
-			return nil, fmt.Errorf("synth: cover construction failed for %s", op)
+			return nil, failure.Wrapf(failure.Synthesis, "synth: cover construction failed for %s", op)
 		}
 		sort.Strings(bestCov)
 		out = append(out, Case{

@@ -1,12 +1,14 @@
 package synth
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/failure"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/irlib"
@@ -33,10 +35,10 @@ func (s *Synthesizer) processTest(t *TestCase) error {
 	// Sanity: the test itself must meet its oracle at the source version.
 	res, err := interp.Run(t.Module, interp.Options{})
 	if err != nil {
-		return fmt.Errorf("source execution failed: %w", err)
+		return failure.Wrapf(failure.Validation, "source execution failed: %w", err)
 	}
 	if res.Crashed() || res.Ret != t.Oracle {
-		return fmt.Errorf("source execution returned %d (crash=%q), oracle is %d",
+		return failure.Wrapf(failure.Validation, "source execution returned %d (crash=%q), oracle is %d",
 			res.Ret, res.Crash, t.Oracle)
 	}
 
@@ -52,7 +54,7 @@ func (s *Synthesizer) processTest(t *TestCase) error {
 	for _, bx := range boxes {
 		total *= len(bx.classes)
 		if total > s.Opts.MaxPerTest {
-			return fmt.Errorf("per-test translator count exceeds %d (test too complex for current M*; add simpler tests first)", s.Opts.MaxPerTest)
+			return failure.Wrapf(failure.Budget, "per-test translator count exceeds %d (test too complex for current M*; add simpler tests first)", s.Opts.MaxPerTest)
 		}
 	}
 	s.stats.PerTestTotal += total
@@ -76,12 +78,16 @@ func (s *Synthesizer) processTest(t *TestCase) error {
 	for _, e := range prof {
 		byInst[e.Inst] = e
 	}
+	var deadline time.Time
+	if d := s.Opts.TestDeadline; d > 0 {
+		deadline = time.Now().Add(d)
+	}
 	validateIdx := func(idx []int) valOutcome {
 		assign := map[*box]*irlib.Atomic{}
 		for i, bx := range boxes {
 			assign[bx] = bx.classes[idx[i]][0]
 		}
-		out := s.validateAssignment(t, byInst, entryBox, assign)
+		out := s.validateGuarded(t, byInst, entryBox, assign, deadline)
 		out.idx = idx
 		return out
 	}
@@ -120,11 +126,19 @@ func (s *Synthesizer) processTest(t *TestCase) error {
 		})
 	}
 	anyWin := false
+	timedOut := 0
 	for _, out := range outcomes {
 		s.stats.Validations++
 		if out.executed {
 			s.stats.ExecRuns++
 			s.stats.ExecTime += out.execTime
+		}
+		if out.panicked {
+			s.stats.PanicsIsolated++
+		}
+		if out.timedOut {
+			timedOut++
+			s.stats.TimedOut++
 		}
 		if out.ok {
 			anyWin = true
@@ -135,7 +149,11 @@ func (s *Synthesizer) processTest(t *TestCase) error {
 	}
 	s.stats.ValidateTime += time.Since(start)
 	if !anyWin && len(boxes) > 0 {
-		return fmt.Errorf("no per-test translator satisfied the oracle (%d tried)", total)
+		if timedOut > 0 {
+			return failure.Wrapf(failure.Budget, "test deadline %v expired with no winner (%d of %d validations cut off)",
+				s.Opts.TestDeadline, timedOut, total)
+		}
+		return failure.Wrapf(failure.Synthesis, "no per-test translator satisfied the oracle (%d tried)", total)
 	}
 
 	// ➍ Refinement (Alg. 4): intersect winning candidates into M*.
@@ -188,7 +206,7 @@ func (s *Synthesizer) buildBoxes(prof []*profEntry) ([]*box, error) {
 			}
 		}
 		if len(pool) == 0 {
-			return nil, fmt.Errorf("no candidates for instruction kind %s", bx.kind)
+			return nil, failure.Wrapf(failure.Synthesis, "no candidates for instruction kind %s", bx.kind)
 		}
 		bx.classes = s.classify(bx, pool)
 		out = append(out, bx)
@@ -214,7 +232,7 @@ func (s *Synthesizer) classify(bx *box, pool []*irlib.Atomic) [][]*irlib.Atomic 
 	groups := map[string][]*irlib.Atomic{}
 	var order []string
 	for _, a := range pool {
-		k := semKey(a.Root, inst, reg)
+		k := safeSemKey(a.Root, inst, reg)
 		if _, ok := groups[k]; !ok {
 			order = append(order, k)
 		}
@@ -287,6 +305,19 @@ func (r *objReg) id(v any) string {
 	return fmt.Sprintf("o%d", r.next)
 }
 
+// safeSemKey is semKey with panic isolation: a getter that panics when
+// probed (a poisoned or buggy component) keys the candidate into its own
+// structural class instead of taking down classification. The candidate
+// still reaches validation, where the same panic rejects it.
+func safeSemKey(t *irlib.Term, inst *ir.Instruction, reg *objReg) (k string) {
+	defer func() {
+		if r := recover(); r != nil {
+			k = "panic:" + t.Key()
+		}
+	}()
+	return semKey(t, inst, reg)
+}
+
 // semKey renders the effect signature of a term on a concrete
 // instruction: source-side getters and constants are evaluated to object
 // identities; cross-side and builder nodes stay structural.
@@ -315,6 +346,8 @@ type valOutcome struct {
 	idx      []int
 	ok       bool
 	executed bool
+	panicked bool // rejected by panic isolation
+	timedOut bool // skipped or cut off by the test deadline
 	execTime time.Duration
 }
 
@@ -336,6 +369,52 @@ func forEachAssignment(boxes []*box, visit func(idx []int)) {
 			return
 		}
 	}
+}
+
+// validateGuarded runs one validation with the hardening wrappers. With
+// no deadline it only adds panic isolation. With a deadline it first
+// refuses work once the deadline has passed, then races the validation
+// against the time remaining, so a candidate whose poisoned component
+// hangs forfeits only this per-test translator (the stuck goroutine is
+// abandoned; its eventual result is discarded through the buffered
+// channel).
+func (s *Synthesizer) validateGuarded(t *TestCase, byInst map[*ir.Instruction]*profEntry,
+	entryBox map[*ir.Instruction]*box, assign map[*box]*irlib.Atomic, deadline time.Time) valOutcome {
+
+	if deadline.IsZero() {
+		return s.validateIsolated(t, byInst, entryBox, assign)
+	}
+	remain := time.Until(deadline)
+	if remain <= 0 {
+		return valOutcome{timedOut: true}
+	}
+	done := make(chan valOutcome, 1)
+	go func() {
+		done <- s.validateIsolated(t, byInst, entryBox, assign)
+	}()
+	timer := time.NewTimer(remain)
+	defer timer.Stop()
+	select {
+	case out := <-done:
+		return out
+	case <-timer.C:
+		return valOutcome{timedOut: true}
+	}
+}
+
+// validateIsolated converts a panic raised anywhere inside a candidate's
+// translation — a poisoned API component, a malformed composition — into
+// a plain rejection of that candidate, exactly as the paper's refinement
+// excludes plausible-but-wrong per-test translators.
+func (s *Synthesizer) validateIsolated(t *TestCase, byInst map[*ir.Instruction]*profEntry,
+	entryBox map[*ir.Instruction]*box, assign map[*box]*irlib.Atomic) (out valOutcome) {
+
+	defer func() {
+		if r := recover(); r != nil {
+			out = valOutcome{panicked: true}
+		}
+	}()
+	return s.validateAssignment(t, byInst, entryBox, assign)
 }
 
 // validateAssignment performs one differential-testing validation
@@ -369,7 +448,11 @@ func (s *Synthesizer) validateAssignment(t *TestCase, byInst map[*ir.Instruction
 	tr := skeleton.New(t.Module, s.TgtVer, dispatch)
 	tgtMod, err := tr.Run()
 	if err != nil {
-		return valOutcome{} // translation failure: early rejection
+		// Translation failure: early rejection. A panic contained by the
+		// skeleton's per-instruction recovery is reported distinctly so
+		// Stats.PanicsIsolated reflects poisoned-component containment.
+		var pe *skeleton.PanicError
+		return valOutcome{panicked: errors.As(err, &pe)}
 	}
 	if err := ir.Verify(tgtMod); err != nil {
 		return valOutcome{} // verification failure

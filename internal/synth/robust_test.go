@@ -1,0 +1,61 @@
+package synth
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/irlib"
+	"repro/internal/version"
+)
+
+// An already-expired deadline skips every validation; with no winners
+// the test fails Budget-classified, and the skips are counted.
+func TestDeadlineImmediateExpiry(t *testing.T) {
+	s := New(version.V12_0, version.V3_6, Options{TestDeadline: time.Nanosecond})
+	_, err := s.Run([]*TestCase{addTest(t, version.V12_0)})
+	if err == nil {
+		t.Fatal("synthesis succeeded with an unmeetable deadline")
+	}
+	if !errors.Is(err, failure.Budget) {
+		t.Fatalf("err = %v, want class %v", err, failure.Budget)
+	}
+	if s.stats.TimedOut == 0 {
+		t.Fatal("no validations recorded as timed out")
+	}
+}
+
+// A generous deadline must not change the outcome: the deadline is a
+// bound, not a behavior switch.
+func TestDeadlineGenerousIsTransparent(t *testing.T) {
+	s := New(version.V12_0, version.V3_6, Options{TestDeadline: time.Minute})
+	res, err := s.Run([]*TestCase{addTest(t, version.V12_0), subTest(t, version.V12_0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TimedOut != 0 {
+		t.Fatalf("TimedOut = %d under a generous deadline", res.Stats.TimedOut)
+	}
+}
+
+// The library-override seam: nil keeps the version defaults, and a
+// non-nil override is what the synthesizer actually searches over.
+func TestLibraryOverrideSeam(t *testing.T) {
+	def := New(version.V12_0, version.V3_6, Options{})
+	if def.getters == nil || def.builders == nil {
+		t.Fatal("default libraries not resolved")
+	}
+	// An empty builder library means no candidates for any kind: the
+	// first test must fail Synthesis-classified rather than silently
+	// using the default library.
+	empty := &irlib.Library{Ver: version.V3_6, Side: irlib.SideTgt}
+	s := New(version.V12_0, version.V3_6, Options{Builders: empty})
+	_, err := s.Run([]*TestCase{addTest(t, version.V12_0)})
+	if err == nil {
+		t.Fatal("synthesis succeeded over an empty builder library")
+	}
+	if !errors.Is(err, failure.Synthesis) {
+		t.Fatalf("err = %v, want class %v", err, failure.Synthesis)
+	}
+}

@@ -55,6 +55,21 @@ type Options struct {
 	// parallelizes validation across 40 threads; validations are
 	// independent). 0 or 1 validates sequentially.
 	Workers int
+	// TestDeadline bounds the wall clock spent validating one test
+	// case. 0 disables the bound. When it expires, validations that
+	// already ran keep their verdicts (refinement proceeds on the
+	// partial winner set); if nothing won before expiry the test fails
+	// with a Budget-classified error. Each in-flight validation is also
+	// raced against the deadline, so a candidate whose poisoned
+	// component hangs forfeits only that per-test translator.
+	TestDeadline time.Duration
+	// Getters and Builders override the versioned API libraries the
+	// synthesizer searches over; nil selects irlib.Getters(src) and
+	// irlib.Builders(tgt). This is the seam the chaos fault-injection
+	// harness uses to hand the search a library whose components lie,
+	// trap, or panic.
+	Getters  *irlib.Library
+	Builders *irlib.Library
 	// Gen bounds candidate generation.
 	Gen typegraph.Options
 }
@@ -73,6 +88,8 @@ type Stats struct {
 	PerTestTotal      int // per-test translators enumerated
 	Validations       int // per-test translators actually validated
 	ExecRuns          int // oracle executions (survived translate+verify)
+	PanicsIsolated    int // candidate validations rejected by panic recovery
+	TimedOut          int // validations skipped or cut off by TestDeadline
 
 	GenTime      time.Duration
 	ProfileTime  time.Duration
@@ -136,10 +153,18 @@ type Synthesizer struct {
 
 // New creates a synthesizer for the src→tgt pair.
 func New(src, tgt version.V, opts Options) *Synthesizer {
+	getters := opts.Getters
+	if getters == nil {
+		getters = irlib.Getters(src)
+	}
+	builders := opts.Builders
+	if builders == nil {
+		builders = irlib.Builders(tgt)
+	}
 	return &Synthesizer{
 		SrcVer: src, TgtVer: tgt, Opts: opts.withDefaults(),
-		getters:  irlib.Getters(src),
-		builders: irlib.Builders(tgt),
+		getters:  getters,
+		builders: builders,
 		xlate:    irlib.XlateAPIs(),
 		preds:    irlib.PredicatesByKind(src),
 		mstar:    map[ir.Opcode]map[string][]*irlib.Atomic{},

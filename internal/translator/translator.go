@@ -7,6 +7,7 @@ package translator
 import (
 	"fmt"
 
+	"repro/internal/failure"
 	"repro/internal/ir"
 	"repro/internal/irlib"
 	"repro/internal/irtext"
@@ -45,42 +46,75 @@ func FromResult(res *synth.Result) *Translator {
 }
 
 // Translate converts a source-version module into the target version.
+// Failures are classified: an uncovered kind or unseen sub-kind is
+// failure.Unsupported (add a covering test case), a verification failure
+// of the output is failure.Validation.
 func (t *Translator) Translate(m *ir.Module) (*ir.Module, error) {
 	if m.Ver != t.Pair.Source {
-		return nil, fmt.Errorf("translator: module is version %s, translator expects %s", m.Ver, t.Pair.Source)
+		return nil, failure.Wrapf(failure.Unsupported,
+			"translator: module is version %s, translator expects %s", m.Ver, t.Pair.Source)
 	}
-	dispatch := func(inst *ir.Instruction) (skeleton.InstFn, error) {
-		if !ir.AvailableIn(inst.Op, t.Pair.Target) {
-			return skeleton.NewInstHandler(inst.Op, t.Pair.Target), nil
-		}
-		mk, ok := t.res.Translators[inst.Op]
-		if !ok {
-			return nil, fmt.Errorf("translator: no synthesized translator for %s (uncovered kind)", inst.Op)
-		}
-		sigma := irlib.SigmaOf(t.preds, inst)
-		atomic, ok := mk.Select(sigma)
-		if !ok {
-			return nil, &UnseenSubKindError{Kind: inst.Op, Sigma: sigma}
-		}
-		return func(c *irlib.Ctx, i *ir.Instruction) (ir.Value, error) {
-			out, err := atomic.Apply(c, i)
-			if err != nil {
-				return nil, err
-			}
-			if !i.HasResult() {
-				return nil, nil
-			}
-			return out, nil
-		}, nil
-	}
-	out, err := skeleton.New(m, t.Pair.Target, dispatch).Run()
+	out, err := skeleton.New(m, t.Pair.Target, t.dispatch).Run()
 	if err != nil {
-		return nil, err
+		return nil, failure.Wrap(failure.Unsupported, err)
 	}
 	if err := ir.Verify(out); err != nil {
-		return nil, fmt.Errorf("translator: output failed verification: %w", err)
+		return nil, failure.Wrapf(failure.Validation, "translator: output failed verification: %w", err)
 	}
 	return out, nil
+}
+
+// TranslatePartial is Translate with graceful degradation: instead of
+// aborting on the first untranslatable construct, it drops the
+// offending region (sealing its block with unreachable, §3.3.2
+// generalized) and reports every dropped site. The returned module is
+// always verified; callers decide from the report whether the dropped
+// regions are reachable by their workload. A non-empty report with a
+// nil error is the partial-success contract.
+func (t *Translator) TranslatePartial(m *ir.Module) (*ir.Module, []skeleton.UnsupportedSite, error) {
+	if m.Ver != t.Pair.Source {
+		return nil, nil, failure.Wrapf(failure.Unsupported,
+			"translator: module is version %s, translator expects %s", m.Ver, t.Pair.Source)
+	}
+	sk := skeleton.New(m, t.Pair.Target, t.dispatch)
+	sk.Lenient = true
+	out, err := sk.Run()
+	if err != nil {
+		return nil, nil, failure.Wrap(failure.Unsupported, err)
+	}
+	if err := ir.Verify(out); err != nil {
+		return nil, sk.Unsupported(), failure.Wrapf(failure.Validation,
+			"translator: degraded output failed verification: %w", err)
+	}
+	return out, sk.Unsupported(), nil
+}
+
+// dispatch selects the synthesized instruction translator (or the
+// hand-written new-instruction handler) for one instruction.
+func (t *Translator) dispatch(inst *ir.Instruction) (skeleton.InstFn, error) {
+	if !ir.AvailableIn(inst.Op, t.Pair.Target) {
+		return skeleton.NewInstHandler(inst.Op, t.Pair.Target), nil
+	}
+	mk, ok := t.res.Translators[inst.Op]
+	if !ok {
+		return nil, failure.Wrapf(failure.Unsupported,
+			"translator: no synthesized translator for %s (uncovered kind)", inst.Op)
+	}
+	sigma := irlib.SigmaOf(t.preds, inst)
+	atomic, ok := mk.Select(sigma)
+	if !ok {
+		return nil, failure.Wrap(failure.Unsupported, &UnseenSubKindError{Kind: inst.Op, Sigma: sigma})
+	}
+	return func(c *irlib.Ctx, i *ir.Instruction) (ir.Value, error) {
+		out, err := atomic.Apply(c, i)
+		if err != nil {
+			return nil, err
+		}
+		if !i.HasResult() {
+			return nil, nil
+		}
+		return out, nil
+	}, nil
 }
 
 // TranslateText reads source-version IR text, translates it, and writes
@@ -88,7 +122,7 @@ func (t *Translator) Translate(m *ir.Module) (*ir.Module, error) {
 func (t *Translator) TranslateText(src string) (string, error) {
 	m, err := irtext.Parse(src, t.Pair.Source)
 	if err != nil {
-		return "", fmt.Errorf("translator: reading source IR: %w", err)
+		return "", failure.Wrapf(failure.Parse, "translator: reading source IR: %w", err)
 	}
 	out, err := t.Translate(m)
 	if err != nil {

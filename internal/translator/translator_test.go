@@ -1,11 +1,14 @@
 package translator
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
 	"repro/internal/corpus"
+	"repro/internal/failure"
 	"repro/internal/interp"
+	"repro/internal/ir"
 	"repro/internal/irtext"
 	"repro/internal/synth"
 	"repro/internal/version"
@@ -226,24 +229,9 @@ entry:
 		t.Fatal("unseen sub-kind not reported")
 	}
 	var unseen *UnseenSubKindError
-	if !errorsAs(err, &unseen) {
+	if !errors.As(err, &unseen) {
 		t.Fatalf("error is %T: %v", err, err)
 	}
-}
-
-func errorsAs(err error, target **UnseenSubKindError) bool {
-	for err != nil {
-		if e, ok := err.(*UnseenSubKindError); ok {
-			*target = e
-			return true
-		}
-		u, ok := err.(interface{ Unwrap() error })
-		if !ok {
-			return false
-		}
-		err = u.Unwrap()
-	}
-	return false
 }
 
 // TestIdentityPairCoversFullOpcodeSurface synthesizes a 17.0→17.0
@@ -319,5 +307,89 @@ func TestExportImportRoundTrip(t *testing.T) {
 	}
 	if _, err := synth.Import([]byte(`{"source":"12.0","target":"3.6","translators":[{"kind":"add","cases":[{"covered":["true"],"atomic":"NoSuchThing(inst)"}]}]}`), synth.Options{}); err == nil {
 		t.Error("stale atomic key accepted")
+	}
+}
+
+// buildWithout synthesizes a 12.0→3.6 translator trained without the
+// named corpus test, leaving its construct an unseen sub-kind.
+func buildWithout(t *testing.T, skip string) *Translator {
+	t.Helper()
+	var slim []*synth.TestCase
+	for _, tcase := range corpus.Tests(version.V12_0) {
+		if tcase.Name != skip {
+			slim = append(slim, tcase)
+		}
+	}
+	res, err := synth.New(version.V12_0, version.V3_6, synth.Options{}).Run(slim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromResult(res)
+}
+
+func TestTranslateClassifiesUnsupported(t *testing.T) {
+	tr := buildWithout(t, "alloca_array_count")
+	m, err := irtext.Parse(`
+define i32 @main() {
+entry:
+  %p = alloca i32, i32 4
+  store i32 5, i32* %p
+  %v = load i32, i32* %p
+  ret i32 %v
+}
+`, version.V12_0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = tr.Translate(m)
+	if !errors.Is(err, failure.Unsupported) {
+		t.Fatalf("err = %v, want class %v", err, failure.Unsupported)
+	}
+	if failure.ExitCode(err) != 7 {
+		t.Fatalf("exit code = %d, want 7", failure.ExitCode(err))
+	}
+}
+
+func TestTranslatePartialDropsUnreachableConstruct(t *testing.T) {
+	// §3.3.2 generalized: the untranslatable array alloca lives in a
+	// helper @main never calls, so the degraded module must still run.
+	tr := buildWithout(t, "alloca_array_count")
+	m, err := irtext.Parse(`
+define i32 @scratch() {
+entry:
+  %p = alloca i32, i32 4
+  store i32 5, i32* %p
+  %v = load i32, i32* %p
+  ret i32 %v
+}
+
+define i32 @main() {
+entry:
+  %p = alloca i32
+  store i32 7, i32* %p
+  %v = load i32, i32* %p
+  ret i32 %v
+}
+`, version.V12_0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, sites, err := tr.TranslatePartial(m)
+	if err != nil {
+		t.Fatalf("TranslatePartial: %v", err)
+	}
+	if len(sites) != 1 {
+		t.Fatalf("sites = %v, want exactly one", sites)
+	}
+	if sites[0].Func != "scratch" || sites[0].Op != ir.Alloca {
+		t.Fatalf("site = %+v, want @scratch alloca", sites[0])
+	}
+	res, err := interp.Run(out, interp.Options{})
+	if err != nil || res.Crashed() || res.Ret != 7 {
+		t.Fatalf("degraded module: ret=%d crash=%q err=%v, want 7", res.Ret, res.Crash, err)
+	}
+	// The strict path must still refuse the same module.
+	if _, err := tr.Translate(m); err == nil {
+		t.Fatal("strict Translate accepted module with unseen sub-kind")
 	}
 }

@@ -1,0 +1,179 @@
+package siro
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/ir"
+	"repro/internal/irlib"
+)
+
+// The acceptance bar of the failure model: for every fault class, no
+// panic escapes the public facade and the failure surfaces as the
+// matching classified sentinel.
+
+func TestFacadeParseFailuresClassified(t *testing.T) {
+	cases := []string{
+		"",
+		"define",
+		"define i32 @main() {",
+		"define i32 @main() {\nentry:\n  %v = load i32\n}",
+		"@@@@",
+		"define i32 @main() {\nentry:\n  ret i32 %nosuch\n}",
+	}
+	for _, src := range cases {
+		if _, err := ParseIR(src, V12_0); err != nil && !errors.Is(err, ErrParse) {
+			t.Errorf("ParseIR(%q): unclassified error %v", src, err)
+		}
+	}
+	// A 3.6 parser must reject 12.0 syntax — as ErrParse, not a crash.
+	_, err := ParseIR("define i32 @main() {\nentry:\n  %p = alloca i32\n  %v = load i32, i32* %p\n  ret i32 %v\n}\n", V3_6)
+	if !errors.Is(err, ErrParse) {
+		t.Errorf("version-mismatched text: err = %v, want ErrParse", err)
+	}
+}
+
+func TestFacadeCorruptTextSweep(t *testing.T) {
+	const good = `
+define i32 @f(i32 %x) {
+entry:
+  %r = mul i32 %x, 3
+  ret i32 %r
+}
+
+define i32 @main() {
+entry:
+  %a = call i32 @f(i32 14)
+  ret i32 %a
+}
+`
+	for _, fault := range chaos.TextFaults {
+		for seed := int64(1); seed <= 16; seed++ {
+			src := chaos.CorruptText(good, fault, seed)
+			if _, err := ParseIR(src, V12_0); err != nil && !errors.Is(err, ErrParse) {
+				t.Fatalf("%s seed %d: unclassified error %v", fault, seed, err)
+			}
+		}
+	}
+}
+
+func TestFacadeCompileCFailuresClassified(t *testing.T) {
+	for _, src := range []string{
+		"int main( {",
+		"int main() { return x; }",
+		"}{",
+		"int f(int a) { return f; }",
+	} {
+		if _, err := CompileC("t.c", src, V12_0); err != nil && !errors.Is(err, ErrParse) {
+			t.Errorf("CompileC(%q): unclassified error %v", src, err)
+		}
+	}
+}
+
+func TestFacadeBudgetClassified(t *testing.T) {
+	m, err := ParseIR("define i32 @main() {\nentry:\n  br label %l\nl:\n  br label %l\n}\n", V12_0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ExecuteWithOptions(m, ExecOptions{MaxSteps: 100})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if ExitCode(err) != 6 {
+		t.Fatalf("ExitCode = %d, want 6", ExitCode(err))
+	}
+}
+
+// Synthesis over a library with a poisoned component: a component with
+// an honest alias is routed around; a sole-path component surfaces
+// ErrSynthesis. Either way, no panic crosses the facade.
+func TestFacadeSynthesisWithPoisonedLibrary(t *testing.T) {
+	lying, n := chaos.Poison(irlib.Getters(V12_0),
+		chaos.ComponentFault{API: "GetLHS", Kind: ir.ICmp, Mode: chaos.Lie})
+	if n == 0 {
+		t.Fatal("fault matched nothing")
+	}
+	tr, _, err := SynthesizeWithOptions(V12_0, V3_6, nil, SynthOptions{Getters: lying})
+	if err != nil {
+		t.Fatalf("synthesis did not converge around the lying getter: %v", err)
+	}
+	out, err := tr.TranslateText("define i32 @main() {\nentry:\n  %c = icmp slt i32 3, 7\n  br i1 %c, label %a, label %b\na:\n  ret i32 42\nb:\n  ret i32 7\n}\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseIR(out, V3_6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(m, nil)
+	if err != nil || res.Crashed() || res.Ret != 42 {
+		t.Fatalf("probe: ret=%d crash=%q err=%v, want 42", res.Ret, res.Crash, err)
+	}
+
+	panicking, _ := chaos.Poison(irlib.Builders(V3_6),
+		chaos.ComponentFault{API: "CreateSub", Kind: ir.Sub, Mode: chaos.Panic})
+	_, _, err = SynthesizeWithOptions(V12_0, V3_6, nil, SynthOptions{Builders: panicking})
+	if !errors.Is(err, ErrSynthesis) {
+		t.Fatalf("sole-builder poison: err = %v, want ErrSynthesis", err)
+	}
+}
+
+func TestFacadeUnsupportedAndPartial(t *testing.T) {
+	var slim []*TestCase
+	for _, tc := range DefaultTests(V12_0) {
+		if tc.Name != "alloca_array_count" {
+			slim = append(slim, tc)
+		}
+	}
+	tr, _, err := Synthesize(V12_0, V3_6, slim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseIR(`
+define i32 @helper() {
+entry:
+  %p = alloca i32, i32 4
+  ret i32 0
+}
+
+define i32 @main() {
+entry:
+  ret i32 5
+}
+`, V12_0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Translate(m); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("strict: err = %v, want ErrUnsupported", err)
+	}
+	out, sites, err := tr.TranslatePartial(m)
+	if err != nil {
+		t.Fatalf("partial: %v", err)
+	}
+	if len(sites) == 0 {
+		t.Fatal("partial translation reported no dropped sites")
+	}
+	var _ UnsupportedSite = sites[0]
+	res, err := Execute(out, nil)
+	if err != nil || res.Crashed() || res.Ret != 5 {
+		t.Fatalf("degraded module: ret=%d crash=%q err=%v, want 5", res.Ret, res.Crash, err)
+	}
+}
+
+func TestExitCodeTable(t *testing.T) {
+	if got := ExitCode(nil); got != 0 {
+		t.Errorf("ExitCode(nil) = %d", got)
+	}
+	for want, sentinel := range map[int]error{
+		3: ErrParse, 4: ErrSynthesis, 5: ErrValidation, 6: ErrBudget, 7: ErrUnsupported,
+	} {
+		if got := ExitCode(sentinel); got != want {
+			t.Errorf("ExitCode(%v) = %d, want %d", sentinel, got, want)
+		}
+	}
+	if got := ExitCode(errors.New("misc")); got != 1 {
+		t.Errorf("ExitCode(unclassified) = %d, want 1", got)
+	}
+}

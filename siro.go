@@ -19,15 +19,61 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/cc"
 	"repro/internal/corpus"
+	"repro/internal/failure"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/irtext"
 	"repro/internal/portable"
+	"repro/internal/skeleton"
 	"repro/internal/synth"
 	"repro/internal/translator"
 	"repro/internal/tvalid"
 	"repro/internal/version"
 )
+
+// Failure taxonomy. Every error leaving this package is classified into
+// exactly one of these sentinels; test with errors.Is and map to a
+// process exit status with ExitCode. The innermost classification wins,
+// so a parse failure inside a synthesis run still reads as ErrParse.
+var (
+	// ErrParse — malformed input: IR text, mini-C source, or a persisted
+	// synthesis artifact.
+	ErrParse error = failure.Parse
+	// ErrSynthesis — the search could not produce a translator: no
+	// candidates, contradictory tests, or no per-test winner.
+	ErrSynthesis error = failure.Synthesis
+	// ErrValidation — differential validation or output verification
+	// failed: a source test missed its oracle, a translated module did
+	// not verify, or the interpreter hit a fatal inconsistency.
+	ErrValidation error = failure.Validation
+	// ErrBudget — a resource bound was exhausted: interpreter step
+	// budget, per-test enumeration bound, or test wall-clock deadline.
+	ErrBudget error = failure.Budget
+	// ErrUnsupported — a construct outside the synthesized translator's
+	// coverage: an uncovered kind, an unseen sub-kind, or a module of
+	// the wrong source version.
+	ErrUnsupported error = failure.Unsupported
+)
+
+// ExitCode maps a classified error to a stable process exit status:
+// 0 for nil, 3–7 for ErrParse, ErrSynthesis, ErrValidation, ErrBudget
+// and ErrUnsupported respectively, 1 for unclassified errors (2 is left
+// to the flag package's usage errors).
+func ExitCode(err error) int { return failure.ExitCode(err) }
+
+// UnsupportedSite is one construct a partial translation dropped (see
+// Translator.TranslatePartial).
+type UnsupportedSite = skeleton.UnsupportedSite
+
+// guard converts a panic that escapes an internal layer into an
+// ErrValidation-classified error, so no public entry point ever crashes
+// the embedding process. Classified panics (ir.BuildError et al.) keep
+// their message.
+func guard(err *error) {
+	if r := recover(); r != nil {
+		*err = failure.Wrapf(failure.Validation, "siro: internal panic: %v", r)
+	}
+}
 
 // Version identifies one IR release.
 type Version = version.V
@@ -77,19 +123,12 @@ type BugReport = analysis.Report
 // Synthesize builds an IR translator for the src→tgt version pair. When
 // tests is nil the built-in 68-case corpus (§6.2) is used.
 func Synthesize(src, tgt Version, tests []*TestCase) (*Translator, *SynthReport, error) {
-	if tests == nil {
-		tests = corpus.Tests(src)
-	}
-	s := synth.New(src, tgt, synth.Options{})
-	res, err := s.Run(tests)
-	if err != nil {
-		return nil, nil, err
-	}
-	return translator.FromResult(res), res, nil
+	return SynthesizeWithOptions(src, tgt, tests, synth.Options{})
 }
 
 // SynthesizeWithOptions is Synthesize with explicit loop options.
-func SynthesizeWithOptions(src, tgt Version, tests []*TestCase, opts SynthOptions) (*Translator, *SynthReport, error) {
+func SynthesizeWithOptions(src, tgt Version, tests []*TestCase, opts SynthOptions) (tr *Translator, rep *SynthReport, err error) {
+	defer guard(&err)
 	if tests == nil {
 		tests = corpus.Tests(src)
 	}
@@ -106,18 +145,38 @@ func SynthesizeWithOptions(src, tgt Version, tests []*TestCase, opts SynthOption
 func DefaultTests(src Version) []*TestCase { return corpus.Tests(src) }
 
 // ParseIR reads textual IR with the version-v reader.
-func ParseIR(text string, v Version) (*Module, error) { return irtext.Parse(text, v) }
+func ParseIR(text string, v Version) (m *Module, err error) {
+	defer guard(&err)
+	return irtext.Parse(text, v)
+}
 
 // WriteIR serializes a module with its version's writer.
-func WriteIR(m *Module) (string, error) { return irtext.NewWriter(m.Ver).WriteModule(m) }
+func WriteIR(m *Module) (s string, err error) {
+	defer guard(&err)
+	return irtext.NewWriter(m.Ver).WriteModule(m)
+}
+
+// ExecOptions tunes module execution (step budget, input bytes, extern
+// functions).
+type ExecOptions = interp.Options
 
 // Execute runs a module's main function under the reference interpreter.
 func Execute(m *Module, input []byte) (ExecResult, error) {
-	return interp.Run(m, interp.Options{Input: input})
+	return ExecuteWithOptions(m, ExecOptions{Input: input})
+}
+
+// ExecuteWithOptions is Execute with an explicit step budget and extern
+// environment. Budget exhaustion is ErrBudget; runtime traps (null
+// dereference, division by zero, …) are not errors — they come back in
+// ExecResult.Crash.
+func ExecuteWithOptions(m *Module, opts ExecOptions) (res ExecResult, err error) {
+	defer guard(&err)
+	return interp.Run(m, opts)
 }
 
 // CompileC compiles mini-C source with the compiler of version v.
-func CompileC(name, src string, v Version) (*Module, error) {
+func CompileC(name, src string, v Version) (m *Module, err error) {
+	defer guard(&err)
 	return cc.NewCompiler(v).Compile(name, src)
 }
 
