@@ -1,11 +1,12 @@
 # Tier-1 gate for the siro reproduction. `make check` is what CI and
 # pre-commit runs: vet, build, the full test suite, and the race gate
-# over the two packages with concurrent internals (the synth worker
-# pool and the interpreter used from it).
+# over the packages with concurrent internals (the synth worker pool,
+# the interpreter used from it, and the translation service's cache,
+# router, and worker pool).
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench clean
+.PHONY: check vet build test race fuzz bench bench-service clean
 
 check: vet build test race
 
@@ -19,7 +20,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/synth ./internal/interp
+	$(GO) test -race ./internal/synth ./internal/interp ./internal/service
 
 # Short fuzz smoke of the two fuzz targets; crashers land in
 # internal/<pkg>/testdata/fuzz and are replayed by plain `go test`.
@@ -29,6 +30,11 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Cache-hit vs cold-synthesis service benchmark; asserts a >= 10x
+# speedup and writes the measurements to BENCH_service.json.
+bench-service:
+	SIRO_BENCH_JSON=$(CURDIR)/BENCH_service.json $(GO) test ./internal/service -run TestServiceBenchReport -count=1 -v
 
 clean:
 	$(GO) clean ./...

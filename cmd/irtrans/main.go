@@ -5,7 +5,13 @@
 //	irtrans -src 12.0 -tgt 3.6 -in prog.ll [-out low.ll]
 //	irtrans -src auto -tgt 3.6 -in prog.ll      # detect the source version
 //	irtrans -load siro-12.0-3.6.json -in prog.ll  # use a saved artifact
+//	irtrans -cache DIR ...  # reuse the content-addressed translator cache
 //	irtrans -lenient ...   # drop untranslatable constructs, report them
+//
+// With -cache, the translator comes from the cache directory (keyed by
+// version pair and API-registry fingerprint) when a prior run left it
+// there, and is synthesized and persisted otherwise — repeat
+// translations of the same pair skip synthesis entirely.
 //
 // Exit status encodes the failure class: 0 success, 2 usage, 3 parse
 // error, 4 synthesis failure, 5 validation failure, 6 budget exhausted,
@@ -21,6 +27,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/irtext"
 	"repro/internal/portable"
+	"repro/internal/service"
 	"repro/internal/synth"
 	"repro/internal/translator"
 	"repro/internal/version"
@@ -35,6 +42,7 @@ func main() {
 	in := flag.String("in", "", "input IR file")
 	out := flag.String("out", "", "output IR file (default stdout)")
 	load := flag.String("load", "", "load a saved translator artifact instead of synthesizing")
+	cacheDir := flag.String("cache", "", "translator cache directory: reuse cached artifacts, persist fresh ones")
 	flag.Parse()
 	if *in == "" || (*load == "" && (*srcFlag == "" || *tgtFlag == "")) {
 		flag.Usage()
@@ -74,12 +82,19 @@ func main() {
 	} else if src, err = version.Parse(*srcFlag); err != nil {
 		fatal(err)
 	}
-	s := synth.New(src, tgt, synth.Options{})
-	res, err := s.Run(corpus.Tests(src))
+	cache := service.NewCache(*cacheDir, 0, synth.Options{})
+	pair := version.Pair{Source: src, Target: tgt}
+	tr, origin, err := cache.Get(pair, func() (*synth.Result, error) {
+		s := synth.New(src, tgt, synth.Options{})
+		return s.Run(corpus.Tests(src))
+	})
 	if err != nil {
 		fatal(fmt.Errorf("synthesizing translator: %w", err))
 	}
-	emit(out, translateWith(translator.FromResult(res), string(data)))
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "irtrans: translator for %s from %s\n", pair, origin)
+	}
+	emit(out, translateWith(tr, string(data)))
 }
 
 func translateWith(tr *translator.Translator, src string) string {

@@ -1,9 +1,17 @@
 // Command siro synthesizes IR translators for version pairs, the
-// Table 3 workflow of the paper.
+// Table 3 workflow of the paper, and can serve translations as a
+// daemon.
 //
 //	siro -src 12.0 -tgt 3.6        synthesize one pair and print stats
 //	siro -all                      synthesize all ten Table 3 pairs
 //	siro -src 12.0 -tgt 3.6 -emit  also print the generated translator code
+//	siro -src 12.0 -tgt 3.6 -cache DIR   reuse/persist the translator cache
+//	siro -serve -addr :8347 -cache DIR   run the translation daemon (see cmd/sirod)
+//
+// With -cache, translators come from the content-addressed cache in
+// DIR (keyed by version pair and API-registry fingerprint) instead of
+// being re-synthesized, and fresh synthesis results are persisted
+// there for the next run — the paper's synthesize-once economics.
 //
 // Exit status encodes the failure class: 0 success, 2 usage, 3 parse
 // error, 4 synthesis failure, 5 validation failure, 6 budget exhausted,
@@ -11,14 +19,21 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"log"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/failure"
 	"repro/internal/ir"
+	"repro/internal/service"
 	"repro/internal/synth"
 	"repro/internal/version"
 )
@@ -29,7 +44,15 @@ func main() {
 	all := flag.Bool("all", false, "synthesize all ten Table 3 pairs")
 	emit := flag.Bool("emit", false, "print the synthesized translator code")
 	save := flag.String("save", "", "write the synthesized translator artifact (JSON) to this file")
+	cacheDir := flag.String("cache", "", "translator cache directory: load cached artifacts instead of re-synthesizing, persist fresh ones")
+	serve := flag.Bool("serve", false, "run the translation daemon instead of a one-shot synthesis")
+	addr := flag.String("addr", ":8347", "daemon listen address (with -serve)")
 	flag.Parse()
+
+	if *serve {
+		runServe(*addr, *cacheDir)
+		return
+	}
 
 	var pairs []version.Pair
 	switch {
@@ -50,11 +73,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	cache := service.NewCache(*cacheDir, 0, synth.Options{})
 	fmt.Println("No.  Pair          #Common  #New  #AtomicTrans(LOC)  #InstTrans(LOC)  Time")
 	for i, p := range pairs {
 		start := time.Now()
-		s := synth.New(p.Source, p.Target, synth.Options{})
-		res, err := s.Run(corpus.Tests(p.Source))
+		// Route through the content-addressed cache: a prior run's
+		// artifact (same registry fingerprint) skips synthesis. With no
+		// -cache the cache is memory-only and this is a plain synthesis.
+		res, origin, err := cache.GetResult(p, func() (*synth.Result, error) {
+			s := synth.New(p.Source, p.Target, synth.Options{})
+			return s.Run(corpus.Tests(p.Source))
+		})
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", p, err))
 		}
@@ -62,8 +91,12 @@ func main() {
 		newOps := len(ir.NewOpcodes(p.Source, p.Target))
 		atomicLOC := synth.CountLOC(res.RenderCandidates())
 		instLOC := synth.CountLOC(res.RenderAll())
-		fmt.Printf("%-4d %-13s %7d %5d %18d %16d  %v\n",
-			i+1, p, common, newOps, atomicLOC, instLOC, time.Since(start).Round(time.Millisecond))
+		note := ""
+		if *cacheDir != "" {
+			note = " [" + origin.String() + "]"
+		}
+		fmt.Printf("%-4d %-13s %7d %5d %18d %16d  %v%s\n",
+			i+1, p, common, newOps, atomicLOC, instLOC, time.Since(start).Round(time.Millisecond), note)
 		for _, w := range res.Warnings {
 			fmt.Println("  warning:", w)
 		}
@@ -80,6 +113,29 @@ func main() {
 			}
 			fmt.Println("artifact written to", *save)
 		}
+	}
+}
+
+// runServe runs the same daemon as cmd/sirod, for installs that only
+// ship the siro binary.
+func runServe(addr, cacheDir string) {
+	svc := service.New(service.Config{CacheDir: cacheDir, JobTimeout: 2 * time.Minute})
+	defer svc.Close()
+	server := &http.Server{Addr: addr, Handler: service.Handler(svc)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+	log.Printf("siro: serving on %s (cache %q)", addr, cacheDir)
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("siro: %v", err)
+		}
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		server.Shutdown(shutdownCtx)
 	}
 }
 

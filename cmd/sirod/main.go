@@ -1,0 +1,102 @@
+// Command sirod is the Siro translation daemon: a long-running HTTP
+// service over the synthesize→translate→validate pipeline with a
+// content-addressed translator cache and multi-hop version routing.
+//
+//	sirod -addr :8347 -cache /var/cache/siro
+//
+//	curl -s localhost:8347/v1/translate -d '{"source":"auto","target":"3.6","ir":"..."}'
+//	curl -s localhost:8347/v1/stats
+//	curl -s localhost:8347/healthz
+//
+// A translator is synthesized at most once per (source, target,
+// API-registry fingerprint): concurrent requests for the same uncached
+// pair share one synthesis, artifacts persist in the cache directory
+// across restarts, and pairs with no direct translator are served
+// through a differentially validated multi-hop route.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/version"
+)
+
+func main() {
+	addr := flag.String("addr", ":8347", "listen address")
+	cacheDir := flag.String("cache", "", "translator artifact cache directory (empty: in-memory only)")
+	workers := flag.Int("workers", 4, "translation worker-pool size")
+	queue := flag.Int("queue", 64, "pending-job queue depth")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-job deadline (0 disables)")
+	maxHops := flag.Int("max-hops", 3, "maximum translator hops for multi-hop routing (1 disables routing)")
+	warm := flag.String("warm", "", "comma-separated src>tgt pairs to synthesize before serving, e.g. 12.0>3.6,17.0>3.6")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		CacheDir:   *cacheDir,
+		Workers:    *workers,
+		QueueDepth: *queue,
+		JobTimeout: *timeout,
+		MaxHops:    *maxHops,
+	})
+	defer svc.Close()
+
+	if *warm != "" {
+		for _, spec := range strings.Split(*warm, ",") {
+			srcs, tgts, ok := strings.Cut(strings.TrimSpace(spec), ">")
+			if !ok {
+				log.Fatalf("sirod: bad -warm entry %q (want src>tgt)", spec)
+			}
+			src, err := version.Parse(srcs)
+			if err != nil {
+				log.Fatalf("sirod: -warm: %v", err)
+			}
+			tgt, err := version.Parse(tgts)
+			if err != nil {
+				log.Fatalf("sirod: -warm: %v", err)
+			}
+			start := time.Now()
+			if err := svc.Warm(context.Background(), src, tgt); err != nil {
+				log.Fatalf("sirod: warming %s->%s: %v", src, tgt, err)
+			}
+			log.Printf("sirod: warmed %s->%s in %v", src, tgt, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	server := &http.Server{Addr: *addr, Handler: service.Handler(svc)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+	log.Printf("sirod: serving on %s (cache %q, %d workers, max %d hops)",
+		*addr, *cacheDir, *workers, *maxHops)
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("sirod: %v", err)
+		}
+	case <-ctx.Done():
+		log.Println("sirod: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := server.Shutdown(shutdownCtx); err != nil {
+			log.Printf("sirod: shutdown: %v", err)
+		}
+	}
+	st := svc.Stats()
+	fmt.Printf("sirod: served %d requests (%d completed, %d failed, %d multi-hop); cache: %d memory hits, %d disk hits, %d synthesized, %d deduplicated\n",
+		st.Requests, st.Completed, st.Failed, st.MultiHop,
+		st.Cache.MemoryHits, st.Cache.DiskHits, st.Cache.Synthesized, st.Cache.Deduplicated)
+}

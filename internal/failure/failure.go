@@ -26,6 +26,7 @@
 package failure
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -89,6 +90,21 @@ func ClassOf(err error) *Class {
 		}
 	}
 	return nil
+}
+
+// FromContext classifies a context error as Budget: a job whose
+// deadline expired or whose caller gave up has exhausted its wall-clock
+// allowance, the same resource class as an interpreter step budget. Any
+// other error is returned unchanged (already-classified errors keep
+// their class per Wrap).
+func FromContext(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return Wrapf(Budget, "deadline exceeded: %w", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		return Wrapf(Budget, "canceled: %w", err)
+	}
+	return err
 }
 
 // ExitCode maps an error to the CLI exit code contract: 0 success,

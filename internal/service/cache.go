@@ -1,0 +1,319 @@
+// Package service is the long-running translation service above the
+// synthesize→translate→validate pipeline: a content-addressed
+// translator cache, a multi-hop version router for pairs with no
+// direct translator, and a bounded worker pool fronted by an HTTP
+// daemon (cmd/sirod) — the deployment shape the paper's one-off
+// synthesis economics call for. A translator is synthesized at most
+// once per (source, target, API-registry fingerprint) and then served
+// from memory for the lifetime of the process, from disk across
+// processes, and shared between concurrent requests through
+// singleflight deduplication.
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/failure"
+	"repro/internal/synth"
+	"repro/internal/translator"
+	"repro/internal/version"
+)
+
+// Origin says where a translator came from.
+type Origin int
+
+// The translator origins, cheapest first.
+const (
+	// OriginMemory — LRU hit, no work.
+	OriginMemory Origin = iota
+	// OriginDisk — artifact imported from the cache directory.
+	OriginDisk
+	// OriginSynth — full synthesis ran.
+	OriginSynth
+	// OriginShared — another in-flight request synthesized it and this
+	// one waited (singleflight).
+	OriginShared
+)
+
+func (o Origin) String() string {
+	switch o {
+	case OriginMemory:
+		return "memory"
+	case OriginDisk:
+		return "disk"
+	case OriginSynth:
+		return "synth"
+	case OriginShared:
+		return "shared"
+	}
+	return "?"
+}
+
+// CacheStats counts cache traffic.
+type CacheStats struct {
+	MemoryHits   int64 `json:"memory_hits"`
+	DiskHits     int64 `json:"disk_hits"`
+	Synthesized  int64 `json:"synthesized"`
+	Deduplicated int64 `json:"deduplicated"` // requests served by waiting on another's synthesis
+	Evictions    int64 `json:"evictions"`
+	StaleDropped int64 `json:"stale_dropped"` // on-disk artifacts rejected by the fingerprint check
+}
+
+// Cache is the content-addressed translator cache: an in-memory LRU of
+// ready translators layered over on-disk synthesis artifacts. The key
+// is synth.Fingerprint(src, tgt, opts) — the version pair plus a digest
+// of the API-registry surface and generation bounds — so a registry
+// change silently misses instead of resurrecting a stale translator,
+// and equal keys are guaranteed equal artifacts by the
+// byte-deterministic exporter.
+//
+// Concurrent Get calls for the same key are deduplicated: exactly one
+// caller synthesizes, the rest block and share the result.
+type Cache struct {
+	dir  string // "" = memory-only
+	max  int    // LRU capacity (entries)
+	opts synth.Options
+
+	mu     sync.Mutex
+	ll     *list.List // front = most recent; values are *cacheEntry
+	items  map[string]*list.Element
+	flight map[string]*flightCall
+	stats  CacheStats
+}
+
+type cacheEntry struct {
+	key  string
+	pair version.Pair
+	res  *synth.Result
+	tr   *translator.Translator
+}
+
+type flightCall struct {
+	done chan struct{}
+	res  *synth.Result
+	tr   *translator.Translator
+	org  Origin
+	err  error
+}
+
+// NewCache builds a cache over dir (created on demand; "" keeps the
+// cache memory-only). maxEntries bounds the in-memory LRU; 0 means 64.
+// opts are the synthesis options translators are synthesized and
+// re-imported under — they are part of the cache key.
+func NewCache(dir string, maxEntries int, opts synth.Options) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = 64
+	}
+	return &Cache{
+		dir:    dir,
+		max:    maxEntries,
+		opts:   opts,
+		ll:     list.New(),
+		items:  map[string]*list.Element{},
+		flight: map[string]*flightCall{},
+	}
+}
+
+// Key returns the content address of the pair under the cache's
+// synthesis options.
+func (c *Cache) Key(pair version.Pair) string {
+	return synth.Fingerprint(pair.Source, pair.Target, c.opts)
+}
+
+// path is the artifact file for a key: human-readable pair prefix plus
+// the content address.
+func (c *Cache) path(pair version.Pair, key string) string {
+	return filepath.Join(c.dir, fmt.Sprintf("siro-%s-%s-%s.json", pair.Source, pair.Target, key[:16]))
+}
+
+// Get returns the translator for pair, trying memory, then disk, then
+// the synthesize callback (which runs at most once per key across all
+// concurrent callers). The callback's result is persisted to the cache
+// directory before being served.
+func (c *Cache) Get(pair version.Pair, synthesize func() (*synth.Result, error)) (*translator.Translator, Origin, error) {
+	e, org, err := c.get(pair, synthesize)
+	if err != nil {
+		return nil, org, err
+	}
+	return e.tr, org, nil
+}
+
+// GetResult is Get at the synthesis-result level, for callers that
+// render or export the artifact rather than translating with it.
+func (c *Cache) GetResult(pair version.Pair, synthesize func() (*synth.Result, error)) (*synth.Result, Origin, error) {
+	e, org, err := c.get(pair, synthesize)
+	if err != nil {
+		return nil, org, err
+	}
+	return e.res, org, nil
+}
+
+func (c *Cache) get(pair version.Pair, synthesize func() (*synth.Result, error)) (*cacheEntry, Origin, error) {
+	key := c.Key(pair)
+
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.MemoryHits++
+		e := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		return e, OriginMemory, nil
+	}
+	if fl, ok := c.flight[key]; ok {
+		c.stats.Deduplicated++
+		c.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return nil, OriginShared, fl.err
+		}
+		return &cacheEntry{key: key, pair: pair, res: fl.res, tr: fl.tr}, OriginShared, nil
+	}
+	fl := &flightCall{done: make(chan struct{})}
+	c.flight[key] = fl
+	c.mu.Unlock()
+
+	e, org, err := c.loadContained(pair, key, synthesize)
+	if e != nil {
+		fl.res, fl.tr = e.res, e.tr
+	}
+	fl.org, fl.err = org, err
+
+	c.mu.Lock()
+	delete(c.flight, key)
+	if err == nil {
+		c.insert(e)
+		switch org {
+		case OriginDisk:
+			c.stats.DiskHits++
+		case OriginSynth:
+			c.stats.Synthesized++
+		}
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return e, org, err
+}
+
+// loadContained runs load with panics converted to errors. The
+// singleflight leader must never unwind past the flight bookkeeping: a
+// panicking synthesize callback would otherwise leave the flight entry
+// registered with its done channel unclosed, hanging every later
+// request for the key.
+func (c *Cache) loadContained(pair version.Pair, key string, synthesize func() (*synth.Result, error)) (e *cacheEntry, org Origin, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e, org = nil, OriginSynth
+			err = failure.Wrapf(failure.Validation, "service: panic synthesizing %s: %v", pair, r)
+		}
+	}()
+	return c.load(pair, key, synthesize)
+}
+
+// load misses through to disk and then synthesis. Runs outside the
+// cache lock (it is the singleflight leader's slow path).
+func (c *Cache) load(pair version.Pair, key string, synthesize func() (*synth.Result, error)) (*cacheEntry, Origin, error) {
+	if c.dir != "" {
+		if blob, err := os.ReadFile(c.path(pair, key)); err == nil {
+			res, err := synth.Import(blob, c.opts)
+			if err == nil {
+				return &cacheEntry{key: key, pair: pair, res: res, tr: translator.FromResult(res)}, OriginDisk, nil
+			}
+			// A stale or corrupt artifact is a miss, not a failure: drop
+			// it and re-synthesize.
+			c.mu.Lock()
+			c.stats.StaleDropped++
+			c.mu.Unlock()
+			os.Remove(c.path(pair, key))
+		}
+	}
+	res, err := synthesize()
+	if err != nil {
+		return nil, OriginSynth, err
+	}
+	if c.dir != "" {
+		if err := c.persist(pair, key, res); err != nil {
+			return nil, OriginSynth, err
+		}
+	}
+	return &cacheEntry{key: key, pair: pair, res: res, tr: translator.FromResult(res)}, OriginSynth, nil
+}
+
+// persist atomically writes the artifact (tmp + rename), so a crashed
+// or concurrent writer never leaves a torn file at the content address.
+func (c *Cache) persist(pair version.Pair, key string, res *synth.Result) error {
+	blob, err := res.ExportWithOptions(c.opts)
+	if err != nil {
+		return failure.Wrapf(failure.Validation, "service: exporting artifact for %s: %w", pair, err)
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return fmt.Errorf("service: cache dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, "siro-*.tmp")
+	if err != nil {
+		return fmt.Errorf("service: cache write: %w", err)
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: cache write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(pair, key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: cache write: %w", err)
+	}
+	return nil
+}
+
+// insert adds an entry to the LRU, evicting the least recently used
+// entry past capacity. Evicted translators stay on disk. Caller holds
+// the lock.
+func (c *Cache) insert(e *cacheEntry) {
+	if el, ok := c.items[e.key]; ok { // lost a race with another inserter
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[e.key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+		c.stats.Evictions++
+	}
+}
+
+// ArtifactPath returns where the pair's artifact lives on disk under
+// the current registry fingerprint ("" for a memory-only cache).
+func (c *Cache) ArtifactPath(pair version.Pair) string {
+	if c.dir == "" {
+		return ""
+	}
+	return c.path(pair, c.Key(pair))
+}
+
+// Pairs lists the version pairs currently resident in memory, sorted.
+func (c *Cache) Pairs() []version.Pair {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]version.Pair, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*cacheEntry).pair)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

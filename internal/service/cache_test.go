@@ -1,0 +1,193 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/synth"
+	"repro/internal/version"
+)
+
+var pair12to36 = version.Pair{Source: version.V12_0, Target: version.V3_6}
+
+func synthesizeFor(t testing.TB, pair version.Pair) func() (*synth.Result, error) {
+	return func() (*synth.Result, error) {
+		s := synth.New(pair.Source, pair.Target, synth.Options{})
+		return s.Run(corpus.Tests(pair.Source))
+	}
+}
+
+func TestCacheOrigins(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(dir, 8, synth.Options{})
+
+	tr, org, err := c.Get(pair12to36, synthesizeFor(t, pair12to36))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if org != OriginSynth {
+		t.Fatalf("first get origin = %v, want synth", org)
+	}
+	if tr.Pair != pair12to36 {
+		t.Fatalf("translator pair = %v", tr.Pair)
+	}
+
+	if _, org, err = c.Get(pair12to36, synthesizeFor(t, pair12to36)); err != nil || org != OriginMemory {
+		t.Fatalf("second get = %v origin %v, want memory hit", err, org)
+	}
+
+	// A fresh cache over the same directory must hit the artifact.
+	c2 := NewCache(dir, 8, synth.Options{})
+	fail := func() (*synth.Result, error) { t.Fatal("disk hit should not synthesize"); return nil, nil }
+	if _, org, err = c2.Get(pair12to36, fail); err != nil || org != OriginDisk {
+		t.Fatalf("disk get = %v origin %v, want disk hit", err, org)
+	}
+
+	st := c2.Stats()
+	if st.DiskHits != 1 || st.Synthesized != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// The cache key is the registry fingerprint: artifacts written under
+// different generation bounds must not collide.
+func TestCacheKeyIncludesOptions(t *testing.T) {
+	c := NewCache("", 8, synth.Options{})
+	bounded := synth.Options{}
+	bounded.Gen.MaxCandidates = 16
+	cb := NewCache("", 8, bounded)
+	if c.Key(pair12to36) == cb.Key(pair12to36) {
+		t.Fatal("different generation bounds produced the same cache key")
+	}
+}
+
+// A corrupted or stale artifact is silently dropped and re-synthesized,
+// never served.
+func TestCacheDropsCorruptArtifact(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(dir, 8, synth.Options{})
+	if _, _, err := c.Get(pair12to36, synthesizeFor(t, pair12to36)); err != nil {
+		t.Fatal(err)
+	}
+	path := c.ArtifactPath(pair12to36)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(strings.Replace(string(blob), `"atomic"`, `"atomik"`, 1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := NewCache(dir, 8, synth.Options{})
+	resynth := int32(0)
+	_, org, err := c2.Get(pair12to36, func() (*synth.Result, error) {
+		atomic.AddInt32(&resynth, 1)
+		return synthesizeFor(t, pair12to36)()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if org != OriginSynth || resynth != 1 {
+		t.Fatalf("corrupt artifact served: origin %v, resynth %d", org, resynth)
+	}
+	if c2.Stats().StaleDropped != 1 {
+		t.Fatalf("stats = %+v, want 1 stale drop", c2.Stats())
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(files) != 0 {
+		t.Fatalf("temp files leaked: %v", files)
+	}
+}
+
+// N concurrent requests for the same uncached pair must trigger exactly
+// one synthesis; everyone shares the result.
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(t.TempDir(), 8, synth.Options{})
+	var synths int32
+	const goroutines = 24
+
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, err := c.Get(pair12to36, func() (*synth.Result, error) {
+				atomic.AddInt32(&synths, 1)
+				return synthesizeFor(t, pair12to36)()
+			})
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", i, err)
+		}
+	}
+	if n := atomic.LoadInt32(&synths); n != 1 {
+		t.Fatalf("synthesis ran %d times for one key, want 1", n)
+	}
+	st := c.Stats()
+	if st.Synthesized != 1 {
+		t.Fatalf("stats.Synthesized = %d, want 1", st.Synthesized)
+	}
+	if st.Deduplicated+st.MemoryHits != goroutines-1 {
+		t.Fatalf("dedup %d + memory %d != %d", st.Deduplicated, st.MemoryHits, goroutines-1)
+	}
+}
+
+// A panicking synthesize callback must not wedge its key: the flight
+// entry is released and the next request synthesizes normally.
+func TestCacheSynthPanicReleasesKey(t *testing.T) {
+	c := NewCache("", 8, synth.Options{})
+	_, _, err := c.Get(pair12to36, func() (*synth.Result, error) { panic("chaos: boom") })
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("panic not converted to an error: %v", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, org, err := c.Get(pair12to36, synthesizeFor(t, pair12to36)); err != nil || org != OriginSynth {
+			t.Errorf("key wedged after panic: origin %v err %v", org, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("retry after panic hung on the dead flight entry")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache("", 2, synth.Options{})
+	pairs := []version.Pair{
+		{Source: version.V12_0, Target: version.V3_6},
+		{Source: version.V13_0, Target: version.V3_6},
+		{Source: version.V14_0, Target: version.V3_6},
+	}
+	for _, p := range pairs {
+		if _, _, err := c.Get(p, synthesizeFor(t, p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(c.Pairs()); got != 2 {
+		t.Fatalf("resident pairs = %d, want 2", got)
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Stats().Evictions)
+	}
+	// The memory-only cache re-synthesizes the evicted pair.
+	n := int32(0)
+	if _, org, err := c.Get(pairs[0], func() (*synth.Result, error) {
+		atomic.AddInt32(&n, 1)
+		return synthesizeFor(t, pairs[0])()
+	}); err != nil || org != OriginSynth || n != 1 {
+		t.Fatalf("evicted pair: err %v origin %v synths %d", err, org, n)
+	}
+}

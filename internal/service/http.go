@@ -1,0 +1,141 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/version"
+)
+
+// The JSON API served by cmd/sirod (and `siro -serve`):
+//
+//	POST /v1/translate  {"source":"12.0","target":"3.6","ir":"..."}
+//	                    source "auto" (or omitted) detects the version.
+//	GET  /v1/stats      service counters
+//	GET  /v1/versions   supported versions
+//	GET  /healthz       liveness
+//
+// Errors come back as {"error": "...", "class": "...", "exit_code": n}
+// with the HTTP status mapped from the failure class, so an HTTP
+// client sees the same taxonomy a CLI user does.
+
+// TranslateRequest is the body of POST /v1/translate.
+type TranslateRequest struct {
+	// Source is the input IR version, "auto"/"" to detect.
+	Source string `json:"source"`
+	// Target is the output IR version.
+	Target string `json:"target"`
+	// IR is the textual IR to translate.
+	IR string `json:"ir"`
+}
+
+// TranslateResponse is the success body of POST /v1/translate.
+type TranslateResponse struct {
+	Source  string   `json:"source"` // detected or echoed
+	Target  string   `json:"target"`
+	Route   []string `json:"route"` // versions traversed; >2 entries means multi-hop
+	IR      string   `json:"ir"`
+	Elapsed int64    `json:"elapsed_ns"`
+}
+
+// ErrorResponse is the error body of every endpoint.
+type ErrorResponse struct {
+	Error    string `json:"error"`
+	Class    string `json:"class,omitempty"`
+	ExitCode int    `json:"exit_code"`
+}
+
+// httpStatus maps a failure class to an HTTP status: malformed input
+// is the client's fault, an unsupported construct is semantically
+// unprocessable, an exhausted budget asks the client to retry later,
+// and synthesis/validation failures are the service's.
+func httpStatus(err error) int {
+	switch failure.ClassOf(err) {
+	case failure.Parse:
+		return http.StatusBadRequest
+	case failure.Unsupported:
+		return http.StatusUnprocessableEntity
+	case failure.Budget:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Handler exposes the service over HTTP.
+func Handler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/translate", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+			return
+		}
+		var req TranslateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, failure.Wrapf(failure.Parse, "bad request body: %w", err))
+			return
+		}
+		tgt, err := version.Parse(req.Target)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, failure.Wrap(failure.Parse, err))
+			return
+		}
+		var src version.V // zero = detect
+		if req.Source != "" && req.Source != "auto" {
+			if src, err = version.Parse(req.Source); err != nil {
+				writeError(w, http.StatusBadRequest, failure.Wrap(failure.Parse, err))
+				return
+			}
+		}
+		start := time.Now()
+		out, detected, route, err := s.TranslateText(r.Context(), req.IR, src, tgt)
+		if err != nil {
+			writeError(w, httpStatus(err), err)
+			return
+		}
+		resp := TranslateResponse{
+			Source:  detected.String(),
+			Target:  tgt.String(),
+			IR:      out,
+			Elapsed: time.Since(start).Nanoseconds(),
+		}
+		for _, v := range route {
+			resp.Route = append(resp.Route, v.String())
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("/v1/versions", func(w http.ResponseWriter, r *http.Request) {
+		var vs []string
+		for _, v := range s.Versions() {
+			vs = append(vs, v.String())
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"versions": vs})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	class := ""
+	if c := failure.ClassOf(err); c != nil {
+		class = c.Error()
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), Class: class, ExitCode: failure.ExitCode(err)})
+}

@@ -1,0 +1,167 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/failure"
+	"repro/internal/synth"
+	"repro/internal/translator"
+	"repro/internal/tvalid"
+	"repro/internal/version"
+)
+
+// noDirectSynthFn refuses the given pair and synthesizes everything
+// else, simulating a version pair the search cannot bridge directly.
+func noDirectSynthFn(refuse version.Pair, count *int32) SynthFn {
+	return func(pair version.Pair, opts synth.Options) (*synth.Result, error) {
+		if pair == refuse {
+			return nil, failure.Wrapf(failure.Synthesis, "test: no direct translator for %s", pair)
+		}
+		if count != nil {
+			atomic.AddInt32(count, 1)
+		}
+		return DefaultSynthFn(pair, opts)
+	}
+}
+
+// With the direct pair refused, the service must find a validated
+// multi-hop route and still translate correctly.
+func TestRouterMultiHop(t *testing.T) {
+	direct := version.Pair{Source: version.V12_0, Target: version.V3_6}
+	svc := New(Config{SynthFn: noDirectSynthFn(direct, nil), Workers: 2})
+	defer svc.Close()
+
+	tests := corpus.Tests(version.V12_0)
+	out, route, err := svc.TranslateRouted(context.Background(), version.V12_0, version.V3_6, tests[0].Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route) < 3 {
+		t.Fatalf("route = %v, want a multi-hop route", route)
+	}
+	if route[0] != version.V12_0 || route[len(route)-1] != version.V3_6 {
+		t.Fatalf("route endpoints wrong: %v", route)
+	}
+	if out.Ver != version.V3_6 {
+		t.Fatalf("output version = %v", out.Ver)
+	}
+	if svc.Stats().MultiHop != 1 {
+		t.Fatalf("stats.MultiHop = %d", svc.Stats().MultiHop)
+	}
+
+	// The waypoint preference walks the release history between the
+	// endpoints, so the first hop should land inside (3.6, 12.0).
+	mid := route[1]
+	if !(version.V3_6.Before(mid) && mid.Before(version.V12_0)) {
+		t.Fatalf("first waypoint %v outside the endpoint interval", mid)
+	}
+}
+
+// The composed chain's output must be behaviourally equivalent to the
+// direct translator's output over the corpus — multi-hop is a
+// transparent fallback, not a different translator.
+func TestRouterEquivalentToDirect(t *testing.T) {
+	direct := version.Pair{Source: version.V12_0, Target: version.V3_6}
+	res, err := DefaultSynthFn(direct, synth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	directTr := translator.FromResult(res)
+
+	svc := New(Config{SynthFn: noDirectSynthFn(direct, nil), Workers: 2})
+	defer svc.Close()
+
+	for i, tc := range corpus.Tests(version.V12_0) {
+		if i%7 != 0 { // sample the corpus; full equivalence runs in the service test
+			continue
+		}
+		want, err := directTr.Translate(tc.Module)
+		if err != nil {
+			t.Fatalf("%s: direct: %v", tc.Name, err)
+		}
+		got, err := svc.Translate(context.Background(), version.V12_0, version.V3_6, tc.Module)
+		if err != nil {
+			t.Fatalf("%s: routed: %v", tc.Name, err)
+		}
+		rep := tvalid.Validate(want, got, tvalid.Options{Trials: 16, Seed: int64(i)})
+		if !rep.OK() {
+			t.Fatalf("%s: multi-hop output diverges from direct output: %s", tc.Name, rep)
+		}
+	}
+}
+
+// When no route exists at all, the failure is classified and explains
+// both the direct and the routed attempt.
+func TestRouterNoRoute(t *testing.T) {
+	refuseAll := func(pair version.Pair, opts synth.Options) (*synth.Result, error) {
+		return nil, failure.Wrapf(failure.Synthesis, "test: refusing %s", pair)
+	}
+	svc := New(Config{SynthFn: refuseAll, Workers: 1, MaxHops: 3})
+	defer svc.Close()
+
+	tests := corpus.Tests(version.V12_0)
+	_, err := svc.Translate(context.Background(), version.V12_0, version.V3_6, tests[0].Module)
+	if err == nil {
+		t.Fatal("translation succeeded with no synthesizable pairs")
+	}
+	if c := failure.ClassOf(err); c != failure.Synthesis && c != failure.Budget {
+		t.Fatalf("error class = %v, want synthesis or budget: %v", c, err)
+	}
+	if !strings.Contains(err.Error(), "direct synthesis failed") {
+		t.Fatalf("error does not mention the direct failure: %v", err)
+	}
+}
+
+// Failed edges are memoized: a second request for the same impossible
+// pair retries the direct synthesis (direct failures may be transient
+// and are not cached) but must not re-attempt any hop synthesis.
+func TestRouterMemoizesBrokenEdges(t *testing.T) {
+	var attempts int32
+	refuseAll := func(pair version.Pair, opts synth.Options) (*synth.Result, error) {
+		atomic.AddInt32(&attempts, 1)
+		return nil, failure.Wrapf(failure.Synthesis, "test: refusing %s", pair)
+	}
+	svc := New(Config{SynthFn: refuseAll, Workers: 1, MaxHops: 2})
+	defer svc.Close()
+
+	m := corpus.Tests(version.V12_0)[0].Module
+	ctx := context.Background()
+	if _, err := svc.Translate(ctx, version.V12_0, version.V3_6, m); err == nil {
+		t.Fatal("want failure")
+	}
+	first := atomic.LoadInt32(&attempts)
+	if first == 0 {
+		t.Fatal("no synthesis attempts recorded")
+	}
+	if _, err := svc.Translate(ctx, version.V12_0, version.V3_6, m); err == nil {
+		t.Fatal("want failure")
+	}
+	if second := atomic.LoadInt32(&attempts) - first; second > 1 {
+		t.Fatalf("second request ran %d syntheses, want at most 1 (the direct retry; hops are memoized)", second)
+	}
+}
+
+// MaxHops: 1 disables routing entirely.
+func TestRouterDisabled(t *testing.T) {
+	direct := version.Pair{Source: version.V12_0, Target: version.V3_6}
+	var hops int32
+	svc := New(Config{SynthFn: noDirectSynthFn(direct, &hops), Workers: 1, MaxHops: 1})
+	defer svc.Close()
+
+	m := corpus.Tests(version.V12_0)[0].Module
+	_, err := svc.Translate(context.Background(), version.V12_0, version.V3_6, m)
+	if err == nil {
+		t.Fatal("want direct failure with routing disabled")
+	}
+	if !errors.Is(err, failure.Synthesis) {
+		t.Fatalf("error class: %v", err)
+	}
+	if n := atomic.LoadInt32(&hops); n != 0 {
+		t.Fatalf("%d hop syntheses ran with routing disabled", n)
+	}
+}

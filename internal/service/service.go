@@ -1,0 +1,426 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/failure"
+	"repro/internal/ir"
+	"repro/internal/irtext"
+	"repro/internal/synth"
+	"repro/internal/translator"
+	"repro/internal/version"
+)
+
+// SynthFn produces a synthesis result for one version pair. It is the
+// chaos-injectable seam of the service: the default runs the full
+// synthesis loop over the built-in corpus, tests substitute one that
+// fails selectively (to force multi-hop routing) or hands the
+// synthesizer a poisoned API library via opts.Getters/Builders.
+type SynthFn func(pair version.Pair, opts synth.Options) (*synth.Result, error)
+
+// DefaultSynthFn is the production synthesis path.
+func DefaultSynthFn(pair version.Pair, opts synth.Options) (*synth.Result, error) {
+	s := synth.New(pair.Source, pair.Target, opts)
+	return s.Run(corpus.Tests(pair.Source))
+}
+
+// Config tunes a Service.
+type Config struct {
+	// CacheDir is where synthesis artifacts persist; "" keeps the
+	// translator cache memory-only.
+	CacheDir string
+	// MaxCachedTranslators bounds the in-memory LRU (default 64).
+	MaxCachedTranslators int
+	// Workers is the translation worker-pool size (default 4).
+	Workers int
+	// QueueDepth bounds the pending-job queue; a full queue makes
+	// Translate block until a slot frees or the caller's context
+	// expires (default 64).
+	QueueDepth int
+	// JobTimeout is the per-job wall-clock deadline, enforced on
+	// synthesis (via synth.Options.TestDeadline), routing, and
+	// translation alike; 0 means no service-imposed deadline. Expiry is
+	// a Budget-classified failure.
+	JobTimeout time.Duration
+	// MaxHops caps multi-hop route length; 1 disables routing, 0 means
+	// the router default (3).
+	MaxHops int
+	// RouteTrials is the differential trial count per corpus test when
+	// validating a composed chain (0 = default 8, negative = disable).
+	RouteTrials int
+	// Versions is the version universe served and routed over; defaults
+	// to version.All.
+	Versions []version.V
+	// Synth tunes translator synthesis; it is part of the cache key.
+	Synth synth.Options
+	// SynthFn overrides the synthesis path (chaos/testing seam).
+	SynthFn SynthFn
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.SynthFn == nil {
+		c.SynthFn = DefaultSynthFn
+	}
+	if len(c.Versions) == 0 {
+		c.Versions = version.All
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of service counters.
+type Stats struct {
+	Requests       int64            `json:"requests"`
+	Completed      int64            `json:"completed"`
+	Failed         int64            `json:"failed"`
+	MultiHop       int64            `json:"multi_hop"` // requests served through a composed chain
+	QueueHighWater int              `json:"queue_high_water"`
+	FailureClasses map[string]int64 `json:"failure_classes,omitempty"`
+	Cache          CacheStats       `json:"cache"`
+	CachedPairs    []string         `json:"cached_pairs,omitempty"`
+	Uptime         time.Duration    `json:"uptime_ns"`
+}
+
+// Service is the long-running translation front end. It owns the
+// translator cache, the multi-hop router, and a bounded worker pool;
+// all methods are safe for concurrent use.
+type Service struct {
+	cfg     Config
+	cache   *Cache
+	router  *Router
+	jobs    chan *job
+	wg      sync.WaitGroup // workers
+	senders sync.WaitGroup // in-flight enqueues, so Close can safely close(jobs)
+	start   time.Time
+
+	mu        sync.Mutex
+	closed    bool
+	stats     Stats
+	byClass   map[string]int64
+	supported map[version.V]bool
+}
+
+type job struct {
+	ctx    context.Context
+	pair   version.Pair
+	module *ir.Module
+	res    chan jobResult
+}
+
+type jobResult struct {
+	module *ir.Module
+	route  []version.V
+	origin Origin
+	err    error
+}
+
+// New starts a service: workers spin up immediately and Close must be
+// called to release them.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:       cfg,
+		cache:     NewCache(cfg.CacheDir, cfg.MaxCachedTranslators, cfg.Synth),
+		jobs:      make(chan *job, cfg.QueueDepth),
+		start:     time.Now(),
+		byClass:   map[string]int64{},
+		supported: map[version.V]bool{},
+	}
+	for _, v := range cfg.Versions {
+		s.supported[v] = true
+	}
+	s.router = &Router{
+		Versions: cfg.Versions,
+		MaxHops:  cfg.MaxHops,
+		Trials:   cfg.RouteTrials,
+		Get:      s.hopTranslator,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close drains the worker pool. Pending jobs are completed; new
+// Translate calls fail immediately.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	// Workers keep consuming until every in-flight enqueue has landed,
+	// so waiting senders cannot deadlock against a full queue.
+	s.senders.Wait()
+	close(s.jobs)
+	s.wg.Wait()
+}
+
+// Versions lists the versions the service accepts, ascending.
+func (s *Service) Versions() []version.V {
+	out := append([]version.V(nil), s.cfg.Versions...)
+	version.Sort(out)
+	return out
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	st := s.stats
+	st.FailureClasses = map[string]int64{}
+	for k, v := range s.byClass {
+		st.FailureClasses[k] = v
+	}
+	s.mu.Unlock()
+	st.Cache = s.cache.Stats()
+	for _, p := range s.cache.Pairs() {
+		st.CachedPairs = append(st.CachedPairs, p.String())
+	}
+	sort.Strings(st.CachedPairs)
+	st.Uptime = time.Since(s.start)
+	return st
+}
+
+// Translate converts a module of version src to version tgt through
+// the cache and, if no direct translator can be synthesized, a
+// validated multi-hop route. It blocks until a worker picks the job up
+// or ctx expires; queue-wait and execution both respect ctx and the
+// per-job timeout, reporting expiry as an ErrBudget-classified error.
+func (s *Service) Translate(ctx context.Context, src, tgt version.V, m *ir.Module) (*ir.Module, error) {
+	out, _, err := s.TranslateRouted(ctx, src, tgt, m)
+	return out, err
+}
+
+// TranslateRouted is Translate, also reporting the route taken (length
+// 2 for a direct translation).
+func (s *Service) TranslateRouted(ctx context.Context, src, tgt version.V, m *ir.Module) (*ir.Module, []version.V, error) {
+	if err := s.admit(src, tgt, m); err != nil {
+		s.record(nil, err)
+		return nil, nil, err
+	}
+	if src == tgt {
+		s.record([]version.V{src, tgt}, nil)
+		return m, []version.V{src, tgt}, nil
+	}
+	j := &job{ctx: ctx, pair: version.Pair{Source: src, Target: tgt}, module: m, res: make(chan jobResult, 1)}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		err := failure.Wrapf(failure.Budget, "service: closed")
+		s.record(nil, err)
+		return nil, nil, err
+	}
+	s.senders.Add(1)
+	if d := len(s.jobs) + 1; d > s.stats.QueueHighWater {
+		s.stats.QueueHighWater = d
+	}
+	s.mu.Unlock()
+
+	select {
+	case s.jobs <- j:
+		s.senders.Done()
+	case <-ctx.Done():
+		s.senders.Done()
+		err := failure.FromContext(ctx.Err())
+		s.record(nil, err)
+		return nil, nil, err
+	}
+	select {
+	case r := <-j.res:
+		s.record(r.route, r.err)
+		return r.module, r.route, r.err
+	case <-ctx.Done():
+		// The worker will still run the job; its result is discarded
+		// (res is buffered).
+		err := failure.FromContext(ctx.Err())
+		s.record(nil, err)
+		return nil, nil, err
+	}
+}
+
+// TranslateText is the textual pipeline: parse at src (or detect the
+// version when src is the zero V), translate, write at tgt. It returns
+// the output text, the detected source version, and the route.
+func (s *Service) TranslateText(ctx context.Context, text string, src version.V, tgt version.V) (string, version.V, []version.V, error) {
+	var m *ir.Module
+	var err error
+	if !src.IsValid() {
+		if m, src, err = s.Detect(text); err != nil {
+			return "", version.V{}, nil, err
+		}
+	} else if m, err = irtext.Parse(text, src); err != nil {
+		return "", src, nil, failure.Wrapf(failure.Parse, "service: reading %s IR: %w", src, err)
+	}
+	out, route, err := s.TranslateRouted(ctx, src, tgt, m)
+	if err != nil {
+		return "", src, nil, err
+	}
+	rendered, err := irtext.NewWriter(tgt).WriteModule(out)
+	if err != nil {
+		return "", src, route, failure.Wrapf(failure.Validation, "service: writing %s IR: %w", tgt, err)
+	}
+	return rendered, src, route, nil
+}
+
+// Detect parses text with every supported reader, newest first, and
+// returns the module plus the accepting version.
+func (s *Service) Detect(text string) (*ir.Module, version.V, error) {
+	ordered := s.Versions()
+	var firstErr error
+	for i := len(ordered) - 1; i >= 0; i-- {
+		m, err := irtext.Parse(text, ordered[i])
+		if err == nil {
+			return m, ordered[i], nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, version.V{}, failure.Wrapf(failure.Parse,
+		"service: no supported reader accepts the input (newest reader said: %w)", firstErr)
+}
+
+// Warm synthesizes (or loads) the direct translator for a pair ahead
+// of traffic.
+func (s *Service) Warm(ctx context.Context, src, tgt version.V) error {
+	if err := s.admit(src, tgt, nil); err != nil {
+		return err
+	}
+	_, err := s.hopTranslator(ctx, version.Pair{Source: src, Target: tgt})
+	return err
+}
+
+// admit validates a request's versions (and module version, when a
+// module is supplied).
+func (s *Service) admit(src, tgt version.V, m *ir.Module) error {
+	if !s.supported[src] {
+		return failure.Wrapf(failure.Unsupported, "service: unsupported source version %s", src)
+	}
+	if !s.supported[tgt] {
+		return failure.Wrapf(failure.Unsupported, "service: unsupported target version %s", tgt)
+	}
+	if m != nil && m.Ver != src {
+		return failure.Wrapf(failure.Unsupported, "service: module is version %s, request says %s", m.Ver, src)
+	}
+	return nil
+}
+
+// record updates the outcome counters.
+func (s *Service) record(route []version.V, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Requests++
+	if err != nil {
+		s.stats.Failed++
+		class := "unclassified"
+		if c := failure.ClassOf(err); c != nil {
+			class = c.Error()
+		}
+		s.byClass[class]++
+		return
+	}
+	s.stats.Completed++
+	if len(route) > 2 {
+		s.stats.MultiHop++
+	}
+}
+
+// worker executes queued jobs under the per-job deadline.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		j.res <- s.run(j)
+	}
+}
+
+// run resolves a translator (direct, then routed) and translates.
+func (s *Service) run(j *job) (res jobResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = jobResult{err: failure.Wrapf(failure.Validation, "service: internal panic: %v", r)}
+		}
+	}()
+	ctx := j.ctx
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil { // expired while queued
+		return jobResult{err: failure.FromContext(err)}
+	}
+	tr, origin, err := s.resolve(ctx, j.pair)
+	if err != nil {
+		return jobResult{err: err}
+	}
+	out, err := tr.Translate(j.module)
+	if err != nil {
+		return jobResult{err: err}
+	}
+	if err := ctx.Err(); err != nil {
+		return jobResult{err: failure.FromContext(err)}
+	}
+	return jobResult{module: out, route: tr.Route(), origin: origin}
+}
+
+// resolve produces a ModuleTranslator for the pair: the cached direct
+// translator when it synthesizes, otherwise a validated multi-hop
+// chain.
+func (s *Service) resolve(ctx context.Context, pair version.Pair) (translator.ModuleTranslator, Origin, error) {
+	tr, origin, directErr := s.cachedTranslator(ctx, pair)
+	if directErr == nil {
+		return tr, origin, nil
+	}
+	if failure.ClassOf(directErr) == failure.Parse || ctx.Err() != nil || s.cfg.MaxHops == 1 {
+		return nil, origin, directErr
+	}
+	s.router.MarkBroken(pair, directErr)
+	ch, routeErr := s.router.Route(ctx, pair.Source, pair.Target)
+	if routeErr != nil {
+		return nil, origin, fmt.Errorf("%w (direct synthesis failed: %v)", routeErr, directErr)
+	}
+	return ch, OriginSynth, nil
+}
+
+// hopTranslator is the cache-backed edge acquisition shared by direct
+// requests and the router.
+func (s *Service) hopTranslator(ctx context.Context, pair version.Pair) (*translator.Translator, error) {
+	tr, _, err := s.cachedTranslator(ctx, pair)
+	return tr, err
+}
+
+// cachedTranslator gets the direct translator for a pair through the
+// cache, bounding synthesis by the context deadline.
+func (s *Service) cachedTranslator(ctx context.Context, pair version.Pair) (*translator.Translator, Origin, error) {
+	return s.cache.Get(pair, func() (*synth.Result, error) {
+		opts := s.cfg.Synth
+		if dl, ok := ctx.Deadline(); ok {
+			remain := time.Until(dl)
+			if remain <= 0 {
+				return nil, failure.FromContext(context.DeadlineExceeded)
+			}
+			if opts.TestDeadline == 0 || opts.TestDeadline > remain {
+				opts.TestDeadline = remain
+			}
+		}
+		res, err := s.cfg.SynthFn(pair, opts)
+		if err != nil {
+			return nil, failure.Wrapf(failure.Synthesis, "service: synthesizing %s: %w", pair, err)
+		}
+		return res, nil
+	})
+}

@@ -1,8 +1,12 @@
 package synth
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
+	"sort"
 
 	"repro/internal/ir"
 	"repro/internal/irlib"
@@ -16,6 +20,14 @@ import (
 // re-materialized against a deterministic regeneration of the candidate
 // space, so the artifact stays small and version-checked — the deployed
 // translator the paper ships after the one-off synthesis run.
+//
+// Artifacts are byte-deterministic: covered-sets are sorted, map keys
+// are marshalled in sorted order by encoding/json, and the case order
+// of each instruction translator is itself deterministic (the greedy
+// cover of complete.go breaks ties by atomic ID). Determinism is what
+// makes the artifact content-addressable — the translator cache of
+// internal/service hashes (source, target, fingerprint) and trusts that
+// equal keys mean equal bytes.
 
 type persistedCase struct {
 	Sigma   map[string]string `json:"sigma,omitempty"`
@@ -31,12 +43,64 @@ type persistedTranslator struct {
 type persisted struct {
 	Source      string                `json:"source"`
 	Target      string                `json:"target"`
+	Fingerprint string                `json:"fingerprint,omitempty"`
 	Translators []persistedTranslator `json:"translators"`
 }
 
+// Fingerprint digests the API-registry surface a src→tgt translator is
+// synthesized against: every getter, builder, operand-translator and
+// predicate signature, plus the candidate-generation bounds that shape
+// the search space the structural keys resolve in. Two runs see the
+// same fingerprint iff Import would re-materialize their artifacts
+// against the same candidate space, so the fingerprint is the cache key
+// of the content-addressed translator cache (internal/service) and the
+// staleness check of Import. Library overrides in opts (the chaos seam)
+// change the fingerprint, so poisoned-registry artifacts never collide
+// with canonical ones.
+func Fingerprint(src, tgt version.V, opts Options) string {
+	getters := opts.Getters
+	if getters == nil {
+		getters = irlib.Getters(src)
+	}
+	builders := opts.Builders
+	if builders == nil {
+		builders = irlib.Builders(tgt)
+	}
+	h := sha256.New()
+	io.WriteString(h, "siro-registry-v1\n")
+	io.WriteString(h, src.String()+"->"+tgt.String()+"\n")
+	gen := opts.Gen
+	fmt.Fprintf(h, "gen %d %d %d\n", gen.MaxTermsPerTok, gen.MaxCandidates, gen.MaxTermSize)
+	for _, a := range getters.APIs {
+		io.WriteString(h, "G "+a.Kind.String()+" "+a.String()+"\n")
+	}
+	for _, a := range builders.APIs {
+		io.WriteString(h, "B "+a.Kind.String()+" "+a.String()+"\n")
+	}
+	for _, a := range irlib.XlateAPIs() {
+		io.WriteString(h, "X "+a.String()+"\n")
+	}
+	for _, p := range irlib.Predicates(src) {
+		io.WriteString(h, "P "+p.Kind.String()+" "+p.Name+"\n")
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // Export serializes the completed instruction translators of a result.
+// The output is byte-deterministic for a given synthesis outcome.
 func (r *Result) Export() ([]byte, error) {
-	out := persisted{Source: r.Pair.Source.String(), Target: r.Pair.Target.String()}
+	return r.ExportWithOptions(Options{})
+}
+
+// ExportWithOptions is Export with the options the result was
+// synthesized under, so the embedded registry fingerprint matches what
+// Import will regenerate.
+func (r *Result) ExportWithOptions(opts Options) ([]byte, error) {
+	out := persisted{
+		Source:      r.Pair.Source.String(),
+		Target:      r.Pair.Target.String(),
+		Fingerprint: Fingerprint(r.Pair.Source, r.Pair.Target, opts),
+	}
 	for _, op := range ir.OpcodesIn(r.Pair.Source) {
 		tr, ok := r.Translators[op]
 		if !ok {
@@ -44,8 +108,10 @@ func (r *Result) Export() ([]byte, error) {
 		}
 		pt := persistedTranslator{Kind: op.String()}
 		for _, c := range tr.Cases {
+			covered := append([]string(nil), c.Covered...)
+			sort.Strings(covered)
 			pt.Cases = append(pt.Cases, persistedCase{
-				Sigma: c.Sigma, Covered: c.Covered, Atomic: c.Atomic.Key(),
+				Sigma: c.Sigma, Covered: covered, Atomic: c.Atomic.Key(),
 			})
 		}
 		out.Translators = append(out.Translators, pt)
@@ -57,7 +123,9 @@ func (r *Result) Export() ([]byte, error) {
 // space is regenerated deterministically for the recorded version pair
 // and the stored structural keys are resolved against it; a key that no
 // longer resolves (e.g. the API surface changed) is an error, which is
-// the desired staleness check.
+// the desired staleness check. Artifacts carrying a registry
+// fingerprint are additionally rejected up front when the fingerprint
+// no longer matches the current API surface.
 func Import(data []byte, opts Options) (*Result, error) {
 	var p persisted
 	if err := json.Unmarshal(data, &p); err != nil {
@@ -71,8 +139,20 @@ func Import(data []byte, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("synth: import: bad target version: %w", err)
 	}
-	getters := irlib.Getters(src)
-	builders := irlib.Builders(tgt)
+	if p.Fingerprint != "" {
+		if now := Fingerprint(src, tgt, opts); now != p.Fingerprint {
+			return nil, fmt.Errorf("synth: import: artifact fingerprint %.12s does not match the current %s API registry (%.12s): re-synthesize",
+				p.Fingerprint, version.Pair{Source: src, Target: tgt}, now)
+		}
+	}
+	getters := opts.Getters
+	if getters == nil {
+		getters = irlib.Getters(src)
+	}
+	builders := opts.Builders
+	if builders == nil {
+		builders = irlib.Builders(tgt)
+	}
 	xlate := irlib.XlateAPIs()
 
 	res := &Result{

@@ -1,0 +1,110 @@
+package translator
+
+import (
+	"strings"
+
+	"repro/internal/failure"
+	"repro/internal/ir"
+	"repro/internal/irtext"
+	"repro/internal/version"
+)
+
+// ModuleTranslator is the shape shared by a direct synthesized
+// translator and a composed multi-hop chain: the translation service
+// routes requests through either without caring which.
+type ModuleTranslator interface {
+	// Translate converts a source-version module to the target version.
+	Translate(m *ir.Module) (*ir.Module, error)
+	// Route lists the versions the translation passes through, source
+	// and target inclusive; a direct translator's route has length 2.
+	Route() []version.V
+}
+
+// Route implements ModuleTranslator for a direct translator.
+func (t *Translator) Route() []version.V {
+	return []version.V{t.Pair.Source, t.Pair.Target}
+}
+
+// Chain composes per-hop translators into one src→tgt translator — the
+// multi-hop fallback of the translation service: when no direct
+// src→tgt translator can be synthesized, a path through the version
+// graph (e.g. 3.6→10.0→17.0) is planned and the hops are composed.
+// Every hop verifies its own output, and the service differentially
+// validates the whole chain before serving it, exactly as it would a
+// direct translator.
+type Chain struct {
+	Hops []*Translator
+}
+
+// NewChain validates hop contiguity and wraps the hops. It returns an
+// Unsupported-classified error when consecutive hops do not share a
+// version or the chain is empty.
+func NewChain(hops []*Translator) (*Chain, error) {
+	if len(hops) == 0 {
+		return nil, failure.Wrapf(failure.Unsupported, "translator: empty chain")
+	}
+	for i := 1; i < len(hops); i++ {
+		if hops[i].Pair.Source != hops[i-1].Pair.Target {
+			return nil, failure.Wrapf(failure.Unsupported,
+				"translator: discontinuous chain: hop %d ends at %s but hop %d starts at %s",
+				i-1, hops[i-1].Pair.Target, i, hops[i].Pair.Source)
+		}
+	}
+	return &Chain{Hops: hops}, nil
+}
+
+// Pair returns the end-to-end version pair the chain translates.
+func (c *Chain) Pair() version.Pair {
+	return version.Pair{
+		Source: c.Hops[0].Pair.Source,
+		Target: c.Hops[len(c.Hops)-1].Pair.Target,
+	}
+}
+
+// Route lists every version the chain passes through, in order.
+func (c *Chain) Route() []version.V {
+	out := []version.V{c.Hops[0].Pair.Source}
+	for _, h := range c.Hops {
+		out = append(out, h.Pair.Target)
+	}
+	return out
+}
+
+// String renders the route, e.g. "3.6->10.0->17.0".
+func (c *Chain) String() string {
+	parts := make([]string, 0, len(c.Hops)+1)
+	for _, v := range c.Route() {
+		parts = append(parts, v.String())
+	}
+	return strings.Join(parts, "->")
+}
+
+// Translate pushes the module through every hop in order. Each hop
+// verifies its output, so an intermediate-version module that fails
+// verification aborts the chain with that hop's classified error.
+func (c *Chain) Translate(m *ir.Module) (*ir.Module, error) {
+	cur := m
+	for i, h := range c.Hops {
+		out, err := h.Translate(cur)
+		if err != nil {
+			return nil, failure.Wrapf(failure.Unsupported,
+				"translator: chain hop %d (%s): %w", i, h.Pair, err)
+		}
+		cur = out
+	}
+	return cur, nil
+}
+
+// TranslateText is the textual pipeline over the whole chain.
+func (c *Chain) TranslateText(src string) (string, error) {
+	p := c.Pair()
+	m, err := irtext.Parse(src, p.Source)
+	if err != nil {
+		return "", failure.Wrapf(failure.Parse, "translator: reading source IR: %w", err)
+	}
+	out, err := c.Translate(m)
+	if err != nil {
+		return "", err
+	}
+	return irtext.NewWriter(p.Target).WriteModule(out)
+}

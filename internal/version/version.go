@@ -158,3 +158,51 @@ var Table3Pairs = []Pair{
 func Sort(vs []V) {
 	sort.Slice(vs, func(i, j int) bool { return vs[i].Before(vs[j]) })
 }
+
+// Index returns the position of v in All, or -1 for a version this
+// repository has no IR library for.
+func Index(v V) int {
+	for i, o := range All {
+		if o == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Distance counts the release steps between a and b along All — the
+// hop metric the multi-hop router minimizes. Unknown versions are
+// infinitely far apart.
+func Distance(a, b V) int {
+	ia, ib := Index(a), Index(b)
+	if ia < 0 || ib < 0 {
+		return int(^uint(0) >> 1) // max int
+	}
+	if ia > ib {
+		ia, ib = ib, ia
+	}
+	return ib - ia
+}
+
+// Between returns the known versions strictly between a and b, ordered
+// walking from a towards b. It is the waypoint preference order of the
+// multi-hop router: a route through the release history between the
+// endpoints crosses each incompatibility once, where a detour outside
+// the interval would cross some twice.
+func Between(a, b V) []V {
+	ia, ib := Index(a), Index(b)
+	if ia < 0 || ib < 0 {
+		return nil
+	}
+	var out []V
+	if ia <= ib {
+		for i := ia + 1; i < ib; i++ {
+			out = append(out, All[i])
+		}
+	} else {
+		for i := ia - 1; i > ib; i-- {
+			out = append(out, All[i])
+		}
+	}
+	return out
+}

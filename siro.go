@@ -16,6 +16,8 @@
 package siro
 
 import (
+	"net/http"
+
 	"repro/internal/analysis"
 	"repro/internal/cc"
 	"repro/internal/corpus"
@@ -24,6 +26,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/irtext"
 	"repro/internal/portable"
+	"repro/internal/service"
 	"repro/internal/skeleton"
 	"repro/internal/synth"
 	"repro/internal/translator"
@@ -199,6 +202,34 @@ type Hub = portable.Hub
 
 // NewHub returns a hub pivoted at v.
 func NewHub(v Version) *Hub { return portable.NewHub(v) }
+
+// Service is the long-running translation service: a content-addressed
+// translator cache (one synthesis per (source, target, API-registry
+// fingerprint), deduplicated across concurrent requests and persisted
+// on disk), a multi-hop version router for pairs with no direct
+// translator, and a bounded worker pool with per-job deadlines. It is
+// what cmd/sirod serves over HTTP; embed it directly for in-process
+// use:
+//
+//	svc := siro.NewService(siro.ServiceConfig{CacheDir: dir})
+//	defer svc.Close()
+//	out, err := svc.Translate(ctx, siro.V12_0, siro.V3_6, m)
+type Service = service.Service
+
+// ServiceConfig tunes a Service (worker count, queue depth, per-job
+// deadline, cache directory, routing bounds).
+type ServiceConfig = service.Config
+
+// ServiceStats is a snapshot of service counters.
+type ServiceStats = service.Stats
+
+// NewService starts a translation service; call Close to release its
+// workers.
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// ServiceHandler exposes a service over HTTP (the cmd/sirod API:
+// POST /v1/translate, GET /v1/stats, GET /v1/versions, GET /healthz).
+func ServiceHandler(s *Service) http.Handler { return service.Handler(s) }
 
 // ValidationReport is the outcome of differential translation validation.
 type ValidationReport = tvalid.Report
