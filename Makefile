@@ -1,14 +1,18 @@
 # Tier-1 gate for the siro reproduction. `make check` is what CI and
-# pre-commit runs: vet, build, the full test suite, and the race gate
-# over the packages with concurrent internals (the synth worker pool,
-# the interpreter used from it, and the translation service's cache,
-# router, and worker pool).
+# pre-commit runs: formatting, vet, build, the full test suite, and the
+# race gate over the packages with concurrent internals (the synth
+# worker pool, the interpreter used from it, the translation service's
+# cache, router, and worker pool, and the metrics/tracing substrate).
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench bench-service clean
+.PHONY: check fmt vet build test race fuzz bench bench-service bench-obs clean
 
-check: vet build test race
+check: fmt vet build test race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -20,7 +24,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/synth ./internal/interp ./internal/service
+	$(GO) test -race ./internal/synth ./internal/interp ./internal/service ./internal/obs
 
 # Short fuzz smoke of the two fuzz targets; crashers land in
 # internal/<pkg>/testdata/fuzz and are replayed by plain `go test`.
@@ -35,6 +39,11 @@ bench:
 # speedup and writes the measurements to BENCH_service.json.
 bench-service:
 	SIRO_BENCH_JSON=$(CURDIR)/BENCH_service.json $(GO) test ./internal/service -run TestServiceBenchReport -count=1 -v
+
+# Instrumented vs uninstrumented cache-hit benchmark; asserts the
+# observability layer costs <= 5% and writes BENCH_obs.json.
+bench-obs:
+	SIRO_BENCH_JSON=$(CURDIR)/BENCH_obs.json $(GO) test ./internal/service -run TestObsBenchReport -count=1 -v
 
 clean:
 	$(GO) clean ./...

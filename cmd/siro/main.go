@@ -33,6 +33,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/failure"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/synth"
 	"repro/internal/version"
@@ -47,10 +48,14 @@ func main() {
 	cacheDir := flag.String("cache", "", "translator cache directory: load cached artifacts instead of re-synthesizing, persist fresh ones")
 	serve := flag.Bool("serve", false, "run the translation daemon instead of a one-shot synthesis")
 	addr := flag.String("addr", ":8347", "daemon listen address (with -serve)")
+	maxBody := flag.Int64("max-body", service.DefaultMaxBodyBytes, "maximum /v1/translate request body in bytes, with -serve (negative disables)")
+	traceLog := flag.String("trace-log", "", "with -serve: append one JSON line per slow translate request to this file (see -slow)")
+	slow := flag.Duration("slow", time.Second, "with -serve: requests at or above this wall time go to -trace-log (0 logs every request)")
+	pprofOn := flag.Bool("pprof", false, "with -serve: mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	if *serve {
-		runServe(*addr, *cacheDir)
+		runServe(*addr, *cacheDir, serveOpts{maxBody: *maxBody, traceLog: *traceLog, slow: *slow, pprof: *pprofOn})
 		return
 	}
 
@@ -116,12 +121,29 @@ func main() {
 	}
 }
 
+// serveOpts carries the daemon-only flags into runServe.
+type serveOpts struct {
+	maxBody  int64
+	traceLog string
+	slow     time.Duration
+	pprof    bool
+}
+
 // runServe runs the same daemon as cmd/sirod, for installs that only
 // ship the siro binary.
-func runServe(addr, cacheDir string) {
+func runServe(addr, cacheDir string, so serveOpts) {
 	svc := service.New(service.Config{CacheDir: cacheDir, JobTimeout: 2 * time.Minute})
 	defer svc.Close()
-	server := &http.Server{Addr: addr, Handler: service.Handler(svc)}
+	opts := service.HandlerOpts{MaxBodyBytes: so.maxBody, Pprof: so.pprof}
+	if so.traceLog != "" {
+		f, err := os.OpenFile(so.traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("siro: -trace-log: %v", err)
+		}
+		defer f.Close()
+		opts.SlowLog = obs.NewSlowLog(f, so.slow)
+	}
+	server := &http.Server{Addr: addr, Handler: service.NewHandler(svc, opts)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)

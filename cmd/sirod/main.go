@@ -7,6 +7,7 @@
 //	curl -s localhost:8347/v1/translate -d '{"source":"auto","target":"3.6","ir":"..."}'
 //	curl -s localhost:8347/v1/stats
 //	curl -s localhost:8347/healthz
+//	curl -s localhost:8347/metrics
 //
 // A translator is synthesized at most once per (source, target,
 // API-registry fingerprint): concurrent requests for the same uncached
@@ -28,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/version"
 )
@@ -40,16 +42,32 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-job deadline (0 disables)")
 	maxHops := flag.Int("max-hops", 3, "maximum translator hops for multi-hop routing (1 disables routing)")
 	warm := flag.String("warm", "", "comma-separated src>tgt pairs to synthesize before serving, e.g. 12.0>3.6,17.0>3.6")
+	maxBody := flag.Int64("max-body", service.DefaultMaxBodyBytes, "maximum /v1/translate request body in bytes (negative disables the bound)")
+	traceLog := flag.String("trace-log", "", "append one JSON line per slow translate request to this file (see -slow)")
+	slow := flag.Duration("slow", time.Second, "requests at or above this wall time go to -trace-log (0 logs every request)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	noMetrics := flag.Bool("no-metrics", false, "disable the metrics registry and the /metrics endpoint")
 	flag.Parse()
 
 	svc := service.New(service.Config{
-		CacheDir:   *cacheDir,
-		Workers:    *workers,
-		QueueDepth: *queue,
-		JobTimeout: *timeout,
-		MaxHops:    *maxHops,
+		CacheDir:       *cacheDir,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		JobTimeout:     *timeout,
+		MaxHops:        *maxHops,
+		DisableMetrics: *noMetrics,
 	})
 	defer svc.Close()
+
+	opts := service.HandlerOpts{MaxBodyBytes: *maxBody, Pprof: *pprofOn}
+	if *traceLog != "" {
+		f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("sirod: -trace-log: %v", err)
+		}
+		defer f.Close()
+		opts.SlowLog = obs.NewSlowLog(f, *slow)
+	}
 
 	if *warm != "" {
 		for _, spec := range strings.Split(*warm, ",") {
@@ -73,7 +91,7 @@ func main() {
 		}
 	}
 
-	server := &http.Server{Addr: *addr, Handler: service.Handler(svc)}
+	server := &http.Server{Addr: *addr, Handler: service.NewHandler(svc, opts)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

@@ -1,0 +1,362 @@
+// Package obs is the stdlib-only observability substrate of the
+// translation service: atomic counters, gauges, and fixed-bucket
+// latency histograms behind a Prometheus-text exposition endpoint,
+// plus lightweight per-request stage tracing (trace.go). It exists so
+// every stage of the synthesize→translate→validate pipeline is
+// independently measurable — the precondition for optimizing any of
+// them — without pulling a client library into the build.
+//
+// Instruments are cheap on the hot path (one atomic op per event; a
+// histogram observation is a bucket scan plus two atomic ops) and all
+// methods tolerate a nil receiver, so instrumented code needs no
+// "is observability on?" branches: a disabled service simply holds
+// nil instruments.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing series. The zero value is
+// ready to use; a nil *Counter discards updates.
+type Counter struct {
+	v int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (n must be non-negative for Prometheus semantics; this is
+// not enforced).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	atomic.AddInt64(&c.v, n)
+}
+
+// Value reads the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&c.v)
+}
+
+// Gauge is a series that can go up and down. The zero value is ready
+// to use; a nil *Gauge discards updates.
+type Gauge struct {
+	v int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	atomic.StoreInt64(&g.v, n)
+}
+
+// Add adds n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	atomic.AddInt64(&g.v, n)
+}
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&g.v)
+}
+
+// Histogram is a fixed-bucket histogram with Prometheus cumulative
+// exposition. Observations are placed in the first bucket whose upper
+// bound is >= the value (bounds are inclusive, matching Prometheus
+// `le`); values above the last bound land in the implicit +Inf bucket.
+// A nil *Histogram discards observations.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds, excluding +Inf
+	counts []int64   // len(bounds)+1; last is +Inf
+	count  int64
+	sum    uint64 // float64 bits, updated by CAS
+}
+
+// newHistogram builds a histogram over the given ascending bounds.
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	atomic.AddInt64(&h.counts[i], 1)
+	atomic.AddInt64(&h.count, 1)
+	for {
+		old := atomic.LoadUint64(&h.sum)
+		nxt := math.Float64bits(math.Float64frombits(old) + v)
+		if atomic.CompareAndSwapUint64(&h.sum, old, nxt) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&h.count)
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(atomic.LoadUint64(&h.sum))
+}
+
+// DefBuckets are the default latency buckets in seconds: wide enough
+// to separate a cache hit (tens of microseconds) from a cold synthesis
+// (hundreds of milliseconds to minutes).
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Instrument lookups take the registry lock — bind
+// instruments once at construction and hold the returned handles; the
+// handles themselves are lock-free.
+type Registry struct {
+	mu    sync.Mutex
+	fams  map[string]*family
+	order []string
+}
+
+type family struct {
+	name, help, kind string // kind: "counter" | "gauge" | "histogram"
+	bounds           []float64
+
+	mu     sync.Mutex
+	series map[string]any // labels key → *Counter | *Gauge | *Histogram
+	order  []string
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+// labelKey renders k=v label pairs into the canonical exposition form
+// `{k="v",...}` sorted by key ("" for no labels).
+func labelKey(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: odd label key/value list")
+	}
+	type pair struct{ k, v string }
+	ps := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		ps = append(ps, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].k < ps[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range ps {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// fam returns (creating on first use) the named family, checking kind
+// consistency.
+func (r *Registry) fam(name, help, kind string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, bounds: bounds, series: map[string]any{}}
+		r.fams[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as %s, requested as %s", name, f.kind, kind))
+	}
+	return f
+}
+
+func (f *family) get(key string, mk func() any) any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := mk()
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// Counter returns the counter series for name and the given k=v label
+// pairs, registering family and series on first use. Repeated calls
+// with the same name and labels return the same instrument.
+func (r *Registry) Counter(name, help string, kv ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.fam(name, help, "counter", nil)
+	return f.get(labelKey(kv), func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the gauge series for name and labels.
+func (r *Registry) Gauge(name, help string, kv ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.fam(name, help, "gauge", nil)
+	return f.get(labelKey(kv), func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the histogram series for name and labels. bounds
+// apply on first registration of the family; later calls reuse the
+// family's bounds. nil bounds select DefBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64, kv ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	f := r.fam(name, help, "histogram", bounds)
+	return f.get(labelKey(kv), func() any { return newHistogram(f.bounds) }).(*Histogram)
+}
+
+// WritePrometheus renders every family in registration order (series
+// in creation order) in Prometheus text exposition format v0.0.4.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		fams = append(fams, r.fams[name])
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) write(w io.Writer) error {
+	f.mu.Lock()
+	keys := append([]string(nil), f.order...)
+	series := make([]any, len(keys))
+	for i, k := range keys {
+		series[i] = f.series[k]
+	}
+	f.mu.Unlock()
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+		return err
+	}
+	for i, key := range keys {
+		switch s := series[i].(type) {
+		case *Counter:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, key, s.Value()); err != nil {
+				return err
+			}
+		case *Gauge:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, key, s.Value()); err != nil {
+				return err
+			}
+		case *Histogram:
+			if err := s.write(w, f.name, key); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// write renders one histogram series: cumulative buckets, sum, count.
+func (h *Histogram) write(w io.Writer, name, key string) error {
+	inner := strings.TrimSuffix(strings.TrimPrefix(key, "{"), "}")
+	bucketKey := func(le string) string {
+		if inner == "" {
+			return `{le="` + le + `"}`
+		}
+		return "{" + inner + `,le="` + le + `"}`
+	}
+	var cum int64
+	for i, b := range h.bounds {
+		cum += atomic.LoadInt64(&h.counts[i])
+		le := strconv.FormatFloat(b, 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketKey(le), cum); err != nil {
+			return err
+		}
+	}
+	cum += atomic.LoadInt64(&h.counts[len(h.bounds)])
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketKey("+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, key, strconv.FormatFloat(h.Sum(), 'g', -1, 64)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, key, h.Count())
+	return err
+}
+
+// Handler serves the registry as a Prometheus scrape endpoint
+// (GET-only; other methods get 405).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "use GET", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

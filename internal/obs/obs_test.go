@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The exposition format is an interface contract with real scrapers,
+// so it is pinned as a golden string: families in registration order,
+// series in creation order, histograms with cumulative inclusive
+// buckets, an explicit +Inf bucket, and _sum/_count series.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("siro_requests_total", "Requests by outcome.", "outcome", "ok").Add(41)
+	r.Counter("siro_requests_total", "Requests by outcome.", "outcome", "error").Inc()
+	r.Gauge("siro_queue_depth", "Jobs waiting for a worker.").Set(3)
+	h := r.Histogram("siro_stage_seconds", "Per-stage latency.", []float64{0.001, 0.01, 0.1}, "stage", "parse")
+	h.Observe(0.0005)
+	h.Observe(0.01) // boundary: inclusive, lands in the 0.01 bucket
+	h.Observe(5)    // above the last bound: +Inf only
+
+	want := strings.Join([]string{
+		"# HELP siro_requests_total Requests by outcome.",
+		"# TYPE siro_requests_total counter",
+		`siro_requests_total{outcome="ok"} 41`,
+		`siro_requests_total{outcome="error"} 1`,
+		"# HELP siro_queue_depth Jobs waiting for a worker.",
+		"# TYPE siro_queue_depth gauge",
+		"siro_queue_depth 3",
+		"# HELP siro_stage_seconds Per-stage latency.",
+		"# TYPE siro_stage_seconds histogram",
+		`siro_stage_seconds_bucket{stage="parse",le="0.001"} 1`,
+		`siro_stage_seconds_bucket{stage="parse",le="0.01"} 2`,
+		`siro_stage_seconds_bucket{stage="parse",le="0.1"} 2`,
+		`siro_stage_seconds_bucket{stage="parse",le="+Inf"} 3`,
+		`siro_stage_seconds_sum{stage="parse"} 5.0105`,
+		`siro_stage_seconds_count{stage="parse"} 3`,
+		"",
+	}, "\n")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// Bucket boundaries are inclusive (Prometheus `le` semantics): an
+// observation exactly on a bound counts in that bound's bucket, one
+// infinitesimally above it counts in the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0, 1, 1.0000001, 2, 3, 4, 4.5} {
+		h.Observe(v)
+	}
+	// raw (non-cumulative) per-bucket expectations:
+	//   (-Inf,1]: 0, 1        → 2
+	//   (1,2]:    1.0000001, 2 → 2
+	//   (2,4]:    3, 4        → 2
+	//   (4,+Inf): 4.5         → 1
+	wantRaw := []int64{2, 2, 2, 1}
+	for i, want := range wantRaw {
+		if h.counts[i] != want {
+			t.Errorf("bucket %d: got %d observations, want %d", i, h.counts[i], want)
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d, want 7", h.Count())
+	}
+	if got, want := h.Sum(), 15.5000001; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("sum = %v, want ~%v", got, want)
+	}
+}
+
+// Labels are canonicalized (sorted by key) so the same label set in
+// any order addresses the same series, and values are escaped.
+func TestLabelCanonicalization(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c", "h", "x", "1", "y", "2")
+	b := r.Counter("c", "h", "y", "2", "x", "1")
+	if a != b {
+		t.Fatal("same labels in different order produced different series")
+	}
+	if got, want := labelKey([]string{"k", `a"b\c` + "\n"}), `{k="a\"b\\c\n"}`; got != want {
+		t.Errorf("escaping: got %s, want %s", got, want)
+	}
+}
+
+// Nil instruments (the disabled-observability path) discard updates
+// instead of panicking — instrumented code has no nil checks.
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var r *Registry
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(-1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments reported values")
+	}
+	if r.Counter("x", "h") != nil {
+		t.Fatal("nil registry returned a live counter")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Concurrent updates and scrapes must be race-free (this test is part
+// of the `make race` gate): writers hammer every instrument kind while
+// readers render the exposition and new series are registered.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	g := r.Gauge("g", "g")
+	h := r.Histogram("h_seconds", "h", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i) / 100)
+				if i%50 == 0 { // registration racing exposition
+					r.Counter("c_total", "c", "worker", string(rune('a'+w))).Inc()
+				}
+			}
+		}(w)
+	}
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				var b strings.Builder
+				if err := r.WritePrometheus(&b); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 2000 {
+		t.Fatalf("counter = %d, want 2000", c.Value())
+	}
+	if h.Count() != 2000 {
+		t.Fatalf("histogram count = %d, want 2000", h.Count())
+	}
+}
+
+// The scrape endpoint is GET-only, like every read-only endpoint of
+// the daemon.
+func TestRegistryHandlerMethods(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "c").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+
+	resp2, err := http.Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST: status %d, want 405", resp2.StatusCode)
+	}
+}
+
+// Registering one name as two different kinds is a programming error
+// and panics loudly rather than corrupting the exposition.
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind mismatch")
+		}
+	}()
+	r.Gauge("m", "h")
+}

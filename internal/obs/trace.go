@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Stage is one timed segment of a request: a parse, a queue wait, a
+// synthesis, one chain hop. Stages are recorded in completion order
+// and may repeat (a multi-hop route records one "hop" per edge).
+type Stage struct {
+	Name string `json:"name"`
+	Ns   int64  `json:"ns"`
+}
+
+// Trace accumulates the per-stage breakdown of one request as it
+// crosses the pipeline. It travels in the request context, so the
+// goroutine that parses, the worker that translates, and the router
+// that validates all append to the same trace. A nil *Trace discards
+// records, letting instrumented code skip the "is tracing on?" branch.
+//
+// Trace is safe for concurrent use: a caller that gives up on a
+// request (context expiry) may read the trace while the abandoned
+// worker is still appending to it.
+type Trace struct {
+	t0 time.Time
+
+	mu     sync.Mutex
+	stages []Stage
+}
+
+// NewTrace starts a trace now.
+func NewTrace() *Trace {
+	return &Trace{t0: time.Now()}
+}
+
+// Add records a completed stage of the given duration.
+func (t *Trace) Add(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.stages = append(t.stages, Stage{Name: name, Ns: d.Nanoseconds()})
+	t.mu.Unlock()
+}
+
+// Start begins a stage; the returned func records it. Typical use:
+//
+//	defer tr.Start("parse")()
+func (t *Trace) Start(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { t.Add(name, time.Since(start)) }
+}
+
+// Stages snapshots the recorded stages.
+func (t *Trace) Stages() []Stage {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Stage(nil), t.stages...)
+}
+
+// Elapsed is the wall time since the trace started.
+func (t *Trace) Elapsed() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.t0)
+}
+
+type traceKey struct{}
+
+// WithTrace attaches a trace to the context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the context's trace, or nil when the request is
+// untraced (every Trace method tolerates the nil).
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// SlowLog writes one JSON line per request whose wall time meets the
+// threshold — the "where did this slow request spend its time" log,
+// threshold-gated so a healthy service logs nothing. A nil *SlowLog
+// discards records.
+type SlowLog struct {
+	threshold time.Duration
+
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewSlowLog builds a slow-request log over w. Requests faster than
+// threshold are not logged; a zero threshold logs every request.
+func NewSlowLog(w io.Writer, threshold time.Duration) *SlowLog {
+	return &SlowLog{threshold: threshold, w: w}
+}
+
+// slowEntry is the JSON line layout; fields holds request metadata
+// (endpoint, versions, outcome) supplied by the caller.
+type slowEntry struct {
+	ElapsedNs   int64          `json:"elapsed_ns"`
+	ThresholdNs int64          `json:"threshold_ns"`
+	Stages      []Stage        `json:"stages,omitempty"`
+	Fields      map[string]any `json:"fields,omitempty"`
+}
+
+// Record logs the trace if it crossed the threshold. It is safe for
+// concurrent use; each record is one line.
+func (l *SlowLog) Record(tr *Trace, fields map[string]any) {
+	if l == nil || tr == nil {
+		return
+	}
+	elapsed := tr.Elapsed()
+	if elapsed < l.threshold {
+		return
+	}
+	line, err := json.Marshal(slowEntry{
+		ElapsedNs:   elapsed.Nanoseconds(),
+		ThresholdNs: l.threshold.Nanoseconds(),
+		Stages:      tr.Stages(),
+		Fields:      fields,
+	})
+	if err != nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.w.Write(append(line, '\n'))
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceStages(t *testing.T) {
+	tr := NewTrace()
+	tr.Add("parse", 5*time.Millisecond)
+	end := tr.Start("translate")
+	end()
+	tr.Add("hop", time.Millisecond)
+	tr.Add("hop", 2*time.Millisecond)
+	st := tr.Stages()
+	var names []string
+	for _, s := range st {
+		names = append(names, s.Name)
+	}
+	want := []string{"parse", "translate", "hop", "hop"}
+	if len(names) != len(want) {
+		t.Fatalf("stages %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("stages %v, want %v", names, want)
+		}
+	}
+	if st[0].Ns != (5 * time.Millisecond).Nanoseconds() {
+		t.Errorf("parse ns = %d", st[0].Ns)
+	}
+	if tr.Elapsed() <= 0 {
+		t.Error("elapsed not positive")
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	if TraceFrom(context.Background()) != nil {
+		t.Fatal("empty context produced a trace")
+	}
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Fatal("trace did not round-trip through the context")
+	}
+	// A nil trace attaches as a no-op, and nil methods don't panic.
+	if got := TraceFrom(WithTrace(context.Background(), nil)); got != nil {
+		t.Fatal("nil trace became non-nil")
+	}
+	var nilTr *Trace
+	nilTr.Add("x", time.Second)
+	nilTr.Start("y")()
+	if nilTr.Stages() != nil || nilTr.Elapsed() != 0 {
+		t.Fatal("nil trace recorded data")
+	}
+}
+
+// A caller that abandoned its request reads the trace while the
+// worker still appends to it — must be race-free (race gate).
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Add("stage", time.Microsecond)
+				_ = tr.Stages()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Stages()); got != 800 {
+		t.Fatalf("recorded %d stages, want 800", got)
+	}
+}
+
+func TestSlowLogThreshold(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLog(&buf, 10*time.Millisecond)
+
+	fast := NewTrace()
+	l.Record(fast, map[string]any{"endpoint": "/v1/translate"})
+	if buf.Len() != 0 {
+		t.Fatalf("fast request was logged: %s", buf.String())
+	}
+
+	slow := NewTrace()
+	slow.t0 = time.Now().Add(-time.Second) // simulate a 1s request
+	slow.Add("synth", 900*time.Millisecond)
+	l.Record(slow, map[string]any{"endpoint": "/v1/translate", "target": "3.6"})
+	line := buf.Bytes()
+	if len(line) == 0 || line[len(line)-1] != '\n' {
+		t.Fatalf("slow request not logged as a line: %q", line)
+	}
+	var entry struct {
+		ElapsedNs   int64          `json:"elapsed_ns"`
+		ThresholdNs int64          `json:"threshold_ns"`
+		Stages      []Stage        `json:"stages"`
+		Fields      map[string]any `json:"fields"`
+	}
+	if err := json.Unmarshal(line, &entry); err != nil {
+		t.Fatalf("log line is not JSON: %v", err)
+	}
+	if entry.ElapsedNs < time.Second.Nanoseconds() {
+		t.Errorf("elapsed %d < 1s", entry.ElapsedNs)
+	}
+	if entry.ThresholdNs != (10 * time.Millisecond).Nanoseconds() {
+		t.Errorf("threshold %d", entry.ThresholdNs)
+	}
+	if len(entry.Stages) != 1 || entry.Stages[0].Name != "synth" {
+		t.Errorf("stages %+v", entry.Stages)
+	}
+	if entry.Fields["target"] != "3.6" {
+		t.Errorf("fields %+v", entry.Fields)
+	}
+
+	// Nil log and nil trace are no-ops.
+	var nilLog *SlowLog
+	nilLog.Record(slow, nil)
+	l.Record(nil, nil)
+}

@@ -54,8 +54,13 @@ func (o Origin) String() string {
 	return "?"
 }
 
-// CacheStats counts cache traffic.
+// CacheStats counts cache traffic. Lookups is incremented before the
+// corresponding outcome counter under the same mutex, so in every
+// snapshot the per-outcome counters sum to at most Lookups — the
+// invariant /v1/stats and /metrics consumers may rely on (hits never
+// exceed lookups; the difference is the lookups still in flight).
 type CacheStats struct {
+	Lookups      int64 `json:"lookups"`
 	MemoryHits   int64 `json:"memory_hits"`
 	DiskHits     int64 `json:"disk_hits"`
 	Synthesized  int64 `json:"synthesized"`
@@ -78,6 +83,7 @@ type Cache struct {
 	dir  string // "" = memory-only
 	max  int    // LRU capacity (entries)
 	opts synth.Options
+	met  cacheMetrics // registry mirror of stats; zero value inert
 
 	mu     sync.Mutex
 	ll     *list.List // front = most recent; values are *cacheEntry
@@ -157,15 +163,21 @@ func (c *Cache) get(pair version.Pair, synthesize func() (*synth.Result, error))
 	key := c.Key(pair)
 
 	c.mu.Lock()
+	// The lookup is counted before its outcome (same critical section),
+	// so outcome counters can never exceed Lookups in any snapshot.
+	c.stats.Lookups++
+	c.met.lookups.Inc()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		c.stats.MemoryHits++
+		c.met.memoryHits.Inc()
 		e := el.Value.(*cacheEntry)
 		c.mu.Unlock()
 		return e, OriginMemory, nil
 	}
 	if fl, ok := c.flight[key]; ok {
 		c.stats.Deduplicated++
+		c.met.deduplicated.Inc()
 		c.mu.Unlock()
 		<-fl.done
 		if fl.err != nil {
@@ -190,8 +202,10 @@ func (c *Cache) get(pair version.Pair, synthesize func() (*synth.Result, error))
 		switch org {
 		case OriginDisk:
 			c.stats.DiskHits++
+			c.met.diskHits.Inc()
 		case OriginSynth:
 			c.stats.Synthesized++
+			c.met.synthesized.Inc()
 		}
 	}
 	c.mu.Unlock()
@@ -221,13 +235,14 @@ func (c *Cache) load(pair version.Pair, key string, synthesize func() (*synth.Re
 		if blob, err := os.ReadFile(c.path(pair, key)); err == nil {
 			res, err := synth.Import(blob, c.opts)
 			if err == nil {
-				return &cacheEntry{key: key, pair: pair, res: res, tr: translator.FromResult(res)}, OriginDisk, nil
+				return &cacheEntry{key: key, pair: pair, res: res, tr: c.newTranslator(res)}, OriginDisk, nil
 			}
 			// A stale or corrupt artifact is a miss, not a failure: drop
 			// it and re-synthesize.
 			c.mu.Lock()
 			c.stats.StaleDropped++
 			c.mu.Unlock()
+			c.met.staleDropped.Inc()
 			os.Remove(c.path(pair, key))
 		}
 	}
@@ -240,11 +255,27 @@ func (c *Cache) load(pair version.Pair, key string, synthesize func() (*synth.Re
 			return nil, OriginSynth, err
 		}
 	}
-	return &cacheEntry{key: key, pair: pair, res: res, tr: translator.FromResult(res)}, OriginSynth, nil
+	return &cacheEntry{key: key, pair: pair, res: res, tr: c.newTranslator(res)}, OriginSynth, nil
 }
 
-// persist atomically writes the artifact (tmp + rename), so a crashed
-// or concurrent writer never leaves a torn file at the content address.
+// newTranslator wraps a synthesis result, attaching the cache's
+// translation observer (a no-op for an uninstrumented cache). The
+// observer is installed before the translator is published to other
+// goroutines.
+func (c *Cache) newTranslator(res *synth.Result) *translator.Translator {
+	tr := translator.FromResult(res)
+	if c.met.onTranslate != nil {
+		tr.Observer = c.met.onTranslate
+	}
+	return tr
+}
+
+// persist atomically writes the artifact (tmp + fsync + rename), so a
+// crashed or concurrent writer never leaves a torn file at the content
+// address. The fsync before the rename matters: without it a crash
+// shortly after publication can leave the *renamed* file with
+// truncated contents, which the load path would then have to drop on
+// every future start instead of never seeing.
 func (c *Cache) persist(pair version.Pair, key string, res *synth.Result) error {
 	blob, err := res.ExportWithOptions(c.opts)
 	if err != nil {
@@ -258,6 +289,11 @@ func (c *Cache) persist(pair version.Pair, key string, res *synth.Result) error 
 		return fmt.Errorf("service: cache write: %w", err)
 	}
 	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: cache write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("service: cache write: %w", err)
@@ -287,6 +323,7 @@ func (c *Cache) insert(e *cacheEntry) {
 		c.ll.Remove(last)
 		delete(c.items, last.Value.(*cacheEntry).key)
 		c.stats.Evictions++
+		c.met.evictions.Inc()
 	}
 }
 

@@ -104,6 +104,58 @@ func TestCacheDropsCorruptArtifact(t *testing.T) {
 	}
 }
 
+// Regression test for the missing fsync in persist: a crash between
+// write and rename used to be able to publish a truncated artifact at
+// the content address. Whatever the artifact's state, a short file must
+// never be served — it is dropped, re-synthesized, and rewritten whole.
+func TestCacheTruncatedArtifactNotServed(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(dir, 8, synth.Options{})
+	if _, _, err := c.Get(pair12to36, synthesizeFor(t, pair12to36)); err != nil {
+		t.Fatal(err)
+	}
+	path := c.ArtifactPath(pair12to36)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash-truncation window: the renamed file exists but
+	// holds only a prefix of the artifact.
+	if err := os.WriteFile(path, blob[:len(blob)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := NewCache(dir, 8, synth.Options{})
+	resynth := int32(0)
+	tr, org, err := c2.Get(pair12to36, func() (*synth.Result, error) {
+		atomic.AddInt32(&resynth, 1)
+		return synthesizeFor(t, pair12to36)()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if org != OriginSynth || resynth != 1 {
+		t.Fatalf("truncated artifact served: origin %v, resynth %d", org, resynth)
+	}
+	if c2.Stats().StaleDropped != 1 {
+		t.Fatalf("stats = %+v, want 1 stale drop", c2.Stats())
+	}
+	// The re-synthesized translator actually translates.
+	out, err := tr.Translate(corpus.Tests(pair12to36.Source)[0].Module)
+	if err != nil || out.Ver != pair12to36.Target {
+		t.Fatalf("translator from re-synthesis broken: %v", err)
+	}
+	// And the artifact was rewritten whole (byte-deterministic exporter:
+	// same options, same bytes).
+	rewritten, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rewritten) != string(blob) {
+		t.Fatalf("rewritten artifact differs from original (%d vs %d bytes)", len(rewritten), len(blob))
+	}
+}
+
 // N concurrent requests for the same uncached pair must trigger exactly
 // one synthesis; everyone shares the result.
 func TestCacheSingleflight(t *testing.T) {

@@ -2,11 +2,14 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"repro/internal/failure"
+	"repro/internal/obs"
 	"repro/internal/version"
 )
 
@@ -17,10 +20,18 @@ import (
 //	GET  /v1/stats      service counters
 //	GET  /v1/versions   supported versions
 //	GET  /healthz       liveness
+//	GET  /metrics       Prometheus text exposition (unless disabled)
+//	GET  /debug/pprof/  runtime profiles (only with HandlerOpts.Pprof)
 //
+// Every endpoint rejects other methods with 405 and an Allow header.
 // Errors come back as {"error": "...", "class": "...", "exit_code": n}
 // with the HTTP status mapped from the failure class, so an HTTP
 // client sees the same taxonomy a CLI user does.
+
+// DefaultMaxBodyBytes bounds the /v1/translate request body: large
+// enough for any real module in the corpus's weight class, small
+// enough that a misbehaving client cannot balloon the daemon's memory.
+const DefaultMaxBodyBytes = 4 << 20
 
 // TranslateRequest is the body of POST /v1/translate.
 type TranslateRequest struct {
@@ -34,11 +45,12 @@ type TranslateRequest struct {
 
 // TranslateResponse is the success body of POST /v1/translate.
 type TranslateResponse struct {
-	Source  string   `json:"source"` // detected or echoed
-	Target  string   `json:"target"`
-	Route   []string `json:"route"` // versions traversed; >2 entries means multi-hop
-	IR      string   `json:"ir"`
-	Elapsed int64    `json:"elapsed_ns"`
+	Source  string      `json:"source"` // detected or echoed
+	Target  string      `json:"target"`
+	Route   []string    `json:"route"` // versions traversed; >2 entries means multi-hop
+	IR      string      `json:"ir"`
+	Elapsed int64       `json:"elapsed_ns"`
+	Stages  []obs.Stage `json:"stages,omitempty"` // per-stage latency breakdown
 }
 
 // ErrorResponse is the error body of every endpoint.
@@ -53,6 +65,10 @@ type ErrorResponse struct {
 // unprocessable, an exhausted budget asks the client to retry later,
 // and synthesis/validation failures are the service's.
 func httpStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
 	switch failure.ClassOf(err) {
 	case failure.Parse:
 		return http.StatusBadRequest
@@ -65,35 +81,96 @@ func httpStatus(err error) int {
 	}
 }
 
-// Handler exposes the service over HTTP.
+// HandlerOpts tunes the HTTP surface beyond the core API.
+type HandlerOpts struct {
+	// MaxBodyBytes caps the /v1/translate request body; 0 means
+	// DefaultMaxBodyBytes, negative disables the bound.
+	MaxBodyBytes int64
+	// SlowLog, when set, receives one JSON line per translate request
+	// whose wall time crosses the log's threshold.
+	SlowLog *obs.SlowLog
+	// Pprof mounts net/http/pprof under /debug/pprof/. Off by default:
+	// profiles expose internals and cost CPU, so enabling them is a
+	// deliberate operator action (the -pprof flag).
+	Pprof bool
+	// DisableMetricsEndpoint hides /metrics even when the service has a
+	// registry.
+	DisableMetricsEndpoint bool
+}
+
+// Handler exposes the service over HTTP with default options.
 func Handler(s *Service) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/translate", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+	return NewHandler(s, HandlerOpts{})
+}
+
+// method wraps an endpoint with a uniform method check: anything but
+// the stated method gets 405 with an Allow header and the standard
+// error body.
+func method(want string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != want {
+			w.Header().Set("Allow", want)
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use %s", want))
 			return
 		}
-		var req TranslateRequest
+		h(w, r)
+	}
+}
+
+// NewHandler exposes the service over HTTP.
+func NewHandler(s *Service, opts HandlerOpts) http.Handler {
+	maxBody := opts.MaxBodyBytes
+	if maxBody == 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/translate", method(http.MethodPost, func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.NewTrace()
+		ctx := obs.WithTrace(r.Context(), tr)
+		req := TranslateRequest{Source: "auto"}
+		logSlow := func(outcome string, err error) {
+			fields := map[string]any{
+				"endpoint": "/v1/translate",
+				"source":   req.Source,
+				"target":   req.Target,
+				"outcome":  outcome,
+			}
+			if err != nil {
+				fields["class"] = classLabel(err)
+			}
+			opts.SlowLog.Record(tr, fields)
+		}
+		if maxBody > 0 {
+			r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+		}
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, failure.Wrapf(failure.Parse, "bad request body: %w", err))
+			// An oversized body surfaces as http.MaxBytesError from the
+			// decoder's reads; it shares the Parse class (the client sent
+			// an unreadable request) but gets its own 413 status.
+			err = failure.Wrapf(failure.Parse, "bad request body: %w", err)
+			writeError(w, httpStatus(err), err)
+			logSlow("error", err)
 			return
 		}
 		tgt, err := version.Parse(req.Target)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, failure.Wrap(failure.Parse, err))
+			logSlow("error", err)
 			return
 		}
 		var src version.V // zero = detect
 		if req.Source != "" && req.Source != "auto" {
 			if src, err = version.Parse(req.Source); err != nil {
 				writeError(w, http.StatusBadRequest, failure.Wrap(failure.Parse, err))
+				logSlow("error", err)
 				return
 			}
 		}
 		start := time.Now()
-		out, detected, route, err := s.TranslateText(r.Context(), req.IR, src, tgt)
+		out, detected, route, err := s.TranslateText(ctx, req.IR, src, tgt)
 		if err != nil {
 			writeError(w, httpStatus(err), err)
+			logSlow("error", err)
 			return
 		}
 		resp := TranslateResponse{
@@ -101,26 +178,38 @@ func Handler(s *Service) http.Handler {
 			Target:  tgt.String(),
 			IR:      out,
 			Elapsed: time.Since(start).Nanoseconds(),
+			Stages:  tr.Stages(),
 		}
 		for _, v := range route {
 			resp.Route = append(resp.Route, v.String())
 		}
 		writeJSON(w, http.StatusOK, resp)
-	})
-	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		logSlow("ok", nil)
+	}))
+	mux.HandleFunc("/v1/stats", method(http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
-	})
-	mux.HandleFunc("/v1/versions", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/v1/versions", method(http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
 		var vs []string
 		for _, v := range s.Versions() {
 			vs = append(vs, v.String())
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"versions": vs})
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/healthz", method(http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
-	})
+	}))
+	if reg := s.Metrics(); reg != nil && !opts.DisableMetricsEndpoint {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	if opts.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

@@ -1,0 +1,244 @@
+package service
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/obs"
+	"repro/internal/synth"
+	"repro/internal/version"
+)
+
+// Stage names of the request trace and the siro_stage_seconds
+// histogram. The stages are disjoint ("cache" excludes the nested
+// synthesis time, which is reported as "synth"), so a request's stage
+// durations sum to roughly its wall time.
+const (
+	stageParse     = "parse"    // textual IR → module at a stated version
+	stageDetect    = "detect"   // version auto-detection (parse at every version)
+	stageQueue     = "queue"    // enqueue → worker pickup
+	stageCache     = "cache"    // translator lookup (memory + disk), synthesis excluded
+	stageSynth     = "synth"    // full synthesis on a cache miss
+	stageRoute     = "route"    // multi-hop route search incl. per-edge synthesis
+	stageValidate  = "validate" // differential validation of a composed chain
+	stageTranslate = "translate"
+	stageHop       = "hop" // one edge of a multi-hop chain (repeats)
+	stageWrite     = "write"
+)
+
+var stageNames = []string{
+	stageParse, stageDetect, stageQueue, stageCache, stageSynth,
+	stageRoute, stageValidate, stageTranslate, stageHop, stageWrite,
+}
+
+// failureClasses are the label values of siro_failures_total, matching
+// the keys of Stats.FailureClasses so /metrics and /v1/stats agree.
+var failureClasses = []*failure.Class{
+	failure.Parse, failure.Synthesis, failure.Validation, failure.Budget, failure.Unsupported,
+}
+
+const unclassified = "unclassified"
+
+// classLabel is the failure-class label value (and /v1/stats map key)
+// of an error.
+func classLabel(err error) string {
+	if c := failure.ClassOf(err); c != nil {
+		return c.Error()
+	}
+	return unclassified
+}
+
+// serviceMetrics pre-binds every instrument the service updates, so
+// the hot path is pure atomics — no registry lookups, no locks. A nil
+// *serviceMetrics (observability disabled) makes every method a no-op;
+// the nested obs instruments are themselves nil-safe.
+type serviceMetrics struct {
+	reg *obs.Registry
+
+	reqOK, reqErr *obs.Counter
+	failures      map[string]*obs.Counter
+	multiHop      *obs.Counter
+
+	queueDepth *obs.Gauge
+	queueWait  *obs.Histogram
+
+	stages     map[string]*obs.Histogram
+	hopSeconds *obs.Histogram
+
+	synthCandidates  *obs.Counter
+	synthPerTest     *obs.Counter
+	synthValidations *obs.Counter
+	synthExecRuns    *obs.Counter
+	synthPhases      map[string]*obs.Histogram
+
+	routesOK, routesErr *obs.Counter
+	routeHops           *obs.Counter
+
+	translatedInsts, emittedInsts *obs.Counter
+
+	cache  cacheMetrics
+	router routerMetrics
+}
+
+// cacheMetrics mirrors CacheStats into the registry. The zero value
+// (all nil) is inert, so a standalone Cache (cmd/siro without a
+// service) carries no instrumentation.
+type cacheMetrics struct {
+	lookups      *obs.Counter
+	memoryHits   *obs.Counter
+	diskHits     *obs.Counter
+	synthesized  *obs.Counter
+	deduplicated *obs.Counter
+	evictions    *obs.Counter
+	staleDropped *obs.Counter
+	// onTranslate is installed as the Observer of every translator the
+	// cache constructs, feeding instruction-throughput counters.
+	onTranslate func(srcInsts, emittedInsts int)
+}
+
+// routerMetrics is the router's slice of the registry; zero value inert.
+type routerMetrics struct {
+	routesOK, routesErr *obs.Counter
+	hops                *obs.Counter
+	memoHits            *obs.Counter // broken-edge memo hits
+	// stage records the chain-validation stage into the request trace
+	// and the stage histogram (nil: skip).
+	stage func(ctx context.Context, name string) func()
+}
+
+// newServiceMetrics registers the service's metric families on reg and
+// returns the bound instruments; a nil reg returns nil (observability
+// off).
+func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &serviceMetrics{reg: reg}
+
+	const reqHelp = "Translation requests by outcome."
+	m.reqOK = reg.Counter("siro_requests_total", reqHelp, "outcome", "ok")
+	m.reqErr = reg.Counter("siro_requests_total", reqHelp, "outcome", "error")
+	m.failures = map[string]*obs.Counter{}
+	const failHelp = "Failed requests by failure class."
+	for _, c := range failureClasses {
+		m.failures[c.Error()] = reg.Counter("siro_failures_total", failHelp, "class", c.Error())
+	}
+	m.failures[unclassified] = reg.Counter("siro_failures_total", failHelp, "class", unclassified)
+	m.multiHop = reg.Counter("siro_multi_hop_requests_total", "Requests served through a composed multi-hop chain.")
+
+	m.queueDepth = reg.Gauge("siro_queue_depth", "Jobs waiting in the worker queue.")
+	m.queueWait = reg.Histogram("siro_queue_wait_seconds", "Time from enqueue to worker pickup.", nil)
+
+	m.stages = map[string]*obs.Histogram{}
+	for _, name := range stageNames {
+		m.stages[name] = reg.Histogram("siro_stage_seconds", "Per-stage latency of the translation pipeline.", nil, "stage", name)
+	}
+	m.hopSeconds = m.stages[stageHop]
+
+	m.synthCandidates = reg.Counter("siro_synth_candidates_total", "Candidate components enumerated by type-guided generation.")
+	m.synthPerTest = reg.Counter("siro_synth_per_test_translators_total", "Per-test translators enumerated.")
+	m.synthValidations = reg.Counter("siro_synth_validations_total", "Per-test translators differentially validated.")
+	m.synthExecRuns = reg.Counter("siro_synth_exec_runs_total", "Oracle executions during validation.")
+	m.synthPhases = map[string]*obs.Histogram{}
+	for _, phase := range []string{"gen", "profile", "enum", "validate", "refine", "complete"} {
+		m.synthPhases[phase] = reg.Histogram("siro_synth_phase_seconds", "Synthesis wall time by phase, one observation per synthesis run.", nil, "phase", phase)
+	}
+
+	const routeHelp = "Multi-hop route planning attempts by outcome."
+	m.routesOK = reg.Counter("siro_router_routes_total", routeHelp, "outcome", "ok")
+	m.routesErr = reg.Counter("siro_router_routes_total", routeHelp, "outcome", "error")
+	m.routeHops = reg.Counter("siro_router_hops_total", "Edges in successfully planned routes.")
+
+	m.translatedInsts = reg.Counter("siro_translated_instructions_total", "Source instructions dispatched through translators.")
+	m.emittedInsts = reg.Counter("siro_emitted_instructions_total", "Target instructions emitted by translators.")
+
+	const cacheHelp = "Translator cache events."
+	m.cache = cacheMetrics{
+		lookups:      reg.Counter("siro_cache_lookups_total", "Translator cache lookups."),
+		memoryHits:   reg.Counter("siro_cache_events_total", cacheHelp, "event", "memory_hit"),
+		diskHits:     reg.Counter("siro_cache_events_total", cacheHelp, "event", "disk_hit"),
+		synthesized:  reg.Counter("siro_cache_events_total", cacheHelp, "event", "synthesized"),
+		deduplicated: reg.Counter("siro_cache_events_total", cacheHelp, "event", "deduplicated"),
+		evictions:    reg.Counter("siro_cache_events_total", cacheHelp, "event", "eviction"),
+		staleDropped: reg.Counter("siro_cache_events_total", cacheHelp, "event", "stale_dropped"),
+		onTranslate: func(src, emitted int) {
+			m.translatedInsts.Add(int64(src))
+			m.emittedInsts.Add(int64(emitted))
+		},
+	}
+	m.router = routerMetrics{
+		routesOK:  m.routesOK,
+		routesErr: m.routesErr,
+		hops:      m.routeHops,
+		memoHits:  reg.Counter("siro_router_broken_edge_memo_hits_total", "Route-search edges skipped via the broken-edge memo."),
+		stage:     m.stageTimer,
+	}
+	return m
+}
+
+// Registry exposes the underlying registry (nil when disabled).
+func (m *serviceMetrics) Registry() *obs.Registry {
+	if m == nil {
+		return nil
+	}
+	return m.reg
+}
+
+// stageTimer starts a pipeline stage: the returned func records its
+// duration into the request trace (when ctx carries one) and the stage
+// histogram. Usable with a nil receiver — tracing still works with
+// metrics disabled.
+func (m *serviceMetrics) stageTimer(ctx context.Context, name string) func() {
+	tr := obs.TraceFrom(ctx)
+	if tr == nil && m == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { m.stageDone(tr, name, time.Since(start)) }
+}
+
+// stageDur records an already-measured stage duration.
+func (m *serviceMetrics) stageDur(ctx context.Context, name string, d time.Duration) {
+	m.stageDone(obs.TraceFrom(ctx), name, d)
+}
+
+func (m *serviceMetrics) stageDone(tr *obs.Trace, name string, d time.Duration) {
+	tr.Add(name, d)
+	if m != nil {
+		m.stages[name].ObserveDuration(d)
+	}
+}
+
+// recordOutcome mirrors Service.record into the registry.
+func (m *serviceMetrics) recordOutcome(route []version.V, err error) {
+	if m == nil {
+		return
+	}
+	if err != nil {
+		m.reqErr.Inc()
+		if c, ok := m.failures[classLabel(err)]; ok {
+			c.Inc()
+		}
+		return
+	}
+	m.reqOK.Inc()
+	if len(route) > 2 {
+		m.multiHop.Inc()
+	}
+}
+
+// recordSynth exports one synthesis run's enumeration counts and phase
+// times — the §6.4 measurements, live.
+func (m *serviceMetrics) recordSynth(st synth.Stats) {
+	if m == nil {
+		return
+	}
+	m.synthCandidates.Add(int64(st.CandidatesTotal()))
+	m.synthPerTest.Add(int64(st.PerTestTotal))
+	m.synthValidations.Add(int64(st.Validations))
+	m.synthExecRuns.Add(int64(st.ExecRuns))
+	for phase, d := range st.Phases() {
+		m.synthPhases[phase].ObserveDuration(d)
+	}
+}

@@ -39,6 +39,8 @@ type Router struct {
 	// service's synthesis function.
 	Get func(ctx context.Context, pair version.Pair) (*translator.Translator, error)
 
+	met routerMetrics // registry mirror; zero value inert
+
 	mu     sync.Mutex
 	broken map[version.Pair]error // memoized unsynthesizable edges
 }
@@ -76,6 +78,7 @@ func (r *Router) edge(ctx context.Context, pair version.Pair, attempts *int) (*t
 	err, bad := r.broken[pair]
 	r.mu.Unlock()
 	if bad {
+		r.met.memoHits.Inc()
 		return nil, err
 	}
 	if *attempts <= 0 {
@@ -125,6 +128,8 @@ func (r *Router) Route(ctx context.Context, src, tgt version.V) (*translator.Cha
 	for hops := 2; hops <= r.maxHops(); hops++ {
 		ch, err := r.search(ctx, src, tgt, waypoints, nil, hops, &attempts)
 		if ch != nil {
+			r.met.routesOK.Inc()
+			r.met.hops.Add(int64(len(ch.Hops)))
 			return ch, nil
 		}
 		if err != nil {
@@ -138,6 +143,7 @@ func (r *Router) Route(ctx context.Context, src, tgt version.V) (*translator.Cha
 		lastErr = failure.Wrapf(failure.Synthesis, "service: no route from %s to %s within %d hops",
 			src, tgt, r.maxHops())
 	}
+	r.met.routesErr.Inc()
 	return nil, fmt.Errorf("service: multi-hop routing %s->%s failed: %w", src, tgt, lastErr)
 }
 
@@ -157,7 +163,7 @@ func (r *Router) search(ctx context.Context, cur, tgt version.V, waypoints []ver
 		if cerr != nil {
 			return nil, cerr
 		}
-		if verr := r.validateChain(ch); verr == nil {
+		if verr := r.validateChain(ctx, ch); verr == nil {
 			return ch, nil
 		} else if failure.ClassOf(verr) == failure.Budget || ctx.Err() != nil {
 			return nil, verr
@@ -204,9 +210,12 @@ func onPath(path []*translator.Translator, v version.V) bool {
 // synthesis corpus at the chain's source version — the same
 // translate→execute→compare discipline every direct translator already
 // passed per test case, now applied end-to-end across the hops.
-func (r *Router) validateChain(ch *translator.Chain) error {
+func (r *Router) validateChain(ctx context.Context, ch *translator.Chain) error {
 	if r.Trials < 0 {
 		return nil
+	}
+	if r.met.stage != nil {
+		defer r.met.stage(ctx, stageValidate)()
 	}
 	trials := r.Trials
 	if trials == 0 {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/ir"
 	"repro/internal/irtext"
+	"repro/internal/obs"
 	"repro/internal/synth"
 	"repro/internal/translator"
 	"repro/internal/version"
@@ -60,6 +61,13 @@ type Config struct {
 	Synth synth.Options
 	// SynthFn overrides the synthesis path (chaos/testing seam).
 	SynthFn SynthFn
+	// Metrics is the registry the service's instruments register into;
+	// nil creates a private registry (retrievable via Service.Metrics,
+	// served by the HTTP handler at /metrics).
+	Metrics *obs.Registry
+	// DisableMetrics turns instrumentation off entirely — the
+	// uninstrumented baseline `make bench-obs` compares against.
+	DisableMetrics bool
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +82,11 @@ func (c Config) withDefaults() Config {
 	}
 	if len(c.Versions) == 0 {
 		c.Versions = version.All
+	}
+	if c.DisableMetrics {
+		c.Metrics = nil
+	} else if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
 	}
 	return c
 }
@@ -98,6 +111,7 @@ type Service struct {
 	cfg     Config
 	cache   *Cache
 	router  *Router
+	met     *serviceMetrics // nil when observability is disabled
 	jobs    chan *job
 	wg      sync.WaitGroup // workers
 	senders sync.WaitGroup // in-flight enqueues, so Close can safely close(jobs)
@@ -111,10 +125,11 @@ type Service struct {
 }
 
 type job struct {
-	ctx    context.Context
-	pair   version.Pair
-	module *ir.Module
-	res    chan jobResult
+	ctx      context.Context
+	pair     version.Pair
+	module   *ir.Module
+	enqueued time.Time
+	res      chan jobResult
 }
 
 type jobResult struct {
@@ -131,10 +146,14 @@ func New(cfg Config) *Service {
 	s := &Service{
 		cfg:       cfg,
 		cache:     NewCache(cfg.CacheDir, cfg.MaxCachedTranslators, cfg.Synth),
+		met:       newServiceMetrics(cfg.Metrics),
 		jobs:      make(chan *job, cfg.QueueDepth),
 		start:     time.Now(),
 		byClass:   map[string]int64{},
 		supported: map[version.V]bool{},
+	}
+	if s.met != nil {
+		s.cache.met = s.met.cache
 	}
 	for _, v := range cfg.Versions {
 		s.supported[v] = true
@@ -144,6 +163,9 @@ func New(cfg Config) *Service {
 		MaxHops:  cfg.MaxHops,
 		Trials:   cfg.RouteTrials,
 		Get:      s.hopTranslator,
+	}
+	if s.met != nil {
+		s.router.met = s.met.router
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -176,8 +198,28 @@ func (s *Service) Versions() []version.V {
 	return out
 }
 
+// Metrics returns the observability registry the service's
+// instruments live in, nil when Config.DisableMetrics was set. The
+// HTTP handler serves it at GET /metrics.
+func (s *Service) Metrics() *obs.Registry {
+	return s.met.Registry()
+}
+
 // Stats snapshots the service counters.
+//
+// Consistency: the request counters (under the service mutex) and the
+// cache counters (under the cache mutex) are each snapshotted
+// atomically, but not jointly — the two locks are never held together.
+// The cross-source skew is bounded by the number of in-flight
+// requests, and within each source the counters keep their invariants
+// in every snapshot: Completed+Failed ≤ Requests, and the cache's
+// per-outcome counters never exceed Lookups (a lookup is counted
+// before its outcome, under one mutex — see TestStatsSnapshotBounds).
 func (s *Service) Stats() Stats {
+	// Cache first: its events happen before the request-level record,
+	// so snapshotting in the same order keeps the common reading
+	// ("did the cache serve the requests counted here?") conservative.
+	cacheStats := s.cache.Stats()
 	s.mu.Lock()
 	st := s.stats
 	st.FailureClasses = map[string]int64{}
@@ -185,7 +227,7 @@ func (s *Service) Stats() Stats {
 		st.FailureClasses[k] = v
 	}
 	s.mu.Unlock()
-	st.Cache = s.cache.Stats()
+	st.Cache = cacheStats
 	for _, p := range s.cache.Pairs() {
 		st.CachedPairs = append(st.CachedPairs, p.String())
 	}
@@ -230,9 +272,13 @@ func (s *Service) TranslateRouted(ctx context.Context, src, tgt version.V, m *ir
 	}
 	s.mu.Unlock()
 
+	j.enqueued = time.Now()
 	select {
 	case s.jobs <- j:
 		s.senders.Done()
+		if s.met != nil {
+			s.met.queueDepth.Set(int64(len(s.jobs)))
+		}
 	case <-ctx.Done():
 		s.senders.Done()
 		err := failure.FromContext(ctx.Err())
@@ -259,17 +305,27 @@ func (s *Service) TranslateText(ctx context.Context, text string, src version.V,
 	var m *ir.Module
 	var err error
 	if !src.IsValid() {
-		if m, src, err = s.Detect(text); err != nil {
+		end := s.met.stageTimer(ctx, stageDetect)
+		m, src, err = s.Detect(text)
+		end()
+		if err != nil {
 			return "", version.V{}, nil, err
 		}
-	} else if m, err = irtext.Parse(text, src); err != nil {
-		return "", src, nil, failure.Wrapf(failure.Parse, "service: reading %s IR: %w", src, err)
+	} else {
+		end := s.met.stageTimer(ctx, stageParse)
+		m, err = irtext.Parse(text, src)
+		end()
+		if err != nil {
+			return "", src, nil, failure.Wrapf(failure.Parse, "service: reading %s IR: %w", src, err)
+		}
 	}
 	out, route, err := s.TranslateRouted(ctx, src, tgt, m)
 	if err != nil {
 		return "", src, nil, err
 	}
+	endWrite := s.met.stageTimer(ctx, stageWrite)
 	rendered, err := irtext.NewWriter(tgt).WriteModule(out)
+	endWrite()
 	if err != nil {
 		return "", src, route, failure.Wrapf(failure.Validation, "service: writing %s IR: %w", tgt, err)
 	}
@@ -321,6 +377,7 @@ func (s *Service) admit(src, tgt version.V, m *ir.Module) error {
 
 // record updates the outcome counters.
 func (s *Service) record(route []version.V, err error) {
+	s.met.recordOutcome(route, err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Requests++
@@ -343,6 +400,13 @@ func (s *Service) record(route []version.V, err error) {
 func (s *Service) worker() {
 	defer s.wg.Done()
 	for j := range s.jobs {
+		if wait := time.Since(j.enqueued); s.met != nil || obs.TraceFrom(j.ctx) != nil {
+			s.met.stageDur(j.ctx, stageQueue, wait)
+			if s.met != nil {
+				s.met.queueWait.ObserveDuration(wait)
+				s.met.queueDepth.Set(int64(len(s.jobs)))
+			}
+		}
 		j.res <- s.run(j)
 	}
 }
@@ -367,7 +431,9 @@ func (s *Service) run(j *job) (res jobResult) {
 	if err != nil {
 		return jobResult{err: err}
 	}
+	endTranslate := s.met.stageTimer(ctx, stageTranslate)
 	out, err := tr.Translate(j.module)
+	endTranslate()
 	if err != nil {
 		return jobResult{err: err}
 	}
@@ -389,9 +455,22 @@ func (s *Service) resolve(ctx context.Context, pair version.Pair) (translator.Mo
 		return nil, origin, directErr
 	}
 	s.router.MarkBroken(pair, directErr)
+	endRoute := s.met.stageTimer(ctx, stageRoute)
 	ch, routeErr := s.router.Route(ctx, pair.Source, pair.Target)
+	endRoute()
 	if routeErr != nil {
 		return nil, origin, fmt.Errorf("%w (direct synthesis failed: %v)", routeErr, directErr)
+	}
+	// Bind per-hop observation to this request: chains are composed per
+	// request, so the closure may capture the request trace.
+	if tr := obs.TraceFrom(ctx); tr != nil || s.met != nil {
+		met := s.met
+		ch.OnHop = func(p version.Pair, d time.Duration) {
+			tr.Add(stageHop, d)
+			if met != nil {
+				met.hopSeconds.ObserveDuration(d)
+			}
+		}
 	}
 	return ch, OriginSynth, nil
 }
@@ -404,9 +483,23 @@ func (s *Service) hopTranslator(ctx context.Context, pair version.Pair) (*transl
 }
 
 // cachedTranslator gets the direct translator for a pair through the
-// cache, bounding synthesis by the context deadline.
+// cache, bounding synthesis by the context deadline. The lookup and
+// the nested synthesis report as disjoint stages: "cache" is the Get
+// call minus the time spent inside the synthesize callback, "synth"
+// is the callback itself (zero when the cache hit).
 func (s *Service) cachedTranslator(ctx context.Context, pair version.Pair) (*translator.Translator, Origin, error) {
-	return s.cache.Get(pair, func() (*synth.Result, error) {
+	observe := s.met != nil || obs.TraceFrom(ctx) != nil
+	var start time.Time
+	var synthDur time.Duration
+	if observe {
+		start = time.Now()
+	}
+	tr, org, err := s.cache.Get(pair, func() (*synth.Result, error) {
+		var synthStart time.Time
+		if observe {
+			synthStart = time.Now()
+			defer func() { synthDur = time.Since(synthStart) }()
+		}
 		opts := s.cfg.Synth
 		if dl, ok := ctx.Deadline(); ok {
 			remain := time.Until(dl)
@@ -421,6 +514,14 @@ func (s *Service) cachedTranslator(ctx context.Context, pair version.Pair) (*tra
 		if err != nil {
 			return nil, failure.Wrapf(failure.Synthesis, "service: synthesizing %s: %w", pair, err)
 		}
+		s.met.recordSynth(res.Stats)
 		return res, nil
 	})
+	if observe {
+		s.met.stageDur(ctx, stageCache, time.Since(start)-synthDur)
+		if synthDur > 0 {
+			s.met.stageDur(ctx, stageSynth, synthDur)
+		}
+	}
+	return tr, org, err
 }

@@ -71,6 +71,7 @@ type T struct {
 	tmpN        int
 	curFunc     *ir.Function
 	unsupported []UnsupportedSite
+	srcInsts    int
 }
 
 // New prepares a translation of src to target version tgtVer.
@@ -89,6 +90,20 @@ func New(src *ir.Module, tgtVer version.V, dispatch func(*ir.Instruction) (InstF
 // per construct that was dropped rather than translated. Empty after a
 // fully successful run.
 func (t *T) Unsupported() []UnsupportedSite { return t.unsupported }
+
+// Counts reports the source instructions dispatched and the target
+// instructions emitted by the run so far — the skeleton's contribution
+// to translation throughput metrics. Valid after Run returns.
+func (t *T) Counts() (srcInsts, emittedInsts int) {
+	if t.tgt != nil {
+		for _, f := range t.tgt.Funcs {
+			for _, b := range f.Blocks {
+				emittedInsts += len(b.Insts)
+			}
+		}
+	}
+	return t.srcInsts, emittedInsts
+}
 
 // Run executes Alg. 1 and returns the translated module. Panics raised
 // inside instruction translators or the API components they call — a
@@ -188,6 +203,7 @@ func (t *T) translateFunc(f *ir.Function) error {
 	for _, b := range f.Blocks {
 		t.cur = t.bmap[b]
 		for _, inst := range b.Insts {
+			t.srcInsts++
 			mark := len(t.cur.Insts)
 			res, err := t.applyInst(ctx, inst)
 			if err == nil && inst.HasResult() && res == nil {

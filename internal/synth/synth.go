@@ -105,6 +105,31 @@ func (s *Stats) Total() time.Duration {
 	return s.GenTime + s.ProfileTime + s.EnumTime + s.ValidateTime + s.RefineTime + s.CompleteTime
 }
 
+// CandidatesTotal sums the generated candidates across all kinds —
+// the size of the search space this run enumerated over.
+func (s *Stats) CandidatesTotal() int {
+	total := 0
+	for _, n := range s.CandidatesPerKind {
+		total += n
+	}
+	return total
+}
+
+// Phases returns the per-phase wall times keyed by phase name, the
+// seam observability exporters record synthesis-time breakdowns
+// through. ExecTime is omitted: it is a subset of "validate", and the
+// phases here are disjoint (they sum to Total).
+func (s *Stats) Phases() map[string]time.Duration {
+	return map[string]time.Duration{
+		"gen":      s.GenTime,
+		"profile":  s.ProfileTime,
+		"enum":     s.EnumTime,
+		"validate": s.ValidateTime,
+		"refine":   s.RefineTime,
+		"complete": s.CompleteTime,
+	}
+}
+
 // Case is one predicate-dispatched arm of a completed instruction
 // translator M_k.
 type Case struct {

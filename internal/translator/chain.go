@@ -2,6 +2,7 @@ package translator
 
 import (
 	"strings"
+	"time"
 
 	"repro/internal/failure"
 	"repro/internal/ir"
@@ -34,6 +35,11 @@ func (t *Translator) Route() []version.V {
 // direct translator.
 type Chain struct {
 	Hops []*Translator
+	// OnHop, when set, observes each hop's latency as the chain runs —
+	// the per-edge observability seam. The service binds it per request
+	// (chains are composed per request), so it may close over
+	// request-scoped state; it must not be set on a shared chain.
+	OnHop func(pair version.Pair, d time.Duration)
 }
 
 // NewChain validates hop contiguity and wraps the hops. It returns an
@@ -85,7 +91,11 @@ func (c *Chain) String() string {
 func (c *Chain) Translate(m *ir.Module) (*ir.Module, error) {
 	cur := m
 	for i, h := range c.Hops {
+		start := time.Now()
 		out, err := h.Translate(cur)
+		if c.OnHop != nil {
+			c.OnHop(h.Pair, time.Since(start))
+		}
 		if err != nil {
 			return nil, failure.Wrapf(failure.Unsupported,
 				"translator: chain hop %d (%s): %w", i, h.Pair, err)

@@ -19,7 +19,14 @@ import (
 // Translator converts whole modules from its source version to its
 // target version. It is safe for sequential reuse across modules.
 type Translator struct {
-	Pair  version.Pair
+	Pair version.Pair
+	// Observer, when set, receives the instruction counts of every
+	// successful Translate — the observability seam translation
+	// throughput metrics hang off. Set it before the translator is
+	// shared between goroutines; it must itself be safe for concurrent
+	// calls.
+	Observer func(srcInsts, emittedInsts int)
+
 	res   *synth.Result
 	preds map[ir.Opcode][]irlib.Predicate
 }
@@ -54,12 +61,16 @@ func (t *Translator) Translate(m *ir.Module) (*ir.Module, error) {
 		return nil, failure.Wrapf(failure.Unsupported,
 			"translator: module is version %s, translator expects %s", m.Ver, t.Pair.Source)
 	}
-	out, err := skeleton.New(m, t.Pair.Target, t.dispatch).Run()
+	sk := skeleton.New(m, t.Pair.Target, t.dispatch)
+	out, err := sk.Run()
 	if err != nil {
 		return nil, failure.Wrap(failure.Unsupported, err)
 	}
 	if err := ir.Verify(out); err != nil {
 		return nil, failure.Wrapf(failure.Validation, "translator: output failed verification: %w", err)
+	}
+	if t.Observer != nil {
+		t.Observer(sk.Counts())
 	}
 	return out, nil
 }
