@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz bench bench-service bench-obs clean
+.PHONY: check fmt vet build test race fuzz soak soak-smoke bench bench-service bench-obs clean
 
 check: fmt vet build test race
 
@@ -24,13 +24,33 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/synth ./internal/interp ./internal/service ./internal/obs
+	$(GO) test -race ./internal/synth ./internal/interp ./internal/service ./internal/obs ./internal/resilience
 
-# Short fuzz smoke of the two fuzz targets; crashers land in
+# Short fuzz smoke of the fuzz targets; crashers land in
 # internal/<pkg>/testdata/fuzz and are replayed by plain `go test`.
 fuzz:
 	$(GO) test ./internal/irtext/ -fuzz FuzzParseText -fuzztime 30s
 	$(GO) test ./internal/cc/ -fuzz FuzzCC -fuzztime 30s
+	$(GO) test ./internal/service/ -fuzz FuzzTranslateRequest -fuzztime 30s
+
+# Chaos soak: the live daemon hammered for a bounded wall clock with
+# lie/trap/panic/hang synthesis faults, corrupted request bodies, a
+# forced breaker open→half-open→closed cycle, and an injected
+# quarantine. Exits non-zero on any unclassified error, any wrong
+# translation served, a missed breaker transition, or a goroutine leak
+# after drain. SOAK_JSON names the machine-readable summary.
+SOAK_JSON ?= $(CURDIR)/SOAK_summary.json
+soak:
+	SIRO_SOAK_SECONDS=20 SIRO_SOAK_CLIENTS=8 SIRO_SOAK_JSON=$(SOAK_JSON) \
+		$(GO) test ./internal/service -run TestChaosSoak -count=1 -v -timeout 10m
+
+# CI variant: race-enabled, chaos rates dialed down, bounded well
+# under 30s of hammering.
+soak-smoke:
+	SIRO_SOAK_SECONDS=3 SIRO_SOAK_CLIENTS=4 \
+	SIRO_SOAK_LIE=0.05 SIRO_SOAK_TRAP=0.05 SIRO_SOAK_PANIC=0.03 SIRO_SOAK_HANG=0.03 \
+	SIRO_SOAK_JSON=$(SOAK_JSON) \
+		$(GO) test -race ./internal/service -run TestChaosSoak -count=1 -v -timeout 10m
 
 bench:
 	$(GO) test -bench=. -benchmem

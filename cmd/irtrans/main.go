@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -84,7 +85,7 @@ func main() {
 	}
 	cache := service.NewCache(*cacheDir, 0, synth.Options{})
 	pair := version.Pair{Source: src, Target: tgt}
-	tr, origin, err := cache.Get(pair, func() (*synth.Result, error) {
+	tr, origin, err := cache.Get(context.Background(), pair, func() (*synth.Result, error) {
 		s := synth.New(src, tgt, synth.Options{})
 		return s.Run(corpus.Tests(src))
 	})

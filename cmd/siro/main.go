@@ -52,10 +52,14 @@ func main() {
 	traceLog := flag.String("trace-log", "", "with -serve: append one JSON line per slow translate request to this file (see -slow)")
 	slow := flag.Duration("slow", time.Second, "with -serve: requests at or above this wall time go to -trace-log (0 logs every request)")
 	pprofOn := flag.Bool("pprof", false, "with -serve: mount net/http/pprof under /debug/pprof/")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "with -serve: graceful-drain deadline on SIGTERM/SIGINT")
+	maxRetries := flag.Int("max-retries", 2, "with -serve: transient synthesis failures retried before the pair's breaker advances")
+	shedQueue := flag.Int("shed-queue", 0, "with -serve: queue depth at which admission sheds with 429 (0: when full, negative: block)")
 	flag.Parse()
 
 	if *serve {
-		runServe(*addr, *cacheDir, serveOpts{maxBody: *maxBody, traceLog: *traceLog, slow: *slow, pprof: *pprofOn})
+		runServe(*addr, *cacheDir, serveOpts{maxBody: *maxBody, traceLog: *traceLog, slow: *slow, pprof: *pprofOn,
+			drainTimeout: *drainTimeout, maxRetries: *maxRetries, shedQueue: *shedQueue})
 		return
 	}
 
@@ -85,7 +89,7 @@ func main() {
 		// Route through the content-addressed cache: a prior run's
 		// artifact (same registry fingerprint) skips synthesis. With no
 		// -cache the cache is memory-only and this is a plain synthesis.
-		res, origin, err := cache.GetResult(p, func() (*synth.Result, error) {
+		res, origin, err := cache.GetResult(context.Background(), p, func() (*synth.Result, error) {
 			s := synth.New(p.Source, p.Target, synth.Options{})
 			return s.Run(corpus.Tests(p.Source))
 		})
@@ -123,16 +127,24 @@ func main() {
 
 // serveOpts carries the daemon-only flags into runServe.
 type serveOpts struct {
-	maxBody  int64
-	traceLog string
-	slow     time.Duration
-	pprof    bool
+	maxBody      int64
+	traceLog     string
+	slow         time.Duration
+	pprof        bool
+	drainTimeout time.Duration
+	maxRetries   int
+	shedQueue    int
 }
 
 // runServe runs the same daemon as cmd/sirod, for installs that only
 // ship the siro binary.
 func runServe(addr, cacheDir string, so serveOpts) {
-	svc := service.New(service.Config{CacheDir: cacheDir, JobTimeout: 2 * time.Minute})
+	svc := service.New(service.Config{
+		CacheDir:   cacheDir,
+		JobTimeout: 2 * time.Minute,
+		MaxRetries: so.maxRetries,
+		ShedAt:     so.shedQueue,
+	})
 	defer svc.Close()
 	opts := service.HandlerOpts{MaxBodyBytes: so.maxBody, Pprof: so.pprof}
 	if so.traceLog != "" {
@@ -155,6 +167,13 @@ func runServe(addr, cacheDir string, so serveOpts) {
 			log.Fatalf("siro: %v", err)
 		}
 	case <-ctx.Done():
+		// Same drain sequence as cmd/sirod: stop admission, flush
+		// in-flight jobs within the deadline, then close the listener.
+		drainCtx, cancel := context.WithTimeout(context.Background(), so.drainTimeout)
+		if err := svc.Drain(drainCtx); err != nil {
+			log.Printf("siro: drain: %v", err)
+		}
+		cancel()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		server.Shutdown(shutdownCtx)

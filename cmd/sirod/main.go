@@ -47,15 +47,28 @@ func main() {
 	slow := flag.Duration("slow", time.Second, "requests at or above this wall time go to -trace-log (0 logs every request)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	noMetrics := flag.Bool("no-metrics", false, "disable the metrics registry and the /metrics endpoint")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on SIGTERM/SIGINT: stop admission, flush in-flight jobs, then exit")
+	maxRetries := flag.Int("max-retries", 2, "transient synthesis failures retried with jittered backoff before the pair's breaker advances")
+	shedQueue := flag.Int("shed-queue", 0, "queue depth at which admission sheds with 429 + Retry-After (0: shed only when -queue is full, negative: block instead of shedding)")
+	breakerFailures := flag.Int("breaker-failures", 1, "consecutive synthesis/validation failures that open a version pair's circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "base open→half-open breaker cooldown (jittered, grows on failed probes)")
+	serveTrials := flag.Int("serve-validate", 0, "differential trials re-validating each direct translation before it is served; a diverging cached translator is quarantined and resynthesized (0 disables)")
+	degrade := flag.Bool("degrade", false, "serve partial translations instead of failing Unsupported while the queue is at least half full")
 	flag.Parse()
 
 	svc := service.New(service.Config{
-		CacheDir:       *cacheDir,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		JobTimeout:     *timeout,
-		MaxHops:        *maxHops,
-		DisableMetrics: *noMetrics,
+		CacheDir:             *cacheDir,
+		Workers:              *workers,
+		QueueDepth:           *queue,
+		JobTimeout:           *timeout,
+		MaxHops:              *maxHops,
+		DisableMetrics:       *noMetrics,
+		MaxRetries:           *maxRetries,
+		ShedAt:               *shedQueue,
+		BreakerFailures:      *breakerFailures,
+		BreakerCooldown:      *breakerCooldown,
+		ServeTrials:          *serveTrials,
+		DegradeUnderPressure: *degrade,
 	})
 	defer svc.Close()
 
@@ -106,12 +119,22 @@ func main() {
 			log.Fatalf("sirod: %v", err)
 		}
 	case <-ctx.Done():
-		log.Println("sirod: shutting down")
+		// Graceful drain: stop admitting (in-flight requests keep their
+		// workers; new ones get 503 + Retry-After while the listener is
+		// still up), flush the queue within the drain deadline, then
+		// close the HTTP server.
+		log.Printf("sirod: draining (deadline %v)", *drainTimeout)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := svc.Drain(drainCtx); err != nil {
+			log.Printf("sirod: drain: %v", err)
+		}
+		cancel()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := server.Shutdown(shutdownCtx); err != nil {
 			log.Printf("sirod: shutdown: %v", err)
 		}
+		log.Printf("sirod: drained in %.3fs", svc.Stats().DrainSeconds)
 	}
 	st := svc.Stats()
 	fmt.Printf("sirod: served %d requests (%d completed, %d failed, %d multi-hop); cache: %d memory hits, %d disk hits, %d synthesized, %d deduplicated\n",

@@ -1,0 +1,78 @@
+package resilience
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/failure"
+)
+
+// RejectKind says why admission refused a request.
+type RejectKind int
+
+const (
+	// Overload: the queue is at capacity (or the caller's deadline is
+	// shorter than the estimated queue wait). The client should back
+	// off and retry — HTTP 429.
+	Overload RejectKind = iota + 1
+	// Draining: the service is shutting down and no longer admits
+	// work. The client should fail over — HTTP 503.
+	Draining
+)
+
+func (k RejectKind) String() string {
+	switch k {
+	case Overload:
+		return "overload"
+	case Draining:
+		return "draining"
+	}
+	return "?"
+}
+
+// Rejection is a typed admission refusal. It is Budget-classed (the
+// request spent its wall-clock allowance waiting for capacity that
+// never came) and carries a Retry-After hint for the HTTP layer.
+type Rejection struct {
+	Kind       RejectKind
+	RetryAfter time.Duration
+	Err        error
+}
+
+func (e *Rejection) Error() string { return e.Err.Error() }
+func (e *Rejection) Unwrap() error { return e.Err }
+
+// Overloaded builds an Overload rejection with a Budget-classed
+// message.
+func Overloaded(retryAfter time.Duration, format string, args ...any) *Rejection {
+	return &Rejection{Kind: Overload, RetryAfter: retryAfter, Err: failure.Wrapf(failure.Budget, format, args...)}
+}
+
+// DrainingRejection builds a Draining rejection with a Budget-classed
+// message.
+func DrainingRejection(retryAfter time.Duration, format string, args ...any) *Rejection {
+	return &Rejection{Kind: Draining, RetryAfter: retryAfter, Err: failure.Wrapf(failure.Budget, format, args...)}
+}
+
+// RetryAfterHint extracts the retry hint an error carries: a
+// Rejection's explicit hint, or the time until an open circuit's next
+// probe. The hint is clamped to at least one second (sub-second
+// Retry-After rounds to 0 and reads as "retry immediately").
+func RetryAfterHint(err error) (time.Duration, bool) {
+	var rej *Rejection
+	if errors.As(err, &rej) {
+		return clampHint(rej.RetryAfter), true
+	}
+	var open *OpenError
+	if errors.As(err, &open) {
+		return clampHint(time.Until(open.Until)), true
+	}
+	return 0, false
+}
+
+func clampHint(d time.Duration) time.Duration {
+	if d < time.Second {
+		return time.Second
+	}
+	return d
+}

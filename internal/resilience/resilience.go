@@ -1,0 +1,320 @@
+// Package resilience implements the self-healing primitives of the
+// translation service: per-key circuit breakers with half-open
+// probing, retry with decorrelated-jitter backoff, and typed
+// admission rejections that carry a retry hint.
+//
+// The design follows the crash-only discipline the rest of the
+// pipeline already obeys: a component that lies, traps, panics, or
+// hangs (see internal/chaos) is isolated and reported with a typed
+// failure class, and the primitives here decide what happens *next* —
+// fail fast while the component is known-bad (breaker open), probe it
+// again after a cooldown (half-open), retry transient classes with
+// bounded, jittered backoff, and shed or drain load instead of
+// queueing work that cannot finish.
+//
+// Everything is deterministic under test: clocks, sleep, and jitter
+// RNGs are injectable, and the default jitter source is seeded so a
+// failing schedule replays.
+package resilience
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/failure"
+)
+
+// State is a circuit breaker state. The zero value is StateClosed, and
+// the numeric values are stable — they are exported as the
+// siro_breaker_state gauge (0 closed, 1 half-open, 2 open).
+type State int32
+
+const (
+	// StateClosed: traffic flows, consecutive trip-class failures are
+	// counted.
+	StateClosed State = iota
+	// StateHalfOpen: the cooldown elapsed and exactly one probe is in
+	// flight; its outcome decides between StateClosed and StateOpen.
+	StateHalfOpen
+	// StateOpen: calls fail fast with the failure that opened the
+	// circuit until the cooldown elapses.
+	StateOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateHalfOpen:
+		return "half-open"
+	case StateOpen:
+		return "open"
+	}
+	return "?"
+}
+
+// BreakerConfig tunes a breaker Set. The zero value is usable.
+type BreakerConfig struct {
+	// Failures is the number of consecutive trip-class failures that
+	// opens a closed breaker (default 1: the first synthesis failure
+	// opens the edge, matching the cost model of the route search —
+	// synthesis attempts are expensive, probes are cheap to defer).
+	Failures int
+	// Cooldown is the base open→half-open delay (default 5s). The
+	// actual delay is jittered into [Cooldown/2, Cooldown] so a fleet
+	// of breakers opened by one incident does not probe in lockstep.
+	Cooldown time.Duration
+	// MaxCooldown caps the exponential cooldown growth applied every
+	// time a half-open probe fails (default 8×Cooldown).
+	MaxCooldown time.Duration
+	// Seed seeds the jitter RNG; the default is a fixed seed, so
+	// schedules are reproducible unless the caller randomizes.
+	Seed int64
+	// Now is the clock (default time.Now); tests inject a fake.
+	Now func() time.Time
+	// TripOn reports whether an error is evidence the guarded
+	// component is unhealthy. The default, TripClass, counts Synthesis
+	// and Validation failures plus unclassified errors; Parse,
+	// Unsupported, and Budget failures are facts about the input or
+	// the caller's deadline, not the component.
+	TripOn func(error) bool
+	// OnChange observes state transitions (metrics hook). It is called
+	// with the Set's lock held: it must not call back into the Set.
+	OnChange func(key string, from, to State)
+}
+
+// TripClass is the default BreakerConfig.TripOn: Synthesis and
+// Validation classes plus unclassified errors trip the breaker;
+// Parse, Unsupported, and Budget do not.
+func TripClass(err error) bool {
+	if err == nil {
+		return false
+	}
+	switch failure.ClassOf(err) {
+	case failure.Parse, failure.Unsupported, failure.Budget:
+		return false
+	}
+	return true
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Failures <= 0 {
+		c.Failures = 1
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.MaxCooldown <= 0 {
+		c.MaxCooldown = 8 * c.Cooldown
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.TripOn == nil {
+		c.TripOn = TripClass
+	}
+	return c
+}
+
+// OpenError is returned by Set.Allow while a circuit is open (or a
+// half-open probe is already in flight). It wraps the failure that
+// opened the circuit, so the failure class of the original fault is
+// preserved through errors.Is, and it carries the time after which the
+// next probe will be admitted (the Retry-After hint).
+type OpenError struct {
+	Key   string
+	Until time.Time
+	Err   error
+}
+
+func (e *OpenError) Error() string {
+	return fmt.Sprintf("resilience: circuit open for %s: %v", e.Key, e.Err)
+}
+
+func (e *OpenError) Unwrap() error { return e.Err }
+
+// breaker is one key's state. All fields are guarded by the Set lock.
+type breaker struct {
+	state    State
+	fails    int           // consecutive trip-class failures while closed
+	lastErr  error         // the failure that opened the circuit
+	until    time.Time     // open: next probe time; half-open: probe window end
+	cooldown time.Duration // current (possibly grown) cooldown
+}
+
+// Set is a collection of circuit breakers keyed by string (the service
+// keys them by version pair). The zero value is not usable; construct
+// with NewBreakerSet. All methods are safe for concurrent use.
+type Set struct {
+	cfg BreakerConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	m   map[string]*breaker
+}
+
+// NewBreakerSet builds a breaker Set.
+func NewBreakerSet(cfg BreakerConfig) *Set {
+	cfg = cfg.withDefaults()
+	return &Set{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		m:   map[string]*breaker{},
+	}
+}
+
+// get returns the breaker for key, creating a closed one. Caller holds
+// the lock.
+func (s *Set) get(key string) *breaker {
+	b, ok := s.m[key]
+	if !ok {
+		b = &breaker{cooldown: s.cfg.Cooldown}
+		s.m[key] = b
+	}
+	return b
+}
+
+// setState transitions b and fires OnChange. Caller holds the lock.
+func (s *Set) setState(key string, b *breaker, to State) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if s.cfg.OnChange != nil {
+		s.cfg.OnChange(key, from, to)
+	}
+}
+
+// jitteredCooldown draws the next probe delay from [cooldown/2,
+// cooldown]. Caller holds the lock.
+func (s *Set) jitteredCooldown(d time.Duration) time.Duration {
+	half := d / 2
+	return half + time.Duration(s.rng.Int63n(int64(half)+1))
+}
+
+// open moves b to StateOpen, arming the jittered cooldown. Caller
+// holds the lock.
+func (s *Set) open(key string, b *breaker, err error) {
+	b.lastErr = err
+	b.fails = 0
+	b.until = s.cfg.Now().Add(s.jitteredCooldown(b.cooldown))
+	s.setState(key, b, StateOpen)
+}
+
+// Allow reports whether a call for key may proceed. It returns nil
+// when the breaker is closed, or when it is due a half-open probe — in
+// that case the caller IS the probe and must report the outcome via
+// Succeed or Fail. While the circuit is open (or another probe is in
+// flight) it returns an *OpenError wrapping the original fault.
+func (s *Set) Allow(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.get(key)
+	now := s.cfg.Now()
+	switch b.state {
+	case StateClosed:
+		return nil
+	case StateOpen:
+		if now.Before(b.until) {
+			return &OpenError{Key: key, Until: b.until, Err: b.lastErr}
+		}
+		// Cooldown elapsed: this caller becomes the probe. The probe
+		// window re-arms the cooldown so a probe that never reports
+		// (caller died) does not wedge the breaker half-open forever.
+		b.until = now.Add(s.jitteredCooldown(b.cooldown))
+		s.setState(key, b, StateHalfOpen)
+		return nil
+	default: // StateHalfOpen
+		if now.Before(b.until) {
+			return &OpenError{Key: key, Until: b.until, Err: b.lastErr}
+		}
+		b.until = now.Add(s.jitteredCooldown(b.cooldown))
+		return nil // the previous probe was lost; admit another
+	}
+}
+
+// Succeed reports a successful call for key: the breaker closes and
+// the failure streak and cooldown growth reset.
+func (s *Set) Succeed(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.get(key)
+	b.fails = 0
+	b.lastErr = nil
+	b.cooldown = s.cfg.Cooldown
+	s.setState(key, b, StateClosed)
+}
+
+// Fail reports a failed call for key. Failures that TripOn rejects
+// (deadline misses, unsupported inputs) neither advance nor reset the
+// streak. A closed breaker opens after the configured number of
+// consecutive trip-class failures; a failed half-open probe re-opens
+// with doubled (capped) cooldown.
+func (s *Set) Fail(key string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.get(key)
+	if !s.cfg.TripOn(err) {
+		// Not evidence about the component. A half-open probe that hit
+		// its deadline goes back to open unchanged: probe again after
+		// another (un-grown) cooldown.
+		if b.state == StateHalfOpen {
+			b.until = s.cfg.Now().Add(s.jitteredCooldown(b.cooldown))
+			s.setState(key, b, StateOpen)
+		}
+		return
+	}
+	switch b.state {
+	case StateClosed:
+		b.fails++
+		b.lastErr = err
+		if b.fails >= s.cfg.Failures {
+			s.open(key, b, err)
+		}
+	case StateHalfOpen:
+		// The probe failed: back off harder.
+		b.cooldown = min(2*b.cooldown, s.cfg.MaxCooldown)
+		s.open(key, b, err)
+	default: // StateOpen — a straggler from before the trip; keep the freshest evidence
+		b.lastErr = err
+	}
+}
+
+// Trip forces the breaker open immediately, regardless of the failure
+// streak — used when the caller already knows the key is bad (the
+// service trips the direct pair before routing around it, so the route
+// search does not immediately re-attempt the synthesis that just
+// failed).
+func (s *Set) Trip(key string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.open(key, s.get(key), err)
+}
+
+// State returns the current state of key (StateClosed for unknown
+// keys). Purely observational: it does not advance open→half-open.
+func (s *Set) State(key string) State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.m[key]; ok {
+		return b.state
+	}
+	return StateClosed
+}
+
+// Snapshot returns the state of every key that is not closed — the
+// interesting ones for /v1/stats.
+func (s *Set) Snapshot() map[string]State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[string]State{}
+	for k, b := range s.m {
+		if b.state != StateClosed {
+			out[k] = b.state
+		}
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+)
+
+// fakeClock is a manually-advanced clock for breaker cooldown tests.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+type transition struct {
+	key      string
+	from, to State
+}
+
+func newTestSet(t *testing.T, cfg BreakerConfig) (*Set, *fakeClock, *[]transition) {
+	t.Helper()
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	var trs []transition
+	cfg.Now = clk.Now
+	cfg.OnChange = func(key string, from, to State) {
+		trs = append(trs, transition{key, from, to})
+	}
+	return NewBreakerSet(cfg), clk, &trs
+}
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	s, _, trs := newTestSet(t, BreakerConfig{Failures: 3, Cooldown: time.Second})
+	synthErr := failure.Wrapf(failure.Synthesis, "no translator")
+
+	for i := 0; i < 2; i++ {
+		if err := s.Allow("k"); err != nil {
+			t.Fatalf("closed breaker denied call %d: %v", i, err)
+		}
+		s.Fail("k", synthErr)
+		if st := s.State("k"); st != StateClosed {
+			t.Fatalf("state after %d failures = %v, want closed", i+1, st)
+		}
+	}
+	// A success in between resets the streak.
+	s.Succeed("k")
+	for i := 0; i < 2; i++ {
+		s.Fail("k", synthErr)
+	}
+	if st := s.State("k"); st != StateClosed {
+		t.Fatalf("streak did not reset on success: %v", st)
+	}
+	s.Fail("k", synthErr)
+	if st := s.State("k"); st != StateOpen {
+		t.Fatalf("state after 3 consecutive failures = %v, want open", st)
+	}
+	if len(*trs) != 1 || (*trs)[0] != (transition{"k", StateClosed, StateOpen}) {
+		t.Fatalf("transitions = %v", *trs)
+	}
+
+	// Open: calls fail fast with the original class preserved.
+	err := s.Allow("k")
+	var open *OpenError
+	if !errors.As(err, &open) {
+		t.Fatalf("open breaker allowed a call (err=%v)", err)
+	}
+	if !errors.Is(err, failure.Synthesis) {
+		t.Fatalf("open error lost the failure class: %v", err)
+	}
+	if open.Until.IsZero() {
+		t.Fatal("open error carries no probe time")
+	}
+}
+
+func TestBreakerNonTripClassesDoNotCount(t *testing.T) {
+	s, _, _ := newTestSet(t, BreakerConfig{Failures: 1, Cooldown: time.Second})
+	for _, err := range []error{
+		failure.Wrapf(failure.Budget, "deadline exceeded"),
+		failure.Wrapf(failure.Parse, "bad input"),
+		failure.Wrapf(failure.Unsupported, "no handler"),
+	} {
+		s.Fail("k", err)
+		if st := s.State("k"); st != StateClosed {
+			t.Fatalf("%v tripped the breaker", err)
+		}
+	}
+	// Unclassified errors do trip.
+	s.Fail("k", errors.New("mystery"))
+	if st := s.State("k"); st != StateOpen {
+		t.Fatal("unclassified error did not trip")
+	}
+}
+
+func TestBreakerHalfOpenProbeCycle(t *testing.T) {
+	s, clk, trs := newTestSet(t, BreakerConfig{Failures: 1, Cooldown: time.Second})
+	synthErr := failure.Wrapf(failure.Synthesis, "no translator")
+	s.Fail("k", synthErr)
+	if s.State("k") != StateOpen {
+		t.Fatal("not open")
+	}
+
+	// Before the cooldown: denied. Jitter keeps the delay within
+	// [cooldown/2, cooldown], so half a cooldown is always too early.
+	clk.Advance(400 * time.Millisecond)
+	if err := s.Allow("k"); err == nil {
+		t.Fatal("probe admitted before cooldown")
+	}
+	// After the full cooldown: exactly one probe.
+	clk.Advance(700 * time.Millisecond)
+	if err := s.Allow("k"); err != nil {
+		t.Fatalf("probe denied after cooldown: %v", err)
+	}
+	if s.State("k") != StateHalfOpen {
+		t.Fatalf("state during probe = %v", s.State("k"))
+	}
+	if err := s.Allow("k"); err == nil {
+		t.Fatal("second concurrent probe admitted")
+	}
+
+	// Probe fails: re-open with grown cooldown.
+	s.Fail("k", synthErr)
+	if s.State("k") != StateOpen {
+		t.Fatal("failed probe did not re-open")
+	}
+	clk.Advance(1100 * time.Millisecond) // old cooldown elapsed, doubled one has not
+	if err := s.Allow("k"); err == nil {
+		t.Fatal("probe admitted before the grown cooldown")
+	}
+	clk.Advance(time.Second)
+	if err := s.Allow("k"); err != nil {
+		t.Fatalf("probe denied after grown cooldown: %v", err)
+	}
+
+	// Probe succeeds: closed, and the cooldown growth resets.
+	s.Succeed("k")
+	if s.State("k") != StateClosed {
+		t.Fatal("successful probe did not close")
+	}
+	want := []transition{
+		{"k", StateClosed, StateOpen},
+		{"k", StateOpen, StateHalfOpen},
+		{"k", StateHalfOpen, StateOpen},
+		{"k", StateOpen, StateHalfOpen},
+		{"k", StateHalfOpen, StateClosed},
+	}
+	if len(*trs) != len(want) {
+		t.Fatalf("transitions = %v, want %v", *trs, want)
+	}
+	for i := range want {
+		if (*trs)[i] != want[i] {
+			t.Fatalf("transition %d = %v, want %v", i, (*trs)[i], want[i])
+		}
+	}
+}
+
+// A probe that fails on a deadline (non-trip class) goes back to open
+// without growing the cooldown — a slow probe is not evidence the
+// component is still broken.
+func TestBreakerProbeDeadlineDoesNotGrowCooldown(t *testing.T) {
+	s, clk, _ := newTestSet(t, BreakerConfig{Failures: 1, Cooldown: time.Second})
+	s.Fail("k", failure.Wrapf(failure.Validation, "diverged"))
+	clk.Advance(1100 * time.Millisecond)
+	if err := s.Allow("k"); err != nil {
+		t.Fatalf("probe denied: %v", err)
+	}
+	s.Fail("k", failure.Wrapf(failure.Budget, "deadline exceeded"))
+	if s.State("k") != StateOpen {
+		t.Fatal("deadline-failed probe did not return to open")
+	}
+	// The un-grown cooldown still admits the next probe after ~1s.
+	clk.Advance(1100 * time.Millisecond)
+	if err := s.Allow("k"); err != nil {
+		t.Fatalf("probe denied after un-grown cooldown: %v", err)
+	}
+	s.Succeed("k")
+	if s.State("k") != StateClosed {
+		t.Fatal("not closed")
+	}
+}
+
+// A probe whose caller never reports an outcome does not wedge the
+// breaker half-open: after the probe window another probe is admitted.
+func TestBreakerLostProbeRecovers(t *testing.T) {
+	s, clk, _ := newTestSet(t, BreakerConfig{Failures: 1, Cooldown: time.Second})
+	s.Fail("k", failure.Wrapf(failure.Synthesis, "nope"))
+	clk.Advance(1100 * time.Millisecond)
+	if err := s.Allow("k"); err != nil {
+		t.Fatalf("probe denied: %v", err)
+	}
+	// The probe vanishes. Within the window, no new probe...
+	if err := s.Allow("k"); err == nil {
+		t.Fatal("probe window admitted a second probe")
+	}
+	// ...after the window, a fresh one.
+	clk.Advance(1100 * time.Millisecond)
+	if err := s.Allow("k"); err != nil {
+		t.Fatalf("replacement probe denied: %v", err)
+	}
+}
+
+func TestBreakerTripAndSnapshot(t *testing.T) {
+	s, clk, _ := newTestSet(t, BreakerConfig{Failures: 5, Cooldown: time.Second})
+	s.Trip("edge", failure.Wrapf(failure.Synthesis, "known bad"))
+	if s.State("edge") != StateOpen {
+		t.Fatal("Trip did not open")
+	}
+	s.Fail("other", failure.Wrapf(failure.Synthesis, "one of five"))
+	snap := s.Snapshot()
+	if len(snap) != 1 || snap["edge"] != StateOpen {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	clk.Advance(1100 * time.Millisecond)
+	if err := s.Allow("edge"); err != nil {
+		t.Fatalf("tripped breaker never probes: %v", err)
+	}
+	if snap := s.Snapshot(); snap["edge"] != StateHalfOpen {
+		t.Fatalf("snapshot after probe admit = %v", snap)
+	}
+}
+
+func TestRetryAfterHint(t *testing.T) {
+	if d, ok := RetryAfterHint(Overloaded(3*time.Second, "queue full")); !ok || d != 3*time.Second {
+		t.Fatalf("overload hint = %v %v", d, ok)
+	}
+	if d, ok := RetryAfterHint(DrainingRejection(0, "draining")); !ok || d != time.Second {
+		t.Fatalf("draining hint not clamped up: %v %v", d, ok)
+	}
+	open := &OpenError{Key: "k", Until: time.Now().Add(10 * time.Second), Err: errors.New("x")}
+	if d, ok := RetryAfterHint(open); !ok || d < 8*time.Second || d > 10*time.Second {
+		t.Fatalf("open hint = %v %v", d, ok)
+	}
+	if _, ok := RetryAfterHint(errors.New("plain")); ok {
+		t.Fatal("plain error has a hint")
+	}
+	// Rejections are Budget-classed through the wrap chain.
+	if !errors.Is(Overloaded(time.Second, "full"), failure.Budget) {
+		t.Fatal("rejection not Budget-classed")
+	}
+}

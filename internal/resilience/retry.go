@@ -1,0 +1,137 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/failure"
+)
+
+// RetryPolicy bounds a retry loop. The zero value retries nothing.
+type RetryPolicy struct {
+	// Max is the number of retries after the first attempt; <= 0
+	// disables retrying.
+	Max int
+	// Base and Cap bound the decorrelated-jitter backoff: each sleep
+	// is drawn uniformly from [Base, min(Cap, 3×previous)] (defaults
+	// 25ms and 1s).
+	Base, Cap time.Duration
+	// Retryable reports whether an error is worth retrying; the
+	// default, Transient, retries Synthesis and Validation classes
+	// plus unclassified errors, and never Parse, Unsupported, or
+	// Budget — a deterministic input error will fail identically, and
+	// an exhausted budget only shrinks by retrying.
+	Retryable func(error) bool
+	// Seed seeds the jitter RNG (0 = fixed default seed).
+	Seed int64
+	// OnRetry observes each retry before its backoff sleep.
+	OnRetry func(attempt int, err error, sleep time.Duration)
+	// SleepFn replaces the context-aware sleep (tests).
+	SleepFn func(ctx context.Context, d time.Duration) error
+}
+
+// Transient is the default RetryPolicy.Retryable: an error is worth
+// retrying unless its class says the input (Parse, Unsupported) or the
+// caller's budget (Budget) is at fault.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	switch failure.ClassOf(err) {
+	case failure.Parse, failure.Unsupported, failure.Budget:
+		return false
+	}
+	return true
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Base <= 0 {
+		p.Base = 25 * time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = time.Second
+	}
+	if p.Retryable == nil {
+		p.Retryable = Transient
+	}
+	if p.SleepFn == nil {
+		p.SleepFn = ctxSleep
+	}
+	return p
+}
+
+// ctxSleep sleeps d or until ctx is done, returning the ctx error in
+// the latter case.
+func ctxSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retryRNG serializes the package-level jitter source used when
+// policies share a seed; a policy with Seed != 0 gets its own stream.
+var (
+	retryMu  sync.Mutex
+	retryRNG = rand.New(rand.NewSource(1))
+)
+
+// Retry runs f under p, retrying transient failures with decorrelated
+// jitter. The context is consulted before every attempt and during
+// every backoff sleep; expiry surfaces as a Budget-classed failure via
+// failure.FromContext (never as the last transient error — see
+// TestRetryDeadlineSurfacesBudget).
+func Retry[T any](ctx context.Context, p RetryPolicy, f func() (T, error)) (T, error) {
+	var zero T
+	p = p.withDefaults()
+	rng := retryRNG
+	lock := true
+	if p.Seed != 0 {
+		rng, lock = rand.New(rand.NewSource(p.Seed)), false
+	}
+	prev := p.Base
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return zero, failure.FromContext(err)
+		}
+		v, err := f()
+		if err == nil {
+			return v, nil
+		}
+		if attempt >= p.Max || !p.Retryable(err) {
+			return zero, err
+		}
+		// Decorrelated jitter: widen from the previous sleep, not the
+		// attempt number, so concurrent retriers spread out.
+		hi := min(p.Cap, 3*prev)
+		span := int64(hi - p.Base)
+		var jitter time.Duration
+		if span > 0 {
+			if lock {
+				retryMu.Lock()
+			}
+			jitter = time.Duration(rng.Int63n(span + 1))
+			if lock {
+				retryMu.Unlock()
+			}
+		}
+		d := p.Base + jitter
+		prev = d
+		if p.OnRetry != nil {
+			p.OnRetry(attempt+1, err, d)
+		}
+		if serr := p.SleepFn(ctx, d); serr != nil {
+			// The deadline expired mid-backoff: the caller ran out of
+			// wall clock, which is a Budget failure — the transient
+			// error we were about to retry is context, not the cause.
+			return zero, fmt.Errorf("%w (giving up mid-retry; last attempt: %v)", failure.FromContext(serr), err)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+)
+
+// recordSleeper captures requested backoff sleeps without sleeping.
+func recordSleeper(sleeps *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(ctx context.Context, d time.Duration) error {
+		*sleeps = append(*sleeps, d)
+		return ctx.Err()
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	var sleeps []time.Duration
+	calls := 0
+	v, err := Retry(context.Background(), RetryPolicy{Max: 3, Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Seed: 7, SleepFn: recordSleeper(&sleeps)},
+		func() (string, error) {
+			calls++
+			if calls < 3 {
+				return "", failure.Wrapf(failure.Synthesis, "flaky %d", calls)
+			}
+			return "ok", nil
+		})
+	if err != nil || v != "ok" {
+		t.Fatalf("v=%q err=%v", v, err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d", calls)
+	}
+	if len(sleeps) != 2 {
+		t.Fatalf("sleeps = %v", sleeps)
+	}
+	// Decorrelated jitter stays within [Base, Cap].
+	for i, d := range sleeps {
+		if d < 10*time.Millisecond || d > 80*time.Millisecond {
+			t.Fatalf("sleep %d = %v outside [base, cap]", i, d)
+		}
+	}
+}
+
+func TestRetryExhaustionReturnsLastError(t *testing.T) {
+	var sleeps []time.Duration
+	calls := 0
+	_, err := Retry(context.Background(), RetryPolicy{Max: 2, SleepFn: recordSleeper(&sleeps)},
+		func() (int, error) {
+			calls++
+			return 0, failure.Wrapf(failure.Validation, "always diverges (%d)", calls)
+		})
+	if calls != 3 { // 1 attempt + 2 retries
+		t.Fatalf("calls = %d", calls)
+	}
+	if !errors.Is(err, failure.Validation) || !strings.Contains(err.Error(), "(3)") {
+		t.Fatalf("err = %v, want the last validation error", err)
+	}
+}
+
+func TestRetryNeverRetriesDeterministicClasses(t *testing.T) {
+	for _, c := range []*failure.Class{failure.Parse, failure.Unsupported, failure.Budget} {
+		calls := 0
+		_, err := Retry(context.Background(), RetryPolicy{Max: 5}, func() (int, error) {
+			calls++
+			return 0, failure.Wrapf(c, "deterministic")
+		})
+		if calls != 1 {
+			t.Fatalf("%v retried %d times", c, calls-1)
+		}
+		if !errors.Is(err, c) {
+			t.Fatalf("class lost: %v", err)
+		}
+	}
+}
+
+func TestRetryZeroPolicyRunsOnce(t *testing.T) {
+	calls := 0
+	_, err := Retry(context.Background(), RetryPolicy{}, func() (int, error) {
+		calls++
+		return 0, errors.New("nope")
+	})
+	if calls != 1 || err == nil {
+		t.Fatalf("calls=%d err=%v", calls, err)
+	}
+}
+
+// Satellite regression: a deadline expiring mid-retry must surface
+// Budget, not the last transient class — the caller ran out of wall
+// clock, and reporting Synthesis would send them down the wrong
+// recovery path (retrying harder instead of raising the deadline).
+func TestRetryDeadlineSurfacesBudget(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 40*time.Millisecond)
+	defer cancel()
+	calls := 0
+	_, err := Retry(ctx, RetryPolicy{Max: 10, Base: 30 * time.Millisecond, Cap: 30 * time.Millisecond},
+		func() (int, error) {
+			calls++
+			return 0, failure.Wrapf(failure.Synthesis, "transient")
+		})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := failure.ClassOf(err); got != failure.Budget {
+		t.Fatalf("class = %v (err=%v), want Budget", got, err)
+	}
+	// The transient context is still visible for debugging, just not
+	// as the class.
+	if !strings.Contains(err.Error(), "last attempt") && calls > 0 {
+		t.Logf("note: deadline hit before first backoff (calls=%d): %v", calls, err)
+	}
+}
+
+// Cancellation during backoff also surfaces Budget (canceled callers
+// exhausted their allowance), and the loop stops promptly.
+func TestRetryCancellationStops(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	done := make(chan error, 1)
+	go func() {
+		_, err := Retry(ctx, RetryPolicy{Max: 1000, Base: 20 * time.Millisecond, Cap: 50 * time.Millisecond},
+			func() (int, error) {
+				calls++
+				return 0, failure.Wrapf(failure.Synthesis, "transient")
+			})
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, failure.Budget) {
+			t.Fatalf("err = %v, want Budget", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("retry loop did not stop on cancellation")
+	}
+}
+
+// A context that is already dead never invokes f.
+func TestRetryDeadContextSkipsWork(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	_, err := Retry(ctx, RetryPolicy{Max: 3}, func() (int, error) { calls++; return 0, nil })
+	if calls != 0 {
+		t.Fatalf("f ran %d times under a dead context", calls)
+	}
+	if !errors.Is(err, failure.Budget) {
+		t.Fatalf("err = %v, want Budget", err)
+	}
+}
+
+func TestTransientPredicate(t *testing.T) {
+	if Transient(nil) {
+		t.Fatal("nil transient")
+	}
+	if !Transient(errors.New("unclassified")) {
+		t.Fatal("unclassified should be transient")
+	}
+	if !Transient(failure.Wrapf(failure.Synthesis, "s")) || !Transient(failure.Wrapf(failure.Validation, "v")) {
+		t.Fatal("synthesis/validation should be transient")
+	}
+	if Transient(failure.Wrapf(failure.Budget, "b")) || Transient(failure.Wrapf(failure.Parse, "p")) || Transient(failure.Wrapf(failure.Unsupported, "u")) {
+		t.Fatal("budget/parse/unsupported must not be transient")
+	}
+}

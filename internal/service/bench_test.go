@@ -49,7 +49,7 @@ func BenchmarkServiceColdSynthesis(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cache := NewCache("", 4, synth.Options{})
-		tr, _, err := cache.Get(p, func() (*synth.Result, error) { return DefaultSynthFn(p, synth.Options{}) })
+		tr, _, err := cache.Get(context.Background(), p, func() (*synth.Result, error) { return DefaultSynthFn(p, synth.Options{}) })
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -12,6 +12,7 @@ package service
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -67,6 +68,7 @@ type CacheStats struct {
 	Deduplicated int64 `json:"deduplicated"` // requests served by waiting on another's synthesis
 	Evictions    int64 `json:"evictions"`
 	StaleDropped int64 `json:"stale_dropped"` // on-disk artifacts rejected by the fingerprint check
+	Quarantined  int64 `json:"quarantined"`   // artifacts pulled after failing serve-time validation
 }
 
 // Cache is the content-addressed translator cache: an in-memory LRU of
@@ -141,8 +143,15 @@ func (c *Cache) path(pair version.Pair, key string) string {
 // the synthesize callback (which runs at most once per key across all
 // concurrent callers). The callback's result is persisted to the cache
 // directory before being served.
-func (c *Cache) Get(pair version.Pair, synthesize func() (*synth.Result, error)) (*translator.Translator, Origin, error) {
-	e, org, err := c.get(pair, synthesize)
+//
+// The context bounds only the *wait*, not the work: when ctx expires
+// the caller unblocks with a Budget-classed failure, but the in-flight
+// load keeps running detached and its result still lands in the cache
+// (work conservation — a canceled warm-up must not discard an almost
+// finished synthesis, and a waiter's deadline must not starve the
+// other waiters).
+func (c *Cache) Get(ctx context.Context, pair version.Pair, synthesize func() (*synth.Result, error)) (*translator.Translator, Origin, error) {
+	e, org, err := c.get(ctx, pair, synthesize)
 	if err != nil {
 		return nil, org, err
 	}
@@ -151,44 +160,59 @@ func (c *Cache) Get(pair version.Pair, synthesize func() (*synth.Result, error))
 
 // GetResult is Get at the synthesis-result level, for callers that
 // render or export the artifact rather than translating with it.
-func (c *Cache) GetResult(pair version.Pair, synthesize func() (*synth.Result, error)) (*synth.Result, Origin, error) {
-	e, org, err := c.get(pair, synthesize)
+func (c *Cache) GetResult(ctx context.Context, pair version.Pair, synthesize func() (*synth.Result, error)) (*synth.Result, Origin, error) {
+	e, org, err := c.get(ctx, pair, synthesize)
 	if err != nil {
 		return nil, org, err
 	}
 	return e.res, org, nil
 }
 
-func (c *Cache) get(pair version.Pair, synthesize func() (*synth.Result, error)) (*cacheEntry, Origin, error) {
+func (c *Cache) get(ctx context.Context, pair version.Pair, synthesize func() (*synth.Result, error)) (*cacheEntry, Origin, error) {
 	key := c.Key(pair)
-
-	c.mu.Lock()
-	// The lookup is counted before its outcome (same critical section),
-	// so outcome counters can never exceed Lookups in any snapshot.
-	c.stats.Lookups++
-	c.met.lookups.Inc()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		c.stats.MemoryHits++
-		c.met.memoryHits.Inc()
-		e := el.Value.(*cacheEntry)
-		c.mu.Unlock()
-		return e, OriginMemory, nil
-	}
-	if fl, ok := c.flight[key]; ok {
-		c.stats.Deduplicated++
-		c.met.deduplicated.Inc()
-		c.mu.Unlock()
-		<-fl.done
-		if fl.err != nil {
-			return nil, OriginShared, fl.err
+	for {
+		c.mu.Lock()
+		// The lookup is counted before its outcome (same critical
+		// section), so outcome counters can never exceed Lookups in any
+		// snapshot.
+		c.stats.Lookups++
+		c.met.lookups.Inc()
+		if el, ok := c.items[key]; ok {
+			c.ll.MoveToFront(el)
+			c.stats.MemoryHits++
+			c.met.memoryHits.Inc()
+			e := el.Value.(*cacheEntry)
+			c.mu.Unlock()
+			return e, OriginMemory, nil
 		}
-		return &cacheEntry{key: key, pair: pair, res: fl.res, tr: fl.tr}, OriginShared, nil
-	}
-	fl := &flightCall{done: make(chan struct{})}
-	c.flight[key] = fl
-	c.mu.Unlock()
+		if fl, ok := c.flight[key]; ok {
+			c.stats.Deduplicated++
+			c.met.deduplicated.Inc()
+			c.mu.Unlock()
+			e, org, err := c.await(ctx, pair, key, fl, true)
+			if err != nil && failure.ClassOf(err) == failure.Budget && (ctx == nil || ctx.Err() == nil) {
+				// The flight died on the LEADER's budget (its caller's
+				// deadline), not ours — deterministic for the leader,
+				// not for us. Retry: the leader already removed the
+				// flight entry, so the next round starts a fresh one.
+				continue
+			}
+			return e, org, err
+		}
+		fl := &flightCall{done: make(chan struct{})}
+		c.flight[key] = fl
+		c.mu.Unlock()
 
+		// The leader's work runs detached so the leader itself is
+		// interruptible like any waiter.
+		go c.lead(pair, key, fl, synthesize)
+		return c.await(ctx, pair, key, fl, false)
+	}
+}
+
+// lead runs the load as singleflight leader and publishes the outcome
+// to every caller parked in await.
+func (c *Cache) lead(pair version.Pair, key string, fl *flightCall, synthesize func() (*synth.Result, error)) {
 	e, org, err := c.loadContained(pair, key, synthesize)
 	if e != nil {
 		fl.res, fl.tr = e.res, e.tr
@@ -210,7 +234,27 @@ func (c *Cache) get(pair version.Pair, synthesize func() (*synth.Result, error))
 	}
 	c.mu.Unlock()
 	close(fl.done)
-	return e, org, err
+}
+
+// await parks a caller on a flight until it completes or the caller's
+// context expires, whichever comes first.
+func (c *Cache) await(ctx context.Context, pair version.Pair, key string, fl *flightCall, shared bool) (*cacheEntry, Origin, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-fl.done:
+	case <-ctx.Done():
+		return nil, OriginShared, fmt.Errorf("service: abandoned wait for %s translator: %w", pair, failure.FromContext(ctx.Err()))
+	}
+	org := fl.org
+	if shared {
+		org = OriginShared
+	}
+	if fl.err != nil {
+		return nil, org, fl.err
+	}
+	return &cacheEntry{key: key, pair: pair, res: fl.res, tr: fl.tr}, org, nil
 }
 
 // loadContained runs load with panics converted to errors. The
@@ -325,6 +369,39 @@ func (c *Cache) insert(e *cacheEntry) {
 		c.stats.Evictions++
 		c.met.evictions.Inc()
 	}
+}
+
+// Quarantine removes the pair's translator from the LRU and moves its
+// on-disk artifact into the cache directory's quarantine/ subdirectory
+// — called when a cached translator fails serve-time differential
+// validation, so the poisoned artifact can neither be served again nor
+// re-imported on the next start, yet stays on disk for a post-mortem.
+// The next Get for the pair re-synthesizes.
+func (c *Cache) Quarantine(pair version.Pair) error {
+	key := c.Key(pair)
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.Remove(el)
+		delete(c.items, key)
+	}
+	c.stats.Quarantined++
+	c.met.quarantined.Inc()
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil
+	}
+	src := c.path(pair, key)
+	qdir := filepath.Join(c.dir, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return fmt.Errorf("service: quarantine dir: %w", err)
+	}
+	if err := os.Rename(src, filepath.Join(qdir, filepath.Base(src))); err != nil {
+		if os.IsNotExist(err) {
+			return nil // memory-only entry; nothing on disk
+		}
+		return fmt.Errorf("service: quarantining %s: %w", pair, err)
+	}
+	return nil
 }
 
 // ArtifactPath returns where the pair's artifact lives on disk under

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,7 +28,7 @@ func TestCacheOrigins(t *testing.T) {
 	dir := t.TempDir()
 	c := NewCache(dir, 8, synth.Options{})
 
-	tr, org, err := c.Get(pair12to36, synthesizeFor(t, pair12to36))
+	tr, org, err := c.Get(context.Background(), pair12to36, synthesizeFor(t, pair12to36))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,14 +39,14 @@ func TestCacheOrigins(t *testing.T) {
 		t.Fatalf("translator pair = %v", tr.Pair)
 	}
 
-	if _, org, err = c.Get(pair12to36, synthesizeFor(t, pair12to36)); err != nil || org != OriginMemory {
+	if _, org, err = c.Get(context.Background(), pair12to36, synthesizeFor(t, pair12to36)); err != nil || org != OriginMemory {
 		t.Fatalf("second get = %v origin %v, want memory hit", err, org)
 	}
 
 	// A fresh cache over the same directory must hit the artifact.
 	c2 := NewCache(dir, 8, synth.Options{})
 	fail := func() (*synth.Result, error) { t.Fatal("disk hit should not synthesize"); return nil, nil }
-	if _, org, err = c2.Get(pair12to36, fail); err != nil || org != OriginDisk {
+	if _, org, err = c2.Get(context.Background(), pair12to36, fail); err != nil || org != OriginDisk {
 		t.Fatalf("disk get = %v origin %v, want disk hit", err, org)
 	}
 
@@ -72,7 +73,7 @@ func TestCacheKeyIncludesOptions(t *testing.T) {
 func TestCacheDropsCorruptArtifact(t *testing.T) {
 	dir := t.TempDir()
 	c := NewCache(dir, 8, synth.Options{})
-	if _, _, err := c.Get(pair12to36, synthesizeFor(t, pair12to36)); err != nil {
+	if _, _, err := c.Get(context.Background(), pair12to36, synthesizeFor(t, pair12to36)); err != nil {
 		t.Fatal(err)
 	}
 	path := c.ArtifactPath(pair12to36)
@@ -86,7 +87,7 @@ func TestCacheDropsCorruptArtifact(t *testing.T) {
 
 	c2 := NewCache(dir, 8, synth.Options{})
 	resynth := int32(0)
-	_, org, err := c2.Get(pair12to36, func() (*synth.Result, error) {
+	_, org, err := c2.Get(context.Background(), pair12to36, func() (*synth.Result, error) {
 		atomic.AddInt32(&resynth, 1)
 		return synthesizeFor(t, pair12to36)()
 	})
@@ -111,7 +112,7 @@ func TestCacheDropsCorruptArtifact(t *testing.T) {
 func TestCacheTruncatedArtifactNotServed(t *testing.T) {
 	dir := t.TempDir()
 	c := NewCache(dir, 8, synth.Options{})
-	if _, _, err := c.Get(pair12to36, synthesizeFor(t, pair12to36)); err != nil {
+	if _, _, err := c.Get(context.Background(), pair12to36, synthesizeFor(t, pair12to36)); err != nil {
 		t.Fatal(err)
 	}
 	path := c.ArtifactPath(pair12to36)
@@ -127,7 +128,7 @@ func TestCacheTruncatedArtifactNotServed(t *testing.T) {
 
 	c2 := NewCache(dir, 8, synth.Options{})
 	resynth := int32(0)
-	tr, org, err := c2.Get(pair12to36, func() (*synth.Result, error) {
+	tr, org, err := c2.Get(context.Background(), pair12to36, func() (*synth.Result, error) {
 		atomic.AddInt32(&resynth, 1)
 		return synthesizeFor(t, pair12to36)()
 	})
@@ -169,7 +170,7 @@ func TestCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, _, err := c.Get(pair12to36, func() (*synth.Result, error) {
+			_, _, err := c.Get(context.Background(), pair12to36, func() (*synth.Result, error) {
 				atomic.AddInt32(&synths, 1)
 				return synthesizeFor(t, pair12to36)()
 			})
@@ -198,14 +199,14 @@ func TestCacheSingleflight(t *testing.T) {
 // entry is released and the next request synthesizes normally.
 func TestCacheSynthPanicReleasesKey(t *testing.T) {
 	c := NewCache("", 8, synth.Options{})
-	_, _, err := c.Get(pair12to36, func() (*synth.Result, error) { panic("chaos: boom") })
+	_, _, err := c.Get(context.Background(), pair12to36, func() (*synth.Result, error) { panic("chaos: boom") })
 	if err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Fatalf("panic not converted to an error: %v", err)
 	}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		if _, org, err := c.Get(pair12to36, synthesizeFor(t, pair12to36)); err != nil || org != OriginSynth {
+		if _, org, err := c.Get(context.Background(), pair12to36, synthesizeFor(t, pair12to36)); err != nil || org != OriginSynth {
 			t.Errorf("key wedged after panic: origin %v err %v", org, err)
 		}
 	}()
@@ -224,7 +225,7 @@ func TestCacheLRUEviction(t *testing.T) {
 		{Source: version.V14_0, Target: version.V3_6},
 	}
 	for _, p := range pairs {
-		if _, _, err := c.Get(p, synthesizeFor(t, p)); err != nil {
+		if _, _, err := c.Get(context.Background(), p, synthesizeFor(t, p)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -236,7 +237,7 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 	// The memory-only cache re-synthesizes the evicted pair.
 	n := int32(0)
-	if _, org, err := c.Get(pairs[0], func() (*synth.Result, error) {
+	if _, org, err := c.Get(context.Background(), pairs[0], func() (*synth.Result, error) {
 		atomic.AddInt32(&n, 1)
 		return synthesizeFor(t, pairs[0])()
 	}); err != nil || org != OriginSynth || n != 1 {

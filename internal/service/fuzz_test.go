@@ -1,0 +1,71 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+	"repro/internal/version"
+)
+
+// FuzzTranslateRequest drives arbitrary bytes through the POST
+// /v1/translate decode path and checks the endpoint's contract: the
+// status is from the documented set, the body is well-formed JSON, and
+// every error carries a failure class and non-zero exit code. Synthesis
+// itself is stubbed out (it has its own fuzz targets); this target is
+// about the HTTP boundary never panicking or answering off-taxonomy.
+func FuzzTranslateRequest(f *testing.F) {
+	f.Add([]byte(`{"source":"12.0","target":"3.6","ir":"module {}"}`))
+	f.Add([]byte(`{"source":"auto","target":"3.6","ir":"x"}`))
+	f.Add([]byte(`{"target":"9.9","ir":""}`))
+	f.Add([]byte(`{"source":12,"target":[],"ir":{}}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"source":"12.0","target":"3.6","ir":"` + strings.Repeat("a", 4096) + `"}`))
+
+	svc := New(Config{
+		Workers: 1,
+		MaxHops: 1,
+		SynthFn: func(pair version.Pair, opts synth.Options) (*synth.Result, error) {
+			return nil, errors.New("fuzz: synthesis stubbed out")
+		},
+	})
+	f.Cleanup(func() { svc.Close() })
+	h := NewHandler(svc, HandlerOpts{MaxBodyBytes: 64 << 10})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/translate", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+
+		switch rec.Code {
+		case http.StatusOK, http.StatusBadRequest, http.StatusRequestEntityTooLarge,
+			http.StatusUnprocessableEntity, http.StatusTooManyRequests,
+			http.StatusInternalServerError, http.StatusServiceUnavailable:
+		default:
+			t.Fatalf("undocumented status %d for body %q", rec.Code, body)
+		}
+		if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("status %d with Content-Type %q", rec.Code, ct)
+		}
+		if rec.Code == http.StatusOK {
+			var resp TranslateResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("200 with undecodable body: %v", err)
+			}
+			return
+		}
+		var eresp ErrorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &eresp); err != nil {
+			t.Fatalf("status %d with undecodable error body: %v", rec.Code, err)
+		}
+		if eresp.Error == "" || eresp.Class == "" || eresp.ExitCode == 0 {
+			t.Fatalf("status %d with untyped error %+v for body %q", rec.Code, eresp, body)
+		}
+	})
+}

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"repro/internal/failure"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/version"
 )
 
@@ -51,6 +53,10 @@ type TranslateResponse struct {
 	IR      string      `json:"ir"`
 	Elapsed int64       `json:"elapsed_ns"`
 	Stages  []obs.Stage `json:"stages,omitempty"` // per-stage latency breakdown
+	// Degraded marks a partial translation served under queue pressure;
+	// DroppedSites counts the unsupported constructs it dropped.
+	Degraded     bool `json:"degraded,omitempty"`
+	DroppedSites int  `json:"dropped_sites,omitempty"`
 }
 
 // ErrorResponse is the error body of every endpoint.
@@ -63,11 +69,21 @@ type ErrorResponse struct {
 // httpStatus maps a failure class to an HTTP status: malformed input
 // is the client's fault, an unsupported construct is semantically
 // unprocessable, an exhausted budget asks the client to retry later,
-// and synthesis/validation failures are the service's.
+// and synthesis/validation failures are the service's. Typed admission
+// rejections refine the Budget mapping: load shedding is 429 (back off
+// and retry here), draining is 503 (fail over); both carry Retry-After
+// (added in writeError).
 func httpStatus(err error) int {
 	var tooLarge *http.MaxBytesError
 	if errors.As(err, &tooLarge) {
 		return http.StatusRequestEntityTooLarge
+	}
+	var rej *resilience.Rejection
+	if errors.As(err, &rej) {
+		if rej.Kind == resilience.Overload {
+			return http.StatusTooManyRequests
+		}
+		return http.StatusServiceUnavailable
 	}
 	switch failure.ClassOf(err) {
 	case failure.Parse:
@@ -167,20 +183,22 @@ func NewHandler(s *Service, opts HandlerOpts) http.Handler {
 			}
 		}
 		start := time.Now()
-		out, detected, route, err := s.TranslateText(ctx, req.IR, src, tgt)
+		res, err := s.TranslateTextResult(ctx, req.IR, src, tgt)
 		if err != nil {
 			writeError(w, httpStatus(err), err)
 			logSlow("error", err)
 			return
 		}
 		resp := TranslateResponse{
-			Source:  detected.String(),
-			Target:  tgt.String(),
-			IR:      out,
-			Elapsed: time.Since(start).Nanoseconds(),
-			Stages:  tr.Stages(),
+			Source:       res.Source.String(),
+			Target:       tgt.String(),
+			IR:           res.Rendered,
+			Elapsed:      time.Since(start).Nanoseconds(),
+			Stages:       tr.Stages(),
+			Degraded:     res.Degraded,
+			DroppedSites: res.DroppedSites,
 		}
-		for _, v := range route {
+		for _, v := range res.Route {
 			resp.Route = append(resp.Route, v.String())
 		}
 		writeJSON(w, http.StatusOK, resp)
@@ -225,6 +243,15 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	class := ""
 	if c := failure.ClassOf(err); c != nil {
 		class = c.Error()
+	}
+	// Every retryable status tells the client when: the error's own
+	// hint (shed estimate, breaker probe time) or a 1s floor.
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		after := time.Second
+		if d, ok := resilience.RetryAfterHint(err); ok {
+			after = d
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(int((after+time.Second-1)/time.Second)))
 	}
 	writeJSON(w, status, ErrorResponse{Error: err.Error(), Class: class, ExitCode: failure.ExitCode(err)})
 }

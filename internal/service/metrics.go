@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/failure"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/synth"
 	"repro/internal/version"
 )
@@ -77,6 +78,13 @@ type serviceMetrics struct {
 
 	translatedInsts, emittedInsts *obs.Counter
 
+	retries      *obs.Counter
+	shed         *obs.Counter
+	degraded     *obs.Counter
+	quarantined  *obs.Counter
+	drainSeconds *obs.Histogram
+	transitions  map[string]*obs.Counter // breaker transitions by destination state
+
 	cache  cacheMetrics
 	router routerMetrics
 }
@@ -92,6 +100,7 @@ type cacheMetrics struct {
 	deduplicated *obs.Counter
 	evictions    *obs.Counter
 	staleDropped *obs.Counter
+	quarantined  *obs.Counter
 	// onTranslate is installed as the Observer of every translator the
 	// cache constructs, feeding instruction-throughput counters.
 	onTranslate func(srcInsts, emittedInsts int)
@@ -153,6 +162,17 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 	m.translatedInsts = reg.Counter("siro_translated_instructions_total", "Source instructions dispatched through translators.")
 	m.emittedInsts = reg.Counter("siro_emitted_instructions_total", "Target instructions emitted by translators.")
 
+	m.retries = reg.Counter("siro_retries_total", "Synthesis retry attempts (transient failure classes only).")
+	m.shed = reg.Counter("siro_shed_total", "Requests rejected by admission control (queue full or deadline-aware).")
+	m.degraded = reg.Counter("siro_degraded_total", "Requests served by partial translation under queue pressure.")
+	m.quarantined = reg.Counter("siro_quarantined_total", "Translators quarantined by serve-time differential validation.")
+	m.drainSeconds = reg.Histogram("siro_drain_seconds", "Graceful-drain duration, one observation per drain.", nil)
+	const transHelp = "Circuit breaker state transitions by destination state."
+	m.transitions = map[string]*obs.Counter{}
+	for _, st := range []resilience.State{resilience.StateClosed, resilience.StateHalfOpen, resilience.StateOpen} {
+		m.transitions[st.String()] = reg.Counter("siro_breaker_transitions_total", transHelp, "to", st.String())
+	}
+
 	const cacheHelp = "Translator cache events."
 	m.cache = cacheMetrics{
 		lookups:      reg.Counter("siro_cache_lookups_total", "Translator cache lookups."),
@@ -162,6 +182,7 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 		deduplicated: reg.Counter("siro_cache_events_total", cacheHelp, "event", "deduplicated"),
 		evictions:    reg.Counter("siro_cache_events_total", cacheHelp, "event", "eviction"),
 		staleDropped: reg.Counter("siro_cache_events_total", cacheHelp, "event", "stale_dropped"),
+		quarantined:  reg.Counter("siro_cache_events_total", cacheHelp, "event", "quarantined"),
 		onTranslate: func(src, emitted int) {
 			m.translatedInsts.Add(int64(src))
 			m.emittedInsts.Add(int64(emitted))
@@ -171,7 +192,7 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 		routesOK:  m.routesOK,
 		routesErr: m.routesErr,
 		hops:      m.routeHops,
-		memoHits:  reg.Counter("siro_router_broken_edge_memo_hits_total", "Route-search edges skipped via the broken-edge memo."),
+		memoHits:  reg.Counter("siro_router_broken_edge_memo_hits_total", "Route-search edges failed fast by an open circuit breaker."),
 		stage:     m.stageTimer,
 	}
 	return m
@@ -225,6 +246,50 @@ func (m *serviceMetrics) recordOutcome(route []version.V, err error) {
 	m.reqOK.Inc()
 	if len(route) > 2 {
 		m.multiHop.Inc()
+	}
+}
+
+// breakerChange mirrors a circuit breaker transition into the
+// per-pair siro_breaker_state gauge (0 closed, 1 half-open, 2 open)
+// and the transition counter. Called with the breaker Set's lock held;
+// the registry has its own independent lock.
+func (m *serviceMetrics) breakerChange(key string, to resilience.State) {
+	if m == nil {
+		return
+	}
+	m.reg.Gauge("siro_breaker_state", "Circuit breaker state by version pair (0 closed, 1 half-open, 2 open).", "pair", key).Set(int64(to))
+	if c, ok := m.transitions[to.String()]; ok {
+		c.Inc()
+	}
+}
+
+func (m *serviceMetrics) retriesInc() {
+	if m != nil {
+		m.retries.Inc()
+	}
+}
+
+func (m *serviceMetrics) shedInc() {
+	if m != nil {
+		m.shed.Inc()
+	}
+}
+
+func (m *serviceMetrics) degradedInc() {
+	if m != nil {
+		m.degraded.Inc()
+	}
+}
+
+func (m *serviceMetrics) quarantinedInc() {
+	if m != nil {
+		m.quarantined.Inc() // Cache.Quarantine separately counts the cache event
+	}
+}
+
+func (m *serviceMetrics) drainDone(d time.Duration) {
+	if m != nil {
+		m.drainSeconds.ObserveDuration(d)
 	}
 }
 

@@ -2,11 +2,13 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
 	"repro/internal/corpus"
 	"repro/internal/failure"
+	"repro/internal/resilience"
 	"repro/internal/translator"
 	"repro/internal/tvalid"
 	"repro/internal/version"
@@ -28,9 +30,11 @@ type Router struct {
 	// default 3).
 	MaxHops int
 	// MaxEdgeAttempts bounds how many edge synthesis attempts one Route
-	// call may spend before giving up (default 16). Failed edges are
-	// memoized across calls, so a later Route resumes where this one
-	// stopped paying.
+	// call may spend before giving up (default 16). Failed edges open
+	// their circuit breaker, so a later Route fails them fast (for free)
+	// and resumes where this one stopped paying — and unlike the old
+	// permanent memo, an opened edge heals: after the cooldown one
+	// search probes it again.
 	MaxEdgeAttempts int
 	// Trials is the per-test differential validation trial count for
 	// composed chains (default 8). Negative disables chain validation.
@@ -38,11 +42,16 @@ type Router struct {
 	// Get acquires one hop translator, normally Cache.Get bound to the
 	// service's synthesis function.
 	Get func(ctx context.Context, pair version.Pair) (*translator.Translator, error)
+	// Breakers is the per-pair circuit breaker set shared with the
+	// service. The breakers themselves are driven at the synthesis choke
+	// point (the cache-miss callback); the router only observes their
+	// fail-fast OpenErrors and trips the direct pair before routing
+	// around it. Lazily created when unset (standalone routers).
+	Breakers *resilience.Set
 
 	met routerMetrics // registry mirror; zero value inert
 
-	mu     sync.Mutex
-	broken map[version.Pair]error // memoized unsynthesizable edges
+	mu sync.Mutex // guards lazy Breakers init
 }
 
 func (r *Router) versions() []version.V {
@@ -59,36 +68,48 @@ func (r *Router) maxHops() int {
 	return r.MaxHops
 }
 
-// MarkBroken memoizes a pair as unsynthesizable so route search skips
-// it. The service marks the direct pair before routing around it.
-func (r *Router) MarkBroken(pair version.Pair, err error) {
+// breakers returns the shared breaker set, creating one with defaults
+// for a standalone router.
+func (r *Router) breakers() *resilience.Set {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.broken == nil {
-		r.broken = map[version.Pair]error{}
+	if r.Breakers == nil {
+		r.Breakers = resilience.NewBreakerSet(resilience.BreakerConfig{})
 	}
-	if _, ok := r.broken[pair]; !ok {
-		r.broken[pair] = err
-	}
+	return r.Breakers
 }
 
-// edge acquires the translator for one hop, memoizing failures.
-func (r *Router) edge(ctx context.Context, pair version.Pair, attempts *int) (*translator.Translator, error) {
-	r.mu.Lock()
-	err, bad := r.broken[pair]
-	r.mu.Unlock()
-	if bad {
-		r.met.memoHits.Inc()
-		return nil, err
+// MarkBroken trips the pair's circuit breaker so route search fails
+// the edge fast. The service marks the direct pair before routing
+// around it; unlike the old broken-edge memo, the edge heals — the
+// breaker admits a probe after its cooldown. An already-open breaker
+// is left alone (re-tripping would push the probe time out and extend
+// the outage).
+func (r *Router) MarkBroken(pair version.Pair, err error) {
+	var open *resilience.OpenError
+	if errors.As(err, &open) {
+		return
 	}
+	r.breakers().Trip(pair.String(), err)
+}
+
+// edge acquires the translator for one hop. A fail-fast from an open
+// breaker does not spend the attempt budget — no synthesis ran, which
+// mirrors the old broken-edge memo being free.
+func (r *Router) edge(ctx context.Context, pair version.Pair, attempts *int) (*translator.Translator, error) {
 	if *attempts <= 0 {
 		return nil, failure.Wrapf(failure.Budget, "service: route search attempt budget exhausted")
 	}
 	*attempts--
 	tr, err := r.Get(ctx, pair)
 	if err != nil {
-		if ctx.Err() == nil { // a deadline miss is not evidence the edge is bad
-			r.MarkBroken(pair, err)
+		// Breaker bookkeeping (Fail/Succeed) happens inside the
+		// synthesis callback, the single choke point every Get funnels
+		// through; here we only classify the outcome.
+		var open *resilience.OpenError
+		if errors.As(err, &open) {
+			*attempts++
+			r.met.memoHits.Inc()
 		}
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/corpus"
@@ -12,8 +13,10 @@ import (
 	"repro/internal/ir"
 	"repro/internal/irtext"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/synth"
 	"repro/internal/translator"
+	"repro/internal/tvalid"
 	"repro/internal/version"
 )
 
@@ -68,6 +71,40 @@ type Config struct {
 	// DisableMetrics turns instrumentation off entirely — the
 	// uninstrumented baseline `make bench-obs` compares against.
 	DisableMetrics bool
+	// MaxRetries is how many times a transient synthesis failure is
+	// retried (decorrelated-jitter backoff, Budget surfaced when the
+	// deadline expires mid-retry) before the failure is reported and
+	// the pair's breaker advances. 0 disables retrying — the library
+	// default, so a first failure surfaces to the caller; the daemon
+	// defaults to 2 via -max-retries.
+	MaxRetries int
+	// BreakerFailures is the consecutive trip-class failure count that
+	// opens a version pair's circuit breaker (default 1: synthesis
+	// attempts are expensive, probes are cheap to defer).
+	BreakerFailures int
+	// BreakerCooldown is the base open→half-open breaker cooldown
+	// (default 5s), jittered per transition into [cooldown/2, cooldown]
+	// and doubled (capped at 8×) on every failed probe.
+	BreakerCooldown time.Duration
+	// ShedAt is the queue depth at which admission sheds new work with
+	// an Overload rejection (HTTP 429 + Retry-After) instead of letting
+	// it queue: 0 means QueueDepth (shed only when the queue is full),
+	// negative disables shedding and restores blocking admission.
+	ShedAt int
+	// DegradeUnderPressure serves partial translations (unsupported
+	// constructs dropped, reported per response) instead of failing
+	// Unsupported while the queue is at least half full.
+	DegradeUnderPressure bool
+	// ServeTrials enables serve-time differential validation: each
+	// direct translation is re-checked with this many random trials
+	// before being served, and a diverging translator is quarantined
+	// on disk and resynthesized once. 0 disables it (synthesis-time
+	// validation already ran); it is the last line of defense against
+	// poisoned cache artifacts.
+	ServeTrials int
+	// ServeValidate overrides the serve-time validator (test seam). A
+	// non-nil error quarantines the serving translator.
+	ServeValidate func(src, out *ir.Module) error
 }
 
 func (c Config) withDefaults() Config {
@@ -93,35 +130,47 @@ func (c Config) withDefaults() Config {
 
 // Stats is a point-in-time snapshot of service counters.
 type Stats struct {
-	Requests       int64            `json:"requests"`
-	Completed      int64            `json:"completed"`
-	Failed         int64            `json:"failed"`
-	MultiHop       int64            `json:"multi_hop"` // requests served through a composed chain
-	QueueHighWater int              `json:"queue_high_water"`
-	FailureClasses map[string]int64 `json:"failure_classes,omitempty"`
-	Cache          CacheStats       `json:"cache"`
-	CachedPairs    []string         `json:"cached_pairs,omitempty"`
-	Uptime         time.Duration    `json:"uptime_ns"`
+	Requests       int64             `json:"requests"`
+	Completed      int64             `json:"completed"`
+	Failed         int64             `json:"failed"`
+	MultiHop       int64             `json:"multi_hop"` // requests served through a composed chain
+	QueueHighWater int               `json:"queue_high_water"`
+	Shed           int64             `json:"shed"`        // admissions rejected by load shedding
+	Retries        int64             `json:"retries"`     // synthesis retry attempts
+	Degraded       int64             `json:"degraded"`    // requests served by partial translation
+	Quarantined    int64             `json:"quarantined"` // translators pulled by serve-time validation
+	DrainSeconds   float64           `json:"drain_seconds,omitempty"`
+	FailureClasses map[string]int64  `json:"failure_classes,omitempty"`
+	Breakers       map[string]string `json:"breakers,omitempty"` // non-closed circuit breakers by pair
+	Cache          CacheStats        `json:"cache"`
+	CachedPairs    []string          `json:"cached_pairs,omitempty"`
+	Uptime         time.Duration     `json:"uptime_ns"`
 }
 
 // Service is the long-running translation front end. It owns the
 // translator cache, the multi-hop router, and a bounded worker pool;
 // all methods are safe for concurrent use.
 type Service struct {
-	cfg     Config
-	cache   *Cache
-	router  *Router
-	met     *serviceMetrics // nil when observability is disabled
-	jobs    chan *job
-	wg      sync.WaitGroup // workers
-	senders sync.WaitGroup // in-flight enqueues, so Close can safely close(jobs)
-	start   time.Time
+	cfg      Config
+	cache    *Cache
+	router   *Router
+	breakers *resilience.Set // per-version-pair circuit breakers
+	met      *serviceMetrics // nil when observability is disabled
+	jobs     chan *job
+	wg       sync.WaitGroup // workers
+	senders  sync.WaitGroup // in-flight enqueues, so drain can safely close(jobs)
+	start    time.Time
+	drained  chan struct{} // closed once the worker pool has fully drained
 
-	mu        sync.Mutex
-	closed    bool
-	stats     Stats
-	byClass   map[string]int64
-	supported map[version.V]bool
+	jobEWMA   atomic.Int64 // smoothed job duration (ns) for deadline-aware admission
+	serveSeed atomic.Int64 // serve-time validation trial seeds
+
+	mu         sync.Mutex
+	closed     bool
+	drainStart time.Time
+	stats      Stats
+	byClass    map[string]int64
+	supported  map[version.V]bool
 }
 
 type job struct {
@@ -133,10 +182,12 @@ type job struct {
 }
 
 type jobResult struct {
-	module *ir.Module
-	route  []version.V
-	origin Origin
-	err    error
+	module   *ir.Module
+	route    []version.V
+	origin   Origin
+	degraded bool // served by TranslatePartial under pressure
+	dropped  int  // unsupported sites a degraded translation dropped
+	err      error
 }
 
 // New starts a service: workers spin up immediately and Close must be
@@ -149,6 +200,7 @@ func New(cfg Config) *Service {
 		met:       newServiceMetrics(cfg.Metrics),
 		jobs:      make(chan *job, cfg.QueueDepth),
 		start:     time.Now(),
+		drained:   make(chan struct{}),
 		byClass:   map[string]int64{},
 		supported: map[version.V]bool{},
 	}
@@ -158,11 +210,19 @@ func New(cfg Config) *Service {
 	for _, v := range cfg.Versions {
 		s.supported[v] = true
 	}
+	s.breakers = resilience.NewBreakerSet(resilience.BreakerConfig{
+		Failures: cfg.BreakerFailures,
+		Cooldown: cfg.BreakerCooldown,
+		OnChange: func(key string, from, to resilience.State) {
+			s.met.breakerChange(key, to)
+		},
+	})
 	s.router = &Router{
 		Versions: cfg.Versions,
 		MaxHops:  cfg.MaxHops,
 		Trials:   cfg.RouteTrials,
 		Get:      s.hopTranslator,
+		Breakers: s.breakers,
 	}
 	if s.met != nil {
 		s.router.met = s.met.router
@@ -174,21 +234,48 @@ func New(cfg Config) *Service {
 	return s
 }
 
-// Close drains the worker pool. Pending jobs are completed; new
-// Translate calls fail immediately.
-func (s *Service) Close() {
+// Close drains the worker pool with no deadline. Pending jobs are
+// completed; new Translate calls are rejected with a Draining
+// rejection.
+func (s *Service) Close() { _ = s.Drain(context.Background()) }
+
+// Drain gracefully shuts the service down: admission stops at once
+// (new requests get a 503-mapped Draining rejection), in-flight jobs
+// are flushed, and the call returns when the pool is empty or ctx
+// expires, whichever is first. The first caller starts the drain;
+// every caller waits on it. On deadline expiry the workers keep
+// draining in the background and a Budget-classed error reports how
+// the wait ended.
+func (s *Service) Drain(ctx context.Context) error {
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return
-	}
+	first := !s.closed
 	s.closed = true
+	if first {
+		s.drainStart = time.Now()
+	}
 	s.mu.Unlock()
-	// Workers keep consuming until every in-flight enqueue has landed,
-	// so waiting senders cannot deadlock against a full queue.
-	s.senders.Wait()
-	close(s.jobs)
-	s.wg.Wait()
+	if first {
+		go func() {
+			// Workers keep consuming until every in-flight enqueue has
+			// landed, so waiting senders cannot deadlock against a full
+			// queue.
+			s.senders.Wait()
+			close(s.jobs)
+			s.wg.Wait()
+			d := time.Since(s.drainStart)
+			s.met.drainDone(d)
+			s.mu.Lock()
+			s.stats.DrainSeconds = d.Seconds()
+			s.mu.Unlock()
+			close(s.drained)
+		}()
+	}
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain deadline expired: %w", failure.FromContext(ctx.Err()))
+	}
 }
 
 // Versions lists the versions the service accepts, ascending.
@@ -233,7 +320,26 @@ func (s *Service) Stats() Stats {
 	}
 	sort.Strings(st.CachedPairs)
 	st.Uptime = time.Since(s.start)
+	if snap := s.breakers.Snapshot(); len(snap) > 0 {
+		st.Breakers = map[string]string{}
+		for k, v := range snap {
+			st.Breakers[k] = v.String()
+		}
+	}
 	return st
+}
+
+// Result is everything one translation produced.
+type Result struct {
+	Module *ir.Module
+	// Route is the version route taken (length 2 for a direct
+	// translation).
+	Route []version.V
+	// Degraded reports the translation was served by TranslatePartial
+	// under queue pressure; DroppedSites counts the unsupported
+	// constructs it dropped.
+	Degraded     bool
+	DroppedSites int
 }
 
 // Translate converts a module of version src to version tgt through
@@ -242,29 +348,37 @@ func (s *Service) Stats() Stats {
 // or ctx expires; queue-wait and execution both respect ctx and the
 // per-job timeout, reporting expiry as an ErrBudget-classified error.
 func (s *Service) Translate(ctx context.Context, src, tgt version.V, m *ir.Module) (*ir.Module, error) {
-	out, _, err := s.TranslateRouted(ctx, src, tgt, m)
-	return out, err
+	r, err := s.TranslateResult(ctx, src, tgt, m)
+	return r.Module, err
 }
 
 // TranslateRouted is Translate, also reporting the route taken (length
 // 2 for a direct translation).
 func (s *Service) TranslateRouted(ctx context.Context, src, tgt version.V, m *ir.Module) (*ir.Module, []version.V, error) {
+	r, err := s.TranslateResult(ctx, src, tgt, m)
+	return r.Module, r.Route, err
+}
+
+// TranslateResult is the full-fidelity translation entry point:
+// Translate plus the route taken and the degradation outcome.
+func (s *Service) TranslateResult(ctx context.Context, src, tgt version.V, m *ir.Module) (Result, error) {
 	if err := s.admit(src, tgt, m); err != nil {
 		s.record(nil, err)
-		return nil, nil, err
+		return Result{}, err
 	}
 	if src == tgt {
-		s.record([]version.V{src, tgt}, nil)
-		return m, []version.V{src, tgt}, nil
+		route := []version.V{src, tgt}
+		s.record(route, nil)
+		return Result{Module: m, Route: route}, nil
 	}
 	j := &job{ctx: ctx, pair: version.Pair{Source: src, Target: tgt}, module: m, res: make(chan jobResult, 1)}
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		err := failure.Wrapf(failure.Budget, "service: closed")
+		var err error = resilience.DrainingRejection(time.Second, "service: draining, not admitting new work")
 		s.record(nil, err)
-		return nil, nil, err
+		return Result{}, err
 	}
 	s.senders.Add(1)
 	if d := len(s.jobs) + 1; d > s.stats.QueueHighWater {
@@ -272,36 +386,142 @@ func (s *Service) TranslateRouted(ctx context.Context, src, tgt version.V, m *ir
 	}
 	s.mu.Unlock()
 
-	j.enqueued = time.Now()
-	select {
-	case s.jobs <- j:
+	if err := s.shedCheck(ctx); err != nil {
 		s.senders.Done()
-		if s.met != nil {
-			s.met.queueDepth.Set(int64(len(s.jobs)))
-		}
-	case <-ctx.Done():
-		s.senders.Done()
-		err := failure.FromContext(ctx.Err())
 		s.record(nil, err)
-		return nil, nil, err
+		return Result{}, err
+	}
+	j.enqueued = time.Now()
+	if err := s.enqueue(ctx, j); err != nil {
+		s.senders.Done()
+		s.record(nil, err)
+		return Result{}, err
+	}
+	s.senders.Done()
+	if s.met != nil {
+		s.met.queueDepth.Set(int64(len(s.jobs)))
 	}
 	select {
 	case r := <-j.res:
 		s.record(r.route, r.err)
-		return r.module, r.route, r.err
+		return Result{Module: r.module, Route: r.route, Degraded: r.degraded, DroppedSites: r.dropped}, r.err
 	case <-ctx.Done():
 		// The worker will still run the job; its result is discarded
 		// (res is buffered).
 		err := failure.FromContext(ctx.Err())
 		s.record(nil, err)
-		return nil, nil, err
+		return Result{}, err
 	}
+}
+
+// shedThreshold is the queue depth at which admission sheds, -1 when
+// shedding is disabled.
+func (s *Service) shedThreshold() int {
+	switch {
+	case s.cfg.ShedAt < 0:
+		return -1
+	case s.cfg.ShedAt == 0 || s.cfg.ShedAt > s.cfg.QueueDepth:
+		return s.cfg.QueueDepth
+	default:
+		return s.cfg.ShedAt
+	}
+}
+
+// shedCheck applies admission control before enqueueing: a queue at
+// the shed threshold, or a caller deadline shorter than the estimated
+// queue wait, is rejected immediately with a Retry-After hint rather
+// than admitted to time out in line.
+func (s *Service) shedCheck(ctx context.Context) error {
+	threshold := s.shedThreshold()
+	if threshold < 0 {
+		return nil
+	}
+	if pending := len(s.jobs); pending >= threshold {
+		s.recordShed()
+		return resilience.Overloaded(s.estimatedWait(pending), "service: overloaded: %d jobs queued", pending)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if est := s.estimatedWait(len(s.jobs)); est > 0 && time.Until(dl) < est {
+			s.recordShed()
+			return resilience.Overloaded(est, "service: deadline %s away but estimated wait is %s",
+				time.Until(dl).Round(time.Millisecond), est.Round(time.Millisecond))
+		}
+	}
+	return nil
+}
+
+// enqueue delivers the job to the worker pool. With shedding enabled
+// the send never blocks — the shedCheck length test races with other
+// senders, so a full queue here sheds too; with shedding disabled it
+// blocks until a slot frees or ctx expires.
+func (s *Service) enqueue(ctx context.Context, j *job) error {
+	if s.shedThreshold() >= 0 {
+		select {
+		case s.jobs <- j:
+			return nil
+		default:
+			s.recordShed()
+			return resilience.Overloaded(s.estimatedWait(len(s.jobs)), "service: overloaded: queue full")
+		}
+	}
+	select {
+	case s.jobs <- j:
+		return nil
+	case <-ctx.Done():
+		return failure.FromContext(ctx.Err())
+	}
+}
+
+// estimatedWait predicts queue wait plus execution for a request that
+// finds pending jobs ahead of it, from the EWMA of recent job
+// durations. Zero (no opinion) until the first job completes.
+func (s *Service) estimatedWait(pending int) time.Duration {
+	ewma := time.Duration(s.jobEWMA.Load())
+	if ewma <= 0 {
+		return 0
+	}
+	return ewma + ewma*time.Duration(pending)/time.Duration(s.cfg.Workers)
+}
+
+// observeJob folds a completed job's duration into the admission EWMA
+// (α = 1/8; a racing update may be lost, which is fine for an
+// estimate).
+func (s *Service) observeJob(d time.Duration) {
+	prev := s.jobEWMA.Load()
+	next := int64(d)
+	if prev > 0 {
+		next = (7*prev + int64(d)) / 8
+	}
+	s.jobEWMA.Store(next)
+}
+
+func (s *Service) recordShed() {
+	s.met.shedInc()
+	s.mu.Lock()
+	s.stats.Shed++
+	s.mu.Unlock()
+}
+
+// TextResult is TranslateTextResult's outcome.
+type TextResult struct {
+	Rendered     string
+	Source       version.V // detected when the request omitted it
+	Route        []version.V
+	Degraded     bool
+	DroppedSites int
 }
 
 // TranslateText is the textual pipeline: parse at src (or detect the
 // version when src is the zero V), translate, write at tgt. It returns
 // the output text, the detected source version, and the route.
 func (s *Service) TranslateText(ctx context.Context, text string, src version.V, tgt version.V) (string, version.V, []version.V, error) {
+	r, err := s.TranslateTextResult(ctx, text, src, tgt)
+	return r.Rendered, r.Source, r.Route, err
+}
+
+// TranslateTextResult is TranslateText with the full translation
+// outcome (degradation included).
+func (s *Service) TranslateTextResult(ctx context.Context, text string, src version.V, tgt version.V) (TextResult, error) {
 	var m *ir.Module
 	var err error
 	if !src.IsValid() {
@@ -309,27 +529,27 @@ func (s *Service) TranslateText(ctx context.Context, text string, src version.V,
 		m, src, err = s.Detect(text)
 		end()
 		if err != nil {
-			return "", version.V{}, nil, err
+			return TextResult{}, err
 		}
 	} else {
 		end := s.met.stageTimer(ctx, stageParse)
 		m, err = irtext.Parse(text, src)
 		end()
 		if err != nil {
-			return "", src, nil, failure.Wrapf(failure.Parse, "service: reading %s IR: %w", src, err)
+			return TextResult{Source: src}, failure.Wrapf(failure.Parse, "service: reading %s IR: %w", src, err)
 		}
 	}
-	out, route, err := s.TranslateRouted(ctx, src, tgt, m)
+	r, err := s.TranslateResult(ctx, src, tgt, m)
 	if err != nil {
-		return "", src, nil, err
+		return TextResult{Source: src}, err
 	}
 	endWrite := s.met.stageTimer(ctx, stageWrite)
-	rendered, err := irtext.NewWriter(tgt).WriteModule(out)
+	rendered, err := irtext.NewWriter(tgt).WriteModule(r.Module)
 	endWrite()
 	if err != nil {
-		return "", src, route, failure.Wrapf(failure.Validation, "service: writing %s IR: %w", tgt, err)
+		return TextResult{Source: src, Route: r.Route}, failure.Wrapf(failure.Validation, "service: writing %s IR: %w", tgt, err)
 	}
-	return rendered, src, route, nil
+	return TextResult{Rendered: rendered, Source: src, Route: r.Route, Degraded: r.Degraded, DroppedSites: r.DroppedSites}, nil
 }
 
 // Detect parses text with every supported reader, newest first, and
@@ -351,7 +571,9 @@ func (s *Service) Detect(text string) (*ir.Module, version.V, error) {
 }
 
 // Warm synthesizes (or loads) the direct translator for a pair ahead
-// of traffic.
+// of traffic. Cancelling ctx abandons the *wait* with a Budget-classed
+// failure, not the work: an in-flight synthesis completes detached and
+// still lands in the cache (see Cache.Get).
 func (s *Service) Warm(ctx context.Context, src, tgt version.V) error {
 	if err := s.admit(src, tgt, nil); err != nil {
 		return err
@@ -407,7 +629,9 @@ func (s *Service) worker() {
 				s.met.queueDepth.Set(int64(len(s.jobs)))
 			}
 		}
+		start := time.Now()
 		j.res <- s.run(j)
+		s.observeJob(time.Since(start))
 	}
 }
 
@@ -435,12 +659,99 @@ func (s *Service) run(j *job) (res jobResult) {
 	out, err := tr.Translate(j.module)
 	endTranslate()
 	if err != nil {
+		if r, ok := s.degrade(tr, origin, j.module, err); ok {
+			return r
+		}
 		return jobResult{err: err}
 	}
 	if err := ctx.Err(); err != nil {
 		return jobResult{err: failure.FromContext(err)}
 	}
+	if validate := s.serveValidator(); validate != nil {
+		if verr := validate(j.module, out); verr != nil {
+			return s.quarantineAndRetry(ctx, j.pair, j.module, tr, validate, verr)
+		}
+	}
 	return jobResult{module: out, route: tr.Route(), origin: origin}
+}
+
+// degrade serves a partial translation in place of an Unsupported
+// failure when configured and the queue is under pressure — shedding
+// fidelity (dropped unsupported sites, reported in the response)
+// instead of shedding the request.
+func (s *Service) degrade(tr translator.ModuleTranslator, origin Origin, m *ir.Module, err error) (jobResult, bool) {
+	if !s.cfg.DegradeUnderPressure || failure.ClassOf(err) != failure.Unsupported || !s.underPressure() {
+		return jobResult{}, false
+	}
+	direct, ok := tr.(*translator.Translator)
+	if !ok { // chains have no partial mode
+		return jobResult{}, false
+	}
+	out, sites, perr := direct.TranslatePartial(m)
+	if perr != nil {
+		return jobResult{}, false
+	}
+	s.met.degradedInc()
+	s.mu.Lock()
+	s.stats.Degraded++
+	s.mu.Unlock()
+	return jobResult{module: out, route: direct.Route(), origin: origin, degraded: true, dropped: len(sites)}, true
+}
+
+// underPressure reports a queue at least half full.
+func (s *Service) underPressure() bool {
+	return 2*len(s.jobs) >= s.cfg.QueueDepth
+}
+
+// serveValidator returns the serve-time differential validator, nil
+// when disabled.
+func (s *Service) serveValidator() func(src, out *ir.Module) error {
+	if s.cfg.ServeValidate != nil {
+		return s.cfg.ServeValidate
+	}
+	if s.cfg.ServeTrials <= 0 {
+		return nil
+	}
+	trials := s.cfg.ServeTrials
+	return func(src, out *ir.Module) error {
+		rep := tvalid.Validate(src, out, tvalid.Options{Trials: trials, Seed: s.serveSeed.Add(1)})
+		if !rep.OK() {
+			return failure.Wrapf(failure.Validation, "service: serve-time validation diverged: %s", rep)
+		}
+		return nil
+	}
+}
+
+// quarantineAndRetry handles a serve-time validation failure: the
+// cached translator is a proven liar, so its artifact is quarantined
+// (never served or re-imported again), the pair is resynthesized once,
+// and the fresh translator must pass the same validation before its
+// output is served. Chains are not quarantined — each hop translator
+// passed its own validation, so the divergence indicts the
+// composition, which is per-request state; the failure is reported
+// as-is.
+func (s *Service) quarantineAndRetry(ctx context.Context, pair version.Pair, m *ir.Module, tr translator.ModuleTranslator, validate func(src, out *ir.Module) error, verr error) jobResult {
+	if _, ok := tr.(*translator.Translator); !ok {
+		return jobResult{err: failure.Wrap(failure.Validation, verr)}
+	}
+	s.met.quarantinedInc()
+	s.mu.Lock()
+	s.stats.Quarantined++
+	s.mu.Unlock()
+	_ = s.cache.Quarantine(pair) // best effort: the memory entry is gone either way
+	fresh, _, err := s.cachedTranslator(ctx, pair)
+	if err != nil {
+		return jobResult{err: fmt.Errorf("service: resynthesis after quarantining %s failed: %w (quarantined for: %v)", pair, err, verr)}
+	}
+	out, err := fresh.Translate(m)
+	if err != nil {
+		return jobResult{err: err}
+	}
+	if err := validate(m, out); err != nil {
+		return jobResult{err: failure.Wrapf(failure.Validation,
+			"service: translator for %s still diverges after quarantine and resynthesis: %v (first divergence: %v)", pair, err, verr)}
+	}
+	return jobResult{module: out, route: fresh.Route(), origin: OriginSynth}
 }
 
 // resolve produces a ModuleTranslator for the pair: the cached direct
@@ -487,41 +798,94 @@ func (s *Service) hopTranslator(ctx context.Context, pair version.Pair) (*transl
 // the nested synthesis report as disjoint stages: "cache" is the Get
 // call minus the time spent inside the synthesize callback, "synth"
 // is the callback itself (zero when the cache hit).
+//
+// The synthesize callback is the single choke point every translator
+// acquisition funnels through (direct requests, router edges, warm-up),
+// so the pair's circuit breaker and the retry policy live here: an
+// open breaker fails the miss fast with the fault that opened it, a
+// granted probe or closed breaker runs synthesis under the retry
+// policy, and the outcome advances the breaker.
 func (s *Service) cachedTranslator(ctx context.Context, pair version.Pair) (*translator.Translator, Origin, error) {
 	observe := s.met != nil || obs.TraceFrom(ctx) != nil
 	var start time.Time
-	var synthDur time.Duration
+	var synthDur atomic.Int64 // written by the detached cache leader
 	if observe {
 		start = time.Now()
 	}
-	tr, org, err := s.cache.Get(pair, func() (*synth.Result, error) {
-		var synthStart time.Time
+	tr, org, err := s.cache.Get(ctx, pair, func() (*synth.Result, error) {
 		if observe {
-			synthStart = time.Now()
-			defer func() { synthDur = time.Since(synthStart) }()
+			synthStart := time.Now()
+			defer func() { synthDur.Store(int64(time.Since(synthStart))) }()
 		}
-		opts := s.cfg.Synth
-		if dl, ok := ctx.Deadline(); ok {
-			remain := time.Until(dl)
-			if remain <= 0 {
-				return nil, failure.FromContext(context.DeadlineExceeded)
-			}
-			if opts.TestDeadline == 0 || opts.TestDeadline > remain {
-				opts.TestDeadline = remain
-			}
+		key := pair.String()
+		if err := s.breakers.Allow(key); err != nil {
+			return nil, err // fail fast; the opening fault's class is preserved
 		}
-		res, err := s.cfg.SynthFn(pair, opts)
+		res, err := resilience.Retry(ctx, s.retryPolicy(), func() (*synth.Result, error) {
+			return s.synthesizeOnce(ctx, pair)
+		})
 		if err != nil {
-			return nil, failure.Wrapf(failure.Synthesis, "service: synthesizing %s: %w", pair, err)
+			s.breakers.Fail(key, err)
+			return nil, err
 		}
+		s.breakers.Succeed(key)
 		s.met.recordSynth(res.Stats)
 		return res, nil
 	})
 	if observe {
-		s.met.stageDur(ctx, stageCache, time.Since(start)-synthDur)
-		if synthDur > 0 {
-			s.met.stageDur(ctx, stageSynth, synthDur)
+		sd := time.Duration(synthDur.Load())
+		s.met.stageDur(ctx, stageCache, time.Since(start)-sd)
+		if sd > 0 {
+			s.met.stageDur(ctx, stageSynth, sd)
 		}
 	}
 	return tr, org, err
+}
+
+// retryPolicy is the synthesis retry policy: transient classes only
+// (never Parse/Unsupported, and a deadline expiring mid-retry
+// surfaces Budget), each retry counted.
+func (s *Service) retryPolicy() resilience.RetryPolicy {
+	return resilience.RetryPolicy{
+		Max: s.cfg.MaxRetries,
+		OnRetry: func(attempt int, err error, sleep time.Duration) {
+			s.met.retriesInc()
+			s.mu.Lock()
+			s.stats.Retries++
+			s.mu.Unlock()
+		},
+	}
+}
+
+// synthesizeOnce runs the synthesis function once with the context
+// deadline threaded into the per-test budget, converting panics to
+// Validation-classed errors so the retry loop and breaker see a
+// classifiable failure rather than an unwinding goroutine.
+func (s *Service) synthesizeOnce(ctx context.Context, pair version.Pair) (res *synth.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, failure.Wrapf(failure.Validation, "service: panic synthesizing %s: %v", pair, r)
+		}
+	}()
+	opts := s.cfg.Synth
+	if dl, ok := ctx.Deadline(); ok {
+		remain := time.Until(dl)
+		if remain <= 0 {
+			return nil, failure.FromContext(context.DeadlineExceeded)
+		}
+		if opts.TestDeadline == 0 || opts.TestDeadline > remain {
+			opts.TestDeadline = remain
+		}
+	}
+	out, err := s.cfg.SynthFn(pair, opts)
+	if err != nil {
+		if ctx.Err() != nil {
+			// The deadline expired while synthesis ran: the budget is at
+			// fault, not the pair — surface Budget so the breaker does
+			// not trip on a slow caller.
+			return nil, fmt.Errorf("service: synthesizing %s under an expired deadline: %w (synth said: %v)", pair, failure.FromContext(ctx.Err()), err)
+		}
+		return nil, failure.Wrapf(failure.Synthesis, "service: synthesizing %s: %w", pair, err)
+	}
+	return out, nil
 }

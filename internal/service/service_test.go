@@ -172,7 +172,9 @@ func TestServiceCallerDeadline(t *testing.T) {
 }
 
 // A panicking synthesis seam is contained to the job, classified, and
-// does not kill the worker.
+// does not kill the worker. The panic opens the pair's circuit
+// breaker, so the next request fails fast with the same class; after
+// the cooldown a probe re-synthesizes and the breaker heals.
 func TestServiceSynthPanic(t *testing.T) {
 	var calls int32
 	boom := func(pair version.Pair, opts synth.Options) (*synth.Result, error) {
@@ -181,7 +183,7 @@ func TestServiceSynthPanic(t *testing.T) {
 		}
 		return DefaultSynthFn(pair, opts)
 	}
-	svc := New(Config{Workers: 1, MaxHops: 1, SynthFn: boom})
+	svc := New(Config{Workers: 1, MaxHops: 1, SynthFn: boom, BreakerCooldown: 50 * time.Millisecond})
 	defer svc.Close()
 
 	m := corpus.Tests(version.V12_0)[0].Module
@@ -192,9 +194,24 @@ func TestServiceSynthPanic(t *testing.T) {
 	if !errors.Is(err, failure.Validation) {
 		t.Fatalf("panic class: %v", err)
 	}
-	// The worker survived; the retry synthesizes normally.
-	if _, err := svc.Translate(context.Background(), version.V12_0, version.V3_6, m); err != nil {
-		t.Fatalf("worker dead after panic: %v", err)
+	// The worker survived (requests still get answers), and once the
+	// breaker admits a probe the pair synthesizes normally.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err = svc.Translate(context.Background(), version.V12_0, version.V3_6, m)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, failure.Validation) { // fail-fast keeps the opening class
+			t.Fatalf("unexpected class while breaker open: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never healed: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := atomic.LoadInt32(&calls); got != 2 {
+		t.Fatalf("SynthFn calls = %d, want 2 (panic + healed probe)", got)
 	}
 }
 

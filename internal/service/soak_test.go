@@ -1,0 +1,549 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/corpus"
+	"repro/internal/ir"
+	"repro/internal/irlib"
+	"repro/internal/irtext"
+	"repro/internal/synth"
+	"repro/internal/tvalid"
+	"repro/internal/version"
+)
+
+// The chaos soak: a live daemon (real handler, real synthesis, real
+// serve-time validation) hammered by concurrent clients while the
+// synthesis path is poisoned with the full internal/chaos fault menu —
+// lying, trapping, panicking, and hanging components — plus a
+// controller that deterministically poisons one "rogue" version pair
+// to force a full breaker open→half-open→closed cycle, an injected
+// serve-time divergence to force a quarantine, and corrupted request
+// bodies to sweep the parse boundary.
+//
+// Soak invariants (the acceptance criteria of the resilience layer):
+//
+//  1. every response is typed: allowed status + failure class +
+//     non-zero exit code on every error body;
+//  2. no wrong translation is ever served: sampled 200s are
+//     differentially re-validated client-side with tvalid;
+//  3. the rogue pair's breaker opens, probes half-open, and re-closes;
+//  4. the injected divergence is quarantined and healed by
+//     resynthesis;
+//  5. after Drain the goroutine count returns to baseline (no leaks).
+//
+// Knobs (all optional): SIRO_SOAK_SECONDS bounds the steady-state
+// hammering phase (default 2), SIRO_SOAK_CLIENTS the concurrency
+// (default 6), SIRO_SOAK_LIE / _TRAP / _PANIC / _HANG the per-synthesis
+// fault rates, SIRO_SOAK_SEED the chaos RNG, and SIRO_SOAK_JSON a path
+// to write the machine-readable summary to (what CI archives).
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	cfg := soakConfigFromEnv(t)
+	baseline := runtime.NumGoroutine()
+
+	cs := &chaosSynth{cfg: cfg, rng: rand.New(rand.NewSource(cfg.seed)), rogue: version.Pair{Source: version.V17_0, Target: version.V12_0}, counts: map[string]int64{}}
+	var injectQuarantine atomic.Bool
+	var quarantineTrips atomic.Int64
+	svc := New(Config{
+		Workers:              4,
+		QueueDepth:           16,
+		ShedAt:               16,
+		MaxHops:              2,
+		JobTimeout:           5 * time.Second,
+		MaxRetries:           2,
+		BreakerCooldown:      150 * time.Millisecond,
+		DegradeUnderPressure: true,
+		SynthFn:              cs.fn,
+		// Real differential validation before every direct serve, with
+		// one deterministic divergence injected mid-soak to prove the
+		// quarantine path fires on a live cache.
+		ServeValidate: func(src, out *ir.Module) error {
+			if injectQuarantine.CompareAndSwap(true, false) {
+				quarantineTrips.Add(1)
+				return fmt.Errorf("soak: injected serve-time divergence")
+			}
+			if rep := tvalid.Validate(src, out, tvalid.Options{Trials: 2, Seed: cfg.seed}); !rep.OK() {
+				return fmt.Errorf("soak: serve-time divergence: %s", rep)
+			}
+			return nil
+		},
+	})
+	srv := httptest.NewServer(Handler(svc))
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// The traffic mix: direct pairs with their source modules kept
+	// around so sampled responses can be re-validated differentially.
+	pairs := []soakPair{
+		newSoakPair(t, version.V12_0, version.V3_6),
+		newSoakPair(t, version.V3_6, version.V12_0),
+		newSoakPair(t, version.V3_6, version.V3_0),
+	}
+
+	sum := newSoakSummary()
+	var clients sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < cfg.clients; i++ {
+		clients.Add(1)
+		go func(id int) {
+			defer clients.Done()
+			soakClient(t, id, cfg, client, srv.URL, pairs, sum, stop)
+		}(i)
+	}
+
+	// Phase 1 — breaker cycle on the rogue pair, while background
+	// traffic runs. The controller poisons every rogue synthesis, so
+	// the pair's breaker must open; un-poisoning it must let the
+	// half-open probe succeed and re-close the breaker.
+	rogueReq := TranslateRequest{Source: cs.rogue.Source.String(), Target: cs.rogue.Target.String(), IR: sourceText(t, cs.rogue.Source)}
+	cs.forceFail.Store(true)
+	rogueKey := cs.rogue.String()
+	deadline := time.Now().Add(30 * time.Second)
+	for svc.Stats().Breakers[rogueKey] != "open" {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker for %s never opened; stats=%+v", rogueKey, svc.Stats())
+		}
+		doSoakPost(t, client, srv.URL, rogueReq, sum)
+	}
+	// While open, callers must fail fast with a typed error (counted
+	// by doSoakPost like any other response).
+	doSoakPost(t, client, srv.URL, rogueReq, sum)
+	cs.forceFail.Store(false)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker for %s never re-closed; stats=%+v", rogueKey, svc.Stats())
+		}
+		status, _ := doSoakPost(t, client, srv.URL, rogueReq, sum)
+		if status == http.StatusOK && svc.Stats().Breakers[rogueKey] == "" {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// The half-open probe leaves a footprint in the transition counter.
+	metricsBody := scrape(t, client, srv.URL+"/metrics")
+	if !strings.Contains(metricsBody, `to="half-open"`) || !strings.Contains(metricsBody, `siro_breaker_state`) {
+		t.Fatalf("breaker transitions not exported; /metrics:\n%s", metricsBody)
+	}
+	sum.breakerCycle.Store(true)
+
+	// Phase 2 — quarantine: inject one serve-time divergence and wait
+	// for the service to quarantine + resynthesize its way past it.
+	injectQuarantine.Store(true)
+	waitFor(t, func() bool { return svc.Stats().Quarantined >= 1 })
+	waitFor(t, func() bool { return quarantineTrips.Load() >= 1 })
+
+	// Phase 3 — steady-state hammering for the configured wall clock.
+	time.Sleep(cfg.duration)
+	close(stop)
+	clients.Wait()
+
+	// Drain: admission stops, in-flight jobs flush, and the goroutine
+	// count returns to baseline (abandoned detached synthesis included).
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Drain(drainCtx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	st := svc.Stats()
+	srv.Close()
+	client.CloseIdleConnections()
+	goroutinesAfter := awaitGoroutineBaseline(t, baseline)
+
+	report := sum.report(cfg, st, cs.faultCounts(), baseline, goroutinesAfter)
+	if cfg.jsonPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(cfg.jsonPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatalf("writing soak summary: %v", err)
+		}
+	}
+	t.Logf("soak summary: %+v", report)
+
+	if n := sum.unclassified.Load(); n != 0 {
+		t.Errorf("%d responses without a typed failure class", n)
+	}
+	if n := sum.wrongServes.Load(); n != 0 {
+		t.Errorf("%d wrong translations served past differential validation", n)
+	}
+	if sum.validated.Load() == 0 {
+		t.Error("no successful response was differentially re-validated; the wrong-serve invariant was never exercised")
+	}
+	if st.Quarantined < 1 {
+		t.Errorf("injected divergence was not quarantined: %+v", st)
+	}
+	if st.DrainSeconds <= 0 {
+		t.Errorf("drain duration not recorded: %+v", st)
+	}
+}
+
+// soakConfig is the env-tunable shape of one soak run.
+type soakConfig struct {
+	duration                   time.Duration
+	clients                    int
+	lie, trap, panicRate, hang float64
+	corrupt                    float64 // corrupted-request-body rate
+	seed                       int64
+	jsonPath                   string
+}
+
+func soakConfigFromEnv(t *testing.T) soakConfig {
+	cfg := soakConfig{
+		duration:  2 * time.Second,
+		clients:   6,
+		lie:       0.10,
+		trap:      0.10,
+		panicRate: 0.08,
+		hang:      0.08,
+		corrupt:   0.15,
+		seed:      1,
+		jsonPath:  os.Getenv("SIRO_SOAK_JSON"),
+	}
+	if v := os.Getenv("SIRO_SOAK_SECONDS"); v != "" {
+		secs, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			t.Fatalf("SIRO_SOAK_SECONDS: %v", err)
+		}
+		cfg.duration = time.Duration(secs * float64(time.Second))
+	}
+	if v := os.Getenv("SIRO_SOAK_CLIENTS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("SIRO_SOAK_CLIENTS: %q", v)
+		}
+		cfg.clients = n
+	}
+	if v := os.Getenv("SIRO_SOAK_SEED"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("SIRO_SOAK_SEED: %v", err)
+		}
+		cfg.seed = n
+	}
+	rate := func(env string, into *float64) {
+		if v := os.Getenv(env); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 || f > 1 {
+				t.Fatalf("%s: %q (want 0..1)", env, v)
+			}
+			*into = f
+		}
+	}
+	rate("SIRO_SOAK_LIE", &cfg.lie)
+	rate("SIRO_SOAK_TRAP", &cfg.trap)
+	rate("SIRO_SOAK_PANIC", &cfg.panicRate)
+	rate("SIRO_SOAK_HANG", &cfg.hang)
+	rate("SIRO_SOAK_CORRUPT", &cfg.corrupt)
+	return cfg
+}
+
+// chaosSynth wraps the production synthesis path with the full
+// internal/chaos fault menu, drawn per synthesis from a seeded RNG,
+// plus a deterministic controller switch that poisons one rogue pair.
+type chaosSynth struct {
+	cfg       soakConfig
+	rogue     version.Pair
+	forceFail atomic.Bool
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	counts map[string]int64
+}
+
+func (c *chaosSynth) draw() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.rng.Float64()
+	for _, f := range []struct {
+		mode string
+		rate float64
+	}{{"lie", c.cfg.lie}, {"trap", c.cfg.trap}, {"panic", c.cfg.panicRate}, {"hang", c.cfg.hang}} {
+		if r < f.rate {
+			c.counts[f.mode]++
+			return f.mode
+		}
+		r -= f.rate
+	}
+	return ""
+}
+
+func (c *chaosSynth) count(mode string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counts[mode]++
+}
+
+func (c *chaosSynth) faultCounts() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.counts))
+	for k, v := range c.counts {
+		out[k] = v
+	}
+	return out
+}
+
+func (c *chaosSynth) fn(pair version.Pair, opts synth.Options) (*synth.Result, error) {
+	if pair == c.rogue && c.forceFail.Load() {
+		c.count("force-fail")
+		return nil, fmt.Errorf("soak: %s poisoned by the chaos controller", pair)
+	}
+	switch c.draw() {
+	case "lie":
+		// A lying getter: synthesis-time differential validation must
+		// refine around it (honest alias) or fail typed — never serve it.
+		if lib, n := chaos.Poison(irlib.Getters(pair.Source), chaos.ComponentFault{API: "GetLHS", Kind: ir.ICmp, Mode: chaos.Lie}); n > 0 {
+			opts.Getters = lib
+		}
+	case "trap":
+		if lib, n := chaos.Poison(irlib.Getters(pair.Source), chaos.ComponentFault{API: "GetRHS", Kind: ir.ICmp, Mode: chaos.Trap}); n > 0 {
+			opts.Getters = lib
+		}
+	case "panic":
+		panic(fmt.Sprintf("chaos: synthesis for %s panics mid-flight", pair))
+	case "hang":
+		time.Sleep(200 * time.Millisecond)
+	}
+	return DefaultSynthFn(pair, opts)
+}
+
+// soakPair is one traffic target with its pre-rendered source text and
+// the parsed module the client re-validates responses against.
+type soakPair struct {
+	src, tgt version.V
+	text     string
+	module   *ir.Module
+}
+
+func newSoakPair(t *testing.T, src, tgt version.V) soakPair {
+	t.Helper()
+	return soakPair{src: src, tgt: tgt, text: sourceText(t, src), module: corpus.Tests(src)[0].Module}
+}
+
+// soakSummary accumulates the run's observations across clients.
+type soakSummary struct {
+	requests     atomic.Int64
+	unclassified atomic.Int64
+	wrongServes  atomic.Int64
+	validated    atomic.Int64
+	breakerCycle atomic.Bool
+
+	mu       sync.Mutex
+	byStatus map[int]int64
+	byClass  map[string]int64
+}
+
+func newSoakSummary() *soakSummary {
+	return &soakSummary{byStatus: map[int]int64{}, byClass: map[string]int64{}}
+}
+
+func (s *soakSummary) observe(status int, class string) {
+	s.requests.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byStatus[status]++
+	if class != "" {
+		s.byClass[class]++
+	}
+}
+
+// soakReport is the JSON summary CI archives.
+type soakReport struct {
+	DurationSeconds    float64          `json:"duration_seconds"`
+	Clients            int              `json:"clients"`
+	Requests           int64            `json:"requests"`
+	ByStatus           map[string]int64 `json:"by_status"`
+	ByClass            map[string]int64 `json:"by_class"`
+	Faults             map[string]int64 `json:"faults_injected"`
+	Unclassified       int64            `json:"unclassified_errors"`
+	WrongServes        int64            `json:"wrong_output_serves"`
+	Validated          int64            `json:"responses_revalidated"`
+	BreakerCycle       bool             `json:"breaker_cycle_observed"`
+	Shed               int64            `json:"shed"`
+	Retries            int64            `json:"retries"`
+	Quarantined        int64            `json:"quarantined"`
+	Degraded           int64            `json:"degraded"`
+	DrainSeconds       float64          `json:"drain_seconds"`
+	GoroutineBaseline  int              `json:"goroutines_baseline"`
+	GoroutinesAfter    int              `json:"goroutines_after_drain"`
+	QueueHighWater     int              `json:"queue_high_water"`
+	CompletedByService int64            `json:"completed"`
+	FailedByService    int64            `json:"failed"`
+}
+
+func (s *soakSummary) report(cfg soakConfig, st Stats, faults map[string]int64, baseline, after int) soakReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byStatus := make(map[string]int64, len(s.byStatus))
+	for code, n := range s.byStatus {
+		byStatus[strconv.Itoa(code)] = n
+	}
+	byClass := make(map[string]int64, len(s.byClass))
+	for class, n := range s.byClass {
+		byClass[class] = n
+	}
+	return soakReport{
+		DurationSeconds:    cfg.duration.Seconds(),
+		Clients:            cfg.clients,
+		Requests:           s.requests.Load(),
+		ByStatus:           byStatus,
+		ByClass:            byClass,
+		Faults:             faults,
+		Unclassified:       s.unclassified.Load(),
+		WrongServes:        s.wrongServes.Load(),
+		Validated:          s.validated.Load(),
+		BreakerCycle:       s.breakerCycle.Load(),
+		Shed:               st.Shed,
+		Retries:            st.Retries,
+		Quarantined:        st.Quarantined,
+		Degraded:           st.Degraded,
+		DrainSeconds:       st.DrainSeconds,
+		GoroutineBaseline:  baseline,
+		GoroutinesAfter:    after,
+		QueueHighWater:     st.QueueHighWater,
+		CompletedByService: st.Completed,
+		FailedByService:    st.Failed,
+	}
+}
+
+// soakStatuses is the documented /v1/translate status set.
+var soakStatuses = map[int]bool{
+	http.StatusOK:                    true,
+	http.StatusBadRequest:            true,
+	http.StatusRequestEntityTooLarge: true,
+	http.StatusUnprocessableEntity:   true,
+	http.StatusTooManyRequests:       true,
+	http.StatusInternalServerError:   true,
+	http.StatusServiceUnavailable:    true,
+}
+
+// doSoakPost round-trips one request, recording its status/class and
+// flagging off-taxonomy responses. It returns the status and, on 200,
+// the decoded body.
+func doSoakPost(t *testing.T, client *http.Client, url string, req TranslateRequest, sum *soakSummary) (int, *TranslateResponse) {
+	t.Helper()
+	blob, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url+"/v1/translate", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		// Transport errors (timeout against a hung worker) are the
+		// client's deadline, not a service taxonomy violation.
+		sum.observe(0, "client-transport")
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		var out TranslateResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			sum.unclassified.Add(1)
+			sum.observe(resp.StatusCode, "undecodable")
+			return resp.StatusCode, nil
+		}
+		sum.observe(resp.StatusCode, "")
+		return resp.StatusCode, &out
+	}
+	var eresp ErrorResponse
+	body, _ := io.ReadAll(resp.Body)
+	bad := !soakStatuses[resp.StatusCode] ||
+		json.Unmarshal(body, &eresp) != nil ||
+		eresp.Class == "" || eresp.ExitCode == 0
+	if bad {
+		sum.unclassified.Add(1)
+		t.Logf("off-taxonomy response: status=%d body=%s", resp.StatusCode, body)
+	}
+	sum.observe(resp.StatusCode, eresp.Class)
+	return resp.StatusCode, nil
+}
+
+// soakClient hammers /v1/translate until stop closes: mostly honest
+// requests across the pair mix, a slice of chaos-corrupted bodies, and
+// a differential re-validation of every 8th success.
+func soakClient(t *testing.T, id int, cfg soakConfig, client *http.Client, url string, pairs []soakPair, sum *soakSummary, stop <-chan struct{}) {
+	rng := rand.New(rand.NewSource(cfg.seed + int64(id)*7919))
+	faults := chaos.TextFaults
+	for n := 0; ; n++ {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		p := pairs[rng.Intn(len(pairs))]
+		req := TranslateRequest{Source: p.src.String(), Target: p.tgt.String(), IR: p.text}
+		corrupted := rng.Float64() < cfg.corrupt
+		if corrupted {
+			req.IR = chaos.CorruptText(p.text, faults[rng.Intn(len(faults))], rng.Int63())
+		}
+		status, out := doSoakPost(t, client, url, req, sum)
+		if status != http.StatusOK || out == nil || corrupted || out.Degraded || n%8 != 0 {
+			continue
+		}
+		// Client-side differential check: the served translation must
+		// co-execute with its source. This is the independent referee
+		// for the "never serve a wrong translation" invariant.
+		m, err := irtext.Parse(out.IR, p.tgt)
+		if err != nil {
+			sum.wrongServes.Add(1)
+			t.Logf("served IR does not reparse (%s): %v", p.src, err)
+			continue
+		}
+		if rep := tvalid.Validate(p.module, m, tvalid.Options{Trials: 4, Seed: rng.Int63()}); !rep.OK() {
+			sum.wrongServes.Add(1)
+			t.Logf("served translation diverges (%s->%s): %s", p.src, p.tgt, rep)
+		}
+		sum.validated.Add(1)
+	}
+}
+
+// scrape fetches a text endpoint.
+func scrape(t *testing.T, client *http.Client, url string) string {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// awaitGoroutineBaseline polls until the goroutine count is back at
+// (or below) the pre-soak baseline plus a small scheduler slack.
+func awaitGoroutineBaseline(t *testing.T, baseline int) int {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline+3 {
+			return n
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: baseline=%d now=%d\n%s", baseline, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
