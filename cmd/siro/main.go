@@ -46,6 +46,8 @@ func main() {
 	emit := flag.Bool("emit", false, "print the synthesized translator code")
 	save := flag.String("save", "", "write the synthesized translator artifact (JSON) to this file")
 	cacheDir := flag.String("cache", "", "translator cache directory: load cached artifacts instead of re-synthesizing, persist fresh ones")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "on-disk artifact budget with -cache: past it the least-recently-hit artifacts are GC'd (0: unbounded)")
+	warmMatrix := flag.Bool("warm-matrix", false, "synthesize the full version-pair matrix into -cache, nearest pairs first, then exit (Ctrl-C stops cleanly)")
 	serve := flag.Bool("serve", false, "run the translation daemon instead of a one-shot synthesis")
 	addr := flag.String("addr", ":8347", "daemon listen address (with -serve)")
 	maxBody := flag.Int64("max-body", service.DefaultMaxBodyBytes, "maximum /v1/translate request body in bytes, with -serve (negative disables)")
@@ -60,6 +62,10 @@ func main() {
 	if *serve {
 		runServe(*addr, *cacheDir, serveOpts{maxBody: *maxBody, traceLog: *traceLog, slow: *slow, pprof: *pprofOn,
 			drainTimeout: *drainTimeout, maxRetries: *maxRetries, shedQueue: *shedQueue})
+		return
+	}
+	if *warmMatrix {
+		runWarmMatrix(*cacheDir, *cacheMax)
 		return
 	}
 
@@ -83,6 +89,7 @@ func main() {
 	}
 
 	cache := service.NewCache(*cacheDir, 0, synth.Options{})
+	cache.SetMaxBytes(*cacheMax)
 	fmt.Println("No.  Pair          #Common  #New  #AtomicTrans(LOC)  #InstTrans(LOC)  Time")
 	for i, p := range pairs {
 		start := time.Now()
@@ -123,6 +130,34 @@ func main() {
 			fmt.Println("artifact written to", *save)
 		}
 	}
+}
+
+// runWarmMatrix pre-synthesizes every ordered version pair into the
+// cache, nearest (cheapest, most-likely-requested) pairs first — the
+// offline equivalent of sirod's -auto-warm. Interruption is clean: the
+// pairs already warmed stay persisted and a rerun skips them by cache
+// hit.
+func runWarmMatrix(cacheDir string, cacheMax int64) {
+	svc := service.New(service.Config{CacheDir: cacheDir, CacheMaxBytes: cacheMax})
+	defer svc.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	total := len(svc.MatrixPairs())
+	i := 0
+	start := time.Now()
+	n, err := svc.WarmMatrix(ctx, func(p version.Pair, perr error) {
+		i++
+		if perr != nil {
+			fmt.Printf("%3d/%d  %s->%s  FAILED: %v\n", i, total, p.Source, p.Target, perr)
+			return
+		}
+		fmt.Printf("%3d/%d  %s->%s  ok\n", i, total, p.Source, p.Target)
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "siro: warm-matrix stopped after %d pairs: %v\n", n, err)
+		os.Exit(failure.ExitCode(err))
+	}
+	fmt.Printf("warmed %d pairs in %v (cache %q)\n", n, time.Since(start).Round(time.Millisecond), cacheDir)
 }
 
 // serveOpts carries the daemon-only flags into runServe.

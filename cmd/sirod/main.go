@@ -14,6 +14,18 @@
 // pair share one synthesis, artifacts persist in the cache directory
 // across restarts, and pairs with no direct translator are served
 // through a differentially validated multi-hop route.
+//
+// Clustering spreads that "at most once" across machines. A daemon
+// started with -cluster-listen is the coordinator: cache misses are
+// placed onto registered workers by rendezvous hashing of the pair's
+// content address, and a pair any worker already holds is answered by
+// artifact fetch instead of re-synthesis. A daemon started with -join
+// is a worker: it serves its own API as usual and additionally pulls
+// synthesis jobs from the coordinator, sharing its artifact cache with
+// the fleet.
+//
+//	sirod -addr :8347 -cluster-listen :8348 -cache /var/cache/siro   # coordinator
+//	sirod -addr :8349 -join http://coord:8348 -cache /var/cache/w1   # worker
 package main
 
 import (
@@ -22,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -29,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/version"
@@ -37,11 +51,13 @@ import (
 func main() {
 	addr := flag.String("addr", ":8347", "listen address")
 	cacheDir := flag.String("cache", "", "translator artifact cache directory (empty: in-memory only)")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "on-disk artifact budget: past it the least-recently-hit artifacts are GC'd (0: unbounded)")
 	workers := flag.Int("workers", 4, "translation worker-pool size")
 	queue := flag.Int("queue", 64, "pending-job queue depth")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-job deadline (0 disables)")
 	maxHops := flag.Int("max-hops", 3, "maximum translator hops for multi-hop routing (1 disables routing)")
 	warm := flag.String("warm", "", "comma-separated src>tgt pairs to synthesize before serving, e.g. 12.0>3.6,17.0>3.6")
+	autoWarm := flag.Bool("auto-warm", false, "warm the full version-pair matrix in the background after startup, nearest pairs first (placed through the cluster when clustering is on)")
 	maxBody := flag.Int64("max-body", service.DefaultMaxBodyBytes, "maximum /v1/translate request body in bytes (negative disables the bound)")
 	traceLog := flag.String("trace-log", "", "append one JSON line per slow translate request to this file (see -slow)")
 	slow := flag.Duration("slow", time.Second, "requests at or above this wall time go to -trace-log (0 logs every request)")
@@ -54,14 +70,42 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "base open→half-open breaker cooldown (jittered, grows on failed probes)")
 	serveTrials := flag.Int("serve-validate", 0, "differential trials re-validating each direct translation before it is served; a diverging cached translator is quarantined and resynthesized (0 disables)")
 	degrade := flag.Bool("degrade", false, "serve partial translations instead of failing Unsupported while the queue is at least half full")
+	clusterListen := flag.String("cluster-listen", "", "run as cluster coordinator: listen address for the /cluster/v1 worker protocol")
+	join := flag.String("join", "", "run as cluster worker: the coordinator's base URL, e.g. http://coord:8348")
+	advertise := flag.String("advertise", "", "worker mode: address the coordinator can reach this daemon's listener at (default: -addr with 127.0.0.1 for an empty host)")
+	workerID := flag.String("cluster-id", "", "worker mode: stable identity anchoring rendezvous placement (default: the advertised address)")
+	replicas := flag.Int("cluster-replicas", 2, "coordinator mode: replicas probed for an existing artifact before a job is placed")
 	flag.Parse()
+
+	if *clusterListen != "" && *join != "" {
+		log.Fatalf("sirod: -cluster-listen and -join are mutually exclusive (a node is a coordinator or a worker, not both)")
+	}
+
+	var reg *obs.Registry
+	if !*noMetrics {
+		reg = obs.NewRegistry()
+	}
+
+	// The coordinator must exist before the service: it is the
+	// service's RemoteSynthesizer, consulted on every cache miss.
+	var coord *cluster.Coordinator
+	if *clusterListen != "" {
+		coord = cluster.NewCoordinator(cluster.CoordinatorConfig{
+			Replicas: *replicas,
+			Metrics:  reg,
+			Logf:     log.Printf,
+		})
+		defer coord.Close()
+	}
 
 	svc := service.New(service.Config{
 		CacheDir:             *cacheDir,
+		CacheMaxBytes:        *cacheMax,
 		Workers:              *workers,
 		QueueDepth:           *queue,
 		JobTimeout:           *timeout,
 		MaxHops:              *maxHops,
+		Metrics:              reg,
 		DisableMetrics:       *noMetrics,
 		MaxRetries:           *maxRetries,
 		ShedAt:               *shedQueue,
@@ -69,6 +113,7 @@ func main() {
 		BreakerCooldown:      *breakerCooldown,
 		ServeTrials:          *serveTrials,
 		DegradeUnderPressure: *degrade,
+		Remote:               remoteOrNil(coord),
 	})
 	defer svc.Close()
 
@@ -104,14 +149,76 @@ func main() {
 		}
 	}
 
-	server := &http.Server{Addr: *addr, Handler: service.NewHandler(svc, opts)}
+	handler := service.NewHandler(svc, opts)
+	var worker *cluster.Worker
+	if *join != "" {
+		w, err := cluster.NewWorker(cluster.WorkerConfig{
+			ID:          *workerID,
+			Coordinator: strings.TrimRight(*join, "/"),
+			Cache:       svc.Cache(),
+			Ready:       svc.Ready,
+			JobTimeout:  *timeout,
+			Logf:        log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("sirod: %v", err)
+		}
+		worker = w
+		// The worker's artifact endpoint rides the daemon's own listener;
+		// /healthz and /readyz are already served by the service handler
+		// with identical semantics.
+		mux := http.NewServeMux()
+		mux.Handle("/cluster/v1/artifact", w.Handler())
+		mux.Handle("/", handler)
+		handler = mux
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("sirod: listen %s: %v", *addr, err)
+	}
+	server := &http.Server{Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	errc := make(chan error, 1)
-	go func() { errc <- server.ListenAndServe() }()
+	errc := make(chan error, 2)
+	go func() { errc <- server.Serve(ln) }()
 	log.Printf("sirod: serving on %s (cache %q, %d workers, max %d hops)",
-		*addr, *cacheDir, *workers, *maxHops)
+		ln.Addr(), *cacheDir, *workers, *maxHops)
+
+	var clusterServer *http.Server
+	if coord != nil {
+		clusterServer = &http.Server{Addr: *clusterListen, Handler: coord.Handler()}
+		go func() { errc <- clusterServer.ListenAndServe() }()
+		log.Printf("sirod: coordinating cluster on %s (R=%d)", *clusterListen, *replicas)
+	}
+	workerDone := make(chan struct{})
+	if worker != nil {
+		adAddr := advertiseAddr(*advertise, ln.Addr())
+		go func() {
+			defer close(workerDone)
+			_ = worker.Run(ctx, adAddr)
+		}()
+		log.Printf("sirod: joined cluster %s as %s (advertising %s)", *join, firstNonEmpty(*workerID, adAddr), adAddr)
+	} else {
+		close(workerDone)
+	}
+
+	if *autoWarm {
+		go func() {
+			start := time.Now()
+			n, err := svc.WarmMatrix(ctx, func(p version.Pair, err error) {
+				if err != nil {
+					log.Printf("sirod: auto-warm %s->%s: %v", p.Source, p.Target, err)
+				}
+			})
+			if err != nil {
+				log.Printf("sirod: auto-warm stopped after %d pairs: %v", n, err)
+				return
+			}
+			log.Printf("sirod: auto-warm finished %d pairs in %v", n, time.Since(start).Round(time.Millisecond))
+		}()
+	}
 
 	select {
 	case err := <-errc:
@@ -122,11 +229,20 @@ func main() {
 		// Graceful drain: stop admitting (in-flight requests keep their
 		// workers; new ones get 503 + Retry-After while the listener is
 		// still up), flush the queue within the drain deadline, then
-		// close the HTTP server.
+		// close the HTTP servers. The cluster drains after the service —
+		// in-flight translate jobs may be waiting on cluster placements,
+		// and workers keep polling and completing until the job table is
+		// empty, so a drain strands nothing.
 		log.Printf("sirod: draining (deadline %v)", *drainTimeout)
+		<-workerDone // worker mode: leave the fleet before local drain
 		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		if err := svc.Drain(drainCtx); err != nil {
 			log.Printf("sirod: drain: %v", err)
+		}
+		if coord != nil {
+			if err := coord.Drain(drainCtx); err != nil {
+				log.Printf("sirod: cluster drain: %v", err)
+			}
 		}
 		cancel()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -134,10 +250,48 @@ func main() {
 		if err := server.Shutdown(shutdownCtx); err != nil {
 			log.Printf("sirod: shutdown: %v", err)
 		}
+		if clusterServer != nil {
+			if err := clusterServer.Shutdown(shutdownCtx); err != nil {
+				log.Printf("sirod: cluster shutdown: %v", err)
+			}
+		}
 		log.Printf("sirod: drained in %.3fs", svc.Stats().DrainSeconds)
 	}
 	st := svc.Stats()
 	fmt.Printf("sirod: served %d requests (%d completed, %d failed, %d multi-hop); cache: %d memory hits, %d disk hits, %d synthesized, %d deduplicated\n",
 		st.Requests, st.Completed, st.Failed, st.MultiHop,
 		st.Cache.MemoryHits, st.Cache.DiskHits, st.Cache.Synthesized, st.Cache.Deduplicated)
+}
+
+// remoteOrNil avoids storing a typed-nil *Coordinator in the interface.
+func remoteOrNil(c *cluster.Coordinator) service.RemoteSynthesizer {
+	if c == nil {
+		return nil
+	}
+	return c
+}
+
+// advertiseAddr derives the address the coordinator should reach this
+// worker's listener at: the -advertise flag verbatim, or the actual
+// listen address with unspecified hosts ("", "::", "0.0.0.0") rewritten
+// to loopback — the single-machine default the quick start uses.
+func advertiseAddr(flagVal string, actual net.Addr) string {
+	if flagVal != "" {
+		return flagVal
+	}
+	host, port, err := net.SplitHostPort(actual.String())
+	if err != nil {
+		return actual.String()
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
 }

@@ -1,0 +1,111 @@
+// Command siroworker is a dedicated Siro cluster worker: it joins a
+// coordinator, pulls synthesis jobs over the /cluster/v1 protocol,
+// synthesizes translators into its own content-addressed cache, and
+// serves the resulting artifacts to the fleet from its listener.
+//
+//	siroworker -coordinator http://coord:8348 -addr :8350 -cache /var/cache/w1
+//
+// It is the minimal fleet member — no translate API, just synthesis
+// capacity and artifact storage. A full daemon can join the same fleet
+// with `sirod -join`, serving traffic and contributing capacity at
+// once.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/service"
+	"repro/internal/synth"
+)
+
+func main() {
+	coordinator := flag.String("coordinator", "", "coordinator base URL, e.g. http://coord:8348 (required)")
+	addr := flag.String("addr", ":8350", "listen address for readiness probes and artifact fetches")
+	advertise := flag.String("advertise", "", "address the coordinator can reach this listener at (default: -addr with 127.0.0.1 for an empty host)")
+	id := flag.String("id", "", "stable worker identity anchoring rendezvous placement (default: the advertised address)")
+	cacheDir := flag.String("cache", "", "artifact cache directory (empty: in-memory only — artifacts do not survive restarts)")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "on-disk artifact budget: past it the least-recently-hit artifacts are GC'd (0: unbounded)")
+	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-synthesis deadline")
+	flag.Parse()
+
+	if *coordinator == "" {
+		log.Fatal("siroworker: -coordinator is required")
+	}
+
+	cache := service.NewCache(*cacheDir, 0, synth.Options{})
+	cache.SetMaxBytes(*cacheMax)
+	w, err := cluster.NewWorker(cluster.WorkerConfig{
+		ID:          *id,
+		Coordinator: strings.TrimRight(*coordinator, "/"),
+		Cache:       cache,
+		JobTimeout:  *jobTimeout,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("siroworker: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("siroworker: listen %s: %v", *addr, err)
+	}
+	server := &http.Server{Handler: w.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- server.Serve(ln) }()
+
+	adAddr := advertiseAddr(*advertise, ln.Addr())
+	log.Printf("siroworker: serving artifacts on %s, joining %s (cache %q)", ln.Addr(), *coordinator, *cacheDir)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = w.Run(ctx, adAddr)
+	}()
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("siroworker: %v", err)
+		}
+	case <-ctx.Done():
+		<-done // Run sends the graceful leave before returning
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := server.Shutdown(shutdownCtx); err != nil {
+			log.Printf("siroworker: shutdown: %v", err)
+		}
+	}
+	st := w.Stats()
+	log.Printf("siroworker: ran %d jobs (%d ok, %d failed, %d mismatched)",
+		st.JobsRun.Load(), st.JobsOK.Load(), st.JobsFailed.Load(), st.Mismatches.Load())
+}
+
+// advertiseAddr mirrors sirod's: the flag verbatim, or the listen
+// address with unspecified hosts rewritten to loopback.
+func advertiseAddr(flagVal string, actual net.Addr) string {
+	if flagVal != "" {
+		return flagVal
+	}
+	host, port, err := net.SplitHostPort(actual.String())
+	if err != nil {
+		return actual.String()
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
+}

@@ -1,0 +1,485 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/synth"
+	"repro/internal/translator"
+	"repro/internal/tvalid"
+	"repro/internal/typegraph"
+	"repro/internal/version"
+)
+
+// The in-process multi-node harness: one coordinator and a small worker
+// fleet over real localhost HTTP (httptest listeners), real synthesis,
+// real artifact persistence. Everything the wire protocol claims is
+// proved here under -race:
+//
+//   - one synthesis per pair fleet-wide, no matter how many requests race;
+//   - a pair synthesized anywhere is served to a cold peer by artifact
+//     fetch, never re-synthesized;
+//   - a worker killed mid-job has the job stolen by the next replica;
+//   - a coordinator drain leaves zero orphaned jobs.
+
+// fleetWorker is one harness worker with its own cache dir and listener.
+type fleetWorker struct {
+	w      *Worker
+	srv    *httptest.Server
+	cancel context.CancelFunc
+	done   chan struct{}
+	id     string
+}
+
+// fleet wires a coordinator and n workers together in-process.
+type fleet struct {
+	coord    *Coordinator
+	reg      *obs.Registry
+	workers  []*fleetWorker
+	synthFor sync.Map     // pair string -> *atomic.Int64 (fleet-wide synthesis count)
+	synth    atomic.Int64 // total fleet-wide synthesis calls
+}
+
+// testCoordConfig is tuned for test wall-clock: fast probes, fast
+// breakers, generous lease (so requeues in tests come from health
+// detection, not lease expiry).
+func testCoordConfig(reg *obs.Registry) CoordinatorConfig {
+	return CoordinatorConfig{
+		Replicas:      2,
+		Lease:         10 * time.Second,
+		PollWait:      200 * time.Millisecond,
+		ProbeInterval: 25 * time.Millisecond,
+		// Generous probe timeout: the harness saturates every core with
+		// real synthesis, and a busy-but-healthy worker must not get its
+		// breaker opened by a scheduler-starved readyz response.
+		ProbeTimeout:    time.Second,
+		ExpireAfter:     10 * time.Second,
+		MaxAttempts:     4,
+		BreakerFailures: 1,
+		BreakerCooldown: 100 * time.Millisecond,
+		Metrics:         reg,
+	}
+}
+
+// newFleet starts a coordinator and n workers. synthWrap, when set,
+// wraps each worker's counted synthesis function (index, inner) — the
+// seam the kill test uses to gate a job mid-flight.
+func newFleet(t *testing.T, n int, synthWrap func(i int, inner service.SynthFn) service.SynthFn) *fleet {
+	t.Helper()
+	fl := &fleet{reg: obs.NewRegistry()}
+	fl.coord = NewCoordinator(testCoordConfig(fl.reg))
+	coordSrv := httptest.NewServer(fl.coord.Handler())
+	t.Cleanup(coordSrv.Close)
+	t.Cleanup(fl.coord.Close)
+
+	for i := 0; i < n; i++ {
+		i := i
+		counted := func(pair version.Pair, opts synth.Options) (*synth.Result, error) {
+			fl.synth.Add(1)
+			c, _ := fl.synthFor.LoadOrStore(pair.String(), &atomic.Int64{})
+			c.(*atomic.Int64).Add(1)
+			return service.DefaultSynthFn(pair, opts)
+		}
+		fn := counted
+		if synthWrap != nil {
+			fn = synthWrap(i, counted)
+		}
+		w, err := NewWorker(WorkerConfig{
+			ID:          fmt.Sprintf("worker-%d", i),
+			Coordinator: coordSrv.URL,
+			Cache:       service.NewCache(t.TempDir(), 0, synth.Options{}),
+			SynthFn:     fn,
+			JobTimeout:  time.Minute,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(w.Handler())
+		ctx, cancel := context.WithCancel(context.Background())
+		fw := &fleetWorker{w: w, srv: srv, cancel: cancel, done: make(chan struct{}), id: fmt.Sprintf("worker-%d", i)}
+		go func() {
+			defer close(fw.done)
+			_ = w.Run(ctx, srv.Listener.Addr().String())
+		}()
+		fl.workers = append(fl.workers, fw)
+		t.Cleanup(func() { fl.stop(fw) })
+	}
+
+	waitFor(t, 10*time.Second, func() bool { return fl.coord.Stats().WorkersUp == n })
+	return fl
+}
+
+// stop cancels a worker's run loop and waits it out; idempotent.
+func (fl *fleet) stop(fw *fleetWorker) {
+	fw.cancel()
+	<-fw.done
+	fw.srv.Close()
+}
+
+// kill simulates a crash: the listener dies with the run loop, so
+// probes and fetches hit a dead port.
+func (fl *fleet) kill(i int) {
+	fw := fl.workers[i]
+	fw.srv.CloseClientConnections()
+	fw.srv.Close()
+	fw.cancel()
+}
+
+// jobsRun sums every worker's executed-job counter.
+func (fl *fleet) jobsRun() int64 {
+	var n int64
+	for _, fw := range fl.workers {
+		n += fw.w.Stats().JobsRun.Load()
+	}
+	return n
+}
+
+// metric reads one un-labeled counter/gauge sample from the fleet's
+// registry by scraping the exposition text.
+func (fl *fleet) metric(t *testing.T, name string) float64 {
+	t.Helper()
+	var sb strings.Builder
+	if err := fl.reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			var v float64
+			if _, err := fmt.Sscanf(rest, "%g", &v); err != nil {
+				t.Fatalf("parsing metric %s from %q: %v", name, line, err)
+			}
+			return v
+		}
+	}
+	return 0
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("condition not reached within %v", timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// One synthesis per pair fleet-wide: a service whose misses go through
+// the coordinator, hammered concurrently across several pairs, must
+// synthesize each pair exactly once across the whole fleet — and never
+// locally.
+func TestClusterOneSynthesisPerPairFleetWide(t *testing.T) {
+	fl := newFleet(t, 3, nil)
+
+	var localSynth atomic.Int64
+	svc := service.New(service.Config{
+		Workers: 8,
+		Remote:  fl.coord,
+		SynthFn: func(pair version.Pair, opts synth.Options) (*synth.Result, error) {
+			localSynth.Add(1)
+			return service.DefaultSynthFn(pair, opts)
+		},
+	})
+	defer svc.Close()
+
+	pairs := []version.Pair{
+		{Source: version.V12_0, Target: version.V3_6},
+		{Source: version.V13_0, Target: version.V3_6},
+		{Source: version.V12_0, Target: version.V3_7},
+	}
+	const clientsPerPair = 6
+	var wg sync.WaitGroup
+	for _, p := range pairs {
+		tests := corpus.Tests(p.Source)
+		for g := 0; g < clientsPerPair; g++ {
+			wg.Add(1)
+			go func(p version.Pair, g int) {
+				defer wg.Done()
+				tc := tests[g%len(tests)]
+				out, err := svc.Translate(context.Background(), p.Source, p.Target, tc.Module)
+				if err != nil {
+					t.Errorf("%s: %v", p, err)
+					return
+				}
+				if out.Ver != p.Target {
+					t.Errorf("%s: output version %v", p, out.Ver)
+				}
+			}(p, g)
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	if got := fl.synth.Load(); got != int64(len(pairs)) {
+		t.Errorf("fleet synthesized %d times for %d pairs, want exactly one each", got, len(pairs))
+	}
+	fl.synthFor.Range(func(k, v any) bool {
+		if n := v.(*atomic.Int64).Load(); n != 1 {
+			t.Errorf("pair %s synthesized %d times fleet-wide", k, n)
+		}
+		return true
+	})
+	if n := localSynth.Load(); n != 0 {
+		t.Errorf("coordinator node synthesized locally %d times; every miss should have been placed on the fleet", n)
+	}
+
+	// The artifacts that came back over the wire are real translators:
+	// differentially validate one against a local ground-truth synthesis.
+	p := pairs[0]
+	res, err := service.DefaultSynthFn(p, synth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := translator.FromResult(res)
+	tc := corpus.Tests(p.Source)[0]
+	want, err := direct.Translate(tc.Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := svc.Translate(context.Background(), p.Source, p.Target, tc.Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := tvalid.Validate(want, got, tvalid.Options{Trials: 4, Seed: 1}); !rep.OK() {
+		t.Fatalf("cluster-synthesized translator diverges from local ground truth: %s", rep)
+	}
+}
+
+// Artifact exchange: after the fleet synthesizes a pair once, a cold
+// node (fresh empty cache, same coordinator) asking for the same pair
+// is served by fetching the worker's artifact — the fleet-wide
+// synthesis count must not move.
+func TestClusterColdPeerServedByArtifactFetch(t *testing.T) {
+	fl := newFleet(t, 2, nil)
+	pair := version.Pair{Source: version.V12_0, Target: version.V3_6}
+
+	warm := service.New(service.Config{Workers: 2, Remote: fl.coord, CacheDir: t.TempDir()})
+	if err := warm.Warm(context.Background(), pair.Source, pair.Target); err != nil {
+		t.Fatal(err)
+	}
+	warm.Close()
+	if got := fl.synth.Load(); got != 1 {
+		t.Fatalf("warm synthesized %d times, want 1", got)
+	}
+
+	var localSynth atomic.Int64
+	cold := service.New(service.Config{
+		Workers:  2,
+		Remote:   fl.coord,
+		CacheDir: t.TempDir(), // fresh: nothing on disk, nothing in memory
+		SynthFn: func(pair version.Pair, opts synth.Options) (*synth.Result, error) {
+			localSynth.Add(1)
+			return service.DefaultSynthFn(pair, opts)
+		},
+	})
+	defer cold.Close()
+	tc := corpus.Tests(pair.Source)[0]
+	out, err := cold.Translate(context.Background(), pair.Source, pair.Target, tc.Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Ver != pair.Target {
+		t.Fatalf("output version %v", out.Ver)
+	}
+
+	if got := fl.synth.Load(); got != 1 {
+		t.Errorf("cold peer triggered re-synthesis: fleet count %d, want 1", got)
+	}
+	if got := localSynth.Load(); got != 0 {
+		t.Errorf("cold peer synthesized locally %d times, want 0 (artifact fetch)", got)
+	}
+	if got := fl.jobsRun(); got != 1 {
+		t.Errorf("workers ran %d jobs, want 1 (second request must not become a job)", got)
+	}
+	if got := fl.metric(t, "siro_cluster_artifact_fetches_total"); got < 1 {
+		t.Errorf("artifact fetch counter = %v, want >= 1", got)
+	}
+}
+
+// Worker killed mid-job: the job's lease must be stolen by the next
+// replica in the rendezvous order and complete there. The lease in the
+// test config is 10s and the test finishes far sooner, proving the
+// steal came from health detection (readyz probe → breaker open), not
+// lease expiry.
+func TestClusterWorkerKilledMidJobRequeues(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate) // release the hung synthesis goroutine at test end
+	started := make(chan int, 1)
+	var first atomic.Bool
+	fl := newFleet(t, 3, func(i int, inner service.SynthFn) service.SynthFn {
+		return func(pair version.Pair, opts synth.Options) (*synth.Result, error) {
+			if first.CompareAndSwap(false, true) {
+				started <- i
+				<-gate // hold the job until the harness kills this worker
+				return nil, errors.New("worker killed mid-job")
+			}
+			return inner(pair, opts)
+		}
+	})
+
+	pair := version.Pair{Source: version.V12_0, Target: version.V3_6}
+	key := synth.Fingerprint(pair.Source, pair.Target, synth.Options{})
+	type outcome struct {
+		res *synth.Result
+		err error
+	}
+	resc := make(chan outcome, 1)
+	go func() {
+		res, err := fl.coord.Synthesize(context.Background(), pair, key)
+		resc <- outcome{res, err}
+	}()
+
+	var victim int
+	select {
+	case victim = <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no worker started the job")
+	}
+	fl.kill(victim)
+
+	select {
+	case out := <-resc:
+		if out.err != nil {
+			t.Fatalf("job did not survive the worker kill: %v", out.err)
+		}
+		if out.res == nil || out.res.Pair != pair {
+			t.Fatalf("stolen job returned a wrong artifact: %+v", out.res)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("job never completed after the worker was killed")
+	}
+
+	if victimRuns := fl.workers[victim].w.Stats().JobsRun.Load(); victimRuns != 1 {
+		t.Errorf("victim ran %d jobs, want 1", victimRuns)
+	}
+	var survivors int64
+	for i, fw := range fl.workers {
+		if i != victim {
+			survivors += fw.w.Stats().JobsRun.Load()
+		}
+	}
+	if survivors != 1 {
+		t.Errorf("surviving workers ran %d jobs, want exactly 1 (the stolen one)", survivors)
+	}
+	if got := fl.metric(t, "siro_cluster_jobs_stolen_total"); got < 1 {
+		t.Errorf("jobs_stolen counter = %v, want >= 1", got)
+	}
+}
+
+// Drain: with jobs in flight, Drain must return only once the job table
+// is empty, every waiter must have an answer, and new placements must
+// be refused as unavailable (so the service falls back to local
+// synthesis instead of wedging).
+func TestClusterCoordinatorDrainZeroOrphans(t *testing.T) {
+	fl := newFleet(t, 3, func(i int, inner service.SynthFn) service.SynthFn {
+		return func(pair version.Pair, opts synth.Options) (*synth.Result, error) {
+			time.Sleep(50 * time.Millisecond) // keep jobs in flight while Drain starts
+			return inner(pair, opts)
+		}
+	})
+
+	pairs := []version.Pair{
+		{Source: version.V12_0, Target: version.V3_6},
+		{Source: version.V13_0, Target: version.V3_6},
+		{Source: version.V14_0, Target: version.V3_6},
+		{Source: version.V12_0, Target: version.V3_7},
+	}
+	type outcome struct {
+		pair version.Pair
+		res  *synth.Result
+		err  error
+	}
+	resc := make(chan outcome, len(pairs))
+	for _, p := range pairs {
+		go func(p version.Pair) {
+			key := synth.Fingerprint(p.Source, p.Target, synth.Options{})
+			res, err := fl.coord.Synthesize(context.Background(), p, key)
+			resc <- outcome{p, res, err}
+		}(p)
+	}
+	waitFor(t, 10*time.Second, func() bool { return fl.coord.Stats().JobsPending > 0 })
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := fl.coord.Drain(drainCtx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if st := fl.coord.Stats(); st.JobsPending != 0 || !st.Draining {
+		t.Fatalf("post-drain stats: %+v, want zero pending jobs", st)
+	}
+
+	// Every waiter got its answer — the in-flight jobs completed, none
+	// were orphaned.
+	for range pairs {
+		select {
+		case out := <-resc:
+			if out.err != nil {
+				t.Errorf("%s: job failed across drain: %v", out.pair, out.err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("a waiter is still parked after Drain returned: orphaned job")
+		}
+	}
+
+	// New placements are refused as unavailable: the service seam's
+	// local-fallback contract.
+	_, err := fl.coord.Synthesize(context.Background(),
+		version.Pair{Source: version.V17_0, Target: version.V3_6},
+		synth.Fingerprint(version.V17_0, version.V3_6, synth.Options{}))
+	if !errors.Is(err, service.ErrRemoteUnavailable) {
+		t.Fatalf("post-drain Synthesize error = %v, want ErrRemoteUnavailable", err)
+	}
+}
+
+// Registry skew: a worker whose synthesis options hash to a different
+// fingerprint must refuse the job (Mismatch), and with no agreeing
+// worker left the coordinator reports unavailable so the caller
+// synthesizes locally — skew degrades capacity, never correctness.
+func TestClusterFingerprintSkewRefusedAndUnavailable(t *testing.T) {
+	reg := obs.NewRegistry()
+	coord := NewCoordinator(testCoordConfig(reg))
+	defer coord.Close()
+	coordSrv := httptest.NewServer(coord.Handler())
+	defer coordSrv.Close()
+
+	skewed := synth.Options{Gen: typegraph.Options{MaxCandidates: 7}} // different fingerprint input
+	w, err := NewWorker(WorkerConfig{
+		ID:          "skewed-worker",
+		Coordinator: coordSrv.URL,
+		Cache:       service.NewCache(t.TempDir(), 0, skewed),
+		Opts:        skewed,
+		JobTimeout:  time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); _ = w.Run(ctx, srv.Listener.Addr().String()) }()
+	defer func() { cancel(); <-done }()
+	waitFor(t, 10*time.Second, func() bool { return coord.Stats().WorkersUp == 1 })
+
+	pair := version.Pair{Source: version.V12_0, Target: version.V3_6}
+	_, err = coord.Synthesize(context.Background(), pair, synth.Fingerprint(pair.Source, pair.Target, synth.Options{}))
+	if !errors.Is(err, service.ErrRemoteUnavailable) {
+		t.Fatalf("skewed-fleet Synthesize error = %v, want ErrRemoteUnavailable (local fallback)", err)
+	}
+	if n := w.Stats().Mismatches.Load(); n < 1 {
+		t.Errorf("worker mismatch counter = %d, want >= 1", n)
+	}
+}

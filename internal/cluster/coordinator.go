@@ -1,0 +1,893 @@
+// Package cluster spreads translator synthesis across a fleet and
+// shares the results. Synthesis is the system's cost center — producing
+// a translator is orders of magnitude slower than serving one from
+// cache — and the work is embarrassingly parallel across version pairs,
+// so the deployment shape is a coordinator embedded in the serving
+// daemon plus any number of workers: the coordinator places each cache
+// miss onto workers by rendezvous hashing of the pair's content address
+// (synth.Fingerprint), workers pull jobs over an HTTP JSON protocol and
+// return byte-deterministic synth.Export artifacts, and a miss first
+// consults the replicas already holding the fingerprint — an artifact
+// fetch, not a re-synthesis — so any pair synthesized anywhere is
+// served everywhere.
+//
+// Trust follows the content address: every artifact that crosses a node
+// boundary is verified against its embedded registry fingerprint
+// (synth.Import) before it may enter a cache, so a skewed or corrupted
+// worker cannot poison the fleet. Worker health rides the same
+// resilience primitives as version-pair synthesis: each worker has a
+// circuit breaker advanced by /readyz heartbeat probes, a flapping
+// worker's breaker heals after its cooldown, and a dead worker's leased
+// jobs requeue onto the next replica in the rendezvous order. When the
+// whole fleet is unreachable the coordinator reports
+// service.ErrRemoteUnavailable and the local node synthesizes for
+// itself — the cluster accelerates the service, it never wedges it.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/service"
+	"repro/internal/synth"
+	"repro/internal/version"
+)
+
+// CoordinatorConfig tunes a Coordinator. The zero value is usable.
+type CoordinatorConfig struct {
+	// Replicas is R, how many top-ranked workers are expected to hold a
+	// key's artifact and are probed on a miss (default 2).
+	Replicas int
+	// Lease bounds how long a worker may hold a job before it is
+	// requeued onto the next replica (default 2m — a synthesis can be
+	// slow; a stale lease's late artifact still wins if it lands first).
+	Lease time.Duration
+	// PollWait caps the server-side long-poll (default 5s).
+	PollWait time.Duration
+	// ProbeInterval is the /readyz heartbeat-probe cadence per worker
+	// (default 2s). ProbeTimeout bounds one probe (default 1s).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// ExpireAfter removes a worker that has neither polled nor answered
+	// a probe for this long (default 30s).
+	ExpireAfter time.Duration
+	// MaxAttempts is how many placements a job gets before the
+	// coordinator gives up and lets the waiter synthesize locally
+	// (default 3).
+	MaxAttempts int
+	// BreakerFailures / BreakerCooldown tune the per-worker health
+	// breakers (defaults 2 consecutive probe or RPC failures, 5s
+	// cooldown with the usual jitter and growth).
+	BreakerFailures int
+	BreakerCooldown time.Duration
+	// Opts are the synthesis options the fleet's fingerprints are
+	// computed under; they must match the attached service's.
+	Opts synth.Options
+	// Metrics registers the cluster instruments (worker_up,
+	// jobs_assigned, jobs_stolen, artifact_fetches, fetch_bytes,
+	// placements) into this registry; nil disables them.
+	Metrics *obs.Registry
+	// Client performs worker-bound HTTP (probes, artifact fetches).
+	Client *http.Client
+	// Logf, when set, receives operational one-liners.
+	Logf func(format string, args ...any)
+}
+
+func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.Lease <= 0 {
+		c.Lease = 2 * time.Minute
+	}
+	if c.PollWait <= 0 {
+		c.PollWait = 5 * time.Second
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.ExpireAfter <= 0 {
+		c.ExpireAfter = 30 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = 2
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return c
+}
+
+// jobState is a job's position in its lifecycle.
+type jobState int
+
+const (
+	jobQueued jobState = iota // waiting for its target worker to poll
+	jobLeased                 // a worker is synthesizing it
+	jobDone                   // res/err published, removed from the tables
+)
+
+// clusterJob is one fleet-wide synthesis. Concurrent misses for the
+// same key share one job — the cluster-level singleflight that makes
+// "one synthesis per pair fleet-wide" hold even across the local
+// cache's own deduplication.
+type clusterJob struct {
+	id       string
+	pair     version.Pair
+	key      string
+	state    jobState
+	target   string // worker the job is queued for / leased to
+	attempts int
+	lease    time.Time // leased: requeue deadline
+
+	done chan struct{} // closed at publication; res/err immutable after
+	res  *synth.Result
+	err  error
+}
+
+// workerState is the coordinator's view of one worker. Guarded by the
+// coordinator lock.
+type workerState struct {
+	id        string
+	addr      string
+	lastSeen  time.Time
+	lastProbe time.Time
+	probing   bool // a probe goroutine is in flight
+	leased    map[string]*clusterJob
+	completed int64
+}
+
+// Coordinator is the cluster brain embedded in the serving daemon. It
+// implements service.RemoteSynthesizer: the service's synthesis choke
+// point calls Synthesize on a cache miss, and the coordinator answers
+// with a peer's artifact or a worker's fresh synthesis. All methods are
+// safe for concurrent use.
+type Coordinator struct {
+	cfg      CoordinatorConfig
+	met      clusterMetrics
+	breakers *resilience.Set // per-worker health
+
+	mu       sync.Mutex
+	workers  map[string]*workerState
+	jobs     map[string]*clusterJob // by key
+	byID     map[string]*clusterJob
+	pulse    chan struct{} // closed+replaced when queued work appears
+	seq      int64
+	draining bool
+
+	stop     chan struct{} // stops the janitor
+	stopOnce sync.Once
+	janitor  sync.WaitGroup
+}
+
+// NewCoordinator builds and starts a coordinator; Close (or Drain then
+// Close) releases its janitor.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:     cfg,
+		met:     newClusterMetrics(cfg.Metrics),
+		workers: map[string]*workerState{},
+		jobs:    map[string]*clusterJob{},
+		byID:    map[string]*clusterJob{},
+		pulse:   make(chan struct{}),
+		stop:    make(chan struct{}),
+	}
+	c.breakers = resilience.NewBreakerSet(resilience.BreakerConfig{
+		Failures: cfg.BreakerFailures,
+		Cooldown: cfg.BreakerCooldown,
+	})
+	c.janitor.Add(1)
+	go c.janitorLoop()
+	return c
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// unavailable builds an infrastructure error the service answers with
+// local synthesis.
+func unavailable(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, service.ErrRemoteUnavailable)...)
+}
+
+// Synthesize implements service.RemoteSynthesizer: resolve the pair
+// through the fleet. The placement order is the point — replicas
+// already holding the artifact are asked first (a fetch costs
+// milliseconds where a synthesis costs seconds), and only then is a job
+// queued for the top-ranked live worker.
+func (c *Coordinator) Synthesize(ctx context.Context, pair version.Pair, key string) (*synth.Result, error) {
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		c.met.placed(placeDrain)
+		return nil, unavailable("cluster: coordinator draining")
+	}
+	if j, ok := c.jobs[key]; ok {
+		c.mu.Unlock()
+		return c.await(ctx, j)
+	}
+	ranked := c.rankedAliveLocked(key)
+	c.mu.Unlock()
+	if len(ranked) == 0 {
+		c.met.placed(placeNone)
+		return nil, unavailable("cluster: no live workers for %s", pair)
+	}
+
+	// 1) Artifact exchange: ask the R replicas whether one of them
+	// already holds the fingerprint.
+	replicas := ranked
+	if len(replicas) > c.cfg.Replicas {
+		replicas = replicas[:c.cfg.Replicas]
+	}
+	for _, w := range replicas {
+		res, n, err := c.fetchArtifact(ctx, w, pair, key)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, failure.FromContext(ctx.Err())
+			}
+			continue // a miss or a sick replica; placement decides next
+		}
+		c.met.artifactFetches.Inc()
+		c.met.fetchBytes.Add(n)
+		c.met.placed(placeFetch)
+		return res, nil
+	}
+
+	// 2) No replica holds it: queue a synthesis job for the top-ranked
+	// live worker (re-checking the job table — another miss may have
+	// queued it while we probed).
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		c.met.placed(placeDrain)
+		return nil, unavailable("cluster: coordinator draining")
+	}
+	j, ok := c.jobs[key]
+	if !ok {
+		ranked = c.rankedAliveLocked(key)
+		if len(ranked) == 0 {
+			c.mu.Unlock()
+			c.met.placed(placeNone)
+			return nil, unavailable("cluster: no live workers for %s", pair)
+		}
+		c.seq++
+		j = &clusterJob{
+			id:     fmt.Sprintf("job-%d", c.seq),
+			pair:   pair,
+			key:    key,
+			state:  jobQueued,
+			target: ranked[0],
+			done:   make(chan struct{}),
+		}
+		c.jobs[key] = j
+		c.byID[j.id] = j
+		c.firePulseLocked()
+		c.met.placed(placeAssigned)
+	}
+	c.mu.Unlock()
+	return c.await(ctx, j)
+}
+
+// await parks a waiter on a job. The context bounds only the wait: an
+// abandoned job still completes into its worker's cache, where the next
+// miss finds it by artifact fetch (work conservation, mirroring the
+// local cache's detached singleflight leader).
+func (c *Coordinator) await(ctx context.Context, j *clusterJob) (*synth.Result, error) {
+	select {
+	case <-j.done:
+		return j.res, j.err
+	case <-ctx.Done():
+		return nil, failure.FromContext(ctx.Err())
+	}
+}
+
+// fetchArtifact asks one worker for the pair's artifact and verifies
+// the embedded fingerprint before anything is returned. Transport
+// failures advance the worker's breaker; a plain miss (404) or a skew
+// refusal (409) does not — not holding a usable artifact is not a
+// health symptom.
+func (c *Coordinator) fetchArtifact(ctx context.Context, workerID string, pair version.Pair, key string) (*synth.Result, int64, error) {
+	c.mu.Lock()
+	w, ok := c.workers[workerID]
+	var addr string
+	if ok {
+		addr = w.addr
+	}
+	c.mu.Unlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("cluster: worker %s gone", workerID)
+	}
+	u := fmt.Sprintf("http://%s/cluster/v1/artifact?source=%s&target=%s&key=%s",
+		addr, url.QueryEscape(pair.Source.String()), url.QueryEscape(pair.Target.String()), url.QueryEscape(key))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		c.workerFault(workerID, err)
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusConflict {
+		// 404 is a plain miss; 409 is fingerprint skew. Neither is a
+		// worker-health symptom — placement (and the Mismatch path) will
+		// sort the skewed worker out loudly.
+		io.Copy(io.Discard, resp.Body)
+		return nil, 0, fmt.Errorf("cluster: %s has no usable artifact for %s (HTTP %d)", workerID, pair, resp.StatusCode)
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		err := fmt.Errorf("cluster: artifact fetch from %s: HTTP %d", workerID, resp.StatusCode)
+		c.workerFault(workerID, err)
+		return nil, 0, err
+	}
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, maxArtifactBytes+1))
+	if err != nil {
+		c.workerFault(workerID, err)
+		return nil, 0, err
+	}
+	if int64(len(blob)) > maxArtifactBytes {
+		err := fmt.Errorf("cluster: artifact from %s exceeds %d bytes", workerID, int64(maxArtifactBytes))
+		c.workerFault(workerID, err)
+		return nil, 0, err
+	}
+	// Ingest check: the artifact must carry the fingerprint we asked
+	// for, or it never enters a cache. Import re-materializes against
+	// the local candidate space, so a lying peer cannot smuggle a
+	// translator the local registry would not produce.
+	res, err := synth.Import(blob, c.cfg.Opts)
+	if err != nil {
+		c.workerFault(workerID, err)
+		return nil, 0, fmt.Errorf("cluster: artifact from %s failed ingest verification: %w", workerID, err)
+	}
+	return res, int64(len(blob)), nil
+}
+
+// maxArtifactBytes bounds one artifact transfer (64 MiB — two orders of
+// magnitude above any real artifact, small enough to stop a garbage
+// stream).
+const maxArtifactBytes = 64 << 20
+
+// workerFault advances a worker's health breaker and, if that opened
+// it, requeues everything placed on the worker.
+func (c *Coordinator) workerFault(workerID string, err error) {
+	c.breakers.Fail(workerID, err)
+	if c.breakers.State(workerID) == resilience.StateOpen {
+		c.mu.Lock()
+		c.requeueWorkerJobsLocked(workerID, "breaker open")
+		c.mu.Unlock()
+	}
+}
+
+// rankedAliveLocked is the placement order for a key: live workers
+// (recently seen, breaker closed) in rendezvous-hash rank. Caller holds
+// the lock.
+func (c *Coordinator) rankedAliveLocked(key string) []string {
+	ids := make([]string, 0, len(c.workers))
+	cutoff := time.Now().Add(-c.cfg.ExpireAfter)
+	for id, w := range c.workers {
+		if w.lastSeen.After(cutoff) && c.breakers.State(id) == resilience.StateClosed {
+			ids = append(ids, id)
+		}
+	}
+	return Rank(key, ids)
+}
+
+// firePulseLocked wakes every parked long-poll so queued work is picked
+// up immediately. Caller holds the lock.
+func (c *Coordinator) firePulseLocked() {
+	close(c.pulse)
+	c.pulse = make(chan struct{})
+}
+
+// publishLocked finishes a job: result or error becomes immutable,
+// every waiter wakes, and the job leaves the tables. Caller holds the
+// lock.
+func (c *Coordinator) publishLocked(j *clusterJob, res *synth.Result, err error) {
+	if j.state == jobDone {
+		return
+	}
+	j.state = jobDone
+	j.res, j.err = res, err
+	delete(c.jobs, j.key)
+	delete(c.byID, j.id)
+	if w, ok := c.workers[j.target]; ok {
+		delete(w.leased, j.id)
+	}
+	if err == nil {
+		c.met.jobsCompleted.Inc()
+	} else {
+		c.met.jobsFailed.Inc()
+	}
+	close(j.done)
+}
+
+// requeueLocked moves a job back to the queue, retargeted at the next
+// live replica. A job that exhausts its attempts (or the fleet) is
+// failed as unavailable so its waiters synthesize locally instead of
+// hanging. Caller holds the lock.
+func (c *Coordinator) requeueLocked(j *clusterJob, reason string) {
+	if j.state == jobDone {
+		return
+	}
+	prev := j.target
+	if w, ok := c.workers[prev]; ok {
+		delete(w.leased, j.id)
+	}
+	j.attempts++
+	if j.attempts >= c.cfg.MaxAttempts {
+		c.publishLocked(j, nil, unavailable("cluster: job for %s gave up after %d placements (last worker %s: %s)",
+			j.pair, j.attempts, prev, reason))
+		return
+	}
+	ranked := c.rankedAliveLocked(j.key)
+	// Prefer a worker other than the one that just failed us.
+	target := ""
+	for _, id := range ranked {
+		if id != prev {
+			target = id
+			break
+		}
+	}
+	if target == "" {
+		if len(ranked) == 0 {
+			c.publishLocked(j, nil, unavailable("cluster: no live workers left for %s (%s)", j.pair, reason))
+			return
+		}
+		target = ranked[0] // the failed worker is the only one left; retry it
+	}
+	c.logf("cluster: requeue %s (%s) %s -> %s: %s", j.id, j.pair, prev, target, reason)
+	j.state = jobQueued
+	j.target = target
+	j.lease = time.Time{}
+	c.met.jobsStolen.Inc()
+	c.firePulseLocked()
+}
+
+// requeueWorkerJobsLocked requeues every job queued for or leased to a
+// worker. Caller holds the lock.
+func (c *Coordinator) requeueWorkerJobsLocked(workerID, reason string) {
+	for _, j := range c.byID {
+		if j.target == workerID && j.state != jobDone {
+			c.requeueLocked(j, reason)
+		}
+	}
+}
+
+// janitorLoop is the background sweep: expired leases requeue, silent
+// workers expire, and due workers get a /readyz probe.
+func (c *Coordinator) janitorLoop() {
+	defer c.janitor.Done()
+	interval := c.cfg.ProbeInterval / 4
+	if lease := c.cfg.Lease / 4; lease < interval {
+		interval = lease
+	}
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			c.sweep()
+		}
+	}
+}
+
+// sweep runs one janitor pass.
+func (c *Coordinator) sweep() {
+	now := time.Now()
+	var probes []*workerState
+	c.mu.Lock()
+	for id, w := range c.workers {
+		if now.Sub(w.lastSeen) > c.cfg.ExpireAfter {
+			c.logf("cluster: expiring silent worker %s", id)
+			c.requeueWorkerJobsLocked(id, "worker expired")
+			delete(c.workers, id)
+			continue
+		}
+		if !w.probing && now.Sub(w.lastProbe) >= c.cfg.ProbeInterval {
+			w.probing = true
+			w.lastProbe = now
+			probes = append(probes, w)
+		}
+	}
+	for _, j := range c.byID {
+		switch {
+		case j.state == jobLeased && now.After(j.lease):
+			c.requeueLocked(j, "lease expired")
+		case j.state == jobQueued:
+			// A queued job whose target went unhealthy must not wait for
+			// the worker to poll again.
+			if _, ok := c.workers[j.target]; !ok || c.breakers.State(j.target) != resilience.StateClosed {
+				c.requeueLocked(j, "target unhealthy")
+			}
+		}
+	}
+	c.met.workersUp.Set(int64(c.upLocked()))
+	c.mu.Unlock()
+
+	for _, w := range probes {
+		go c.probe(w)
+	}
+}
+
+// upLocked counts placeable workers. Caller holds the lock.
+func (c *Coordinator) upLocked() int {
+	n := 0
+	cutoff := time.Now().Add(-c.cfg.ExpireAfter)
+	for id, w := range c.workers {
+		if w.lastSeen.After(cutoff) && c.breakers.State(id) == resilience.StateClosed {
+			n++
+		}
+	}
+	return n
+}
+
+// probe is the cluster heartbeat: GET /readyz on the worker's own
+// listener. Readiness — not liveness — is deliberately the probe: a
+// draining or saturated worker answers healthz 200 but readyz 503, and
+// must shed placement either way. The outcome drives the worker's
+// breaker, whose half-open cycle is what lets a flapping worker heal.
+func (c *Coordinator) probe(w *workerState) {
+	defer func() {
+		c.mu.Lock()
+		w.probing = false
+		c.mu.Unlock()
+	}()
+	if err := c.breakers.Allow(w.id); err != nil {
+		return // open and not yet due a half-open probe
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+w.addr+"/readyz", nil)
+	if err != nil {
+		c.breakers.Fail(w.id, err)
+		return
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			c.breakers.Succeed(w.id)
+			c.mu.Lock()
+			w.lastSeen = time.Now()
+			c.mu.Unlock()
+			return
+		}
+		err = fmt.Errorf("cluster: %s not ready: HTTP %d", w.id, resp.StatusCode)
+	}
+	c.logf("cluster: probe %s failed: %v", w.id, err)
+	c.workerFault(w.id, err)
+}
+
+// Drain stops placing new work and waits until the job table is empty —
+// every queued or leased job either completes (workers keep polling and
+// completing during a drain) or is failed to its waiter. On deadline
+// expiry the stragglers are failed as unavailable, so a drain NEVER
+// leaves an orphaned job: the table is empty and every waiter has an
+// answer either way.
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		c.mu.Lock()
+		n := len(c.byID)
+		c.mu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			c.mu.Lock()
+			for _, j := range c.byID {
+				c.publishLocked(j, nil, unavailable("cluster: coordinator drained before %s completed", j.pair))
+			}
+			c.mu.Unlock()
+			return fmt.Errorf("cluster: drain deadline expired with %d jobs failed over to local synthesis: %w", n, failure.FromContext(ctx.Err()))
+		case <-ticker.C:
+		}
+	}
+}
+
+// Close drains with no deadline and stops the janitor.
+func (c *Coordinator) Close() {
+	_ = c.Drain(context.Background())
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.janitor.Wait()
+}
+
+// Stats is a point-in-time cluster snapshot for /v1/stats and tests.
+type Stats struct {
+	WorkersRegistered int          `json:"workers_registered"`
+	WorkersUp         int          `json:"workers_up"`
+	JobsPending       int          `json:"jobs_pending"`
+	Draining          bool         `json:"draining"`
+	Workers           []WorkerInfo `json:"workers,omitempty"`
+}
+
+// Stats snapshots the fleet.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		WorkersRegistered: len(c.workers),
+		WorkersUp:         c.upLocked(),
+		JobsPending:       len(c.byID),
+		Draining:          c.draining,
+	}
+	for id, w := range c.workers {
+		st.Workers = append(st.Workers, WorkerInfo{
+			ID:        id,
+			Addr:      w.addr,
+			Breaker:   c.breakers.State(id).String(),
+			Jobs:      len(w.leased),
+			LastSeen:  w.lastSeen.Format(time.RFC3339Nano),
+			Completed: w.completed,
+		})
+	}
+	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].ID < st.Workers[j].ID })
+	return st
+}
+
+// ---- HTTP surface ----------------------------------------------------
+
+// Handler returns the coordinator's /cluster/v1/* surface, mounted by
+// the daemon next to the service API. Cluster RPCs obey the same
+// admission discipline as translate traffic: a draining coordinator
+// refuses new registrations with 503 + Retry-After (completes and polls
+// for already-placed jobs still flow — drain must flush, not strand).
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster/v1/register", post(c.handleRegister))
+	mux.HandleFunc("/cluster/v1/poll", post(c.handlePoll))
+	mux.HandleFunc("/cluster/v1/complete", post(c.handleComplete))
+	mux.HandleFunc("/cluster/v1/leave", post(c.handleLeave))
+	mux.HandleFunc("/cluster/v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "use GET"})
+			return
+		}
+		writeJSON(w, http.StatusOK, c.Stats())
+	})
+	return mux
+}
+
+// post wraps a handler with the uniform 405 discipline of the service
+// API.
+func post(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "use POST"})
+			return
+		}
+		h(w, r)
+	}
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil || req.ID == "" || req.Addr == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "register wants {id, addr}"})
+		return
+	}
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "coordinator draining"})
+		return
+	}
+	ws, ok := c.workers[req.ID]
+	if !ok {
+		ws = &workerState{id: req.ID, leased: map[string]*clusterJob{}}
+		c.workers[req.ID] = ws
+	}
+	ws.addr = req.Addr
+	ws.lastSeen = time.Now()
+	c.mu.Unlock()
+	// A re-registering worker is announcing it is back: give it a clean
+	// bill of health instead of waiting out a stale cooldown.
+	c.breakers.Succeed(req.ID)
+	c.logf("cluster: worker %s registered at %s", req.ID, req.Addr)
+	writeJSON(w, http.StatusOK, RegisterResponse{
+		OK:      true,
+		PollMS:  c.cfg.PollWait.Milliseconds(),
+		LeaseMS: c.cfg.Lease.Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
+	var req PollRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil || req.ID == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "poll wants {id}"})
+		return
+	}
+	wait := time.Duration(req.WaitMS) * time.Millisecond
+	if wait <= 0 || wait > c.cfg.PollWait {
+		wait = c.cfg.PollWait
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		c.mu.Lock()
+		ws, ok := c.workers[req.ID]
+		if !ok {
+			c.mu.Unlock()
+			// Unknown worker (coordinator restarted, or it expired):
+			// tell it to re-register rather than silently idling it.
+			writeJSON(w, http.StatusConflict, map[string]string{"error": "unregistered; register again"})
+			return
+		}
+		ws.lastSeen = time.Now()
+		if j := c.queuedForLocked(req.ID); j != nil {
+			j.state = jobLeased
+			j.lease = time.Now().Add(c.cfg.Lease)
+			ws.leased[j.id] = j
+			c.met.jobsAssigned.Inc()
+			resp := PollResponse{Job: &Job{
+				ID: j.id, Source: j.pair.Source.String(), Target: j.pair.Target.String(), Key: j.key,
+			}}
+			c.mu.Unlock()
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		pulse := c.pulse
+		c.mu.Unlock()
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			writeJSON(w, http.StatusOK, PollResponse{})
+			return
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case <-pulse:
+		case <-timer.C:
+		case <-r.Context().Done():
+			timer.Stop()
+			return
+		}
+		timer.Stop()
+	}
+}
+
+// queuedForLocked finds a queued job targeted at the worker. Caller
+// holds the lock.
+func (c *Coordinator) queuedForLocked(workerID string) *clusterJob {
+	var pick *clusterJob
+	for _, j := range c.byID {
+		if j.state == jobQueued && j.target == workerID {
+			if pick == nil || j.id < pick.id {
+				pick = j // deterministic order, oldest job first
+			}
+		}
+	}
+	return pick
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxArtifactBytes+1<<20)).Decode(&req); err != nil || req.ID == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "complete wants {id, worker_id, artifact|error}"})
+		return
+	}
+	c.mu.Lock()
+	j, ok := c.byID[req.ID]
+	if !ok || j.state == jobDone {
+		// The job finished elsewhere (stolen lease that completed, or a
+		// drain failed it). Acknowledge: the worker's artifact is still
+		// in its cache, reachable by fetch.
+		c.mu.Unlock()
+		writeJSON(w, http.StatusOK, CompleteResponse{OK: true})
+		return
+	}
+	c.mu.Unlock()
+
+	switch {
+	case len(req.Artifact) > 0:
+		// Ingest verification outside the lock — Import re-materializes
+		// the candidate space, which is CPU work.
+		res, err := synth.Import(req.Artifact, c.cfg.Opts)
+		c.mu.Lock()
+		if j.state == jobDone {
+			c.mu.Unlock()
+			break
+		}
+		if err != nil {
+			// The worker produced an artifact the local registry refuses:
+			// skew or corruption. That is a worker symptom, not a pair
+			// verdict — requeue, and let the breaker judge the worker.
+			c.requeueLocked(j, fmt.Sprintf("artifact from %s failed ingest verification: %v", req.WorkerID, err))
+			c.mu.Unlock()
+			c.workerFault(req.WorkerID, err)
+			break
+		}
+		if ws, ok := c.workers[req.WorkerID]; ok {
+			ws.completed++
+			ws.lastSeen = time.Now()
+		}
+		c.met.fetchBytes.Add(int64(len(req.Artifact)))
+		c.publishLocked(j, res, nil)
+		c.mu.Unlock()
+		c.breakers.Succeed(req.WorkerID)
+	case req.Mismatch:
+		c.mu.Lock()
+		c.requeueLocked(j, fmt.Sprintf("worker %s reports fingerprint mismatch (registry skew)", req.WorkerID))
+		c.mu.Unlock()
+	default:
+		// A classified synthesis failure is a verdict about the pair:
+		// every fleet node searches the same space, so the next replica
+		// would fail identically. Fail the job; the waiter's breaker and
+		// router take it from here.
+		class := classByName(req.Class)
+		err := failure.Wrapf(failure.Synthesis, "cluster: worker %s synthesizing %s: %s", req.WorkerID, j.pair, req.Error)
+		if class != nil {
+			err = failure.Wrapf(class, "cluster: worker %s synthesizing %s: %s", req.WorkerID, j.pair, req.Error)
+		}
+		c.mu.Lock()
+		c.publishLocked(j, nil, err)
+		c.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, CompleteResponse{OK: true})
+}
+
+func (c *Coordinator) handleLeave(w http.ResponseWriter, r *http.Request) {
+	var req LeaveRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil || req.ID == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "leave wants {id}"})
+		return
+	}
+	c.mu.Lock()
+	if _, ok := c.workers[req.ID]; ok {
+		c.requeueWorkerJobsLocked(req.ID, "worker left")
+		delete(c.workers, req.ID)
+	}
+	c.mu.Unlock()
+	c.logf("cluster: worker %s left", req.ID)
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// classByName maps a wire class name back to the shared taxonomy.
+func classByName(name string) *failure.Class {
+	for _, cl := range []*failure.Class{failure.Parse, failure.Synthesis, failure.Validation, failure.Budget, failure.Unsupported} {
+		if cl.Error() == name {
+			return cl
+		}
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"repro/internal/obs"
+)
+
+// clusterMetrics pre-binds the coordinator's instruments. The zero
+// value (all nil) is inert — obs instruments are nil-safe — so a
+// coordinator built without a registry costs nothing on the hot path.
+type clusterMetrics struct {
+	workersUp       *obs.Gauge   // registered workers with a closed breaker
+	jobsAssigned    *obs.Counter // jobs leased to a worker
+	jobsStolen      *obs.Counter // jobs requeued onto the next replica
+	jobsCompleted   *obs.Counter
+	jobsFailed      *obs.Counter
+	artifactFetches *obs.Counter // misses served by peer artifact fetch, no synthesis
+	fetchBytes      *obs.Counter // artifact bytes moved between nodes
+	placements      map[string]*obs.Counter
+}
+
+// The placement outcomes of one coordinator-side miss.
+const (
+	placeFetch    = "fetch"      // a replica already held the artifact
+	placeAssigned = "assigned"   // a worker synthesized it
+	placeNone     = "no_workers" // no live worker; the service synthesizes locally
+	placeDrain    = "draining"   // coordinator drain refused the job
+)
+
+func newClusterMetrics(reg *obs.Registry) clusterMetrics {
+	if reg == nil {
+		return clusterMetrics{}
+	}
+	m := clusterMetrics{
+		workersUp:       reg.Gauge("siro_cluster_workers_up", "Registered workers currently placeable (breaker closed, recently seen)."),
+		jobsAssigned:    reg.Counter("siro_cluster_jobs_assigned_total", "Synthesis jobs leased to workers."),
+		jobsStolen:      reg.Counter("siro_cluster_jobs_stolen_total", "Jobs requeued onto the next replica after a lease expiry or worker failure."),
+		jobsCompleted:   reg.Counter("siro_cluster_jobs_total", "Cluster jobs by outcome.", "outcome", "completed"),
+		jobsFailed:      reg.Counter("siro_cluster_jobs_total", "Cluster jobs by outcome.", "outcome", "failed"),
+		artifactFetches: reg.Counter("siro_cluster_artifact_fetches_total", "Cache misses served by fetching a peer's artifact instead of synthesizing."),
+		fetchBytes:      reg.Counter("siro_cluster_fetch_bytes_total", "Artifact bytes transferred from workers to the coordinator."),
+		placements:      map[string]*obs.Counter{},
+	}
+	const help = "Coordinator placement decisions by outcome."
+	for _, o := range []string{placeFetch, placeAssigned, placeNone, placeDrain} {
+		m.placements[o] = reg.Counter("siro_cluster_placements_total", help, "outcome", o)
+	}
+	return m
+}
+
+func (m clusterMetrics) placed(outcome string) {
+	if c, ok := m.placements[outcome]; ok {
+		c.Inc()
+	}
+}

@@ -1,0 +1,41 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Rendezvous (highest-random-weight) placement: each artifact key is
+// served by the R workers with the highest hash(key, workerID) scores.
+// HRW is what makes the fleet's cache topology self-healing with no
+// coordination state: every node computes the same ranking from the
+// same inputs, a worker joining or leaving remaps only the keys it
+// gains or loses (1/N of the space, not a full reshuffle), and a key's
+// replica list is its failover order — when the top-ranked worker
+// dies, the next rank is exactly where the second artifact copy lives.
+
+// score is the HRW weight of (key, workerID): 64-bit FNV-1a over the
+// two, NUL-separated so ("ab","c") and ("a","bc") cannot collide.
+func score(key, workerID string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write([]byte(workerID))
+	return h.Sum64()
+}
+
+// Rank orders worker IDs by descending HRW score for key, breaking the
+// (vanishingly unlikely) score ties by ID so the ranking is total and
+// every node agrees on it. The caller passes whatever worker set it
+// considers alive; Rank itself is pure.
+func Rank(key string, ids []string) []string {
+	ranked := append([]string(nil), ids...)
+	sort.Slice(ranked, func(i, j int) bool {
+		si, sj := score(key, ranked[i]), score(key, ranked[j])
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i] < ranked[j]
+	})
+	return ranked
+}

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// Rank must be a pure total order: same inputs, same ranking, on every
+// node, in any input order.
+func TestRankDeterministicAndOrderInsensitive(t *testing.T) {
+	ids := []string{"w-a", "w-b", "w-c", "w-d"}
+	shuffled := []string{"w-d", "w-b", "w-a", "w-c"}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		r1 := Rank(key, ids)
+		r2 := Rank(key, shuffled)
+		if !reflect.DeepEqual(r1, r2) {
+			t.Fatalf("ranking depends on input order for %s: %v vs %v", key, r1, r2)
+		}
+		if len(r1) != len(ids) {
+			t.Fatalf("ranking dropped workers: %v", r1)
+		}
+	}
+	if Rank("anything", nil) == nil {
+		// nil in, empty out is fine — just must not panic; reaching here
+		// means it returned nil, which callers treat as empty.
+		return
+	}
+}
+
+// Rank must not mutate its input slice (callers pass live worker lists).
+func TestRankDoesNotMutateInput(t *testing.T) {
+	ids := []string{"w-c", "w-a", "w-b"}
+	want := append([]string(nil), ids...)
+	Rank("some-key", ids)
+	if !reflect.DeepEqual(ids, want) {
+		t.Fatalf("Rank mutated its input: %v", ids)
+	}
+}
+
+// The HRW property the cluster's cache topology rests on: adding one
+// worker remaps only the keys the new worker wins — every key whose
+// top-ranked worker changes must have moved TO the new worker, never
+// between survivors. And removal is the exact inverse: keys not owned
+// by the removed worker keep their owner.
+func TestRankMinimalRemapOnMembershipChange(t *testing.T) {
+	old := []string{"w-a", "w-b", "w-c"}
+	grown := []string{"w-a", "w-b", "w-c", "w-d"}
+	moved := 0
+	const keys = 500
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("fingerprint-%04d", i)
+		before := Rank(key, old)[0]
+		after := Rank(key, grown)[0]
+		if after != before {
+			moved++
+			if after != "w-d" {
+				t.Fatalf("key %s moved %s -> %s: remap between surviving workers", key, before, after)
+			}
+		}
+	}
+	// Expect ~1/4 of the keyspace to move to the new worker; allow wide
+	// slack but reject a degenerate hash (nothing moves / everything
+	// moves).
+	if moved == 0 || moved > keys/2 {
+		t.Fatalf("adding a worker moved %d/%d keys; want roughly %d", moved, keys, keys/4)
+	}
+
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("fingerprint-%04d", i)
+		before := Rank(key, grown)
+		after := Rank(key, []string{"w-a", "w-b", "w-c"})
+		if before[0] != "w-d" && after[0] != before[0] {
+			t.Fatalf("key %s changed owner %s -> %s although its owner survived", key, before[0], after[0])
+		}
+	}
+}
+
+// The replica list is the failover order: rank k+1 is where a job goes
+// when rank k dies, so dropping the top worker must shift the ranking
+// up by exactly one.
+func TestRankFailoverOrder(t *testing.T) {
+	ids := []string{"w-a", "w-b", "w-c", "w-d"}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		full := Rank(key, ids)
+		var without []string
+		for _, id := range ids {
+			if id != full[0] {
+				without = append(without, id)
+			}
+		}
+		if got := Rank(key, without); !reflect.DeepEqual(got, full[1:]) {
+			t.Fatalf("key %s: removing the top worker reshuffled the tail: %v vs %v", key, got, full[1:])
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/service"
+	"repro/internal/synth"
+	"repro/internal/tvalid"
+	"repro/internal/version"
+)
+
+// The cluster smoke soak: a coordinator-fronted service hammered by
+// concurrent clients across a pair mix while the fleet churns — one
+// worker is killed mid-run and a replacement joins — and then drained.
+// Run race-enabled by `make cluster-smoke`; the summary JSON is
+// archived by CI next to SOAK_summary.json.
+//
+// Soak invariants:
+//
+//  1. no translate request ever fails — worker churn degrades placement,
+//     never correctness or availability (local fallback is part of the
+//     contract);
+//  2. sampled outputs differentially re-validate against their source
+//     (no wrong translation crosses the wire);
+//  3. the replacement worker is placeable: the fleet heals to its target
+//     size;
+//  4. the final drain leaves zero orphaned cluster jobs.
+//
+// Knobs: SIRO_CLUSTER_SOAK_SECONDS (default 2) bounds the steady-state
+// phase, SIRO_CLUSTER_SOAK_CLIENTS (default 4) the concurrency, and
+// SIRO_CLUSTER_JSON a path for the machine-readable summary.
+func TestClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster smoke skipped in -short mode")
+	}
+	duration := 2 * time.Second
+	if v := os.Getenv("SIRO_CLUSTER_SOAK_SECONDS"); v != "" {
+		secs, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			t.Fatalf("SIRO_CLUSTER_SOAK_SECONDS: %v", err)
+		}
+		duration = time.Duration(secs * float64(time.Second))
+	}
+	nClients := 4
+	if v := os.Getenv("SIRO_CLUSTER_SOAK_CLIENTS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("SIRO_CLUSTER_SOAK_CLIENTS: %q", v)
+		}
+		nClients = n
+	}
+
+	fl := newFleet(t, 3, nil)
+	coordSrv := fl.workers[0].w.cfg.Coordinator // all workers share the coordinator URL
+
+	var localSynth atomic.Int64
+	svc := service.New(service.Config{
+		Workers: 8,
+		Remote:  fl.coord,
+		SynthFn: func(pair version.Pair, opts synth.Options) (*synth.Result, error) {
+			localSynth.Add(1)
+			return service.DefaultSynthFn(pair, opts)
+		},
+	})
+	defer svc.Close()
+
+	pairs := []version.Pair{
+		{Source: version.V12_0, Target: version.V3_6},
+		{Source: version.V13_0, Target: version.V3_6},
+		{Source: version.V3_6, Target: version.V12_0},
+		{Source: version.V12_0, Target: version.V3_7},
+	}
+
+	var requests, failures, validated, wrong atomic.Int64
+	stop := make(chan struct{})
+	var clients sync.WaitGroup
+	for i := 0; i < nClients; i++ {
+		clients.Add(1)
+		go func(id int) {
+			defer clients.Done()
+			rng := rand.New(rand.NewSource(int64(id)*7919 + 1))
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := pairs[rng.Intn(len(pairs))]
+				tests := corpus.Tests(p.Source)
+				tc := tests[rng.Intn(len(tests))]
+				requests.Add(1)
+				out, err := svc.Translate(context.Background(), p.Source, p.Target, tc.Module)
+				if err != nil {
+					failures.Add(1)
+					t.Errorf("%s: %v", p, err)
+					continue
+				}
+				if n%16 == 0 {
+					if rep := tvalid.Validate(tc.Module, out, tvalid.Options{Trials: 2, Seed: rng.Int63()}); !rep.OK() {
+						wrong.Add(1)
+						t.Errorf("%s: served translation diverges: %s", p, rep)
+					}
+					validated.Add(1)
+				}
+			}
+		}(i)
+	}
+
+	// Phase 1: steady state.
+	time.Sleep(duration / 2)
+
+	// Phase 2: churn — crash one worker, then heal the fleet with a
+	// replacement. Traffic keeps flowing throughout.
+	fl.kill(0)
+	waitFor(t, 15*time.Second, func() bool { return fl.coord.Stats().WorkersUp == 2 })
+	repl, err := NewWorker(WorkerConfig{
+		ID:          "worker-replacement",
+		Coordinator: coordSrv,
+		Cache:       service.NewCache(t.TempDir(), 0, synth.Options{}),
+		SynthFn: func(pair version.Pair, opts synth.Options) (*synth.Result, error) {
+			fl.synth.Add(1)
+			return service.DefaultSynthFn(pair, opts)
+		},
+		JobTimeout: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replSrv := httptest.NewServer(repl.Handler())
+	defer replSrv.Close()
+	replCtx, replCancel := context.WithCancel(context.Background())
+	replDone := make(chan struct{})
+	go func() { defer close(replDone); _ = repl.Run(replCtx, replSrv.Listener.Addr().String()) }()
+	defer func() { replCancel(); <-replDone }()
+	waitFor(t, 15*time.Second, func() bool { return fl.coord.Stats().WorkersUp == 3 })
+
+	// Phase 3: steady state on the healed fleet, then stop the clients.
+	time.Sleep(duration / 2)
+	close(stop)
+	clients.Wait()
+
+	// Drain both layers; the coordinator must end with an empty job
+	// table (zero orphans).
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Drain(drainCtx); err != nil {
+		t.Errorf("service drain: %v", err)
+	}
+	if err := fl.coord.Drain(drainCtx); err != nil {
+		t.Errorf("cluster drain: %v", err)
+	}
+	st := fl.coord.Stats()
+
+	summary := map[string]any{
+		"duration_seconds":  duration.Seconds(),
+		"clients":           nClients,
+		"requests":          requests.Load(),
+		"failures":          failures.Load(),
+		"revalidated":       validated.Load(),
+		"wrong_outputs":     wrong.Load(),
+		"fleet_synthesized": fl.synth.Load(),
+		"local_synthesized": localSynth.Load(),
+		"worker_jobs_run":   fl.jobsRun() + repl.Stats().JobsRun.Load(),
+		"jobs_stolen":       fl.metric(t, "siro_cluster_jobs_stolen_total"),
+		"artifact_fetches":  fl.metric(t, "siro_cluster_artifact_fetches_total"),
+		"workers_up_final":  st.WorkersUp,
+		"jobs_pending":      st.JobsPending,
+	}
+	if path := os.Getenv("SIRO_CLUSTER_JSON"); path != "" {
+		blob, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			t.Fatalf("writing cluster summary: %v", err)
+		}
+	}
+	t.Logf("cluster smoke summary: %v", summary)
+
+	if requests.Load() == 0 {
+		t.Error("soak sent no requests")
+	}
+	if validated.Load() == 0 {
+		t.Error("no response was differentially re-validated")
+	}
+	if st.JobsPending != 0 {
+		t.Errorf("%d orphaned cluster jobs after drain", st.JobsPending)
+	}
+	// Work conservation across the whole run: every pair synthesized at
+	// most a handful of times fleet-wide even under churn (the kill can
+	// force one re-synthesis per pair; steady state forces none).
+	if fleetSynth := fl.synth.Load(); fleetSynth > int64(2*len(pairs)) {
+		t.Errorf("fleet synthesized %d times for %d pairs under churn; duplication bound exceeded", fleetSynth, len(pairs))
+	}
+}

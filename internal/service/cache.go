@@ -17,7 +17,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/failure"
 	"repro/internal/synth"
@@ -69,6 +71,7 @@ type CacheStats struct {
 	Evictions    int64 `json:"evictions"`
 	StaleDropped int64 `json:"stale_dropped"` // on-disk artifacts rejected by the fingerprint check
 	Quarantined  int64 `json:"quarantined"`   // artifacts pulled after failing serve-time validation
+	GCEvictions  int64 `json:"gc_evictions"`  // on-disk artifacts removed by the size-bounded GC
 }
 
 // Cache is the content-addressed translator cache: an in-memory LRU of
@@ -82,16 +85,19 @@ type CacheStats struct {
 // Concurrent Get calls for the same key are deduplicated: exactly one
 // caller synthesizes, the rest block and share the result.
 type Cache struct {
-	dir  string // "" = memory-only
-	max  int    // LRU capacity (entries)
-	opts synth.Options
-	met  cacheMetrics // registry mirror of stats; zero value inert
+	dir      string // "" = memory-only
+	max      int    // LRU capacity (entries)
+	maxBytes int64  // on-disk artifact budget; 0 = unbounded
+	opts     synth.Options
+	met      cacheMetrics // registry mirror of stats; zero value inert
 
 	mu     sync.Mutex
 	ll     *list.List // front = most recent; values are *cacheEntry
 	items  map[string]*list.Element
 	flight map[string]*flightCall
 	stats  CacheStats
+
+	gcMu sync.Mutex // serializes on-disk GC sweeps (never held with mu)
 }
 
 type cacheEntry struct {
@@ -126,6 +132,13 @@ func NewCache(dir string, maxEntries int, opts synth.Options) *Cache {
 		flight: map[string]*flightCall{},
 	}
 }
+
+// SetMaxBytes bounds the on-disk artifact directory: after every
+// persist, least-recently-hit artifacts (by mtime, bumped on each disk
+// hit and artifact read) are removed until the total is within budget.
+// 0 (the default) leaves the directory unbounded. Call before the cache
+// sees traffic.
+func (c *Cache) SetMaxBytes(n int64) { c.maxBytes = n }
 
 // Key returns the content address of the pair under the cache's
 // synthesis options.
@@ -279,6 +292,7 @@ func (c *Cache) load(pair version.Pair, key string, synthesize func() (*synth.Re
 		if blob, err := os.ReadFile(c.path(pair, key)); err == nil {
 			res, err := synth.Import(blob, c.opts)
 			if err == nil {
+				c.touch(c.path(pair, key)) // a hit refreshes GC recency
 				return &cacheEntry{key: key, pair: pair, res: res, tr: c.newTranslator(res)}, OriginDisk, nil
 			}
 			// A stale or corrupt artifact is a miss, not a failure: drop
@@ -350,7 +364,98 @@ func (c *Cache) persist(pair version.Pair, key string, res *synth.Result) error 
 		os.Remove(tmp.Name())
 		return fmt.Errorf("service: cache write: %w", err)
 	}
+	c.gc(c.path(pair, key))
 	return nil
+}
+
+// touch bumps an artifact's mtime so the size-bounded GC sees it as
+// recently used. Best effort: a lost bump only makes the artifact
+// eligible for eviction earlier.
+func (c *Cache) touch(path string) {
+	if c.maxBytes > 0 {
+		now := time.Now()
+		_ = os.Chtimes(path, now, now)
+	}
+}
+
+// gc enforces the on-disk byte budget after a persist: finished
+// artifacts (never in-flight *.tmp files, never the quarantine
+// subdirectory) are removed oldest-mtime-first until the directory fits,
+// sparing the artifact just written. Removal is a plain unlink — atomic,
+// and harmless to concurrent readers that already opened the file.
+func (c *Cache) gc(justWrote string) {
+	if c.maxBytes <= 0 || c.dir == "" {
+		return
+	}
+	c.gcMu.Lock()
+	defer c.gcMu.Unlock()
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	type artifact struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var arts []artifact
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), "siro-") || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		arts = append(arts, artifact{path: filepath.Join(c.dir, e.Name()), size: info.Size(), mtime: info.ModTime()})
+		total += info.Size()
+	}
+	sort.Slice(arts, func(i, j int) bool { return arts[i].mtime.Before(arts[j].mtime) })
+	for _, a := range arts {
+		if total <= c.maxBytes {
+			return
+		}
+		if a.path == justWrote {
+			continue // never evict the artifact this persist produced
+		}
+		if os.Remove(a.path) == nil {
+			total -= a.size
+			c.mu.Lock()
+			c.stats.GCEvictions++
+			c.mu.Unlock()
+			c.met.gcEvictions.Inc()
+		}
+	}
+}
+
+// ReadArtifact returns the pair's persisted artifact bytes and its
+// content-address key. Only the fsynced-and-renamed file at the content
+// address is ever read — a mid-write temp file has a different name and
+// cannot be served — so concurrent persists yield either the old or the
+// new complete artifact, never a torn one. A successful read bumps the
+// artifact's GC recency (serving a peer is a hit).
+func (c *Cache) ReadArtifact(pair version.Pair) ([]byte, string, error) {
+	key := c.Key(pair)
+	if c.dir == "" {
+		// Memory-only cache: export the resident translator, which is
+		// byte-identical to what a disk artifact would hold.
+		c.mu.Lock()
+		el, ok := c.items[key]
+		c.mu.Unlock()
+		if !ok {
+			return nil, key, fmt.Errorf("service: no artifact for %s: %w", pair, os.ErrNotExist)
+		}
+		blob, err := el.Value.(*cacheEntry).res.ExportWithOptions(c.opts)
+		return blob, key, err
+	}
+	path := c.path(pair, key)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, key, err
+	}
+	c.touch(path)
+	return blob, key, nil
 }
 
 // insert adds an entry to the LRU, evicting the least recently used

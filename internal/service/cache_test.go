@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -243,4 +244,138 @@ func TestCacheLRUEviction(t *testing.T) {
 	}); err != nil || org != OriginSynth || n != 1 {
 		t.Fatalf("evicted pair: err %v origin %v synths %d", err, org, n)
 	}
+}
+
+// Recency regression for the size-bounded artifact GC: a disk hit must
+// bump the artifact's mtime, so under byte pressure the GC evicts the
+// artifact that was written earliest but NOT the one that was written
+// earliest and then recently served. Without the touch-on-hit, creation
+// order alone would decide eviction and the hottest artifact could be
+// the first to go.
+func TestCacheGCEvictsLeastRecentlyUsed(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(dir, 8, synth.Options{})
+	seed := []version.Pair{
+		{Source: version.V12_0, Target: version.V3_6}, // oldest write, but touched below
+		{Source: version.V13_0, Target: version.V3_6},
+		{Source: version.V14_0, Target: version.V3_6},
+	}
+	var total int64
+	for _, p := range seed {
+		if _, _, err := c.Get(context.Background(), p, synthesizeFor(t, p)); err != nil {
+			t.Fatal(err)
+		}
+		info, err := os.Stat(c.ArtifactPath(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += info.Size()
+		time.Sleep(10 * time.Millisecond) // separate mtimes on coarse filesystems
+	}
+
+	// A fresh cache over the populated directory, now with a byte budget:
+	// the disk hit on the oldest artifact must refresh its GC recency.
+	c2 := NewCache(dir, 8, synth.Options{})
+	c2.SetMaxBytes(total - 1)
+	fail := func() (*synth.Result, error) { t.Fatal("disk hit should not synthesize"); return nil, nil }
+	if _, org, err := c2.Get(context.Background(), seed[0], fail); err != nil || org != OriginDisk {
+		t.Fatalf("warm-up read: origin %v err %v, want disk hit", org, err)
+	}
+
+	// Persisting a fourth artifact overflows the budget and triggers GC.
+	fourth := version.Pair{Source: version.V14_0, Target: version.V3_7}
+	if _, _, err := c2.Get(context.Background(), fourth, synthesizeFor(t, fourth)); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := os.Stat(c2.ArtifactPath(seed[0])); err != nil {
+		t.Errorf("recently served artifact %s was evicted: %v", seed[0], err)
+	}
+	if _, err := os.Stat(c2.ArtifactPath(seed[1])); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("least recently used artifact %s survived GC (err %v)", seed[1], err)
+	}
+	if _, err := os.Stat(c2.ArtifactPath(fourth)); err != nil {
+		t.Errorf("just-written artifact %s was evicted: %v", fourth, err)
+	}
+	if ev := c2.Stats().GCEvictions; ev < 1 {
+		t.Errorf("GCEvictions = %d, want at least 1", ev)
+	}
+}
+
+// Torn-read stress for the artifact exchange path: while one goroutine
+// re-persists the same artifact in a tight loop, concurrent readers
+// must only ever observe either "no artifact yet" or a complete blob
+// whose embedded fingerprint verifies — never a torn or mid-write file.
+// This is the property cluster peers rely on when fetching artifacts
+// straight off each other's cache directories.
+func TestCacheReadArtifactNeverTorn(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(dir, 8, synth.Options{})
+	res, err := synthesizeFor(t, pair12to36)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := c.Key(pair12to36)
+
+	stop := make(chan struct{})
+	var writes atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := c.persist(pair12to36, key, res); err != nil {
+				t.Errorf("persist: %v", err)
+				return
+			}
+			writes.Add(1)
+		}
+	}()
+
+	var reads, misses atomic.Int64
+	const readers = 4
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				blob, gotKey, err := c.ReadArtifact(pair12to36)
+				if err != nil {
+					if errors.Is(err, os.ErrNotExist) {
+						misses.Add(1) // racing the very first persist
+						continue
+					}
+					t.Errorf("ReadArtifact: %v", err)
+					return
+				}
+				if gotKey != key {
+					t.Errorf("ReadArtifact key = %s, want %s", gotKey, key)
+					return
+				}
+				if _, err := synth.Import(blob, synth.Options{}); err != nil {
+					t.Errorf("torn artifact crossed ReadArtifact (%d bytes): %v", len(blob), err)
+					return
+				}
+				reads.Add(1)
+			}
+		}()
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if writes.Load() == 0 || reads.Load() == 0 {
+		t.Fatalf("stress did no work: %d writes, %d verified reads", writes.Load(), reads.Load())
+	}
+	t.Logf("torn-read stress: %d persists, %d verified reads, %d early misses", writes.Load(), reads.Load(), misses.Load())
 }

@@ -22,6 +22,7 @@ import (
 //	GET  /v1/stats      service counters
 //	GET  /v1/versions   supported versions
 //	GET  /healthz       liveness
+//	GET  /readyz        readiness: 503 while draining or past the shed threshold
 //	GET  /metrics       Prometheus text exposition (unless disabled)
 //	GET  /debug/pprof/  runtime profiles (only with HandlerOpts.Pprof)
 //
@@ -217,6 +218,19 @@ func NewHandler(s *Service, opts HandlerOpts) http.Handler {
 	mux.HandleFunc("/healthz", method(http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	}))
+	// Readiness is not liveness: a draining or saturated service is
+	// alive (healthz 200) but must get no new traffic (readyz 503, with
+	// Retry-After). The cluster coordinator uses this as its heartbeat
+	// probe, so an overloaded worker sheds cluster placement the same
+	// way it sheds direct requests.
+	mux.HandleFunc("/readyz", method(http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
+		if err := s.Ready(); err != nil {
+			writeError(w, httpStatus(err), err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ready")
 	}))
 	if reg := s.Metrics(); reg != nil && !opts.DisableMetricsEndpoint {
 		mux.Handle("/metrics", reg.Handler())

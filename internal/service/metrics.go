@@ -20,6 +20,7 @@ const (
 	stageDetect    = "detect"   // version auto-detection (parse at every version)
 	stageQueue     = "queue"    // enqueue → worker pickup
 	stageCache     = "cache"    // translator lookup (memory + disk), synthesis excluded
+	stageCluster   = "cluster"  // remote placement: peer artifact fetch or worker job
 	stageSynth     = "synth"    // full synthesis on a cache miss
 	stageRoute     = "route"    // multi-hop route search incl. per-edge synthesis
 	stageValidate  = "validate" // differential validation of a composed chain
@@ -29,7 +30,7 @@ const (
 )
 
 var stageNames = []string{
-	stageParse, stageDetect, stageQueue, stageCache, stageSynth,
+	stageParse, stageDetect, stageQueue, stageCache, stageCluster, stageSynth,
 	stageRoute, stageValidate, stageTranslate, stageHop, stageWrite,
 }
 
@@ -101,6 +102,7 @@ type cacheMetrics struct {
 	evictions    *obs.Counter
 	staleDropped *obs.Counter
 	quarantined  *obs.Counter
+	gcEvictions  *obs.Counter
 	// onTranslate is installed as the Observer of every translator the
 	// cache constructs, feeding instruction-throughput counters.
 	onTranslate func(srcInsts, emittedInsts int)
@@ -183,6 +185,7 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 		evictions:    reg.Counter("siro_cache_events_total", cacheHelp, "event", "eviction"),
 		staleDropped: reg.Counter("siro_cache_events_total", cacheHelp, "event", "stale_dropped"),
 		quarantined:  reg.Counter("siro_cache_events_total", cacheHelp, "event", "quarantined"),
+		gcEvictions:  reg.Counter("siro_cache_gc_evictions_total", "On-disk artifacts removed by the size-bounded cache GC."),
 		onTranslate: func(src, emitted int) {
 			m.translatedInsts.Add(int64(src))
 			m.emittedInsts.Add(int64(emitted))

@@ -192,6 +192,7 @@ func TestEndpointMethodMatrix(t *testing.T) {
 		{"/v1/stats", http.MethodGet},
 		{"/v1/versions", http.MethodGet},
 		{"/healthz", http.MethodGet},
+		{"/readyz", http.MethodGet},
 		{"/metrics", http.MethodGet},
 	}
 	methods := []string{http.MethodGet, http.MethodPost, http.MethodPut, http.MethodDelete, http.MethodPatch, http.MethodHead}
@@ -219,6 +220,48 @@ func TestEndpointMethodMatrix(t *testing.T) {
 				t.Errorf("%s %s: Allow %q, want %q", m, ep.path, allow, ep.allow)
 			}
 		}
+	}
+}
+
+// Readiness is not liveness: before a drain /readyz and /healthz both
+// answer 200; once a drain starts the service must flip /readyz to 503
+// (with a Retry-After hint for the cluster's heartbeat probe) while
+// /healthz keeps reporting the process alive.
+func TestReadyzDrainSequence(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	srv := httptest.NewServer(Handler(svc))
+	defer srv.Close()
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := get("/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz before drain: %d, want 200", resp.StatusCode)
+	}
+	if resp := get("/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz before drain: %d, want 200", resp.StatusCode)
+	}
+
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	resp := get("/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after drain: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("/readyz 503 is missing the Retry-After hint")
+	}
+	if resp := get("/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz after drain: %d, want 200 (drained is still alive)", resp.StatusCode)
 	}
 }
 

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -33,11 +34,39 @@ func DefaultSynthFn(pair version.Pair, opts synth.Options) (*synth.Result, error
 	return s.Run(corpus.Tests(pair.Source))
 }
 
+// RemoteSynthesizer is the cluster seam: on a cache miss the
+// singleflight leader consults it before burning local CPU, so a pair
+// synthesized anywhere in the fleet is served everywhere by artifact
+// exchange. key is the pair's content address (synth.Fingerprint), and
+// the returned result must already have passed the embedded-fingerprint
+// check. An error wrapping ErrRemoteUnavailable means the cluster could
+// not take the job (no workers, transport failure, drain) and the
+// service falls back to local synthesis; any other error is a verdict
+// about the pair itself and is surfaced as if synthesis ran locally.
+type RemoteSynthesizer interface {
+	Synthesize(ctx context.Context, pair version.Pair, key string) (*synth.Result, error)
+}
+
+// ErrRemoteUnavailable marks a RemoteSynthesizer failure as an
+// infrastructure problem rather than a synthesis verdict: the caller
+// should synthesize locally instead of failing the request.
+var ErrRemoteUnavailable = errors.New("remote synthesis unavailable")
+
 // Config tunes a Service.
 type Config struct {
 	// CacheDir is where synthesis artifacts persist; "" keeps the
 	// translator cache memory-only.
 	CacheDir string
+	// CacheMaxBytes bounds the on-disk artifact directory: past the
+	// budget, least-recently-hit artifacts are GC'd after each persist.
+	// 0 leaves the directory unbounded.
+	CacheMaxBytes int64
+	// Remote, when set, is consulted by the synthesis choke point on a
+	// cache miss before local synthesis runs — the cluster coordinator
+	// places the pair on a worker or fetches the artifact from a peer
+	// already holding it. Errors wrapping ErrRemoteUnavailable fall back
+	// to local synthesis.
+	Remote RemoteSynthesizer
 	// MaxCachedTranslators bounds the in-memory LRU (default 64).
 	MaxCachedTranslators int
 	// Workers is the translation worker-pool size (default 4).
@@ -207,6 +236,7 @@ func New(cfg Config) *Service {
 	if s.met != nil {
 		s.cache.met = s.met.cache
 	}
+	s.cache.SetMaxBytes(cfg.CacheMaxBytes)
 	for _, v := range cfg.Versions {
 		s.supported[v] = true
 	}
@@ -276,6 +306,31 @@ func (s *Service) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 		return fmt.Errorf("service: drain deadline expired: %w", failure.FromContext(ctx.Err()))
 	}
+}
+
+// Cache exposes the service's translator cache — the coordinator and
+// worker wiring serve and ingest artifacts through it.
+func (s *Service) Cache() *Cache { return s.cache }
+
+// Ready reports whether the service is currently able to accept work:
+// nil when it is, a typed rejection explaining why not — Draining once
+// a drain has started, Overload while the queue sits at or past the
+// shed threshold. This is the /readyz verdict and the cluster's
+// heartbeat probe, distinct from liveness: a draining or saturated
+// node is alive but should receive no new traffic.
+func (s *Service) Ready() error {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return resilience.DrainingRejection(time.Second, "service: draining")
+	}
+	if t := s.shedThreshold(); t >= 0 {
+		if pending := len(s.jobs); pending >= t {
+			return resilience.Overloaded(s.estimatedWait(pending), "service: queue at shed threshold: %d jobs pending", pending)
+		}
+	}
+	return nil
 }
 
 // Versions lists the versions the service accepts, ascending.
@@ -582,6 +637,60 @@ func (s *Service) Warm(ctx context.Context, src, tgt version.V) error {
 	return err
 }
 
+// MatrixPairs plans the full version-pair matrix the service could be
+// asked to serve: every ordered pair of distinct supported versions,
+// both directions, nearest first (ascending version.Distance, ties in
+// source-then-target order). Near pairs synthesize fastest and back the
+// most multi-hop routes, so warming in this order buys coverage
+// earliest.
+func (s *Service) MatrixPairs() []version.Pair {
+	vs := s.Versions()
+	var out []version.Pair
+	for _, src := range vs {
+		for _, tgt := range vs {
+			if src != tgt {
+				out = append(out, version.Pair{Source: src, Target: tgt})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		di, dj := version.Distance(out[i].Source, out[i].Target), version.Distance(out[j].Source, out[j].Target)
+		if di != dj {
+			return di < dj
+		}
+		if c := out[i].Source.Cmp(out[j].Source); c != 0 {
+			return c < 0
+		}
+		return out[i].Target.Before(out[j].Target)
+	})
+	return out
+}
+
+// WarmMatrix feeds the full MatrixPairs plan through Warm — and so
+// through cluster placement when a Remote is configured. It returns how
+// many pairs are warm. Per-pair failures are reported to onPair (nil ok)
+// and do not abort the sweep; ctx cancellation does, promptly, with a
+// Budget-classed error (each Warm abandons only its wait — in-flight
+// synthesis completes detached into the cache, see Warm).
+func (s *Service) WarmMatrix(ctx context.Context, onPair func(p version.Pair, err error)) (int, error) {
+	warmed := 0
+	for _, p := range s.MatrixPairs() {
+		if err := ctx.Err(); err != nil {
+			return warmed, failure.FromContext(err)
+		}
+		err := s.Warm(ctx, p.Source, p.Target)
+		if onPair != nil {
+			onPair(p, err)
+		}
+		if err == nil {
+			warmed++
+		} else if ctx.Err() != nil {
+			return warmed, failure.FromContext(ctx.Err())
+		}
+	}
+	return warmed, nil
+}
+
 // admit validates a request's versions (and module version, when a
 // module is supplied).
 func (s *Service) admit(src, tgt version.V, m *ir.Module) error {
@@ -821,6 +930,14 @@ func (s *Service) cachedTranslator(ctx context.Context, pair version.Pair) (*tra
 		if err := s.breakers.Allow(key); err != nil {
 			return nil, err // fail fast; the opening fault's class is preserved
 		}
+		if res, err, handled := s.remoteSynthesize(ctx, pair); handled {
+			if err != nil {
+				s.breakers.Fail(key, err)
+				return nil, err
+			}
+			s.breakers.Succeed(key)
+			return res, nil
+		}
 		res, err := resilience.Retry(ctx, s.retryPolicy(), func() (*synth.Result, error) {
 			return s.synthesizeOnce(ctx, pair)
 		})
@@ -840,6 +957,36 @@ func (s *Service) cachedTranslator(ctx context.Context, pair version.Pair) (*tra
 		}
 	}
 	return tr, org, err
+}
+
+// remoteSynthesize offers the miss to the cluster before local
+// synthesis runs. handled=false means the caller should synthesize
+// locally: either no Remote is configured, or the cluster declined the
+// job (ErrRemoteUnavailable — no live workers, transport trouble,
+// coordinator drain). A non-infrastructure error — the fleet ran the
+// synthesis and it genuinely failed, or the caller's deadline expired —
+// is a final verdict: handled=true surfaces it through the same breaker
+// bookkeeping a local failure would get. The remote leg reports as the
+// "cluster" stage in request traces, disjoint from "cache" and "synth".
+func (s *Service) remoteSynthesize(ctx context.Context, pair version.Pair) (*synth.Result, error, bool) {
+	if s.cfg.Remote == nil {
+		return nil, nil, false
+	}
+	end := s.met.stageTimer(ctx, stageCluster)
+	res, err := s.cfg.Remote.Synthesize(ctx, pair, s.cache.Key(pair))
+	end()
+	if err == nil {
+		return res, nil, true
+	}
+	if errors.Is(err, ErrRemoteUnavailable) {
+		return nil, nil, false // fall back to local synthesis
+	}
+	if ctx.Err() != nil {
+		// The caller's deadline expired while the cluster worked; the
+		// budget is at fault, not the pair (mirrors synthesizeOnce).
+		return nil, failure.FromContext(ctx.Err()), true
+	}
+	return nil, err, true
 }
 
 // retryPolicy is the synthesis retry policy: transient classes only

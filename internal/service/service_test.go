@@ -382,3 +382,80 @@ func TestHandlerStatsVersionsHealth(t *testing.T) {
 		t.Fatalf("stats: %+v", st)
 	}
 }
+
+// The warm plan covers the full ordered matrix, nearest pairs first —
+// the order the coordinator's auto-warm and `siro -warm-matrix` rely on
+// to buy multi-hop route coverage earliest.
+func TestMatrixPairsOrderedByDistance(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close()
+	pairs := svc.MatrixPairs()
+	n := len(version.All)
+	if len(pairs) != n*(n-1) {
+		t.Fatalf("matrix has %d pairs, want %d", len(pairs), n*(n-1))
+	}
+	seen := map[version.Pair]bool{}
+	for i, p := range pairs {
+		if p.Source == p.Target {
+			t.Fatalf("identity pair %s in matrix", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate pair %s in matrix", p)
+		}
+		seen[p] = true
+		if i > 0 {
+			prev := pairs[i-1]
+			if version.Distance(p.Source, p.Target) < version.Distance(prev.Source, prev.Target) {
+				t.Fatalf("matrix not ordered by distance: %s (d=%d) after %s (d=%d)",
+					p, version.Distance(p.Source, p.Target), prev, version.Distance(prev.Source, prev.Target))
+			}
+		}
+	}
+}
+
+// Cancelling WarmMatrix abandons the sweep promptly with a
+// Budget-classed error; pairs already warmed stay warm, and per-pair
+// callbacks stop arriving after the cancellation is observed.
+func TestWarmMatrixCancellation(t *testing.T) {
+	var synths atomic.Int64
+	svc := New(Config{
+		Workers: 2,
+		SynthFn: func(pair version.Pair, opts synth.Options) (*synth.Result, error) {
+			synths.Add(1)
+			return DefaultSynthFn(pair, opts)
+		},
+	})
+	defer svc.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls int
+	warmed, err := svc.WarmMatrix(ctx, func(p version.Pair, perr error) {
+		calls++
+		if perr != nil {
+			t.Errorf("warm %s: %v", p, perr)
+		}
+		cancel() // cancel inside the first callback
+	})
+	if err == nil {
+		t.Fatal("cancelled WarmMatrix returned nil error")
+	}
+	if failure.ClassOf(err) != failure.Budget {
+		t.Fatalf("cancellation class = %v, want Budget", failure.ClassOf(err))
+	}
+	if warmed != 1 || calls != 1 {
+		t.Fatalf("after first-callback cancel: warmed %d, callbacks %d; want 1 and 1", warmed, calls)
+	}
+	if n := synths.Load(); n != 1 {
+		t.Fatalf("synthesis ran %d times before cancellation, want 1", n)
+	}
+
+	// The pair warmed before cancellation survives: translating it now
+	// is a cache hit, not a new synthesis.
+	first := svc.MatrixPairs()[0]
+	if _, err := svc.Translate(context.Background(), first.Source, first.Target, corpus.Tests(first.Source)[0].Module); err != nil {
+		t.Fatal(err)
+	}
+	if n := synths.Load(); n != 1 {
+		t.Fatalf("warmed pair re-synthesized: %d syntheses", n)
+	}
+}
