@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz soak soak-smoke cluster-smoke bench bench-service bench-obs clean
+.PHONY: check fmt vet build test race fuzz soak soak-smoke cluster-smoke crash-smoke bench bench-service bench-obs bench-journal clean
 
 check: fmt vet build test race
 
@@ -24,7 +24,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/synth ./internal/interp ./internal/service ./internal/obs ./internal/resilience ./internal/cluster
+	$(GO) test -race ./internal/synth ./internal/interp ./internal/service ./internal/obs ./internal/resilience ./internal/cluster ./internal/journal
 
 # Short fuzz smoke of the fuzz targets; crashers land in
 # internal/<pkg>/testdata/fuzz and are replayed by plain `go test`.
@@ -65,6 +65,20 @@ cluster-smoke:
 	SIRO_CLUSTER_JSON=$(CLUSTER_JSON) \
 		$(GO) test -race ./internal/cluster -run TestClusterSmoke -count=1 -v -timeout 10m
 
+# Crash-injection soak: a real sirod binary is repeatedly kill -9'd
+# mid-batch at randomized points (one cycle uses the forced
+# double-SIGTERM exit instead) and restarted over the same journal and
+# cache. Race-enabled. Exits non-zero if any accepted job is lost,
+# duplicated, left unclassified, or served a result that fails
+# client-side differential re-validation, or if journal segments are
+# not reclaimed. CRASH_JSON names the machine-readable summary,
+# archived by CI next to the soak summaries.
+CRASH_JSON ?= $(CURDIR)/CRASH_summary.json
+crash-smoke:
+	SIRO_CRASH_CYCLES=3 SIRO_CRASH_JOBS=6 \
+	SIRO_CRASH_JSON=$(CRASH_JSON) \
+		$(GO) test -race ./internal/crash -run TestCrashSoak -count=1 -v -timeout 10m
+
 bench:
 	$(GO) test -bench=. -benchmem
 
@@ -77,6 +91,12 @@ bench-service:
 # observability layer costs <= 5% and writes BENCH_obs.json.
 bench-obs:
 	SIRO_BENCH_JSON=$(CURDIR)/BENCH_obs.json $(GO) test ./internal/service -run TestObsBenchReport -count=1 -v
+
+# Journaled vs unjournaled synchronous translate benchmark; asserts the
+# durable job journal costs <= 5% on the sync hot path and writes
+# BENCH_journal.json.
+bench-journal:
+	SIRO_BENCH_JSON=$(CURDIR)/BENCH_journal.json $(GO) test ./internal/service -run TestJournalBenchReport -count=1 -v
 
 clean:
 	$(GO) clean ./...

@@ -38,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -70,6 +71,10 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "base open→half-open breaker cooldown (jittered, grows on failed probes)")
 	serveTrials := flag.Int("serve-validate", 0, "differential trials re-validating each direct translation before it is served; a diverging cached translator is quarantined and resynthesized (0 disables)")
 	degrade := flag.Bool("degrade", false, "serve partial translations instead of failing Unsupported while the queue is at least half full")
+	journalDir := flag.String("journal", "", "durable job journal directory: enables POST /v1/batch + GET /v1/jobs/{id} and crash recovery (empty: async API off)")
+	journalSegBytes := flag.Int64("journal-segment-bytes", 4<<20, "journal active-segment size that triggers a checkpoint (compaction + old-segment GC)")
+	jobRunners := flag.Int("job-runners", 2, "goroutines draining the async job queue (each job still passes normal admission)")
+	pollTimeout := flag.Duration("poll-timeout", 30*time.Second, "upper bound on GET /v1/jobs/{id}?wait= long-polls")
 	clusterListen := flag.String("cluster-listen", "", "run as cluster coordinator: listen address for the /cluster/v1 worker protocol")
 	join := flag.String("join", "", "run as cluster worker: the coordinator's base URL, e.g. http://coord:8348")
 	advertise := flag.String("advertise", "", "worker mode: address the coordinator can reach this daemon's listener at (default: -addr with 127.0.0.1 for an empty host)")
@@ -90,11 +95,21 @@ func main() {
 	// service's RemoteSynthesizer, consulted on every cache miss.
 	var coord *cluster.Coordinator
 	if *clusterListen != "" {
-		coord = cluster.NewCoordinator(cluster.CoordinatorConfig{
-			Replicas: *replicas,
-			Metrics:  reg,
-			Logf:     log.Printf,
+		coordJournal := ""
+		if *journalDir != "" {
+			coordJournal = filepath.Join(*journalDir, "cluster")
+		}
+		var err error
+		coord, err = cluster.NewCoordinator(cluster.CoordinatorConfig{
+			Replicas:            *replicas,
+			Metrics:             reg,
+			Logf:                log.Printf,
+			JournalDir:          coordJournal,
+			JournalSegmentBytes: *journalSegBytes,
 		})
+		if err != nil {
+			log.Fatalf("sirod: cluster journal: %v", err)
+		}
 		defer coord.Close()
 	}
 
@@ -117,7 +132,28 @@ func main() {
 	})
 	defer svc.Close()
 
-	opts := service.HandlerOpts{MaxBodyBytes: *maxBody, Pprof: *pprofOn}
+	// Journal recovery runs before the listener opens: replayed jobs are
+	// re-queued (or already terminal) by the time the first request can
+	// arrive, so recovered state never races live traffic.
+	var jobs *service.Jobs
+	if *journalDir != "" {
+		js, rec, err := service.NewJobs(svc, service.JobsConfig{
+			Dir:          filepath.Join(*journalDir, "jobs"),
+			SegmentBytes: *journalSegBytes,
+			Runners:      *jobRunners,
+			Metrics:      reg,
+			Logf:         log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("sirod: job journal: %v", err)
+		}
+		jobs = js
+		defer jobs.Close()
+		log.Printf("sirod: journal recovered %d record(s) (%d dropped) -> %d job(s), %d resumed, %d evicted in %.3fs",
+			rec.Records, rec.Dropped, rec.Jobs, rec.Resumed, rec.Evicted, rec.Elapsed.Seconds())
+	}
+
+	opts := service.HandlerOpts{MaxBodyBytes: *maxBody, Pprof: *pprofOn, Jobs: jobs, PollTimeout: *pollTimeout}
 	if *traceLog != "" {
 		f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -178,8 +214,25 @@ func main() {
 		log.Fatalf("sirod: listen %s: %v", *addr, err)
 	}
 	server := &http.Server{Handler: handler}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// One signal channel, registered before the listener is announced,
+	// counts shutdown requests: the first starts the graceful drain, any
+	// later one means the operator wants out NOW — exit immediately and
+	// let journal recovery resume unfinished jobs next boot. Registering
+	// once up front (rather than adding a second handler inside the
+	// drain branch) closes the race where a quick second signal lands
+	// before a busy main goroutine reaches the drain code.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 8)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		log.Printf("sirod: %v: starting graceful drain (send again to force exit)", s)
+		cancel()
+		s = <-sigc
+		log.Printf("sirod: second signal %v: forced exit (journal recovery resumes unfinished jobs)", s)
+		os.Exit(2)
+	}()
 
 	errc := make(chan error, 2)
 	go func() { errc <- server.Serve(ln) }()
@@ -236,6 +289,14 @@ func main() {
 		log.Printf("sirod: draining (deadline %v)", *drainTimeout)
 		<-workerDone // worker mode: leave the fleet before local drain
 		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		// Async jobs drain first: they still need service admission to
+		// run, and svc.Drain closes it. Whatever misses the deadline is
+		// journaled and resumes on the next boot.
+		if jobs != nil {
+			if err := jobs.Drain(drainCtx); err != nil {
+				log.Printf("sirod: %v", err)
+			}
+		}
 		if err := svc.Drain(drainCtx); err != nil {
 			log.Printf("sirod: drain: %v", err)
 		}

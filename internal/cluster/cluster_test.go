@@ -77,7 +77,11 @@ func testCoordConfig(reg *obs.Registry) CoordinatorConfig {
 func newFleet(t *testing.T, n int, synthWrap func(i int, inner service.SynthFn) service.SynthFn) *fleet {
 	t.Helper()
 	fl := &fleet{reg: obs.NewRegistry()}
-	fl.coord = NewCoordinator(testCoordConfig(fl.reg))
+	var err error
+	fl.coord, err = NewCoordinator(testCoordConfig(fl.reg))
+	if err != nil {
+		t.Fatal(err)
+	}
 	coordSrv := httptest.NewServer(fl.coord.Handler())
 	t.Cleanup(coordSrv.Close)
 	t.Cleanup(fl.coord.Close)
@@ -384,9 +388,14 @@ func TestClusterWorkerKilledMidJobRequeues(t *testing.T) {
 // be refused as unavailable (so the service falls back to local
 // synthesis instead of wedging).
 func TestClusterCoordinatorDrainZeroOrphans(t *testing.T) {
+	// Workers park on this gate so every job is provably in flight when
+	// Drain starts — waiting for just one placement would race the
+	// remaining Synthesize goroutines against the drain barrier, which
+	// refuses late placements as unavailable.
+	release := make(chan struct{})
 	fl := newFleet(t, 3, func(i int, inner service.SynthFn) service.SynthFn {
 		return func(pair version.Pair, opts synth.Options) (*synth.Result, error) {
-			time.Sleep(50 * time.Millisecond) // keep jobs in flight while Drain starts
+			<-release
 			return inner(pair, opts)
 		}
 	})
@@ -410,7 +419,17 @@ func TestClusterCoordinatorDrainZeroOrphans(t *testing.T) {
 			resc <- outcome{p, res, err}
 		}(p)
 	}
-	waitFor(t, 10*time.Second, func() bool { return fl.coord.Stats().JobsPending > 0 })
+	// All four jobs placed and held open by the gate (none can publish).
+	waitFor(t, 10*time.Second, func() bool { return fl.coord.Stats().JobsPending == len(pairs) })
+	// Release the workers only once the drain barrier is up, so the
+	// drain demonstrably flushes in-flight work rather than an already
+	// empty table.
+	go func() {
+		for !fl.coord.Stats().Draining {
+			time.Sleep(time.Millisecond)
+		}
+		close(release)
+	}()
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
 	defer cancel()
@@ -450,7 +469,10 @@ func TestClusterCoordinatorDrainZeroOrphans(t *testing.T) {
 // synthesizes locally — skew degrades capacity, never correctness.
 func TestClusterFingerprintSkewRefusedAndUnavailable(t *testing.T) {
 	reg := obs.NewRegistry()
-	coord := NewCoordinator(testCoordConfig(reg))
+	coord, err := NewCoordinator(testCoordConfig(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer coord.Close()
 	coordSrv := httptest.NewServer(coord.Handler())
 	defer coordSrv.Close()

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/failure"
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/service"
@@ -73,6 +74,17 @@ type CoordinatorConfig struct {
 	// Opts are the synthesis options the fleet's fingerprints are
 	// computed under; they must match the attached service's.
 	Opts synth.Options
+	// JournalDir, when set, persists the fleet job table to a durable
+	// journal: a restarted coordinator replays it and re-queues the
+	// in-flight jobs (their waiters died with the old process, but the
+	// work completes into the fleet's caches, where the next miss finds
+	// it by artifact fetch). Empty keeps the table memory-only.
+	JournalDir string
+	// JournalSegmentBytes triggers journal compaction once the active
+	// segment crosses it (default 1MiB — the fleet table is small).
+	JournalSegmentBytes int64
+	// JournalNoSync disables journal fsyncs (tests).
+	JournalNoSync bool
 	// Metrics registers the cluster instruments (worker_up,
 	// jobs_assigned, jobs_stolen, artifact_fetches, fetch_bytes,
 	// placements) into this registry; nil disables them.
@@ -107,6 +119,9 @@ func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
 	}
 	if c.BreakerFailures <= 0 {
 		c.BreakerFailures = 2
+	}
+	if c.JournalSegmentBytes <= 0 {
+		c.JournalSegmentBytes = 1 << 20
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{Timeout: 30 * time.Second}
@@ -174,11 +189,28 @@ type Coordinator struct {
 	stop     chan struct{} // stops the janitor
 	stopOnce sync.Once
 	janitor  sync.WaitGroup
+
+	jl *journal.Journal // nil: table is memory-only
+}
+
+// coordWire is the coordinator's journal record: op "job" adds a
+// fleet job (Target is the pair's target VERSION, not a worker —
+// leases are ephemeral and never persisted), op "done" retires a key.
+type coordWire struct {
+	Op     string `json:"op"`
+	ID     string `json:"id,omitempty"`
+	Seq    int64  `json:"seq,omitempty"`
+	Key    string `json:"key,omitempty"`
+	Source string `json:"source,omitempty"`
+	Target string `json:"target,omitempty"`
 }
 
 // NewCoordinator builds and starts a coordinator; Close (or Drain then
-// Close) releases its janitor.
-func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+// Close) releases its janitor. With cfg.JournalDir set it replays the
+// persisted job table first: unfinished fleet jobs re-queue (for any
+// worker — the old leases died with the old process) instead of
+// orphaning the fleet's in-flight synthesis work.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	cfg = cfg.withDefaults()
 	c := &Coordinator{
 		cfg:     cfg,
@@ -193,9 +225,118 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		Failures: cfg.BreakerFailures,
 		Cooldown: cfg.BreakerCooldown,
 	})
+	if cfg.JournalDir != "" {
+		jl, rec, err := journal.Open(journal.Config{
+			Dir:     cfg.JournalDir,
+			Name:    "cluster",
+			NoSync:  cfg.JournalNoSync,
+			Metrics: cfg.Metrics,
+			Logf:    cfg.Logf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.jl = jl
+		live := map[string]coordWire{}
+		for _, raw := range rec.Records {
+			var w coordWire
+			if err := json.Unmarshal(raw, &w); err != nil {
+				continue
+			}
+			switch w.Op {
+			case "job":
+				live[w.Key] = w
+			case "done":
+				delete(live, w.Key)
+			}
+		}
+		for _, w := range live {
+			src, err1 := version.Parse(w.Source)
+			tgt, err2 := version.Parse(w.Target)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			if w.Seq > c.seq {
+				c.seq = w.Seq
+			}
+			j := &clusterJob{
+				id:    w.ID,
+				pair:  version.Pair{Source: src, Target: tgt},
+				key:   w.Key,
+				state: jobQueued,
+				// target "": adopted by the first live worker to poll —
+				// the pre-crash placement is meaningless to the new fleet.
+				done: make(chan struct{}),
+			}
+			c.jobs[j.key] = j
+			c.byID[j.id] = j
+		}
+		if len(live) > 0 || rec.Segments > 1 {
+			if err := jl.Checkpoint(c.snapshotJobs); err != nil {
+				jl.Close()
+				return nil, err
+			}
+		}
+		c.logf("cluster: journal recovered %d record(s) (%d dropped) -> %d pending job(s) re-queued in %.3fs",
+			len(rec.Records), rec.Dropped, len(live), rec.Elapsed.Seconds())
+	}
 	c.janitor.Add(1)
 	go c.janitorLoop()
-	return c
+	return c, nil
+}
+
+// journalJob persists a job addition (durable — the record is the
+// crash-survival of the placement). No-op without a journal.
+func (c *Coordinator) journalJob(j *clusterJob) {
+	if c.jl == nil {
+		return
+	}
+	raw, _ := json.Marshal(coordWire{
+		Op: "job", ID: j.id, Seq: c.seqOf(j.id), Key: j.key,
+		Source: j.pair.Source.String(), Target: j.pair.Target.String(),
+	})
+	if err := c.jl.Append(raw); err != nil {
+		c.logf("cluster: journal job %s: %v", j.id, err)
+	}
+}
+
+// seqOf recovers the numeric suffix of a job id for seq bookkeeping.
+func (c *Coordinator) seqOf(id string) int64 {
+	var n int64
+	fmt.Sscanf(id, "job-%d", &n)
+	return n
+}
+
+// journalDoneLocked persists a job retirement. Async on purpose: it is
+// called under the coordinator lock, and losing it merely re-queues an
+// already-synthesized pair, which the artifact exchange answers by
+// fetch instead of re-synthesis. Caller holds the lock.
+func (c *Coordinator) journalDoneLocked(j *clusterJob) {
+	if c.jl == nil {
+		return
+	}
+	raw, _ := json.Marshal(coordWire{Op: "done", Key: j.key})
+	c.jl.AppendAsync(raw)
+}
+
+// snapshotJobs serializes the live job table for a journal checkpoint.
+func (c *Coordinator) snapshotJobs() [][]byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out [][]byte
+	for _, j := range c.byID {
+		if j.state == jobDone {
+			continue
+		}
+		raw, err := json.Marshal(coordWire{
+			Op: "job", ID: j.id, Seq: c.seqOf(j.id), Key: j.key,
+			Source: j.pair.Source.String(), Target: j.pair.Target.String(),
+		})
+		if err == nil {
+			out = append(out, raw)
+		}
+	}
+	return out
 }
 
 func (c *Coordinator) logf(format string, args ...any) {
@@ -263,6 +404,7 @@ func (c *Coordinator) Synthesize(ctx context.Context, pair version.Pair, key str
 		return nil, unavailable("cluster: coordinator draining")
 	}
 	j, ok := c.jobs[key]
+	created := false
 	if !ok {
 		ranked = c.rankedAliveLocked(key)
 		if len(ranked) == 0 {
@@ -281,10 +423,16 @@ func (c *Coordinator) Synthesize(ctx context.Context, pair version.Pair, key str
 		}
 		c.jobs[key] = j
 		c.byID[j.id] = j
+		created = true
 		c.firePulseLocked()
 		c.met.placed(placeAssigned)
 	}
 	c.mu.Unlock()
+	if created {
+		// Durable before we wait: a coordinator crash from here on
+		// replays the job and re-queues the synthesis for the fleet.
+		c.journalJob(j)
+	}
 	return c.await(ctx, j)
 }
 
@@ -410,6 +558,7 @@ func (c *Coordinator) publishLocked(j *clusterJob, res *synth.Result, err error)
 	}
 	j.state = jobDone
 	j.res, j.err = res, err
+	c.journalDoneLocked(j)
 	delete(c.jobs, j.key)
 	delete(c.byID, j.id)
 	if w, ok := c.workers[j.target]; ok {
@@ -520,9 +669,11 @@ func (c *Coordinator) sweep() {
 		switch {
 		case j.state == jobLeased && now.After(j.lease):
 			c.requeueLocked(j, "lease expired")
-		case j.state == jobQueued:
+		case j.state == jobQueued && j.target != "":
 			// A queued job whose target went unhealthy must not wait for
-			// the worker to poll again.
+			// the worker to poll again. (Untargeted jobs — journal
+			// recoveries — are waiting for ANY worker and must not burn
+			// attempts while the fleet re-registers.)
 			if _, ok := c.workers[j.target]; !ok || c.breakers.State(j.target) != resilience.StateClosed {
 				c.requeueLocked(j, "target unhealthy")
 			}
@@ -533,6 +684,14 @@ func (c *Coordinator) sweep() {
 
 	for _, w := range probes {
 		go c.probe(w)
+	}
+
+	// Compact the journal once the active segment crosses the
+	// threshold: retired jobs vanish, so the log cannot grow unbounded.
+	if c.jl != nil && c.jl.ActiveSize() >= c.cfg.JournalSegmentBytes {
+		if err := c.jl.Checkpoint(c.snapshotJobs); err != nil {
+			c.logf("cluster: journal checkpoint: %v", err)
+		}
 	}
 }
 
@@ -618,11 +777,15 @@ func (c *Coordinator) Drain(ctx context.Context) error {
 	}
 }
 
-// Close drains with no deadline and stops the janitor.
+// Close drains with no deadline, stops the janitor, and closes the
+// journal (flushing any queued retirement records).
 func (c *Coordinator) Close() {
 	_ = c.Drain(context.Background())
 	c.stopOnce.Do(func() { close(c.stop) })
 	c.janitor.Wait()
+	if c.jl != nil {
+		c.jl.Close()
+	}
 }
 
 // Stats is a point-in-time cluster snapshot for /v1/stats and tests.
@@ -780,16 +943,31 @@ func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// queuedForLocked finds a queued job targeted at the worker. Caller
-// holds the lock.
+// queuedForLocked finds a queued job for the worker: one explicitly
+// targeted at it, else an untargeted job recovered from the journal (a
+// replayed job belongs to whichever live worker polls first — the
+// pre-crash placement died with the old fleet view). Caller holds the
+// lock.
 func (c *Coordinator) queuedForLocked(workerID string) *clusterJob {
-	var pick *clusterJob
+	var pick, orphan *clusterJob
 	for _, j := range c.byID {
-		if j.state == jobQueued && j.target == workerID {
+		if j.state != jobQueued {
+			continue
+		}
+		switch j.target {
+		case workerID:
 			if pick == nil || j.id < pick.id {
 				pick = j // deterministic order, oldest job first
 			}
+		case "":
+			if orphan == nil || j.id < orphan.id {
+				orphan = j
+			}
 		}
+	}
+	if pick == nil && orphan != nil {
+		orphan.target = workerID // adopt the recovered job
+		pick = orphan
 	}
 	return pick
 }

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/version"
+)
+
+// postCluster round-trips one coordinator RPC.
+func postCluster(t *testing.T, url string, req, resp any) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: HTTP %d", url, r.StatusCode)
+	}
+	if resp != nil {
+		if err := json.NewDecoder(r.Body).Decode(resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// crash simulates a coordinator dying without a drain: the janitor
+// stops and the journal closes, but no job is published or retired —
+// exactly the state a kill -9 leaves on disk.
+func (c *Coordinator) crash() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.janitor.Wait()
+	if c.jl != nil {
+		c.jl.Close()
+	}
+}
+
+// A coordinator restart replays the journaled job table: the queued
+// synthesis survives the crash, a freshly registered worker adopts it
+// through the normal poll path, and its completion retires the job so
+// a further restart replays nothing.
+func TestCoordinatorRestartRecoversJobs(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testCoordConfig(obs.NewRegistry())
+	cfg.JournalDir = dir
+	cfg.JournalNoSync = true
+	// The silent worker never answers its artifact probe; keep its
+	// breaker closed so the placement (the thing under test) happens.
+	cfg.BreakerFailures = 100
+
+	c1, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A live worker so the placement succeeds; it never polls — the job
+	// must still be queued (and journaled) when the coordinator dies.
+	c1.mu.Lock()
+	c1.workers["w-silent"] = &workerState{id: "w-silent", addr: "127.0.0.1:1", lastSeen: time.Now(), leased: map[string]*clusterJob{}}
+	c1.mu.Unlock()
+
+	pair := version.Pair{Source: version.V12_0, Target: version.V3_6}
+	key := "restart-test-key"
+	waitCtx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		c1.Synthesize(waitCtx, pair, key)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for c1.Stats().JobsPending == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel() // the waiter dies with the "process"
+	<-waiterDone
+	c1.crash()
+
+	// Incarnation two: the job table comes back from the journal.
+	cfg2 := testCoordConfig(obs.NewRegistry())
+	cfg2.JournalDir = dir
+	cfg2.JournalNoSync = true
+	c2, err := NewCoordinator(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Stats().JobsPending; got != 1 {
+		t.Fatalf("recovered JobsPending = %d, want 1", got)
+	}
+	c2.mu.Lock()
+	var recovered *clusterJob
+	for _, j := range c2.byID {
+		recovered = j
+	}
+	c2.mu.Unlock()
+	if recovered.target != "" {
+		t.Fatalf("recovered job still targets dead worker %q", recovered.target)
+	}
+	if recovered.pair != pair || recovered.key != key {
+		t.Fatalf("recovered job = %v/%q, want %v/%q", recovered.pair, recovered.key, pair, key)
+	}
+
+	// A brand-new worker registers and adopts the recovered job through
+	// the ordinary poll path — no memory of the pre-crash fleet needed.
+	srv := httptest.NewServer(c2.Handler())
+	defer srv.Close()
+	postCluster(t, srv.URL+"/cluster/v1/register", RegisterRequest{ID: "w-new", Addr: "127.0.0.1:2"}, nil)
+	var poll PollResponse
+	postCluster(t, srv.URL+"/cluster/v1/poll", PollRequest{ID: "w-new", WaitMS: 1000}, &poll)
+	if poll.Job == nil {
+		t.Fatal("recovered job not offered to the new worker")
+	}
+	if poll.Job.Key != key || poll.Job.Source != pair.Source.String() || poll.Job.Target != pair.Target.String() {
+		t.Fatalf("adopted job = %+v, want %v/%q", poll.Job, pair, key)
+	}
+
+	// Completing it (here: a classified failure — the cheapest terminal
+	// outcome) retires the key in the journal.
+	postCluster(t, srv.URL+"/cluster/v1/complete", CompleteRequest{
+		ID: poll.Job.ID, WorkerID: "w-new", Error: "no candidate program", Class: "synthesis",
+	}, nil)
+	if got := c2.Stats().JobsPending; got != 0 {
+		t.Fatalf("JobsPending after complete = %d, want 0", got)
+	}
+	c2.crash()
+
+	// Incarnation three: nothing left to replay.
+	cfg3 := testCoordConfig(obs.NewRegistry())
+	cfg3.JournalDir = dir
+	cfg3.JournalNoSync = true
+	c3, err := NewCoordinator(cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if got := c3.Stats().JobsPending; got != 0 {
+		t.Fatalf("retired job resurrected: JobsPending = %d", got)
+	}
+}
+
+// Without a journal the coordinator behaves exactly as before — the
+// zero-config path stays memory-only.
+func TestCoordinatorNoJournalConfig(t *testing.T) {
+	c, err := NewCoordinator(testCoordConfig(obs.NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.jl != nil {
+		t.Fatal("journal opened without JournalDir")
+	}
+	c.Close()
+}

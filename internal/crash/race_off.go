@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package crash is the kill -9 soak harness: it repeatedly crashes a
+// live sirod mid-batch at randomized points, restarts it over the same
+// journal and cache, and asserts that every accepted job reaches a
+// terminal state exactly once with validated results. The package has
+// no library surface — the harness lives in its external test.
+package crash
+
+const raceEnabled = false

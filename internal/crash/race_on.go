@@ -1,0 +1,7 @@
+//go:build race
+
+package crash
+
+// raceEnabled mirrors the test binary's -race flag so the harness
+// builds the daemon under the same detector it runs under.
+const raceEnabled = true

@@ -1,0 +1,338 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openT(t *testing.T, dir string) (*Journal, *Recovery) {
+	t.Helper()
+	j, rec, err := Open(Config{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, rec
+}
+
+func appendAll(t *testing.T, j *Journal, recs ...string) {
+	t.Helper()
+	for _, r := range recs {
+		if err := j.Append([]byte(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func records(rec *Recovery) []string {
+	var out []string
+	for _, r := range rec.Records {
+		out = append(out, string(r))
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, rec := openT(t, dir)
+	if len(rec.Records) != 0 || rec.Dropped != 0 {
+		t.Fatalf("fresh journal recovered %d records, %d dropped", len(rec.Records), rec.Dropped)
+	}
+	appendAll(t, j, "a", "b", "c")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rec2 := openT(t, dir)
+	defer j2.Close()
+	got := records(rec2)
+	want := []string{"a", "b", "c"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("replayed %v, want %v", got, want)
+	}
+	if rec2.Dropped != 0 {
+		t.Fatalf("dropped %d on a clean log", rec2.Dropped)
+	}
+}
+
+// Concurrent appends group-commit and all survive replay.
+func TestConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	const n = 200
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := j.Append([]byte(fmt.Sprintf("rec-%03d", i))); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openT(t, dir)
+	if len(rec.Records) != n {
+		t.Fatalf("replayed %d records, want %d", len(rec.Records), n)
+	}
+	seen := map[string]bool{}
+	for _, r := range rec.Records {
+		if seen[string(r)] {
+			t.Fatalf("duplicate record %q", r)
+		}
+		seen[string(r)] = true
+	}
+}
+
+// Satellite: a truncated tail record is detected, dropped, and never
+// served — records before the tear survive.
+func TestTornTailRecordDropped(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	appendAll(t, j, "keep-1", "keep-2", "torn-record-payload")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seg := onlySegment(t, dir)
+	blob, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear mid-payload of the final record.
+	if err := os.WriteFile(seg, blob[:len(blob)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec := openT(t, dir)
+	if got, want := fmt.Sprint(records(rec)), fmt.Sprint([]string{"keep-1", "keep-2"}); got != want {
+		t.Fatalf("replayed %v, want %v", records(rec), want)
+	}
+	if rec.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", rec.Dropped)
+	}
+}
+
+// Satellite: a torn frame header (shorter than the 8-byte frame) at the
+// tail is also dropped cleanly.
+func TestTornFrameHeaderDropped(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	appendAll(t, j, "keep", "gone")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := onlySegment(t, dir)
+	blob, _ := os.ReadFile(seg)
+	// Leave 3 bytes of the final record's frame.
+	cut := len(blob) - (frameBytes + len("gone")) + 3
+	os.WriteFile(seg, blob[:cut], 0o644)
+
+	_, rec := openT(t, dir)
+	if got := records(rec); len(got) != 1 || got[0] != "keep" {
+		t.Fatalf("replayed %v, want [keep]", got)
+	}
+	if rec.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", rec.Dropped)
+	}
+}
+
+// Satellite: a bit-flipped CRC mid-segment drops that record and the
+// untrustworthy remainder of its segment, but later segments replay.
+func TestBitFlippedCRCMidSegment(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	appendAll(t, j, "good-1", "victim", "shadowed")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := onlySegment(t, dir)
+	blob, _ := os.ReadFile(seg)
+	// Find the victim's payload and flip one bit (the CRC now lies).
+	i := bytes.Index(blob, []byte("victim"))
+	if i < 0 {
+		t.Fatal("victim record not found")
+	}
+	blob[i] ^= 0x01
+	os.WriteFile(seg, blob, 0o644)
+
+	j2, rec := openT(t, dir)
+	if got := records(rec); len(got) != 1 || got[0] != "good-1" {
+		t.Fatalf("replayed %v, want [good-1]", got)
+	}
+	if rec.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", rec.Dropped)
+	}
+	// The journal stays usable: new appends land in a fresh segment and
+	// replay alongside the survivors.
+	appendAll(t, j2, "after-corruption")
+	j2.Close()
+	_, rec2 := openT(t, dir)
+	if got, want := fmt.Sprint(records(rec2)), fmt.Sprint([]string{"good-1", "after-corruption"}); got != want {
+		t.Fatalf("replayed %v, want %v", records(rec2), want)
+	}
+}
+
+// A corrupt length field (beyond the sanity bound) stops the segment
+// instead of allocating garbage.
+func TestCorruptLengthDropped(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	appendAll(t, j, "ok", "len-victim")
+	j.Close()
+	seg := onlySegment(t, dir)
+	blob, _ := os.ReadFile(seg)
+	// The second record's frame starts after header + frame + "ok".
+	off := len(header) + frameBytes + len("ok")
+	binary.LittleEndian.PutUint32(blob[off:off+4], uint32(maxRecord)+7)
+	os.WriteFile(seg, blob, 0o644)
+
+	_, rec := openT(t, dir)
+	if got := records(rec); len(got) != 1 || got[0] != "ok" {
+		t.Fatalf("replayed %v, want [ok]", got)
+	}
+	if rec.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", rec.Dropped)
+	}
+}
+
+// Satellite: an empty segment file (created, never written) replays as
+// empty rather than erroring — the crash window between segment
+// creation and first append is survivable.
+func TestEmptySegmentFile(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	appendAll(t, j, "solo")
+	j.Close()
+	// Simulate a crash right after createSegment's O_CREATE: a
+	// zero-byte segment newer than the real one.
+	if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf(segmentByFmt, int64(99))), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openT(t, dir)
+	if got := records(rec); len(got) != 1 || got[0] != "solo" {
+		t.Fatalf("replayed %v, want [solo]", got)
+	}
+	if rec.Dropped != 0 {
+		t.Fatalf("dropped = %d, want 0 for an empty segment", rec.Dropped)
+	}
+	// Header-only (fresh but committed-to-disk) segments are also fine.
+	if rec.Segments != 2 {
+		t.Fatalf("segments = %d, want 2", rec.Segments)
+	}
+}
+
+// Satellite: replaying the same journal twice yields identical state —
+// recovery is idempotent, so repeated crashes cannot diverge.
+func TestReplayTwiceIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	appendAll(t, j, "r1", "r2", "r3")
+	j.Close()
+
+	_, first := openT(t, dir)
+	_, second := openT(t, dir)
+	if fmt.Sprint(records(first)) != fmt.Sprint(records(second)) {
+		t.Fatalf("replay diverged: %v vs %v", records(first), records(second))
+	}
+	if first.Dropped != second.Dropped {
+		t.Fatalf("dropped diverged: %d vs %d", first.Dropped, second.Dropped)
+	}
+}
+
+// Checkpoint rotates atomically: the snapshot becomes the new segment,
+// older segments are GC'd, and replay sees snapshot + later appends.
+func TestCheckpointRotationAndGC(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	appendAll(t, j, "dead-1", "dead-2", "live-1")
+	if err := j.Checkpoint(func() [][]byte { return [][]byte{[]byte("live-1")} }); err != nil {
+		t.Fatal(err)
+	}
+	if n := j.Segments(); n != 1 {
+		t.Fatalf("segments after checkpoint = %d, want 1", n)
+	}
+	appendAll(t, j, "live-2")
+	j.Close()
+
+	_, rec := openT(t, dir)
+	if got, want := fmt.Sprint(records(rec)), fmt.Sprint([]string{"live-1", "live-2"}); got != want {
+		t.Fatalf("replayed %v, want %v", records(rec), want)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, segmentGlob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 { // checkpointed segment + the new open's active one
+		t.Fatalf("segment files on disk = %d (%v), want 2", len(segs), segs)
+	}
+}
+
+// The checkpoint snapshot is serialized against the append stream: it
+// must observe every record appended before it. (The snapshot callback
+// runs on the committer at the checkpoint's queue position.)
+func TestCheckpointSerialization(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	var mu sync.Mutex
+	state := map[string]bool{}
+	add := func(s string) {
+		mu.Lock()
+		state[s] = true
+		mu.Unlock()
+		if err := j.Append([]byte(s)); err != nil {
+			t.Error(err)
+		}
+	}
+	add("x")
+	add("y")
+	err := j.Checkpoint(func() [][]byte {
+		mu.Lock()
+		defer mu.Unlock()
+		var out [][]byte
+		for s := range state {
+			out = append(out, []byte(s))
+		}
+		return out
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, rec := openT(t, dir)
+	if len(rec.Records) != 2 {
+		t.Fatalf("replayed %d records, want the 2 snapshot records", len(rec.Records))
+	}
+}
+
+// Closed journals refuse appends.
+func TestAppendAfterClose(t *testing.T) {
+	j, _ := openT(t, t.TempDir())
+	j.Close()
+	if err := j.Append([]byte("late")); err != ErrClosed {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+	if err := j.Close(); err != nil { // idempotent
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// onlySegment returns the single segment file in dir.
+func onlySegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, segmentGlob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("segments = %v, want exactly one", segs)
+	}
+	return segs[0]
+}

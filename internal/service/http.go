@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/failure"
@@ -113,6 +114,34 @@ type HandlerOpts struct {
 	// DisableMetricsEndpoint hides /metrics even when the service has a
 	// registry.
 	DisableMetricsEndpoint bool
+	// Jobs mounts the async/batch API (POST /v1/batch, GET /v1/jobs,
+	// GET /v1/jobs/{id}) when non-nil, and journals a marker for each
+	// synchronous translate.
+	Jobs *Jobs
+	// PollTimeout caps GET /v1/jobs/{id}?wait= long-polls; 0 means 30s.
+	PollTimeout time.Duration
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Jobs []BatchItem `json:"jobs"`
+}
+
+// BatchResponse is the 202 body of POST /v1/batch: ids to poll.
+type BatchResponse struct {
+	Jobs []BatchJobRef `json:"jobs"`
+}
+
+// BatchJobRef names one accepted job.
+type BatchJobRef struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+}
+
+// JobsResponse is the body of GET /v1/jobs.
+type JobsResponse struct {
+	Counts map[string]int `json:"counts"`
+	Jobs   []JobView      `json:"jobs"`
 }
 
 // Handler exposes the service over HTTP with default options.
@@ -185,6 +214,11 @@ func NewHandler(s *Service, opts HandlerOpts) http.Handler {
 		}
 		start := time.Now()
 		res, err := s.TranslateTextResult(ctx, req.IR, src, tgt)
+		if opts.Jobs != nil {
+			// Hot-path durability marker: an async enqueue, never an
+			// fsync wait (bench-journal gates this at ≤5% overhead).
+			opts.Jobs.RecordSync(err)
+		}
 		if err != nil {
 			writeError(w, httpStatus(err), err)
 			logSlow("error", err)
@@ -205,6 +239,63 @@ func NewHandler(s *Service, opts HandlerOpts) http.Handler {
 		writeJSON(w, http.StatusOK, resp)
 		logSlow("ok", nil)
 	}))
+	if opts.Jobs != nil {
+		pollCap := opts.PollTimeout
+		if pollCap <= 0 {
+			pollCap = 30 * time.Second
+		}
+		mux.HandleFunc("/v1/batch", method(http.MethodPost, func(w http.ResponseWriter, r *http.Request) {
+			if maxBody > 0 {
+				// A batch is many modules: give it proportionally more room.
+				r.Body = http.MaxBytesReader(w, r.Body, maxBody*16)
+			}
+			var req BatchRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				err = failure.Wrapf(failure.Parse, "bad request body: %w", err)
+				writeError(w, httpStatus(err), err)
+				return
+			}
+			ids, err := opts.Jobs.Submit(req.Jobs)
+			if err != nil {
+				writeError(w, httpStatus(err), err)
+				return
+			}
+			resp := BatchResponse{}
+			for _, id := range ids {
+				resp.Jobs = append(resp.Jobs, BatchJobRef{ID: id, State: string(JobAccepted)})
+			}
+			writeJSON(w, http.StatusAccepted, resp)
+		}))
+		mux.HandleFunc("/v1/jobs", method(http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
+			counts, views := opts.Jobs.List()
+			writeJSON(w, http.StatusOK, JobsResponse{Counts: counts, Jobs: views})
+		}))
+		mux.HandleFunc("/v1/jobs/", method(http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
+			id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+			if id == "" || strings.Contains(id, "/") {
+				writeError(w, http.StatusNotFound, failure.Wrapf(failure.Parse, "unknown job id %q", id))
+				return
+			}
+			wait := time.Duration(0)
+			if ws := r.URL.Query().Get("wait"); ws != "" {
+				d, err := time.ParseDuration(ws)
+				if err != nil {
+					writeError(w, http.StatusBadRequest, failure.Wrapf(failure.Parse, "bad wait %q: %v", ws, err))
+					return
+				}
+				if d > pollCap {
+					d = pollCap // bound the long-poll: no client parks a conn forever
+				}
+				wait = d
+			}
+			view, ok := opts.Jobs.Wait(r.Context(), id, wait)
+			if !ok {
+				writeError(w, http.StatusNotFound, failure.Wrapf(failure.Parse, "unknown job id %q", id))
+				return
+			}
+			writeJSON(w, http.StatusOK, view)
+		}))
+	}
 	mux.HandleFunc("/v1/stats", method(http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	}))

@@ -1,0 +1,122 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// The durability layer must not tax the synchronous hot path: with a
+// journal attached, /v1/translate pays one async enqueue per request
+// (RecordSync) — the fsync rides the committer's next batch. This
+// report (run by `make bench-journal`) holds that overhead within 5%
+// of the journal-disabled baseline and writes BENCH_journal.json for
+// CI to archive.
+
+// benchSyncTranslate measures a warmed cache-hit Translate round trip,
+// followed by the same RecordSync call the HTTP handler makes when a
+// journal is configured (js == nil means journal disabled).
+func benchSyncTranslate(b *testing.B, withJournal bool) {
+	p := benchPair()
+	svc := New(Config{Workers: 4})
+	defer svc.Close()
+	var js *Jobs
+	if withJournal {
+		var err error
+		js, _, err = NewJobs(svc, JobsConfig{Dir: b.TempDir(), Runners: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer js.Close()
+	}
+	if err := svc.Warm(context.Background(), p.Source, p.Target); err != nil {
+		b.Fatal(err)
+	}
+	m := benchModule(b, p.Source)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := svc.Translate(context.Background(), p.Source, p.Target, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if js != nil {
+			js.RecordSync(err)
+		}
+	}
+}
+
+// BenchmarkSyncTranslateJournaled is the journal-enabled path: the
+// real fsyncing journal (no NoSync shortcut), exactly as sirod runs it.
+func BenchmarkSyncTranslateJournaled(b *testing.B) {
+	benchSyncTranslate(b, true)
+}
+
+// BenchmarkSyncTranslateUnjournaled is the baseline with the async job
+// API off.
+func BenchmarkSyncTranslateUnjournaled(b *testing.B) {
+	benchSyncTranslate(b, false)
+}
+
+// TestJournalBenchReport gates the journal's hot-path cost at 5%
+// (best of 3 runs each, same protocol as the obs gate) and — when
+// SIRO_BENCH_JSON names a file — writes the measurements as JSON.
+func TestJournalBenchReport(t *testing.T) {
+	if raceDetectorOn {
+		t.Skip("race-detector instrumentation skews the overhead ratio; gated by make bench-journal")
+	}
+	out := os.Getenv("SIRO_BENCH_JSON")
+	if out == "" && testing.Short() {
+		t.Skip("short mode and no SIRO_BENCH_JSON set")
+	}
+	best := func(bench func(*testing.B)) int64 {
+		bestNs := int64(0)
+		for i := 0; i < 3; i++ {
+			r := testing.Benchmark(bench)
+			if ns := r.NsPerOp(); ns > 0 && (bestNs == 0 || ns < bestNs) {
+				bestNs = ns
+			}
+		}
+		return bestNs
+	}
+	journaledNs := best(BenchmarkSyncTranslateJournaled)
+	baseNs := best(BenchmarkSyncTranslateUnjournaled)
+	if journaledNs <= 0 || baseNs <= 0 {
+		t.Fatalf("degenerate measurements: journaled %d ns/op, baseline %d ns/op", journaledNs, baseNs)
+	}
+	overhead := float64(journaledNs)/float64(baseNs) - 1
+	t.Logf("sync translate journaled %d ns/op, unjournaled %d ns/op, overhead %+.2f%%",
+		journaledNs, baseNs, overhead*100)
+	const maxOverhead = 0.05
+	if overhead > maxOverhead {
+		t.Fatalf("journal overhead %.2f%% exceeds %.0f%% budget", overhead*100, maxOverhead*100)
+	}
+	if out == "" {
+		return
+	}
+	report := struct {
+		Benchmark     string  `json:"benchmark"`
+		Pair          string  `json:"pair"`
+		JournaledNsOp int64   `json:"journaled_ns_per_op"`
+		BaselineNsOp  int64   `json:"unjournaled_ns_per_op"`
+		Overhead      float64 `json:"overhead"`
+		Threshold     float64 `json:"threshold"`
+		Runs          int     `json:"runs_each"`
+	}{
+		Benchmark:     "cache-hit translate + RecordSync: journaled vs unjournaled",
+		Pair:          benchPair().String(),
+		JournaledNsOp: journaledNs,
+		BaselineNsOp:  baseNs,
+		Overhead:      overhead,
+		Threshold:     maxOverhead,
+		Runs:          3,
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

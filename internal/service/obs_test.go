@@ -183,12 +183,20 @@ func TestTranslateBodyTooLarge(t *testing.T) {
 func TestEndpointMethodMatrix(t *testing.T) {
 	svc := New(Config{Workers: 1})
 	defer svc.Close()
-	srv := httptest.NewServer(Handler(svc))
+	jobs, _, err := NewJobs(svc, JobsConfig{Dir: t.TempDir(), NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jobs.Close()
+	srv := httptest.NewServer(NewHandler(svc, HandlerOpts{Jobs: jobs}))
 	defer srv.Close()
 	client := srv.Client()
 
 	endpoints := []struct{ path, allow string }{
 		{"/v1/translate", http.MethodPost},
+		{"/v1/batch", http.MethodPost},
+		{"/v1/jobs", http.MethodGet},
+		{"/v1/jobs/no-such-id", http.MethodGet},
 		{"/v1/stats", http.MethodGet},
 		{"/v1/versions", http.MethodGet},
 		{"/healthz", http.MethodGet},
