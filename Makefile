@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz soak soak-smoke cluster-smoke crash-smoke bench bench-service bench-obs bench-journal clean
+.PHONY: check fmt vet build test race fuzz soak soak-smoke cluster-smoke crash-smoke tenant-smoke bench bench-service bench-obs bench-journal bench-gateway clean
 
 check: fmt vet build test race
 
@@ -24,7 +24,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/synth ./internal/interp ./internal/service ./internal/obs ./internal/resilience ./internal/cluster ./internal/journal
+	$(GO) test -race ./internal/synth ./internal/interp ./internal/service ./internal/obs ./internal/resilience ./internal/cluster ./internal/journal ./internal/tenant
 
 # Short fuzz smoke of the fuzz targets; crashers land in
 # internal/<pkg>/testdata/fuzz and are replayed by plain `go test`.
@@ -79,6 +79,18 @@ crash-smoke:
 	SIRO_CRASH_JSON=$(CRASH_JSON) \
 		$(GO) test -race ./internal/crash -run TestCrashSoak -count=1 -v -timeout 10m
 
+# Multi-tenant contention soak: fairness (10:1 load split ~50/50 by
+# DRR), cross-tenant coalescing (one synthesis, every requester
+# charged), and a 3-tenant flood-vs-interactive fleet through the full
+# gateway stack. Race-enabled. Exits non-zero on cross-tenant
+# starvation, any unclassified response, or interactive latency blowing
+# past its bound. TENANT_JSON names the machine-readable summary,
+# archived by CI next to the soak summaries.
+TENANT_JSON ?= $(CURDIR)/TENANT_summary.json
+tenant-smoke:
+	SIRO_TENANT_SECONDS=3 SIRO_TENANT_JSON=$(TENANT_JSON) \
+		$(GO) test -race ./internal/service -run TestTenantSmoke -count=1 -v -timeout 10m
+
 bench:
 	$(GO) test -bench=. -benchmem
 
@@ -97,6 +109,12 @@ bench-obs:
 # BENCH_journal.json.
 bench-journal:
 	SIRO_BENCH_JSON=$(CURDIR)/BENCH_journal.json $(GO) test ./internal/service -run TestJournalBenchReport -count=1 -v
+
+# Gateway (auth + fair queue) vs anonymous direct-handler benchmark;
+# asserts the multi-tenant front door costs <= 5% on the cache-hit
+# translate path and writes BENCH_gateway.json.
+bench-gateway:
+	SIRO_BENCH_JSON=$(CURDIR)/BENCH_gateway.json $(GO) test ./internal/service -run TestGatewayBenchReport -count=1 -v
 
 clean:
 	$(GO) clean ./...

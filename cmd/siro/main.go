@@ -36,6 +36,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/synth"
+	"repro/internal/tenant"
 	"repro/internal/version"
 )
 
@@ -57,11 +58,15 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "with -serve: graceful-drain deadline on SIGTERM/SIGINT")
 	maxRetries := flag.Int("max-retries", 2, "with -serve: transient synthesis failures retried before the pair's breaker advances")
 	shedQueue := flag.Int("shed-queue", 0, "with -serve: queue depth at which admission sheds with 429 (0: when full, negative: block)")
+	tenantsFile := flag.String("tenants", "", "with -serve: multi-tenant gateway config (JSON); SIGHUP hot-reloads it (empty: anonymous access)")
+	defaultQuota := flag.Float64("default-quota", 0, "with -serve: default per-tenant rate limit in req/s for tenants that omit rate_per_sec (0: unlimited)")
+	fairQueue := flag.Bool("fair-queue", false, "with -serve: per-tenant weighted (deficit-round-robin) fair queueing")
 	flag.Parse()
 
 	if *serve {
 		runServe(*addr, *cacheDir, serveOpts{maxBody: *maxBody, traceLog: *traceLog, slow: *slow, pprof: *pprofOn,
-			drainTimeout: *drainTimeout, maxRetries: *maxRetries, shedQueue: *shedQueue})
+			drainTimeout: *drainTimeout, maxRetries: *maxRetries, shedQueue: *shedQueue,
+			tenantsFile: *tenantsFile, defaultQuota: *defaultQuota, fairQueue: *fairQueue})
 		return
 	}
 	if *warmMatrix {
@@ -169,16 +174,31 @@ type serveOpts struct {
 	drainTimeout time.Duration
 	maxRetries   int
 	shedQueue    int
+	tenantsFile  string
+	defaultQuota float64
+	fairQueue    bool
 }
 
 // runServe runs the same daemon as cmd/sirod, for installs that only
 // ship the siro binary.
 func runServe(addr, cacheDir string, so serveOpts) {
+	var registry *tenant.Registry
+	if so.tenantsFile != "" {
+		tenants, err := tenant.LoadFile(so.tenantsFile)
+		if err != nil {
+			log.Fatalf("siro: -tenants: %v", err)
+		}
+		registry = tenant.NewRegistry(tenants, tenant.Defaults{RatePerSec: so.defaultQuota})
+		log.Printf("siro: gateway enabled with %d tenant(s) from %s", registry.Len(), so.tenantsFile)
+	}
 	svc := service.New(service.Config{
-		CacheDir:   cacheDir,
-		JobTimeout: 2 * time.Minute,
-		MaxRetries: so.maxRetries,
-		ShedAt:     so.shedQueue,
+		CacheDir:     cacheDir,
+		JobTimeout:   2 * time.Minute,
+		MaxRetries:   so.maxRetries,
+		ShedAt:       so.shedQueue,
+		FairQueue:    so.fairQueue,
+		TenantWeight: registry.Weight,
+		Coalesce:     registry != nil,
 	})
 	defer svc.Close()
 	opts := service.HandlerOpts{MaxBodyBytes: so.maxBody, Pprof: so.pprof}
@@ -190,7 +210,32 @@ func runServe(addr, cacheDir string, so serveOpts) {
 		defer f.Close()
 		opts.SlowLog = obs.NewSlowLog(f, so.slow)
 	}
-	server := &http.Server{Addr: addr, Handler: service.NewHandler(svc, opts)}
+	var handler http.Handler
+	{
+		var gw *tenant.Gateway
+		if registry != nil {
+			gw = tenant.NewGateway(tenant.GatewayConfig{Registry: registry, Metrics: svc.Metrics(), Logf: log.Printf})
+			opts.GatewayStats = gw.Stats
+		}
+		handler = service.NewHandler(svc, opts)
+		if gw != nil {
+			handler = gw.Wrap(handler)
+			hupc := make(chan os.Signal, 1)
+			signal.Notify(hupc, syscall.SIGHUP)
+			go func() {
+				for range hupc {
+					tenants, err := tenant.LoadFile(so.tenantsFile)
+					if err != nil {
+						log.Printf("siro: SIGHUP: keeping previous tenants: %v", err)
+						continue
+					}
+					registry.Replace(tenants)
+					log.Printf("siro: SIGHUP: reloaded %d tenant(s) from %s", registry.Len(), so.tenantsFile)
+				}
+			}()
+		}
+	}
+	server := &http.Server{Addr: addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)

@@ -46,6 +46,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/service"
+	"repro/internal/tenant"
 	"repro/internal/version"
 )
 
@@ -75,6 +76,9 @@ func main() {
 	journalSegBytes := flag.Int64("journal-segment-bytes", 4<<20, "journal active-segment size that triggers a checkpoint (compaction + old-segment GC)")
 	jobRunners := flag.Int("job-runners", 2, "goroutines draining the async job queue (each job still passes normal admission)")
 	pollTimeout := flag.Duration("poll-timeout", 30*time.Second, "upper bound on GET /v1/jobs/{id}?wait= long-polls")
+	tenantsFile := flag.String("tenants", "", "multi-tenant gateway config (JSON): API keys, weights, quotas; SIGHUP hot-reloads it (empty: no gateway, anonymous access)")
+	defaultQuota := flag.Float64("default-quota", 0, "default per-tenant rate limit in req/s for tenants that omit rate_per_sec (0: unlimited)")
+	fairQueue := flag.Bool("fair-queue", false, "replace the FIFO worker queue with per-tenant weighted (deficit-round-robin) fair queueing")
 	clusterListen := flag.String("cluster-listen", "", "run as cluster coordinator: listen address for the /cluster/v1 worker protocol")
 	join := flag.String("join", "", "run as cluster worker: the coordinator's base URL, e.g. http://coord:8348")
 	advertise := flag.String("advertise", "", "worker mode: address the coordinator can reach this daemon's listener at (default: -addr with 127.0.0.1 for an empty host)")
@@ -89,6 +93,18 @@ func main() {
 	var reg *obs.Registry
 	if !*noMetrics {
 		reg = obs.NewRegistry()
+	}
+
+	// The tenant registry exists before the service: its Weight hook is
+	// the fair queue's scheduling input.
+	var registry *tenant.Registry
+	if *tenantsFile != "" {
+		tenants, err := tenant.LoadFile(*tenantsFile)
+		if err != nil {
+			log.Fatalf("sirod: -tenants: %v", err)
+		}
+		registry = tenant.NewRegistry(tenants, tenant.Defaults{RatePerSec: *defaultQuota})
+		log.Printf("sirod: gateway enabled with %d tenant(s) from %s", registry.Len(), *tenantsFile)
 	}
 
 	// The coordinator must exist before the service: it is the
@@ -129,6 +145,12 @@ func main() {
 		ServeTrials:          *serveTrials,
 		DegradeUnderPressure: *degrade,
 		Remote:               remoteOrNil(coord),
+		FairQueue:            *fairQueue,
+		TenantWeight:         registry.Weight,
+		// Coalescing rides with tenancy: the cross-tenant dedup is the
+		// gateway feature; anonymous single-tenant deployments keep
+		// their exact request-per-translation semantics.
+		Coalesce: registry != nil,
 	})
 	defer svc.Close()
 
@@ -143,6 +165,7 @@ func main() {
 			Runners:      *jobRunners,
 			Metrics:      reg,
 			Logf:         log.Printf,
+			JobQuota:     registry.MaxJobs,
 		})
 		if err != nil {
 			log.Fatalf("sirod: job journal: %v", err)
@@ -185,7 +208,31 @@ func main() {
 		}
 	}
 
+	var gw *tenant.Gateway
+	if registry != nil {
+		gw = tenant.NewGateway(tenant.GatewayConfig{Registry: registry, Metrics: reg, Logf: log.Printf})
+		opts.GatewayStats = gw.Stats
+	}
 	handler := service.NewHandler(svc, opts)
+	if gw != nil {
+		handler = gw.Wrap(handler)
+		// SIGHUP hot-reloads the tenants file: retained tenants keep
+		// their bucket levels and in-flight counts, removed keys stop
+		// authenticating on the next request, in-flight work finishes.
+		hupc := make(chan os.Signal, 1)
+		signal.Notify(hupc, syscall.SIGHUP)
+		go func() {
+			for range hupc {
+				tenants, err := tenant.LoadFile(*tenantsFile)
+				if err != nil {
+					log.Printf("sirod: SIGHUP: keeping previous tenants: %v", err)
+					continue
+				}
+				registry.Replace(tenants)
+				log.Printf("sirod: SIGHUP: reloaded %d tenant(s) from %s", registry.Len(), *tenantsFile)
+			}
+		}()
+	}
 	var worker *cluster.Worker
 	if *join != "" {
 		w, err := cluster.NewWorker(cluster.WorkerConfig{

@@ -19,6 +19,8 @@
 //	Unsupported — a construct has no translation at the target version
 //	              (uncovered kind, unseen sub-kind, new instruction with
 //	              no handler).
+//	Auth        — the caller could not be identified: a missing, unknown,
+//	              or revoked API key at the multi-tenant gateway.
 //
 // Classification is sticky: the first (innermost) class attached to an
 // error wins, so an ErrBudget raised deep inside validation is still
@@ -38,17 +40,18 @@ type Class struct{ name string }
 // Error makes a Class usable as an errors.Is target and as a bare error.
 func (c *Class) Error() string { return c.name }
 
-// The five classes of the pipeline failure model.
+// The six classes of the pipeline failure model.
 var (
 	Parse       = &Class{"parse error"}
 	Synthesis   = &Class{"synthesis error"}
 	Validation  = &Class{"validation error"}
 	Budget      = &Class{"budget exhausted"}
 	Unsupported = &Class{"unsupported construct"}
+	Auth        = &Class{"authentication failed"}
 )
 
 // classes in ExitCode priority order.
-var classes = []*Class{Parse, Synthesis, Validation, Budget, Unsupported}
+var classes = []*Class{Parse, Synthesis, Validation, Budget, Unsupported, Auth}
 
 // classified tags an error with its class; both the class and the
 // wrapped error stay visible to errors.Is/errors.As.
@@ -127,6 +130,8 @@ func ExitCode(err error) int {
 		return 6
 	case Unsupported:
 		return 7
+	case Auth:
+		return 8
 	}
 	return 1
 }

@@ -30,6 +30,7 @@ type Trace struct {
 
 	mu     sync.Mutex
 	stages []Stage
+	annots map[string]string
 }
 
 // NewTrace starts a trace now.
@@ -56,6 +57,39 @@ func (t *Trace) Start(name string) func() {
 	}
 	start := time.Now()
 	return func() { t.Add(name, time.Since(start)) }
+}
+
+// Annotate attaches request metadata (e.g. the authenticated tenant
+// id) to the trace. Annotations ride into the slow-request log next to
+// the stage breakdown. Values should identify, never authenticate: an
+// API key must not be annotated.
+func (t *Trace) Annotate(key, value string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.annots == nil {
+		t.annots = map[string]string{}
+	}
+	t.annots[key] = value
+	t.mu.Unlock()
+}
+
+// Annotations snapshots the attached metadata (nil when none).
+func (t *Trace) Annotations() map[string]string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.annots) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(t.annots))
+	for k, v := range t.annots {
+		out[k] = v
+	}
+	return out
 }
 
 // Stages snapshots the recorded stages.
@@ -113,10 +147,11 @@ func NewSlowLog(w io.Writer, threshold time.Duration) *SlowLog {
 // slowEntry is the JSON line layout; fields holds request metadata
 // (endpoint, versions, outcome) supplied by the caller.
 type slowEntry struct {
-	ElapsedNs   int64          `json:"elapsed_ns"`
-	ThresholdNs int64          `json:"threshold_ns"`
-	Stages      []Stage        `json:"stages,omitempty"`
-	Fields      map[string]any `json:"fields,omitempty"`
+	ElapsedNs   int64             `json:"elapsed_ns"`
+	ThresholdNs int64             `json:"threshold_ns"`
+	Stages      []Stage           `json:"stages,omitempty"`
+	Annotations map[string]string `json:"annotations,omitempty"`
+	Fields      map[string]any    `json:"fields,omitempty"`
 }
 
 // Record logs the trace if it crossed the threshold. It is safe for
@@ -133,6 +168,7 @@ func (l *SlowLog) Record(tr *Trace, fields map[string]any) {
 		ElapsedNs:   elapsed.Nanoseconds(),
 		ThresholdNs: l.threshold.Nanoseconds(),
 		Stages:      tr.Stages(),
+		Annotations: tr.Annotations(),
 		Fields:      fields,
 	})
 	if err != nil {

@@ -18,6 +18,10 @@ const (
 	// Draining: the service is shutting down and no longer admits
 	// work. The client should fail over — HTTP 503.
 	Draining
+	// Quota: the authenticated tenant exhausted its own allowance (rate
+	// limit, in-flight cap, or job quota) while the service itself has
+	// capacity. The client should back off and retry — HTTP 429.
+	Quota
 )
 
 func (k RejectKind) String() string {
@@ -26,6 +30,8 @@ func (k RejectKind) String() string {
 		return "overload"
 	case Draining:
 		return "draining"
+	case Quota:
+		return "quota"
 	}
 	return "?"
 }
@@ -52,6 +58,14 @@ func Overloaded(retryAfter time.Duration, format string, args ...any) *Rejection
 // message.
 func DrainingRejection(retryAfter time.Duration, format string, args ...any) *Rejection {
 	return &Rejection{Kind: Draining, RetryAfter: retryAfter, Err: failure.Wrapf(failure.Budget, format, args...)}
+}
+
+// QuotaExceeded builds a Quota rejection with a Budget-classed message:
+// the tenant spent its own allowance, the same resource class as any
+// other exhausted budget, but the kind maps to 429 so the client knows
+// backing off (not failing over) is the cure.
+func QuotaExceeded(retryAfter time.Duration, format string, args ...any) *Rejection {
+	return &Rejection{Kind: Quota, RetryAfter: retryAfter, Err: failure.Wrapf(failure.Budget, format, args...)}
 }
 
 // RetryAfterHint extracts the retry hint an error carries: a

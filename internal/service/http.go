@@ -13,6 +13,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/obs"
 	"repro/internal/resilience"
+	"repro/internal/tenant"
 	"repro/internal/version"
 )
 
@@ -82,7 +83,9 @@ func httpStatus(err error) int {
 	}
 	var rej *resilience.Rejection
 	if errors.As(err, &rej) {
-		if rej.Kind == resilience.Overload {
+		// Overload and Quota both mean "you, retry here, later" — 429;
+		// Draining means "this instance is going away" — 503.
+		if rej.Kind == resilience.Overload || rej.Kind == resilience.Quota {
 			return http.StatusTooManyRequests
 		}
 		return http.StatusServiceUnavailable
@@ -90,6 +93,8 @@ func httpStatus(err error) int {
 	switch failure.ClassOf(err) {
 	case failure.Parse:
 		return http.StatusBadRequest
+	case failure.Auth:
+		return http.StatusUnauthorized
 	case failure.Unsupported:
 		return http.StatusUnprocessableEntity
 	case failure.Budget:
@@ -120,6 +125,11 @@ type HandlerOpts struct {
 	Jobs *Jobs
 	// PollTimeout caps GET /v1/jobs/{id}?wait= long-polls; 0 means 30s.
 	PollTimeout time.Duration
+	// GatewayStats, when set, merges the tenant gateway's per-tenant
+	// admission counters into GET /v1/stats (typically
+	// tenant.(*Gateway).Stats), so one endpoint answers both "what did
+	// the service do" and "what did the front door refuse".
+	GatewayStats func() map[string]tenant.GateStats
 }
 
 // BatchRequest is the body of POST /v1/batch.
@@ -138,10 +148,20 @@ type BatchJobRef struct {
 	State string `json:"state"`
 }
 
-// JobsResponse is the body of GET /v1/jobs.
+// JobsResponse is the body of GET /v1/jobs: counts cover every known
+// job; Jobs holds the newest ?limit= of them (default 100), newest
+// first.
 type JobsResponse struct {
 	Counts map[string]int `json:"counts"`
 	Jobs   []JobView      `json:"jobs"`
+}
+
+// statsResponse is the body of GET /v1/stats: the service counters,
+// plus the tenant gateway's per-tenant admission slice when one fronts
+// this handler.
+type statsResponse struct {
+	Stats
+	Gateway map[string]tenant.GateStats `json:"gateway,omitempty"`
 }
 
 // Handler exposes the service over HTTP with default options.
@@ -173,6 +193,11 @@ func NewHandler(s *Service, opts HandlerOpts) http.Handler {
 	mux.HandleFunc("/v1/translate", method(http.MethodPost, func(w http.ResponseWriter, r *http.Request) {
 		tr := obs.NewTrace()
 		ctx := obs.WithTrace(r.Context(), tr)
+		// The tenant id (stamped by the gateway) rides the trace into
+		// the slow-request log; the API key never does.
+		if id := tenant.From(ctx); id != "" {
+			tr.Annotate("tenant", id)
+		}
 		req := TranslateRequest{Source: "auto"}
 		logSlow := func(outcome string, err error) {
 			fields := map[string]any{
@@ -180,6 +205,9 @@ func NewHandler(s *Service, opts HandlerOpts) http.Handler {
 				"source":   req.Source,
 				"target":   req.Target,
 				"outcome":  outcome,
+			}
+			if id := tenant.From(ctx); id != "" {
+				fields["tenant"] = id
 			}
 			if err != nil {
 				fields["class"] = classLabel(err)
@@ -255,7 +283,7 @@ func NewHandler(s *Service, opts HandlerOpts) http.Handler {
 				writeError(w, httpStatus(err), err)
 				return
 			}
-			ids, err := opts.Jobs.Submit(req.Jobs)
+			ids, err := opts.Jobs.Submit(r.Context(), req.Jobs)
 			if err != nil {
 				writeError(w, httpStatus(err), err)
 				return
@@ -267,7 +295,16 @@ func NewHandler(s *Service, opts HandlerOpts) http.Handler {
 			writeJSON(w, http.StatusAccepted, resp)
 		}))
 		mux.HandleFunc("/v1/jobs", method(http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
-			counts, views := opts.Jobs.List()
+			limit := 0 // 0 = DefaultListLimit
+			if ls := r.URL.Query().Get("limit"); ls != "" {
+				n, err := strconv.Atoi(ls)
+				if err != nil || n < 1 {
+					writeError(w, http.StatusBadRequest, failure.Wrapf(failure.Parse, "bad limit %q: want a positive integer", ls))
+					return
+				}
+				limit = n
+			}
+			counts, views := opts.Jobs.List(limit)
 			writeJSON(w, http.StatusOK, JobsResponse{Counts: counts, Jobs: views})
 		}))
 		mux.HandleFunc("/v1/jobs/", method(http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
@@ -297,7 +334,11 @@ func NewHandler(s *Service, opts HandlerOpts) http.Handler {
 		}))
 	}
 	mux.HandleFunc("/v1/stats", method(http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Stats())
+		resp := statsResponse{Stats: s.Stats()}
+		if opts.GatewayStats != nil {
+			resp.Gateway = opts.GatewayStats()
+		}
+		writeJSON(w, http.StatusOK, resp)
 	}))
 	mux.HandleFunc("/v1/versions", method(http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
 		var vs []string

@@ -15,6 +15,7 @@ import (
 	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/resilience"
+	"repro/internal/tenant"
 	"repro/internal/version"
 )
 
@@ -67,6 +68,11 @@ type JobsConfig struct {
 	Logf func(format string, args ...any)
 	// NoSync disables journal fsyncs (benchmarks only).
 	NoSync bool
+	// JobQuota resolves a tenant id to its concurrent (non-terminal)
+	// async-job cap; nil or values <= 0 mean unlimited. Typically
+	// tenant.(*Registry).MaxJobs. Anonymous submissions ("" id) are
+	// never capped.
+	JobQuota func(tenantID string) int
 }
 
 // JobsRecovery reports what a restart replayed.
@@ -94,6 +100,7 @@ type BatchItem struct {
 type JobView struct {
 	ID       string   `json:"id"`
 	State    string   `json:"state"`
+	Tenant   string   `json:"tenant,omitempty"`
 	Source   string   `json:"source,omitempty"`
 	Target   string   `json:"target"`
 	Route    []string `json:"route,omitempty"`
@@ -116,6 +123,7 @@ type jobWire struct {
 	Op           string   `json:"op"`
 	ID           string   `json:"id,omitempty"`
 	Seq          int64    `json:"seq,omitempty"`
+	Tenant       string   `json:"tenant,omitempty"`
 	Source       string   `json:"source,omitempty"`
 	Target       string   `json:"target,omitempty"`
 	IR           string   `json:"ir,omitempty"`
@@ -136,6 +144,7 @@ type jobWire struct {
 type jobRec struct {
 	id           string
 	seq          int64
+	tenant       string // submitting tenant id ("" = anonymous)
 	source       string // as submitted; "auto"/"" means detect
 	target       string
 	ir           string
@@ -157,6 +166,7 @@ func (j *jobRec) view() JobView {
 	v := JobView{
 		ID:       j.id,
 		State:    string(j.state),
+		Tenant:   j.tenant,
 		Source:   j.source,
 		Target:   j.target,
 		Route:    j.route,
@@ -183,6 +193,7 @@ func (j *jobRec) wire() jobWire {
 		Op:           "job",
 		ID:           j.id,
 		Seq:          j.seq,
+		Tenant:       j.tenant,
 		Source:       j.source,
 		Target:       j.target,
 		IR:           j.ir,
@@ -204,6 +215,7 @@ func jobFromWire(w jobWire) *jobRec {
 	j := &jobRec{
 		id:           w.ID,
 		seq:          w.Seq,
+		tenant:       w.Tenant,
 		source:       w.Source,
 		target:       w.Target,
 		ir:           w.IR,
@@ -229,7 +241,7 @@ func jobFromWire(w jobWire) *jobRec {
 // exitCodeForClass maps a journaled class name back to its exit code
 // without holding the original error.
 func exitCodeForClass(class string) int {
-	for _, c := range []*failure.Class{failure.Parse, failure.Synthesis, failure.Validation, failure.Budget, failure.Unsupported} {
+	for _, c := range []*failure.Class{failure.Parse, failure.Synthesis, failure.Validation, failure.Budget, failure.Unsupported, failure.Auth} {
 		if c.Error() == class {
 			return failure.ExitCode(c)
 		}
@@ -372,8 +384,10 @@ func NewJobs(svc *Service, cfg JobsConfig) (*Jobs, *JobsRecovery, error) {
 
 // Submit validates and accepts a batch: either every job is accepted
 // (durably journaled, ids returned) or none is. The batch passes the
-// same admission gate as a synchronous request.
-func (js *Jobs) Submit(items []BatchItem) ([]string, error) {
+// same admission gate as a synchronous request, plus the submitting
+// tenant's concurrent-job quota (ctx carries the identity; anonymous
+// submissions are uncapped).
+func (js *Jobs) Submit(ctx context.Context, items []BatchItem) ([]string, error) {
 	if len(items) == 0 {
 		return nil, failure.Wrapf(failure.Parse, "empty batch")
 	}
@@ -381,6 +395,10 @@ func (js *Jobs) Submit(items []BatchItem) ([]string, error) {
 		return nil, failure.Wrapf(failure.Parse, "batch of %d exceeds limit %d", len(items), MaxBatchJobs)
 	}
 	if err := js.svc.Ready(); err != nil {
+		return nil, err
+	}
+	tenantID := tenantOf(ctx)
+	if err := js.checkQuota(tenantID, len(items)); err != nil {
 		return nil, err
 	}
 	// Validate the whole batch before accepting any of it.
@@ -401,6 +419,7 @@ func (js *Jobs) Submit(items []BatchItem) ([]string, error) {
 		j := &jobRec{
 			id:        newJobID(),
 			seq:       js.seq,
+			tenant:    tenantID,
 			source:    it.Source,
 			target:    it.Target,
 			ir:        it.IR,
@@ -451,6 +470,33 @@ func (js *Jobs) Submit(items []BatchItem) ([]string, error) {
 	return ids, nil
 }
 
+// checkQuota rejects a batch that would push the tenant past its
+// concurrent-job cap. Already-accepted non-terminal jobs count; the
+// rejection is a typed 429 so runners and clients back off rather
+// than fail.
+func (js *Jobs) checkQuota(tenantID string, adding int) error {
+	if js.cfg.JobQuota == nil || tenantID == "" {
+		return nil
+	}
+	max := js.cfg.JobQuota(tenantID)
+	if max <= 0 {
+		return nil
+	}
+	js.mu.Lock()
+	active := 0
+	for _, j := range js.byID {
+		if j.tenant == tenantID && !j.state.Terminal() {
+			active++
+		}
+	}
+	js.mu.Unlock()
+	if active+adding > max {
+		return resilience.QuotaExceeded(time.Second,
+			"tenant %q: %d jobs active, batch of %d exceeds cap %d", tenantID, active, adding, max)
+	}
+	return nil
+}
+
 // Get returns the job's current snapshot.
 func (js *Jobs) Get(id string) (JobView, bool) {
 	js.mu.Lock()
@@ -487,18 +533,36 @@ func (js *Jobs) Wait(ctx context.Context, id string, wait time.Duration) (JobVie
 	return js.Get(id)
 }
 
-// List summarizes every known job (no IR payloads) plus counts by state.
-func (js *Jobs) List() (counts map[string]int, views []JobView) {
+// DefaultListLimit caps a GET /v1/jobs listing when the client names
+// no limit.
+const DefaultListLimit = 100
+
+// List summarizes the newest limit jobs (no IR payloads) plus counts
+// by state over every known job. Ordering is deterministic: submission
+// order, newest first — seq is assigned under the lock and never
+// reused, so equal-time submissions still order stably. limit <= 0
+// means DefaultListLimit.
+func (js *Jobs) List(limit int) (counts map[string]int, views []JobView) {
+	if limit <= 0 {
+		limit = DefaultListLimit
+	}
 	js.mu.Lock()
 	defer js.mu.Unlock()
 	counts = map[string]int{}
+	jobs := make([]*jobRec, 0, len(js.byID))
 	for _, j := range js.byID {
 		counts[string(j.state)]++
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq > jobs[k].seq })
+	if len(jobs) > limit {
+		jobs = jobs[:limit]
+	}
+	for _, j := range jobs {
 		v := j.view()
 		v.IR = "" // summaries stay small
 		views = append(views, v)
 	}
-	sort.Slice(views, func(i, k int) bool { return views[i].ID < views[k].ID })
 	return counts, views
 }
 
@@ -606,7 +670,14 @@ func (js *Jobs) runJob(id string) {
 	src := j.source
 	tgt := j.target
 	ir := j.ir
+	owner := j.tenant
 	js.mu.Unlock()
+
+	// Re-adopt the submitting tenant's identity: the job runs under the
+	// runner's context, but fair-queue scheduling and per-tenant
+	// accounting should see the tenant who submitted it — across
+	// restarts too, since the tenant id is journaled with the job.
+	ctx := tenant.WithIdentity(js.ctx, owner)
 
 	// Admission: a job is a client like any other.
 	if err := js.svc.Ready(); err != nil {
@@ -632,11 +703,11 @@ func (js *Jobs) runJob(id string) {
 		// Stage the translator (synthesis) separately so the journal
 		// reflects where a crash happened. Errors are not terminal here:
 		// a multi-hop route can still serve the pair.
-		_ = js.svc.Warm(js.ctx, srcV, tgtV)
+		_ = js.svc.Warm(ctx, srcV, tgtV)
 	}
 
 	js.transition(id, JobTranslating)
-	res, err := js.svc.TranslateTextResult(js.ctx, ir, srcV, tgtV)
+	res, err := js.svc.TranslateTextResult(ctx, ir, srcV, tgtV)
 	if err != nil {
 		var rej *resilience.Rejection
 		if errors.As(err, &rej) {

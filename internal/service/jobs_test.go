@@ -43,7 +43,7 @@ func TestJobsSubmitToDone(t *testing.T) {
 	js := newJobsT(t, svc, t.TempDir())
 	defer js.Close()
 
-	ids, err := js.Submit([]BatchItem{
+	ids, err := js.Submit(context.Background(), []BatchItem{
 		{Source: "12.0", Target: "3.6", IR: sourceText(t, version.V12_0)},
 		{Source: "auto", Target: "12.0", IR: sourceText(t, version.V3_6)},
 	})
@@ -78,14 +78,14 @@ func TestJobsBatchAtomicValidation(t *testing.T) {
 	js := newJobsT(t, svc, t.TempDir())
 	defer js.Close()
 
-	_, err := js.Submit([]BatchItem{
+	_, err := js.Submit(context.Background(), []BatchItem{
 		{Source: "12.0", Target: "3.6", IR: "m"},
 		{Source: "12.0", Target: "not-a-version", IR: "m"},
 	})
 	if err == nil {
 		t.Fatal("bad batch accepted")
 	}
-	counts, views := js.List()
+	counts, views := js.List(0)
 	if len(views) != 0 || len(counts) != 0 {
 		t.Fatalf("rejected batch left jobs behind: %v", views)
 	}
@@ -99,7 +99,7 @@ func TestJobsRecoveryResumes(t *testing.T) {
 	svc := New(Config{Workers: 2, CacheDir: cacheDir})
 	js := newJobsT(t, svc, dir)
 
-	ids, err := js.Submit([]BatchItem{{Source: "12.0", Target: "3.6", IR: sourceText(t, version.V12_0)}})
+	ids, err := js.Submit(context.Background(), []BatchItem{{Source: "12.0", Target: "3.6", IR: sourceText(t, version.V12_0)}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestJobsFailureClassified(t *testing.T) {
 	svc := New(Config{Workers: 1})
 	js := newJobsT(t, svc, dir)
 
-	ids, err := js.Submit([]BatchItem{{Source: "12.0", Target: "3.6", IR: "this is not IR"}})
+	ids, err := js.Submit(context.Background(), []BatchItem{{Source: "12.0", Target: "3.6", IR: "this is not IR"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +194,7 @@ func TestJobsRetainDoneEviction(t *testing.T) {
 	text := sourceText(t, version.V12_0)
 	var ids []string
 	for i := 0; i < 4; i++ {
-		batch, err := js.Submit([]BatchItem{{Source: "12.0", Target: "3.6", IR: text}})
+		batch, err := js.Submit(context.Background(), []BatchItem{{Source: "12.0", Target: "3.6", IR: text}})
 		if err != nil {
 			t.Fatal(err)
 		}

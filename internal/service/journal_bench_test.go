@@ -66,8 +66,12 @@ func TestJournalBenchReport(t *testing.T) {
 		t.Skip("race-detector instrumentation skews the overhead ratio; gated by make bench-journal")
 	}
 	out := os.Getenv("SIRO_BENCH_JSON")
-	if out == "" && testing.Short() {
-		t.Skip("short mode and no SIRO_BENCH_JSON set")
+	if out == "" {
+		// Timing thresholds are only trustworthy on a quiet machine: the
+		// dedicated `make bench-*` target (which sets SIRO_BENCH_JSON)
+		// runs this gate alone; inside the full parallel test sweep the
+		// measurement competes for CPU and flakes.
+		t.Skip("no SIRO_BENCH_JSON set; threshold gated by the bench make target")
 	}
 	best := func(bench func(*testing.B)) int64 {
 		bestNs := int64(0)

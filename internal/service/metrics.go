@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"sync"
 	"time"
 
 	"repro/internal/failure"
@@ -88,6 +89,21 @@ type serviceMetrics struct {
 
 	cache  cacheMetrics
 	router routerMetrics
+
+	// Per-tenant instruments are bound lazily — the tenant set is
+	// config, not code, and hot reloads can grow it — and cached so the
+	// per-request path after the first is map lookups plus atomics.
+	tenantMu sync.Mutex
+	tenant   map[string]*tenantMetrics
+}
+
+// tenantMetrics pre-binds one tenant's service-side instruments.
+type tenantMetrics struct {
+	ok, err   *obs.Counter
+	failures  map[string]*obs.Counter
+	shed      *obs.Counter
+	coalesced *obs.Counter
+	depth     *obs.Gauge
 }
 
 // cacheMetrics mirrors CacheStats into the registry. The zero value
@@ -199,6 +215,81 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 		stage:     m.stageTimer,
 	}
 	return m
+}
+
+// tenantMet returns (binding on first use) a tenant's instruments.
+// The anonymous id labels as "anonymous" so the label set stays valid.
+func (m *serviceMetrics) tenantMet(id string) *tenantMetrics {
+	if id == "" {
+		id = "anonymous"
+	}
+	m.tenantMu.Lock()
+	defer m.tenantMu.Unlock()
+	if m.tenant == nil {
+		m.tenant = map[string]*tenantMetrics{}
+	}
+	tm := m.tenant[id]
+	if tm == nil {
+		reg := m.reg
+		const reqHelp = "Translation requests by tenant and outcome."
+		const failHelp = "Failed requests by tenant and failure class."
+		tm = &tenantMetrics{
+			ok:        reg.Counter("siro_tenant_translations_total", reqHelp, "tenant", id, "outcome", "ok"),
+			err:       reg.Counter("siro_tenant_translations_total", reqHelp, "tenant", id, "outcome", "error"),
+			failures:  map[string]*obs.Counter{},
+			shed:      reg.Counter("siro_tenant_shed_total", "Admissions shed by tenant.", "tenant", id),
+			coalesced: reg.Counter("siro_tenant_coalesced_total", "Requests served by sharing an in-flight translation, by tenant.", "tenant", id),
+			depth:     reg.Gauge("siro_tenant_queue_depth", "Fair-queue backlog by tenant.", "tenant", id),
+		}
+		for _, c := range failureClasses {
+			tm.failures[c.Error()] = reg.Counter("siro_tenant_failures_total", failHelp, "tenant", id, "class", c.Error())
+		}
+		tm.failures[unclassified] = reg.Counter("siro_tenant_failures_total", failHelp, "tenant", id, "class", unclassified)
+		m.tenant[id] = tm
+	}
+	return tm
+}
+
+// tenantOutcome mirrors recordOutcome under the tenant label. The
+// anonymous tenant ("") is skipped: untenanted deployments keep their
+// metric surface unchanged.
+func (m *serviceMetrics) tenantOutcome(id string, err error) {
+	if m == nil || id == "" {
+		return
+	}
+	tm := m.tenantMet(id)
+	if err != nil {
+		tm.err.Inc()
+		if c, ok := tm.failures[classLabel(err)]; ok {
+			c.Inc()
+		}
+		return
+	}
+	tm.ok.Inc()
+}
+
+func (m *serviceMetrics) tenantShed(id string) {
+	if m == nil || id == "" {
+		return
+	}
+	m.tenantMet(id).shed.Inc()
+}
+
+func (m *serviceMetrics) tenantCoalesced(id string) {
+	if m == nil || id == "" {
+		return
+	}
+	m.tenantMet(id).coalesced.Inc()
+}
+
+// tenantQueueDepth is the fair queue's depth observer. It runs with
+// the queue lock held, so it must not re-enter the queue (it doesn't:
+// registry and tenant-map locks only).
+func (m *serviceMetrics) tenantQueueDepth(id string, depth int) {
+	if m == nil {
+		return
+	}
+	m.tenantMet(id).depth.Set(int64(depth))
 }
 
 // Registry exposes the underlying registry (nil when disabled).

@@ -16,6 +16,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/synth"
+	"repro/internal/tenant"
 	"repro/internal/translator"
 	"repro/internal/tvalid"
 	"repro/internal/version"
@@ -134,6 +135,25 @@ type Config struct {
 	// ServeValidate overrides the serve-time validator (test seam). A
 	// non-nil error quarantines the serving translator.
 	ServeValidate func(src, out *ir.Module) error
+	// FairQueue replaces the single FIFO job queue with a per-tenant
+	// deficit-round-robin scheduler (see internal/tenant.FairQueue):
+	// each tenant gets its own bounded queue (capacity = the shed
+	// threshold) and workers serve backlogged tenants in proportion to
+	// TenantWeight. Admission never blocks in this mode — a tenant
+	// whose own queue is full is shed — so FairQueue implies shedding
+	// even when ShedAt is negative.
+	FairQueue bool
+	// TenantWeight resolves a tenant id to its fair-queue share; nil
+	// (or values < 1) means weight 1. Consulted live on every
+	// scheduling turn, so a hot-reloaded weight takes effect without a
+	// restart. Typically tenant.(*Registry).Weight.
+	TenantWeight func(id string) int
+	// Coalesce shares one in-flight translation among concurrent
+	// requests for the identical (source, target, input text) — across
+	// tenants — so a thundering herd on one module costs one synthesis
+	// and one translation. Each requester is still recorded (and
+	// charged) individually.
+	Coalesce bool
 }
 
 func (c Config) withDefaults() Config {
@@ -164,16 +184,20 @@ type Stats struct {
 	Failed         int64             `json:"failed"`
 	MultiHop       int64             `json:"multi_hop"` // requests served through a composed chain
 	QueueHighWater int               `json:"queue_high_water"`
-	Shed           int64             `json:"shed"`        // admissions rejected by load shedding
-	Retries        int64             `json:"retries"`     // synthesis retry attempts
-	Degraded       int64             `json:"degraded"`    // requests served by partial translation
-	Quarantined    int64             `json:"quarantined"` // translators pulled by serve-time validation
+	Shed           int64             `json:"shed"`                // admissions rejected by load shedding
+	Retries        int64             `json:"retries"`             // synthesis retry attempts
+	Degraded       int64             `json:"degraded"`            // requests served by partial translation
+	Quarantined    int64             `json:"quarantined"`         // translators pulled by serve-time validation
+	Coalesced      int64             `json:"coalesced,omitempty"` // requests served by sharing an in-flight translation
 	DrainSeconds   float64           `json:"drain_seconds,omitempty"`
 	FailureClasses map[string]int64  `json:"failure_classes,omitempty"`
 	Breakers       map[string]string `json:"breakers,omitempty"` // non-closed circuit breakers by pair
-	Cache          CacheStats        `json:"cache"`
-	CachedPairs    []string          `json:"cached_pairs,omitempty"`
-	Uptime         time.Duration     `json:"uptime_ns"`
+	// Tenants is the per-tenant slice of the counters above, keyed by
+	// tenant id; anonymous traffic is not sliced.
+	Tenants     map[string]TenantStats `json:"tenants,omitempty"`
+	Cache       CacheStats             `json:"cache"`
+	CachedPairs []string               `json:"cached_pairs,omitempty"`
+	Uptime      time.Duration          `json:"uptime_ns"`
 }
 
 // Service is the long-running translation front end. It owns the
@@ -186,8 +210,9 @@ type Service struct {
 	breakers *resilience.Set // per-version-pair circuit breakers
 	met      *serviceMetrics // nil when observability is disabled
 	jobs     chan *job
-	wg       sync.WaitGroup // workers
-	senders  sync.WaitGroup // in-flight enqueues, so drain can safely close(jobs)
+	fq       *tenant.FairQueue[*job] // replaces jobs when Config.FairQueue is set
+	wg       sync.WaitGroup          // workers
+	senders  sync.WaitGroup          // in-flight enqueues, so drain can safely close(jobs)
 	start    time.Time
 	drained  chan struct{} // closed once the worker pool has fully drained
 
@@ -200,12 +225,17 @@ type Service struct {
 	stats      Stats
 	byClass    map[string]int64
 	supported  map[version.V]bool
+	tenants    map[string]*TenantStats
+
+	coMu    sync.Mutex
+	flights map[string]*flight // in-flight coalescable translations by (pair, input) key
 }
 
 type job struct {
 	ctx      context.Context
 	pair     version.Pair
 	module   *ir.Module
+	tenant   string // fair-queue scheduling class ("" = anonymous)
 	enqueued time.Time
 	res      chan jobResult
 }
@@ -232,6 +262,18 @@ func New(cfg Config) *Service {
 		drained:   make(chan struct{}),
 		byClass:   map[string]int64{},
 		supported: map[version.V]bool{},
+		tenants:   map[string]*TenantStats{},
+		flights:   map[string]*flight{},
+	}
+	if cfg.FairQueue {
+		cap := cfg.QueueDepth
+		if t := s.shedThreshold(); t > 0 && t < cap {
+			cap = t
+		}
+		s.fq = tenant.NewFairQueue[*job](cap, cfg.TenantWeight)
+		if s.met != nil {
+			s.fq.SetDepthObserver(s.met.tenantQueueDepth)
+		}
 	}
 	if s.met != nil {
 		s.cache.met = s.met.cache
@@ -290,7 +332,11 @@ func (s *Service) Drain(ctx context.Context) error {
 			// landed, so waiting senders cannot deadlock against a full
 			// queue.
 			s.senders.Wait()
-			close(s.jobs)
+			if s.fq != nil {
+				s.fq.Close()
+			} else {
+				close(s.jobs)
+			}
 			s.wg.Wait()
 			d := time.Since(s.drainStart)
 			s.met.drainDone(d)
@@ -326,7 +372,10 @@ func (s *Service) Ready() error {
 		return resilience.DrainingRejection(time.Second, "service: draining")
 	}
 	if t := s.shedThreshold(); t >= 0 {
-		if pending := len(s.jobs); pending >= t {
+		// Conservative under fair queueing: total backlog at the
+		// threshold means the busiest tenants are saturated, even though
+		// a lightly loaded tenant's own queue could still admit.
+		if pending := s.queueLen(); pending >= t {
 			return resilience.Overloaded(s.estimatedWait(pending), "service: queue at shed threshold: %d jobs pending", pending)
 		}
 	}
@@ -368,7 +417,21 @@ func (s *Service) Stats() Stats {
 	for k, v := range s.byClass {
 		st.FailureClasses[k] = v
 	}
+	if len(s.tenants) > 0 {
+		st.Tenants = make(map[string]TenantStats, len(s.tenants))
+		for id, ts := range s.tenants {
+			st.Tenants[id] = *ts
+		}
+	}
 	s.mu.Unlock()
+	if s.fq != nil && st.Tenants != nil {
+		for id, depth := range s.fq.Depths() {
+			if ts, ok := st.Tenants[id]; ok {
+				ts.QueueDepth = depth
+				st.Tenants[id] = ts
+			}
+		}
+	}
 	st.Cache = cacheStats
 	for _, p := range s.cache.Pairs() {
 		st.CachedPairs = append(st.CachedPairs, p.String())
@@ -418,53 +481,53 @@ func (s *Service) TranslateRouted(ctx context.Context, src, tgt version.V, m *ir
 // Translate plus the route taken and the degradation outcome.
 func (s *Service) TranslateResult(ctx context.Context, src, tgt version.V, m *ir.Module) (Result, error) {
 	if err := s.admit(src, tgt, m); err != nil {
-		s.record(nil, err)
+		s.record(ctx, nil, err)
 		return Result{}, err
 	}
 	if src == tgt {
 		route := []version.V{src, tgt}
-		s.record(route, nil)
+		s.record(ctx, route, nil)
 		return Result{Module: m, Route: route}, nil
 	}
-	j := &job{ctx: ctx, pair: version.Pair{Source: src, Target: tgt}, module: m, res: make(chan jobResult, 1)}
+	j := &job{ctx: ctx, pair: version.Pair{Source: src, Target: tgt}, module: m, tenant: tenantOf(ctx), res: make(chan jobResult, 1)}
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		var err error = resilience.DrainingRejection(time.Second, "service: draining, not admitting new work")
-		s.record(nil, err)
+		s.record(ctx, nil, err)
 		return Result{}, err
 	}
 	s.senders.Add(1)
-	if d := len(s.jobs) + 1; d > s.stats.QueueHighWater {
+	if d := s.queueLen() + 1; d > s.stats.QueueHighWater {
 		s.stats.QueueHighWater = d
 	}
 	s.mu.Unlock()
 
-	if err := s.shedCheck(ctx); err != nil {
+	if err := s.shedCheck(ctx, j.tenant); err != nil {
 		s.senders.Done()
-		s.record(nil, err)
+		s.record(ctx, nil, err)
 		return Result{}, err
 	}
 	j.enqueued = time.Now()
 	if err := s.enqueue(ctx, j); err != nil {
 		s.senders.Done()
-		s.record(nil, err)
+		s.record(ctx, nil, err)
 		return Result{}, err
 	}
 	s.senders.Done()
 	if s.met != nil {
-		s.met.queueDepth.Set(int64(len(s.jobs)))
+		s.met.queueDepth.Set(int64(s.queueLen()))
 	}
 	select {
 	case r := <-j.res:
-		s.record(r.route, r.err)
+		s.record(ctx, r.route, r.err)
 		return Result{Module: r.module, Route: r.route, Degraded: r.degraded, DroppedSites: r.dropped}, r.err
 	case <-ctx.Done():
 		// The worker will still run the job; its result is discarded
 		// (res is buffered).
 		err := failure.FromContext(ctx.Err())
-		s.record(nil, err)
+		s.record(ctx, nil, err)
 		return Result{}, err
 	}
 }
@@ -485,19 +548,31 @@ func (s *Service) shedThreshold() int {
 // shedCheck applies admission control before enqueueing: a queue at
 // the shed threshold, or a caller deadline shorter than the estimated
 // queue wait, is rejected immediately with a Retry-After hint rather
-// than admitted to time out in line.
-func (s *Service) shedCheck(ctx context.Context) error {
+// than admitted to time out in line. Under fair queueing the depth
+// test is per tenant — one tenant saturating its own queue does not
+// shed another's admission.
+func (s *Service) shedCheck(ctx context.Context, tenantID string) error {
 	threshold := s.shedThreshold()
-	if threshold < 0 {
-		return nil
-	}
-	if pending := len(s.jobs); pending >= threshold {
-		s.recordShed()
-		return resilience.Overloaded(s.estimatedWait(pending), "service: overloaded: %d jobs queued", pending)
+	if s.fq != nil {
+		if threshold < 0 {
+			threshold = s.cfg.QueueDepth // fair queueing always sheds: enqueue never blocks
+		}
+		if pending := s.fq.Depth(tenantID); pending >= threshold {
+			s.recordShed(ctx)
+			return resilience.Overloaded(s.estimatedWait(s.queueLen()), "service: overloaded: %d jobs queued for this tenant", pending)
+		}
+	} else {
+		if threshold < 0 {
+			return nil
+		}
+		if pending := len(s.jobs); pending >= threshold {
+			s.recordShed(ctx)
+			return resilience.Overloaded(s.estimatedWait(pending), "service: overloaded: %d jobs queued", pending)
+		}
 	}
 	if dl, ok := ctx.Deadline(); ok {
-		if est := s.estimatedWait(len(s.jobs)); est > 0 && time.Until(dl) < est {
-			s.recordShed()
+		if est := s.estimatedWait(s.queueLen()); est > 0 && time.Until(dl) < est {
+			s.recordShed(ctx)
 			return resilience.Overloaded(est, "service: deadline %s away but estimated wait is %s",
 				time.Until(dl).Round(time.Millisecond), est.Round(time.Millisecond))
 		}
@@ -508,14 +583,26 @@ func (s *Service) shedCheck(ctx context.Context) error {
 // enqueue delivers the job to the worker pool. With shedding enabled
 // the send never blocks — the shedCheck length test races with other
 // senders, so a full queue here sheds too; with shedding disabled it
-// blocks until a slot frees or ctx expires.
+// blocks until a slot frees or ctx expires. The fair queue never
+// blocks either way: a full per-tenant queue sheds that tenant.
 func (s *Service) enqueue(ctx context.Context, j *job) error {
+	if s.fq != nil {
+		err := s.fq.Enqueue(j.tenant, j)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, tenant.ErrQueueClosed) {
+			return resilience.DrainingRejection(time.Second, "service: draining, not admitting new work")
+		}
+		s.recordShed(ctx)
+		return resilience.Overloaded(s.estimatedWait(s.queueLen()), "service: overloaded: tenant queue full")
+	}
 	if s.shedThreshold() >= 0 {
 		select {
 		case s.jobs <- j:
 			return nil
 		default:
-			s.recordShed()
+			s.recordShed(ctx)
 			return resilience.Overloaded(s.estimatedWait(len(s.jobs)), "service: overloaded: queue full")
 		}
 	}
@@ -550,10 +637,15 @@ func (s *Service) observeJob(d time.Duration) {
 	s.jobEWMA.Store(next)
 }
 
-func (s *Service) recordShed() {
+func (s *Service) recordShed(ctx context.Context) {
 	s.met.shedInc()
+	id := tenantOf(ctx)
+	s.met.tenantShed(id)
 	s.mu.Lock()
 	s.stats.Shed++
+	if id != "" {
+		s.tenantStatsLocked(id).Shed++
+	}
 	s.mu.Unlock()
 }
 
@@ -594,6 +686,17 @@ func (s *Service) TranslateTextResult(ctx context.Context, text string, src vers
 			return TextResult{Source: src}, failure.Wrapf(failure.Parse, "service: reading %s IR: %w", src, err)
 		}
 	}
+	if s.cfg.Coalesce {
+		return s.coalesced(ctx, coalesceKey(src, tgt, text), func() (TextResult, error) {
+			return s.translateParsed(ctx, src, tgt, m)
+		})
+	}
+	return s.translateParsed(ctx, src, tgt, m)
+}
+
+// translateParsed is the post-parse tail of the textual pipeline:
+// translate the module, render at the target version.
+func (s *Service) translateParsed(ctx context.Context, src, tgt version.V, m *ir.Module) (TextResult, error) {
 	r, err := s.TranslateResult(ctx, src, tgt, m)
 	if err != nil {
 		return TextResult{Source: src}, err
@@ -706,14 +809,25 @@ func (s *Service) admit(src, tgt version.V, m *ir.Module) error {
 	return nil
 }
 
-// record updates the outcome counters.
-func (s *Service) record(route []version.V, err error) {
+// record updates the outcome counters, the tenant's included when the
+// context carries an identity.
+func (s *Service) record(ctx context.Context, route []version.V, err error) {
 	s.met.recordOutcome(route, err)
+	id := tenantOf(ctx)
+	s.met.tenantOutcome(id, err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Requests++
+	var ts *TenantStats
+	if id != "" {
+		ts = s.tenantStatsLocked(id)
+		ts.Requests++
+	}
 	if err != nil {
 		s.stats.Failed++
+		if ts != nil {
+			ts.Failed++
+		}
 		class := "unclassified"
 		if c := failure.ClassOf(err); c != nil {
 			class = c.Error()
@@ -722,6 +836,9 @@ func (s *Service) record(route []version.V, err error) {
 		return
 	}
 	s.stats.Completed++
+	if ts != nil {
+		ts.Completed++
+	}
 	if len(route) > 2 {
 		s.stats.MultiHop++
 	}
@@ -730,12 +847,16 @@ func (s *Service) record(route []version.V, err error) {
 // worker executes queued jobs under the per-job deadline.
 func (s *Service) worker() {
 	defer s.wg.Done()
-	for j := range s.jobs {
+	for {
+		j, ok := s.nextJob()
+		if !ok {
+			return
+		}
 		if wait := time.Since(j.enqueued); s.met != nil || obs.TraceFrom(j.ctx) != nil {
 			s.met.stageDur(j.ctx, stageQueue, wait)
 			if s.met != nil {
 				s.met.queueWait.ObserveDuration(wait)
-				s.met.queueDepth.Set(int64(len(s.jobs)))
+				s.met.queueDepth.Set(int64(s.queueLen()))
 			}
 		}
 		start := time.Now()
@@ -809,7 +930,7 @@ func (s *Service) degrade(tr translator.ModuleTranslator, origin Origin, m *ir.M
 
 // underPressure reports a queue at least half full.
 func (s *Service) underPressure() bool {
-	return 2*len(s.jobs) >= s.cfg.QueueDepth
+	return 2*s.queueLen() >= s.cfg.QueueDepth
 }
 
 // serveValidator returns the serve-time differential validator, nil

@@ -1,0 +1,53 @@
+package tenant
+
+import "time"
+
+// bucket is a lazily refilled token bucket: tokens accrue at rate/sec
+// up to burst, one request spends one token. The zero value (rate 0)
+// is unlimited. Callers hold the owning state's mutex; the bucket
+// itself is not concurrency-safe.
+type bucket struct {
+	rate   float64 // tokens per second; <= 0 disables limiting
+	burst  float64 // capacity
+	tokens float64
+	last   time.Time
+}
+
+func (b *bucket) init(rate, burst float64) {
+	b.rate, b.burst = rate, burst
+	b.tokens = burst // start full: a fresh tenant gets its burst
+}
+
+// setRate retunes the bucket on hot reload without refilling it: the
+// current level is clamped into the new capacity, so swapping configs
+// cannot be used to mint tokens.
+func (b *bucket) setRate(rate, burst float64) {
+	b.rate, b.burst = rate, burst
+	if b.tokens > burst {
+		b.tokens = burst
+	}
+}
+
+// take spends one token, refilling first. When the bucket is dry it
+// reports how long until one token will exist — the Retry-After the
+// 429 carries.
+func (b *bucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	if b.rate <= 0 {
+		return true, 0
+	}
+	if !b.last.IsZero() {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens += dt * b.rate
+			if b.tokens > b.burst {
+				b.tokens = b.burst
+			}
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := 1 - b.tokens
+	return false, time.Duration(need / b.rate * float64(time.Second))
+}

@@ -1,0 +1,248 @@
+package tenant
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// gateBody is the JSON error shape the gateway shares with the service.
+type gateBody struct {
+	Error    string `json:"error"`
+	Class    string `json:"class"`
+	ExitCode int    `json:"exit_code"`
+}
+
+func newTestGateway(t *testing.T, tenants []Tenant, next http.Handler) (*Gateway, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	if next == nil {
+		next = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			io.WriteString(w, `{"ok":true}`)
+		})
+	}
+	reg := obs.NewRegistry()
+	gw := NewGateway(GatewayConfig{
+		Registry: NewRegistry(tenants, Defaults{}),
+		Metrics:  reg,
+	})
+	srv := httptest.NewServer(gw.Wrap(next))
+	t.Cleanup(srv.Close)
+	return gw, srv, reg
+}
+
+func get(t *testing.T, url, key string) (*http.Response, gateBody) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body gateBody
+	raw, _ := io.ReadAll(resp.Body)
+	_ = json.Unmarshal(raw, &body)
+	return resp, body
+}
+
+// Missing and unknown keys get the same typed 401: Auth class, exit
+// code 8, no hint of which part was wrong, no echo of the key.
+func TestGatewayUnauthorized(t *testing.T) {
+	_, srv, _ := newTestGateway(t, twoTenants(), nil)
+	for _, key := range []string{"", "wrong-key"} {
+		resp, body := get(t, srv.URL+"/v1/stats", key)
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("key %q: status %d, want 401", key, resp.StatusCode)
+		}
+		if body.Class != "authentication failed" {
+			t.Fatalf("class = %q", body.Class)
+		}
+		if body.ExitCode != 8 {
+			t.Fatalf("exit_code = %d, want 8", body.ExitCode)
+		}
+		if key != "" && strings.Contains(body.Error, key) {
+			t.Fatalf("401 body echoes the key: %q", body.Error)
+		}
+	}
+}
+
+// X-Api-Key works as the Bearer fallback; a valid key reaches the
+// wrapped handler.
+func TestGatewayAuthHeaders(t *testing.T) {
+	_, srv, _ := newTestGateway(t, twoTenants(), nil)
+	resp, _ := get(t, srv.URL+"/x", "key-acme")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("Bearer auth: status %d", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/x", nil)
+	req.Header.Set("X-Api-Key", "key-bolt")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("X-Api-Key auth: status %d", resp2.StatusCode)
+	}
+}
+
+// Probe endpoints bypass authentication; everything else requires it.
+func TestGatewayExemptPaths(t *testing.T) {
+	_, srv, _ := newTestGateway(t, twoTenants(), nil)
+	for _, path := range []string{"/healthz", "/readyz", "/metrics", "/debug/pprof/goroutine"} {
+		resp, _ := get(t, srv.URL+path, "")
+		if resp.StatusCode == http.StatusUnauthorized {
+			t.Fatalf("exempt path %s demanded a key", path)
+		}
+	}
+	resp, _ := get(t, srv.URL+"/v1/translate", "")
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("non-exempt path admitted anonymously: %d", resp.StatusCode)
+	}
+}
+
+// A drained rate bucket 429s with a usable Retry-After and a Budget
+// class; the refill admits again.
+func TestGatewayRateLimit429RetryAfter(t *testing.T) {
+	_, srv, _ := newTestGateway(t, []Tenant{{ID: "a", Key: "k", RatePerSec: 1, Burst: 1}}, nil)
+	resp, _ := get(t, srv.URL+"/x", "k")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request: %d", resp.StatusCode)
+	}
+	resp, body := get(t, srv.URL+"/x", "k")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("drained bucket: status %d, want 429", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer", ra)
+	}
+	if body.Class != "budget exhausted" {
+		t.Fatalf("rate 429 class = %q, want budget exhausted", body.Class)
+	}
+}
+
+// The in-flight cap 429s the excess request while earlier ones are
+// still being served, and frees as they finish.
+func TestGatewayInflightCap(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	blocked := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+	})
+	_, srv, _ := newTestGateway(t, []Tenant{{ID: "a", Key: "k", MaxInflight: 1}}, blocked)
+
+	done := make(chan int, 1)
+	go func() {
+		resp, _ := get(t, srv.URL+"/x", "k")
+		done <- resp.StatusCode
+	}()
+	<-entered // first request holds the only slot
+
+	resp, _ := get(t, srv.URL+"/x", "k")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second concurrent request: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("inflight 429 without usable Retry-After (%q)", ra)
+	}
+	close(release)
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("first request: %d", code)
+	}
+}
+
+// Key hot reload mid-flight: a request already past the front door
+// finishes normally after its tenant's key rotates; the old key stops
+// authenticating, the new one starts, all without restarting.
+func TestGatewayHotReloadMidFlight(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+		io.WriteString(w, "ok")
+	})
+	gw, srv, _ := newTestGateway(t, []Tenant{{ID: "a", Key: "old-key"}}, slow)
+
+	done := make(chan int, 1)
+	go func() {
+		resp, _ := get(t, srv.URL+"/x", "old-key")
+		done <- resp.StatusCode
+	}()
+	<-entered // the request is in flight on the old key
+
+	gw.Registry().Replace([]Tenant{{ID: "a", Key: "new-key"}})
+
+	// New request on the old key: refused at once.
+	resp, _ := get(t, srv.URL+"/x", "old-key")
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("rotated-out key still authenticates: %d", resp.StatusCode)
+	}
+	// The in-flight request is not disturbed.
+	close(release)
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("in-flight request across reload: status %d", code)
+	}
+	// The new key works.
+	resp, _ = get(t, srv.URL+"/x", "new-key")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rotated-in key refused: %d", resp.StatusCode)
+	}
+}
+
+// Gateway accounting: admissions, outcomes, and rejections land in the
+// right tenant's slice; auth failures land in "unknown"; the tenant
+// label reaches the metrics registry but API keys never do.
+func TestGatewayStatsAndMetrics(t *testing.T) {
+	status := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/fail" {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		io.WriteString(w, "ok")
+	})
+	gw, srv, reg := newTestGateway(t, twoTenants(), status)
+
+	get(t, srv.URL+"/x", "key-acme")
+	get(t, srv.URL+"/fail", "key-acme")
+	get(t, srv.URL+"/x", "nope")
+
+	st := gw.Stats()
+	acme := st["acme"]
+	if acme.Admitted != 2 || acme.OK != 1 || acme.Errors != 1 {
+		t.Fatalf("acme stats = %+v, want admitted 2 / ok 1 / errors 1", acme)
+	}
+	if st["unknown"].RejectedAuth != 1 {
+		t.Fatalf("unknown stats = %+v, want 1 auth rejection", st["unknown"])
+	}
+
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	expo := buf.String()
+	for _, want := range []string{
+		`siro_tenant_requests_total{outcome="ok",tenant="acme"}`,
+		`siro_tenant_rejections_total{reason="auth",tenant="unknown"}`,
+	} {
+		if !strings.Contains(expo, want) {
+			t.Errorf("exposition lacks %s", want)
+		}
+	}
+	if strings.Contains(expo, "key-acme") {
+		t.Error("exposition leaked an API key")
+	}
+}

@@ -1,0 +1,213 @@
+package tenant
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/resilience"
+)
+
+func twoTenants() []Tenant {
+	return []Tenant{
+		{ID: "acme", Key: "key-acme", Weight: 3, RatePerSec: 10},
+		{ID: "bolt", Key: "key-bolt"},
+	}
+}
+
+func TestParseConfigValidation(t *testing.T) {
+	cases := []struct {
+		name, cfg, wantErr string
+	}{
+		{"empty set", `{"tenants": []}`, "no tenants"},
+		{"missing id", `{"tenants": [{"key": "k"}]}`, "no id"},
+		{"missing key", `{"tenants": [{"id": "a"}]}`, "no key"},
+		{"duplicate id", `{"tenants": [{"id":"a","key":"k1"},{"id":"a","key":"k2"}]}`, "duplicate tenant id"},
+		{"shared key", `{"tenants": [{"id":"a","key":"k"},{"id":"b","key":"k"}]}`, "reuses another tenant's key"},
+		{"zero weight", `{"tenants": [{"id":"a","key":"k","weight":0}]}`, "never be scheduled"},
+		{"negative weight", `{"tenants": [{"id":"a","key":"k","weight":-2}]}`, "never be scheduled"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseConfig([]byte(tc.cfg))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("got %v, want error containing %q", err, tc.wantErr)
+			}
+			if failure.ClassOf(err) != failure.Parse {
+				t.Fatalf("config error class = %v, want Parse", failure.ClassOf(err))
+			}
+		})
+	}
+}
+
+func TestParseConfigDefaults(t *testing.T) {
+	// An omitted weight defaults to 1 — only an explicit zero is a
+	// config bug.
+	ts, err := ParseConfig([]byte(`{"tenants": [{"id":"a","key":"k"},{"id":"b","key":"k2","weight":5}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry(ts, Defaults{})
+	if w := r.Weight("a"); w != 1 {
+		t.Fatalf("omitted weight = %d, want 1", w)
+	}
+	if w := r.Weight("b"); w != 5 {
+		t.Fatalf("explicit weight = %d, want 5", w)
+	}
+	if w := r.Weight("nobody"); w != 1 {
+		t.Fatalf("unknown tenant weight = %d, want 1", w)
+	}
+}
+
+func TestAuthenticate(t *testing.T) {
+	r := NewRegistry(twoTenants(), Defaults{})
+	g, err := r.Authenticate("key-acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.ID() != "acme" {
+		t.Fatalf("authenticated as %q, want acme", g.ID())
+	}
+	for _, bad := range []string{"", "key-acm", "key-acme2", "KEY-ACME"} {
+		_, err := r.Authenticate(bad)
+		if err == nil {
+			t.Fatalf("key %q authenticated", bad)
+		}
+		if failure.ClassOf(err) != failure.Auth {
+			t.Fatalf("auth failure class = %v, want Auth", failure.ClassOf(err))
+		}
+		// The refusal must not leak which part was wrong, or echo the key.
+		if msg := err.Error(); strings.Contains(msg, bad) && bad != "" {
+			t.Fatalf("auth error echoes the presented key: %q", msg)
+		}
+	}
+}
+
+func TestRateLimitAndRetryAfter(t *testing.T) {
+	r := NewRegistry([]Tenant{{ID: "a", Key: "k", RatePerSec: 2, Burst: 2}}, Defaults{})
+	g, err := r.Authenticate("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ { // the burst
+		if err := g.TakeToken(now); err != nil {
+			t.Fatalf("token %d within burst: %v", i, err)
+		}
+	}
+	err = g.TakeToken(now)
+	if err == nil {
+		t.Fatal("drained bucket granted a token")
+	}
+	var rej *resilience.Rejection
+	if !errors.As(err, &rej) || rej.Kind != Quota() {
+		t.Fatalf("rate rejection = %v, want Quota kind", err)
+	}
+	after, ok := resilience.RetryAfterHint(err)
+	if !ok || after <= 0 || after > time.Second {
+		// 2 tokens/sec: one token exists within 500ms.
+		t.Fatalf("retry-after hint = %v ok=%v, want (0, 1s]", after, ok)
+	}
+	// Refill: half a second later one token exists again.
+	if err := g.TakeToken(now.Add(600 * time.Millisecond)); err != nil {
+		t.Fatalf("token after refill: %v", err)
+	}
+}
+
+// Quota returns the rejection kind without importing resilience in
+// every assertion.
+func Quota() resilience.RejectKind { return resilience.Quota }
+
+func TestInflightCap(t *testing.T) {
+	r := NewRegistry([]Tenant{{ID: "a", Key: "k", MaxInflight: 2}}, Defaults{})
+	g1, _ := r.Authenticate("k")
+	g2, _ := r.Authenticate("k")
+	g3, _ := r.Authenticate("k")
+	if err := g1.AcquireInflight(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.AcquireInflight(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g3.AcquireInflight(); err == nil {
+		t.Fatal("third concurrent request admitted past cap 2")
+	}
+	g1.Release()
+	if err := g3.AcquireInflight(); err != nil {
+		t.Fatalf("slot freed but acquire failed: %v", err)
+	}
+	g2.Release()
+	g3.Release()
+	if n := g3.Inflight(); n != 0 {
+		t.Fatalf("inflight = %d after all releases, want 0", n)
+	}
+}
+
+// Hot reload: retained tenants keep their drained bucket (a reload
+// cannot mint tokens) and their in-flight count; removed tenants stop
+// authenticating; new tenants start fresh.
+func TestReplaceKeepsRuntimeState(t *testing.T) {
+	r := NewRegistry([]Tenant{
+		{ID: "keep", Key: "k-keep", RatePerSec: 1, Burst: 1, MaxInflight: 4},
+		{ID: "drop", Key: "k-drop"},
+	}, Defaults{})
+
+	g, _ := r.Authenticate("k-keep")
+	now := time.Unix(2000, 0)
+	if err := g.TakeToken(now); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AcquireInflight(); err != nil {
+		t.Fatal(err)
+	}
+
+	r.Replace([]Tenant{
+		{ID: "keep", Key: "k-keep", RatePerSec: 1, Burst: 1, MaxInflight: 1},
+		{ID: "new", Key: "k-new"},
+	})
+
+	// The drained bucket stays drained across the reload.
+	g2, err := r.Authenticate("k-keep")
+	if err != nil {
+		t.Fatalf("retained tenant stopped authenticating: %v", err)
+	}
+	if err := g2.TakeToken(now); err == nil {
+		t.Fatal("reload refilled a drained bucket")
+	}
+	// The in-flight slot held from before the reload still counts
+	// against the (now lower) cap.
+	if err := g2.AcquireInflight(); err == nil {
+		t.Fatal("reload forgot the in-flight count")
+	}
+	g.Release()
+	if err := g2.AcquireInflight(); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+
+	if _, err := r.Authenticate("k-drop"); err == nil {
+		t.Fatal("removed tenant still authenticates")
+	}
+	if _, err := r.Authenticate("k-new"); err != nil {
+		t.Fatalf("new tenant: %v", err)
+	}
+	if n := r.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+}
+
+func TestSnapshotBlanksKeys(t *testing.T) {
+	r := NewRegistry(twoTenants(), Defaults{RatePerSec: 7})
+	for _, tn := range r.Snapshot() {
+		if tn.Key != "" {
+			t.Fatalf("snapshot leaked a key for %q", tn.ID)
+		}
+	}
+	// Defaults resolve into the snapshot: bolt omitted its rate.
+	for _, tn := range r.Snapshot() {
+		if tn.ID == "bolt" && tn.RatePerSec != 7 {
+			t.Fatalf("default rate not applied: %+v", tn)
+		}
+	}
+}
