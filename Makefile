@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz soak soak-smoke cluster-smoke crash-smoke tenant-smoke bench bench-service bench-obs bench-journal bench-gateway clean
+.PHONY: check fmt vet build test race fuzz soak soak-smoke cluster-smoke crash-smoke tenant-smoke bench bench-service bench-obs bench-journal bench-gateway bench-synth clean
 
 check: fmt vet build test race
 
@@ -115,6 +115,13 @@ bench-journal:
 # translate path and writes BENCH_gateway.json.
 bench-gateway:
 	SIRO_BENCH_JSON=$(CURDIR)/BENCH_gateway.json $(GO) test ./internal/service -run TestGatewayBenchReport -count=1 -v
+
+# Cold-synthesis benchmark: serial vs parallel vs warm-neighbor.
+# Asserts byte-identical serial/parallel exports, a >= 2x parallel
+# speedup on 4+ cores (reported only on smaller machines), and a
+# >= 1.2x warm-neighbor speedup; writes BENCH_synth.json.
+bench-synth:
+	SIRO_BENCH_JSON=$(CURDIR)/BENCH_synth.json $(GO) test ./internal/synth -run TestSynthBenchReport -count=1 -v -timeout 20m
 
 clean:
 	$(GO) clean ./...

@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -61,16 +62,20 @@ func main() {
 	tenantsFile := flag.String("tenants", "", "with -serve: multi-tenant gateway config (JSON); SIGHUP hot-reloads it (empty: anonymous access)")
 	defaultQuota := flag.Float64("default-quota", 0, "with -serve: default per-tenant rate limit in req/s for tenants that omit rate_per_sec (0: unlimited)")
 	fairQueue := flag.Bool("fair-queue", false, "with -serve: per-tenant weighted (deficit-round-robin) fair queueing")
+	synthWorkers := flag.Int("synth-workers", 0, "parallelism inside each synthesis run: candidate generation and validation workers (0: serial; output is byte-identical at any setting)")
+	noNeighborMemo := flag.Bool("no-neighbor-memo", false, "disable cross-pair synthesis memoization (shared generation cache + neighbor-pair warm starts)")
+	noCostModel := flag.Bool("no-cost-model", false, "disable the persisted cost model that orders candidate validation by observed win rate")
 	flag.Parse()
 
 	if *serve {
 		runServe(*addr, *cacheDir, serveOpts{maxBody: *maxBody, traceLog: *traceLog, slow: *slow, pprof: *pprofOn,
 			drainTimeout: *drainTimeout, maxRetries: *maxRetries, shedQueue: *shedQueue,
-			tenantsFile: *tenantsFile, defaultQuota: *defaultQuota, fairQueue: *fairQueue})
+			tenantsFile: *tenantsFile, defaultQuota: *defaultQuota, fairQueue: *fairQueue,
+			synthWorkers: *synthWorkers, noNeighborMemo: *noNeighborMemo, noCostModel: *noCostModel})
 		return
 	}
 	if *warmMatrix {
-		runWarmMatrix(*cacheDir, *cacheMax)
+		runWarmMatrix(*cacheDir, *cacheMax, *synthWorkers, *noNeighborMemo, *noCostModel)
 		return
 	}
 
@@ -93,8 +98,30 @@ func main() {
 		os.Exit(2)
 	}
 
-	cache := service.NewCache(*cacheDir, 0, synth.Options{})
+	synthOpts := synth.Options{Workers: *synthWorkers}
+	cache := service.NewCache(*cacheDir, 0, synthOpts)
 	cache.SetMaxBytes(*cacheMax)
+	// Cross-pair accelerators, shared across the run the same way the
+	// service shares them: one generation cache, one hints registry, one
+	// cost model (persisted beside the artifact cache when -cache is
+	// set). A -all run synthesizes ten related pairs, so the sharing is
+	// where most of its speedup comes from.
+	var gen *synth.GenCache
+	var hints *synth.HintsRegistry
+	if !*noNeighborMemo {
+		gen = synth.NewGenCache()
+		hints = synth.NewHintsRegistry()
+	}
+	var cost *synth.CostModel
+	costPath := ""
+	if !*noCostModel {
+		if *cacheDir != "" {
+			costPath = filepath.Join(*cacheDir, "siro-costmodel.json")
+			cost = synth.LoadCostModel(costPath)
+		} else {
+			cost = synth.NewCostModel()
+		}
+	}
 	fmt.Println("No.  Pair          #Common  #New  #AtomicTrans(LOC)  #InstTrans(LOC)  Time")
 	for i, p := range pairs {
 		start := time.Now()
@@ -102,8 +129,20 @@ func main() {
 		// artifact (same registry fingerprint) skips synthesis. With no
 		// -cache the cache is memory-only and this is a plain synthesis.
 		res, origin, err := cache.GetResult(context.Background(), p, func() (*synth.Result, error) {
-			s := synth.New(p.Source, p.Target, synth.Options{})
-			return s.Run(corpus.Tests(p.Source))
+			opts := synthOpts
+			opts.GenCache = gen
+			opts.Cost = cost
+			opts.Hints = hints.Nearest(p)
+			s := synth.New(p.Source, p.Target, opts)
+			out, err := s.Run(corpus.Tests(p.Source))
+			if err != nil {
+				return nil, err
+			}
+			hints.Store(out.Hints(opts))
+			if cost != nil && costPath != "" {
+				_ = cost.Save(costPath)
+			}
+			return out, nil
 		})
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", p, err))
@@ -142,8 +181,12 @@ func main() {
 // offline equivalent of sirod's -auto-warm. Interruption is clean: the
 // pairs already warmed stay persisted and a rerun skips them by cache
 // hit.
-func runWarmMatrix(cacheDir string, cacheMax int64) {
-	svc := service.New(service.Config{CacheDir: cacheDir, CacheMaxBytes: cacheMax})
+func runWarmMatrix(cacheDir string, cacheMax int64, synthWorkers int, noNeighborMemo, noCostModel bool) {
+	svc := service.New(service.Config{CacheDir: cacheDir, CacheMaxBytes: cacheMax,
+		Synth:               synth.Options{Workers: synthWorkers},
+		DisableNeighborMemo: noNeighborMemo,
+		DisableCostModel:    noCostModel,
+	})
 	defer svc.Close()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -167,16 +210,19 @@ func runWarmMatrix(cacheDir string, cacheMax int64) {
 
 // serveOpts carries the daemon-only flags into runServe.
 type serveOpts struct {
-	maxBody      int64
-	traceLog     string
-	slow         time.Duration
-	pprof        bool
-	drainTimeout time.Duration
-	maxRetries   int
-	shedQueue    int
-	tenantsFile  string
-	defaultQuota float64
-	fairQueue    bool
+	maxBody        int64
+	traceLog       string
+	slow           time.Duration
+	pprof          bool
+	drainTimeout   time.Duration
+	maxRetries     int
+	shedQueue      int
+	tenantsFile    string
+	defaultQuota   float64
+	fairQueue      bool
+	synthWorkers   int
+	noNeighborMemo bool
+	noCostModel    bool
 }
 
 // runServe runs the same daemon as cmd/sirod, for installs that only
@@ -192,13 +238,16 @@ func runServe(addr, cacheDir string, so serveOpts) {
 		log.Printf("siro: gateway enabled with %d tenant(s) from %s", registry.Len(), so.tenantsFile)
 	}
 	svc := service.New(service.Config{
-		CacheDir:     cacheDir,
-		JobTimeout:   2 * time.Minute,
-		MaxRetries:   so.maxRetries,
-		ShedAt:       so.shedQueue,
-		FairQueue:    so.fairQueue,
-		TenantWeight: registry.Weight,
-		Coalesce:     registry != nil,
+		CacheDir:            cacheDir,
+		JobTimeout:          2 * time.Minute,
+		MaxRetries:          so.maxRetries,
+		ShedAt:              so.shedQueue,
+		FairQueue:           so.fairQueue,
+		TenantWeight:        registry.Weight,
+		Coalesce:            registry != nil,
+		Synth:               synth.Options{Workers: so.synthWorkers},
+		DisableNeighborMemo: so.noNeighborMemo,
+		DisableCostModel:    so.noCostModel,
 	})
 	defer svc.Close()
 	opts := service.HandlerOpts{MaxBodyBytes: so.maxBody, Pprof: so.pprof}

@@ -46,6 +46,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/service"
+	"repro/internal/synth"
 	"repro/internal/tenant"
 	"repro/internal/version"
 )
@@ -84,6 +85,9 @@ func main() {
 	advertise := flag.String("advertise", "", "worker mode: address the coordinator can reach this daemon's listener at (default: -addr with 127.0.0.1 for an empty host)")
 	workerID := flag.String("cluster-id", "", "worker mode: stable identity anchoring rendezvous placement (default: the advertised address)")
 	replicas := flag.Int("cluster-replicas", 2, "coordinator mode: replicas probed for an existing artifact before a job is placed")
+	synthWorkers := flag.Int("synth-workers", 0, "parallelism inside each synthesis run: candidate generation and validation workers (0: serial; output is byte-identical at any setting)")
+	noNeighborMemo := flag.Bool("no-neighbor-memo", false, "disable cross-pair synthesis memoization (shared generation cache + neighbor-pair warm starts)")
+	noCostModel := flag.Bool("no-cost-model", false, "disable the persisted cost model that orders candidate validation by observed win rate")
 	flag.Parse()
 
 	if *clusterListen != "" && *join != "" {
@@ -144,6 +148,9 @@ func main() {
 		BreakerCooldown:      *breakerCooldown,
 		ServeTrials:          *serveTrials,
 		DegradeUnderPressure: *degrade,
+		Synth:                synth.Options{Workers: *synthWorkers},
+		DisableNeighborMemo:  *noNeighborMemo,
+		DisableCostModel:     *noCostModel,
 		Remote:               remoteOrNil(coord),
 		FairQueue:            *fairQueue,
 		TenantWeight:         registry.Weight,

@@ -56,7 +56,20 @@ type Options struct {
 	// Extern supplies extra external-function implementations keyed by
 	// name, consulted before the built-in intrinsics.
 	Extern map[string]ExternFunc
+	// Stop, when non-nil, cancels execution cooperatively: once the
+	// channel is closed, the interpreter returns ErrStopped at the next
+	// step-boundary check (every stopCheckMask+1 steps, so the check
+	// costs nothing on the hot path). This is how the synthesis
+	// validation loop reclaims the goroutine of a candidate whose
+	// execution outlives the test deadline instead of abandoning it
+	// mid-interpretation.
+	Stop <-chan struct{}
 }
+
+// stopCheckMask gates how often the step loop polls Options.Stop: every
+// 64th step. A finer grain buys nothing (a step is nanoseconds), a much
+// coarser one delays cancellation of tight loops.
+const stopCheckMask = 63
 
 // ExternFunc implements a declared function.
 type ExternFunc func(s *State, args []Value) (Value, *trap)
@@ -112,6 +125,11 @@ var ErrNoMain = failure.Wrap(failure.Validation, errors.New("interp: module has 
 // carries the failure.Budget class so callers above the synthesis loop
 // can distinguish resource exhaustion from semantic failure.
 var ErrBudget = failure.Wrap(failure.Budget, errors.New("interp: step budget exhausted"))
+
+// ErrStopped is returned when execution is cancelled via Options.Stop.
+// Like ErrBudget it is Budget-classed: the program was cut off by a
+// resource decision above it, not by its own semantics.
+var ErrStopped = failure.Wrap(failure.Budget, errors.New("interp: execution stopped"))
 
 // Run executes m's main function. Runtime type confusion (possible when
 // executing candidate translations that verified structurally but mix up
@@ -250,6 +268,13 @@ func (fr *frame) execBlock(b, prev *ir.Block, depth int) (*ir.Block, Value, *tra
 		s.steps++
 		if s.steps > s.maxSt {
 			return nil, nil, nil, ErrBudget
+		}
+		if s.opts.Stop != nil && s.steps&stopCheckMask == 0 {
+			select {
+			case <-s.opts.Stop:
+				return nil, nil, nil, ErrStopped
+			default:
+			}
 		}
 		next, ret, done, tr, err := fr.execInst(inst, depth)
 		if err != nil || tr != nil {

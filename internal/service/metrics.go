@@ -69,11 +69,14 @@ type serviceMetrics struct {
 	stages     map[string]*obs.Histogram
 	hopSeconds *obs.Histogram
 
-	synthCandidates  *obs.Counter
-	synthPerTest     *obs.Counter
-	synthValidations *obs.Counter
-	synthExecRuns    *obs.Counter
-	synthPhases      map[string]*obs.Histogram
+	synthCandidates   *obs.Counter
+	synthPerTest      *obs.Counter
+	synthValidations  *obs.Counter
+	synthExecRuns     *obs.Counter
+	synthGenCacheHits *obs.Counter
+	synthNbrSeeded    *obs.Counter
+	synthNbrFallback  *obs.Counter
+	synthPhases       map[string]*obs.Histogram
 
 	routesOK, routesErr *obs.Counter
 	routeHops           *obs.Counter
@@ -167,6 +170,9 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 	m.synthPerTest = reg.Counter("siro_synth_per_test_translators_total", "Per-test translators enumerated.")
 	m.synthValidations = reg.Counter("siro_synth_validations_total", "Per-test translators differentially validated.")
 	m.synthExecRuns = reg.Counter("siro_synth_exec_runs_total", "Oracle executions during validation.")
+	m.synthGenCacheHits = reg.Counter("siro_synth_gencache_hits_total", "Candidate generations served from the cross-pair generation cache.")
+	m.synthNbrSeeded = reg.Counter("siro_synth_neighbor_seeded_total", "Enumeration boxes seeded from a neighbor pair's refined cells.")
+	m.synthNbrFallback = reg.Counter("siro_synth_neighbor_fallbacks_total", "Validation rounds that widened hint-seeded pools back to full pools.")
 	m.synthPhases = map[string]*obs.Histogram{}
 	for _, phase := range []string{"gen", "profile", "enum", "validate", "refine", "complete"} {
 		m.synthPhases[phase] = reg.Histogram("siro_synth_phase_seconds", "Synthesis wall time by phase, one observation per synthesis run.", nil, "phase", phase)
@@ -397,6 +403,9 @@ func (m *serviceMetrics) recordSynth(st synth.Stats) {
 	m.synthPerTest.Add(int64(st.PerTestTotal))
 	m.synthValidations.Add(int64(st.Validations))
 	m.synthExecRuns.Add(int64(st.ExecRuns))
+	m.synthGenCacheHits.Add(int64(st.GenCacheHits))
+	m.synthNbrSeeded.Add(int64(st.NeighborSeeded))
+	m.synthNbrFallback.Add(int64(st.NeighborFallbacks))
 	for phase, d := range st.Phases() {
 		m.synthPhases[phase].ObserveDuration(d)
 	}

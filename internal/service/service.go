@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -94,6 +95,20 @@ type Config struct {
 	Synth synth.Options
 	// SynthFn overrides the synthesis path (chaos/testing seam).
 	SynthFn SynthFn
+	// DisableNeighborMemo turns off cross-pair synthesis memoization:
+	// the shared generation cache and the neighbor-hint registry that
+	// warm-start one pair's synthesis from a completed neighbor's
+	// refined cells. Sharing only ever engages for the canonical API
+	// libraries (Synth.Getters/Builders nil), so this knob exists for
+	// benchmarking cold paths, not for correctness.
+	DisableNeighborMemo bool
+	// DisableCostModel turns off the telemetry-fed candidate ordering
+	// model. When enabled (the default) the model persists beside the
+	// translator cache as siro-costmodel.json and reorders each
+	// synthesis run's enumeration so observed winners validate first —
+	// which never changes what is synthesized, only how much of a test
+	// deadline the favourites get.
+	DisableCostModel bool
 	// Metrics is the registry the service's instruments register into;
 	// nil creates a private registry (retrievable via Service.Metrics,
 	// served by the HTTP handler at /metrics).
@@ -219,6 +234,14 @@ type Service struct {
 	jobEWMA   atomic.Int64 // smoothed job duration (ns) for deadline-aware admission
 	serveSeed atomic.Int64 // serve-time validation trial seeds
 
+	// Cross-pair synthesis accelerators (nil when disabled or when the
+	// synth options carry library overrides — the chaos seam must never
+	// leak poisoned results between pairs).
+	genCache *synth.GenCache
+	hints    *synth.HintsRegistry
+	cost     *synth.CostModel
+	costPath string // "" = memory-only cost model
+
 	mu         sync.Mutex
 	closed     bool
 	drainStart time.Time
@@ -279,6 +302,20 @@ func New(cfg Config) *Service {
 		s.cache.met = s.met.cache
 	}
 	s.cache.SetMaxBytes(cfg.CacheMaxBytes)
+	if canonical := cfg.Synth.Getters == nil && cfg.Synth.Builders == nil; canonical {
+		if !cfg.DisableNeighborMemo {
+			s.genCache = synth.NewGenCache()
+			s.hints = synth.NewHintsRegistry()
+		}
+		if !cfg.DisableCostModel {
+			if cfg.CacheDir != "" {
+				s.costPath = filepath.Join(cfg.CacheDir, "siro-costmodel.json")
+				s.cost = synth.LoadCostModel(s.costPath)
+			} else {
+				s.cost = synth.NewCostModel()
+			}
+		}
+	}
 	for _, v := range cfg.Versions {
 		s.supported[v] = true
 	}
@@ -1145,6 +1182,13 @@ func (s *Service) synthesizeOnce(ctx context.Context, pair version.Pair) (res *s
 			opts.TestDeadline = remain
 		}
 	}
+	// Thread the cross-pair accelerators through: the generation cache
+	// and cost model are shared by every pair, the hints come from the
+	// nearest already-synthesized neighbor. All three are nil-safe and
+	// nil when disabled or when the chaos seam overrides the libraries.
+	opts.GenCache = s.genCache
+	opts.Cost = s.cost
+	opts.Hints = s.hints.Nearest(pair)
 	out, err := s.cfg.SynthFn(pair, opts)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -1154,6 +1198,13 @@ func (s *Service) synthesizeOnce(ctx context.Context, pair version.Pair) (res *s
 			return nil, fmt.Errorf("service: synthesizing %s under an expired deadline: %w (synth said: %v)", pair, failure.FromContext(ctx.Err()), err)
 		}
 		return nil, failure.Wrapf(failure.Synthesis, "service: synthesizing %s: %w", pair, err)
+	}
+	// A completed pair warm-starts its neighbors, and the cost model's
+	// fresh observations survive restarts (best effort — losing either
+	// costs speed, never correctness).
+	s.hints.Store(out.Hints(opts))
+	if s.cost != nil && s.costPath != "" {
+		_ = s.cost.Save(s.costPath)
 	}
 	return out, nil
 }

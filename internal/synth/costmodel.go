@@ -1,0 +1,247 @@
+package synth
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/irlib"
+)
+
+// CostModel is the telemetry-fed candidate-ordering model: it
+// accumulates, per (instruction kind, atomic structural key), how often
+// the candidate's equivalence class won a differential validation and
+// how much wall clock each attempt cost, and uses the ratio to reorder
+// every enumeration box's class list so the assignment odometer visits
+// likely winners first and spends the tail of a test deadline on the
+// long shots rather than the favourites.
+//
+// Reordering never changes what a synthesis produces: the odometer
+// still visits every assignment, refinement is set-based, and skeleton
+// completion breaks ties by atomic ID — so Export stays byte-identical
+// with and without a model (pinned by TestCostModelDoesNotChangeExport).
+// What the order does change is which validations complete before a
+// TestDeadline expires, which is exactly the pruning the deadline
+// implements.
+//
+// The model is safe for concurrent use by multiple synthesizers — the
+// service shares one across every pair it synthesizes and persists it
+// beside the translator cache (LoadCostModel / Save), so observations
+// survive restarts the way artifacts do.
+type CostModel struct {
+	mu    sync.Mutex
+	kinds map[string]*kindModel
+}
+
+// kindModel holds one instruction kind's observations.
+type kindModel struct {
+	// Candidates is the generated-candidate count last reported for the
+	// kind (Stats.CandidatesPerKind) — the exploration prior: in a large
+	// search space an unobserved candidate is a priori unlikely to win,
+	// so observed winners should outrank it decisively.
+	Candidates int                   `json:"candidates"`
+	Entries    map[string]*costEntry `json:"entries"`
+}
+
+// costEntry accumulates one candidate class's validation record.
+type costEntry struct {
+	Tried  int64 `json:"tried"`
+	Won    int64 `json:"won"`
+	CostNS int64 `json:"cost_ns"` // cumulative validation wall clock attributed to the class
+}
+
+// NewCostModel returns an empty model.
+func NewCostModel() *CostModel {
+	return &CostModel{kinds: map[string]*kindModel{}}
+}
+
+// Observe records one validation outcome for a candidate class,
+// identified by its representative's structural key. d is the share of
+// the validation's wall clock attributed to this class.
+func (c *CostModel) Observe(kind ir.Opcode, key string, won bool, d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	km := c.kind(kind)
+	e := km.Entries[key]
+	if e == nil {
+		e = &costEntry{}
+		km.Entries[key] = e
+	}
+	e.Tried++
+	if won {
+		e.Won++
+	}
+	e.CostNS += int64(d)
+}
+
+// SeedCandidates records a kind's generated-candidate count
+// (Stats.CandidatesPerKind), the prior that calibrates how strongly an
+// unobserved candidate is discounted against observed winners.
+func (c *CostModel) SeedCandidates(kind ir.Opcode, n int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	km := c.kind(kind)
+	if n > km.Candidates {
+		km.Candidates = n
+	}
+}
+
+func (c *CostModel) kind(kind ir.Opcode) *kindModel {
+	km := c.kinds[kind.String()]
+	if km == nil {
+		km = &kindModel{Entries: map[string]*costEntry{}}
+		c.kinds[kind.String()] = km
+	}
+	return km
+}
+
+// score rates one candidate class: observed win rate (Laplace-smoothed
+// towards the kind's exploration prior) divided by its observed apply
+// cost. Higher is better. Unobserved classes score the bare prior, so
+// proven winners sort first, unknowns second, proven losers last.
+func (km *kindModel) score(key string) float64 {
+	prior := 0.5
+	if km != nil && km.Candidates > 2 {
+		prior = 1 / float64(km.Candidates)
+	}
+	var e *costEntry
+	if km != nil {
+		e = km.Entries[key]
+	}
+	if e == nil {
+		e = &costEntry{}
+	}
+	winRate := (float64(e.Won) + 2*prior) / (float64(e.Tried) + 2)
+	avgCost := 0.0
+	if e.Tried > 0 {
+		avgCost = (time.Duration(e.CostNS) / time.Duration(e.Tried)).Seconds()
+	}
+	return winRate / (1 + avgCost)
+}
+
+// Order sorts a box's equivalence classes by descending score of their
+// representatives, breaking ties by structural key so the order is
+// deterministic regardless of observation history races. repKeys[i]
+// must be classes[i][0].Key(); both slices are reordered in lockstep
+// and returned.
+func (c *CostModel) Order(kind ir.Opcode, classes [][]*irlib.Atomic, repKeys []string) ([][]*irlib.Atomic, []string) {
+	if c == nil || len(classes) < 2 {
+		return classes, repKeys
+	}
+	c.mu.Lock()
+	km := c.kinds[kind.String()]
+	scores := make([]float64, len(classes))
+	for i, key := range repKeys {
+		scores[i] = km.score(key)
+	}
+	c.mu.Unlock()
+	idx := make([]int, len(classes))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return repKeys[idx[a]] < repKeys[idx[b]]
+	})
+	outC := make([][]*irlib.Atomic, len(classes))
+	outK := make([]string, len(classes))
+	for i, j := range idx {
+		outC[i] = classes[j]
+		outK[i] = repKeys[j]
+	}
+	return outC, outK
+}
+
+// Len reports the number of candidate classes with observations, for
+// diagnostics and tests.
+func (c *CostModel) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, km := range c.kinds {
+		n += len(km.Entries)
+	}
+	return n
+}
+
+// persistedCostModel is the on-disk form, versioned so a future schema
+// change misses cleanly instead of misreading.
+type persistedCostModel struct {
+	Version int                   `json:"version"`
+	Kinds   map[string]*kindModel `json:"kinds"`
+}
+
+const costModelVersion = 1
+
+// Save writes the model atomically (temp file + rename) so a crashed
+// writer never leaves a torn model beside the cache.
+func (c *CostModel) Save(path string) error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	blob, err := json.MarshalIndent(persistedCostModel{Version: costModelVersion, Kinds: c.kinds}, "", "  ")
+	c.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("synth: cost model: %w", err)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("synth: cost model: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return fmt.Errorf("synth: cost model: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("synth: cost model: %w", err)
+	}
+	return nil
+}
+
+// LoadCostModel reads a model persisted by Save. A missing file returns
+// an empty model (cold start); a corrupt or schema-mismatched file does
+// too, because the model is advisory — losing it costs ordering
+// quality, never correctness.
+func LoadCostModel(path string) *CostModel {
+	c := NewCostModel()
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return c
+	}
+	var p persistedCostModel
+	if err := json.Unmarshal(blob, &p); err != nil || p.Version != costModelVersion || p.Kinds == nil {
+		return c
+	}
+	for k, km := range p.Kinds {
+		if km == nil {
+			continue
+		}
+		if km.Entries == nil {
+			km.Entries = map[string]*costEntry{}
+		}
+		for key, e := range km.Entries {
+			if e == nil {
+				delete(km.Entries, key)
+			}
+		}
+		c.kinds[k] = km
+	}
+	return c
+}

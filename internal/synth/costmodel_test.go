@@ -1,0 +1,170 @@
+package synth
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/irlib"
+	"repro/internal/version"
+)
+
+// costClasses builds the (classes, repKeys) shape Order operates on from
+// bare keys, one singleton class per key.
+func costClasses(keys ...string) ([][]*irlib.Atomic, []string) {
+	classes := make([][]*irlib.Atomic, len(keys))
+	for i := range keys {
+		classes[i] = []*irlib.Atomic{{}}
+	}
+	return classes, append([]string(nil), keys...)
+}
+
+func TestCostModelOrderWinnersFirst(t *testing.T) {
+	c := NewCostModel()
+	c.SeedCandidates(ir.Add, 10)
+	// "w" wins every try, "l" loses every try, "u" is unobserved.
+	for i := 0; i < 4; i++ {
+		c.Observe(ir.Add, "w", true, time.Millisecond)
+		c.Observe(ir.Add, "l", false, time.Millisecond)
+	}
+	classes, keys := costClasses("l", "u", "w")
+	classes, keys = c.Order(ir.Add, classes, keys)
+	if keys[0] != "w" || keys[2] != "l" {
+		t.Fatalf("order = %v, want winner first and loser last", keys)
+	}
+	if len(classes) != 3 || classes[0] == nil {
+		t.Fatalf("classes not reordered in lockstep: %v", classes)
+	}
+}
+
+// Equal scores must order deterministically (by key), or a synthesis
+// run's validation order would depend on map iteration.
+func TestCostModelOrderTiesDeterministic(t *testing.T) {
+	c := NewCostModel()
+	for i := 0; i < 20; i++ {
+		classes, keys := costClasses("c", "a", "b")
+		classes, keys = c.Order(ir.Add, classes, keys)
+		if keys[0] != "a" || keys[1] != "b" || keys[2] != "c" {
+			t.Fatalf("tie order = %v, want sorted by key", keys)
+		}
+		if len(classes) != 3 {
+			t.Fatalf("classes length changed: %d", len(classes))
+		}
+	}
+}
+
+func TestCostModelNilSafe(t *testing.T) {
+	var c *CostModel
+	c.Observe(ir.Add, "k", true, time.Second)
+	c.SeedCandidates(ir.Add, 5)
+	if n := c.Len(); n != 0 {
+		t.Fatalf("nil model Len = %d", n)
+	}
+	classes, keys := costClasses("b", "a")
+	classes, keys = c.Order(ir.Add, classes, keys)
+	if keys[0] != "b" { // nil model must not reorder
+		t.Fatalf("nil model reordered: %v", keys)
+	}
+	if err := c.Save(filepath.Join(t.TempDir(), "m.json")); err != nil {
+		t.Fatal(err)
+	}
+	_ = classes
+}
+
+func TestCostModelPersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "costmodel.json")
+	c := NewCostModel()
+	c.SeedCandidates(ir.Sub, 8)
+	c.Observe(ir.Sub, "good", true, time.Millisecond)
+	c.Observe(ir.Sub, "bad", false, 2*time.Millisecond)
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded := LoadCostModel(path)
+	if loaded.Len() != c.Len() {
+		t.Fatalf("Len after reload: %d, want %d", loaded.Len(), c.Len())
+	}
+	classes, keys := costClasses("bad", "good")
+	_, keys = loaded.Order(ir.Sub, classes, keys)
+	if keys[0] != "good" {
+		t.Fatalf("reloaded model lost its observations: order %v", keys)
+	}
+}
+
+func TestLoadCostModelMissingOrCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if c := LoadCostModel(filepath.Join(dir, "absent.json")); c == nil || c.Len() != 0 {
+		t.Fatalf("missing file: got %v", c)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if c := LoadCostModel(bad); c == nil || c.Len() != 0 {
+		t.Fatalf("corrupt file: got %v", c)
+	}
+	stale := filepath.Join(dir, "stale.json")
+	if err := os.WriteFile(stale, []byte(`{"version":999,"kinds":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if c := LoadCostModel(stale); c == nil || c.Len() != 0 {
+		t.Fatalf("schema-mismatched file: got %v", c)
+	}
+}
+
+// The model's whole contract: reordering validation never changes what
+// is synthesized. A run with a trained model must export byte-identical
+// artifacts to a run without one.
+func TestCostModelDoesNotChangeExport(t *testing.T) {
+	tests := func() []*TestCase {
+		return []*TestCase{addTest(t, version.V12_0), subTest(t, version.V12_0)}
+	}
+	cold := New(version.V12_0, version.V3_6, Options{})
+	coldRes, err := cold.Run(tests())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldBlob, err := coldRes.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Train a model on one full run, then synthesize again under it.
+	model := NewCostModel()
+	train := New(version.V12_0, version.V3_6, Options{Cost: model})
+	if _, err := train.Run(tests()); err != nil {
+		t.Fatal(err)
+	}
+	if model.Len() == 0 {
+		t.Fatal("training run fed no observations into the model")
+	}
+	warm := New(version.V12_0, version.V3_6, Options{Cost: model})
+	warmRes, err := warm.Run(tests())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmBlob, err := warmRes.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldBlob, warmBlob) {
+		t.Fatal("cost-model ordering changed the exported artifact")
+	}
+}
+
+// Library overrides (the chaos seam) must keep their observations out
+// of the shared model: a poisoned library's losses would otherwise
+// demote honest candidates for every future canonical run.
+func TestCostModelIgnoresOverriddenLibraries(t *testing.T) {
+	model := NewCostModel()
+	empty := &irlib.Library{Ver: version.V3_6, Side: irlib.SideTgt}
+	s := New(version.V12_0, version.V3_6, Options{Cost: model, Builders: empty})
+	_, _ = s.Run([]*TestCase{addTest(t, version.V12_0)}) // fails; that's fine
+	if model.Len() != 0 {
+		t.Fatalf("overridden-library run fed %d observations into the shared model", model.Len())
+	}
+}

@@ -28,9 +28,21 @@ type box struct {
 	// classes on this test's instructions (Optimization I); each class
 	// is validated through its first representative.
 	classes [][]*irlib.Atomic
+	// repKeys are the structural keys of each class's representative,
+	// populated only when a CostModel is attached (they are what the
+	// model scores and observes).
+	repKeys []string
+	// seeded marks a box whose pool came from neighbor-pair hints
+	// rather than this run's own refinement; if no assignment wins, the
+	// test is re-validated with seeded boxes widened to full pools.
+	seeded bool
 }
 
-// processTest runs steps ➋➌➍ of Alg. 2 on one test case.
+// processTest runs steps ➋➌➍ of Alg. 2 on one test case. When the
+// first validation round ran over hint-seeded pools and found no
+// winner, the seeded boxes are widened to their full pools and the
+// test is validated once more before it is declared failed — a
+// misleading neighbor hint must cost a retry, never a verdict.
 func (s *Synthesizer) processTest(t *TestCase) error {
 	// Sanity: the test itself must meet its oracle at the source version.
 	res, err := interp.Run(t.Module, interp.Options{})
@@ -45,34 +57,97 @@ func (s *Synthesizer) processTest(t *TestCase) error {
 	prof := s.profile(t)
 
 	// ➋ Enumeration: build boxes.
-	start := time.Now()
-	boxes, err := s.buildBoxes(prof)
+	boxes, total, err := s.enumerateBoxes(prof, true)
 	if err != nil {
 		return err
+	}
+
+	// ➌ Validation.
+	sum := s.validateBoxes(t, prof, boxes, total)
+	if !sum.anyWin {
+		seeded := false
+		for _, bx := range boxes {
+			if bx.seeded {
+				seeded = true
+				break
+			}
+		}
+		if seeded {
+			s.stats.NeighborFallbacks++
+			if boxes, total, err = s.enumerateBoxes(prof, false); err != nil {
+				return err
+			}
+			sum = s.validateBoxes(t, prof, boxes, total)
+		}
+	}
+	if !sum.anyWin && len(boxes) > 0 {
+		if sum.timedOut > 0 {
+			return failure.Wrapf(failure.Budget, "test deadline %v expired with no winner (%d of %d validations cut off)",
+				s.Opts.TestDeadline, sum.timedOut, total)
+		}
+		return failure.Wrapf(failure.Synthesis, "no per-test translator satisfied the oracle (%d tried)", total)
+	}
+
+	// ➍ Refinement (Alg. 4): intersect winning candidates into M*.
+	start := time.Now()
+	for _, bx := range boxes {
+		var won []*irlib.Atomic
+		for ci := range bx.classes {
+			if sum.winners[bx][ci] {
+				won = append(won, bx.classes[ci]...) // credit the whole class
+			}
+		}
+		s.refine(bx.kind, bx.sigma, won)
+	}
+	s.stats.RefineTime += time.Since(start)
+	return nil
+}
+
+// enumerateBoxes is step ➋ under wall-clock accounting: build the
+// boxes, bound the per-test translator count, and count it.
+func (s *Synthesizer) enumerateBoxes(prof []*profEntry, useHints bool) ([]*box, int, error) {
+	start := time.Now()
+	defer func() { s.stats.EnumTime += time.Since(start) }()
+	boxes, err := s.buildBoxes(prof, useHints)
+	if err != nil {
+		return nil, 0, err
 	}
 	total := 1
 	for _, bx := range boxes {
 		total *= len(bx.classes)
 		if total > s.Opts.MaxPerTest {
-			return failure.Wrapf(failure.Budget, "per-test translator count exceeds %d (test too complex for current M*; add simpler tests first)", s.Opts.MaxPerTest)
+			return nil, 0, failure.Wrapf(failure.Budget, "per-test translator count exceeds %d (test too complex for current M*; add simpler tests first)", s.Opts.MaxPerTest)
 		}
 	}
 	s.stats.PerTestTotal += total
-	s.stats.EnumTime += time.Since(start)
+	return boxes, total, nil
+}
 
-	// ➌ Validation: walk the assignment odometer. Validations are
-	// independent, so they parallelize across Options.Workers exactly as
-	// §5 of the paper parallelizes them across threads.
-	start = time.Now()
+// valSummary is the outcome of one validation round over a test's
+// assignment odometer.
+type valSummary struct {
+	winners  map[*box]map[int]bool
+	anyWin   bool
+	timedOut int
+}
+
+// validateBoxes is step ➌: walk the assignment odometer and validate
+// every per-test translator. Validations are independent, so they
+// parallelize across Options.Workers exactly as §5 of the paper
+// parallelizes them across threads; ValidateTime is the wall clock from
+// fan-out to join. Outcomes are fed to the CostModel when one is
+// attached.
+func (s *Synthesizer) validateBoxes(t *TestCase, prof []*profEntry, boxes []*box, total int) valSummary {
+	start := time.Now()
 	entryBox := map[*ir.Instruction]*box{}
 	for _, bx := range boxes {
 		for _, e := range bx.entries {
 			entryBox[e.Inst] = bx
 		}
 	}
-	winnerSets := map[*box]map[int]bool{}
+	sum := valSummary{winners: map[*box]map[int]bool{}}
 	for _, bx := range boxes {
-		winnerSets[bx] = map[int]bool{}
+		sum.winners[bx] = map[int]bool{}
 	}
 	byInst := map[*ir.Instruction]*profEntry{}
 	for _, e := range prof {
@@ -87,7 +162,9 @@ func (s *Synthesizer) processTest(t *TestCase) error {
 		for i, bx := range boxes {
 			assign[bx] = bx.classes[idx[i]][0]
 		}
+		vstart := time.Now()
 		out := s.validateGuarded(t, byInst, entryBox, assign, deadline)
+		out.valTime = time.Since(vstart)
 		out.idx = idx
 		return out
 	}
@@ -125,8 +202,10 @@ func (s *Synthesizer) processTest(t *TestCase) error {
 			outcomes = append(outcomes, validateIdx(cp))
 		})
 	}
-	anyWin := false
-	timedOut := 0
+	cost := s.Opts.Cost
+	if !s.canonical {
+		cost = nil
+	}
 	for _, out := range outcomes {
 		s.stats.Validations++
 		if out.executed {
@@ -137,43 +216,31 @@ func (s *Synthesizer) processTest(t *TestCase) error {
 			s.stats.PanicsIsolated++
 		}
 		if out.timedOut {
-			timedOut++
+			sum.timedOut++
 			s.stats.TimedOut++
 		}
 		if out.ok {
-			anyWin = true
+			sum.anyWin = true
 			for i, bx := range boxes {
-				winnerSets[bx][out.idx[i]] = true
+				sum.winners[bx][out.idx[i]] = true
+			}
+		}
+		if cost != nil && len(boxes) > 0 {
+			share := out.valTime / time.Duration(len(boxes))
+			for i, bx := range boxes {
+				cost.Observe(bx.kind, bx.repKeys[out.idx[i]], out.ok, share)
 			}
 		}
 	}
 	s.stats.ValidateTime += time.Since(start)
-	if !anyWin && len(boxes) > 0 {
-		if timedOut > 0 {
-			return failure.Wrapf(failure.Budget, "test deadline %v expired with no winner (%d of %d validations cut off)",
-				s.Opts.TestDeadline, timedOut, total)
-		}
-		return failure.Wrapf(failure.Synthesis, "no per-test translator satisfied the oracle (%d tried)", total)
-	}
-
-	// ➍ Refinement (Alg. 4): intersect winning candidates into M*.
-	start = time.Now()
-	for _, bx := range boxes {
-		var won []*irlib.Atomic
-		for ci := range bx.classes {
-			if winnerSets[bx][ci] {
-				won = append(won, bx.classes[ci]...) // credit the whole class
-			}
-		}
-		s.refine(bx.kind, bx.sigma, won)
-	}
-	s.stats.RefineTime += time.Since(start)
-	return nil
+	return sum
 }
 
 // buildBoxes groups profile entries into enumeration boxes and attaches
-// candidate pools, applying Optimizations I and II.
-func (s *Synthesizer) buildBoxes(prof []*profEntry) ([]*box, error) {
+// candidate pools, applying Optimizations I and II, neighbor-pair hint
+// seeding (when useHints and a cell has no refinement of its own yet),
+// and cost-model class ordering.
+func (s *Synthesizer) buildBoxes(prof []*profEntry, useHints bool) ([]*box, error) {
 	byKey := map[string]*box{}
 	var order []string
 	for _, e := range prof {
@@ -194,21 +261,40 @@ func (s *Synthesizer) buildBoxes(prof []*profEntry) ([]*box, error) {
 		bx.entries = append(bx.entries, e)
 	}
 	sort.Strings(order)
+	cost := s.Opts.Cost
+	if !s.canonical {
+		cost = nil
+	}
 	var out []*box
 	for _, key := range order {
 		bx := byKey[key]
 		pool := s.candidates[bx.kind]
+		refined := false
 		if !s.Opts.DisableMemoization {
 			if m, ok := s.mstar[bx.kind]; ok {
-				if refined, ok := m[bx.sigma]; ok {
-					pool = refined // Optimization II
+				if r, ok := m[bx.sigma]; ok {
+					pool, refined = r, true // Optimization II
 				}
+			}
+		}
+		if !refined && useHints {
+			if hp := s.hintPool(bx.kind, bx.sigma); hp != nil {
+				pool = hp
+				bx.seeded = true
+				s.stats.NeighborSeeded++
 			}
 		}
 		if len(pool) == 0 {
 			return nil, failure.Wrapf(failure.Synthesis, "no candidates for instruction kind %s", bx.kind)
 		}
 		bx.classes = s.classify(bx, pool)
+		if cost != nil {
+			bx.repKeys = make([]string, len(bx.classes))
+			for i, cl := range bx.classes {
+				bx.repKeys[i] = cl[0].Key()
+			}
+			bx.classes, bx.repKeys = cost.Order(bx.kind, bx.classes, bx.repKeys)
+		}
 		out = append(out, bx)
 	}
 	return out, nil
@@ -232,7 +318,7 @@ func (s *Synthesizer) classify(bx *box, pool []*irlib.Atomic) [][]*irlib.Atomic 
 	groups := map[string][]*irlib.Atomic{}
 	var order []string
 	for _, a := range pool {
-		k := safeSemKey(a.Root, inst, reg)
+		k := safeSemKey(a.Root, inst, reg, &s.stats.PanicsIsolated)
 		if _, ok := groups[k]; !ok {
 			order = append(order, k)
 		}
@@ -308,10 +394,13 @@ func (r *objReg) id(v any) string {
 // safeSemKey is semKey with panic isolation: a getter that panics when
 // probed (a poisoned or buggy component) keys the candidate into its own
 // structural class instead of taking down classification. The candidate
-// still reaches validation, where the same panic rejects it.
-func safeSemKey(t *irlib.Term, inst *ir.Instruction, reg *objReg) (k string) {
+// still reaches validation, where the same panic rejects it. Each
+// contained panic is counted through panics so Stats.PanicsIsolated
+// reflects classification-time containment, not just validation.
+func safeSemKey(t *irlib.Term, inst *ir.Instruction, reg *objReg, panics *int) (k string) {
 	defer func() {
 		if r := recover(); r != nil {
+			*panics++
 			k = "panic:" + t.Key()
 		}
 	}()
@@ -349,6 +438,7 @@ type valOutcome struct {
 	panicked bool // rejected by panic isolation
 	timedOut bool // skipped or cut off by the test deadline
 	execTime time.Duration
+	valTime  time.Duration // end-to-end validation wall clock, for the cost model
 }
 
 // forEachAssignment walks the odometer over the boxes' class indices.
@@ -374,23 +464,26 @@ func forEachAssignment(boxes []*box, visit func(idx []int)) {
 // validateGuarded runs one validation with the hardening wrappers. With
 // no deadline it only adds panic isolation. With a deadline it first
 // refuses work once the deadline has passed, then races the validation
-// against the time remaining, so a candidate whose poisoned component
-// hangs forfeits only this per-test translator (the stuck goroutine is
-// abandoned; its eventual result is discarded through the buffered
-// channel).
+// against the time remaining. When the timer fires, the stop channel is
+// closed so the validation goroutine's interpreter run cancels
+// cooperatively and the goroutine exits instead of burning its full step
+// budget unobserved (its late result is discarded through the buffered
+// channel). A candidate whose poisoned component hangs *outside* the
+// interpreter still forfeits only this per-test translator.
 func (s *Synthesizer) validateGuarded(t *TestCase, byInst map[*ir.Instruction]*profEntry,
 	entryBox map[*ir.Instruction]*box, assign map[*box]*irlib.Atomic, deadline time.Time) valOutcome {
 
 	if deadline.IsZero() {
-		return s.validateIsolated(t, byInst, entryBox, assign)
+		return s.validateIsolated(t, byInst, entryBox, assign, nil)
 	}
 	remain := time.Until(deadline)
 	if remain <= 0 {
 		return valOutcome{timedOut: true}
 	}
 	done := make(chan valOutcome, 1)
+	stop := make(chan struct{})
 	go func() {
-		done <- s.validateIsolated(t, byInst, entryBox, assign)
+		done <- s.validateIsolated(t, byInst, entryBox, assign, stop)
 	}()
 	timer := time.NewTimer(remain)
 	defer timer.Stop()
@@ -398,6 +491,7 @@ func (s *Synthesizer) validateGuarded(t *TestCase, byInst map[*ir.Instruction]*p
 	case out := <-done:
 		return out
 	case <-timer.C:
+		close(stop)
 		return valOutcome{timedOut: true}
 	}
 }
@@ -407,14 +501,14 @@ func (s *Synthesizer) validateGuarded(t *TestCase, byInst map[*ir.Instruction]*p
 // a plain rejection of that candidate, exactly as the paper's refinement
 // excludes plausible-but-wrong per-test translators.
 func (s *Synthesizer) validateIsolated(t *TestCase, byInst map[*ir.Instruction]*profEntry,
-	entryBox map[*ir.Instruction]*box, assign map[*box]*irlib.Atomic) (out valOutcome) {
+	entryBox map[*ir.Instruction]*box, assign map[*box]*irlib.Atomic, stop <-chan struct{}) (out valOutcome) {
 
 	defer func() {
 		if r := recover(); r != nil {
 			out = valOutcome{panicked: true}
 		}
 	}()
-	return s.validateAssignment(t, byInst, entryBox, assign)
+	return s.validateAssignment(t, byInst, entryBox, assign, stop)
 }
 
 // validateAssignment performs one differential-testing validation
@@ -422,7 +516,7 @@ func (s *Synthesizer) validateIsolated(t *TestCase, byInst map[*ir.Instruction]*
 // the result, execute it, and compare against the oracle. It touches no
 // synthesizer state, so it is safe to call concurrently.
 func (s *Synthesizer) validateAssignment(t *TestCase, byInst map[*ir.Instruction]*profEntry,
-	entryBox map[*ir.Instruction]*box, assign map[*box]*irlib.Atomic) valOutcome {
+	entryBox map[*ir.Instruction]*box, assign map[*box]*irlib.Atomic, stop <-chan struct{}) valOutcome {
 
 	dispatch := func(inst *ir.Instruction) (skeleton.InstFn, error) {
 		e, ok := byInst[inst]
@@ -470,7 +564,7 @@ func (s *Synthesizer) validateAssignment(t *TestCase, byInst map[*ir.Instruction
 	}
 	tgtMod = reloaded
 	execStart := time.Now()
-	res, err := interp.Run(tgtMod, interp.Options{})
+	res, err := interp.Run(tgtMod, interp.Options{Stop: stop})
 	out := valOutcome{executed: true, execTime: time.Since(execStart)}
 	if err != nil || res.Crashed() {
 		return out

@@ -1,0 +1,8 @@
+//go:build race
+
+package synth
+
+// raceDetectorOn lets timing-sensitive gates (the bench speedup
+// thresholds, the goroutine-reclaim window) skip under the race
+// detector, whose instrumentation skews wall-clock ratios.
+const raceDetectorOn = true

@@ -20,6 +20,7 @@ package synth
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"time"
 
@@ -51,10 +52,33 @@ type Options struct {
 	// MaxPerTest aborts a test whose per-test translator count exceeds
 	// this bound (default 1 << 20). The ablation benches lower it.
 	MaxPerTest int
-	// Workers sets the validation parallelism (§5 of the paper
-	// parallelizes validation across 40 threads; validations are
-	// independent). 0 or 1 validates sequentially.
+	// Workers sets the synthesis parallelism: candidate generation is
+	// fanned out across instruction kinds and validations across
+	// per-test translators (§5 of the paper parallelizes validation
+	// across 40 threads; generations and validations are independent).
+	// 0 or 1 runs sequentially. The produced artifact is byte-identical
+	// at every worker count: per-kind generation is order-independent
+	// and validation visits every assignment, so refinement sees the
+	// same winner sets regardless of completion order.
 	Workers int
+	// Cost, when non-nil, reorders each enumeration box's candidate
+	// classes by observed win rate / apply cost so the assignment
+	// odometer visits likely winners first (see CostModel). Validation
+	// outcomes are fed back into the model as the run progresses. The
+	// model engages only for the canonical API libraries.
+	Cost *CostModel
+	// Hints, when non-nil, seeds refined-cell candidate pools from a
+	// neighboring pair's completed synthesis wherever the version-gate
+	// surface matches (see Hints). Seeded pools are re-validated on
+	// this pair's tests, with a full-pool fallback per test, so hints
+	// trade at worst one extra validation round for a much smaller
+	// search. Canonical libraries only.
+	Hints *Hints
+	// GenCache, when non-nil, memoizes candidate generation across
+	// synthesizers by generation surface (see GenCache) — a warm-matrix
+	// run generates each surface once instead of once per pair.
+	// Canonical libraries only.
+	GenCache *GenCache
 	// TestDeadline bounds the wall clock spent validating one test
 	// case. 0 disables the bound. When it expires, validations that
 	// already ran keep their verdicts (refinement proceeds on the
@@ -82,20 +106,34 @@ func (o Options) withDefaults() Options {
 }
 
 // Stats aggregates the measurements reported in §6.4.
+//
+// The phase durations are wall-clock intervals of the synthesizer's
+// driving goroutine: a parallel phase (generation fanned across kinds,
+// validation fanned across per-test translators) is timed from fan-out
+// to join, never by summing its workers — so the phases stay disjoint,
+// sum to Total, and Total never exceeds the run's elapsed wall time no
+// matter the worker count (pinned by TestPhaseAccountingWallClock).
+// ExecTime is the exception: it sums interpreter time across workers
+// (CPU time, not wall clock), so with Workers > 1 it can legitimately
+// exceed ValidateTime; it is excluded from Phases for that reason.
 type Stats struct {
 	CandidatesPerKind map[ir.Opcode]int
 	RefinedPerKind    map[ir.Opcode]int
 	PerTestTotal      int // per-test translators enumerated
 	Validations       int // per-test translators actually validated
 	ExecRuns          int // oracle executions (survived translate+verify)
-	PanicsIsolated    int // candidate validations rejected by panic recovery
+	PanicsIsolated    int // candidate rejections by panic recovery (validation + classification)
 	TimedOut          int // validations skipped or cut off by TestDeadline
+
+	GenCacheHits      int // kinds whose candidate generation was served by the GenCache
+	NeighborSeeded    int // enumeration boxes seeded from neighbor-pair hints
+	NeighborFallbacks int // tests re-validated on full pools after seeded pools found no winner
 
 	GenTime      time.Duration
 	ProfileTime  time.Duration
 	EnumTime     time.Duration
 	ValidateTime time.Duration
-	ExecTime     time.Duration // subset of ValidateTime spent interpreting
+	ExecTime     time.Duration // cumulative interpreter CPU time across validation workers
 	RefineTime   time.Duration
 	CompleteTime time.Duration
 }
@@ -117,8 +155,10 @@ func (s *Stats) CandidatesTotal() int {
 
 // Phases returns the per-phase wall times keyed by phase name, the
 // seam observability exporters record synthesis-time breakdowns
-// through. ExecTime is omitted: it is a subset of "validate", and the
-// phases here are disjoint (they sum to Total).
+// through. The phases are disjoint wall-clock intervals and sum to
+// Total. ExecTime is omitted: it is summed across validation workers
+// (CPU time), so under parallel validation it is not a wall-clock
+// subset of "validate" and would break the invariant.
 func (s *Stats) Phases() map[string]time.Duration {
 	return map[string]time.Duration{
 		"gen":      s.GenTime,
@@ -170,10 +210,18 @@ type Synthesizer struct {
 	xlate    []*irlib.API
 	preds    map[ir.Opcode][]irlib.Predicate
 
-	candidates map[ir.Opcode][]*irlib.Atomic
-	mstar      map[ir.Opcode]map[string][]*irlib.Atomic
-	stats      Stats
-	warnings   []string
+	// canonical is true when the synthesis runs over the stock API
+	// libraries — the precondition for every cross-pair sharing
+	// mechanism (GenCache, Hints, CostModel feedback), because a
+	// poisoned chaos library shares signatures with the real one.
+	canonical bool
+
+	candidates   map[ir.Opcode][]*irlib.Atomic
+	mstar        map[ir.Opcode]map[string][]*irlib.Atomic
+	hintCells    map[string][]string  // (kind|surface|sigma) → atomic keys, built lazily from Opts.Hints
+	cellSurfaces map[ir.Opcode]string // memoized cellSurfaceOf results
+	stats        Stats
+	warnings     []string
 }
 
 // New creates a synthesizer for the src→tgt pair.
@@ -188,11 +236,13 @@ func New(src, tgt version.V, opts Options) *Synthesizer {
 	}
 	return &Synthesizer{
 		SrcVer: src, TgtVer: tgt, Opts: opts.withDefaults(),
-		getters:  getters,
-		builders: builders,
-		xlate:    irlib.XlateAPIs(),
-		preds:    irlib.PredicatesByKind(src),
-		mstar:    map[ir.Opcode]map[string][]*irlib.Atomic{},
+		getters:      getters,
+		builders:     builders,
+		xlate:        irlib.XlateAPIs(),
+		preds:        irlib.PredicatesByKind(src),
+		canonical:    opts.Getters == nil && opts.Builders == nil,
+		mstar:        map[ir.Opcode]map[string][]*irlib.Atomic{},
+		cellSurfaces: map[ir.Opcode]string{},
 	}
 }
 
@@ -239,20 +289,76 @@ func (s *Synthesizer) Complete() (*Result, error) {
 	return s.complete()
 }
 
-// generate runs type-guided generation for every common instruction kind.
+// generate runs type-guided generation for every common instruction
+// kind, fanned out across Options.Workers. Per-kind generations are
+// independent and each kind's list is sorted deterministically, so the
+// result is identical at any worker count; GenTime is the wall clock
+// from fan-out to join. Kinds whose generation surface is already in
+// the GenCache reuse the cached list (read-only) instead of rebuilding
+// the typegraph.
 func (s *Synthesizer) generate() {
 	start := time.Now()
-	s.candidates = map[ir.Opcode][]*irlib.Atomic{}
-	for _, op := range ir.CommonOpcodes(s.SrcVer, s.TgtVer) {
+	ops := ir.CommonOpcodes(s.SrcVer, s.TgtVer)
+	results := make([][]*irlib.Atomic, len(ops))
+	cached := make([]bool, len(ops))
+	gc := s.Opts.GenCache
+	if !s.canonical {
+		gc = nil
+	}
+	genOne := func(i int) {
+		op := ops[i]
+		var surface string
+		if gc != nil {
+			surface = s.genSurfaceOf(op)
+			if cands, ok := gc.lookup(surface); ok {
+				results[i], cached[i] = cands, true
+				return
+			}
+		}
 		g := typegraph.Build(op, s.getters, s.builders, s.xlate)
 		cands := g.Candidates(s.Opts.Gen)
 		typegraph.SortAtomics(cands)
-		s.candidates[op] = cands
+		results[i] = cands
+		if gc != nil {
+			gc.store(surface, cands)
+		}
+	}
+	if workers := min(s.Opts.Workers, len(ops)); workers > 1 {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					genOne(i)
+				}
+			}()
+		}
+		for i := range ops {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	} else {
+		for i := range ops {
+			genOne(i)
+		}
+	}
+	s.candidates = make(map[ir.Opcode][]*irlib.Atomic, len(ops))
+	for i, op := range ops {
+		s.candidates[op] = results[i]
+		if cached[i] {
+			s.stats.GenCacheHits++
+		}
 	}
 	s.stats.GenTime += time.Since(start)
 	s.stats.CandidatesPerKind = map[ir.Opcode]int{}
 	for op, cs := range s.candidates {
 		s.stats.CandidatesPerKind[op] = len(cs)
+		if s.canonical {
+			s.Opts.Cost.SeedCandidates(op, len(cs))
+		}
 	}
 }
 

@@ -13,7 +13,7 @@ import (
 )
 
 // tc builds a TestCase from textual IR at the source version.
-func tc(t *testing.T, name, src string, v version.V, oracle int64) *TestCase {
+func tc(t testing.TB, name, src string, v version.V, oracle int64) *TestCase {
 	t.Helper()
 	m, err := irtext.Parse(src, v)
 	if err != nil {
