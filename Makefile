@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz soak soak-smoke cluster-smoke crash-smoke tenant-smoke bench bench-service bench-obs bench-journal bench-gateway bench-synth clean
+.PHONY: check fmt vet build test race fuzz soak soak-smoke cluster-smoke crash-smoke tenant-smoke stream-smoke bench bench-service bench-obs bench-journal bench-gateway bench-synth bench-stream clean
 
 check: fmt vet build test race
 
@@ -24,12 +24,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/synth ./internal/interp ./internal/service ./internal/obs ./internal/resilience ./internal/cluster ./internal/journal ./internal/tenant
+	$(GO) test -race ./internal/synth ./internal/interp ./internal/service ./internal/obs ./internal/resilience ./internal/cluster ./internal/journal ./internal/tenant ./internal/irtext
 
 # Short fuzz smoke of the fuzz targets; crashers land in
 # internal/<pkg>/testdata/fuzz and are replayed by plain `go test`.
 fuzz:
 	$(GO) test ./internal/irtext/ -fuzz FuzzParseText -fuzztime 30s
+	$(GO) test ./internal/irtext/ -fuzz FuzzParseStream -fuzztime 30s
 	$(GO) test ./internal/cc/ -fuzz FuzzCC -fuzztime 30s
 	$(GO) test ./internal/service/ -fuzz FuzzTranslateRequest -fuzztime 30s
 
@@ -91,6 +92,18 @@ tenant-smoke:
 	SIRO_TENANT_SECONDS=3 SIRO_TENANT_JSON=$(TENANT_JSON) \
 		$(GO) test -race ./internal/service -run TestTenantSmoke -count=1 -v -timeout 10m
 
+# Streaming smoke: concurrent clients stream well-formed, truncated and
+# garbage modules through a live handler under a deliberately tiny
+# memory budget, with a hog cycling most of it so the governor really
+# parks and rejects. Race-enabled. Exits non-zero on any untyped
+# response, a streamed body that differs from the batch translation, an
+# undrained governor, an unexercised backpressure path, or a goroutine
+# leak after drain. STREAM_JSON names the machine-readable summary.
+STREAM_JSON ?= $(CURDIR)/STREAM_summary.json
+stream-smoke:
+	SIRO_STREAM_SECONDS=3 SIRO_STREAM_JSON=$(STREAM_JSON) \
+		$(GO) test -race ./internal/service -run TestStreamSmoke -count=1 -v -timeout 10m
+
 bench:
 	$(GO) test -bench=. -benchmem
 
@@ -122,6 +135,12 @@ bench-gateway:
 # >= 1.2x warm-neighbor speedup; writes BENCH_synth.json.
 bench-synth:
 	SIRO_BENCH_JSON=$(CURDIR)/BENCH_synth.json $(GO) test ./internal/synth -run TestSynthBenchReport -count=1 -v -timeout 20m
+
+# Streaming vs batch peak-live-heap benchmark on a generated module and
+# its 10x sibling; asserts streaming's peak growth stays <= 1.3x while
+# batch's scales >= 5x, and writes BENCH_stream.json.
+bench-stream:
+	SIRO_BENCH_JSON=$(CURDIR)/BENCH_stream.json $(GO) test ./internal/service -run TestStreamBenchReport -count=1 -v
 
 clean:
 	$(GO) clean ./...

@@ -7,6 +7,11 @@
 //	siro -src 12.0 -tgt 3.6 -emit  also print the generated translator code
 //	siro -src 12.0 -tgt 3.6 -cache DIR   reuse/persist the translator cache
 //	siro -serve -addr :8347 -cache DIR   run the translation daemon (see cmd/sirod)
+//	siro -stream -src 12.0 -tgt 3.6 < big.ll > big-3.6.ll   bounded-memory translation
+//
+// -stream translates textual IR one function at a time: peak memory is
+// O(largest function), not O(module), so modules far larger than RAM
+// pass through. The output is byte-identical to the batch pipeline's.
 //
 // With -cache, translators come from the content-addressed cache in
 // DIR (keyed by version pair and API-registry fingerprint) instead of
@@ -19,10 +24,12 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -65,13 +72,24 @@ func main() {
 	synthWorkers := flag.Int("synth-workers", 0, "parallelism inside each synthesis run: candidate generation and validation workers (0: serial; output is byte-identical at any setting)")
 	noNeighborMemo := flag.Bool("no-neighbor-memo", false, "disable cross-pair synthesis memoization (shared generation cache + neighbor-pair warm starts)")
 	noCostModel := flag.Bool("no-cost-model", false, "disable the persisted cost model that orders candidate validation by observed win rate")
+	stream := flag.Bool("stream", false, "translate textual IR function-at-a-time in bounded memory (requires -src and -tgt; reads -in, writes -out)")
+	inFile := flag.String("in", "", "with -stream: read source IR from this file (default stdin)")
+	outFile := flag.String("out", "", "with -stream: write translated IR to this file (default stdout)")
+	partial := flag.Bool("partial", false, "with -stream: drop unsupported constructs (reported on stderr) instead of failing")
+	streamThreshold := flag.Int64("stream-threshold", service.DefaultStreamThreshold, "with -serve: text/* /v1/translate bodies at or above this size stream function-at-a-time (negative: stream every text request)")
+	streamMemBudget := flag.Int64("stream-mem-budget", 0, "with -serve: process-wide cap on bytes held by in-flight streaming translations; past it streams park, then 429 (0: unlimited)")
 	flag.Parse()
 
 	if *serve {
 		runServe(*addr, *cacheDir, serveOpts{maxBody: *maxBody, traceLog: *traceLog, slow: *slow, pprof: *pprofOn,
 			drainTimeout: *drainTimeout, maxRetries: *maxRetries, shedQueue: *shedQueue,
 			tenantsFile: *tenantsFile, defaultQuota: *defaultQuota, fairQueue: *fairQueue,
-			synthWorkers: *synthWorkers, noNeighborMemo: *noNeighborMemo, noCostModel: *noCostModel})
+			synthWorkers: *synthWorkers, noNeighborMemo: *noNeighborMemo, noCostModel: *noCostModel,
+			streamThreshold: *streamThreshold, streamMemBudget: *streamMemBudget})
+		return
+	}
+	if *stream {
+		runStream(*srcFlag, *tgtFlag, *inFile, *outFile, *partial, *cacheDir, *cacheMax, *synthWorkers)
 		return
 	}
 	if *warmMatrix {
@@ -208,21 +226,83 @@ func runWarmMatrix(cacheDir string, cacheMax int64, synthWorkers int, noNeighbor
 	fmt.Printf("warmed %d pairs in %v (cache %q)\n", n, time.Since(start).Round(time.Millisecond), cacheDir)
 }
 
+// runStream is the one-shot bounded-memory pipeline: look the
+// translator up (or synthesize it once), then stream -in to -out one
+// function at a time. Nothing module-sized is ever resident.
+func runStream(srcs, tgts, inFile, outFile string, partial bool, cacheDir string, cacheMax int64, synthWorkers int) {
+	if srcs == "" || tgts == "" {
+		fmt.Fprintln(os.Stderr, "siro: -stream requires -src and -tgt (auto-detection would read the whole input)")
+		os.Exit(2)
+	}
+	src, err := version.Parse(srcs)
+	if err != nil {
+		fatal(err)
+	}
+	tgt, err := version.Parse(tgts)
+	if err != nil {
+		fatal(err)
+	}
+	p := version.Pair{Source: src, Target: tgt}
+	opts := synth.Options{Workers: synthWorkers}
+	cache := service.NewCache(cacheDir, 0, opts)
+	cache.SetMaxBytes(cacheMax)
+	tr, _, err := cache.Get(context.Background(), p, func() (*synth.Result, error) { return service.DefaultSynthFn(p, opts) })
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", p, err))
+	}
+	in := io.Reader(os.Stdin)
+	if inFile != "" {
+		f, err := os.Open(inFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	out := io.Writer(os.Stdout)
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	bw := bufio.NewWriter(out)
+	if partial {
+		sites, serr := tr.TranslateStreamPartial(in, bw)
+		err = serr
+		for _, site := range sites {
+			fmt.Fprintf(os.Stderr, "siro: dropped unsupported %s in @%s\n", site.Op, site.Func)
+		}
+	} else {
+		err = tr.TranslateStream(in, bw)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		fatal(err)
+	}
+}
+
 // serveOpts carries the daemon-only flags into runServe.
 type serveOpts struct {
-	maxBody        int64
-	traceLog       string
-	slow           time.Duration
-	pprof          bool
-	drainTimeout   time.Duration
-	maxRetries     int
-	shedQueue      int
-	tenantsFile    string
-	defaultQuota   float64
-	fairQueue      bool
-	synthWorkers   int
-	noNeighborMemo bool
-	noCostModel    bool
+	maxBody         int64
+	traceLog        string
+	slow            time.Duration
+	pprof           bool
+	drainTimeout    time.Duration
+	maxRetries      int
+	shedQueue       int
+	tenantsFile     string
+	defaultQuota    float64
+	fairQueue       bool
+	synthWorkers    int
+	noNeighborMemo  bool
+	noCostModel     bool
+	streamThreshold int64
+	streamMemBudget int64
 }
 
 // runServe runs the same daemon as cmd/sirod, for installs that only
@@ -248,9 +328,10 @@ func runServe(addr, cacheDir string, so serveOpts) {
 		Synth:               synth.Options{Workers: so.synthWorkers},
 		DisableNeighborMemo: so.noNeighborMemo,
 		DisableCostModel:    so.noCostModel,
+		StreamMemBudget:     so.streamMemBudget,
 	})
 	defer svc.Close()
-	opts := service.HandlerOpts{MaxBodyBytes: so.maxBody, Pprof: so.pprof}
+	opts := service.HandlerOpts{MaxBodyBytes: so.maxBody, Pprof: so.pprof, StreamThreshold: so.streamThreshold}
 	if so.traceLog != "" {
 		f, err := os.OpenFile(so.traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {

@@ -5,6 +5,8 @@
 //	sirod -addr :8347 -cache /var/cache/siro
 //
 //	curl -s localhost:8347/v1/translate -d '{"source":"auto","target":"3.6","ir":"..."}'
+//	curl -sN --data-binary @big.ll -H 'Content-Type: text/plain' \
+//	     'localhost:8347/v1/translate?source=12.0&target=3.6'    # streams, bounded memory
 //	curl -s localhost:8347/v1/stats
 //	curl -s localhost:8347/healthz
 //	curl -s localhost:8347/metrics
@@ -61,7 +63,10 @@ func main() {
 	maxHops := flag.Int("max-hops", 3, "maximum translator hops for multi-hop routing (1 disables routing)")
 	warm := flag.String("warm", "", "comma-separated src>tgt pairs to synthesize before serving, e.g. 12.0>3.6,17.0>3.6")
 	autoWarm := flag.Bool("auto-warm", false, "warm the full version-pair matrix in the background after startup, nearest pairs first (placed through the cluster when clustering is on)")
-	maxBody := flag.Int64("max-body", service.DefaultMaxBodyBytes, "maximum /v1/translate request body in bytes (negative disables the bound)")
+	maxBody := flag.Int64("max-body", service.DefaultMaxBodyBytes, "maximum /v1/translate request body in bytes (negative disables the bound); streaming requests are exempt — see -stream-mem-budget")
+	streamThreshold := flag.Int64("stream-threshold", service.DefaultStreamThreshold, "text/* /v1/translate bodies at or above this size stream function-at-a-time in bounded memory (negative: stream every text request)")
+	streamMemBudget := flag.Int64("stream-mem-budget", 0, "process-wide cap on bytes held by in-flight streaming translations; past it streams park briefly, then 429 with Retry-After (0: unlimited)")
+	streamMaxWait := flag.Duration("stream-max-wait", 5*time.Second, "longest a streaming translation parks waiting for -stream-mem-budget headroom before it is rejected")
 	traceLog := flag.String("trace-log", "", "append one JSON line per slow translate request to this file (see -slow)")
 	slow := flag.Duration("slow", time.Second, "requests at or above this wall time go to -trace-log (0 logs every request)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -152,6 +157,8 @@ func main() {
 		DisableNeighborMemo:  *noNeighborMemo,
 		DisableCostModel:     *noCostModel,
 		Remote:               remoteOrNil(coord),
+		StreamMemBudget:      *streamMemBudget,
+		StreamMaxWait:        *streamMaxWait,
 		FairQueue:            *fairQueue,
 		TenantWeight:         registry.Weight,
 		// Coalescing rides with tenancy: the cross-tenant dedup is the
@@ -183,7 +190,7 @@ func main() {
 			rec.Records, rec.Dropped, rec.Jobs, rec.Resumed, rec.Evicted, rec.Elapsed.Seconds())
 	}
 
-	opts := service.HandlerOpts{MaxBodyBytes: *maxBody, Pprof: *pprofOn, Jobs: jobs, PollTimeout: *pollTimeout}
+	opts := service.HandlerOpts{MaxBodyBytes: *maxBody, Pprof: *pprofOn, Jobs: jobs, PollTimeout: *pollTimeout, StreamThreshold: *streamThreshold}
 	if *traceLog != "" {
 		f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {

@@ -28,6 +28,37 @@ func Verify(m *Module) error {
 	return &VerifyError{Module: m.Name, Issues: v.issues}
 }
 
+// VerifyFunction runs the per-function half of Verify on a single
+// function of m. The streaming parser uses it to verify each function
+// as its body completes, since it cannot retain the whole module for a
+// final Verify; the issues reported are exactly those Verify would
+// report for f (module-level duplicate-symbol detection is the caller's
+// job, as it needs cross-function state).
+func VerifyFunction(m *Module, f *Function) error {
+	v := &verifier{m: m}
+	v.function(f)
+	if len(v.issues) == 0 {
+		return nil
+	}
+	return &VerifyError{Module: m.Name, Issues: v.issues}
+}
+
+// VerifyGlobal runs the per-global checks of Verify on a single global
+// of m — the streaming counterpart of VerifyFunction.
+func VerifyGlobal(m *Module, g *Global) error {
+	v := &verifier{m: m}
+	if g.Name == "" {
+		v.errf("unnamed global")
+	}
+	if g.Content == nil {
+		v.errf("global @%s has no content type", g.Name)
+	}
+	if len(v.issues) == 0 {
+		return nil
+	}
+	return &VerifyError{Module: m.Name, Issues: v.issues}
+}
+
 type verifier struct {
 	m      *Module
 	f      *Function

@@ -54,3 +54,51 @@ func FuzzParseText(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseStream is the differential fuzzer for the incremental
+// parser: for any input and any chunk size, ParseStream must agree
+// with Parse — both succeed with modules that write identically, or
+// both fail with Parse-classified errors. This is the equivalence
+// proof the bounded-memory translation path rests on.
+func FuzzParseStream(f *testing.F) {
+	for _, v := range []version.V{version.V12_0, version.V3_6} {
+		w := irtext.NewWriter(v)
+		for _, tc := range corpus.Tests(v) {
+			if text, err := w.WriteModule(tc.Module); err == nil {
+				f.Add(text, v.String(), 7)
+			}
+		}
+	}
+	f.Add("define i32 @main() {\nentry:\n  %r = call i32 @h(i32 1)\n  ret i32 %r\n}\ndefine i32 @h(i32 %x) {\nentry:\n  ret i32 %x\n}\n", "12.0", 1)
+	f.Add("@g = global i32 7\ndeclare i8* @malloc(i64)\n", "12.0", 3)
+
+	f.Fuzz(func(t *testing.T, src, vs string, chunk int) {
+		v, err := version.Parse(vs)
+		if err != nil {
+			v = version.V12_0
+		}
+		if chunk < 1 {
+			chunk = 1
+		}
+		bm, berr := irtext.Parse(src, v)
+		sm, serr := irtext.ParseStream(&chunkReader{s: src, n: chunk}, v)
+		if (berr == nil) != (serr == nil) {
+			t.Fatalf("batch err=%v stream err=%v disagree on:\n%s", berr, serr, src)
+		}
+		if serr != nil {
+			if !errors.Is(serr, failure.Parse) {
+				t.Fatalf("unclassified stream error: %v", serr)
+			}
+			return
+		}
+		w := irtext.NewWriter(v)
+		bt, berr := w.WriteModule(bm)
+		st, serr := w.WriteModule(sm)
+		if (berr == nil) != (serr == nil) {
+			t.Fatalf("write disagree: batch err=%v stream err=%v", berr, serr)
+		}
+		if berr == nil && bt != st {
+			t.Fatalf("stream module differs from batch\ninput:\n%s\nbatch:\n%s\nstream:\n%s", src, bt, st)
+		}
+	})
+}

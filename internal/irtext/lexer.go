@@ -34,10 +34,74 @@ func (t token) String() string {
 	return fmt.Sprintf("%q", t.text)
 }
 
+// internTab maps the keywords, type names, and opcodes that dominate IR
+// text to canonical strings, so the hot path of the aliasing fix below
+// (cloning every token) costs no allocation for the common vocabulary.
+var internTab = map[string]string{}
+
+func init() {
+	for _, s := range []string{
+		// structure
+		"define", "declare", "global", "constant", "external",
+		"to", "x", "label", "within", "from", "unwind", "caller",
+		"cleanup", "volatile", "inbounds", "asm", "addrspace", "none",
+		// types
+		"void", "token", "float", "double", "ptr",
+		"i1", "i8", "i16", "i32", "i64", "i128",
+		// constants
+		"true", "false", "null", "undef", "zeroinitializer",
+		// orderings
+		"unordered", "monotonic", "acquire", "release", "acq_rel", "seq_cst",
+		// predicates
+		"eq", "ne", "ugt", "uge", "ult", "ule", "sgt", "sge", "slt", "sle",
+		"oeq", "ogt", "oge", "olt", "ole", "one", "ord", "ueq", "une", "uno",
+		// opcodes
+		"ret", "br", "switch", "indirectbr", "invoke", "resume",
+		"unreachable", "fneg", "add", "fadd", "sub", "fsub", "mul", "fmul",
+		"udiv", "sdiv", "fdiv", "urem", "srem", "frem", "shl", "lshr",
+		"ashr", "and", "or", "xor", "extractelement", "insertelement",
+		"shufflevector", "extractvalue", "insertvalue", "alloca", "load",
+		"store", "fence", "cmpxchg", "atomicrmw", "getelementptr", "trunc",
+		"zext", "sext", "fptrunc", "fpext", "fptoui", "fptosi", "uitofp",
+		"sitofp", "ptrtoint", "inttoptr", "bitcast", "addrspacecast",
+		"icmp", "fcmp", "phi", "select", "call", "va_arg", "landingpad",
+		"freeze", "callbr", "catchswitch", "catchpad", "cleanuppad",
+		"catchret", "cleanupret", "xchg", "nand", "min", "max", "umin", "umax",
+		// common block labels
+		"entry", "exit", "then", "else", "body", "head", "done", "cont",
+	} {
+		internTab[s] = s
+	}
+}
+
+// cloneText detaches a token's text from the source buffer it was
+// sliced out of. Tokens outlive the raw input (names end up in the
+// parsed module), so keeping them as substrings would pin the entire
+// source string in memory — the aliasing bug this fixes.
+func cloneText(s string) string {
+	if c, ok := internTab[s]; ok {
+		return c
+	}
+	return strings.Clone(s)
+}
+
 // lex tokenizes src; comments (';' to end of line) are dropped.
 func lex(src string) ([]token, error) {
-	var toks []token
-	line := 1
+	toks, line, err := lexInto(nil, src, 1)
+	if err != nil {
+		return nil, err
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}
+
+// lexInto scans src — the whole module for the batch path, one line for
+// the streaming path — appending tokens to toks. startLine is the line
+// number of the first byte of src; the returned line number accounts for
+// any newlines consumed, so successive calls keep a consistent count.
+// No tokEOF sentinel is appended; callers add one when the input ends.
+func lexInto(toks []token, src string, startLine int) ([]token, int, error) {
+	line := startLine
 	i := 0
 	n := len(src)
 	for i < n {
@@ -58,13 +122,13 @@ func lex(src string) ([]token, error) {
 				j++
 			}
 			if j == i+1 {
-				return nil, fmt.Errorf("line %d: dangling %q", line, string(c))
+				return nil, line, fmt.Errorf("line %d: dangling %q", line, string(c))
 			}
 			kind := tokLocal
 			if c == '@' {
 				kind = tokGlobal
 			}
-			toks = append(toks, token{kind, src[i+1 : j], line})
+			toks = append(toks, token{kind, cloneText(src[i+1 : j]), line})
 			i = j
 		case c == '"':
 			// Find the true closing quote, skipping escaped characters,
@@ -79,11 +143,11 @@ func lex(src string) ([]token, error) {
 				j++
 			}
 			if j >= n {
-				return nil, fmt.Errorf("line %d: unterminated string", line)
+				return nil, line, fmt.Errorf("line %d: unterminated string", line)
 			}
 			unq, err := strconv.Unquote(src[i : j+1])
 			if err != nil {
-				return nil, fmt.Errorf("line %d: bad string literal: %v", line, err)
+				return nil, line, fmt.Errorf("line %d: bad string literal: %v", line, err)
 			}
 			toks = append(toks, token{tokString, unq, line})
 			i = j + 1
@@ -97,7 +161,7 @@ func lex(src string) ([]token, error) {
 				j++
 			}
 			if j == start {
-				return nil, fmt.Errorf("line %d: dangling '-'", line)
+				return nil, line, fmt.Errorf("line %d: dangling '-'", line)
 			}
 			isFloat := false
 			if j < n && src[j] == '.' {
@@ -121,7 +185,7 @@ func lex(src string) ([]token, error) {
 			if isFloat {
 				kind = tokFloat
 			}
-			toks = append(toks, token{kind, src[i:j], line})
+			toks = append(toks, token{kind, cloneText(src[i:j]), line})
 			i = j
 		case isIdentStart(rune(c)):
 			j := i
@@ -132,9 +196,9 @@ func lex(src string) ([]token, error) {
 				// A byte like 0xf3 is a letter under the Latin-1 reading
 				// rune(c) uses, yet not an ASCII identifier byte; without
 				// this guard the scan consumes nothing and loops forever.
-				return nil, fmt.Errorf("line %d: unexpected character %q", line, string(c))
+				return nil, line, fmt.Errorf("line %d: unexpected character %q", line, string(c))
 			}
-			word := src[i:j]
+			word := cloneText(src[i:j])
 			// "name:" at line start is a basic-block label definition.
 			if j < n && src[j] == ':' {
 				toks = append(toks, token{tokLabelDef, word, line})
@@ -149,17 +213,16 @@ func lex(src string) ([]token, error) {
 				toks = append(toks, token{tokPunct, "...", line})
 				i += 3
 			} else {
-				return nil, fmt.Errorf("line %d: stray '.'", line)
+				return nil, line, fmt.Errorf("line %d: stray '.'", line)
 			}
 		case strings.ContainsRune("()[]{}<>*,=", rune(c)):
 			toks = append(toks, token{tokPunct, string(c), line})
 			i++
 		default:
-			return nil, fmt.Errorf("line %d: unexpected character %q", line, string(c))
+			return nil, line, fmt.Errorf("line %d: unexpected character %q", line, string(c))
 		}
 	}
-	toks = append(toks, token{tokEOF, "", line})
-	return toks, nil
+	return toks, line, nil
 }
 
 func isIdentStart(r rune) bool {

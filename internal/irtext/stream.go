@@ -1,0 +1,504 @@
+package irtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/failure"
+	"repro/internal/ir"
+	"repro/internal/version"
+)
+
+// This file is the streaming half of the IR Reader: an incremental
+// parser that consumes textual IR from an io.Reader and yields the
+// module one top-level unit at a time, so a caller translating
+// function-at-a-time never holds more than O(largest function) of the
+// input. The batch Parse and the stream parser share the lexer and the
+// grammar productions, so accepted inputs produce identical modules;
+// FuzzParseStream holds them to that contract.
+//
+// The one thing batch parsing gets for free that streaming has to earn
+// is forward references: Parse registers every global and function
+// shell before filling any body. The stream parser registers each shell
+// the moment its header is read (shells need only types, which are
+// always local to the header), parses a body immediately when every
+// @name it mentions is already registered, and otherwise holds the
+// body's tokens until the missing symbol arrives — retrying held bodies
+// in source order whenever a new symbol registers. Functions yield
+// strictly in source order, so for def-before-use inputs (everything
+// this package's writer emits) nothing is ever held and peak memory is
+// one unit. At end of input, still-held bodies are parsed anyway so an
+// undefined reference reports the same "use of undefined global"
+// failure the batch parser does.
+
+// StreamUnit is one completed top-level definition: exactly one of
+// Global or Func is non-nil. A Func unit's body (if any) is fully
+// parsed and verified; the caller owns the decision to drop f.Blocks
+// once consumed to keep memory bounded.
+type StreamUnit struct {
+	Global *ir.Global
+	Func   *ir.Function
+}
+
+// streamHeld tracks a function awaiting yield: toks holds the unit's
+// tokens until the body has been parsed, missing the yet-unregistered
+// @names blocking it.
+type streamHeld struct {
+	f       *ir.Function
+	toks    []token
+	missing map[string]bool
+}
+
+// StreamParser incrementally parses textual IR at one version. Create
+// with NewStreamParser, then call Next until it returns io.EOF.
+type StreamParser struct {
+	rd   *bufio.Reader
+	ver  version.V
+	feat version.Features
+	m    *ir.Module
+
+	line   int // line number of the next byte to lex
+	srcEOF bool
+	toks   []token // lexed tokens not yet consumed into a unit
+
+	onShell func(*ir.Function) error
+
+	seen  map[string]bool // registered @names, for duplicate detection
+	queue []*streamHeld   // functions awaiting yield, in source order
+	ready []StreamUnit    // units ready to hand out
+	done  bool
+	err   error // sticky: a failed stream stays failed
+}
+
+// NewStreamParser returns a parser reading textual IR of version v
+// incrementally from r.
+func NewStreamParser(r io.Reader, v version.V) *StreamParser {
+	return &StreamParser{
+		rd:   bufio.NewReaderSize(r, 64<<10),
+		ver:  v,
+		feat: version.FeaturesOf(v),
+		m:    ir.NewModule("parsed", v),
+		line: 1,
+		seen: map[string]bool{},
+	}
+}
+
+// Module returns the module under construction: the header plus every
+// unit registered so far. Function shells appear in source order as
+// soon as their headers are read.
+func (sp *StreamParser) Module() *ir.Module { return sp.m }
+
+// OnShell installs a hook invoked when a function header registers,
+// before its body is parsed — in particular before any function whose
+// body references it is yielded. The streaming translator uses it to
+// create target shells so cross-function call operands always resolve.
+func (sp *StreamParser) OnShell(fn func(*ir.Function) error) { sp.onShell = fn }
+
+// Next returns the next completed unit in source order. io.EOF signals
+// a cleanly finished stream; any other error is a failure.Parse-classed
+// terminal failure (or the hook's error, untouched).
+func (sp *StreamParser) Next() (u StreamUnit, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sp.err = failure.Wrapf(failure.Parse, "irtext: parser panicked: %v", r)
+			u, err = StreamUnit{}, sp.err
+		}
+	}()
+	for {
+		if sp.err != nil {
+			return StreamUnit{}, sp.err
+		}
+		if len(sp.ready) > 0 {
+			u = sp.ready[0]
+			sp.ready[0] = StreamUnit{}
+			sp.ready = sp.ready[1:]
+			if len(sp.ready) == 0 {
+				sp.ready = nil
+			}
+			return u, nil
+		}
+		if sp.done {
+			return StreamUnit{}, io.EOF
+		}
+		if err := sp.step(); err != nil {
+			sp.err = err
+			return StreamUnit{}, err
+		}
+	}
+}
+
+// step consumes one top-level unit from the input, or finishes the
+// stream when the input is exhausted.
+func (sp *StreamParser) step() error {
+	unit, err := sp.nextUnitToks()
+	if err != nil {
+		return err
+	}
+	if unit == nil {
+		// Input exhausted. Parse still-held bodies in source order with
+		// the now-complete symbol table: a body held for a symbol that
+		// never arrived reports the batch parser's exact error.
+		for _, h := range sp.queue {
+			if h.toks != nil {
+				if err := sp.parseBody(h); err != nil {
+					return err
+				}
+			}
+		}
+		sp.flushQueue()
+		sp.done = true
+		return nil
+	}
+	return sp.processUnit(unit)
+}
+
+// fill lexes input lines until at least n tokens are buffered or the
+// reader is exhausted. Lexing line-at-a-time is sound because no valid
+// token spans a raw newline: strings cannot contain one (strconv.
+// Unquote rejects it, so the batch lexer fails such input too) and
+// comments end at the newline.
+func (sp *StreamParser) fill(n int) error {
+	for len(sp.toks) < n && !sp.srcEOF {
+		line, err := sp.rd.ReadString('\n')
+		if line != "" {
+			toks, ln, lerr := lexInto(sp.toks, line, sp.line)
+			if lerr != nil {
+				return failure.Wrap(failure.Parse, lerr)
+			}
+			sp.toks, sp.line = toks, ln
+		}
+		if err != nil {
+			if err != io.EOF {
+				// %w keeps an already-classified read failure (a governor
+				// rejection, a cancelled body) visible through errors.Is;
+				// Wrapf only adds Parse when the error is unclassified.
+				return failure.Wrapf(failure.Parse, "irtext: reading stream: %w", err)
+			}
+			sp.srcEOF = true
+		}
+	}
+	return nil
+}
+
+// peekTok returns the i-th buffered token, pulling input as needed; a
+// synthetic EOF token stands in past the end of input.
+func (sp *StreamParser) peekTok(i int) (token, error) {
+	if err := sp.fill(i + 1); err != nil {
+		return token{}, err
+	}
+	if i < len(sp.toks) {
+		return sp.toks[i], nil
+	}
+	return token{tokEOF, "", sp.line}, nil
+}
+
+func isTopStart(t token) bool {
+	return t.kind == tokGlobal ||
+		(t.kind == tokWord && (t.text == "define" || t.text == "declare"))
+}
+
+// nextUnitToks carves the next top-level unit out of the token stream:
+// a global definition, a declare header, or a define with its body. It
+// returns nil at end of input. Unit boundaries are structural — a
+// global runs to the next top-level starter (no token inside a global
+// can be one), headers balance parentheses, bodies balance braces — so
+// they agree with the batch parser's two-pass skipping exactly. On
+// malformed input the cut includes the offending token, so the unit
+// parser reports the same error the batch parser would.
+func (sp *StreamParser) nextUnitToks() ([]token, error) {
+	if err := sp.fill(1); err != nil {
+		return nil, err
+	}
+	if len(sp.toks) == 0 {
+		return nil, nil
+	}
+	first := sp.toks[0]
+	var end int
+	var err error
+	switch {
+	case first.kind == tokGlobal:
+		end, err = sp.scanUntilTopStart(1)
+	case first.kind == tokWord && (first.text == "declare" || first.text == "define"):
+		end, err = sp.scanFuncUnit(first.text == "define")
+	default:
+		// Not a legal top-level starter; a one-token unit makes the
+		// parser report batch's "expected global or function" error.
+		end = 1
+	}
+	if err != nil {
+		return nil, err
+	}
+	if end > len(sp.toks) {
+		end = len(sp.toks)
+	}
+	unit := make([]token, end, end+1)
+	copy(unit, sp.toks[:end])
+	rest := copy(sp.toks, sp.toks[end:])
+	for i := rest; i < len(sp.toks); i++ {
+		sp.toks[i] = token{} // release cloned strings of consumed tokens
+	}
+	sp.toks = sp.toks[:rest]
+	return unit, nil
+}
+
+func (sp *StreamParser) scanUntilTopStart(from int) (int, error) {
+	for i := from; ; i++ {
+		t, err := sp.peekTok(i)
+		if err != nil {
+			return 0, err
+		}
+		if t.kind == tokEOF || isTopStart(t) {
+			return i, nil
+		}
+	}
+}
+
+// scanFuncUnit finds the end of a declare/define unit: return type,
+// @name, balanced parameter parens, and for define a balanced-brace
+// body.
+func (sp *StreamParser) scanFuncUnit(isDef bool) (int, error) {
+	// The function name is the first tokGlobal after the keyword: types
+	// never contain one. Stop early at another top-level keyword or EOF
+	// (malformed header; include the offender for batch-identical
+	// errors).
+	i := 1
+	for {
+		t, err := sp.peekTok(i)
+		if err != nil {
+			return 0, err
+		}
+		if t.kind == tokEOF {
+			return i, nil
+		}
+		if t.kind == tokGlobal {
+			break
+		}
+		if t.kind == tokWord && (t.text == "define" || t.text == "declare") {
+			return i + 1, nil
+		}
+		i++
+	}
+	t, err := sp.peekTok(i + 1)
+	if err != nil {
+		return 0, err
+	}
+	if !(t.kind == tokPunct && t.text == "(") {
+		return i + 2, nil
+	}
+	i += 2
+	depth := 1
+	for depth > 0 {
+		t, err := sp.peekTok(i)
+		if err != nil {
+			return 0, err
+		}
+		if t.kind == tokEOF {
+			return i, nil
+		}
+		if t.kind == tokPunct {
+			switch t.text {
+			case "(":
+				depth++
+			case ")":
+				depth--
+			}
+		}
+		i++
+	}
+	if !isDef {
+		return i, nil
+	}
+	t, err = sp.peekTok(i)
+	if err != nil {
+		return 0, err
+	}
+	if !(t.kind == tokPunct && t.text == "{") {
+		return i + 1, nil
+	}
+	i++
+	depth = 1
+	for depth > 0 {
+		t, err := sp.peekTok(i)
+		if err != nil {
+			return 0, err
+		}
+		if t.kind == tokEOF {
+			return i, nil
+		}
+		if t.kind == tokPunct {
+			switch t.text {
+			case "{":
+				depth++
+			case "}":
+				depth--
+			}
+		}
+		i++
+	}
+	return i, nil
+}
+
+// unitParser wraps the unit's tokens — plus the EOF sentinel the shared
+// grammar productions expect — in a parser bound to the shared module.
+func (sp *StreamParser) unitParser(unit []token) *parser {
+	endLine := sp.line
+	if n := len(unit); n > 0 {
+		endLine = unit[n-1].line
+	}
+	return &parser{toks: append(unit, token{tokEOF, "", endLine}), ver: sp.ver, feat: sp.feat, m: sp.m}
+}
+
+// register records a top-level symbol, reporting the duplicate-name
+// issue ir.Verify raises for batch parses.
+func (sp *StreamParser) register(name string, isGlobal bool) error {
+	key := "@" + name
+	if sp.seen[key] {
+		kind := "function"
+		if isGlobal {
+			kind = "global"
+		}
+		return failure.Wrap(failure.Parse, &ir.VerifyError{
+			Module: sp.m.Name,
+			Issues: []string{fmt.Sprintf("duplicate %s @%s", kind, name)},
+		})
+	}
+	sp.seen[key] = true
+	return nil
+}
+
+func (sp *StreamParser) processUnit(unit []token) error {
+	p := sp.unitParser(unit)
+	first := unit[0]
+	switch {
+	case first.kind == tokGlobal:
+		if err := p.globalDef(); err != nil {
+			return failure.Wrap(failure.Parse, err)
+		}
+		if p.peek().kind != tokEOF {
+			return failure.Wrap(failure.Parse, p.errf("expected global or function, found %s", p.peek()))
+		}
+		g := sp.m.Globals[len(sp.m.Globals)-1]
+		if err := sp.register(g.Name, true); err != nil {
+			return err
+		}
+		if err := ir.VerifyGlobal(sp.m, g); err != nil {
+			return failure.Wrap(failure.Parse, err)
+		}
+		// Globals yield immediately rather than queueing behind a held
+		// function: output keeps the globals-first section shape.
+		sp.ready = append(sp.ready, StreamUnit{Global: g})
+		return sp.retryHeld(g.Name)
+
+	case first.kind == tokWord && (first.text == "declare" || first.text == "define"):
+		isDef := first.text == "define"
+		if err := p.funcShell(); err != nil {
+			return failure.Wrap(failure.Parse, err)
+		}
+		if p.peek().kind != tokEOF {
+			return failure.Wrap(failure.Parse, p.errf("expected global or function, found %s", p.peek()))
+		}
+		f := sp.m.Funcs[len(sp.m.Funcs)-1]
+		if err := sp.register(f.Name, false); err != nil {
+			return err
+		}
+		if sp.onShell != nil {
+			if err := sp.onShell(f); err != nil {
+				return err
+			}
+		}
+		h := &streamHeld{f: f}
+		if isDef {
+			h.toks = p.toks
+			h.missing = sp.missingRefs(unit)
+			if len(h.missing) == 0 {
+				if err := sp.parseBody(h); err != nil {
+					return err
+				}
+			}
+		} else if err := ir.VerifyFunction(sp.m, f); err != nil {
+			return failure.Wrap(failure.Parse, err)
+		}
+		sp.queue = append(sp.queue, h)
+		return sp.retryHeld(f.Name)
+
+	default:
+		return failure.Wrap(failure.Parse, p.errf("expected global or function, found %s", p.peek()))
+	}
+}
+
+// missingRefs collects the @names a define unit mentions that have not
+// registered yet. The unit's own name has, so recursion never holds.
+func (sp *StreamParser) missingRefs(unit []token) map[string]bool {
+	var missing map[string]bool
+	for _, t := range unit {
+		if t.kind == tokGlobal && !sp.seen["@"+t.text] {
+			if missing == nil {
+				missing = map[string]bool{}
+			}
+			missing[t.text] = true
+		}
+	}
+	return missing
+}
+
+// retryHeld notes that name just registered, parses any held bodies it
+// was the last missing symbol of (in source order), and moves the
+// fully-parsed prefix of the queue to ready.
+func (sp *StreamParser) retryHeld(name string) error {
+	for _, h := range sp.queue {
+		if h.missing != nil {
+			delete(h.missing, name)
+		}
+		if h.toks != nil && len(h.missing) == 0 {
+			if err := sp.parseBody(h); err != nil {
+				return err
+			}
+		}
+	}
+	sp.flushQueue()
+	return nil
+}
+
+// parseBody fills in a held function's body and verifies it, releasing
+// the held tokens.
+func (sp *StreamParser) parseBody(h *streamHeld) error {
+	p := &parser{toks: h.toks, ver: sp.ver, feat: sp.feat, m: sp.m}
+	if err := p.funcBody(); err != nil {
+		return failure.Wrap(failure.Parse, err)
+	}
+	h.toks, h.missing = nil, nil
+	if err := ir.VerifyFunction(sp.m, h.f); err != nil {
+		return failure.Wrap(failure.Parse, err)
+	}
+	return nil
+}
+
+// flushQueue yields the parsed prefix of the queue, preserving source
+// order: a held function blocks everything behind it.
+func (sp *StreamParser) flushQueue() {
+	for len(sp.queue) > 0 && sp.queue[0].toks == nil {
+		sp.ready = append(sp.ready, StreamUnit{Func: sp.queue[0].f})
+		sp.queue[0] = nil
+		sp.queue = sp.queue[1:]
+	}
+	if len(sp.queue) == 0 {
+		sp.queue = nil
+	}
+}
+
+// ParseStream parses textual IR incrementally from r and returns the
+// same module (or the same failure class) Parse returns for the same
+// bytes — the equivalence FuzzParseStream proves. Callers that need
+// bounded memory drive a StreamParser (or translator.TranslateStream)
+// directly instead of collecting the whole module like this does.
+func ParseStream(r io.Reader, v version.V) (*ir.Module, error) {
+	sp := NewStreamParser(r, v)
+	for {
+		if _, err := sp.Next(); err == io.EOF {
+			return sp.Module(), nil
+		} else if err != nil {
+			return nil, err
+		}
+	}
+}

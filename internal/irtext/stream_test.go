@@ -1,0 +1,323 @@
+package irtext_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/failure"
+	"repro/internal/irtext"
+	"repro/internal/version"
+)
+
+// chunkReader feeds at most n bytes per Read, exercising arbitrary
+// chunk boundaries in the incremental lexer.
+type chunkReader struct {
+	s string
+	n int
+	i int
+}
+
+func (r *chunkReader) Read(p []byte) (int, error) {
+	if r.i >= len(r.s) {
+		return 0, io.EOF
+	}
+	end := r.i + r.n
+	if end > len(r.s) {
+		end = len(r.s)
+	}
+	if len(p) < end-r.i {
+		end = r.i + len(p)
+	}
+	n := copy(p, r.s[r.i:end])
+	r.i += n
+	return n, nil
+}
+
+// TestParseStreamEquivalenceCorpus: for every corpus module at several
+// versions, stream-parsing at various chunk sizes must produce a module
+// whose written form is byte-identical to the batch parser's.
+func TestParseStreamEquivalenceCorpus(t *testing.T) {
+	for _, v := range []version.V{version.V3_0, version.V3_6, version.V12_0, version.V17_0} {
+		w := irtext.NewWriter(v)
+		for _, tc := range corpus.Tests(v) {
+			text, err := w.WriteModule(tc.Module)
+			if err != nil {
+				continue
+			}
+			batch, err := irtext.Parse(text, v)
+			if err != nil {
+				t.Fatalf("%s/%s: batch parse failed: %v", v, tc.Name, err)
+			}
+			want, err := w.WriteModule(batch)
+			if err != nil {
+				t.Fatalf("%s/%s: write batch: %v", v, tc.Name, err)
+			}
+			for _, chunk := range []int{1, 7, 64, 1 << 20} {
+				sm, err := irtext.ParseStream(&chunkReader{s: text, n: chunk}, v)
+				if err != nil {
+					t.Fatalf("%s/%s chunk=%d: stream parse failed: %v", v, tc.Name, chunk, err)
+				}
+				got, err := w.WriteModule(sm)
+				if err != nil {
+					t.Fatalf("%s/%s chunk=%d: write stream: %v", v, tc.Name, chunk, err)
+				}
+				if got != want {
+					t.Fatalf("%s/%s chunk=%d: stream module differs from batch\nbatch:\n%s\nstream:\n%s",
+						v, tc.Name, chunk, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestParseStreamForwardReference: a function calling a function
+// defined later in the file must stream-parse (the body is held until
+// the callee's shell registers) and match the batch module.
+func TestParseStreamForwardReference(t *testing.T) {
+	src := `define i32 @main() {
+entry:
+  %r = call i32 @helper(i32 7)
+  ret i32 %r
+}
+
+define i32 @helper(i32 %x) {
+entry:
+  ret i32 %x
+}
+`
+	v := version.V12_0
+	batch, err := irtext.Parse(src, v)
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	sm, err := irtext.ParseStream(strings.NewReader(src), v)
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	w := irtext.NewWriter(v)
+	want, _ := w.WriteModule(batch)
+	got, err := w.WriteModule(sm)
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if got != want {
+		t.Fatalf("forward-reference module differs\nbatch:\n%s\nstream:\n%s", want, got)
+	}
+}
+
+// TestParseStreamYieldOrder drives the unit-at-a-time API directly:
+// units arrive in source order, globals and functions interleaved input
+// still yields every unit, and dropping consumed bodies is safe.
+func TestParseStreamYieldOrder(t *testing.T) {
+	src := `@g = global i32 1
+
+define void @a() {
+entry:
+  ret void
+}
+
+declare i32 @ext(i32)
+
+define void @b() {
+entry:
+  call void @a()
+  ret void
+}
+`
+	sp := irtext.NewStreamParser(strings.NewReader(src), version.V12_0)
+	var order []string
+	for {
+		u, err := sp.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		switch {
+		case u.Global != nil:
+			order = append(order, "@"+u.Global.Name)
+		case u.Func != nil:
+			order = append(order, u.Func.Name)
+			u.Func.Blocks = nil // the caller may release consumed bodies
+		}
+	}
+	want := []string{"@g", "a", "ext", "b"}
+	if len(order) != len(want) {
+		t.Fatalf("yielded %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("yielded %v, want %v", order, want)
+		}
+	}
+}
+
+// TestParseStreamFailures: inputs the batch parser rejects must fail
+// the stream parser too, with the same failure class.
+func TestParseStreamFailures(t *testing.T) {
+	cases := map[string]string{
+		"truncated body":    "define i32 @f() {\nentry:\n  ret i32 0\n",
+		"undefined global":  "define void @f() {\nentry:\n  call void @missing()\n  ret void\n}\n",
+		"duplicate func":    "define void @f() {\nentry:\n  ret void\n}\ndefine void @f() {\nentry:\n  ret void\n}\n",
+		"junk top level":    "banana\n",
+		"bad instruction":   "define void @f() {\nentry:\n  frobnicate i32 1\n}\n",
+		"unterminated str":  "@s = global i8 \"oops\n",
+		"instr before blk":  "define void @f() {\n  ret void\n}\n",
+		"dup SSA name":      "define i32 @f() {\nentry:\n  %x = add i32 1, 2\n  %x = add i32 3, 4\n  ret i32 %x\n}\n",
+		"undefined local":   "define i32 @f() {\nentry:\n  ret i32 %nope\n}\n",
+		"wrong version typ": "define void @f(i32* %p) {\nentry:\n  ret void\n}\n",
+	}
+	for name, src := range cases {
+		v := version.V12_0
+		if name == "wrong version typ" {
+			v = version.V17_0 // typed pointers are illegal at 17.0
+		}
+		if _, err := irtext.Parse(src, v); err == nil {
+			t.Fatalf("%s: batch parser unexpectedly accepted", name)
+		}
+		_, err := irtext.ParseStream(strings.NewReader(src), v)
+		if err == nil {
+			t.Fatalf("%s: stream parser accepted input batch rejects", name)
+		}
+		if !errors.Is(err, failure.Parse) {
+			t.Fatalf("%s: stream failure not Parse-classed: %v", name, err)
+		}
+	}
+}
+
+// TestParseStreamInterleavedGlobal: a global defined after a function
+// still lands in the module's global list, so the written form matches
+// the batch parser's (the writer emits globals first either way).
+func TestParseStreamInterleavedGlobal(t *testing.T) {
+	src := `define i32 @f() {
+entry:
+  %v = load i32, i32* @g
+  ret i32 %v
+}
+
+@g = global i32 9
+`
+	v := version.V12_0
+	batch, err := irtext.Parse(src, v)
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	sm, err := irtext.ParseStream(strings.NewReader(src), v)
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	w := irtext.NewWriter(v)
+	want, _ := w.WriteModule(batch)
+	got, _ := w.WriteModule(sm)
+	if got != want {
+		t.Fatalf("interleaved-global module differs\nbatch:\n%s\nstream:\n%s", want, got)
+	}
+}
+
+// TestWriteToMatchesWriteModule: WriteTo and the incremental
+// StreamWriter emit bytes identical to WriteModule for every corpus
+// module.
+func TestWriteToMatchesWriteModule(t *testing.T) {
+	for _, v := range []version.V{version.V3_6, version.V12_0, version.V17_0} {
+		w := irtext.NewWriter(v)
+		for _, tc := range corpus.Tests(v) {
+			want, err := w.WriteModule(tc.Module)
+			if err != nil {
+				continue
+			}
+			var buf bytes.Buffer
+			if err := w.WriteTo(&buf, tc.Module); err != nil {
+				t.Fatalf("%s/%s: WriteTo: %v", v, tc.Name, err)
+			}
+			if buf.String() != want {
+				t.Fatalf("%s/%s: WriteTo differs from WriteModule", v, tc.Name)
+			}
+			var inc bytes.Buffer
+			sw := w.Stream(&inc)
+			if err := sw.Begin(tc.Module.Name); err != nil {
+				t.Fatalf("Begin: %v", err)
+			}
+			for _, g := range tc.Module.Globals {
+				if err := sw.WriteGlobal(g); err != nil {
+					t.Fatalf("WriteGlobal: %v", err)
+				}
+			}
+			for _, f := range tc.Module.Funcs {
+				if err := sw.WriteFunc(f); err != nil {
+					t.Fatalf("WriteFunc: %v", err)
+				}
+			}
+			if inc.String() != want {
+				t.Fatalf("%s/%s: StreamWriter differs from WriteModule", v, tc.Name)
+			}
+		}
+	}
+}
+
+// TestWriteToVersionMismatch preserves WriteModule's contract on the
+// streaming entry point.
+func TestWriteToVersionMismatch(t *testing.T) {
+	m, err := irtext.Parse("define void @f() {\nentry:\n  ret void\n}\n", version.V12_0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := irtext.NewWriter(version.V3_6).WriteTo(&buf, m); err == nil {
+		t.Fatal("WriteTo accepted a version-mismatched module")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("WriteTo wrote %d bytes before the version check", buf.Len())
+	}
+}
+
+// TestParseDoesNotPinSource is the aliasing regression test: token and
+// name strings used to be substrings of the raw input, so one retained
+// name pinned the entire source text. After parsing an input dominated
+// by comments, the live heap with the module still referenced must be
+// far below the input size.
+func TestParseDoesNotPinSource(t *testing.T) {
+	const pad = 1 << 20
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	var b strings.Builder
+	b.Grow(8*pad + 256)
+	for i := 0; i < 8; i++ {
+		b.WriteString("; ")
+		b.WriteString(strings.Repeat("x", pad))
+		b.WriteString("\n")
+	}
+	b.WriteString("define i32 @main() {\nentry:\n  %a = add i32 1, 2\n  ret i32 %a\n}\n")
+	src := b.String()
+	inputLen := len(src)
+
+	m, err := irtext.Parse(src, version.V12_0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	src = ""
+	b.Reset()
+	runtime.GC()
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	runtime.KeepAlive(m)
+	runtime.KeepAlive(src)
+	runtime.KeepAlive(&b)
+
+	var growth uint64
+	if after.HeapAlloc > before.HeapAlloc {
+		growth = after.HeapAlloc - before.HeapAlloc
+	}
+	if growth > uint64(inputLen)/4 {
+		t.Fatalf("parsed module retains %d bytes of a %d-byte input; names still alias the source text",
+			growth, inputLen)
+	}
+}

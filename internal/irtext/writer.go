@@ -15,6 +15,7 @@ package irtext
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"repro/internal/ir"
@@ -36,43 +37,115 @@ func NewWriter(v version.V) *Writer {
 // version must match the writer's: serializing an in-memory 12.0 module
 // with a 3.6 writer is exactly the job of a translator, not of the writer.
 func (w *Writer) WriteModule(m *ir.Module) (string, error) {
-	if m.Ver != w.Ver {
-		return "", fmt.Errorf("irtext: module version %s does not match writer version %s", m.Ver, w.Ver)
-	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "; ModuleID = '%s'\n", m.Name)
-	fmt.Fprintf(&b, "; IRVersion: %s\n\n", w.Ver)
-	for _, g := range m.Globals {
-		kind := "global"
-		if g.Const {
-			kind = "constant"
-		}
-		if g.Init != nil {
-			fmt.Fprintf(&b, "@%s = %s %s %s\n", g.Name, kind, w.typ(g.Content), w.constLit(g.Init))
-		} else {
-			fmt.Fprintf(&b, "@%s = external %s %s\n", g.Name, kind, w.typ(g.Content))
-		}
-	}
-	if len(m.Globals) > 0 {
-		b.WriteString("\n")
-	}
-	for _, f := range m.Funcs {
-		if f.IsDecl() {
-			fmt.Fprintf(&b, "declare %s @%s(%s)\n\n", w.typ(f.Sig.Ret), f.Name, w.paramTypes(f.Sig))
-			continue
-		}
-		fmt.Fprintf(&b, "define %s @%s(%s) {\n", w.typ(f.Sig.Ret), f.Name, w.params(f))
-		for _, blk := range f.Blocks {
-			fmt.Fprintf(&b, "%s:\n", blk.Name)
-			for _, inst := range blk.Insts {
-				b.WriteString("  ")
-				b.WriteString(w.inst(inst))
-				b.WriteString("\n")
-			}
-		}
-		b.WriteString("}\n\n")
+	if err := w.WriteTo(&b, m); err != nil {
+		return "", err
 	}
 	return b.String(), nil
+}
+
+// WriteTo renders m into out without materializing the module text.
+// Byte-identical to WriteModule; WriteModule is a convenience wrapper
+// around this.
+func (w *Writer) WriteTo(out io.Writer, m *ir.Module) error {
+	if m.Ver != w.Ver {
+		return fmt.Errorf("irtext: module version %s does not match writer version %s", m.Ver, w.Ver)
+	}
+	sw := w.Stream(out)
+	if err := sw.Begin(m.Name); err != nil {
+		return err
+	}
+	for _, g := range m.Globals {
+		if err := sw.WriteGlobal(g); err != nil {
+			return err
+		}
+	}
+	for _, f := range m.Funcs {
+		if err := sw.WriteFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StreamWriter emits a module incrementally — header, then globals,
+// then one function at a time — so the streaming translation path never
+// holds more than one function's text. Emitting a module whose globals
+// all precede its functions (every module this package's writer
+// produces has that shape) yields bytes identical to WriteModule.
+type StreamWriter struct {
+	w        *Writer
+	out      io.Writer
+	nGlobals int
+	inFuncs  bool
+}
+
+// Stream returns an incremental writer emitting to out in w's version
+// syntax. Call Begin, then WriteGlobal/WriteFunc as units arrive.
+func (w *Writer) Stream(out io.Writer) *StreamWriter {
+	return &StreamWriter{w: w, out: out}
+}
+
+// Begin emits the module header comments.
+func (sw *StreamWriter) Begin(moduleName string) error {
+	_, err := fmt.Fprintf(sw.out, "; ModuleID = '%s'\n; IRVersion: %s\n\n", moduleName, sw.w.Ver)
+	return err
+}
+
+// WriteGlobal emits one global definition line.
+func (sw *StreamWriter) WriteGlobal(g *ir.Global) error {
+	w := sw.w
+	kind := "global"
+	if g.Const {
+		kind = "constant"
+	}
+	var err error
+	if g.Init != nil {
+		_, err = fmt.Fprintf(sw.out, "@%s = %s %s %s\n", g.Name, kind, w.typ(g.Content), w.constLit(g.Init))
+	} else {
+		_, err = fmt.Fprintf(sw.out, "@%s = external %s %s\n", g.Name, kind, w.typ(g.Content))
+	}
+	if err == nil && sw.inFuncs {
+		// A global arriving after the first function cannot join the
+		// globals section retroactively; keep it separated instead.
+		_, err = io.WriteString(sw.out, "\n")
+	}
+	sw.nGlobals++
+	return err
+}
+
+// WriteFunc emits one function — a declare line or a full define body.
+// The first function closes the globals section with the separator
+// blank line WriteModule emits.
+func (sw *StreamWriter) WriteFunc(f *ir.Function) error {
+	w := sw.w
+	if !sw.inFuncs {
+		sw.inFuncs = true
+		if sw.nGlobals > 0 {
+			if _, err := io.WriteString(sw.out, "\n"); err != nil {
+				return err
+			}
+		}
+	}
+	if f.IsDecl() {
+		_, err := fmt.Fprintf(sw.out, "declare %s @%s(%s)\n\n", w.typ(f.Sig.Ret), f.Name, w.paramTypes(f.Sig))
+		return err
+	}
+	if _, err := fmt.Fprintf(sw.out, "define %s @%s(%s) {\n", w.typ(f.Sig.Ret), f.Name, w.params(f)); err != nil {
+		return err
+	}
+	for _, blk := range f.Blocks {
+		if _, err := fmt.Fprintf(sw.out, "%s:\n", blk.Name); err != nil {
+			return err
+		}
+		for _, inst := range blk.Insts {
+			if _, err := io.WriteString(sw.out, "  "+w.inst(inst)+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(sw.out, "}\n\n")
+	return err
 }
 
 // typ renders a type in the writer's version syntax.

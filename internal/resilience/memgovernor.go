@@ -1,0 +1,192 @@
+package resilience
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+)
+
+// MemGovernor enforces a process-wide budget on streaming-translation
+// memory. Every streaming request acquires a Lease sized by the bytes
+// it currently holds in flight; when the budget is exhausted a new
+// acquisition parks (FIFO) for a bounded wait, then fails with a
+// Budget-classed Overload rejection so the HTTP layer answers 429 with
+// Retry-After instead of letting concurrent large streams OOM the
+// process.
+//
+// The governor is deliberately obs-free: callers export Stats through
+// whatever metrics surface they own.
+type MemGovernor struct {
+	budget  int64
+	maxWait time.Duration
+
+	mu         sync.Mutex
+	inUse      int64
+	waiters    *list.List // of chan struct{}, closed on wake
+	parks      uint64
+	rejections uint64
+}
+
+// NewMemGovernor builds a governor with the given byte budget. maxWait
+// bounds how long one acquisition may park before it is rejected;
+// budget <= 0 disables enforcement (Acquire always succeeds), which is
+// the single-user CLI default.
+func NewMemGovernor(budget int64, maxWait time.Duration) *MemGovernor {
+	if maxWait <= 0 {
+		maxWait = 5 * time.Second
+	}
+	return &MemGovernor{budget: budget, maxWait: maxWait, waiters: list.New()}
+}
+
+// MemStats is a point-in-time snapshot of governor state.
+type MemStats struct {
+	Budget     int64  // configured byte budget (0 = unlimited)
+	InUse      int64  // bytes currently leased
+	Parked     int    // acquisitions currently waiting for capacity
+	Parks      uint64 // cumulative acquisitions that had to wait
+	Rejections uint64 // cumulative acquisitions rejected after the bounded wait
+}
+
+// Stats snapshots the governor.
+func (g *MemGovernor) Stats() MemStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return MemStats{
+		Budget:     g.budget,
+		InUse:      g.inUse,
+		Parked:     g.waiters.Len(),
+		Parks:      g.parks,
+		Rejections: g.rejections,
+	}
+}
+
+// Lease is one request's slice of the streaming-memory budget. It is
+// not safe for concurrent use; a stream grows and releases its own
+// lease from its own goroutine.
+type Lease struct {
+	g    *MemGovernor
+	held int64
+}
+
+// Lease opens an empty lease. Releasing a lease that never acquired is
+// a no-op.
+func (g *MemGovernor) Lease() *Lease { return &Lease{g: g} }
+
+// Held reports the bytes this lease currently accounts for.
+func (l *Lease) Held() int64 { return l.held }
+
+// Acquire grows the lease by n bytes, parking (FIFO behind earlier
+// waiters) while the budget is exhausted. It fails with an Overload
+// rejection after the governor's bounded wait, or with ctx.Err() if
+// the caller gives up first. n <= 0 is a no-op.
+func (l *Lease) Acquire(ctx context.Context, n int64) error {
+	if n <= 0 || l.g == nil || l.g.budget <= 0 {
+		if n > 0 {
+			l.held += n
+			if l.g != nil && l.g.budget <= 0 {
+				l.g.mu.Lock()
+				l.g.inUse += n
+				l.g.mu.Unlock()
+			}
+		}
+		return nil
+	}
+	g := l.g
+	g.mu.Lock()
+	// A single acquisition larger than the whole budget can never be
+	// admitted; parking it would deadlock the queue.
+	if n > g.budget {
+		g.rejections++
+		g.mu.Unlock()
+		return Overloaded(g.maxWait,
+			"resilience: stream needs %d bytes, exceeds the %d-byte streaming memory budget", n, g.budget)
+	}
+	if g.inUse+n <= g.budget && g.waiters.Len() == 0 {
+		g.inUse += n
+		g.mu.Unlock()
+		l.held += n
+		return nil
+	}
+	// Park. Releases wake waiters in arrival order so one giant
+	// request cannot be starved by a stream of small ones.
+	wake := make(chan struct{}, 1)
+	elem := g.waiters.PushBack(wake)
+	g.parks++
+	g.mu.Unlock()
+
+	timer := time.NewTimer(g.maxWait)
+	defer timer.Stop()
+	for {
+		select {
+		case <-wake:
+			g.mu.Lock()
+			if g.inUse+n <= g.budget {
+				g.inUse += n
+				g.waiters.Remove(elem)
+				g.wakeNextLocked()
+				g.mu.Unlock()
+				l.held += n
+				return nil
+			}
+			// Capacity went to releases smaller than our need; keep
+			// waiting at the head of the queue.
+			g.mu.Unlock()
+		case <-timer.C:
+			g.mu.Lock()
+			g.waiters.Remove(elem)
+			g.rejections++
+			g.wakeNextLocked()
+			inUse := g.inUse
+			g.mu.Unlock()
+			return Overloaded(g.maxWait,
+				"resilience: streaming memory budget exhausted (%d bytes in use of %d) after waiting %s",
+				inUse, g.budget, g.maxWait)
+		case <-ctx.Done():
+			g.mu.Lock()
+			g.waiters.Remove(elem)
+			g.wakeNextLocked()
+			g.mu.Unlock()
+			return ctx.Err()
+		}
+	}
+}
+
+// Shrink returns n bytes of the lease to the budget without closing
+// the lease — a stream calls it as translated functions are flushed
+// and their buffers dropped.
+func (l *Lease) Shrink(n int64) {
+	if n <= 0 || l.g == nil {
+		return
+	}
+	if n > l.held {
+		n = l.held
+	}
+	l.held -= n
+	g := l.g
+	g.mu.Lock()
+	g.inUse -= n
+	if g.inUse < 0 {
+		g.inUse = 0
+	}
+	g.wakeNextLocked()
+	g.mu.Unlock()
+}
+
+// Release returns everything the lease holds. Safe to call more than
+// once (deferred release after an early error path).
+func (l *Lease) Release() {
+	l.Shrink(l.held)
+}
+
+// wakeNextLocked nudges the head waiter; callers hold g.mu. The wake
+// channel is buffered so a waiter that already timed out cannot block
+// the release path.
+func (g *MemGovernor) wakeNextLocked() {
+	if e := g.waiters.Front(); e != nil {
+		select {
+		case e.Value.(chan struct{}) <- struct{}{}:
+		default:
+		}
+	}
+}

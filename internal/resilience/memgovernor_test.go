@@ -1,0 +1,202 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+)
+
+func TestMemGovernorAcquireRelease(t *testing.T) {
+	g := NewMemGovernor(1000, time.Second)
+	l := g.Lease()
+	if err := l.Acquire(context.Background(), 600); err != nil {
+		t.Fatal(err)
+	}
+	if s := g.Stats(); s.InUse != 600 {
+		t.Fatalf("InUse = %d, want 600", s.InUse)
+	}
+	l.Shrink(100)
+	if s := g.Stats(); s.InUse != 500 || l.Held() != 500 {
+		t.Fatalf("after shrink: InUse=%d held=%d, want 500/500", s.InUse, l.Held())
+	}
+	l.Release()
+	l.Release() // double release is a no-op
+	if s := g.Stats(); s.InUse != 0 {
+		t.Fatalf("after release: InUse = %d, want 0", s.InUse)
+	}
+}
+
+func TestMemGovernorUnlimited(t *testing.T) {
+	g := NewMemGovernor(0, time.Second)
+	l := g.Lease()
+	if err := l.Acquire(context.Background(), 1<<40); err != nil {
+		t.Fatalf("unlimited governor rejected: %v", err)
+	}
+	if s := g.Stats(); s.InUse != 1<<40 {
+		t.Fatalf("InUse = %d, want accounting even without enforcement", s.InUse)
+	}
+	l.Release()
+}
+
+func TestMemGovernorParksThenAdmits(t *testing.T) {
+	g := NewMemGovernor(100, 5*time.Second)
+	first := g.Lease()
+	if err := first.Acquire(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		second := g.Lease()
+		err := second.Acquire(context.Background(), 50)
+		second.Release()
+		done <- err
+	}()
+	// The second acquisition must park, not fail fast.
+	time.Sleep(20 * time.Millisecond)
+	if s := g.Stats(); s.Parked != 1 || s.Parks != 1 {
+		t.Fatalf("stats = %+v, want one parked waiter", s)
+	}
+	first.Shrink(60)
+	if err := <-done; err != nil {
+		t.Fatalf("parked acquisition failed after capacity freed: %v", err)
+	}
+	first.Release()
+	if s := g.Stats(); s.InUse != 0 || s.Parked != 0 {
+		t.Fatalf("stats = %+v, want drained governor", s)
+	}
+}
+
+func TestMemGovernorBoundedWaitRejects(t *testing.T) {
+	g := NewMemGovernor(100, 30*time.Millisecond)
+	hog := g.Lease()
+	if err := hog.Acquire(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+	defer hog.Release()
+	l := g.Lease()
+	start := time.Now()
+	err := l.Acquire(context.Background(), 10)
+	if err == nil {
+		t.Fatal("acquisition succeeded with no capacity")
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatalf("rejected after %s, want a bounded park first", time.Since(start))
+	}
+	if !errors.Is(err, failure.Budget) {
+		t.Fatalf("rejection not Budget-classed: %v", err)
+	}
+	var rej *Rejection
+	if !errors.As(err, &rej) || rej.Kind != Overload {
+		t.Fatalf("err = %v, want Overload rejection", err)
+	}
+	if hint, ok := RetryAfterHint(err); !ok || hint < time.Second {
+		t.Fatalf("RetryAfterHint = %v/%v, want a clamped hint", hint, ok)
+	}
+	if s := g.Stats(); s.Rejections != 1 || s.Parked != 0 {
+		t.Fatalf("stats = %+v, want one rejection and no leaked waiter", s)
+	}
+}
+
+func TestMemGovernorOversizedRequest(t *testing.T) {
+	g := NewMemGovernor(100, time.Minute)
+	l := g.Lease()
+	start := time.Now()
+	err := l.Acquire(context.Background(), 101)
+	if err == nil {
+		t.Fatal("over-budget acquisition succeeded")
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("over-budget acquisition parked instead of failing fast")
+	}
+	if !errors.Is(err, failure.Budget) {
+		t.Fatalf("not Budget-classed: %v", err)
+	}
+}
+
+func TestMemGovernorContextCancel(t *testing.T) {
+	g := NewMemGovernor(100, time.Minute)
+	hog := g.Lease()
+	if err := hog.Acquire(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		l := g.Lease()
+		done <- l.Acquire(ctx, 10)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s := g.Stats(); s.Parked != 0 {
+		t.Fatalf("cancelled waiter leaked: %+v", s)
+	}
+	hog.Release()
+}
+
+func TestMemGovernorFIFO(t *testing.T) {
+	g := NewMemGovernor(100, 5*time.Second)
+	hog := g.Lease()
+	if err := hog.Acquire(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l := g.Lease()
+			if err := l.Acquire(context.Background(), 100); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			l.Release()
+		}()
+		// Stagger arrivals so queue order is deterministic.
+		time.Sleep(20 * time.Millisecond)
+	}
+	hog.Release()
+	wg.Wait()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("wake order = %v, want FIFO [0 1 2]", order)
+	}
+}
+
+func TestMemGovernorConcurrentStress(t *testing.T) {
+	g := NewMemGovernor(1000, 5*time.Second)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				l := g.Lease()
+				if err := l.Acquire(context.Background(), 100); err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				if s := g.Stats(); s.InUse > s.Budget {
+					t.Errorf("budget breached: %d > %d", s.InUse, s.Budget)
+				}
+				l.Shrink(40)
+				l.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if s := g.Stats(); s.InUse != 0 || s.Parked != 0 {
+		t.Fatalf("governor not drained: %+v", s)
+	}
+}

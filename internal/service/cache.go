@@ -335,10 +335,6 @@ func (c *Cache) newTranslator(res *synth.Result) *translator.Translator {
 // truncated contents, which the load path would then have to drop on
 // every future start instead of never seeing.
 func (c *Cache) persist(pair version.Pair, key string, res *synth.Result) error {
-	blob, err := res.ExportWithOptions(c.opts)
-	if err != nil {
-		return failure.Wrapf(failure.Validation, "service: exporting artifact for %s: %w", pair, err)
-	}
 	if err := os.MkdirAll(c.dir, 0o755); err != nil {
 		return fmt.Errorf("service: cache dir: %w", err)
 	}
@@ -346,10 +342,13 @@ func (c *Cache) persist(pair version.Pair, key string, res *synth.Result) error 
 	if err != nil {
 		return fmt.Errorf("service: cache write: %w", err)
 	}
-	if _, err := tmp.Write(blob); err != nil {
+	// Stream the artifact straight to the temp file — no whole-blob
+	// intermediate, so persisting never doubles a large artifact in
+	// memory.
+	if err := res.ExportTo(tmp, c.opts); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return fmt.Errorf("service: cache write: %w", err)
+		return failure.Wrapf(failure.Validation, "service: exporting artifact for %s: %w", pair, err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()

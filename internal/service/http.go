@@ -38,6 +38,11 @@ import (
 // enough that a misbehaving client cannot balloon the daemon's memory.
 const DefaultMaxBodyBytes = 4 << 20
 
+// DefaultStreamThreshold is the body size at which a streaming-eligible
+// /v1/translate request switches from the buffered pipeline to true
+// function-at-a-time streaming.
+const DefaultStreamThreshold = 256 << 10
+
 // TranslateRequest is the body of POST /v1/translate.
 type TranslateRequest struct {
 	// Source is the input IR version, "auto"/"" to detect.
@@ -130,6 +135,14 @@ type HandlerOpts struct {
 	// tenant.(*Gateway).Stats), so one endpoint answers both "what did
 	// the service do" and "what did the front door refuse".
 	GatewayStats func() map[string]tenant.GateStats
+	// StreamThreshold is the body size at which a streaming-eligible
+	// request (text/* Content-Type or ?stream=1) leaves the buffered
+	// pipeline for true function-at-a-time streaming; bodies of unknown
+	// length (chunked transfer) always stream, and streamed bodies are
+	// governed by Config.StreamMemBudget instead of MaxBodyBytes. 0
+	// means DefaultStreamThreshold, negative streams every eligible
+	// request.
+	StreamThreshold int64
 }
 
 // BatchRequest is the body of POST /v1/batch.
@@ -189,8 +202,21 @@ func NewHandler(s *Service, opts HandlerOpts) http.Handler {
 	if maxBody == 0 {
 		maxBody = DefaultMaxBodyBytes
 	}
+	streamAt := opts.StreamThreshold
+	if streamAt == 0 {
+		streamAt = DefaultStreamThreshold
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/translate", method(http.MethodPost, func(w http.ResponseWriter, r *http.Request) {
+		// Raw-text requests (text/* Content-Type, or an explicit
+		// ?stream=1) take the streaming surface: versions in query
+		// parameters, IR as the uninterpreted body, raw IR back. The
+		// JSON protocol is untouched — a body with no Content-Type
+		// stays on this path.
+		if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "text/") || r.URL.Query().Get("stream") == "1" {
+			handleStream(s, opts, streamAt, maxBody, w, r)
+			return
+		}
 		tr := obs.NewTrace()
 		ctx := obs.WithTrace(r.Context(), tr)
 		// The tenant id (stamped by the gateway) rides the trace into

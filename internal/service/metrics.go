@@ -28,11 +28,12 @@ const (
 	stageTranslate = "translate"
 	stageHop       = "hop" // one edge of a multi-hop chain (repeats)
 	stageWrite     = "write"
+	stageStream    = "stream" // the whole bounded-memory streaming pipeline
 )
 
 var stageNames = []string{
 	stageParse, stageDetect, stageQueue, stageCache, stageCluster, stageSynth,
-	stageRoute, stageValidate, stageTranslate, stageHop, stageWrite,
+	stageRoute, stageValidate, stageTranslate, stageHop, stageWrite, stageStream,
 }
 
 // failureClasses are the label values of siro_failures_total, matching
@@ -82,6 +83,13 @@ type serviceMetrics struct {
 	routeHops           *obs.Counter
 
 	translatedInsts, emittedInsts *obs.Counter
+
+	streamIn, streamOut *obs.Counter // streamed bytes by direction
+	heapAlloc           *obs.Gauge   // watchdog: live heap after the last sample
+	streamMemInUse      *obs.Gauge   // watchdog: governor-leased bytes
+	streamMemParked     *obs.Gauge   // watchdog: streams parked for capacity
+	streamParks         *obs.Gauge   // cumulative parks (gauge: set from governor stats)
+	streamRejections    *obs.Gauge   // cumulative budget rejections
 
 	retries      *obs.Counter
 	shed         *obs.Counter
@@ -185,6 +193,15 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 
 	m.translatedInsts = reg.Counter("siro_translated_instructions_total", "Source instructions dispatched through translators.")
 	m.emittedInsts = reg.Counter("siro_emitted_instructions_total", "Target instructions emitted by translators.")
+
+	const streamedHelp = "Bytes through the streaming translation path by direction."
+	m.streamIn = reg.Counter("siro_streamed_bytes_total", streamedHelp, "direction", "in")
+	m.streamOut = reg.Counter("siro_streamed_bytes_total", streamedHelp, "direction", "out")
+	m.heapAlloc = reg.Gauge("siro_heap_alloc_bytes", "Live heap at the last watchdog sample.")
+	m.streamMemInUse = reg.Gauge("siro_stream_mem_inuse_bytes", "Bytes leased from the streaming memory governor.")
+	m.streamMemParked = reg.Gauge("siro_stream_mem_parked", "Streams parked waiting for streaming-memory capacity.")
+	m.streamParks = reg.Gauge("siro_stream_mem_parks_total", "Cumulative stream acquisitions that had to park.")
+	m.streamRejections = reg.Gauge("siro_stream_mem_rejections_total", "Cumulative stream acquisitions rejected by the memory budget.")
 
 	m.retries = reg.Counter("siro_retries_total", "Synthesis retry attempts (transient failure classes only).")
 	m.shed = reg.Counter("siro_shed_total", "Requests rejected by admission control (queue full or deadline-aware).")
@@ -361,6 +378,29 @@ func (m *serviceMetrics) breakerChange(key string, to resilience.State) {
 	if c, ok := m.transitions[to.String()]; ok {
 		c.Inc()
 	}
+}
+
+// streamedBytes counts one stream's traffic.
+func (m *serviceMetrics) streamedBytes(in, out int64) {
+	if m == nil {
+		return
+	}
+	m.streamIn.Add(in)
+	m.streamOut.Add(out)
+}
+
+// watchdogSample exports one heap-watchdog observation. The governor's
+// cumulative counters export as gauges set to the latest snapshot —
+// monotone by construction, sampled rather than incremented.
+func (m *serviceMetrics) watchdogSample(heapAlloc uint64, gs resilience.MemStats) {
+	if m == nil {
+		return
+	}
+	m.heapAlloc.Set(int64(heapAlloc))
+	m.streamMemInUse.Set(gs.InUse)
+	m.streamMemParked.Set(int64(gs.Parked))
+	m.streamParks.Set(int64(gs.Parks))
+	m.streamRejections.Set(int64(gs.Rejections))
 }
 
 func (m *serviceMetrics) retriesInc() {

@@ -163,6 +163,16 @@ type Config struct {
 	// scheduling turn, so a hot-reloaded weight takes effect without a
 	// restart. Typically tenant.(*Registry).Weight.
 	TenantWeight func(id string) int
+	// StreamMemBudget bounds the process-wide memory the streaming
+	// translation path may hold in flight at once, in bytes. A stream
+	// that would exceed it parks (bounded by StreamMaxWait) until other
+	// streams flush, then fails with a Budget-classed Overload rejection
+	// (HTTP 429 + Retry-After). 0 disables enforcement — streams are
+	// still accounted, never parked.
+	StreamMemBudget int64
+	// StreamMaxWait bounds how long one stream may park waiting for
+	// streaming-memory capacity (default 5s).
+	StreamMaxWait time.Duration
 	// Coalesce shares one in-flight translation among concurrent
 	// requests for the identical (source, target, input text) — across
 	// tenants — so a thundering herd on one module costs one synthesis
@@ -207,6 +217,9 @@ type Stats struct {
 	DrainSeconds   float64           `json:"drain_seconds,omitempty"`
 	FailureClasses map[string]int64  `json:"failure_classes,omitempty"`
 	Breakers       map[string]string `json:"breakers,omitempty"` // non-closed circuit breakers by pair
+	// Stream is the bounded-memory streaming path's slice of the
+	// counters, including the memory governor's live state.
+	Stream StreamStats `json:"stream"`
 	// Tenants is the per-tenant slice of the counters above, keyed by
 	// tenant id; anonymous traffic is not sliced.
 	Tenants     map[string]TenantStats `json:"tenants,omitempty"`
@@ -222,14 +235,18 @@ type Service struct {
 	cfg      Config
 	cache    *Cache
 	router   *Router
-	breakers *resilience.Set // per-version-pair circuit breakers
-	met      *serviceMetrics // nil when observability is disabled
+	breakers *resilience.Set         // per-version-pair circuit breakers
+	met      *serviceMetrics         // nil when observability is disabled
+	memgov   *resilience.MemGovernor // streaming-memory admission control
 	jobs     chan *job
 	fq       *tenant.FairQueue[*job] // replaces jobs when Config.FairQueue is set
 	wg       sync.WaitGroup          // workers
 	senders  sync.WaitGroup          // in-flight enqueues, so drain can safely close(jobs)
 	start    time.Time
 	drained  chan struct{} // closed once the worker pool has fully drained
+
+	watchStop chan struct{}  // stops the heap watchdog at drain
+	watchWG   sync.WaitGroup // the watchdog goroutine, joined before drained closes
 
 	jobEWMA   atomic.Int64 // smoothed job duration (ns) for deadline-aware admission
 	serveSeed atomic.Int64 // serve-time validation trial seeds
@@ -280,9 +297,11 @@ func New(cfg Config) *Service {
 		cfg:       cfg,
 		cache:     NewCache(cfg.CacheDir, cfg.MaxCachedTranslators, cfg.Synth),
 		met:       newServiceMetrics(cfg.Metrics),
+		memgov:    resilience.NewMemGovernor(cfg.StreamMemBudget, cfg.StreamMaxWait),
 		jobs:      make(chan *job, cfg.QueueDepth),
 		start:     time.Now(),
 		drained:   make(chan struct{}),
+		watchStop: make(chan struct{}),
 		byClass:   map[string]int64{},
 		supported: map[version.V]bool{},
 		tenants:   map[string]*TenantStats{},
@@ -340,6 +359,10 @@ func New(cfg Config) *Service {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if s.met != nil {
+		s.watchWG.Add(1)
+		go s.heapWatchdog()
+	}
 	return s
 }
 
@@ -375,6 +398,8 @@ func (s *Service) Drain(ctx context.Context) error {
 				close(s.jobs)
 			}
 			s.wg.Wait()
+			close(s.watchStop)
+			s.watchWG.Wait()
 			d := time.Since(s.drainStart)
 			s.met.drainDone(d)
 			s.mu.Lock()
@@ -469,6 +494,7 @@ func (s *Service) Stats() Stats {
 			}
 		}
 	}
+	st.Stream.fillGovernor(s.memgov.Stats())
 	st.Cache = cacheStats
 	for _, p := range s.cache.Pairs() {
 		st.CachedPairs = append(st.CachedPairs, p.String())

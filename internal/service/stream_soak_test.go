@@ -1,0 +1,264 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The streaming smoke soak: concurrent clients hammer the streaming
+// endpoint of a live handler under a deliberately tiny memory budget,
+// mixing well-formed modules with truncated and garbage bodies, so the
+// governor actually parks and rejects under -race.
+//
+// Invariants:
+//
+//  1. every response is typed — an allowed status, JSON error bodies
+//     carrying a class and non-zero exit code, 429s carrying
+//     Retry-After, committed streams carrying verdict trailers;
+//  2. every 200-ok stream of a well-formed module is byte-identical to
+//     the batch translation;
+//  3. when the clients stop, the governor drains to zero held bytes
+//     and zero parked streams;
+//  4. after Drain the goroutine count returns to baseline.
+//
+// Knobs: SIRO_STREAM_SECONDS (default 2), SIRO_STREAM_CLIENTS
+// (default 6), SIRO_STREAM_JSON (summary path CI archives). Run by
+// `make stream-smoke`.
+func TestStreamSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stream smoke skipped in -short mode")
+	}
+	seconds := streamEnvInt(t, "SIRO_STREAM_SECONDS", 2)
+	clients := streamEnvInt(t, "SIRO_STREAM_CLIENTS", 6)
+	baseline := runtime.NumGoroutine()
+
+	svc := New(Config{
+		Workers: 4,
+		// The stream parser reads in 64 KiB chunks, so 96 KiB admits one
+		// in-flight chunk and parks the second — the soak actually
+		// exercises the backpressure path, not just the fast path.
+		StreamMemBudget: 96 << 10,
+		StreamMaxWait:   100 * time.Millisecond,
+		JobTimeout:      5 * time.Second,
+	})
+	p := streamPair()
+	if err := svc.Warm(context.Background(), p.Source, p.Target); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(svc, HandlerOpts{StreamThreshold: 4 << 10, MaxBodyBytes: 1 << 20}))
+
+	// Inputs and their expected translations, computed on the batch
+	// path once up front.
+	smallIn := corpusText(t, p.Source)
+	bigIn := genText(t, p.Source, 60)
+	smallWant, _, _, err := svc.TranslateText(context.Background(), smallIn, p.Source, p.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigWant, _, _, err := svc.TranslateText(context.Background(), bigIn, p.Source, p.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type outcome struct {
+		status int
+		class  string
+	}
+	var (
+		mu     sync.Mutex
+		counts = map[string]int64{}
+	)
+	note := func(scenario string, o outcome) {
+		mu.Lock()
+		defer mu.Unlock()
+		counts[scenario+"/"+strconv.Itoa(o.status)+"/"+o.class]++
+	}
+	allowed := map[int]bool{
+		http.StatusOK:              true,
+		http.StatusBadRequest:      true,
+		http.StatusTooManyRequests: true,
+	}
+
+	// Rejected streams (429 before any output) leave their request body
+	// unread, so the server closes those connections; a pooled client
+	// would race reuse against that close. POSTs are not retried, so
+	// skip the pool entirely.
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	defer client.CloseIdleConnections()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				scenario, body, want := "big-stream", bigIn, bigWant
+				switch rng.Intn(5) {
+				case 1:
+					scenario, body, want = "small-buffered", smallIn, smallWant
+				case 2:
+					scenario, body, want = "truncated", bigIn[:len(bigIn)*2/3], ""
+				case 3:
+					scenario, body, want = "garbage", "this is not IR at all\n", ""
+				case 4:
+					scenario, body, want = "partial", bigIn, bigWant
+				}
+				url := srv.URL + "/v1/translate?source=12.0&target=3.6"
+				if scenario == "partial" {
+					url += "&partial=1"
+				}
+				resp, err := client.Post(url, "text/plain", strings.NewReader(body))
+				if err != nil {
+					t.Errorf("%s: transport error: %v", scenario, err)
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				o := outcome{status: resp.StatusCode}
+				switch {
+				case !allowed[resp.StatusCode]:
+					t.Errorf("%s: unexpected status %d (%.200s)", scenario, resp.StatusCode, raw)
+				case resp.StatusCode == http.StatusOK:
+					st := resp.Trailer.Get("X-Siro-Status")
+					cl := resp.Trailer.Get("X-Siro-Failure-Class")
+					if bt := resp.Header.Get("Content-Type"); strings.HasPrefix(bt, "text/plain") && st == "" && scenario != "small-buffered" {
+						t.Errorf("%s: committed stream without verdict trailer", scenario)
+					}
+					if st == "error" {
+						// Post-commit failure (truncated input that got past the
+						// holdback): must carry a class.
+						if cl == "" {
+							t.Errorf("%s: error trailer without failure class", scenario)
+						}
+						o.class = cl
+					} else if want != "" && string(raw) != want {
+						t.Errorf("%s: 200 body differs from batch translation (%d vs %d bytes)", scenario, len(raw), len(want))
+					}
+				default:
+					var er ErrorResponse
+					if err := json.Unmarshal(raw, &er); err != nil || er.Class == "" || er.ExitCode == 0 {
+						t.Errorf("%s: untyped %d error body %.200s", scenario, resp.StatusCode, raw)
+					}
+					o.class = er.Class
+					if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+						t.Errorf("%s: 429 without Retry-After", scenario)
+					}
+				}
+				note(scenario, o)
+			}
+		}(int64(c) + 1)
+	}
+	// The clients' chunk reads are small and released quickly, so on
+	// their own they rarely collide with the budget. A hog cycling
+	// through most of it guarantees streams actually park and wake (or
+	// reject, typed) while the race detector watches.
+	hogStop := make(chan struct{})
+	var hogWG sync.WaitGroup
+	hogWG.Add(1)
+	go func() {
+		defer hogWG.Done()
+		for {
+			select {
+			case <-hogStop:
+				return
+			default:
+			}
+			l := svc.MemGovernor().Lease()
+			if err := l.Acquire(context.Background(), 90<<10); err == nil {
+				time.Sleep(50 * time.Millisecond)
+			}
+			l.Release()
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	time.Sleep(time.Duration(seconds) * time.Second)
+	close(stop)
+	wg.Wait()
+	close(hogStop)
+	hogWG.Wait()
+	srv.Close()
+
+	gov := svc.MemGovernor().Stats()
+	if gov.InUse != 0 || gov.Parked != 0 {
+		t.Errorf("governor not drained after soak: %+v", gov)
+	}
+	stats := svc.Stats()
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Errorf("drain: %v", err)
+	}
+	for i := 0; runtime.NumGoroutine() > baseline; i++ {
+		if i > 100 {
+			t.Errorf("goroutines %d > baseline %d after Drain", runtime.NumGoroutine(), baseline)
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
+	t.Logf("soak: %d requests, %d streamed (in %d B, out %d B), %d parks, %d rejections",
+		total, stats.Stream.Requests, stats.Stream.BytesIn, stats.Stream.BytesOut, gov.Parks, gov.Rejections)
+	for k, n := range counts {
+		t.Logf("  %-40s %d", k, n)
+	}
+	if total == 0 {
+		t.Fatal("soak made no requests")
+	}
+	if gov.Parks == 0 && gov.Rejections == 0 {
+		t.Error("the governor never parked or rejected a stream — the backpressure path went unexercised")
+	}
+
+	if out := os.Getenv("SIRO_STREAM_JSON"); out != "" {
+		summary := struct {
+			Seconds    int              `json:"seconds"`
+			Clients    int              `json:"clients"`
+			Requests   int64            `json:"requests"`
+			Stream     StreamStats      `json:"stream"`
+			Parks      uint64           `json:"parks"`
+			Rejections uint64           `json:"rejections"`
+			Outcomes   map[string]int64 `json:"outcomes"`
+		}{seconds, clients, total, stats.Stream, gov.Parks, gov.Rejections, counts}
+		blob, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", out)
+	}
+}
+
+func streamEnvInt(t *testing.T, key string, def int) int {
+	t.Helper()
+	s := os.Getenv(key)
+	if s == "" {
+		return def
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		t.Fatalf("bad %s=%q", key, s)
+	}
+	return n
+}

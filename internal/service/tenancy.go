@@ -32,6 +32,9 @@ type TenantStats struct {
 	Shed       int64 `json:"shed,omitempty"`
 	Coalesced  int64 `json:"coalesced,omitempty"` // served by another request's in-flight translation
 	QueueDepth int   `json:"queue_depth,omitempty"`
+	// StreamedBytes is the tenant's streaming-path traffic, request and
+	// response bytes combined.
+	StreamedBytes int64 `json:"streamed_bytes,omitempty"`
 }
 
 // tenantOf is tenant.From with a nil-context guard (internal error

@@ -72,6 +72,8 @@ type T struct {
 	curFunc     *ir.Function
 	unsupported []UnsupportedSite
 	srcInsts    int
+	streaming   bool
+	emittedN    int // streamed emitted-instruction count (bodies may be dropped after use)
 }
 
 // New prepares a translation of src to target version tgtVer.
@@ -93,8 +95,12 @@ func (t *T) Unsupported() []UnsupportedSite { return t.unsupported }
 
 // Counts reports the source instructions dispatched and the target
 // instructions emitted by the run so far — the skeleton's contribution
-// to translation throughput metrics. Valid after Run returns.
+// to translation throughput metrics. Valid after Run returns (or, for
+// a streaming run, at any point between StreamFunc calls).
 func (t *T) Counts() (srcInsts, emittedInsts int) {
+	if t.streaming {
+		return t.srcInsts, t.emittedN
+	}
 	if t.tgt != nil {
 		for _, f := range t.tgt.Funcs {
 			for _, b := range f.Blocks {
@@ -165,6 +171,124 @@ func (t *T) Run() (m *ir.Module, err error) {
 		}
 	}
 	return t.tgt, nil
+}
+
+// NewStream prepares an incremental translation for the streaming
+// pipeline: same algorithm as Run, driven unit-at-a-time by the caller
+// as source units arrive instead of walking a complete module. The
+// target module carries name at version tgtVer.
+func NewStream(name string, tgtVer version.V, dispatch func(*ir.Instruction) (InstFn, error)) *T {
+	t := New(nil, tgtVer, dispatch)
+	t.streaming = true
+	t.tgt = ir.NewModule(name, tgtVer)
+	return t
+}
+
+// Target returns the module under construction by a streaming run.
+// Function bodies the caller released are absent; shells and globals
+// persist so later units resolve against them.
+func (t *T) Target() *ir.Module { return t.tgt }
+
+// StreamGlobal translates one arriving global, mirroring Run's global
+// phase: the result is registered in the target module (nil, nil in a
+// lenient run that dropped it).
+func (t *T) StreamGlobal(g *ir.Global) (ng *ir.Global, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ng, err = nil, fmt.Errorf("skeleton: translation panicked: %v", r)
+		}
+	}()
+	ng, err = t.translateGlobal(g)
+	if err != nil {
+		if t.Lenient {
+			t.report("", "", ir.BadOp, fmt.Errorf("global @%s: %w", g.Name, err))
+			return nil, nil
+		}
+		return nil, err
+	}
+	t.tgt.AddGlobal(ng)
+	t.vmap[g] = ng
+	return ng, nil
+}
+
+// StreamShell registers the target shell for a newly arrived source
+// function header, mirroring Run's shell phase. It must be called for
+// every function before any body that references it is streamed — the
+// stream parser's OnShell hook guarantees exactly that order.
+func (t *T) StreamShell(f *ir.Function) (nf *ir.Function, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			nf, err = nil, fmt.Errorf("skeleton: translation panicked: %v", r)
+		}
+	}()
+	sig, err := t.translateType(f.Sig)
+	if err != nil {
+		if t.Lenient {
+			t.report(f.Name, "", ir.BadOp, fmt.Errorf("signature: %w", err))
+			return nil, nil
+		}
+		return nil, err
+	}
+	names := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		names[i] = p.Name
+	}
+	nf = ir.NewFunction(f.Name, sig, names)
+	t.tgt.AddFunc(nf)
+	t.vmap[f] = nf
+	for i, p := range f.Params {
+		t.vmap[p] = nf.Params[i]
+	}
+	return nf, nil
+}
+
+// StreamFunc translates the body of f — whose shell StreamShell must
+// have registered — and returns the filled target function. All
+// per-function value/block/placeholder mappings are released before
+// returning, so a streaming run's live set stays O(one function) no
+// matter how many functions pass through. Returns (nil, nil) for a
+// shell a lenient StreamShell dropped.
+func (t *T) StreamFunc(f *ir.Function) (nf *ir.Function, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			nf, err = nil, fmt.Errorf("skeleton: translation panicked: %v", r)
+		}
+	}()
+	mapped, ok := t.vmap[f]
+	if !ok {
+		return nil, nil // shell was dropped by a lenient failure
+	}
+	nf = mapped.(*ir.Function)
+	if f.IsDecl() {
+		return nf, nil
+	}
+	if err := t.translateFunc(f); err != nil {
+		t.releaseFunc(f)
+		return nil, fmt.Errorf("skeleton: @%s: %w", f.Name, err)
+	}
+	for _, b := range nf.Blocks {
+		t.emittedN += len(b.Insts)
+	}
+	t.releaseFunc(f)
+	return nf, nil
+}
+
+// releaseFunc drops the per-function entries of the translation maps.
+// Without this sweep the maps would pin every source instruction and
+// block for the lifetime of the stream — exactly the O(module) growth
+// streaming exists to avoid.
+func (t *T) releaseFunc(f *ir.Function) {
+	for _, b := range f.Blocks {
+		delete(t.bmap, b)
+		delete(t.vmap, b)
+		for _, inst := range b.Insts {
+			delete(t.vmap, inst)
+			delete(t.phs, inst)
+		}
+	}
+	for _, p := range f.Params {
+		delete(t.vmap, p)
+	}
 }
 
 // report records one degradation site of a lenient run.

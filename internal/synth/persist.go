@@ -96,6 +96,21 @@ func (r *Result) Export() ([]byte, error) {
 // synthesized under, so the embedded registry fingerprint matches what
 // Import will regenerate.
 func (r *Result) ExportWithOptions(opts Options) ([]byte, error) {
+	return json.MarshalIndent(r.persistedForm(opts), "", "  ")
+}
+
+// ExportTo streams the artifact JSON straight to w instead of
+// materializing the whole blob — what the disk cache writes through, so
+// persisting a large artifact costs an encoder buffer, not a second
+// copy. The bytes are ExportWithOptions' plus json.Encoder's trailing
+// newline, which Import is indifferent to.
+func (r *Result) ExportTo(w io.Writer, opts Options) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.persistedForm(opts))
+}
+
+func (r *Result) persistedForm(opts Options) persisted {
 	out := persisted{
 		Source:      r.Pair.Source.String(),
 		Target:      r.Pair.Target.String(),
@@ -116,7 +131,7 @@ func (r *Result) ExportWithOptions(opts Options) ([]byte, error) {
 		}
 		out.Translators = append(out.Translators, pt)
 	}
-	return json.MarshalIndent(out, "", "  ")
+	return out
 }
 
 // Import reconstructs a Result from an exported artifact. The candidate

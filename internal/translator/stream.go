@@ -1,0 +1,108 @@
+package translator
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/failure"
+	"repro/internal/ir"
+	"repro/internal/irtext"
+	"repro/internal/skeleton"
+)
+
+// TranslateStream is the bounded-memory Fig. 2(c) pipeline: it parses
+// source-version IR text from r one function at a time, translates each
+// function as it arrives, and writes it to w before parsing the next.
+// Peak heap is O(largest function), not O(module); for any input the
+// batch path accepts, the bytes written to w are identical to
+// TranslateText's output.
+//
+// The prefix already written to w when an error occurs is NOT a valid
+// translation — callers surface the failure out-of-band (exit code,
+// HTTP trailer) so the prefix is never mistaken for success.
+func (t *Translator) TranslateStream(r io.Reader, w io.Writer) error {
+	_, err := t.stream(r, w, false)
+	return err
+}
+
+// TranslateStreamPartial is TranslateStream with graceful degradation,
+// the streaming analogue of TranslatePartial: untranslatable constructs
+// are dropped (their blocks sealed with unreachable) and reported
+// instead of aborting the stream.
+func (t *Translator) TranslateStreamPartial(r io.Reader, w io.Writer) ([]skeleton.UnsupportedSite, error) {
+	return t.stream(r, w, true)
+}
+
+func (t *Translator) stream(r io.Reader, w io.Writer, lenient bool) ([]skeleton.UnsupportedSite, error) {
+	sp := irtext.NewStreamParser(r, t.Pair.Source)
+	sk := skeleton.NewStream(sp.Module().Name, t.Pair.Target, t.dispatch)
+	sk.Lenient = lenient
+	// Target shells register the moment source headers are seen, so a
+	// call operand always resolves even when the callee's body has not
+	// streamed yet — the streaming stand-in for Run's shell pass.
+	sp.OnShell(func(f *ir.Function) error {
+		if _, err := sk.StreamShell(f); err != nil {
+			return failure.Wrap(failure.Unsupported, err)
+		}
+		return nil
+	})
+	sw := irtext.NewWriter(t.Pair.Target).Stream(w)
+	if err := sw.Begin(sp.Module().Name); err != nil {
+		return sk.Unsupported(), fmt.Errorf("translator: writing target IR: %w", err)
+	}
+	for {
+		u, err := sp.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if errors.Is(err, failure.Parse) {
+				return sk.Unsupported(), failure.Wrapf(failure.Parse, "translator: reading source IR: %w", err)
+			}
+			return sk.Unsupported(), err // OnShell's, already classified
+		}
+		switch {
+		case u.Global != nil:
+			ng, err := sk.StreamGlobal(u.Global)
+			if err != nil {
+				return sk.Unsupported(), failure.Wrap(failure.Unsupported, err)
+			}
+			if ng == nil {
+				continue // dropped by a lenient run
+			}
+			if err := ir.VerifyGlobal(sk.Target(), ng); err != nil {
+				return sk.Unsupported(), failure.Wrapf(failure.Validation,
+					"translator: output failed verification: %w", err)
+			}
+			if err := sw.WriteGlobal(ng); err != nil {
+				return sk.Unsupported(), fmt.Errorf("translator: writing target IR: %w", err)
+			}
+		case u.Func != nil:
+			nf, err := sk.StreamFunc(u.Func)
+			if err != nil {
+				return sk.Unsupported(), failure.Wrap(failure.Unsupported, err)
+			}
+			if nf == nil {
+				continue // shell dropped by a lenient run
+			}
+			if err := ir.VerifyFunction(sk.Target(), nf); err != nil {
+				return sk.Unsupported(), failure.Wrapf(failure.Validation,
+					"translator: output failed verification: %w", err)
+			}
+			if err := sw.WriteFunc(nf); err != nil {
+				return sk.Unsupported(), fmt.Errorf("translator: writing target IR: %w", err)
+			}
+			// Both bodies are done with: release them so the live set
+			// stays one function. The shells stay registered (in the
+			// stream parser's module and the skeleton's target) so later
+			// call operands keep resolving.
+			u.Func.Blocks = nil
+			nf.Blocks = nil
+		}
+	}
+	if t.Observer != nil {
+		t.Observer(sk.Counts())
+	}
+	return sk.Unsupported(), nil
+}
