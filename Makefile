@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz soak soak-smoke cluster-smoke crash-smoke tenant-smoke stream-smoke bench bench-service bench-obs bench-journal bench-gateway bench-synth bench-stream clean
+.PHONY: check fmt vet build test race fuzz soak soak-smoke cluster-smoke crash-smoke tenant-smoke stream-smoke load-smoke bench bench-micro bench-service bench-obs bench-journal bench-gateway bench-synth bench-stream clean
 
 check: fmt vet build test race
 
@@ -24,7 +24,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/synth ./internal/interp ./internal/service ./internal/obs ./internal/resilience ./internal/cluster ./internal/journal ./internal/tenant ./internal/irtext
+	$(GO) test -race ./internal/synth ./internal/interp ./internal/service ./internal/obs ./internal/resilience ./internal/cluster ./internal/journal ./internal/tenant ./internal/irtext ./internal/scenario
 
 # Short fuzz smoke of the fuzz targets; crashers land in
 # internal/<pkg>/testdata/fuzz and are replayed by plain `go test`.
@@ -104,7 +104,23 @@ stream-smoke:
 	SIRO_STREAM_SECONDS=3 SIRO_STREAM_JSON=$(STREAM_JSON) \
 		$(GO) test -race ./internal/service -run TestStreamSmoke -count=1 -v -timeout 10m
 
-bench:
+# Load smoke: a deterministic mixed schedule (hot/long-tail/matrix,
+# medium+giant streams, batch jobs, malformed and bad-version requests
+# over multiple tenant keys) replayed race-enabled against a live
+# daemon over real HTTP. Exits non-zero on any unclassified response or
+# any entry failing off its expected-outcome label. LOAD_JSON names the
+# LOAD_summary.json artifact CI archives; its schedule_digest is the
+# replay-determinism receipt.
+LOAD_JSON ?= $(CURDIR)/LOAD_summary.json
+load-smoke:
+	SIRO_LOAD_SECONDS=5 SIRO_LOAD_RATE=40 SIRO_LOAD_JSON=$(LOAD_JSON) \
+		$(GO) test -race ./internal/scenario -run TestLoadSmoke -count=1 -v -timeout 10m
+
+# Umbrella benchmark gate: every bench-* target, so a new gate added
+# here cannot silently drift out of "run all the benchmarks".
+bench: bench-micro bench-service bench-obs bench-journal bench-gateway bench-synth bench-stream
+
+bench-micro:
 	$(GO) test -bench=. -benchmem
 
 # Cache-hit vs cold-synthesis service benchmark; asserts a >= 10x

@@ -42,6 +42,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/ir"
 	"repro/internal/obs"
+	"repro/internal/scenario/loadcli"
 	"repro/internal/service"
 	"repro/internal/synth"
 	"repro/internal/tenant"
@@ -78,8 +79,12 @@ func main() {
 	partial := flag.Bool("partial", false, "with -stream: drop unsupported constructs (reported on stderr) instead of failing")
 	streamThreshold := flag.Int64("stream-threshold", service.DefaultStreamThreshold, "with -serve: text/* /v1/translate bodies at or above this size stream function-at-a-time (negative: stream every text request)")
 	streamMemBudget := flag.Int64("stream-mem-budget", 0, "with -serve: process-wide cap on bytes held by in-flight streaming translations; past it streams park, then 429 (0: unlimited)")
+	load := flag.Bool("load", false, "replay a deterministic traffic schedule from the scenario corpus; remaining args are siroload flags (siro -load -- -mix stress -seed 7)")
 	flag.Parse()
 
+	if *load {
+		os.Exit(loadcli.Run(flag.Args(), os.Stdout, os.Stderr))
+	}
 	if *serve {
 		runServe(*addr, *cacheDir, serveOpts{maxBody: *maxBody, traceLog: *traceLog, slow: *slow, pprof: *pprofOn,
 			drainTimeout: *drainTimeout, maxRetries: *maxRetries, shedQueue: *shedQueue,

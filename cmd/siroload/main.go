@@ -1,0 +1,26 @@
+// Command siroload replays a deterministic, labeled traffic schedule
+// against a translation daemon and reports per-class latency
+// percentiles plus a typed-failure breakdown.
+//
+//	siroload                                  10s smoke mix against an in-process daemon
+//	siroload -target http://host:8347         replay against a live sirod
+//	siroload -mix stress -seed 7 -rate 50     heavier, different (but reproducible) traffic
+//	siroload -print-schedule                  dump the compiled schedule without replaying
+//
+// The schedule is a pure function of (-mix, -seed, -n, -rate) and the
+// embedded scenario corpus: the same flags always send the same
+// requests at the same offsets, so two runs are directly comparable —
+// LOAD_summary.json records the schedule digest as the receipt.
+// Exit status: 0 clean replay, 1 replay failure or any unclassified
+// response, 2 usage.
+package main
+
+import (
+	"os"
+
+	"repro/internal/scenario/loadcli"
+)
+
+func main() {
+	os.Exit(loadcli.Run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -218,42 +218,78 @@ func (f TextFault) String() string {
 // TextFaults lists every corruption class, for seed sweeps.
 var TextFaults = []TextFault{Truncate, ByteFlip, TokenDrop, LineDrop}
 
+// ParseTextFault resolves a corruption class by its String() name —
+// the form recipe files (internal/scenario) reference faults by.
+func ParseTextFault(name string) (TextFault, bool) {
+	for _, f := range TextFaults {
+		if f.String() == name {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
 // CorruptText applies fault f to src under the given seed. The result is
 // deterministic in (src, f, seed): a crash found by a sweep is replayed
 // by re-running the same triple. The corrupted text may coincidentally
 // remain valid IR — callers assert "parses or fails cleanly", not
 // "fails".
 func CorruptText(src string, f TextFault, seed int64) string {
-	rng := rand.New(rand.NewSource(seed))
 	switch f {
 	case Truncate:
-		if len(src) == 0 {
-			return src
-		}
-		return src[:rng.Intn(len(src))]
+		return TruncateText(src, seed)
 	case ByteFlip:
-		b := []byte(src)
-		if len(b) == 0 {
-			return src
-		}
-		for k := 0; k < 1+rng.Intn(4); k++ {
-			b[rng.Intn(len(b))] = byte(0x20 + rng.Intn(0x5f))
-		}
-		return string(b)
+		return FlipBytes(src, seed)
 	case TokenDrop:
-		toks := strings.Fields(src)
-		if len(toks) == 0 {
-			return src
-		}
-		i := rng.Intn(len(toks))
-		return strings.Join(append(toks[:i:i], toks[i+1:]...), " ")
+		return DropToken(src, seed)
 	case LineDrop:
-		lines := strings.Split(src, "\n")
-		if len(lines) == 0 {
-			return src
-		}
-		i := rng.Intn(len(lines))
-		return strings.Join(append(lines[:i:i], lines[i+1:]...), "\n")
+		return DropLine(src, seed)
 	}
 	return src
+}
+
+// TruncateText cuts src at a seed-chosen point — a partial write.
+func TruncateText(src string, seed int64) string {
+	if len(src) == 0 {
+		return src
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return src[:rng.Intn(len(src))]
+}
+
+// FlipBytes replaces 1–4 seed-chosen bytes of src with printable
+// garbage — bit rot or a bad transfer.
+func FlipBytes(src string, seed int64) string {
+	b := []byte(src)
+	if len(b) == 0 {
+		return src
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for k := 0; k < 1+rng.Intn(4); k++ {
+		b[rng.Intn(len(b))] = byte(0x20 + rng.Intn(0x5f))
+	}
+	return string(b)
+}
+
+// DropToken deletes one seed-chosen whitespace-separated token — a
+// corrupted serializer.
+func DropToken(src string, seed int64) string {
+	toks := strings.Fields(src)
+	if len(toks) == 0 {
+		return src
+	}
+	rng := rand.New(rand.NewSource(seed))
+	i := rng.Intn(len(toks))
+	return strings.Join(append(toks[:i:i], toks[i+1:]...), " ")
+}
+
+// DropLine deletes one seed-chosen line — a lost buffer flush.
+func DropLine(src string, seed int64) string {
+	lines := strings.Split(src, "\n")
+	if len(lines) == 0 {
+		return src
+	}
+	rng := rand.New(rand.NewSource(seed))
+	i := rng.Intn(len(lines))
+	return strings.Join(append(lines[:i:i], lines[i+1:]...), "\n")
 }

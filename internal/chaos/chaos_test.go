@@ -203,6 +203,67 @@ func TestCorruptTextDeterministic(t *testing.T) {
 	}
 }
 
+// TestCorruptTextGolden pins the exact corruption each (fault, seed)
+// produces. The scenario corpus stores corruption recipes as (base,
+// fault, seed) triples, so per-seed outputs are a compatibility
+// contract: if this test fails, every stored recipe silently changes
+// meaning — regenerate corpus.json and say so loudly, or back the
+// change out.
+func TestCorruptTextGolden(t *testing.T) {
+	const text = "define i32 @main() {\nentry:\n  ret i32 42\n}\n"
+	golden := []struct {
+		fault chaos.TextFault
+		seed  int64
+		want  string
+	}{
+		{chaos.Truncate, 1, "define i32 @main() {\nentry:\n  ret "},
+		{chaos.Truncate, 7, "define i32 @main() {\nent"},
+		{chaos.ByteFlip, 1, "define(i32 @main() {\nentry:\n  ret i32 42\n}O"},
+		{chaos.ByteFlip, 7, "define i32 @main() {\nentPy:\n  ret i32 42x}\n"},
+		{chaos.TokenDrop, 1, "define i32 @main() { entry: i32 42 }"},
+		{chaos.TokenDrop, 7, "define i32 @main() { entry: i32 42 }"},
+		{chaos.LineDrop, 1, "define i32 @main() {\n  ret i32 42\n}\n"},
+		{chaos.LineDrop, 7, "define i32 @main() {\n  ret i32 42\n}\n"},
+	}
+	for _, g := range golden {
+		if got := chaos.CorruptText(text, g.fault, g.seed); got != g.want {
+			t.Errorf("CorruptText(%s, seed %d) = %q, want %q", g.fault, g.seed, got, g.want)
+		}
+	}
+}
+
+// TestCorruptTextMatchesHelpers holds the CorruptText dispatcher to the
+// exported per-fault helpers: the two surfaces must never drift.
+func TestCorruptTextMatchesHelpers(t *testing.T) {
+	const text = "define i32 @main() {\nentry:\n  ret i32 42\n}\n"
+	helpers := map[chaos.TextFault]func(string, int64) string{
+		chaos.Truncate:  chaos.TruncateText,
+		chaos.ByteFlip:  chaos.FlipBytes,
+		chaos.TokenDrop: chaos.DropToken,
+		chaos.LineDrop:  chaos.DropLine,
+	}
+	for fault, helper := range helpers {
+		for seed := int64(0); seed < 50; seed++ {
+			if d, h := chaos.CorruptText(text, fault, seed), helper(text, seed); d != h {
+				t.Fatalf("%s seed %d: CorruptText %q != helper %q", fault, seed, d, h)
+			}
+		}
+	}
+}
+
+// TestParseTextFault round-trips every fault through its String name.
+func TestParseTextFault(t *testing.T) {
+	for _, fault := range chaos.TextFaults {
+		got, ok := chaos.ParseTextFault(fault.String())
+		if !ok || got != fault {
+			t.Fatalf("ParseTextFault(%q) = %v, %v", fault.String(), got, ok)
+		}
+	}
+	if _, ok := chaos.ParseTextFault("nosuchfault"); ok {
+		t.Fatal("ParseTextFault accepted an unknown name")
+	}
+}
+
 // Step-budget exhaustion mid-validation surfaces as the Budget class.
 func TestInterpBudgetClassified(t *testing.T) {
 	m, err := irtext.Parse(`

@@ -9,6 +9,16 @@
 // instantiates at any source version (the "minor textual modifications"
 // of the paper become a no-op), and tests using instructions absent at a
 // source version are skipped automatically.
+//
+// Not to be confused with internal/scenario, the labeled WORKLOAD
+// corpus. The split: this package answers "is a candidate translator
+// correct?" — its test cases are what synthesis validates against, and
+// they are the ground truth for instruction-kind coverage. The scenario
+// package answers "does the service hold up under realistic traffic?" —
+// its entries are labeled IR-text requests (several built by merging
+// this package's cases) replayed against a live daemon. This package
+// must stay free of any service dependency; scenario builds on top of
+// it, never the other way around.
 package corpus
 
 import (

@@ -7,8 +7,31 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/failure"
 	"repro/internal/irtext"
+	"repro/internal/scenario"
 	"repro/internal/version"
 )
+
+// addScenarioSeeds seeds a fuzzer with the labeled workload corpus:
+// bodies across all three text-format eras plus the deterministic
+// corruptions, each paired with its own source version. Giant entries
+// are skipped — they add bulk, not grammar.
+func addScenarioSeeds(f *testing.F, add func(body, source string)) {
+	sm, err := scenario.Load()
+	if err != nil {
+		f.Fatalf("scenario corpus: %v", err)
+	}
+	for i := range sm.Entries {
+		e := &sm.Entries[i]
+		if e.Size == scenario.SizeGiant {
+			continue
+		}
+		body, err := sm.Materialize(e)
+		if err != nil {
+			f.Fatalf("scenario entry %s: %v", e.Name, err)
+		}
+		add(body, e.Source)
+	}
+}
 
 // FuzzParseText drives the versioned IR reader with arbitrary bytes.
 // The contract under fuzzing: every input either parses into a module
@@ -29,6 +52,7 @@ func FuzzParseText(f *testing.F) {
 	}
 	f.Add("define i32 @main() {\nentry:\n  ret i32 0\n}\n", "17.0")
 	f.Add("@g = global i32 7\ndeclare i8* @malloc(i64)\n", "12.0")
+	addScenarioSeeds(f, func(body, source string) { f.Add(body, source) })
 
 	f.Fuzz(func(t *testing.T, src, vs string) {
 		v, err := version.Parse(vs)
@@ -71,6 +95,7 @@ func FuzzParseStream(f *testing.F) {
 	}
 	f.Add("define i32 @main() {\nentry:\n  %r = call i32 @h(i32 1)\n  ret i32 %r\n}\ndefine i32 @h(i32 %x) {\nentry:\n  ret i32 %x\n}\n", "12.0", 1)
 	f.Add("@g = global i32 7\ndeclare i8* @malloc(i64)\n", "12.0", 3)
+	addScenarioSeeds(f, func(body, source string) { f.Add(body, source, 13) })
 
 	f.Fuzz(func(t *testing.T, src, vs string, chunk int) {
 		v, err := version.Parse(vs)

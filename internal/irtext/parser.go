@@ -340,7 +340,13 @@ func (p *parser) funcBody() error {
 			// Attach in definition order.
 			f.Blocks = append(f.Blocks, cur)
 		case p.accept("}"):
-			return p.finishFunc()
+			if err := p.finishFunc(); err != nil {
+				return err
+			}
+			if p.feat.OpaquePointers {
+				reconstructPointees(f)
+			}
+			return nil
 		case p.peek().kind == tokEOF:
 			return p.errf("unterminated function @%s", name)
 		default:
@@ -358,6 +364,66 @@ func (p *parser) funcBody() error {
 				}
 				p.locals[inst.Name] = inst
 			}
+		}
+	}
+}
+
+// reconstructPointees runs after parsing a function body in the
+// opaque-pointer dialect. The text erases every pointee ("ptr"), so the
+// parser models opaque pointers as i8*. That is harmless while the
+// module stays in an opaque-pointer world, but translating to a
+// typed-pointer target bakes the i8 in — and a legacy (< 3.7) writer
+// has no explicit load type left to recover the real element type
+// from, so `load i32, ptr %p` would silently become a load of i8.
+//
+// This pass re-types the pointer-producing instructions whose pointee
+// is recoverable from their memory uses: when every load and store
+// through the value agrees on one element type, the value becomes a
+// pointer to that type. Values with no typed uses, or with conflicting
+// ones (not representable as a single typed pointer anyway), keep i8*.
+// Only bitcast, inttoptr and load results are re-typed — the
+// instructions whose result type comes verbatim from an opaque `ptr`
+// token; allocas and GEPs carry explicit element types in every era.
+func reconstructPointees(f *ir.Function) {
+	demand := make(map[*ir.Instruction]*ir.Type)
+	conflict := make(map[*ir.Instruction]bool)
+	note := func(v ir.Value, t *ir.Type) {
+		inst, ok := v.(*ir.Instruction)
+		if !ok {
+			return
+		}
+		switch inst.Op {
+		case ir.BitCast, ir.IntToPtr:
+		case ir.Load:
+			if !inst.Typ.IsPointer() {
+				return
+			}
+		default:
+			return
+		}
+		if prev, dup := demand[inst]; dup && !prev.Equal(t) {
+			conflict[inst] = true
+			return
+		}
+		demand[inst] = t
+	}
+	for _, b := range f.Blocks {
+		for _, inst := range b.Insts {
+			switch inst.Op {
+			case ir.Load:
+				note(inst.Operands[0], inst.Typ)
+			case ir.Store:
+				note(inst.Operands[1], inst.Operands[0].Type())
+			}
+		}
+	}
+	for inst, t := range demand {
+		if conflict[inst] {
+			continue
+		}
+		inst.Typ = ir.Ptr(t)
+		if inst.Op == ir.Load {
+			inst.Attrs.ElemTy = inst.Typ
 		}
 	}
 }

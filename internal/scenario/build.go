@@ -1,0 +1,381 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/chaos"
+	"repro/internal/corpus"
+	"repro/internal/ir"
+	"repro/internal/irtext"
+	"repro/internal/synth"
+	"repro/internal/version"
+)
+
+// This file is the deterministic generator behind corpus.json. The
+// manifest is checked in (and embedded) so every consumer replays
+// byte-identical inputs, but it is never hand-maintained: BuildManifest
+// reconstructs it from the synthesis corpus, irgen, and chaos, and
+// TestManifestMatchesBuilder pins the embedded file to this builder.
+// Regenerate with:
+//
+//	SIRO_SCENARIO_REWRITE=1 go test ./internal/scenario -run TestManifestMatchesBuilder
+//
+// Entry selection is driven by the coverage obligation: the matrix
+// (kitchen-sink) entries are chosen so that every feasible instruction
+// kind × version-gate boundary × text-format era cell is covered by at
+// least two ExpectOK entries. An entry's era is fixed by its source
+// version and an entry crossing a gate covers that gate for every kind
+// in its body, so a handful of full-corpus merges at well-chosen pairs
+// covers the whole matrix:
+//
+//   - era legacy  (src ≤ 3.6): 3.6→3.0 and 3.4→3.0 cross the 3.4 gate;
+//     3.6→17.0 and 3.6→15.0 cross every later gate.
+//   - era typed   (3.7 ≤ src < 15): 14.0→3.0 and 13.0→3.0 cross every
+//     gate up to 10.0; 14.0→17.0 and 12.0→17.0 cross the 15.0 gate.
+//   - era opaque  (src ≥ 15): 17.0→3.0 and 15.0→3.0 cross all gates.
+//
+// TestCorpusMatrixCoverage recomputes feasibility from first principles
+// and fails if this reasoning ever rots.
+
+// sinkPairs are the matrix entries' version pairs, in manifest order.
+var sinkPairs = []version.Pair{
+	{Source: version.V3_6, Target: version.V3_0},
+	{Source: version.V3_4, Target: version.V3_0},
+	{Source: version.V3_6, Target: version.V17_0},
+	{Source: version.V3_6, Target: version.V15_0},
+	{Source: version.V14_0, Target: version.V3_0},
+	{Source: version.V13_0, Target: version.V3_0},
+	{Source: version.V14_0, Target: version.V17_0},
+	{Source: version.V12_0, Target: version.V17_0},
+	{Source: version.V17_0, Target: version.V3_0},
+	{Source: version.V15_0, Target: version.V3_0},
+}
+
+// hotPicks maps each Table 3 pair to one small synthesis-corpus case —
+// the body of the corresponding hot entry.
+var hotPicks = []string{
+	"factorial_recursive", // 12.0->3.6
+	"array_sum_loop",      // 13.0->3.6
+	"gep_array",           // 14.0->3.6
+	"switch3",             // 15.0->3.6
+	"global_rw",           // 17.0->3.6
+	"call_args",           // 17.0->3.0
+	"alloca_scalar",       // 3.6->3.0
+	"select",              // 5.0->4.0
+	"freeze",              // 17.0->12.0
+	"invoke_landingpad",   // 3.6->12.0
+}
+
+// longtailPicks spreads small bodies across the rest of the version
+// matrix: single-release steps plus a few far pairs the hot set misses.
+var longtailPicks = []struct {
+	src, tgt version.V
+	caseName string
+}{
+	{version.V3_0, version.V3_4, "sub"},
+	{version.V3_4, version.V3_8, "xor"},
+	{version.V3_7, version.V3_6, "icmp_slt"},
+	{version.V3_8, version.V3_7, "eh_cleanup_family"},
+	{version.V4_0, version.V3_7, "fadd"},
+	{version.V8_0, version.V5_0, "bitcast"},
+	{version.V9_0, version.V8_0, "callbr_asm"},
+	{version.V10_0, version.V9_0, "freeze"},
+	{version.V12_0, version.V10_0, "vector_insert_extract"},
+	{version.V13_0, version.V12_0, "shufflevector"},
+	{version.V14_0, version.V13_0, "cmpxchg_hit"},
+	{version.V15_0, version.V14_0, "inttoptr_roundtrip"},
+	{version.V17_0, version.V15_0, "insert_extract_value"},
+	{version.V3_6, version.V8_0, "srem"},
+	{version.V8_0, version.V17_0, "fence"},
+}
+
+// mediumRecipes and giantRecipes size the irgen entries. Sizes are
+// label-checked at build time, so a generator change that moves an
+// entry out of its size class fails the manifest pin test instead of
+// silently relabeling traffic.
+var mediumRecipes = []struct {
+	seed     int64
+	funcs    int
+	blocks   int
+	src, tgt version.V
+}{
+	{seed: 11, funcs: 6, blocks: 10, src: version.V12_0, tgt: version.V3_6},
+	{seed: 12, funcs: 6, blocks: 10, src: version.V17_0, tgt: version.V3_0},
+	{seed: 13, funcs: 5, blocks: 12, src: version.V3_6, tgt: version.V15_0},
+}
+
+var giantRecipes = []struct {
+	seed     int64
+	funcs    int
+	blocks   int
+	src, tgt version.V
+}{
+	{seed: 21, funcs: 40, blocks: 28, src: version.V12_0, tgt: version.V3_6},
+	{seed: 22, funcs: 40, blocks: 28, src: version.V17_0, tgt: version.V3_0},
+	{seed: 23, funcs: 36, blocks: 30, src: version.V14_0, tgt: version.V15_0},
+}
+
+// malformedSpecs corrupts two small hot bodies with every chaos text
+// fault. Seeds are discovered deterministically by findParseBreakingSeed
+// so each corruption is guaranteed to be a real parse failure.
+var malformedSpecs = []struct {
+	base  string
+	fault chaos.TextFault
+}{
+	{"hot-12.0-3.6", chaos.Truncate},
+	{"hot-12.0-3.6", chaos.ByteFlip},
+	{"hot-12.0-3.6", chaos.TokenDrop},
+	{"hot-12.0-3.6", chaos.LineDrop},
+	{"hot-3.6-3.0", chaos.Truncate},
+	{"hot-3.6-3.0", chaos.ByteFlip},
+	{"hot-3.6-3.0", chaos.TokenDrop},
+	{"hot-3.6-3.0", chaos.LineDrop},
+}
+
+// badVersionTargets are syntactically valid versions the service has no
+// IR library for.
+var badVersionTargets = []string{"9.9", "2.0", "16.0"}
+
+// BuildManifest deterministically reconstructs the full workload
+// corpus. Same code, same output bytes — the manifest pin test holds
+// the embedded corpus.json to exactly this function.
+func BuildManifest() (*Manifest, error) {
+	m := &Manifest{Comment: "Generated labeled workload corpus - do not edit. " +
+		"Regenerate: SIRO_SCENARIO_REWRITE=1 go test ./internal/scenario -run TestManifestMatchesBuilder"}
+
+	// Matrix kitchen sinks: the whole synthesis corpus merged into one
+	// module per pair. call_indirect is excluded at opaque-pointer
+	// sources: its text form is "call i32 %fp(...)" with %fp of type
+	// ptr, so the callee's signature is unrecoverable after a text
+	// round-trip and the translator refuses it with a typed Unsupported
+	// — a by-design limitation, which would poison an ExpectOK entry.
+	for _, p := range sinkPairs {
+		cases := corpus.Tests(p.Source)
+		if EraOf(p.Source) == EraOpaque {
+			kept := cases[:0]
+			for _, tc := range cases {
+				if tc.Name != "call_indirect" {
+					kept = append(kept, tc)
+				}
+			}
+			cases = kept
+		}
+		mod, err := MergeCases(fmt.Sprintf("sink_%s_%s", p.Source, p.Target), p.Source, cases)
+		if err != nil {
+			return nil, err
+		}
+		body, err := irtext.NewWriter(p.Source).WriteModule(mod)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: writing sink for %s: %w", p, err)
+		}
+		e, err := okEntry(fmt.Sprintf("sink-%s-%s-%s", EraOf(p.Source), p.Source, p.Target),
+			ClassMatrix, p.Source, p.Target, body,
+			fmt.Sprintf("full synthesis corpus at %s merged into one module, translated to %s", p.Source, p.Target))
+		if err != nil {
+			return nil, err
+		}
+		m.Entries = append(m.Entries, e)
+	}
+
+	// Hot pairs: Table 3, one small body each.
+	for i, p := range version.Table3Pairs {
+		body, err := caseBody(p.Source, hotPicks[i])
+		if err != nil {
+			return nil, err
+		}
+		e, err := okEntry(fmt.Sprintf("hot-%s-%s", p.Source, p.Target), ClassHot, p.Source, p.Target, body,
+			fmt.Sprintf("Table 3 pair %s, case %s", p, hotPicks[i]))
+		if err != nil {
+			return nil, err
+		}
+		m.Entries = append(m.Entries, e)
+	}
+
+	// Long tail: small bodies across the rest of the matrix.
+	for _, lt := range longtailPicks {
+		body, err := caseBody(lt.src, lt.caseName)
+		if err != nil {
+			return nil, err
+		}
+		e, err := okEntry(fmt.Sprintf("longtail-%s-%s", lt.src, lt.tgt), ClassLongtail, lt.src, lt.tgt, body,
+			fmt.Sprintf("long-tail pair %s->%s, case %s", lt.src, lt.tgt, lt.caseName))
+		if err != nil {
+			return nil, err
+		}
+		m.Entries = append(m.Entries, e)
+	}
+
+	// Medium and giant irgen recipes. Labels are derived from the
+	// materialized module; the body itself stays out of the JSON.
+	for _, r := range mediumRecipes {
+		e, err := recipeEntry(m, fmt.Sprintf("medium-%d-%s-%s", r.seed, r.src, r.tgt), ClassMedium,
+			r.src, r.tgt, &Recipe{Op: "irgen", Seed: r.seed, Funcs: r.funcs, Blocks: r.blocks}, SizeMedium)
+		if err != nil {
+			return nil, err
+		}
+		m.Entries = append(m.Entries, e)
+	}
+	for _, r := range giantRecipes {
+		e, err := recipeEntry(m, fmt.Sprintf("giant-%d-%s-%s", r.seed, r.src, r.tgt), ClassGiant,
+			r.src, r.tgt, &Recipe{Op: "irgen", Seed: r.seed, Funcs: r.funcs, Blocks: r.blocks}, SizeGiant)
+		if err != nil {
+			return nil, err
+		}
+		m.Entries = append(m.Entries, e)
+	}
+
+	// Malformed: deterministic chaos corruptions that provably fail to
+	// parse at the entry's source version.
+	for _, ms := range malformedSpecs {
+		base := m.Entry(ms.base)
+		if base == nil {
+			return nil, fmt.Errorf("scenario: malformed base %q not built yet", ms.base)
+		}
+		src, err := version.Parse(base.Source)
+		if err != nil {
+			return nil, err
+		}
+		seed, err := findParseBreakingSeed(base.Body, src, ms.fault)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %s on %s: %w", ms.fault, ms.base, err)
+		}
+		m.Entries = append(m.Entries, Entry{
+			Name:   fmt.Sprintf("malformed-%s-%s", ms.fault, base.Name),
+			Desc:   fmt.Sprintf("%s corruption of %s (seed %d): must fail with the Parse class", ms.fault, ms.base, seed),
+			Class:  ClassMalformed,
+			Source: base.Source,
+			Target: base.Target,
+			Recipe: &Recipe{Op: "corrupt", Seed: seed, Base: ms.base, Fault: ms.fault.String()},
+			Size:   SizeSmall,
+			Expect: ExpectParse,
+		})
+	}
+
+	// Bad versions: valid bodies aimed at versions the service has no
+	// IR library for; the typed answer is Unsupported, never a 500.
+	for _, tgt := range badVersionTargets {
+		body, err := caseBody(version.V12_0, "alloca_scalar")
+		if err != nil {
+			return nil, err
+		}
+		m.Entries = append(m.Entries, Entry{
+			Name:   "badversion-" + tgt,
+			Desc:   fmt.Sprintf("valid 12.0 body aimed at unsupported target %s: must fail with the Unsupported class", tgt),
+			Class:  ClassBadVersion,
+			Source: version.V12_0.String(),
+			Target: tgt,
+			Body:   body,
+			Size:   SizeSmall,
+			Expect: ExpectUnsupported,
+		})
+	}
+
+	return m, nil
+}
+
+// okEntry assembles an ExpectOK entry with derived labels.
+func okEntry(name, class string, src, tgt version.V, body, desc string) (Entry, error) {
+	kinds, gates, era, size, err := DeriveLabels(body, src, tgt)
+	if err != nil {
+		return Entry{}, fmt.Errorf("scenario: entry %s: %w", name, err)
+	}
+	return Entry{
+		Name: name, Desc: desc, Class: class,
+		Source: src.String(), Target: tgt.String(),
+		Body:  body,
+		Kinds: kinds, Gates: gates, Era: era, Size: size, Expect: ExpectOK,
+	}, nil
+}
+
+// recipeEntry assembles an ExpectOK recipe entry, deriving labels from
+// the materialized body and insisting on the intended size class.
+func recipeEntry(m *Manifest, name, class string, src, tgt version.V, r *Recipe, wantSize string) (Entry, error) {
+	e := Entry{Name: name, Class: class, Source: src.String(), Target: tgt.String(), Recipe: r, Expect: ExpectOK,
+		Desc: fmt.Sprintf("irgen seed %d (%d funcs x %d blocks) at %s, translated to %s", r.Seed, r.Funcs, r.Blocks, src, tgt)}
+	body, err := m.Materialize(&e)
+	if err != nil {
+		return Entry{}, err
+	}
+	kinds, gates, era, size, err := DeriveLabels(body, src, tgt)
+	if err != nil {
+		return Entry{}, fmt.Errorf("scenario: entry %s: %w", name, err)
+	}
+	if size != wantSize {
+		return Entry{}, fmt.Errorf("scenario: entry %s: %d bytes is size %q, recipe wants %q — adjust funcs/blocks", name, len(body), size, wantSize)
+	}
+	e.Kinds, e.Gates, e.Era, e.Size = kinds, gates, era, size
+	return e, nil
+}
+
+// findParseBreakingSeed scans seeds in order and returns the first one
+// whose corruption of body fails to parse at src. Deterministic by
+// construction, so the discovered seed is stable across regenerations.
+func findParseBreakingSeed(body string, src version.V, fault chaos.TextFault) (int64, error) {
+	for seed := int64(1); seed <= 1000; seed++ {
+		if _, err := irtext.Parse(chaos.CorruptText(body, fault, seed), src); err != nil {
+			return seed, nil
+		}
+	}
+	return 0, fmt.Errorf("no parse-breaking seed in 1..1000")
+}
+
+// caseBody renders one synthesis-corpus case at src.
+func caseBody(src version.V, caseName string) (string, error) {
+	for _, tc := range corpus.Tests(src) {
+		if tc.Name == caseName {
+			return irtext.NewWriter(src).WriteModule(tc.Module)
+		}
+	}
+	return "", fmt.Errorf("scenario: synthesis corpus case %q not available at %s", caseName, src)
+}
+
+// MergeCases combines synthesis test cases into one module at version
+// src: every case's globals and functions are copied in with a
+// per-case name prefix, and a fresh main calls each case's (renamed)
+// main, accumulating the results. The merged module exercises every
+// instruction kind its cases do, in one request — the matrix entries'
+// kitchen sinks.
+//
+// The cases' objects are mutated (renamed) in place, so callers must
+// pass freshly built cases (corpus.Tests builds fresh modules on every
+// call).
+func MergeCases(name string, src version.V, cases []*synth.TestCase) (*ir.Module, error) {
+	if len(cases) == 0 {
+		return nil, fmt.Errorf("scenario: merge of zero cases")
+	}
+	merged := ir.NewModule(name, src)
+	main := merged.AddFunc(ir.NewFunction("main", ir.Func(ir.I32, nil, false), nil))
+	b := ir.NewBuilder(main)
+	b.NewBlock("entry")
+
+	var caseMains []*ir.Function
+	for i, tc := range cases {
+		if tc.Module.Ver != src {
+			return nil, fmt.Errorf("scenario: case %s is version %s, merge wants %s", tc.Name, tc.Module.Ver, src)
+		}
+		prefix := fmt.Sprintf("x%02d_", i)
+		for _, g := range tc.Module.Globals {
+			g.Name = prefix + g.Name
+			merged.AddGlobal(g)
+		}
+		for _, f := range tc.Module.Funcs {
+			isMain := f.Name == "main"
+			f.Name = prefix + f.Name
+			merged.AddFunc(f)
+			if isMain {
+				caseMains = append(caseMains, f)
+			}
+		}
+	}
+
+	var acc ir.Value = ir.ConstI32(0)
+	for _, cm := range caseMains {
+		acc = b.Add(acc, b.Call(cm))
+	}
+	b.Ret(acc)
+
+	if err := ir.Verify(merged); err != nil {
+		return nil, fmt.Errorf("scenario: merged module does not verify: %w", err)
+	}
+	return merged, nil
+}

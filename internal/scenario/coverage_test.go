@@ -1,0 +1,130 @@
+// Coverage tests for the workload corpus: the labeling matrix is fully
+// exercised and every expected-outcome label is true when the entry is
+// actually run through a live translator service. External test package
+// on purpose — internal/scenario must not import internal/service.
+package scenario_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/ir"
+	"repro/internal/scenario"
+	"repro/internal/service"
+	"repro/internal/version"
+)
+
+// TestCorpusMatrixCoverage recomputes the feasible instruction kind ×
+// version-gate boundary × text-format era cells from first principles
+// and requires every one to be covered by at least two ExpectOK
+// entries.
+//
+// Feasibility: an (era, kind) pair is feasible when the kind is
+// available at some version of the era (e.g. callbr does not exist in
+// the legacy era, so legacy×callbr cells are vacuous). Gates never
+// constrain feasibility — 3.0 sits below every gate and 17.0 above, so
+// any era has a pair crossing any gate.
+func TestCorpusMatrixCoverage(t *testing.T) {
+	m := scenario.MustLoad()
+	gates := scenario.GateVersions()
+
+	// coverage[era][kind][gate] = number of ExpectOK entries whose body
+	// uses kind, whose pair crosses gate, and whose source is in era.
+	coverage := make(map[string]map[string]map[string]int)
+	for _, era := range scenario.Eras {
+		coverage[era] = make(map[string]map[string]int)
+	}
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		if e.Expect != scenario.ExpectOK {
+			continue
+		}
+		byKind := coverage[e.Era]
+		for _, k := range e.Kinds {
+			if byKind[k] == nil {
+				byKind[k] = make(map[string]int)
+			}
+			for _, g := range e.Gates {
+				byKind[k][g]++
+			}
+		}
+	}
+
+	missing := 0
+	for _, era := range scenario.Eras {
+		// Feasible kinds of the era: available at any of its versions.
+		feasible := make(map[string]bool)
+		for _, v := range scenario.EraVersions(era) {
+			for _, op := range ir.OpcodesIn(v) {
+				feasible[op.String()] = true
+			}
+		}
+		if len(feasible) == 0 {
+			t.Fatalf("era %s has no feasible kinds — era partition is broken", era)
+		}
+		for kind := range feasible {
+			for _, g := range gates {
+				if n := coverage[era][kind][g.String()]; n < 2 {
+					missing++
+					if missing <= 20 {
+						t.Errorf("cell (kind=%s, gate=%s, era=%s) has %d entries, want >= 2", kind, g, era, n)
+					}
+				}
+			}
+		}
+	}
+	if missing > 20 {
+		t.Errorf("... and %d more uncovered cells", missing-20)
+	}
+}
+
+// TestExpectedOutcomes runs every corpus entry through a real service
+// and requires the observed outcome to match the entry's Expect label:
+// ok entries translate cleanly, malformed entries fail with the Parse
+// class, bad-version entries fail with the Unsupported class.
+func TestExpectedOutcomes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthesizes ~40 version pairs; skipped in -short")
+	}
+	m := scenario.MustLoad()
+	svc := service.New(service.Config{Workers: 4, QueueDepth: 128, JobTimeout: 2 * time.Minute})
+	defer svc.Close()
+	ctx := context.Background()
+
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		t.Run(e.Name, func(t *testing.T) {
+			body, err := m.Materialize(e)
+			if err != nil {
+				t.Fatalf("materialize: %v", err)
+			}
+			src, err := version.Parse(e.Source)
+			if err != nil {
+				t.Fatalf("source %q: %v", e.Source, err)
+			}
+			tgt, err := version.Parse(e.Target)
+			if err != nil {
+				t.Fatalf("target %q: %v", e.Target, err)
+			}
+			_, _, _, terr := svc.TranslateText(ctx, body, src, tgt)
+			switch e.Expect {
+			case scenario.ExpectOK:
+				if terr != nil {
+					t.Fatalf("expected clean translation, got %v", terr)
+				}
+			case scenario.ExpectParse:
+				if got := failure.ClassOf(terr); got != failure.Parse {
+					t.Fatalf("expected Parse-classified failure, got class %v, err %v", got, terr)
+				}
+			case scenario.ExpectUnsupported:
+				if got := failure.ClassOf(terr); got != failure.Unsupported {
+					t.Fatalf("expected Unsupported-classified failure, got class %v, err %v", got, terr)
+				}
+			default:
+				t.Fatalf("unknown expect label %q", e.Expect)
+			}
+		})
+	}
+}

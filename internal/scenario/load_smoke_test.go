@@ -1,0 +1,132 @@
+// The load-smoke gate: compile a small mixed schedule, replay it
+// against a live daemon over real HTTP, and hold the summary to the
+// taxonomy — zero unclassified responses, malformed entries failing
+// with exactly the Parse class, bad-version entries with exactly
+// Unsupported. `make load-smoke` runs this race-enabled and archives
+// the LOAD_summary.json it writes.
+package scenario_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/service"
+)
+
+func envInt(name string, def int) int {
+	if s := os.Getenv(name); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+func TestLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load smoke replays a live schedule; skipped in -short")
+	}
+	seconds := envInt("SIRO_LOAD_SECONDS", 5)
+	rate := envInt("SIRO_LOAD_RATE", 40)
+	seed := int64(envInt("SIRO_LOAD_SEED", 1))
+	mixName := os.Getenv("SIRO_LOAD_MIX")
+	if mixName == "" {
+		mixName = "smoke"
+	}
+
+	m := scenario.MustLoad()
+	mix, err := scenario.MixByName(mixName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := scenario.Compile(m, mix, seed, seconds*rate, float64(rate))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+
+	// Live daemon: a real service behind a real HTTP listener, with the
+	// async batch API mounted and a low stream threshold so medium
+	// entries genuinely exercise the streaming pipeline.
+	svc := service.New(service.Config{
+		Workers:    8,
+		QueueDepth: 256,
+		JobTimeout: 60 * time.Second,
+	})
+	defer svc.Close()
+	jobs, _, err := service.NewJobs(svc, service.JobsConfig{
+		Dir:     t.TempDir(),
+		Runners: 4,
+		NoSync:  true,
+		Logf:    func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatalf("jobs: %v", err)
+	}
+	defer jobs.Close()
+	srv := httptest.NewServer(service.NewHandler(svc, service.HandlerOpts{
+		Jobs:            jobs,
+		StreamThreshold: 8 << 10,
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	start := time.Now()
+	results, err := scenario.Replay(ctx, m, sched, scenario.ReplayOptions{
+		BaseURL:     srv.URL,
+		Concurrency: 16,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	sum := scenario.Summarize(sched, results, time.Since(start))
+
+	if len(results) != len(sched.Items) {
+		t.Fatalf("replayed %d of %d scheduled requests", len(results), len(sched.Items))
+	}
+	if sum.Unclassified != 0 {
+		for _, r := range results {
+			if r.Outcome == scenario.OutcomeUnclassified {
+				t.Errorf("unclassified response: entry %s mode %s status %d: %s", r.Entry, r.Mode, r.Status, r.Detail)
+			}
+		}
+		t.Fatalf("%d unclassified responses, want 0", sum.Unclassified)
+	}
+	for _, r := range results {
+		e := m.Entry(r.Entry)
+		switch e.Expect {
+		case scenario.ExpectParse:
+			if r.Outcome != "parse" {
+				t.Errorf("entry %s expects a parse failure, replay got %q (%s)", r.Entry, r.Outcome, r.Detail)
+			}
+		case scenario.ExpectUnsupported:
+			if r.Outcome != "unsupported" {
+				t.Errorf("entry %s expects an unsupported failure, replay got %q (%s)", r.Entry, r.Outcome, r.Detail)
+			}
+		case scenario.ExpectOK:
+			// Under deliberate overload the admission controller may shed
+			// with the Budget class; anything else is a real failure.
+			if r.Outcome != scenario.OutcomeOK && r.Outcome != "budget" {
+				t.Errorf("entry %s expects ok, replay got %q (%s)", r.Entry, r.Outcome, r.Detail)
+			}
+		}
+	}
+	for class, cs := range sum.PerClass {
+		if cs.Count > 0 && cs.P99Ms <= 0 {
+			t.Errorf("class %s: %d requests but p99 %.3fms", class, cs.Count, cs.P99Ms)
+		}
+	}
+
+	if out := os.Getenv("SIRO_LOAD_JSON"); out != "" {
+		if err := sum.WriteFile(out); err != nil {
+			t.Fatalf("write %s: %v", out, err)
+		}
+		t.Logf("wrote %s: %d requests, %.1f req/s, failures %v", out, sum.Requests, sum.ThroughputRPS, sum.Failures)
+	}
+}

@@ -1,0 +1,437 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Outcome keys a replayed request is classified under. "ok" plus the
+// short names of the six typed failure classes; anything the daemon
+// returns that does not map onto this taxonomy is "unclassified" — and
+// the load gates assert there is none of it.
+const (
+	OutcomeOK           = "ok"
+	OutcomeUnclassified = "unclassified"
+)
+
+// shortClass maps a failure.Class label (the wire `class` field) to its
+// summary key.
+func shortClass(label string) string {
+	switch label {
+	case "parse error":
+		return "parse"
+	case "synthesis error":
+		return "synthesis"
+	case "validation error":
+		return "validation"
+	case "budget exhausted":
+		return "budget"
+	case "unsupported construct":
+		return "unsupported"
+	case "authentication failed":
+		return "auth"
+	}
+	return ""
+}
+
+// ReplayOptions configures a schedule replay.
+type ReplayOptions struct {
+	// BaseURL of the live daemon, e.g. "http://127.0.0.1:8734".
+	BaseURL string
+	// Client defaults to a dedicated client with no global timeout
+	// (per-request timeouts come from RequestTimeout).
+	Client *http.Client
+	// Concurrency caps in-flight requests (closed loop, default 16).
+	// The pacer itself is open loop: send times come from the schedule,
+	// but a request whose slot is not free waits — bounded concurrency
+	// beats coordinated omission hiding.
+	Concurrency int
+	// RequestTimeout bounds one request (default 120s; batch jobs poll
+	// in PollWait slices under the same total).
+	RequestTimeout time.Duration
+	// PollWait is the long-poll window per batch GET (default 10s).
+	PollWait time.Duration
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// RequestResult is one replayed request's outcome.
+type RequestResult struct {
+	Seq       int     `json:"seq"`
+	Entry     string  `json:"entry"`
+	Class     string  `json:"class"`
+	Mode      string  `json:"mode"`
+	Outcome   string  `json:"outcome"`
+	Status    int     `json:"status"`
+	LatencyMs float64 `json:"latency_ms"`
+	Detail    string  `json:"detail,omitempty"`
+}
+
+// Replay sends a compiled schedule against a live daemon: an open-loop
+// pacer fires each item at its schedule offset, a semaphore caps
+// in-flight requests. It returns one result per schedule item.
+func Replay(ctx context.Context, m *Manifest, sched *Schedule, opts ReplayOptions) ([]RequestResult, error) {
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("scenario: replay needs a BaseURL")
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	conc := opts.Concurrency
+	if conc <= 0 {
+		conc = 16
+	}
+	reqTimeout := opts.RequestTimeout
+	if reqTimeout <= 0 {
+		reqTimeout = 120 * time.Second
+	}
+	pollWait := opts.PollWait
+	if pollWait <= 0 {
+		pollWait = 10 * time.Second
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	// Materialize every referenced entry once, up front — recipe
+	// expansion must not perturb the pacer.
+	bodies := make(map[string]string)
+	for _, it := range sched.Items {
+		if _, done := bodies[it.Entry]; done {
+			continue
+		}
+		e := m.Entry(it.Entry)
+		if e == nil {
+			return nil, fmt.Errorf("scenario: schedule references unknown entry %q", it.Entry)
+		}
+		body, err := m.Materialize(e)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: materializing %s: %w", it.Entry, err)
+		}
+		bodies[it.Entry] = body
+	}
+
+	results := make([]RequestResult, len(sched.Items))
+	sem := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+
+pacing:
+	for i := range sched.Items {
+		it := &sched.Items[i]
+		if wait := time.Until(start.Add(it.At())); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				break pacing
+			}
+		} else if ctx.Err() != nil {
+			break
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			break pacing
+		}
+		wg.Add(1)
+		go func(i int, it *Item) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rctx, cancel := context.WithTimeout(ctx, reqTimeout)
+			defer cancel()
+			e := m.Entry(it.Entry)
+			res := sendOne(rctx, client, opts.BaseURL, it, e, bodies[it.Entry], pollWait)
+			res.Seq, res.Entry, res.Class, res.Mode = it.Seq, it.Entry, it.Class, it.Mode
+			results[i] = res
+		}(i, it)
+		if i > 0 && i%100 == 0 {
+			logf("scenario: replay sent %d/%d", i, len(sched.Items))
+		}
+	}
+	wg.Wait()
+
+	// Items never sent (context cancelled mid-schedule) are dropped.
+	sent := results[:0]
+	for _, r := range results {
+		if r.Outcome != "" {
+			sent = append(sent, r)
+		}
+	}
+	return sent, nil
+}
+
+// sendOne performs one request per the item's mode and classifies the
+// response.
+func sendOne(ctx context.Context, client *http.Client, base string, it *Item, e *Entry, body string, pollWait time.Duration) RequestResult {
+	start := time.Now()
+	var res RequestResult
+	switch it.Mode {
+	case ModeStream:
+		res = sendStream(ctx, client, base, it, e, body)
+	case ModeBatch:
+		res = sendBatch(ctx, client, base, it, e, body, pollWait)
+	default:
+		res = sendTranslate(ctx, client, base, it, e, body)
+	}
+	res.LatencyMs = float64(time.Since(start).Microseconds()) / 1e3
+	return res
+}
+
+func tenantHeader(req *http.Request, it *Item) {
+	if it.Tenant != "" {
+		req.Header.Set("X-Api-Key", it.Tenant)
+	}
+}
+
+// classify maps an HTTP response to an outcome: 200 is ok, anything
+// else must carry a parseable ErrorResponse with a known class label.
+func classify(status int, payload []byte) (outcome, detail string) {
+	if status == http.StatusOK {
+		return OutcomeOK, ""
+	}
+	var er struct {
+		Error string `json:"error"`
+		Class string `json:"class"`
+	}
+	if err := json.Unmarshal(payload, &er); err == nil {
+		if c := shortClass(er.Class); c != "" {
+			return c, er.Error
+		}
+	}
+	return OutcomeUnclassified, fmt.Sprintf("status %d: %.200s", status, payload)
+}
+
+func sendTranslate(ctx context.Context, client *http.Client, base string, it *Item, e *Entry, body string) RequestResult {
+	reqBody, _ := json.Marshal(map[string]string{"source": e.Source, "target": e.Target, "ir": body})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/translate", bytes.NewReader(reqBody))
+	if err != nil {
+		return RequestResult{Outcome: OutcomeUnclassified, Detail: err.Error()}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	tenantHeader(req, it)
+	resp, err := client.Do(req)
+	if err != nil {
+		return RequestResult{Outcome: OutcomeUnclassified, Detail: err.Error()}
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(resp.Body)
+	outcome, detail := classify(resp.StatusCode, payload)
+	return RequestResult{Outcome: outcome, Status: resp.StatusCode, Detail: detail}
+}
+
+// sendStream uses the raw-text protocol. A failure before the response
+// commits surfaces as a non-200 with a JSON error body; a failure after
+// streaming began arrives in the X-Siro-* trailers.
+func sendStream(ctx context.Context, client *http.Client, base string, it *Item, e *Entry, body string) RequestResult {
+	url := fmt.Sprintf("%s/v1/translate?stream=1&source=%s&target=%s", base, e.Source, e.Target)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		return RequestResult{Outcome: OutcomeUnclassified, Detail: err.Error()}
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	tenantHeader(req, it)
+	resp, err := client.Do(req)
+	if err != nil {
+		return RequestResult{Outcome: OutcomeUnclassified, Detail: err.Error()}
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(resp.Body) // trailers arrive after the body drains
+	if resp.StatusCode != http.StatusOK {
+		outcome, detail := classify(resp.StatusCode, payload)
+		return RequestResult{Outcome: outcome, Status: resp.StatusCode, Detail: detail}
+	}
+	switch resp.Trailer.Get("X-Siro-Status") {
+	case "ok", "": // "": buffered sub-threshold path, no trailers
+		return RequestResult{Outcome: OutcomeOK, Status: resp.StatusCode}
+	case "error":
+		if c := shortClass(resp.Trailer.Get("X-Siro-Failure-Class")); c != "" {
+			return RequestResult{Outcome: c, Status: resp.StatusCode, Detail: resp.Trailer.Get("X-Siro-Error")}
+		}
+	}
+	return RequestResult{Outcome: OutcomeUnclassified, Status: resp.StatusCode,
+		Detail: fmt.Sprintf("trailer status %q class %q", resp.Trailer.Get("X-Siro-Status"), resp.Trailer.Get("X-Siro-Failure-Class"))}
+}
+
+// sendBatch submits the request as a one-job batch and long-polls the
+// job to a terminal state; the job's failure class is the outcome.
+func sendBatch(ctx context.Context, client *http.Client, base string, it *Item, e *Entry, body string, pollWait time.Duration) RequestResult {
+	reqBody, _ := json.Marshal(map[string]any{
+		"jobs": []map[string]string{{"source": e.Source, "target": e.Target, "ir": body}},
+	})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/batch", bytes.NewReader(reqBody))
+	if err != nil {
+		return RequestResult{Outcome: OutcomeUnclassified, Detail: err.Error()}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	tenantHeader(req, it)
+	resp, err := client.Do(req)
+	if err != nil {
+		return RequestResult{Outcome: OutcomeUnclassified, Detail: err.Error()}
+	}
+	payload, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		outcome, detail := classify(resp.StatusCode, payload)
+		return RequestResult{Outcome: outcome, Status: resp.StatusCode, Detail: detail}
+	}
+	var br struct {
+		Jobs []struct {
+			ID string `json:"id"`
+		} `json:"jobs"`
+	}
+	if err := json.Unmarshal(payload, &br); err != nil || len(br.Jobs) != 1 {
+		return RequestResult{Outcome: OutcomeUnclassified, Status: resp.StatusCode,
+			Detail: fmt.Sprintf("batch accept body: %.200s", payload)}
+	}
+	id := br.Jobs[0].ID
+
+	for {
+		jreq, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			fmt.Sprintf("%s/v1/jobs/%s?wait=%s", base, id, pollWait), nil)
+		if err != nil {
+			return RequestResult{Outcome: OutcomeUnclassified, Detail: err.Error()}
+		}
+		tenantHeader(jreq, it)
+		jresp, err := client.Do(jreq)
+		if err != nil {
+			return RequestResult{Outcome: OutcomeUnclassified, Detail: err.Error()}
+		}
+		jpayload, _ := io.ReadAll(jresp.Body)
+		jresp.Body.Close()
+		if jresp.StatusCode != http.StatusOK {
+			outcome, detail := classify(jresp.StatusCode, jpayload)
+			return RequestResult{Outcome: outcome, Status: jresp.StatusCode, Detail: detail}
+		}
+		var view struct {
+			State string `json:"state"`
+			Class string `json:"class"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(jpayload, &view); err != nil {
+			return RequestResult{Outcome: OutcomeUnclassified, Status: jresp.StatusCode,
+				Detail: fmt.Sprintf("job view body: %.200s", jpayload)}
+		}
+		switch view.State {
+		case "done":
+			return RequestResult{Outcome: OutcomeOK, Status: jresp.StatusCode}
+		case "failed":
+			if c := shortClass(view.Class); c != "" {
+				return RequestResult{Outcome: c, Status: jresp.StatusCode, Detail: view.Error}
+			}
+			return RequestResult{Outcome: OutcomeUnclassified, Status: jresp.StatusCode,
+				Detail: fmt.Sprintf("failed job class %q", view.Class)}
+		}
+		if ctx.Err() != nil {
+			return RequestResult{Outcome: OutcomeUnclassified, Detail: "timeout waiting for job " + id}
+		}
+	}
+}
+
+// ClassStats aggregates one scenario class's replayed requests.
+type ClassStats struct {
+	Count    int            `json:"count"`
+	P50Ms    float64        `json:"p50_ms"`
+	P95Ms    float64        `json:"p95_ms"`
+	P99Ms    float64        `json:"p99_ms"`
+	Outcomes map[string]int `json:"outcomes"`
+}
+
+// Summary is the LOAD_summary.json schema: per-class latency
+// percentiles, the typed-failure breakdown, and the unclassified count
+// the load gates pin to zero. ScheduleDigest is the determinism
+// receipt — equal digests mean byte-identical request schedules.
+type Summary struct {
+	Mix            string                 `json:"mix"`
+	Seed           int64                  `json:"seed"`
+	ScheduleDigest string                 `json:"schedule_digest"`
+	Requests       int                    `json:"requests"`
+	DurationSec    float64                `json:"duration_sec"`
+	ThroughputRPS  float64                `json:"throughput_rps"`
+	PerClass       map[string]*ClassStats `json:"per_class"`
+	Failures       map[string]int         `json:"failures"`
+	Unclassified   int                    `json:"unclassified"`
+}
+
+// Summarize folds replay results into the LOAD summary.
+func Summarize(sched *Schedule, results []RequestResult, elapsed time.Duration) *Summary {
+	s := &Summary{
+		Mix:            sched.Mix,
+		Seed:           sched.Seed,
+		ScheduleDigest: sched.Digest(),
+		Requests:       len(results),
+		DurationSec:    elapsed.Seconds(),
+		PerClass:       make(map[string]*ClassStats),
+		Failures:       make(map[string]int),
+	}
+	if s.DurationSec > 0 {
+		s.ThroughputRPS = float64(len(results)) / s.DurationSec
+	}
+	latencies := make(map[string][]float64)
+	for _, r := range results {
+		cs := s.PerClass[r.Class]
+		if cs == nil {
+			cs = &ClassStats{Outcomes: make(map[string]int)}
+			s.PerClass[r.Class] = cs
+		}
+		cs.Count++
+		cs.Outcomes[r.Outcome]++
+		latencies[r.Class] = append(latencies[r.Class], r.LatencyMs)
+		switch r.Outcome {
+		case OutcomeOK:
+		case OutcomeUnclassified:
+			s.Unclassified++
+		default:
+			s.Failures[r.Outcome]++
+		}
+	}
+	for class, ls := range latencies {
+		sort.Float64s(ls)
+		cs := s.PerClass[class]
+		cs.P50Ms = percentile(ls, 0.50)
+		cs.P95Ms = percentile(ls, 0.95)
+		cs.P99Ms = percentile(ls, 0.99)
+	}
+	return s
+}
+
+// percentile reads the q-quantile from an ascending sample.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// WriteFile writes the summary as indented JSON — the LOAD_summary.json
+// artifact CI archives.
+func (s *Summary) WriteFile(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

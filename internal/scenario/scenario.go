@@ -1,0 +1,361 @@
+// Package scenario is the labeled workload corpus and deterministic
+// traffic-replay harness of the translation service.
+//
+// It is deliberately distinct from internal/corpus, and the two must
+// not be conflated:
+//
+//   - internal/corpus is the synthesis test-case generator: the 68
+//     §6.2 programs the synthesizer VALIDATES candidate translators
+//     against. Its unit of currency is a module plus an oracle
+//     constant.
+//   - internal/scenario (this package) is the workload corpus: labeled
+//     IR-text requests the SERVICE is exercised with. Its unit of
+//     currency is an entry — a verbatim IR body (or a deterministic
+//     generation/corruption recipe) plus the labels that make coverage
+//     checkable: instruction kinds used, version-gate boundaries
+//     crossed, text-format era, size class, and expected outcome.
+//
+// The corpus is embedded (corpus.json via go:embed) so every binary —
+// tests, cmd/siroload, the fuzz targets — replays the exact same
+// labeled inputs. Coverage tests in this package prove the labeling
+// matrix is fully exercised: every feasible (instruction kind ×
+// version-gate boundary × text-format era) cell is covered by at least
+// two entries, and every expected-outcome label is validated by
+// actually running the entry through a live translator service.
+//
+// The second half of the package compiles a seeded traffic mix into a
+// deterministic schedule of timed requests (Compile) and replays it
+// against a live daemon or an in-process handler (Replay), emitting the
+// LOAD_summary.json report CI archives and trends alongside the
+// BENCH/SOAK/CLUSTER artifacts.
+package scenario
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/chaos"
+	"repro/internal/failure"
+	"repro/internal/ir"
+	"repro/internal/irgen"
+	"repro/internal/irtext"
+	"repro/internal/version"
+)
+
+// Scenario classes — the workload families a traffic mix draws from.
+// Every entry belongs to exactly one class; the schedule compiler
+// weights classes, not individual entries.
+const (
+	// ClassMatrix entries are the coverage kitchen sinks: one module
+	// merging the full synthesis corpus at a source version, chosen so
+	// the set of matrix entries covers every feasible instruction kind ×
+	// gate boundary × era cell at least twice.
+	ClassMatrix = "matrix"
+	// ClassHot entries are the paper's Table 3 pairs with small bodies —
+	// the cache-hit traffic that dominates a warmed-up deployment.
+	ClassHot = "hot"
+	// ClassLongtail entries spread small bodies across the rest of the
+	// version matrix — the cold-pair traffic that exercises synthesis
+	// and routing.
+	ClassLongtail = "longtail"
+	// ClassMedium entries are irgen-generated modules in the tens of
+	// kilobytes, replayed through both the buffered and streaming paths.
+	ClassMedium = "medium"
+	// ClassGiant entries are irgen-generated modules big enough to
+	// cross the streaming threshold; they are always replayed as
+	// streams.
+	ClassGiant = "giant"
+	// ClassMalformed entries are deterministic chaos corruptions of ok
+	// entries; they must fail with the Parse class, never anything else.
+	ClassMalformed = "malformed"
+	// ClassBadVersion entries request syntactically valid but
+	// unsupported target versions; they must fail with Unsupported.
+	ClassBadVersion = "badversion"
+)
+
+// Expected outcome classes an entry is labeled with.
+const (
+	// ExpectOK: the entry parses at its source version and translates to
+	// its target version.
+	ExpectOK = "ok"
+	// ExpectParse: the entry fails to parse at its source version with a
+	// Parse-classified error.
+	ExpectParse = "parse"
+	// ExpectUnsupported: the entry names an unsupported version and the
+	// service refuses it with an Unsupported-classified error.
+	ExpectUnsupported = "unsupported"
+)
+
+// Text-format eras. The textual format changed twice in the simulated
+// release history: 3.7 introduced explicit load/GEP result types and
+// 15.0 made pointers opaque (version.Features). The era of an entry is
+// the era of its source version — the dialect its body is written in.
+const (
+	EraLegacy = "legacy" // < 3.7: "load i32* %p"
+	EraTyped  = "typed"  // 3.7 – 14.x: "load i32, i32* %p"
+	EraOpaque = "opaque" // >= 15.0: "load i32, ptr %p"
+)
+
+// Eras lists the text-format eras in release order.
+var Eras = []string{EraLegacy, EraTyped, EraOpaque}
+
+// EraOf returns the text-format era of a version.
+func EraOf(v version.V) string {
+	f := version.FeaturesOf(v)
+	switch {
+	case f.OpaquePointers:
+		return EraOpaque
+	case f.ExplicitLoadType:
+		return EraTyped
+	default:
+		return EraLegacy
+	}
+}
+
+// EraVersions returns the supported versions whose text format belongs
+// to era, ascending.
+func EraVersions(era string) []version.V {
+	var out []version.V
+	for _, v := range version.All {
+		if EraOf(v) == era {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// GateVersions returns the version-gate boundaries: every release at
+// which the IR ecosystem changed behaviour — a feature flag flipped
+// (text or API incompatibility) or an instruction was introduced. A
+// translation (src, tgt) "crosses" gate g when exactly one endpoint is
+// at or past g; each crossed gate is one incompatibility the translator
+// must bridge.
+func GateVersions() []version.V {
+	var out []version.V
+	for i := 1; i < len(version.All); i++ {
+		prev, cur := version.All[i-1], version.All[i]
+		if version.FeaturesOf(cur) != version.FeaturesOf(prev) || len(ir.NewOpcodes(cur, prev)) > 0 {
+			out = append(out, cur)
+		}
+	}
+	return out
+}
+
+// Crosses reports whether translating between a and b crosses gate g.
+func Crosses(a, b version.V, g version.V) bool {
+	return a.AtLeast(g) != b.AtLeast(g)
+}
+
+// GatesCrossed returns the gate boundaries crossed by the (src, tgt)
+// pair, ascending, as version strings.
+func GatesCrossed(src, tgt version.V) []string {
+	var out []string
+	for _, g := range GateVersions() {
+		if Crosses(src, tgt, g) {
+			out = append(out, g.String())
+		}
+	}
+	return out
+}
+
+// Size classes, by materialized body bytes.
+const (
+	SizeSmall  = "small"  // < 4 KiB
+	SizeMedium = "medium" // 4 KiB – 64 KiB
+	SizeGiant  = "giant"  // >= 64 KiB
+)
+
+// SizeClassOf buckets a body length into a size class.
+func SizeClassOf(n int) string {
+	switch {
+	case n >= 64<<10:
+		return SizeGiant
+	case n >= 4<<10:
+		return SizeMedium
+	default:
+		return SizeSmall
+	}
+}
+
+// Recipe deterministically reconstructs an entry body that is too big
+// (irgen) or too degenerate (corrupt) to store verbatim.
+type Recipe struct {
+	// Op is "irgen" (generate a random valid module) or "corrupt"
+	// (apply a chaos text fault to another entry's body).
+	Op string `json:"op"`
+	// Seed drives both recipe kinds.
+	Seed int64 `json:"seed"`
+	// Funcs/Blocks size an irgen module.
+	Funcs  int `json:"funcs,omitempty"`
+	Blocks int `json:"blocks,omitempty"`
+	// Base names the entry whose materialized body a corrupt recipe
+	// damages; Fault is the chaos.TextFault name.
+	Base  string `json:"base,omitempty"`
+	Fault string `json:"fault,omitempty"`
+}
+
+// Entry is one labeled workload corpus entry.
+type Entry struct {
+	Name string `json:"name"`
+	Desc string `json:"desc,omitempty"`
+	// Class is the scenario class (ClassHot, ClassMalformed, ...).
+	Class string `json:"class"`
+	// Source and Target are version strings. They are requested
+	// verbatim, so a ClassBadVersion entry may carry a version the
+	// service does not support.
+	Source string `json:"source"`
+	Target string `json:"target"`
+	// Body is the verbatim IR text; empty when Recipe is set.
+	Body string `json:"body,omitempty"`
+	// Recipe reconstructs the body deterministically when Body is empty.
+	Recipe *Recipe `json:"recipe,omitempty"`
+
+	// Labels. Kinds, Gates and Era are present on ExpectOK entries and
+	// verified by the coverage tests; Size and Expect are present on
+	// every entry.
+	Kinds  []string `json:"kinds,omitempty"`
+	Gates  []string `json:"gates,omitempty"`
+	Era    string   `json:"era,omitempty"`
+	Size   string   `json:"size"`
+	Expect string   `json:"expect"`
+}
+
+// Manifest is the embedded corpus.
+type Manifest struct {
+	// Comment documents the file for human readers.
+	Comment string  `json:"comment"`
+	Entries []Entry `json:"entries"`
+}
+
+// Entry returns the named entry, or nil.
+func (m *Manifest) Entry(name string) *Entry {
+	for i := range m.Entries {
+		if m.Entries[i].Name == name {
+			return &m.Entries[i]
+		}
+	}
+	return nil
+}
+
+// ByClass returns the entries of one scenario class, manifest order.
+func (m *Manifest) ByClass(class string) []*Entry {
+	var out []*Entry
+	for i := range m.Entries {
+		if m.Entries[i].Class == class {
+			out = append(out, &m.Entries[i])
+		}
+	}
+	return out
+}
+
+// Materialize produces the entry's IR text: the verbatim body, or the
+// deterministic expansion of its recipe. The result is a pure function
+// of the manifest — the same entry always replays the same bytes.
+func (m *Manifest) Materialize(e *Entry) (string, error) {
+	if e.Body != "" {
+		return e.Body, nil
+	}
+	r := e.Recipe
+	if r == nil {
+		return "", fmt.Errorf("scenario: entry %q has neither body nor recipe", e.Name)
+	}
+	switch r.Op {
+	case "irgen":
+		src, err := version.Parse(e.Source)
+		if err != nil {
+			return "", fmt.Errorf("scenario: entry %q: bad source %q: %w", e.Name, e.Source, err)
+		}
+		mod := irgen.Generate(irgen.Config{Seed: r.Seed, Ver: src, Funcs: r.Funcs, Blocks: r.Blocks})
+		return irtext.NewWriter(src).WriteModule(mod)
+	case "corrupt":
+		base := m.Entry(r.Base)
+		if base == nil {
+			return "", fmt.Errorf("scenario: entry %q: corrupt recipe base %q not in manifest", e.Name, r.Base)
+		}
+		text, err := m.Materialize(base)
+		if err != nil {
+			return "", err
+		}
+		fault, ok := chaos.ParseTextFault(r.Fault)
+		if !ok {
+			return "", fmt.Errorf("scenario: entry %q: unknown text fault %q", e.Name, r.Fault)
+		}
+		return chaos.CorruptText(text, fault, r.Seed), nil
+	default:
+		return "", fmt.Errorf("scenario: entry %q: unknown recipe op %q", e.Name, r.Op)
+	}
+}
+
+// ModuleKinds returns the instruction kinds used by a module, in opcode
+// order — the kind label of an entry.
+func ModuleKinds(m *ir.Module) []string {
+	seen := make(map[ir.Opcode]bool)
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, inst := range b.Insts {
+				seen[inst.Op] = true
+			}
+		}
+	}
+	ops := make([]ir.Opcode, 0, len(seen))
+	for op := range seen {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	out := make([]string, len(ops))
+	for i, op := range ops {
+		out[i] = op.String()
+	}
+	return out
+}
+
+// DeriveLabels parses an ExpectOK entry body and computes its labels
+// from first principles: kinds from the parsed module, gates from the
+// version pair, era from the source version, size from the body bytes.
+// The coverage tests compare these against the stored labels so the
+// manifest cannot drift from the truth.
+func DeriveLabels(body string, src, tgt version.V) (kinds, gates []string, era, size string, err error) {
+	mod, err := irtext.Parse(body, src)
+	if err != nil {
+		return nil, nil, "", "", failure.Wrapf(failure.Parse, "scenario: deriving labels: %w", err)
+	}
+	return ModuleKinds(mod), GatesCrossed(src, tgt), EraOf(src), SizeClassOf(len(body)), nil
+}
+
+//go:embed corpus.json
+var corpusJSON []byte
+
+var (
+	loadOnce sync.Once
+	loaded   *Manifest
+	loadErr  error
+)
+
+// Load parses the embedded corpus manifest (once) and returns it.
+func Load() (*Manifest, error) {
+	loadOnce.Do(func() {
+		var m Manifest
+		if err := json.Unmarshal(corpusJSON, &m); err != nil {
+			loadErr = fmt.Errorf("scenario: embedded corpus.json: %w", err)
+			return
+		}
+		if len(m.Entries) == 0 {
+			loadErr = fmt.Errorf("scenario: embedded corpus.json has no entries")
+			return
+		}
+		loaded = &m
+	})
+	return loaded, loadErr
+}
+
+// MustLoad is Load for callers that cannot recover from a broken embed.
+func MustLoad() *Manifest {
+	m, err := Load()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

@@ -1,0 +1,161 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/version"
+)
+
+// manifestJSON is the canonical serialization corpus.json is pinned to.
+func manifestJSON(m *Manifest) ([]byte, error) {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// TestManifestMatchesBuilder pins the embedded corpus.json to
+// BuildManifest byte for byte: the checked-in manifest is generated,
+// never hand-edited. Regenerate with SIRO_SCENARIO_REWRITE=1.
+func TestManifestMatchesBuilder(t *testing.T) {
+	m, err := BuildManifest()
+	if err != nil {
+		t.Fatalf("BuildManifest: %v", err)
+	}
+	want, err := manifestJSON(m)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if os.Getenv("SIRO_SCENARIO_REWRITE") == "1" {
+		if err := os.WriteFile("corpus.json", want, 0o644); err != nil {
+			t.Fatalf("rewrite corpus.json: %v", err)
+		}
+		t.Logf("corpus.json rewritten: %d entries, %d bytes", len(m.Entries), len(want))
+		return
+	}
+	if !bytes.Equal(want, corpusJSON) {
+		t.Fatalf("embedded corpus.json does not match BuildManifest output.\n"+
+			"Regenerate: SIRO_SCENARIO_REWRITE=1 go test ./internal/scenario -run TestManifestMatchesBuilder\n"+
+			"embedded %d bytes, builder %d bytes", len(corpusJSON), len(want))
+	}
+}
+
+func TestEmbeddedManifestLoads(t *testing.T) {
+	m, err := Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	seen := make(map[string]bool)
+	for _, e := range m.Entries {
+		if e.Name == "" {
+			t.Fatal("entry with empty name")
+		}
+		if seen[e.Name] {
+			t.Fatalf("duplicate entry name %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Class == "" || e.Size == "" || e.Expect == "" {
+			t.Fatalf("entry %s missing class/size/expect labels", e.Name)
+		}
+		if e.Body == "" && e.Recipe == nil {
+			t.Fatalf("entry %s has neither body nor recipe", e.Name)
+		}
+	}
+}
+
+// TestStoredLabelsMatchDerivation re-derives every ExpectOK entry's
+// labels from its materialized body and the version pair, and requires
+// them to match what the manifest stores — labels cannot drift from the
+// bodies they describe.
+func TestStoredLabelsMatchDerivation(t *testing.T) {
+	m := MustLoad()
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		if e.Expect != ExpectOK {
+			continue
+		}
+		body, err := m.Materialize(e)
+		if err != nil {
+			t.Fatalf("%s: materialize: %v", e.Name, err)
+		}
+		src, err := version.Parse(e.Source)
+		if err != nil {
+			t.Fatalf("%s: source: %v", e.Name, err)
+		}
+		tgt, err := version.Parse(e.Target)
+		if err != nil {
+			t.Fatalf("%s: target: %v", e.Name, err)
+		}
+		kinds, gates, era, size, err := DeriveLabels(body, src, tgt)
+		if err != nil {
+			t.Fatalf("%s: derive: %v", e.Name, err)
+		}
+		if !reflect.DeepEqual(kinds, e.Kinds) {
+			t.Errorf("%s: stored kinds %v != derived %v", e.Name, e.Kinds, kinds)
+		}
+		if !reflect.DeepEqual(gates, e.Gates) {
+			t.Errorf("%s: stored gates %v != derived %v", e.Name, e.Gates, gates)
+		}
+		if era != e.Era {
+			t.Errorf("%s: stored era %s != derived %s", e.Name, e.Era, era)
+		}
+		if size != e.Size {
+			t.Errorf("%s: stored size %s != derived %s", e.Name, e.Size, size)
+		}
+	}
+}
+
+// TestMaterializeDeterministic replays every entry twice; recipes must
+// expand to identical bytes both times.
+func TestMaterializeDeterministic(t *testing.T) {
+	m := MustLoad()
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		a, err := m.Materialize(e)
+		if err != nil {
+			t.Fatalf("%s: materialize: %v", e.Name, err)
+		}
+		b, err := m.Materialize(e)
+		if err != nil {
+			t.Fatalf("%s: re-materialize: %v", e.Name, err)
+		}
+		if a != b {
+			t.Fatalf("%s: materialization is not deterministic", e.Name)
+		}
+		if a == "" {
+			t.Fatalf("%s: empty body", e.Name)
+		}
+	}
+}
+
+func TestGateVersions(t *testing.T) {
+	want := []version.V{version.V3_4, version.V3_7, version.V3_8, version.V8_0,
+		version.V9_0, version.V10_0, version.V15_0}
+	if got := GateVersions(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("GateVersions() = %v, want %v", got, want)
+	}
+}
+
+func TestEraOf(t *testing.T) {
+	cases := []struct {
+		v    version.V
+		want string
+	}{
+		{version.V3_0, EraLegacy},
+		{version.V3_6, EraLegacy},
+		{version.V3_7, EraTyped},
+		{version.V14_0, EraTyped},
+		{version.V15_0, EraOpaque},
+		{version.V17_0, EraOpaque},
+	}
+	for _, c := range cases {
+		if got := EraOf(c.v); got != c.want {
+			t.Errorf("EraOf(%s) = %s, want %s", c.v, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Request modes a schedule item can use.
+const (
+	// ModeTranslate is the JSON POST /v1/translate protocol.
+	ModeTranslate = "translate"
+	// ModeStream is the raw-text streaming protocol (?stream=1).
+	ModeStream = "stream"
+	// ModeBatch submits the request as an async batch job and polls it
+	// to a terminal state.
+	ModeBatch = "batch"
+)
+
+// Mix is a named traffic composition the schedule compiler draws from.
+type Mix struct {
+	Name string `json:"name"`
+	// Weights picks the scenario class of each request; classes with
+	// weight 0 (or with no corpus entries) never fire.
+	Weights map[string]float64 `json:"weights"`
+	// StreamMedium is the probability a medium entry uses the streaming
+	// protocol instead of buffered JSON. Giant entries always stream.
+	StreamMedium float64 `json:"stream_medium"`
+	// BatchFraction is the probability a hot/longtail request is
+	// submitted as an async batch job instead of a synchronous call.
+	BatchFraction float64 `json:"batch_fraction"`
+	// Tenants are API keys round-robined across requests (sent as
+	// X-Api-Key). Empty means anonymous traffic.
+	Tenants []string `json:"tenants,omitempty"`
+}
+
+// Mixes are the built-in traffic compositions.
+var Mixes = []Mix{
+	{
+		// smoke exercises every scenario class and every request mode in
+		// a short run — the CI load-smoke gate.
+		Name: "smoke",
+		Weights: map[string]float64{
+			ClassHot: 5, ClassLongtail: 3, ClassMatrix: 1, ClassMedium: 2,
+			ClassGiant: 1, ClassMalformed: 2, ClassBadVersion: 1,
+		},
+		StreamMedium:  0.5,
+		BatchFraction: 0.2,
+		Tenants:       []string{"load-a", "load-b"},
+	},
+	{
+		// steady models a warmed-up deployment: cache-hit hot pairs
+		// dominate, failures are rare.
+		Name: "steady",
+		Weights: map[string]float64{
+			ClassHot: 12, ClassLongtail: 3, ClassMedium: 2,
+			ClassGiant: 1, ClassMalformed: 1,
+		},
+		StreamMedium:  0.3,
+		BatchFraction: 0.1,
+		Tenants:       []string{"load-a", "load-b", "load-c"},
+	},
+	{
+		// stress leans on the expensive and adversarial classes: cold
+		// long-tail pairs, kitchen sinks, giants, malformed input.
+		Name: "stress",
+		Weights: map[string]float64{
+			ClassHot: 2, ClassLongtail: 6, ClassMatrix: 3, ClassMedium: 3,
+			ClassGiant: 3, ClassMalformed: 3, ClassBadVersion: 1,
+		},
+		StreamMedium:  0.7,
+		BatchFraction: 0.2,
+		Tenants:       []string{"load-a", "load-b"},
+	},
+}
+
+// MixByName returns the built-in mix with the given name.
+func MixByName(name string) (Mix, error) {
+	for _, m := range Mixes {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("scenario: unknown mix %q (have smoke, steady, stress)", name)
+}
+
+// Item is one timed request of a compiled schedule.
+type Item struct {
+	Seq int `json:"seq"`
+	// AtMicros is the open-loop send time, microseconds after replay
+	// start. Integral so the schedule JSON (and its digest) is exact.
+	AtMicros int64  `json:"at_us"`
+	Entry    string `json:"entry"`
+	Class    string `json:"class"`
+	Mode     string `json:"mode"`
+	Tenant   string `json:"tenant,omitempty"`
+}
+
+// At returns the item's send offset.
+func (it Item) At() time.Duration { return time.Duration(it.AtMicros) * time.Microsecond }
+
+// Schedule is a compiled, fully deterministic request sequence.
+type Schedule struct {
+	Mix        string  `json:"mix"`
+	Seed       int64   `json:"seed"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	Items      []Item  `json:"items"`
+}
+
+// Compile turns (mix, seed, n, rate) into a schedule of n timed
+// requests. The compilation is a pure function of its arguments and the
+// manifest: arrivals are a seeded Poisson process at rate requests/sec,
+// class, entry, mode and tenant picks all come from the same seeded
+// stream. The same inputs always produce the same schedule, byte for
+// byte — the determinism contract TestCompileDeterministic pins and
+// LOAD_summary.json records via the schedule digest.
+func Compile(m *Manifest, mix Mix, seed int64, n int, rate float64) (*Schedule, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("scenario: schedule length %d, want > 0", n)
+	}
+	if rate <= 0 {
+		return nil, fmt.Errorf("scenario: request rate %v, want > 0", rate)
+	}
+
+	// Classes in deterministic order with their entries and weights.
+	type classPool struct {
+		name    string
+		weight  float64
+		entries []*Entry
+	}
+	var pools []classPool
+	total := 0.0
+	classes := make([]string, 0, len(mix.Weights))
+	for c := range mix.Weights {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		w := mix.Weights[c]
+		if w <= 0 {
+			continue
+		}
+		entries := m.ByClass(c)
+		if len(entries) == 0 {
+			return nil, fmt.Errorf("scenario: mix %q weights class %q but the corpus has no such entries", mix.Name, c)
+		}
+		pools = append(pools, classPool{name: c, weight: w, entries: entries})
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("scenario: mix %q has no positive weights", mix.Name)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	sched := &Schedule{Mix: mix.Name, Seed: seed, RatePerSec: rate, Items: make([]Item, 0, n)}
+	at := 0.0 // seconds
+	for i := 0; i < n; i++ {
+		at += rng.ExpFloat64() / rate
+
+		pick := rng.Float64() * total
+		pool := pools[len(pools)-1]
+		for _, p := range pools {
+			if pick < p.weight {
+				pool = p
+				break
+			}
+			pick -= p.weight
+		}
+		e := pool.entries[rng.Intn(len(pool.entries))]
+
+		mode := ModeTranslate
+		switch pool.name {
+		case ClassGiant:
+			mode = ModeStream
+		case ClassMedium:
+			if rng.Float64() < mix.StreamMedium {
+				mode = ModeStream
+			}
+		case ClassHot, ClassLongtail:
+			if rng.Float64() < mix.BatchFraction {
+				mode = ModeBatch
+			}
+		}
+
+		tenant := ""
+		if len(mix.Tenants) > 0 {
+			tenant = mix.Tenants[rng.Intn(len(mix.Tenants))]
+		}
+
+		sched.Items = append(sched.Items, Item{
+			Seq:      i,
+			AtMicros: int64(at * 1e6),
+			Entry:    e.Name,
+			Class:    pool.name,
+			Mode:     mode,
+			Tenant:   tenant,
+		})
+	}
+	return sched, nil
+}
+
+// Digest is the sha256 of the schedule's canonical JSON — the replay
+// determinism receipt recorded in LOAD_summary.json: two runs with the
+// same digest sent the exact same requests at the same offsets.
+func (s *Schedule) Digest() string {
+	data, err := json.Marshal(s)
+	if err != nil {
+		// Schedule is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("scenario: marshal schedule: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

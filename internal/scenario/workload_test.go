@@ -1,0 +1,123 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCompileDeterministic is the replay determinism contract: the same
+// (mix, seed, n, rate) compiles to the same schedule, item for item and
+// byte for byte (equal digests); a different seed diverges.
+func TestCompileDeterministic(t *testing.T) {
+	m := MustLoad()
+	for _, mix := range Mixes {
+		a, err := Compile(m, mix, 42, 500, 100)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", mix.Name, err)
+		}
+		b, err := Compile(m, mix, 42, 500, 100)
+		if err != nil {
+			t.Fatalf("%s: recompile: %v", mix.Name, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: same seed compiled different schedules", mix.Name)
+		}
+		if a.Digest() != b.Digest() {
+			t.Fatalf("%s: same seed, different digests", mix.Name)
+		}
+		c, err := Compile(m, mix, 43, 500, 100)
+		if err != nil {
+			t.Fatalf("%s: compile seed 43: %v", mix.Name, err)
+		}
+		if a.Digest() == c.Digest() {
+			t.Fatalf("%s: different seeds produced the same schedule", mix.Name)
+		}
+	}
+}
+
+// TestCompileShape checks structural invariants of compiled schedules:
+// monotone send times, valid entry references, mode rules (giants
+// always stream, batch only for hot/longtail), tenants from the mix.
+func TestCompileShape(t *testing.T) {
+	m := MustLoad()
+	for _, mix := range Mixes {
+		sched, err := Compile(m, mix, 7, 1000, 200)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", mix.Name, err)
+		}
+		if len(sched.Items) != 1000 {
+			t.Fatalf("%s: %d items, want 1000", mix.Name, len(sched.Items))
+		}
+		tenants := make(map[string]bool)
+		for _, k := range mix.Tenants {
+			tenants[k] = true
+		}
+		classes := make(map[string]int)
+		var prev int64 = -1
+		for _, it := range sched.Items {
+			if it.AtMicros < prev {
+				t.Fatalf("%s: item %d at %dus before predecessor %dus", mix.Name, it.Seq, it.AtMicros, prev)
+			}
+			prev = it.AtMicros
+			e := m.Entry(it.Entry)
+			if e == nil {
+				t.Fatalf("%s: item %d references unknown entry %q", mix.Name, it.Seq, it.Entry)
+			}
+			if e.Class != it.Class {
+				t.Fatalf("%s: item %d labeled class %q but entry %s is %q", mix.Name, it.Seq, it.Class, e.Name, e.Class)
+			}
+			classes[it.Class]++
+			switch it.Mode {
+			case ModeTranslate:
+			case ModeStream:
+				if it.Class != ClassGiant && it.Class != ClassMedium {
+					t.Fatalf("%s: item %d streams a %s entry", mix.Name, it.Seq, it.Class)
+				}
+			case ModeBatch:
+				if it.Class != ClassHot && it.Class != ClassLongtail {
+					t.Fatalf("%s: item %d batches a %s entry", mix.Name, it.Seq, it.Class)
+				}
+			default:
+				t.Fatalf("%s: item %d has unknown mode %q", mix.Name, it.Seq, it.Mode)
+			}
+			if it.Class == ClassGiant && it.Mode != ModeStream {
+				t.Fatalf("%s: giant item %d does not stream", mix.Name, it.Seq)
+			}
+			if len(mix.Tenants) > 0 && !tenants[it.Tenant] {
+				t.Fatalf("%s: item %d has tenant %q outside the mix", mix.Name, it.Seq, it.Tenant)
+			}
+		}
+		for c, w := range mix.Weights {
+			if w > 0 && classes[c] == 0 {
+				t.Errorf("%s: class %s has weight %v but zero items in 1000", mix.Name, c, w)
+			}
+		}
+	}
+}
+
+// TestSummarizePercentiles pins the percentile math on a known sample.
+func TestSummarizePercentiles(t *testing.T) {
+	sched := &Schedule{Mix: "smoke", Seed: 1}
+	var results []RequestResult
+	for i := 1; i <= 100; i++ {
+		results = append(results, RequestResult{Class: ClassHot, Outcome: OutcomeOK, LatencyMs: float64(i)})
+	}
+	results = append(results,
+		RequestResult{Class: ClassMalformed, Outcome: "parse", LatencyMs: 1},
+		RequestResult{Class: ClassMalformed, Outcome: OutcomeUnclassified, LatencyMs: 1},
+	)
+	s := Summarize(sched, results, 0)
+	hot := s.PerClass[ClassHot]
+	if hot == nil || hot.P50Ms != 50 || hot.P95Ms != 95 || hot.P99Ms != 99 {
+		t.Fatalf("hot percentiles = %+v, want p50=50 p95=95 p99=99", hot)
+	}
+	if s.Failures["parse"] != 1 {
+		t.Fatalf("failures = %v, want parse:1", s.Failures)
+	}
+	if s.Unclassified != 1 {
+		t.Fatalf("unclassified = %d, want 1", s.Unclassified)
+	}
+	if s.Requests != 102 {
+		t.Fatalf("requests = %d, want 102", s.Requests)
+	}
+}

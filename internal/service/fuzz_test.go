@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/scenario"
 	"repro/internal/synth"
 	"repro/internal/version"
 )
@@ -27,6 +28,24 @@ func FuzzTranslateRequest(f *testing.F) {
 	f.Add([]byte(`{`))
 	f.Add([]byte(``))
 	f.Add([]byte(`{"source":"12.0","target":"3.6","ir":"` + strings.Repeat("a", 4096) + `"}`))
+	// Scenario corpus seeds: real labeled request shapes — every small
+	// entry as the exact JSON a client would POST, including malformed
+	// bodies and unsupported target versions.
+	if sm, err := scenario.Load(); err == nil {
+		for i := range sm.Entries {
+			e := &sm.Entries[i]
+			if e.Size != scenario.SizeSmall {
+				continue
+			}
+			body, merr := sm.Materialize(e)
+			if merr != nil {
+				continue
+			}
+			if req, jerr := json.Marshal(TranslateRequest{Source: e.Source, Target: e.Target, IR: body}); jerr == nil {
+				f.Add(req)
+			}
+		}
+	}
 
 	svc := New(Config{
 		Workers: 1,
